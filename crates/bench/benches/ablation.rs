@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//! scheduling on/off on the VLIW config, focused-model family (IID vs
+//! Markov), and the unroll-factor spread. These measure *simulated
+//! cycles* of the produced code, reported via Criterion by benching the
+//! evaluation (so criterion output doubles as a regression harness for
+//! code quality).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_core::controller::WorkloadEvaluator;
+use ic_machine::MachineConfig;
+use ic_passes::Opt;
+use ic_search::Evaluator;
+
+fn bench_schedule_ablation(c: &mut Criterion) {
+    let cfg = MachineConfig::vliw_c6713_like();
+    let w = ic_workloads::adpcm_scaled(256, 3);
+    let eval = WorkloadEvaluator::new(&w, &cfg);
+
+    // Report the code-quality numbers once, in the bench log.
+    let with: Vec<Opt> = ic_passes::ofast_sequence();
+    let without: Vec<Opt> = with
+        .iter()
+        .copied()
+        .filter(|o| *o != Opt::Schedule)
+        .collect();
+    println!(
+        "[ablation] adpcm cycles: ofast={} ofast-minus-schedule={} o0={}",
+        eval.evaluate(&with),
+        eval.evaluate(&without),
+        eval.baseline_cycles()
+    );
+
+    let mut g = c.benchmark_group("ablation_schedule");
+    g.sample_size(15);
+    g.bench_function("ofast_with_schedule", |b| b.iter(|| eval.evaluate(&with)));
+    g.bench_function("ofast_without_schedule", |b| {
+        b.iter(|| eval.evaluate(&without))
+    });
+    g.finish();
+}
+
+fn bench_unroll_factors(c: &mut Criterion) {
+    let cfg = MachineConfig::vliw_c6713_like();
+    let w = ic_workloads::adpcm_scaled(256, 3);
+    let eval = WorkloadEvaluator::new(&w, &cfg);
+    for f in [Opt::Unroll2, Opt::Unroll4, Opt::Unroll8] {
+        let seq = vec![f, Opt::Dce, Opt::Schedule];
+        println!("[ablation] adpcm {}+dce+schedule cycles = {}", f.name(), eval.evaluate(&seq));
+    }
+    let mut g = c.benchmark_group("ablation_unroll");
+    g.sample_size(15);
+    for f in [Opt::Unroll2, Opt::Unroll4, Opt::Unroll8] {
+        let seq = vec![f, Opt::Dce, Opt::Schedule];
+        g.bench_function(f.name(), |b| b.iter(|| eval.evaluate(&seq)));
+    }
+    g.finish();
+}
+
+fn bench_model_families(c: &mut Criterion) {
+    use ic_search::focused::{ModelKind, SequenceModel};
+    use ic_search::SequenceSpace;
+    let space = SequenceSpace::paper();
+    let good: Vec<Vec<Opt>> = vec![
+        vec![Opt::Licm, Opt::Cse, Opt::Unroll4, Opt::Dce, Opt::Schedule],
+        vec![Opt::Inline, Opt::Licm, Opt::Unroll8, Opt::Dce, Opt::Schedule],
+        vec![Opt::Licm, Opt::Dce, Opt::Unroll4, Opt::Cse, Opt::Schedule],
+    ];
+    let mut g = c.benchmark_group("ablation_model");
+    for kind in [ModelKind::Iid, ModelKind::Markov] {
+        let model = SequenceModel::fit(&space, &good, 0.25, kind);
+        g.bench_function(format!("{kind:?}_fit_and_sample"), |b| {
+            b.iter(|| {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+                let m = SequenceModel::fit(&space, &good, 0.25, kind);
+                let mut acc = 0usize;
+                for _ in 0..100 {
+                    acc += m.sample(&mut rng).len();
+                }
+                let _ = &model;
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedule_ablation, bench_unroll_factors, bench_model_families);
+criterion_main!(benches);

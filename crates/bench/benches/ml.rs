@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks of the learning components: training and
+//! prediction cost per learner, and mutual-information ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_ml::all_classifiers;
+
+/// A deterministic synthetic classification problem.
+fn dataset(n: usize, d: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut x = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let row: Vec<f64> = (0..d)
+            .map(|j| (((i * 31 + j * 17) % 101) as f64) / 101.0 + (i % 2) as f64 * 0.8)
+            .collect();
+        x.push(row);
+        y.push(i % 2);
+    }
+    (x, y)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (x, y) = dataset(200, 40);
+    let mut g = c.benchmark_group("ml_train");
+    for mk in [0usize, 1, 2, 3] {
+        let name = all_classifiers()[mk].name();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = all_classifiers().remove(mk);
+                m.fit(&x, &y, 2);
+                m.predict(&x[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (x, y) = dataset(200, 40);
+    let mut g = c.benchmark_group("ml_predict");
+    for mk in [0usize, 1, 2, 3] {
+        let mut m = all_classifiers().remove(mk);
+        m.fit(&x, &y, 2);
+        let name = m.name();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for row in &x {
+                    acc += m.predict(row);
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mi(c: &mut Criterion) {
+    let (x, y) = dataset(500, 40);
+    c.bench_function("mi/rank_40_features", |b| {
+        b.iter(|| ic_features::rank_features(&x, &y, 4))
+    });
+}
+
+criterion_group!(benches, bench_training, bench_prediction, bench_mi);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks of the compilation pipeline: frontend,
+//! individual passes, and full sequences.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ic_passes::{apply_sequence, Opt};
+use std::hint::black_box;
+
+fn adpcm_source() -> String {
+    ic_workloads::sources::adpcm(512, 7)
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = adpcm_source();
+    c.bench_function("frontend/compile_adpcm", |b| {
+        b.iter(|| ic_lang::compile("adpcm", black_box(&src)).unwrap())
+    });
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let module = ic_lang::compile("adpcm", &adpcm_source()).unwrap();
+    let mut g = c.benchmark_group("passes");
+    for opt in [
+        Opt::ConstProp,
+        Opt::Dce,
+        Opt::Cse,
+        Opt::Licm,
+        Opt::Inline,
+        Opt::SimplifyCfg,
+        Opt::Schedule,
+        Opt::Unroll4,
+    ] {
+        g.bench_function(opt.name(), |b| {
+            b.iter_batched(
+                || module.clone(),
+                |mut m| {
+                    opt.apply(&mut m);
+                    m
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_sequences(c: &mut Criterion) {
+    let module = ic_lang::compile("adpcm", &adpcm_source()).unwrap();
+    let mut g = c.benchmark_group("sequence");
+    g.bench_function("ofast", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| {
+                apply_sequence(&mut m, &ic_passes::ofast_sequence());
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_passes, bench_full_sequences);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the search strategies over a synthetic
+//! landscape (isolates strategy overhead from simulation cost) and one
+//! real end-to-end search iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ic_core::controller::WorkloadEvaluator;
+use ic_machine::MachineConfig;
+use ic_passes::Opt;
+use ic_search::{focused, genetic, hillclimb, random, SequenceSpace};
+
+fn synthetic_cost(seq: &[Opt]) -> f64 {
+    seq.iter()
+        .enumerate()
+        .map(|(i, o)| ((*o as usize * 31 + i * 7) % 97) as f64)
+        .sum()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let space = SequenceSpace::paper();
+    let mut g = c.benchmark_group("search_overhead");
+    g.bench_function("random_100", |b| {
+        b.iter(|| random::run(&space, &synthetic_cost, 100, 1))
+    });
+    g.bench_function("hillclimb_100", |b| {
+        b.iter(|| hillclimb::run(&space, &synthetic_cost, 100, 10, 1))
+    });
+    g.bench_function("genetic_100", |b| {
+        b.iter(|| genetic::run(&space, &synthetic_cost, 100, &genetic::GaConfig::default(), 1))
+    });
+    let good: Vec<Vec<Opt>> = (0..20).map(|i| {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(i);
+        space.sample(&mut rng)
+    }).collect();
+    let model = focused::SequenceModel::fit(&space, &good, 0.25, focused::ModelKind::Markov);
+    g.bench_function("focused_100", |b| {
+        b.iter(|| focused::run(&space, &synthetic_cost, 100, &model, 1))
+    });
+    g.finish();
+}
+
+fn bench_real_evaluation(c: &mut Criterion) {
+    let cfg = MachineConfig::vliw_c6713_like();
+    let w = ic_workloads::adpcm_scaled(256, 3);
+    let eval = WorkloadEvaluator::new(&w, &cfg);
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(20);
+    g.bench_function("evaluate_one_sequence", |b| {
+        b.iter(|| ic_search::Evaluator::evaluate(&eval, &ic_passes::ofast_sequence()))
+    });
+    g.finish();
+}
+
+fn bench_space_ops(c: &mut Criterion) {
+    let space = SequenceSpace::paper();
+    let mut g = c.benchmark_group("space");
+    g.bench_function("decode_encode", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in (0..space.count()).step_by(9973) {
+                let s = space.decode(i);
+                acc ^= space.encode(&s).unwrap();
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_real_evaluation, bench_space_ops);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks of the machine simulator: interpreter
+//! throughput across workload characters and machine configs, plus the
+//! multicore interleaver.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ic_machine::{simulate_default, MachineConfig};
+
+fn bench_throughput(c: &mut Criterion) {
+    let cases = [
+        ("feistel_alu", ic_workloads::sources::feistel(512, 6), 10_000_000u64),
+        ("spmv_mem", ic_workloads::sources::spmv(512, 6, 3), 10_000_000),
+        ("qsort_calls", ic_workloads::sources::qsort(512), 10_000_000),
+    ];
+    let mut g = c.benchmark_group("simulator");
+    for (name, src, fuel) in cases {
+        let module = ic_lang::compile(name, &src).unwrap();
+        let cfg = MachineConfig::superscalar_amd_like();
+        let insts = simulate_default(&module, &cfg, fuel).unwrap().instructions();
+        g.throughput(Throughput::Elements(insts));
+        g.bench_function(name, |b| {
+            b.iter(|| simulate_default(&module, &cfg, fuel).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_configs(c: &mut Criterion) {
+    let module = ic_lang::compile("adpcm", &ic_workloads::sources::adpcm(512, 7)).unwrap();
+    let mut g = c.benchmark_group("machine_config");
+    for cfg in [
+        MachineConfig::test_tiny(),
+        MachineConfig::vliw_c6713_like(),
+        MachineConfig::superscalar_amd_like(),
+    ] {
+        g.bench_function(&cfg.name.clone(), |b| {
+            b.iter(|| simulate_default(&module, &cfg, 20_000_000).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_multicore(c: &mut Criterion) {
+    use ic_core::multicore::ParallelJob;
+    let job = ParallelJob {
+        n: 2048,
+        passes: 1,
+        work_per_elem: 4,
+    };
+    let cfg = MachineConfig::multicore_amd_like(8);
+    let mut g = c.benchmark_group("multicore");
+    for cores in [1usize, 4] {
+        g.bench_function(format!("cores_{cores}"), |b| {
+            b.iter(|| job.measure(&cfg, cores))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput, bench_configs, bench_multicore);
+criterion_main!(benches);

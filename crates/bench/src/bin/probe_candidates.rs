@@ -1,0 +1,31 @@
+//! Diagnostic: which candidate setting wins for each suite program (and
+//! for size variants of the pointer-heavy kernels). Used to validate the
+//! Fig. 4 training population.
+
+use ic_core::models::{candidate_sequences, measure_program};
+use ic_machine::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::superscalar_amd_like();
+    let cands = candidate_sequences();
+    let mut ws = ic_bench::bench_suite(ic_bench::Scale::Small);
+    for (name, w) in [
+        ("spmv-strad", ic_workloads::Workload {
+            name: "spmv-strad".into(),
+            kind: ic_workloads::Kind::PointerChasing,
+            source: ic_workloads::sources::spmv(8192, 16, 2),
+            fuel: 80_000_000,
+        }),
+    ] {
+        let mut w = w;
+        w.name = name.into();
+        ws.push(w);
+    }
+    for w in &ws {
+        let row = measure_program(w, &cfg);
+        println!(
+            "{:12} best={:12} speedup={:.2}",
+            w.name, cands[row.best_candidate].0, row.best_speedup
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! # ic-bench — figure/table regeneration harnesses
+//!
+//! One binary per figure/table of the paper (see DESIGN.md §4):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig2a` | Fig. 2(a): exhaustive sequence space, ≤5%-of-optimum scatter, model focus |
+//! | `fig2b` | Fig. 2(b): RANDOM vs FOCUSSED search trajectories |
+//! | `fig3`  | Fig. 3: mcf counters at -O0 relative to the suite average |
+//! | `fig4`  | Fig. 4: -Ofast vs PCModel counters and speedups on mcf |
+//! | `table_methodology` | Sec. II/V: per-learner LOOCV accuracy table |
+//! | `dynamic_opt` | Sec. III-D: performance auditing across phases |
+//! | `multicore` | Sec. III-G: learned core-count selection |
+//!
+//! Run with `--release`; every binary takes `--scale small|full` (default
+//! small) and `--seed N`, prints a human-readable table to stdout, and is
+//! deterministic for a fixed seed.
+//!
+//! The `benches/` directory holds Criterion micro-benchmarks of the
+//! infrastructure itself plus the ablation studies listed in DESIGN.md §5.
+
+use std::env;
+
+/// Harness scale: `Small` finishes in seconds, `Full` reproduces the
+/// paper-sized experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    Small,
+    Full,
+}
+
+/// Common command-line arguments for the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub scale: Scale,
+    pub seed: u64,
+    /// Free-form extra flags (`--model markov` etc.).
+    pub extra: Vec<String>,
+}
+
+impl Args {
+    /// Parse `std::env::args`.
+    pub fn parse() -> Args {
+        let mut scale = Scale::Small;
+        let mut seed = 42u64;
+        let mut extra = Vec::new();
+        let mut it = env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    let v = it.next().unwrap_or_default();
+                    scale = match v.as_str() {
+                        "full" => Scale::Full,
+                        _ => Scale::Small,
+                    };
+                }
+                "--seed" => {
+                    seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42);
+                }
+                other => extra.push(other.to_string()),
+            }
+        }
+        Args { scale, seed, extra }
+    }
+
+    /// Value of `--<name> <value>` among the extra flags.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        let key = format!("--{name}");
+        self.extra
+            .iter()
+            .position(|a| *a == key)
+            .and_then(|i| self.extra.get(i + 1))
+            .map(|s| s.as_str())
+    }
+}
+
+/// Print a header banner.
+pub fn banner(title: &str) {
+    println!("{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Format a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// A fixed-width table printer.
+pub struct Table {
+    widths: Vec<usize>,
+}
+
+impl Table {
+    /// Table with the given column widths.
+    pub fn new(widths: &[usize]) -> Self {
+        Table {
+            widths: widths.to_vec(),
+        }
+    }
+
+    /// Print one row.
+    pub fn row(&self, cells: &[String]) {
+        let mut line = String::new();
+        for (c, w) in cells.iter().zip(&self.widths) {
+            line.push_str(&format!("{:<width$} ", c, width = w));
+        }
+        println!("{}", line.trim_end());
+    }
+
+    /// Print a separator.
+    pub fn sep(&self) {
+        let total: usize = self.widths.iter().sum::<usize>() + self.widths.len();
+        println!("{}", "-".repeat(total));
+    }
+}
+
+/// The bench-scale workload suite: the full 16-kernel suite, scaled so a
+/// single -O0 run is tens of milliseconds in release mode.
+pub fn bench_suite(scale: Scale) -> Vec<ic_workloads::Workload> {
+    match scale {
+        Scale::Full => ic_workloads::suite(),
+        Scale::Small => {
+            use ic_workloads::{sources, Kind, Workload};
+            let mk = |name: &str, kind: Kind, source: String, fuel: u64| Workload {
+                name: name.into(),
+                kind,
+                source,
+                fuel,
+            };
+            vec![
+                ic_workloads::adpcm_scaled(512, 12345),
+                // mcf keeps its cache-straddling default size even at
+                // small scale: Fig. 3/4 depend on that regime.
+                ic_workloads::mcf_like(),
+                mk("matmul", Kind::FloatHeavy, sources::matmul(16), 10_000_000),
+                mk("fir", Kind::FloatHeavy, sources::fir(512, 8), 10_000_000),
+                mk("crc32", Kind::AluBound, sources::crc32(512), 10_000_000),
+                mk("dijkstra", Kind::Branchy, sources::dijkstra(32), 10_000_000),
+                mk("qsort", Kind::CallHeavy, sources::qsort(512), 10_000_000),
+                mk("stencil", Kind::MemoryStreaming, sources::stencil(24, 3), 10_000_000),
+                mk("susan", Kind::Branchy, sources::susan(24), 10_000_000),
+                mk("butterfly", Kind::FloatHeavy, sources::butterfly(256, 4), 10_000_000),
+                mk("histogram", Kind::MemoryStreaming, sources::histogram(2048), 10_000_000),
+                mk("strsearch", Kind::Branchy, sources::strsearch(1024), 10_000_000),
+                mk("bitcount", Kind::AluBound, sources::bitcount(1024), 10_000_000),
+                mk("nbody", Kind::FloatHeavy, sources::nbody(12, 4), 10_000_000),
+                mk("spmv", Kind::PointerChasing, sources::spmv(8192, 16, 2), 80_000_000),
+                mk("feistel", Kind::AluBound, sources::feistel(512, 6), 10_000_000),
+            ]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_lookup() {
+        let args = Args {
+            scale: Scale::Small,
+            seed: 1,
+            extra: vec!["--model".into(), "markov".into()],
+        };
+        assert_eq!(args.flag("model"), Some("markov"));
+        assert_eq!(args.flag("nope"), None);
+    }
+
+    #[test]
+    fn bench_suite_compiles_small() {
+        for w in bench_suite(Scale::Small) {
+            let m = w.compile();
+            assert!(m.num_insts() > 10, "{}", w.name);
+        }
+    }
+}

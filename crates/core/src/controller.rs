@@ -1,0 +1,339 @@
+//! The intelligent optimization controller (Sec. III-A).
+//!
+//! Ties the stack together: compiles workloads through `ic-passes`,
+//! evaluates them on the `ic-machine` simulator, characterizes programs
+//! and architectures into the `ic-kb` knowledge base, and drives either
+//! *one-shot* compilation (model predicts a sequence, no trials) or
+//! *iterative* compilation (model focuses a budgeted search).
+
+use ic_features::{combined_feature_names, combined_features, static_features};
+use ic_kb::{ArchRecord, ExperimentRecord, KnowledgeBase, ProgramRecord};
+use ic_machine::{microbench, simulate_default, MachineConfig, PerfCounters, RunResult, SimError};
+use ic_passes::{apply_sequence, Opt};
+use ic_search::focused::{ModelKind, SequenceModel};
+use ic_search::{focused, random, Evaluator, SearchResult, SequenceSpace};
+use ic_workloads::Workload;
+use rayon::prelude::*;
+
+/// The intelligent compiler for one target machine.
+pub struct IntelligentCompiler {
+    pub config: MachineConfig,
+    pub kb: KnowledgeBase,
+    /// The sequence space searched/predicted over.
+    pub space: SequenceSpace,
+}
+
+/// A cost evaluator that compiles a fixed workload with a sequence and
+/// runs it on a machine config. Cost = simulated cycles.
+pub struct WorkloadEvaluator<'a> {
+    module_o0: ic_ir::Module,
+    config: &'a MachineConfig,
+    fuel: u64,
+}
+
+impl<'a> WorkloadEvaluator<'a> {
+    /// Build an evaluator for `workload` on `config`.
+    pub fn new(workload: &Workload, config: &'a MachineConfig) -> Self {
+        WorkloadEvaluator {
+            module_o0: workload.compile(),
+            config,
+            fuel: workload.fuel,
+        }
+    }
+
+    /// Cycles of the unoptimized build.
+    pub fn baseline_cycles(&self) -> u64 {
+        simulate_default(&self.module_o0, self.config, self.fuel)
+            .expect("baseline run")
+            .cycles()
+    }
+
+    /// Compile with `seq` and run; full result.
+    pub fn run(&self, seq: &[Opt]) -> Result<RunResult, SimError> {
+        let mut m = self.module_o0.clone();
+        apply_sequence(&mut m, seq);
+        simulate_default(&m, self.config, self.fuel)
+    }
+}
+
+impl Evaluator for WorkloadEvaluator<'_> {
+    fn evaluate(&self, seq: &[Opt]) -> f64 {
+        match self.run(seq) {
+            Ok(r) => r.cycles() as f64,
+            // A sequence that makes the program exceed its fuel budget (or
+            // otherwise fail) is maximally bad, not an error: searches
+            // must be able to step on mines and keep going.
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
+impl IntelligentCompiler {
+    /// A fresh intelligent compiler for `config` with an empty knowledge
+    /// base and the paper's 13-opt length-5 sequence space.
+    pub fn new(config: MachineConfig) -> Self {
+        IntelligentCompiler {
+            config,
+            kb: KnowledgeBase::new(),
+            space: SequenceSpace::paper(),
+        }
+    }
+
+    /// Characterize the target architecture by microbenchmarks and store
+    /// it in the knowledge base (Sec. III-B).
+    pub fn characterize_architecture(&mut self) {
+        let ch = microbench::characterize(&self.config, 2048);
+        self.kb.upsert_arch(ArchRecord {
+            arch: self.config.name.clone(),
+            feature_names: microbench::ArchCharacterization::feature_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            features: ch.feature_vector(),
+        });
+    }
+
+    /// Compile `workload` unoptimized and profile it: returns the -O0
+    /// counters and stores the program's combined characterization.
+    pub fn characterize_program(&mut self, workload: &Workload) -> PerfCounters {
+        let module = workload.compile();
+        let r = simulate_default(&module, &self.config, workload.fuel).expect("O0 run");
+        self.kb.upsert_program(ProgramRecord {
+            program: workload.name.clone(),
+            feature_names: combined_feature_names(),
+            features: combined_features(&module, &r.counters),
+        });
+        r.counters
+    }
+
+    /// Run `trials` random-sequence experiments for `workload`, recording
+    /// every outcome in the knowledge base. This is the "pure search"
+    /// whose output trains the prediction models (Sec. III-C).
+    pub fn populate_kb(&mut self, workload: &Workload, trials: usize, seed: u64) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let eval = WorkloadEvaluator::new(workload, &self.config);
+        let base = eval.baseline_cycles() as f64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let seqs: Vec<Vec<Opt>> = (0..trials).map(|_| self.space.sample(&mut rng)).collect();
+        let outcomes: Vec<(Vec<Opt>, f64, Vec<(String, u64)>)> = seqs
+            .into_par_iter()
+            .map(|seq| match eval.run(&seq) {
+                Ok(r) => {
+                    let counters: Vec<(String, u64)> = ic_machine::Counter::ALL
+                        .iter()
+                        .map(|c| (c.name().to_string(), r.counters.get(*c)))
+                        .collect();
+                    (seq, r.cycles() as f64, counters)
+                }
+                Err(_) => (seq, f64::INFINITY, Vec::new()),
+            })
+            .collect();
+        for (seq, cycles, counters) in outcomes {
+            if !cycles.is_finite() {
+                continue;
+            }
+            self.kb.add_experiment(ExperimentRecord {
+                program: workload.name.clone(),
+                arch: self.config.name.clone(),
+                sequence: seq.iter().map(|o| o.name().to_string()).collect(),
+                cycles: cycles as u64,
+                speedup: base / cycles,
+                counters,
+            });
+        }
+    }
+
+    /// Populate the knowledge base from a *search* run (genetic) instead
+    /// of uniform sampling: the recorded experiments concentrate on good
+    /// regions of the space, which is what the Agakov-style focused model
+    /// needs as training data ("the output of previous runs of pure
+    /// search", Sec. III-C). Records every evaluated sequence.
+    pub fn populate_kb_search(&mut self, workload: &Workload, budget: usize, seed: u64) {
+        let eval = WorkloadEvaluator::new(workload, &self.config);
+        let base = eval.baseline_cycles() as f64;
+        let r = ic_search::genetic::run(
+            &self.space,
+            &eval,
+            budget,
+            &ic_search::genetic::GaConfig::default(),
+            seed,
+        );
+        for (seq, cycles) in r.evaluated {
+            if !cycles.is_finite() {
+                continue;
+            }
+            self.kb.add_experiment(ExperimentRecord {
+                program: workload.name.clone(),
+                arch: self.config.name.clone(),
+                sequence: seq.iter().map(|o| o.name().to_string()).collect(),
+                cycles: cycles as u64,
+                speedup: base / cycles,
+                counters: Vec::new(),
+            });
+        }
+    }
+
+    /// Fit the focused-search model for `workload` from the knowledge
+    /// base: good sequences of the `neighbors` most similar *other*
+    /// programs (leave-the-target-out by construction).
+    pub fn focused_model(
+        &self,
+        workload: &Workload,
+        neighbors: usize,
+        per_program: usize,
+        kind: ModelKind,
+    ) -> Option<SequenceModel> {
+        let module = workload.compile();
+        let mut feats = static_features(&module);
+        // Compare on the static prefix only (dynamic features of the new
+        // program may not be profiled yet); pad to stored length.
+        let stored_len = self.kb.programs.first()?.features.len();
+        feats.resize(stored_len, 0.0);
+        let near = self.kb.nearest_programs(&feats, &workload.name);
+        let mut good: Vec<Vec<Opt>> = Vec::new();
+        for p in near.iter().take(neighbors) {
+            for e in self.kb.top_k(&p.program, &self.config.name, per_program) {
+                let seq: Option<Vec<Opt>> =
+                    e.sequence.iter().map(|s| Opt::from_name(s)).collect();
+                if let Some(seq) = seq {
+                    good.push(seq);
+                }
+            }
+        }
+        if good.is_empty() {
+            return None;
+        }
+        Some(SequenceModel::fit(&self.space, &good, 0.25, kind))
+    }
+
+    /// One-shot intelligent compilation: predict a sequence without any
+    /// trial runs (the mode Fig. 1 calls "generate a program executable
+    /// in one trial"). Uses the focused model's most likely draw.
+    pub fn compile_one_shot(&self, workload: &Workload) -> (ic_ir::Module, Vec<Opt>) {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let seq = match self.focused_model(workload, 3, 5, ModelKind::Markov) {
+            Some(model) => {
+                // Most-likely-of-32-draws: cheap mode of the distribution.
+                let mut rng = SmallRng::seed_from_u64(0x1C0);
+                (0..32)
+                    .map(|_| model.sample(&mut rng))
+                    .max_by(|a, b| model.log_prob(a).partial_cmp(&model.log_prob(b)).unwrap())
+                    .unwrap()
+            }
+            None => ic_passes::ofast_sequence(),
+        };
+        let mut m = workload.compile();
+        apply_sequence(&mut m, &seq);
+        (m, seq)
+    }
+
+    /// Iterative compilation with model focus: `budget` evaluations
+    /// sampled from the focused model (falls back to random search with
+    /// an empty knowledge base).
+    pub fn compile_iterative(
+        &self,
+        workload: &Workload,
+        budget: usize,
+        seed: u64,
+    ) -> SearchResult {
+        let eval = WorkloadEvaluator::new(workload, &self.config);
+        match self.focused_model(workload, 3, 5, ModelKind::Markov) {
+            Some(model) => focused::run(&self.space, &eval, budget, &model, seed),
+            None => random::run(&self.space, &eval, budget, seed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload() -> Workload {
+        ic_workloads::adpcm_scaled(256, 3)
+    }
+
+    fn compiler() -> IntelligentCompiler {
+        IntelligentCompiler::new(MachineConfig::vliw_c6713_like())
+    }
+
+    #[test]
+    fn evaluator_costs_are_consistent() {
+        let w = tiny_workload();
+        let cfg = MachineConfig::vliw_c6713_like();
+        let eval = WorkloadEvaluator::new(&w, &cfg);
+        let o0 = eval.evaluate(&[]);
+        let opt = eval.evaluate(&ic_passes::ofast_sequence());
+        assert!(o0.is_finite() && opt.is_finite());
+        assert!(opt < o0, "Ofast must beat O0 on adpcm: {opt} vs {o0}");
+        assert_eq!(o0, eval.baseline_cycles() as f64);
+    }
+
+    #[test]
+    fn characterization_populates_kb() {
+        let mut ic = compiler();
+        ic.characterize_architecture();
+        let w = tiny_workload();
+        let counters = ic.characterize_program(&w);
+        assert!(counters.get(ic_machine::Counter::TOT_INS) > 1000);
+        assert_eq!(ic.kb.archs.len(), 1);
+        assert_eq!(ic.kb.programs.len(), 1);
+    }
+
+    #[test]
+    fn populate_kb_records_experiments() {
+        let mut ic = compiler();
+        let w = tiny_workload();
+        ic.populate_kb(&w, 12, 42);
+        let exps = ic.kb.experiments_for("adpcm", &ic.config.name);
+        assert_eq!(exps.len(), 12);
+        assert!(exps.iter().any(|e| e.speedup > 1.0), "some sequence helps");
+        // Speedup consistency: cycles * speedup ≈ baseline for all.
+        let b0 = exps[0].cycles as f64 * exps[0].speedup;
+        for e in &exps {
+            let b = e.cycles as f64 * e.speedup;
+            assert!((b - b0).abs() / b0 < 0.01);
+        }
+    }
+
+    #[test]
+    fn one_shot_without_kb_falls_back_to_ofast() {
+        let ic = compiler();
+        let w = tiny_workload();
+        let (_m, seq) = ic.compile_one_shot(&w);
+        assert_eq!(seq, ic_passes::ofast_sequence());
+    }
+
+    #[test]
+    fn focused_model_uses_other_programs_only() {
+        let mut ic = compiler();
+        let crc = ic_workloads::by_name("crc32").unwrap();
+        let crc = ic_workloads::Workload {
+            source: ic_workloads::sources::crc32(256),
+            ..crc
+        };
+        ic.characterize_program(&crc);
+        ic.populate_kb(&crc, 8, 7);
+        let w = tiny_workload();
+        // The model exists because crc32 (a different program) has data.
+        assert!(ic
+            .focused_model(&w, 3, 4, ModelKind::Iid)
+            .is_some());
+        // But with only the target program in the KB, no model.
+        let mut ic2 = compiler();
+        ic2.characterize_program(&w);
+        ic2.populate_kb(&w, 4, 7);
+        assert!(ic2.focused_model(&w, 3, 4, ModelKind::Iid).is_none());
+    }
+
+    #[test]
+    fn iterative_improves_with_budget() {
+        let ic = compiler();
+        let w = tiny_workload();
+        let small = ic.compile_iterative(&w, 4, 11);
+        let large = ic.compile_iterative(&w, 16, 11);
+        assert!(large.best_cost <= small.best_cost);
+        assert_eq!(large.evaluations(), 16);
+    }
+}

@@ -1,0 +1,410 @@
+//! Dynamic optimization and runtime monitoring (Sec. III-D).
+//!
+//! The paper proposes linking a *runtime monitoring component* into the
+//! binary that (a) characterizes execution continuously, (b) detects
+//! phases of stable behaviour, and (c) during stable phases empirically
+//! audits alternative compiled versions of the hot code, keeping the
+//! winner (Lau et al.'s *performance auditing*, the paper's reference
+//! \[37\]; Fursin et al.'s phase-based evaluation, reference \[36\]).
+//!
+//! Here the hot code is a kernel invoked repeatedly (a server-loop
+//! model); each invocation runs one compiled version on the simulator
+//! and feeds its counters to the monitor.
+
+use ic_machine::{simulate, Counter, MachineConfig, Memory, PerfCounters};
+use ic_passes::{apply_sequence, Opt};
+use ic_workloads::Workload;
+
+/// A compiled code version the optimizer can dispatch to.
+pub struct Version {
+    pub name: String,
+    pub module: ic_ir::Module,
+}
+
+/// Build versions of a workload from named sequences.
+pub fn build_versions(workload: &Workload, seqs: &[(&str, Vec<Opt>)]) -> Vec<Version> {
+    seqs.iter()
+        .map(|(name, seq)| {
+            let mut m = workload.compile();
+            apply_sequence(&mut m, seq);
+            Version {
+                name: name.to_string(),
+                module: m,
+            }
+        })
+        .collect()
+}
+
+/// The runtime monitor: keeps the previous invocation's behaviour vector
+/// and flags phase changes.
+#[derive(Debug, Clone)]
+pub struct RuntimeMonitor {
+    last: Option<Vec<f64>>,
+    /// Relative distance above which a phase change is declared.
+    pub threshold: f64,
+}
+
+impl RuntimeMonitor {
+    /// Monitor with a phase-change threshold (relative L2 distance).
+    pub fn new(threshold: f64) -> Self {
+        RuntimeMonitor {
+            last: None,
+            threshold,
+        }
+    }
+
+    /// Behaviour signature: IPC, L1 miss rate, L2 miss rate, branch miss
+    /// rate — the stable-phase detectors of Fursin et al.
+    pub fn signature(c: &PerfCounters) -> Vec<f64> {
+        vec![
+            c.ipc(),
+            c.per_instruction(Counter::L1_TCM),
+            c.per_instruction(Counter::L2_TCM),
+            c.per_instruction(Counter::BR_MSP),
+        ]
+    }
+
+    /// Feed one invocation's counters; returns true on a phase change.
+    ///
+    /// Change metric: the largest per-dimension *relative* change. A
+    /// pooled norm would let the IPC term drown out a 10x jump in a
+    /// small miss rate — but that jump is exactly what distinguishes a
+    /// memory phase from a compute phase.
+    pub fn observe(&mut self, c: &PerfCounters) -> bool {
+        let sig = Self::signature(c);
+        let changed = match &self.last {
+            None => true,
+            Some(prev) => prev
+                .iter()
+                .zip(&sig)
+                .map(|(a, b)| {
+                    let scale = a.abs().max(b.abs());
+                    if scale < 1e-4 {
+                        // Both negligible: not a meaningful dimension.
+                        0.0
+                    } else {
+                        (a - b).abs() / scale
+                    }
+                })
+                .fold(0.0f64, f64::max)
+                > self.threshold,
+        };
+        self.last = Some(sig);
+        changed
+    }
+}
+
+/// What the dispatcher is doing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Mode {
+    /// Auditing: trying version `next` this invocation.
+    Auditing { next: usize, best: Option<(usize, u64)> },
+    /// Steady: dispatching to the audited winner. `fresh` marks the first
+    /// steady invocation, whose observation only (re)establishes the
+    /// monitor baseline — different *versions* legitimately have
+    /// different signatures, and comparing the winner against the last
+    /// audited version would re-trigger forever.
+    Steady { winner: usize, fresh: bool },
+}
+
+/// One invocation's outcome.
+#[derive(Debug, Clone)]
+pub struct InvokeOutcome {
+    pub version: String,
+    pub cycles: u64,
+    pub phase_change: bool,
+    pub auditing: bool,
+    pub ret: Option<i64>,
+}
+
+/// The dynamic optimizer: dispatches invocations across versions,
+/// auditing after every detected phase change.
+pub struct DynamicOptimizer {
+    pub versions: Vec<Version>,
+    config: MachineConfig,
+    monitor: RuntimeMonitor,
+    mode: Mode,
+    fuel: u64,
+}
+
+impl DynamicOptimizer {
+    /// Create an optimizer over `versions` (at least one) with the
+    /// default phase-change threshold of 0.25.
+    pub fn new(versions: Vec<Version>, config: MachineConfig, fuel: u64) -> Self {
+        Self::with_threshold(versions, config, fuel, 0.25)
+    }
+
+    /// Like [`DynamicOptimizer::new`] with an explicit phase-change
+    /// threshold (the DESIGN.md §5 ablation knob: too low re-audits on
+    /// noise, too high misses real phase shifts).
+    pub fn with_threshold(
+        versions: Vec<Version>,
+        config: MachineConfig,
+        fuel: u64,
+        threshold: f64,
+    ) -> Self {
+        assert!(!versions.is_empty());
+        DynamicOptimizer {
+            versions,
+            config,
+            monitor: RuntimeMonitor::new(threshold),
+            mode: Mode::Auditing {
+                next: 0,
+                best: None,
+            },
+            fuel,
+        }
+    }
+
+    /// Index of the version currently preferred.
+    pub fn current_choice(&self) -> usize {
+        match self.mode {
+            Mode::Auditing { next, best } => best.map(|(i, _)| i).unwrap_or(next),
+            Mode::Steady { winner, .. } => winner,
+        }
+    }
+
+    /// Run one invocation. `setup` initializes the fresh memory image for
+    /// the dispatched module (e.g. writes the phase-dependent input).
+    pub fn invoke(&mut self, setup: &dyn Fn(&ic_ir::Module, &mut Memory)) -> InvokeOutcome {
+        let (vi, auditing) = match self.mode {
+            Mode::Auditing { next, .. } => (next, true),
+            Mode::Steady { winner, .. } => (winner, false),
+        };
+        let module = &self.versions[vi].module;
+        let mut mem = Memory::for_module(module);
+        setup(module, &mut mem);
+        let r = simulate(module, &self.config, mem, self.fuel).expect("kernel invocation");
+        let cycles = r.cycles();
+        let raw_change = self.monitor.observe(&r.counters);
+
+        let mut phase_change = false;
+        self.mode = match self.mode {
+            Mode::Auditing { next, best } => {
+                let best = match best {
+                    Some((bi, bc)) if bc <= cycles => Some((bi, bc)),
+                    _ => Some((vi, cycles)),
+                };
+                if next + 1 < self.versions.len() {
+                    Mode::Auditing {
+                        next: next + 1,
+                        best,
+                    }
+                } else {
+                    Mode::Steady {
+                        winner: best.expect("audited at least one").0,
+                        fresh: true,
+                    }
+                }
+            }
+            Mode::Steady { winner, fresh } => {
+                if fresh {
+                    // Baseline re-established with the winner's signature.
+                    Mode::Steady {
+                        winner,
+                        fresh: false,
+                    }
+                } else if raw_change {
+                    phase_change = true;
+                    // Re-audit from scratch on a phase change.
+                    Mode::Auditing {
+                        next: 0,
+                        best: None,
+                    }
+                } else {
+                    Mode::Steady {
+                        winner,
+                        fresh: false,
+                    }
+                }
+            }
+        };
+
+        InvokeOutcome {
+            version: self.versions[vi].name.clone(),
+            cycles,
+            phase_change,
+            auditing,
+            ret: r.ret.map(|v| v as i64),
+        }
+    }
+}
+
+/// A phased kernel for experiments: `phase[0] = 0` runs an ALU-bound
+/// mixing sweep (independent per-element chains — unroll/schedule
+/// country), `phase[0] = 1` a dependent pointer chase over a `ptr` array
+/// (pointer-compression country). The two phases have different best
+/// compiled versions, which is the premise of Sec. III-D.
+pub fn phased_workload(n: usize) -> Workload {
+    let source = format!(
+        "int phase[1];
+        int data[{n}];
+        ptr next_idx[{n}];
+
+        int main() {{
+            int x = 88172645;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                x = (x * 1103515245 + 12345) % 2147483648;
+                data[i] = x & 65535;
+                next_idx[i] = (i * 97 + 31) % {n};
+            }}
+            int total = 0;
+            if (phase[0] == 0) {{
+                for (int r = 0; r < 8; r = r + 1) {{
+                    for (int i = 0; i < {n}; i = i + 1) {{
+                        int v = data[i];
+                        v = (v * 31 + 7) & 65535;
+                        v = (v ^ (v >> 3)) + 11;
+                        v = (v * 17 + 3) & 65535;
+                        v = (v ^ (v >> 5)) + 13;
+                        v = (v * 13 + 9) & 65535;
+                        total = (total + v) & 1073741823;
+                    }}
+                }}
+            }} else {{
+                int p = 0;
+                for (int i = 0; i < {n} * 8; i = i + 1) {{
+                    total = (total + p) & 1073741823;
+                    p = next_idx[p];
+                }}
+            }}
+            if (total == 0) total = 1;
+            return total;
+        }}"
+    );
+    Workload {
+        name: "phased".into(),
+        kind: ic_workloads::Kind::PointerChasing,
+        source,
+        fuel: 60_000_000 + n as u64 * 4_000,
+    }
+}
+
+/// The version palette used by the dynamic-optimization experiment.
+pub fn default_versions(workload: &Workload) -> Vec<Version> {
+    build_versions(
+        workload,
+        &[
+            ("O0", vec![]),
+            (
+                "alu-tuned",
+                vec![
+                    Opt::Inline,
+                    Opt::ConstProp,
+                    Opt::StrengthRed,
+                    Opt::Peephole,
+                    Opt::Unroll4,
+                    Opt::Dce,
+                    Opt::Schedule,
+                ],
+            ),
+            (
+                "cache-tuned",
+                vec![Opt::PtrCompress, Opt::Licm, Opt::Cse, Opt::Dce, Opt::Schedule],
+            ),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_phase(phase: i64) -> impl Fn(&ic_ir::Module, &mut Memory) {
+        move |module, mem| {
+            let arr = module.array_by_name("phase").expect("phase array");
+            mem.set_i64(arr, 0, phase);
+        }
+    }
+
+    #[test]
+    fn monitor_detects_change() {
+        let mut mon = RuntimeMonitor::new(0.25);
+        let mut fast = PerfCounters::new();
+        fast.set(Counter::TOT_INS, 1000);
+        fast.set(Counter::TOT_CYC, 500);
+        let mut slow = PerfCounters::new();
+        slow.set(Counter::TOT_INS, 1000);
+        slow.set(Counter::TOT_CYC, 5000);
+        slow.set(Counter::L1_TCM, 300);
+        assert!(mon.observe(&fast), "first observation is always a change");
+        assert!(!mon.observe(&fast), "stable phase");
+        assert!(mon.observe(&slow), "behaviour shifted");
+        assert!(!mon.observe(&slow));
+    }
+
+    #[test]
+    fn audits_then_settles_on_winner() {
+        let w = phased_workload(512);
+        let versions = default_versions(&w);
+        let nv = versions.len();
+        let mut dyno = DynamicOptimizer::new(versions, MachineConfig::superscalar_amd_like(), w.fuel);
+        let mut outcomes = Vec::new();
+        for _ in 0..nv + 3 {
+            outcomes.push(dyno.invoke(&set_phase(0)));
+        }
+        // First nv invocations audit, the rest are steady.
+        assert!(outcomes[..nv].iter().all(|o| o.auditing));
+        assert!(outcomes[nv..].iter().all(|o| !o.auditing));
+        // Steady choice is the audited minimum.
+        let audit_best = outcomes[..nv]
+            .iter()
+            .min_by_key(|o| o.cycles)
+            .unwrap()
+            .version
+            .clone();
+        assert_eq!(outcomes[nv].version, audit_best);
+        // Results identical across versions (correctness).
+        let r0 = outcomes[0].ret;
+        assert!(outcomes.iter().all(|o| o.ret == r0));
+    }
+
+    #[test]
+    fn phase_change_triggers_reaudit() {
+        // Large enough that the pointer-chase phase actually misses the
+        // caches and looks different from the ALU phase.
+        let w = phased_workload(16384);
+        let versions = default_versions(&w);
+        let nv = versions.len();
+        let mut dyno = DynamicOptimizer::new(versions, MachineConfig::superscalar_amd_like(), w.fuel);
+        for _ in 0..nv + 2 {
+            dyno.invoke(&set_phase(0));
+        }
+        // Switch the input phase: the monitor must notice and re-audit.
+        let o = dyno.invoke(&set_phase(1));
+        assert!(o.phase_change, "pointer-chase phase looks different");
+        let o2 = dyno.invoke(&set_phase(1));
+        assert!(o2.auditing, "re-audit started");
+    }
+
+    #[test]
+    fn dynamic_beats_worst_static_choice() {
+        // Total cycles with the dynamic optimizer across a phase shift
+        // must beat always running the worst single version.
+        let w = phased_workload(512);
+        let cfg = MachineConfig::superscalar_amd_like();
+        let versions = default_versions(&w);
+        let names: Vec<String> = versions.iter().map(|v| v.name.clone()).collect();
+        let schedule: Vec<i64> = [vec![0i64; 8], vec![1i64; 8]].concat();
+
+        // Static totals.
+        let mut static_total = vec![0u64; names.len()];
+        for (vi, v) in versions.iter().enumerate() {
+            for &ph in &schedule {
+                let mut mem = Memory::for_module(&v.module);
+                set_phase(ph)(&v.module, &mut mem);
+                static_total[vi] += simulate(&v.module, &cfg, mem, w.fuel).unwrap().cycles();
+            }
+        }
+
+        let mut dyno = DynamicOptimizer::new(default_versions(&w), cfg, w.fuel);
+        let dyn_total: u64 = schedule.iter().map(|&ph| dyno.invoke(&set_phase(ph)).cycles).sum();
+
+        let worst = *static_total.iter().max().unwrap();
+        assert!(
+            dyn_total < worst,
+            "dynamic {dyn_total} must beat worst static {worst} ({:?})",
+            names
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # ic-core — the intelligent compiler
+//!
+//! The paper's primary contribution (Fig. 1): a compiler that replaces
+//! hand-tuned heuristics with learned ones. This crate wires the
+//! substrates together:
+//!
+//! * [`controller`] — the **intelligent optimization controller**
+//!   (Sec. III-A): one-shot model-predicted compilation and iterative
+//!   model-focused search, both backed by the knowledge base;
+//! * [`models`] — **performance prediction models** (Sec. III-C): the
+//!   feature-similarity reaction model that drives focused search, and
+//!   the counter-based **PCModel** (Sec. III-B, Fig. 4);
+//! * [`methodology`] — the six-step supervised-learning methodology of
+//!   Sec. II as an executable API (phrase → features → instances → train
+//!   → integrate → evaluate, with leave-one-benchmark-out CV);
+//! * [`dynamic`] — **dynamic optimization** (Sec. III-D): runtime
+//!   monitoring, phase detection, and Lau-style performance auditing
+//!   over code versions;
+//! * [`multicore`] — **multicore optimization decisions** (Sec. III-G):
+//!   learned thread-count/partitioning selection on the shared-L2
+//!   multicore simulator.
+//!
+//! The paper's Fig. 1, as realized by this workspace:
+//!
+//! ```text
+//!  MinC source ──ic-lang──▶ IR ──ic-features──▶ static characterization ─┐
+//!        │                                                               │
+//!        │   ┌────────────────────────────────────────────┐             ▼
+//!        │   │ performance prediction models (ic-core)    │◀── knowledge base
+//!        │   │  · focused sequence model (Agakov-style)   │      (ic-kb, JSON)
+//!        │   │  · PCModel (counter-driven, kNN)           │         ▲
+//!        │   │  · tournament decision function            │         │
+//!        │   └──────────────┬─────────────────────────────┘         │
+//!        ▼                  ▼ predicted sequences / regions         │
+//!  ┌───────────────────────────────────────┐                        │
+//!  │ intelligent optimization controller   │── one-shot ──▶ binary  │
+//!  │ (ic-core::controller + ic-search)     │── iterative ─▶ binary  │
+//!  └───────────────────────────────────────┘       │                │
+//!        │ optimization sequences (ic-passes)      ▼                │
+//!        ▼                                   simulated machine ─────┘
+//!  dynamic optimization module (ic-core::dynamic)  (ic-machine:      counters,
+//!   · runtime monitor · phase detection             cycles, microbenchmarks)
+//!   · performance auditing over versions
+//! ```
+
+pub mod controller;
+pub mod dynamic;
+pub mod methodology;
+pub mod models;
+pub mod multicore;
+pub mod tournament;
+
+pub use controller::IntelligentCompiler;

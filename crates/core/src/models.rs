@@ -1,0 +1,198 @@
+//! Performance prediction models (Sec. III-C), including the
+//! counter-based **PCModel** of Fig. 4.
+//!
+//! PCModel is trained exactly as the paper describes: run each *training*
+//! program once at -O0 to collect its performance-counter vector, find
+//! the best optimization setting for it empirically, then predict the
+//! setting for a *new* program from its counters alone via
+//! nearest-neighbour in counter space (Cavazos et al., CGO'07 — the
+//! paper's reference \[3\]).
+
+use ic_machine::{simulate_default, MachineConfig, PerfCounters};
+use ic_ml::knn::KNearestNeighbors;
+use ic_ml::Classifier;
+use ic_passes::Opt;
+use ic_workloads::Workload;
+use rayon::prelude::*;
+
+use crate::controller::WorkloadEvaluator;
+
+/// The candidate "optimization settings" PCModel chooses among — a small
+/// palette of pipelines with distinct characters (the analogue of a real
+/// compiler's flag settings).
+pub fn candidate_sequences() -> Vec<(String, Vec<Opt>)> {
+    use Opt::*;
+    vec![
+        ("O0".into(), vec![]),
+        ("Ofast".into(), ic_passes::ofast_sequence()),
+        (
+            "cache".into(),
+            // The memory-focused setting: pointer compression first, then
+            // the scalar cleanups that do not bloat the footprint.
+            vec![PtrCompress, Licm, Cse, CopyProp, Dce, Schedule],
+        ),
+        (
+            "cache+unroll".into(),
+            vec![PtrCompress, Licm, Cse, Unroll2, Dce, Schedule],
+        ),
+        (
+            "alu".into(),
+            vec![Inline, ConstProp, ConstFold, StrengthRed, Peephole, Dce, Schedule],
+        ),
+        (
+            "loops".into(),
+            vec![Licm, Unroll8, Cse, Dce, SimplifyCfg, Schedule],
+        ),
+        (
+            "size".into(),
+            vec![ConstProp, ConstFold, CopyProp, Dce, SimplifyCfg],
+        ),
+    ]
+}
+
+/// A training example: one program's counters and its best setting.
+#[derive(Debug, Clone)]
+pub struct PcTrainRow {
+    pub program: String,
+    pub features: Vec<f64>,
+    pub best_candidate: usize,
+    pub best_speedup: f64,
+}
+
+/// The counter-driven model.
+pub struct PcModel {
+    pub candidates: Vec<(String, Vec<Opt>)>,
+    knn: KNearestNeighbors,
+    pub rows: Vec<PcTrainRow>,
+}
+
+/// Counter feature vector used by PCModel (per-instruction rates).
+pub fn counter_features(c: &PerfCounters) -> Vec<f64> {
+    ic_features::dynamic_features(c)
+}
+
+/// Measure one program: -O0 counters + empirically best candidate.
+pub fn measure_program(w: &Workload, config: &MachineConfig) -> PcTrainRow {
+    let module = w.compile();
+    let o0 = simulate_default(&module, config, w.fuel).expect("O0 run");
+    let eval = WorkloadEvaluator::new(w, config);
+    let base = o0.cycles() as f64;
+    let cands = candidate_sequences();
+    let (best_candidate, best_cycles) = cands
+        .iter()
+        .enumerate()
+        .map(|(i, (_, seq))| (i, ic_search::Evaluator::evaluate(&eval, seq)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("non-empty candidates");
+    PcTrainRow {
+        program: w.name.clone(),
+        features: counter_features(&o0.counters),
+        best_candidate,
+        best_speedup: base / best_cycles,
+    }
+}
+
+impl PcModel {
+    /// Train on `programs`, excluding any named in `exclude` (the paper's
+    /// leave-one-benchmark-out protocol: Fig. 4 predicts mcf with a model
+    /// that never saw mcf).
+    pub fn train(programs: &[Workload], config: &MachineConfig, exclude: &[&str]) -> Self {
+        let rows: Vec<PcTrainRow> = programs
+            .par_iter()
+            .filter(|w| !exclude.contains(&w.name.as_str()))
+            .map(|w| measure_program(w, config))
+            .collect();
+        let x: Vec<Vec<f64>> = rows.iter().map(|r| r.features.clone()).collect();
+        let y: Vec<usize> = rows.iter().map(|r| r.best_candidate).collect();
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y, candidate_sequences().len());
+        PcModel {
+            candidates: candidate_sequences(),
+            knn,
+            rows,
+        }
+    }
+
+    /// Predict the optimization setting for a new program from its -O0
+    /// counters. Returns `(name, sequence)`.
+    pub fn predict(&self, counters: &PerfCounters) -> (&str, &[Opt]) {
+        let i = self.knn.predict(&counter_features(counters));
+        let (name, seq) = &self.candidates[i];
+        (name, seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_suite() -> Vec<Workload> {
+        // Scaled-down versions for test speed, spanning ALU / memory /
+        // pointer behaviours.
+        vec![
+            ic_workloads::adpcm_scaled(256, 3),
+            ic_workloads::mcf_scaled(512, 2048, 2, 5),
+            ic_workloads::Workload {
+                name: "crc32".into(),
+                kind: ic_workloads::Kind::AluBound,
+                source: ic_workloads::sources::crc32(256),
+                fuel: 5_000_000,
+            },
+            ic_workloads::Workload {
+                name: "spmv".into(),
+                kind: ic_workloads::Kind::PointerChasing,
+                source: ic_workloads::sources::spmv(256, 4, 3),
+                fuel: 5_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn candidates_include_distinct_settings() {
+        let c = candidate_sequences();
+        assert!(c.len() >= 5);
+        let cache = c.iter().find(|(n, _)| n == "cache").unwrap();
+        assert!(cache.1.contains(&Opt::PtrCompress));
+        let alu = c.iter().find(|(n, _)| n == "alu").unwrap();
+        assert!(!alu.1.contains(&Opt::PtrCompress));
+    }
+
+    #[test]
+    fn measurement_finds_real_speedups() {
+        let cfg = MachineConfig::superscalar_amd_like();
+        let row = measure_program(&ic_workloads::adpcm_scaled(256, 3), &cfg);
+        assert!(row.best_speedup >= 1.0);
+        assert!(row.features.iter().all(|f| f.is_finite()));
+    }
+
+    #[test]
+    fn leave_one_out_training_excludes_target() {
+        let cfg = MachineConfig::superscalar_amd_like();
+        let suite = small_suite();
+        let model = PcModel::train(&suite, &cfg, &["mcf"]);
+        assert!(model.rows.iter().all(|r| r.program != "mcf"));
+        assert_eq!(model.rows.len(), suite.len() - 1);
+    }
+
+    #[test]
+    fn predicts_memory_setting_for_pointer_chaser() {
+        // Train without mcf; the model should map mcf's memory-heavy
+        // counter signature to a cache-oriented setting because spmv (its
+        // nearest neighbour in counter space) prefers one.
+        let cfg = MachineConfig::superscalar_amd_like();
+        let suite = small_suite();
+        let model = PcModel::train(&suite, &cfg, &["mcf"]);
+        let mcf = ic_workloads::mcf_scaled(512, 2048, 2, 5);
+        let module = mcf.compile();
+        let o0 = simulate_default(&module, &cfg, mcf.fuel).unwrap();
+        let (name, seq) = model.predict(&o0.counters);
+        // Whatever setting it picks must actually help mcf at least a bit.
+        let eval = WorkloadEvaluator::new(&mcf, &cfg);
+        let cycles = ic_search::Evaluator::evaluate(&eval, seq);
+        let base = eval.baseline_cycles() as f64;
+        assert!(
+            cycles < base,
+            "predicted setting {name} must improve mcf: {cycles} vs {base}"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Multicore optimization decisions (Sec. III-G): choosing the number of
+//! cores and the partitioning for a data-parallel kernel with a learned
+//! model instead of a fixed policy.
+//!
+//! The decision problem: given a parallel reduction kernel described by
+//! its element count and per-element reuse, pick the core count from a
+//! menu. More cores cut work per core but add barrier overhead and
+//! shared-L2 contention, so the best choice depends on the workload —
+//! which is exactly what makes it a learning problem.
+
+use ic_machine::multicore::run_parallel;
+use ic_machine::{MachineConfig, Memory};
+use ic_ml::knn::KNearestNeighbors;
+use ic_ml::Classifier;
+
+/// The core-count menu.
+pub const CORE_MENU: [usize; 4] = [1, 2, 4, 8];
+
+/// A parallel-reduction kernel family: sweep `passes` times over `n`
+/// elements doing `work_per_elem` ALU rounds each.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelJob {
+    pub n: usize,
+    pub passes: usize,
+    pub work_per_elem: usize,
+}
+
+impl ParallelJob {
+    /// Features the tuner learns from. The dominant signal is the total
+    /// work estimate (elements x passes x per-element cost), which is
+    /// what the barrier overhead trades off against.
+    pub fn features(&self) -> Vec<f64> {
+        let total_work = self.n as f64 * self.passes as f64 * (self.work_per_elem as f64 + 2.0);
+        vec![
+            total_work.log2(),
+            (self.n as f64).log2(),
+            self.work_per_elem as f64,
+        ]
+    }
+
+    /// MinC source for one core's partition (reads `params`: lo, hi).
+    fn source(&self) -> String {
+        format!(
+            "int params[2];
+            int work[{n}];
+            int main() {{
+                int lo = params[0];
+                int hi = params[1];
+                int x = 123456789;
+                for (int i = lo; i < hi; i = i + 1) {{
+                    x = (x * 1103515245 + 12345) % 2147483648;
+                    work[i] = x % 1000;
+                }}
+                int total = 0;
+                for (int p = 0; p < {passes}; p = p + 1) {{
+                    for (int i = lo; i < hi; i = i + 1) {{
+                        int v = work[i];
+                        for (int k = 0; k < {wpe}; k = k + 1) {{
+                            v = (v * 31 + k) % 100003;
+                        }}
+                        total = (total + v) % 1000000007;
+                    }}
+                }}
+                if (total == 0) total = 1;
+                return total;
+            }}",
+            n = self.n,
+            passes = self.passes,
+            wpe = self.work_per_elem,
+        )
+    }
+
+    /// Measure the makespan of running this job on `cores` cores.
+    pub fn measure(&self, config: &MachineConfig, cores: usize) -> u64 {
+        let module = ic_lang::compile("pjob", &self.source()).expect("pjob compiles");
+        let params = module.array_by_name("params").expect("params");
+        let chunk = self.n / cores;
+        let mems: Vec<Memory> = (0..cores)
+            .map(|c| {
+                let mut mem = Memory::for_module(&module);
+                let lo = (c * chunk) as i64;
+                let hi = if c == cores - 1 { self.n } else { (c + 1) * chunk } as i64;
+                mem.set_i64(params, 0, lo);
+                mem.set_i64(params, 1, hi);
+                mem
+            })
+            .collect();
+        let fuel = 50_000_000 + (self.n * self.passes * (self.work_per_elem + 4)) as u64 * 8;
+        run_parallel(&module, config, mems, fuel, 512)
+            .expect("parallel run")
+            .makespan
+    }
+
+    /// Empirically best core count (index into [`CORE_MENU`]).
+    pub fn best_core_index(&self, config: &MachineConfig) -> usize {
+        CORE_MENU
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i, self.measure(config, c)))
+            .min_by_key(|&(_, m)| m)
+            .map(|(i, _)| i)
+            .expect("non-empty menu")
+    }
+}
+
+/// The learned thread-count selector.
+pub struct MulticoreTuner {
+    model: KNearestNeighbors,
+}
+
+impl MulticoreTuner {
+    /// Train on measured jobs (`(job, best core index)` pairs).
+    pub fn train(rows: &[(ParallelJob, usize)]) -> Self {
+        let x: Vec<Vec<f64>> = rows.iter().map(|(j, _)| j.features()).collect();
+        let y: Vec<usize> = rows.iter().map(|(_, b)| *b).collect();
+        let mut model = KNearestNeighbors::new(3.min(rows.len()));
+        model.fit(&x, &y, CORE_MENU.len());
+        MulticoreTuner { model }
+    }
+
+    /// Predict the core count for a new job.
+    pub fn predict(&self, job: &ParallelJob) -> usize {
+        CORE_MENU[self.model.predict(&job.features())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::multicore_amd_like(8)
+    }
+
+    #[test]
+    fn big_jobs_prefer_more_cores_than_tiny_jobs() {
+        let tiny = ParallelJob {
+            n: 16,
+            passes: 1,
+            work_per_elem: 1,
+        };
+        let big = ParallelJob {
+            n: 8192,
+            passes: 2,
+            work_per_elem: 8,
+        };
+        let c = cfg();
+        let tiny_best = CORE_MENU[tiny.best_core_index(&c)];
+        let big_best = CORE_MENU[big.best_core_index(&c)];
+        assert!(
+            big_best > tiny_best,
+            "big {big_best} vs tiny {tiny_best}: parallelism must pay off only at scale"
+        );
+        assert!(
+            tiny_best < 8,
+            "per-core barrier cost must cap a tiny job's useful core count"
+        );
+    }
+
+    #[test]
+    fn makespan_scales_down_with_cores_on_big_job() {
+        let job = ParallelJob {
+            n: 8192,
+            passes: 2,
+            work_per_elem: 8,
+        };
+        let c = cfg();
+        let m1 = job.measure(&c, 1);
+        let m4 = job.measure(&c, 4);
+        assert!(m4 * 2 < m1, "4 cores should at least halve: {m4} vs {m1}");
+    }
+
+    #[test]
+    fn tuner_generalizes_monotone_structure() {
+        // Train on measured small/large jobs, predict held-out sizes.
+        let c = cfg();
+        let train_jobs = [
+            ParallelJob { n: 64, passes: 1, work_per_elem: 1 },
+            ParallelJob { n: 256, passes: 1, work_per_elem: 2 },
+            ParallelJob { n: 4096, passes: 2, work_per_elem: 8 },
+            ParallelJob { n: 8192, passes: 2, work_per_elem: 8 },
+        ];
+        let rows: Vec<(ParallelJob, usize)> = train_jobs
+            .iter()
+            .map(|j| (*j, j.best_core_index(&c)))
+            .collect();
+        let tuner = MulticoreTuner::train(&rows);
+        let small_pred = tuner.predict(&ParallelJob { n: 96, passes: 1, work_per_elem: 1 });
+        let large_pred = tuner.predict(&ParallelJob { n: 6144, passes: 2, work_per_elem: 8 });
+        assert!(large_pred >= small_pred);
+        assert!(large_pred >= 4, "large jobs should get real parallelism");
+    }
+}

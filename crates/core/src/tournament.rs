@@ -1,0 +1,344 @@
+//! Tournament phase ordering — the paper's Section II worked example,
+//! executable:
+//!
+//! > "Given certain optimizations already applied and two possible
+//! > optimizations to apply next, choose which of the two to perform.
+//! > This decision function can be used to run a tournament among three
+//! > or more optimizations ... One can iterate this process until some
+//! > fixed number of optimizations have been applied or until the
+//! > characteristics of the code reaches a state where the learning
+//! > algorithm predicts that no further optimizations should be applied."
+//!
+//! The decision function is a two-class classifier over (program state
+//! features, contender A, contender B). A special STOP contender lets the
+//! model end compilation early, exactly as the quote prescribes.
+
+use crate::methodology::instance_feature_names;
+use ic_features::combined_features;
+use ic_machine::{simulate_default, MachineConfig};
+use ic_ml::Classifier;
+use ic_passes::{apply_sequence, Opt};
+use ic_workloads::Workload;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// A contender in the tournament: an optimization, or stopping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contender {
+    Apply(Opt),
+    Stop,
+}
+
+impl Contender {
+    fn onehot(self) -> Vec<f64> {
+        let mut v = vec![0.0; Opt::ALL.len() + 1];
+        match self {
+            Contender::Apply(o) => {
+                let i = Opt::ALL.iter().position(|x| *x == o).expect("registered");
+                v[i] = 1.0;
+            }
+            Contender::Stop => v[Opt::ALL.len()] = 1.0,
+        }
+        v
+    }
+}
+
+/// Cycles after appending `c` to the current module state.
+fn outcome(
+    module: &ic_ir::Module,
+    c: Contender,
+    config: &MachineConfig,
+    fuel: u64,
+) -> Option<f64> {
+    let mut m = module.clone();
+    if let Contender::Apply(o) = c {
+        apply_sequence(&mut m, &[o]);
+    }
+    simulate_default(&m, config, fuel).ok().map(|r| r.cycles() as f64)
+}
+
+fn prefix_counts(prefix: &[Opt]) -> Vec<f64> {
+    Opt::ALL
+        .iter()
+        .map(|o| prefix.iter().filter(|p| *p == o).count() as f64)
+        .collect()
+}
+
+fn times_applied(prefix: &[Opt], c: Contender) -> f64 {
+    match c {
+        Contender::Apply(o) => prefix.iter().filter(|p| **p == o).count() as f64,
+        Contender::Stop => 0.0,
+    }
+}
+
+fn decision_features(
+    module: &ic_ir::Module,
+    counters: &ic_machine::PerfCounters,
+    prefix: &[Opt],
+    a: Contender,
+    b: Contender,
+) -> Vec<f64> {
+    let mut f = combined_features(module, counters);
+    f.extend(prefix_counts(prefix));
+    f.extend(a.onehot());
+    f.extend(b.onehot());
+    // The decisive signals, exposed as single splittable features: how
+    // often each contender was already applied (re-application of most
+    // passes stops paying immediately).
+    f.push(times_applied(prefix, a));
+    f.push(times_applied(prefix, b));
+    f
+}
+
+/// The trained tournament: a pairwise decision function plus the
+/// contender pool.
+pub struct TournamentCompiler {
+    model: Box<dyn Classifier>,
+    pub pool: Vec<Opt>,
+    pub max_len: usize,
+}
+
+/// Names of the decision-function feature vector.
+pub fn decision_feature_names() -> Vec<String> {
+    let mut names = instance_feature_names();
+    for o in Opt::ALL {
+        names.push(format!("contender_a_{}", o.name()));
+    }
+    names.push("contender_a_stop".into());
+    for o in Opt::ALL {
+        names.push(format!("contender_b_{}", o.name()));
+    }
+    names.push("contender_b_stop".into());
+    names.push("a_times_applied".into());
+    names.push("b_times_applied".into());
+    names
+}
+
+impl TournamentCompiler {
+    /// Generate pairwise training instances and fit the decision function.
+    ///
+    /// For each workload: sample `states_per_program` random already-
+    /// applied prefixes; at each state, sample `pairs_per_state` contender
+    /// pairs, measure both continuations on the simulator, and label which
+    /// won (ties break toward STOP / the cheaper contender).
+    pub fn train(
+        workloads: &[Workload],
+        config: &MachineConfig,
+        pool: Vec<Opt>,
+        states_per_program: usize,
+        pairs_per_state: usize,
+        seed: u64,
+    ) -> Self {
+        let contenders: Vec<Contender> = pool
+            .iter()
+            .map(|&o| Contender::Apply(o))
+            .chain([Contender::Stop])
+            .collect();
+
+        let instances: Vec<(Vec<f64>, usize)> = workloads
+            .par_iter()
+            .enumerate()
+            .flat_map(|(wi, w)| {
+                let mut rng = SmallRng::seed_from_u64(seed ^ (wi as u64).wrapping_mul(0xABCD));
+                let base = w.compile();
+                let mut out = Vec::new();
+                for _ in 0..states_per_program {
+                    // Half the states repeat a single optimization, so the
+                    // model sees that re-applying an already-applied pass
+                    // stops paying — without that, "licm always wins" is
+                    // the (wrong) lesson the pairwise data teaches.
+                    let prefix: Vec<Opt> = if rng.gen_bool(0.5) {
+                        let f = pool[rng.gen_range(0..pool.len())];
+                        vec![f; rng.gen_range(1..=2)]
+                    } else {
+                        let plen = rng.gen_range(0..=3usize);
+                        (0..plen).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+                    };
+                    let mut state = base.clone();
+                    apply_sequence(&mut state, &prefix);
+                    let Ok(profile) = simulate_default(&state, config, w.fuel) else {
+                        continue;
+                    };
+                    for _ in 0..pairs_per_state {
+                        let a = contenders[rng.gen_range(0..contenders.len())];
+                        let b = contenders[rng.gen_range(0..contenders.len())];
+                        if a == b {
+                            continue;
+                        }
+                        let (Some(ca), Some(cb)) = (
+                            outcome(&state, a, config, w.fuel),
+                            outcome(&state, b, config, w.fuel),
+                        ) else {
+                            continue;
+                        };
+                        // Label 1 iff A wins strictly (B keeps ties, which
+                        // biases toward STOP when nothing helps since STOP
+                        // costs the same as a no-op contender).
+                        let label = (ca < cb) as usize;
+                        out.push((
+                            decision_features(&state, &profile.counters, &prefix, a, b),
+                            label,
+                        ));
+                        // Mirror instance: teaches antisymmetry.
+                        out.push((
+                            decision_features(&state, &profile.counters, &prefix, b, a),
+                            (cb < ca) as usize,
+                        ));
+                    }
+                }
+                out
+            })
+            .collect();
+
+        let x: Vec<Vec<f64>> = instances.iter().map(|(f, _)| f.clone()).collect();
+        let y: Vec<usize> = instances.iter().map(|(_, l)| *l).collect();
+        let mut model = ic_ml::forest::RandomForest::new(30, 8, seed ^ 0xF0F0);
+        model.fit(&x, &y, 2);
+        TournamentCompiler {
+            model: Box::new(model),
+            pool,
+            max_len: 5,
+        }
+    }
+
+    /// Pairwise decision: does contender `a` beat contender `b` here?
+    pub fn prefers(
+        &self,
+        module: &ic_ir::Module,
+        counters: &ic_machine::PerfCounters,
+        prefix: &[Opt],
+        a: Contender,
+        b: Contender,
+    ) -> bool {
+        self.model
+            .predict(&decision_features(module, counters, prefix, a, b))
+            == 1
+    }
+
+    /// Compile by iterated tournament: no trial runs of candidate
+    /// continuations — only one profiling run per accepted step (the
+    /// model decides everything else).
+    pub fn compile(
+        &self,
+        workload: &Workload,
+        config: &MachineConfig,
+    ) -> (ic_ir::Module, Vec<Opt>) {
+        let mut module = workload.compile();
+        let mut applied: Vec<Opt> = Vec::new();
+        for _ in 0..self.max_len {
+            let Ok(profile) = simulate_default(&module, config, workload.fuel) else {
+                break;
+            };
+            // Tournament among the optimizations not yet applied (the
+            // scalar passes are idempotent, so the controller draws
+            // without replacement); STOP then gets one shot at dethroning
+            // the winner ("until the learning algorithm predicts that no
+            // further optimizations should be applied").
+            let remaining: Vec<Opt> = self
+                .pool
+                .iter()
+                .copied()
+                .filter(|o| !applied.contains(o))
+                .collect();
+            let Some((&first, rest)) = remaining.split_first() else {
+                break;
+            };
+            let mut champion = Contender::Apply(first);
+            for &opt in rest {
+                let challenger = Contender::Apply(opt);
+                if self.prefers(&module, &profile.counters, &applied, challenger, champion) {
+                    champion = challenger;
+                }
+            }
+            if self.prefers(&module, &profile.counters, &applied, Contender::Stop, champion) {
+                break;
+            }
+            match champion {
+                Contender::Stop => break,
+                Contender::Apply(o) => {
+                    apply_sequence(&mut module, &[o]);
+                    applied.push(o);
+                }
+            }
+        }
+        (module, applied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn training_set() -> Vec<Workload> {
+        vec![
+            ic_workloads::Workload {
+                name: "crc32".into(),
+                kind: ic_workloads::Kind::AluBound,
+                source: ic_workloads::sources::crc32(160),
+                fuel: 4_000_000,
+            },
+            ic_workloads::Workload {
+                name: "feistel".into(),
+                kind: ic_workloads::Kind::AluBound,
+                source: ic_workloads::sources::feistel(160, 4),
+                fuel: 4_000_000,
+            },
+            ic_workloads::Workload {
+                name: "strsearch".into(),
+                kind: ic_workloads::Kind::Branchy,
+                source: ic_workloads::sources::strsearch(320),
+                fuel: 4_000_000,
+            },
+        ]
+    }
+
+    fn pool() -> Vec<Opt> {
+        vec![Opt::Licm, Opt::Cse, Opt::Dce, Opt::Schedule, Opt::Unroll4, Opt::Inline]
+    }
+
+    #[test]
+    fn contender_onehot_shape() {
+        let a = Contender::Apply(Opt::Dce).onehot();
+        let s = Contender::Stop.onehot();
+        assert_eq!(a.len(), Opt::ALL.len() + 1);
+        assert_eq!(a.iter().sum::<f64>(), 1.0);
+        assert_eq!(s[Opt::ALL.len()], 1.0);
+        assert_eq!(
+            decision_feature_names().len(),
+            instance_feature_names().len() + 2 * (Opt::ALL.len() + 1) + 2
+        );
+    }
+
+    #[test]
+    fn trains_and_compiles_unseen_program() {
+        let config = MachineConfig::vliw_c6713_like();
+        let tc = TournamentCompiler::train(&training_set(), &config, pool(), 4, 5, 11);
+
+        let target = ic_workloads::adpcm_scaled(160, 3);
+        let (module, applied) = tc.compile(&target, &config);
+        ic_ir::verify::verify_module(&module).unwrap();
+        assert!(applied.len() <= tc.max_len);
+
+        // Semantics hold and the result is never catastrophically worse.
+        let base = simulate_default(&target.compile(), &config, target.fuel).unwrap();
+        let tuned = simulate_default(&module, &config, target.fuel).unwrap();
+        assert_eq!(base.ret_i64(), tuned.ret_i64());
+        assert!(
+            (tuned.cycles() as f64) < base.cycles() as f64 * 1.05,
+            "tournament output must not regress badly: {} vs {}",
+            tuned.cycles(),
+            base.cycles()
+        );
+    }
+
+    #[test]
+    fn tournament_is_deterministic() {
+        let config = MachineConfig::vliw_c6713_like();
+        let tc = TournamentCompiler::train(&training_set(), &config, pool(), 3, 4, 5);
+        let target = ic_workloads::adpcm_scaled(160, 3);
+        let (_, a) = tc.compile(&target, &config);
+        let (_, b) = tc.compile(&target, &config);
+        assert_eq!(a, b);
+    }
+}

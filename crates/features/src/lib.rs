@@ -1,0 +1,102 @@
+//! # ic-features — program and architecture characterization
+//!
+//! Section III-B/III-E of the paper: the knowledge base stores *static*
+//! program features ("average size of basic block, whether a function is
+//! a leaf/non-leaf"), *dynamic* features (performance-counter rates), and
+//! architecture characterizations, and recommends "standard statistical
+//! techniques, such as mutual information" for evaluating feature
+//! usefulness.
+//!
+//! * [`static_features`] — extracted from the IR by analysis only;
+//! * [`dynamic_features`] — named per-instruction counter rates from a
+//!   profiling run on the simulator;
+//! * [`mutual_information`] — quantile-binned MI feature ranking.
+
+pub mod mi;
+pub mod static_feat;
+
+pub use mi::{mutual_information, rank_features};
+pub use static_feat::{static_features, STATIC_FEATURE_NAMES};
+
+use ic_machine::{Counter, PerfCounters};
+
+/// Names for the dynamic (counter-rate) feature vector.
+pub fn dynamic_feature_names() -> Vec<String> {
+    Counter::ALL
+        .iter()
+        .map(|c| format!("rate_{}", c.name()))
+        .collect()
+}
+
+/// Dynamic feature vector: per-instruction rates for every counter (plus
+/// IPC appended). This is the characterization the paper's Fig. 3 plots
+/// and PCModel consumes.
+pub fn dynamic_features(counters: &PerfCounters) -> Vec<f64> {
+    let mut v: Vec<f64> = Counter::ALL
+        .iter()
+        .map(|&c| match c {
+            Counter::TOT_INS => (counters.get(c) as f64).max(1.0).log2(),
+            _ => counters.per_instruction(c),
+        })
+        .collect();
+    v.push(counters.ipc());
+    v
+}
+
+/// Names matching [`dynamic_features`] (including the appended IPC).
+pub fn dynamic_feature_names_full() -> Vec<String> {
+    let mut n = dynamic_feature_names();
+    n.push("ipc".into());
+    n
+}
+
+/// Combined static+dynamic characterization of a program run.
+pub fn combined_features(module: &ic_ir::Module, counters: &PerfCounters) -> Vec<f64> {
+    let mut v = static_features(module);
+    v.extend(dynamic_features(counters));
+    v
+}
+
+/// Names matching [`combined_features`].
+pub fn combined_feature_names() -> Vec<String> {
+    let mut n: Vec<String> = STATIC_FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    n.extend(dynamic_feature_names_full());
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_vector_matches_names() {
+        let c = PerfCounters::new();
+        assert_eq!(dynamic_features(&c).len(), dynamic_feature_names_full().len());
+    }
+
+    #[test]
+    fn combined_matches_names() {
+        let m = ic_lang::compile("t", "int main() { return 0; }").unwrap();
+        let c = PerfCounters::new();
+        assert_eq!(
+            combined_features(&m, &c).len(),
+            combined_feature_names().len()
+        );
+    }
+
+    #[test]
+    fn memory_bound_program_shows_in_rates() {
+        use ic_machine::{simulate_default, MachineConfig};
+        let src = "int a[4096]; int main() {
+            int s = 0;
+            for (int i = 0; i < 4096; i = i + 1) s = s + a[(i * 64) % 4096];
+            return s;
+        }";
+        let m = ic_lang::compile("t", src).unwrap();
+        let r = simulate_default(&m, &MachineConfig::test_tiny(), 10_000_000).unwrap();
+        let v = dynamic_features(&r.counters);
+        let names = dynamic_feature_names_full();
+        let l1_tcm = names.iter().position(|n| n == "rate_L1_TCM").unwrap();
+        assert!(v[l1_tcm] > 0.01, "strided scan must show L1 misses");
+    }
+}

@@ -1,0 +1,114 @@
+//! Mutual information for feature ranking (Section III-E: "standard
+//! statistical techniques, such as mutual information, can be useful to
+//! evaluate the usefulness of different features").
+
+/// Quantile-bin a continuous column into `bins` discrete levels.
+fn discretize(col: &[f64], bins: usize) -> Vec<usize> {
+    let mut sorted: Vec<f64> = col.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let thresholds: Vec<f64> = (1..bins)
+        .map(|b| sorted[(b * sorted.len() / bins).min(sorted.len() - 1)])
+        .collect();
+    col.iter()
+        .map(|&v| thresholds.iter().filter(|&&t| v >= t).count())
+        .collect()
+}
+
+/// Mutual information (in bits) between a continuous feature column and a
+/// discrete label, with the feature quantile-binned into `bins` levels.
+pub fn mutual_information(col: &[f64], labels: &[usize], bins: usize) -> f64 {
+    assert_eq!(col.len(), labels.len());
+    let n = col.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let x = discretize(col, bins.max(2));
+    let nx = bins.max(2);
+    let ny = labels.iter().copied().max().unwrap_or(0) + 1;
+    let mut joint = vec![vec![0.0f64; ny]; nx];
+    for (&xi, &yi) in x.iter().zip(labels) {
+        joint[xi][yi] += 1.0;
+    }
+    let nf = n as f64;
+    let px: Vec<f64> = joint.iter().map(|row| row.iter().sum::<f64>() / nf).collect();
+    let mut py = vec![0.0f64; ny];
+    for row in &joint {
+        for (p, &c) in py.iter_mut().zip(row) {
+            *p += c / nf;
+        }
+    }
+    let mut mi = 0.0;
+    for (i, row) in joint.iter().enumerate() {
+        for (j, &c) in row.iter().enumerate() {
+            let pxy = c / nf;
+            if pxy > 0.0 && px[i] > 0.0 && py[j] > 0.0 {
+                mi += pxy * (pxy / (px[i] * py[j])).log2();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Rank features by MI with the label, descending. Returns
+/// `(feature_index, mi)` pairs.
+pub fn rank_features(x: &[Vec<f64>], labels: &[usize], bins: usize) -> Vec<(usize, f64)> {
+    let d = x.first().map_or(0, |r| r.len());
+    let mut scores: Vec<(usize, f64)> = (0..d)
+        .map(|j| {
+            let col: Vec<f64> = x.iter().map(|r| r[j]).collect();
+            (j, mutual_information(&col, labels, bins))
+        })
+        .collect();
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn informative_feature_beats_noise() {
+        let n = 200;
+        let labels: Vec<usize> = (0..n).map(|i| (i % 2) as usize).collect();
+        let informative: Vec<f64> = labels.iter().map(|&y| y as f64 * 10.0).collect();
+        // Deterministic pseudo-noise uncorrelated with label.
+        let noise: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) % 97) as f64).collect();
+        let mi_info = mutual_information(&informative, &labels, 4);
+        let mi_noise = mutual_information(&noise, &labels, 4);
+        assert!(mi_info > 0.9, "{mi_info}");
+        assert!(mi_noise < 0.2, "{mi_noise}");
+    }
+
+    #[test]
+    fn perfect_binary_feature_is_one_bit() {
+        let labels = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let col = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0];
+        let mi = mutual_information(&col, &labels, 2);
+        assert!((mi - 1.0).abs() < 0.05, "{mi}");
+    }
+
+    #[test]
+    fn ranking_orders_by_information() {
+        let n = 100;
+        let labels: Vec<usize> = (0..n).map(|i| (i % 2) as usize).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                vec![
+                    ((i * 7919) % 31) as f64,      // noise
+                    (i % 2) as f64 * 5.0,           // perfect
+                    (i % 4 < 2) as u8 as f64 * 2.0, // partial
+                ]
+            })
+            .collect();
+        let ranks = rank_features(&x, &labels, 4);
+        assert_eq!(ranks[0].0, 1, "perfect feature ranks first: {:?}", ranks);
+    }
+
+    #[test]
+    fn empty_and_constant_are_safe() {
+        assert_eq!(mutual_information(&[], &[], 4), 0.0);
+        let mi = mutual_information(&[3.0; 10], &[0, 1, 0, 1, 0, 1, 0, 1, 0, 1], 4);
+        assert!(mi.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Static program features from IR analysis.
+
+use ic_ir::cfg::Cfg;
+use ic_ir::dom::Dominators;
+use ic_ir::loops::LoopForest;
+use ic_ir::{ElemClass, Inst, Module, Terminator};
+
+/// Names of the static feature vector, in order.
+pub const STATIC_FEATURE_NAMES: [&str; 20] = [
+    "log2_insts",
+    "num_funcs",
+    "avg_block_size",
+    "max_block_size",
+    "cfg_edges_per_block",
+    "branch_frac",
+    "load_frac",
+    "store_frac",
+    "muldiv_frac",
+    "float_frac",
+    "call_frac",
+    "mov_frac",
+    "imm_operand_frac",
+    "num_loops",
+    "max_loop_depth",
+    "loop_block_frac",
+    "leaf_func_frac",
+    "num_arrays",
+    "ptr_array_frac",
+    "log2_data_bytes",
+];
+
+/// Extract the static feature vector for a module (length matches
+/// [`STATIC_FEATURE_NAMES`]).
+pub fn static_features(module: &Module) -> Vec<f64> {
+    let mut insts = 0usize;
+    let mut blocks = 0usize;
+    let mut max_block = 0usize;
+    let mut edges = 0usize;
+    let mut branches = 0usize;
+    let mut loads = 0usize;
+    let mut stores = 0usize;
+    let mut muldiv = 0usize;
+    let mut floats = 0usize;
+    let mut calls = 0usize;
+    let mut movs = 0usize;
+    let mut imm_ops = 0usize;
+    let mut total_ops = 0usize;
+    let mut num_loops = 0usize;
+    let mut max_depth = 0u32;
+    let mut loop_blocks = 0usize;
+    let mut leaf_funcs = 0usize;
+
+    for f in &module.funcs {
+        let mut has_call = false;
+        blocks += f.blocks.len();
+        for b in &f.blocks {
+            max_block = max_block.max(b.insts.len());
+            insts += b.insts.len();
+            edges += b.term.successors().count();
+            if matches!(b.term, Terminator::Branch { .. }) {
+                branches += 1;
+            }
+            for inst in &b.insts {
+                match inst {
+                    Inst::Load { .. } => loads += 1,
+                    Inst::Store { .. } => stores += 1,
+                    Inst::Call { .. } => {
+                        calls += 1;
+                        has_call = true;
+                    }
+                    Inst::Mov { .. } => movs += 1,
+                    Inst::Bin { op, .. } => {
+                        if op.is_float() {
+                            floats += 1;
+                        }
+                        if matches!(
+                            op,
+                            ic_ir::BinOp::Mul
+                                | ic_ir::BinOp::Div
+                                | ic_ir::BinOp::Rem
+                                | ic_ir::BinOp::FMul
+                                | ic_ir::BinOp::FDiv
+                        ) {
+                            muldiv += 1;
+                        }
+                    }
+                    Inst::Un { op, .. } => {
+                        if matches!(op, ic_ir::UnOp::FNeg | ic_ir::UnOp::I2F | ic_ir::UnOp::F2I) {
+                            floats += 1;
+                        }
+                    }
+                    Inst::Select { .. } => {}
+                }
+                inst.for_each_use(|op| {
+                    total_ops += 1;
+                    if op.is_imm() {
+                        imm_ops += 1;
+                    }
+                });
+            }
+        }
+        if !has_call {
+            leaf_funcs += 1;
+        }
+        let cfg = Cfg::compute(f);
+        let dom = Dominators::compute(f, &cfg);
+        let forest = LoopForest::compute(f, &cfg, &dom);
+        num_loops += forest.loops.len();
+        max_depth = max_depth.max(forest.max_depth());
+        loop_blocks += forest.depth.iter().filter(|&&d| d > 0).count();
+    }
+
+    let insts_f = insts.max(1) as f64;
+    let blocks_f = blocks.max(1) as f64;
+    vec![
+        insts_f.log2(),
+        module.funcs.len() as f64,
+        insts_f / blocks_f,
+        max_block as f64,
+        edges as f64 / blocks_f,
+        branches as f64 / blocks_f,
+        loads as f64 / insts_f,
+        stores as f64 / insts_f,
+        muldiv as f64 / insts_f,
+        floats as f64 / insts_f,
+        calls as f64 / insts_f,
+        movs as f64 / insts_f,
+        imm_ops as f64 / total_ops.max(1) as f64,
+        num_loops as f64,
+        max_depth as f64,
+        loop_blocks as f64 / blocks_f,
+        leaf_funcs as f64 / module.funcs.len().max(1) as f64,
+        module.arrays.len() as f64,
+        module
+            .arrays
+            .iter()
+            .filter(|a| a.class == ElemClass::Ptr)
+            .count() as f64
+            / module.arrays.len().max(1) as f64,
+        (module.data_bytes().max(1) as f64).log2(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_matches_names() {
+        let m = ic_lang::compile("t", "int main() { return 0; }").unwrap();
+        assert_eq!(static_features(&m).len(), STATIC_FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn loopy_program_has_loop_features() {
+        let m = ic_lang::compile(
+            "t",
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 4; i = i + 1)
+                    for (int j = 0; j < 4; j = j + 1)
+                        s = s + i * j;
+                return s;
+            }",
+        )
+        .unwrap();
+        let v = static_features(&m);
+        let idx = |n: &str| STATIC_FEATURE_NAMES.iter().position(|s| *s == n).unwrap();
+        assert_eq!(v[idx("num_loops")], 2.0);
+        assert_eq!(v[idx("max_loop_depth")], 2.0);
+        assert!(v[idx("loop_block_frac")] > 0.3);
+    }
+
+    #[test]
+    fn memory_program_vs_alu_program() {
+        let mem = ic_lang::compile(
+            "t",
+            "int a[64]; int main() {
+                int s = 0;
+                for (int i = 0; i < 64; i = i + 1) s = s + a[i];
+                return s;
+            }",
+        )
+        .unwrap();
+        let alu = ic_lang::compile(
+            "t",
+            "int main() {
+                int s = 1;
+                for (int i = 1; i < 64; i = i + 1) s = s * 3 + i * 7 - i / 2;
+                return s;
+            }",
+        )
+        .unwrap();
+        let idx = |n: &str| STATIC_FEATURE_NAMES.iter().position(|s| *s == n).unwrap();
+        let vm = static_features(&mem);
+        let va = static_features(&alu);
+        assert!(vm[idx("load_frac")] > va[idx("load_frac")]);
+        assert!(va[idx("muldiv_frac")] > vm[idx("muldiv_frac")]);
+    }
+
+    #[test]
+    fn leaf_fraction() {
+        let m = ic_lang::compile(
+            "t",
+            "int leafy(int x) { return x + 1; }
+             int main() { return leafy(1); }",
+        )
+        .unwrap();
+        let idx = |n: &str| STATIC_FEATURE_NAMES.iter().position(|s| *s == n).unwrap();
+        let v = static_features(&m);
+        assert_eq!(v[idx("leaf_func_frac")], 0.5);
+    }
+
+    #[test]
+    fn all_finite_on_empty_main() {
+        let m = ic_lang::compile("t", "int main() { return 0; }").unwrap();
+        assert!(static_features(&m).iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,258 @@
+//! Ergonomic construction of [`Function`]s.
+//!
+//! The builder keeps a *current block* cursor; emit methods append to it.
+//! Terminating the current block (via [`FunctionBuilder::jump`] etc.)
+//! requires explicitly switching to a new block before emitting again,
+//! which makes malformed control flow hard to construct by accident.
+
+use crate::{
+    ArrId, BinOp, Block, BlockId, FuncId, Function, Inst, Operand, Reg, Terminator, Ty, UnOp,
+};
+
+/// Builder for a single [`Function`].
+pub struct FunctionBuilder {
+    func: Function,
+    cur: BlockId,
+    /// Blocks that have been explicitly terminated.
+    sealed: Vec<bool>,
+}
+
+impl FunctionBuilder {
+    /// Start a function with the given name, parameter types and return type.
+    /// Parameters become registers `0..param_tys.len()`.
+    pub fn new(name: impl Into<String>, param_tys: &[Ty], ret_ty: Option<Ty>) -> Self {
+        let mut func = Function {
+            name: name.into(),
+            params: Vec::new(),
+            reg_tys: Vec::new(),
+            blocks: vec![Block::new()],
+            ret_ty,
+        };
+        for &ty in param_tys {
+            let r = func.new_reg(ty);
+            func.params.push(r);
+        }
+        FunctionBuilder {
+            func,
+            cur: BlockId(0),
+            sealed: vec![false],
+        }
+    }
+
+    /// The parameter registers.
+    pub fn params(&self) -> Vec<Reg> {
+        self.func.params.clone()
+    }
+
+    /// Allocate a fresh register.
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        self.func.new_reg(ty)
+    }
+
+    /// Create a new (unterminated) block; the cursor does not move.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = self.func.add_block();
+        self.sealed.push(false);
+        id
+    }
+
+    /// Move the emission cursor to `b`. Panics if `b` is already terminated.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            !self.sealed[b.index()],
+            "switch_to: block {:?} already terminated",
+            b
+        );
+        self.cur = b;
+    }
+
+    /// The block currently being emitted into.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        assert!(
+            !self.sealed[self.cur.index()],
+            "emit into terminated block {:?}",
+            self.cur
+        );
+        self.func.blocks[self.cur.index()].insts.push(inst);
+    }
+
+    /// Emit `dst = a op b` into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg(op.result_ty());
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Emit `dst = a op b` into an existing register.
+    pub fn bin_to(&mut self, dst: Reg, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) {
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+    }
+
+    /// Emit `dst = op a` into a fresh register.
+    pub fn un(&mut self, op: UnOp, a: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg(op.result_ty());
+        self.emit(Inst::Un {
+            op,
+            dst,
+            a: a.into(),
+        });
+        dst
+    }
+
+    /// Emit `dst = src` into an existing register.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Emit a load into a fresh register.
+    pub fn load(&mut self, ty: Ty, arr: ArrId, idx: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg(ty);
+        self.emit(Inst::Load {
+            dst,
+            arr,
+            idx: idx.into(),
+        });
+        dst
+    }
+
+    /// Emit a store.
+    pub fn store(&mut self, arr: ArrId, idx: impl Into<Operand>, val: impl Into<Operand>) {
+        self.emit(Inst::Store {
+            arr,
+            idx: idx.into(),
+            val: val.into(),
+        });
+    }
+
+    /// Emit a call with a result.
+    pub fn call(&mut self, ty: Ty, callee: FuncId, args: Vec<Operand>) -> Reg {
+        let dst = self.new_reg(ty);
+        self.emit(Inst::Call {
+            dst: Some(dst),
+            callee,
+            args,
+        });
+        dst
+    }
+
+    /// Emit a void call.
+    pub fn call_void(&mut self, callee: FuncId, args: Vec<Operand>) {
+        self.emit(Inst::Call {
+            dst: None,
+            callee,
+            args,
+        });
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        assert!(
+            !self.sealed[self.cur.index()],
+            "double-terminate block {:?}",
+            self.cur
+        );
+        self.func.blocks[self.cur.index()].term = term;
+        self.sealed[self.cur.index()] = true;
+    }
+
+    /// Terminate the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn branch(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self, val: Option<Operand>) {
+        self.terminate(Terminator::Ret(val));
+    }
+
+    /// Finish the function. Any unterminated blocks keep their default
+    /// `ret` terminator (useful for void functions).
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build: f(n) { s = 0; for(i=0;i<n;i++) s += i; return s; }
+    fn build_sum() -> Function {
+        let mut b = FunctionBuilder::new("sum", &[Ty::I64], Some(Ty::I64));
+        let n = b.params()[0];
+        let s = b.new_reg(Ty::I64);
+        let i = b.new_reg(Ty::I64);
+        b.mov(s, 0i64);
+        b.mov(i, 0i64);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.bin(BinOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.bin_to(s, BinOp::Add, s, i);
+        b.bin_to(i, BinOp::Add, i, 1i64);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(s)));
+        b.finish()
+    }
+
+    #[test]
+    fn builds_loop_shape() {
+        let f = build_sum();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.params.len(), 1);
+        // entry jumps to header
+        assert!(matches!(f.blocks[0].term, Terminator::Jump(BlockId(1))));
+        // header branches
+        assert!(matches!(f.blocks[1].term, Terminator::Branch { .. }));
+        // body jumps back
+        assert!(matches!(f.blocks[2].term, Terminator::Jump(BlockId(1))));
+        // exit returns s
+        assert!(matches!(f.blocks[3].term, Terminator::Ret(Some(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "emit into terminated")]
+    fn emit_after_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        b.mov(Reg(0), 1i64); // no such reg, but panic fires first
+    }
+
+    #[test]
+    #[should_panic(expected = "double-terminate")]
+    fn double_terminate_panics() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        b.ret(None);
+        b.ret(None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Control-flow-graph utilities: predecessors, reachability, and orderings.
+
+use crate::{BlockId, Function};
+
+/// Predecessor lists for every block, plus reachability from entry.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    reachable: Vec<bool>,
+    rpo: Vec<BlockId>,
+}
+
+impl Cfg {
+    /// Compute CFG facts for `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        for (id, b) in f.iter_blocks() {
+            for s in b.term.successors() {
+                preds[s.index()].push(id);
+            }
+        }
+        // DFS from entry for reachability and postorder.
+        let mut reachable = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with explicit "children pushed" state.
+        let mut stack: Vec<(BlockId, bool)> = vec![(BlockId(0), false)];
+        while let Some((b, expanded)) = stack.pop() {
+            if expanded {
+                post.push(b);
+                continue;
+            }
+            if reachable[b.index()] {
+                continue;
+            }
+            reachable[b.index()] = true;
+            stack.push((b, true));
+            // Push successors in reverse so the first successor is visited
+            // first, giving a conventional ordering.
+            let succs: Vec<_> = f.block(b).term.successors().collect();
+            for s in succs.into_iter().rev() {
+                if !reachable[s.index()] {
+                    stack.push((s, false));
+                }
+            }
+        }
+        post.reverse();
+        Cfg {
+            preds,
+            reachable,
+            rpo: post,
+        }
+    }
+
+    /// Predecessors of `b` (only predecessors that exist syntactically;
+    /// includes edges from unreachable blocks).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// True if `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Reverse postorder over reachable blocks (entry first).
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of each block in RPO (`usize::MAX` if unreachable).
+    pub fn rpo_index(&self) -> Vec<usize> {
+        let mut idx = vec![usize::MAX; self.preds.len()];
+        for (i, b) in self.rpo.iter().enumerate() {
+            idx[b.index()] = i;
+        }
+        idx
+    }
+
+    /// Number of reachable blocks.
+    pub fn num_reachable(&self) -> usize {
+        self.rpo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, Ty};
+
+    fn diamond() -> Function {
+        // entry -> (then | else) -> join
+        let mut b = FunctionBuilder::new("d", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.bin(BinOp::Gt, p, 0i64);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(p.into()));
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_preds() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.preds(BlockId(0)), &[]);
+        assert_eq!(cfg.preds(BlockId(1)), &[BlockId(0)]);
+        assert_eq!(cfg.preds(BlockId(2)), &[BlockId(0)]);
+        let mut jp = cfg.preds(BlockId(3)).to_vec();
+        jp.sort();
+        assert_eq!(jp, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.num_reachable(), 4);
+        // join must come after both arms
+        let idx = cfg.rpo_index();
+        assert!(idx[3] > idx[1] && idx[3] > idx[2]);
+    }
+
+    #[test]
+    fn unreachable_blocks_detected() {
+        let mut f = diamond();
+        // add a dangling block
+        f.add_block();
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert_eq!(cfg.num_reachable(), 4);
+    }
+}

@@ -1,0 +1,145 @@
+//! Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm.
+
+use crate::cfg::Cfg;
+use crate::{BlockId, Function};
+
+/// Immediate-dominator table for the reachable part of a function's CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block
+    /// is its own idom; unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Compute dominators for `f` given its CFG.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let rpo = cfg.rpo();
+        let rpo_idx = cfg.rpo_index();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if rpo.is_empty() {
+            return Dominators { idom };
+        }
+        let entry = rpo[0];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_idx[a.index()] > rpo_idx[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_idx[b.index()] > rpo_idx[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if !cfg.is_reachable(p) || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Immediate dominator of `b` (entry's idom is itself).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, Ty};
+
+    /// entry(0) -> header(1) -> body(2) -> header; header -> exit(3)
+    fn looped() -> Function {
+        let mut b = FunctionBuilder::new("l", &[Ty::I64], None);
+        let n = b.params()[0];
+        let i = b.new_reg(Ty::I64);
+        b.mov(i, 0i64);
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.bin_to(i, BinOp::Add, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let f = looped();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert_eq!(dom.idom(BlockId(0)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(dom.dominates(BlockId(1), BlockId(2)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(2), BlockId(3)));
+        assert!(dom.dominates(BlockId(2), BlockId(2)));
+    }
+
+    #[test]
+    fn diamond_join_dominated_by_entry_only() {
+        let mut b = FunctionBuilder::new("d", &[Ty::I64], None);
+        let p = b.params()[0];
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        let c = b.bin(BinOp::Gt, p, 0i64);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+}

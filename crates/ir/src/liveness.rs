@@ -1,0 +1,229 @@
+//! Backward liveness dataflow over registers.
+//!
+//! Register sets are dense bitsets (`Vec<u64>` words) because functions in
+//! this stack routinely have a few hundred virtual registers and liveness
+//! is recomputed by several passes.
+
+use crate::cfg::Cfg;
+use crate::{Function, Reg};
+
+/// A dense bitset over register indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// Empty set sized for `n` registers.
+    pub fn new(n: usize) -> Self {
+        RegSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert register `r`; returns true if newly inserted.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old != self.words[w]
+    }
+
+    /// Remove register `r`.
+    pub fn remove(&mut self, r: Reg) {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] &= !(1 << b);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] >> b & 1 == 1
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= old != *a;
+        }
+        changed
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no register is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate members in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w >> b & 1 == 1)
+                .map(move |b| Reg((wi * 64 + b) as u32))
+        })
+    }
+}
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    pub live_in: Vec<RegSet>,
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Solve the standard backward dataflow:
+    /// `out[b] = ∪ in[s]`, `in[b] = use[b] ∪ (out[b] - def[b])`.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let nb = f.blocks.len();
+        let nr = f.num_regs();
+
+        // Per-block upward-exposed uses and defs.
+        let mut uses = vec![RegSet::new(nr); nb];
+        let mut defs = vec![RegSet::new(nr); nb];
+        for (id, b) in f.iter_blocks() {
+            let (u, d) = (&mut uses[id.index()], &mut defs[id.index()]);
+            for inst in &b.insts {
+                inst.for_each_use(|op| {
+                    if let crate::Operand::Reg(r) = op {
+                        if !d.contains(*r) {
+                            u.insert(*r);
+                        }
+                    }
+                });
+                if let Some(r) = inst.def() {
+                    d.insert(r);
+                }
+            }
+            b.term.for_each_use(|op| {
+                if let crate::Operand::Reg(r) = op {
+                    if !d.contains(*r) {
+                        u.insert(*r);
+                    }
+                }
+            });
+        }
+
+        let mut live_in = vec![RegSet::new(nr); nb];
+        let mut live_out = vec![RegSet::new(nr); nb];
+
+        // Iterate to fixpoint in reverse RPO for fast convergence.
+        let order: Vec<_> = cfg.rpo().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                let mut out = RegSet::new(nr);
+                for s in f.block(b).term.successors() {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inn = out.clone();
+                for r in defs[bi].iter() {
+                    inn.remove(r);
+                }
+                inn.union_with(&uses[bi]);
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, BlockId, Operand, Ty};
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(Reg(0)));
+        assert!(s.insert(Reg(129)));
+        assert!(!s.insert(Reg(0)));
+        assert!(s.contains(Reg(129)));
+        assert_eq!(s.len(), 2);
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![Reg(0), Reg(129)]);
+        s.remove(Reg(0));
+        assert!(!s.contains(Reg(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn regset_union() {
+        let mut a = RegSet::new(10);
+        let mut b = RegSet::new(10);
+        a.insert(Reg(1));
+        b.insert(Reg(2));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // idempotent
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // sum loop: s and i are live around the loop; n live into header.
+        let mut b = FunctionBuilder::new("sum", &[Ty::I64], Some(Ty::I64));
+        let n = b.params()[0];
+        let s = b.new_reg(Ty::I64);
+        let i = b.new_reg(Ty::I64);
+        b.mov(s, 0i64);
+        b.mov(i, 0i64);
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.bin_to(s, BinOp::Add, s, i);
+        b.bin_to(i, BinOp::Add, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.ret(Some(Operand::Reg(s)));
+        let f = b.finish();
+
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let header_in = &lv.live_in[BlockId(1).index()];
+        assert!(header_in.contains(n));
+        assert!(header_in.contains(s));
+        assert!(header_in.contains(i));
+        // condition register is not live into the header
+        assert!(!header_in.contains(c));
+        // only s is live into exit
+        let exit_in = &lv.live_in[BlockId(3).index()];
+        assert!(exit_in.contains(s));
+        assert!(!exit_in.contains(i));
+    }
+
+    #[test]
+    fn dead_def_not_live() {
+        let mut b = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let dead = b.bin(BinOp::Add, p, 1i64);
+        let _ = dead;
+        b.ret(Some(p.into()));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_out[0].is_empty());
+        assert!(lv.live_in[0].contains(p));
+    }
+}

@@ -1,0 +1,195 @@
+//! Natural-loop detection from back edges in the dominator tree.
+
+use crate::cfg::Cfg;
+use crate::dom::Dominators;
+use crate::{BlockId, Function};
+
+/// A natural loop: a header, the back-edge sources (latches), and the set
+/// of body blocks (header included).
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    pub header: BlockId,
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, header first.
+    pub body: Vec<BlockId>,
+}
+
+impl NaturalLoop {
+    /// True if `b` belongs to the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+
+    /// Number of body blocks.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// A loop always has at least its header block.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// All natural loops of a function, with nesting information.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    pub loops: Vec<NaturalLoop>,
+    /// Loop-nesting depth per block (0 = not in any loop).
+    pub depth: Vec<u32>,
+}
+
+impl LoopForest {
+    /// Find natural loops: for each back edge `n -> h` (where `h`
+    /// dominates `n`), collect the blocks that reach `n` without passing
+    /// through `h`. Loops sharing a header are merged.
+    pub fn compute(f: &Function, cfg: &Cfg, dom: &Dominators) -> Self {
+        let n = f.blocks.len();
+        let mut by_header: Vec<Option<NaturalLoop>> = vec![None; n];
+
+        for (id, b) in f.iter_blocks() {
+            if !cfg.is_reachable(id) {
+                continue;
+            }
+            for succ in b.term.successors() {
+                if dom.dominates(succ, id) {
+                    // back edge id -> succ
+                    let header = succ;
+                    let entry = by_header[header.index()].get_or_insert_with(|| NaturalLoop {
+                        header,
+                        latches: Vec::new(),
+                        body: vec![header],
+                    });
+                    entry.latches.push(id);
+                    // Walk predecessors from the latch up to the header.
+                    let mut stack = vec![id];
+                    while let Some(x) = stack.pop() {
+                        let lp = by_header[header.index()].as_mut().unwrap();
+                        if lp.body.contains(&x) {
+                            continue;
+                        }
+                        lp.body.push(x);
+                        for &p in cfg.preds(x) {
+                            if cfg.is_reachable(p) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let loops: Vec<NaturalLoop> = by_header.into_iter().flatten().collect();
+        let mut depth = vec![0u32; n];
+        for lp in &loops {
+            for b in &lp.body {
+                depth[b.index()] += 1;
+            }
+        }
+        LoopForest { loops, depth }
+    }
+
+    /// Loops whose body contains no other loop's header (the innermost
+    /// loops — the unrolling candidates).
+    pub fn innermost(&self) -> Vec<&NaturalLoop> {
+        self.loops
+            .iter()
+            .filter(|lp| {
+                !self
+                    .loops
+                    .iter()
+                    .any(|other| other.header != lp.header && lp.contains(other.header))
+            })
+            .collect()
+    }
+
+    /// Loop-nesting depth of block `b`.
+    pub fn depth_of(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Maximum nesting depth in the function.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, Ty};
+
+    /// Two nested counted loops.
+    fn nested() -> Function {
+        let mut b = FunctionBuilder::new("n2", &[Ty::I64], None);
+        let n = b.params()[0];
+        let i = b.new_reg(Ty::I64);
+        let j = b.new_reg(Ty::I64);
+        b.mov(i, 0i64);
+        let oh = b.new_block(); // outer header (1)
+        let ob = b.new_block(); // outer body / inner init (2)
+        let ih = b.new_block(); // inner header (3)
+        let ib = b.new_block(); // inner body (4)
+        let ol = b.new_block(); // outer latch (5)
+        let ex = b.new_block(); // exit (6)
+        b.jump(oh);
+        b.switch_to(oh);
+        let c0 = b.bin(BinOp::Lt, i, n);
+        b.branch(c0, ob, ex);
+        b.switch_to(ob);
+        b.mov(j, 0i64);
+        b.jump(ih);
+        b.switch_to(ih);
+        let c1 = b.bin(BinOp::Lt, j, n);
+        b.branch(c1, ib, ol);
+        b.switch_to(ib);
+        b.bin_to(j, BinOp::Add, j, 1i64);
+        b.jump(ih);
+        b.switch_to(ol);
+        b.bin_to(i, BinOp::Add, i, 1i64);
+        b.jump(oh);
+        b.switch_to(ex);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn finds_both_loops_and_depths() {
+        let f = nested();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        assert_eq!(forest.loops.len(), 2);
+        assert_eq!(forest.max_depth(), 2);
+        // inner body has depth 2, outer header depth 1, exit 0
+        assert_eq!(forest.depth_of(BlockId(4)), 2);
+        assert_eq!(forest.depth_of(BlockId(1)), 1);
+        assert_eq!(forest.depth_of(BlockId(6)), 0);
+    }
+
+    #[test]
+    fn innermost_is_inner() {
+        let f = nested();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        let inner = forest.innermost();
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].header, BlockId(3));
+        assert_eq!(inner[0].latches, vec![BlockId(4)]);
+        assert_eq!(inner[0].len(), 2);
+    }
+
+    #[test]
+    fn straightline_has_no_loops() {
+        let mut b = FunctionBuilder::new("s", &[], None);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&f, &cfg);
+        let forest = LoopForest::compute(&f, &cfg, &dom);
+        assert!(forest.loops.is_empty());
+        assert_eq!(forest.max_depth(), 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Textual form of the IR, for debugging, logging and golden tests.
+
+use crate::{BinOp, Function, Inst, Module, Operand, Terminator, UnOp};
+use std::fmt::Write;
+
+fn op_str(op: &Operand) -> String {
+    match op {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::ImmI(v) => format!("{v}"),
+        Operand::ImmF(v) => format!("{v:?}"),
+    }
+}
+
+fn bin_str(op: BinOp) -> &'static str {
+    use BinOp::*;
+    match op {
+        Add => "add",
+        Sub => "sub",
+        Mul => "mul",
+        Div => "div",
+        Rem => "rem",
+        And => "and",
+        Or => "or",
+        Xor => "xor",
+        Shl => "shl",
+        Shr => "shr",
+        FAdd => "fadd",
+        FSub => "fsub",
+        FMul => "fmul",
+        FDiv => "fdiv",
+        Eq => "eq",
+        Ne => "ne",
+        Lt => "lt",
+        Le => "le",
+        Gt => "gt",
+        Ge => "ge",
+        FEq => "feq",
+        FNe => "fne",
+        FLt => "flt",
+        FLe => "fle",
+        FGt => "fgt",
+        FGe => "fge",
+    }
+}
+
+fn un_str(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::Not => "not",
+        UnOp::FNeg => "fneg",
+        UnOp::I2F => "i2f",
+        UnOp::F2I => "f2i",
+    }
+}
+
+/// Render one instruction.
+pub fn inst_to_string(m: &Module, inst: &Inst) -> String {
+    match inst {
+        Inst::Bin { op, dst, a, b } => {
+            format!("r{} = {} {}, {}", dst.0, bin_str(*op), op_str(a), op_str(b))
+        }
+        Inst::Un { op, dst, a } => format!("r{} = {} {}", dst.0, un_str(*op), op_str(a)),
+        Inst::Mov { dst, src } => format!("r{} = mov {}", dst.0, op_str(src)),
+        Inst::Load { dst, arr, idx } => format!(
+            "r{} = load {}[{}]",
+            dst.0,
+            m.arrays[arr.index()].name,
+            op_str(idx)
+        ),
+        Inst::Store { arr, idx, val } => format!(
+            "store {}[{}] = {}",
+            m.arrays[arr.index()].name,
+            op_str(idx),
+            op_str(val)
+        ),
+        Inst::Call { dst, callee, args } => {
+            let args: Vec<_> = args.iter().map(op_str).collect();
+            let call = format!("call {}({})", m.funcs[callee.index()].name, args.join(", "));
+            match dst {
+                Some(d) => format!("r{} = {}", d.0, call),
+                None => call,
+            }
+        }
+        Inst::Select { dst, cond, t, f } => format!(
+            "r{} = select {}, {}, {}",
+            dst.0,
+            op_str(cond),
+            op_str(t),
+            op_str(f)
+        ),
+    }
+}
+
+/// Render a function.
+pub fn function_to_string(m: &Module, f: &Function) -> String {
+    let mut s = String::new();
+    let params: Vec<_> = f
+        .params
+        .iter()
+        .map(|p| format!("r{}: {:?}", p.0, f.reg_ty(*p)))
+        .collect();
+    let _ = writeln!(
+        s,
+        "fn {}({}) -> {:?} {{",
+        f.name,
+        params.join(", "),
+        f.ret_ty
+    );
+    for (bid, block) in f.iter_blocks() {
+        let _ = writeln!(s, "bb{}:", bid.0);
+        for inst in &block.insts {
+            let _ = writeln!(s, "  {}", inst_to_string(m, inst));
+        }
+        let term = match &block.term {
+            Terminator::Jump(t) => format!("jump bb{}", t.0),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => format!("br {}, bb{}, bb{}", op_str(cond), then_bb.0, else_bb.0),
+            Terminator::Ret(Some(v)) => format!("ret {}", op_str(v)),
+            Terminator::Ret(None) => "ret".into(),
+        };
+        let _ = writeln!(s, "  {}", term);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Render a whole module.
+pub fn module_to_string(m: &Module) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "module {} (entry: {})", m.name, m.funcs[m.entry.index()].name);
+    for a in &m.arrays {
+        let _ = writeln!(
+            s,
+            "array {}: {:?} x {} ({}B elems)",
+            a.name, a.class, a.len, a.elem_size
+        );
+    }
+    for f in &m.funcs {
+        s.push('\n');
+        s.push_str(&function_to_string(m, f));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{ElemClass, Ty};
+
+    #[test]
+    fn prints_all_forms() {
+        let mut m = Module::new("demo");
+        let arr = m.add_array("buf", ElemClass::Int, 8);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.bin(crate::BinOp::Add, 1i64, 2i64);
+        let y = b.un(crate::UnOp::Neg, x);
+        b.store(arr, 0i64, y);
+        let z = b.load(Ty::I64, arr, 0i64);
+        b.ret(Some(z.into()));
+        m.add_func(b.finish());
+
+        let text = module_to_string(&m);
+        assert!(text.contains("module demo"));
+        assert!(text.contains("array buf: Int x 8 (8B elems)"));
+        assert!(text.contains("= add 1, 2"));
+        assert!(text.contains("store buf[0]"));
+        assert!(text.contains("load buf[0]"));
+        assert!(text.contains("ret r"));
+    }
+
+    #[test]
+    fn prints_branches_and_calls() {
+        let mut m = Module::new("demo");
+        let mut cal = FunctionBuilder::new("callee", &[Ty::I64], Some(Ty::I64));
+        let p = cal.params()[0];
+        cal.ret(Some(p.into()));
+        let cid = m.add_func(cal.finish());
+
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let v = b.call(Ty::I64, cid, vec![Operand::ImmI(5)]);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(v, t, e);
+        b.switch_to(t);
+        b.ret(Some(1i64.into()));
+        b.switch_to(e);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+
+        let text = module_to_string(&m);
+        assert!(text.contains("call callee(5)"));
+        assert!(text.contains("br r"));
+    }
+}

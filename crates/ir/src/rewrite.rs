@@ -1,0 +1,190 @@
+//! Mechanical rewriting helpers shared by passes: register substitution,
+//! block remapping, and compaction of unreachable blocks.
+
+use crate::cfg::Cfg;
+use crate::{BlockId, Function, Operand, Reg};
+use std::collections::HashMap;
+
+/// Replace every *use* of the registers in `map` (definitions untouched).
+pub fn substitute_uses(f: &mut Function, map: &HashMap<Reg, Operand>) {
+    if map.is_empty() {
+        return;
+    }
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            inst.for_each_use_mut(|op| {
+                if let Operand::Reg(r) = op {
+                    if let Some(rep) = map.get(r) {
+                        *op = *rep;
+                    }
+                }
+            });
+        }
+        block.term.for_each_use_mut(|op| {
+            if let Operand::Reg(r) = op {
+                if let Some(rep) = map.get(r) {
+                    *op = *rep;
+                }
+            }
+        });
+    }
+}
+
+/// Rename registers in both uses and definitions according to `map`
+/// (registers not in the map are untouched).
+pub fn rename_regs(f: &mut Function, map: &HashMap<Reg, Reg>) {
+    if map.is_empty() {
+        return;
+    }
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            if let Some(d) = inst.def() {
+                if let Some(&nd) = map.get(&d) {
+                    inst.set_def(nd);
+                }
+            }
+            inst.for_each_use_mut(|op| {
+                if let Operand::Reg(r) = op {
+                    if let Some(&nr) = map.get(r) {
+                        *op = Operand::Reg(nr);
+                    }
+                }
+            });
+        }
+        block.term.for_each_use_mut(|op| {
+            if let Operand::Reg(r) = op {
+                if let Some(&nr) = map.get(r) {
+                    *op = Operand::Reg(nr);
+                }
+            }
+        });
+    }
+}
+
+/// Redirect every edge into `from` to point at `to`.
+pub fn redirect_edges(f: &mut Function, from: BlockId, to: BlockId) {
+    for block in &mut f.blocks {
+        block.term.for_each_succ_mut(|s| {
+            if *s == from {
+                *s = to;
+            }
+        });
+    }
+}
+
+/// Delete blocks unreachable from entry, compacting ids. Returns the number
+/// of blocks removed.
+pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
+    let cfg = Cfg::compute(f);
+    let n = f.blocks.len();
+    let keep: Vec<bool> = (0..n).map(|i| cfg.is_reachable(BlockId(i as u32))).collect();
+    let removed = keep.iter().filter(|k| !**k).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Old id -> new id.
+    let mut remap = vec![BlockId(0); n];
+    let mut next = 0u32;
+    for (i, &k) in keep.iter().enumerate() {
+        if k {
+            remap[i] = BlockId(next);
+            next += 1;
+        }
+    }
+    let mut idx = 0usize;
+    f.blocks.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+    for block in &mut f.blocks {
+        block.term.for_each_succ_mut(|s| {
+            *s = remap[s.index()];
+        });
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, Inst, Terminator, Ty};
+
+    #[test]
+    fn substitute_uses_replaces_only_uses() {
+        let mut b = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Add, p, 1i64);
+        let y = b.bin(BinOp::Add, x, x);
+        b.ret(Some(y.into()));
+        let mut f = b.finish();
+
+        let mut map = HashMap::new();
+        map.insert(x, Operand::ImmI(7));
+        substitute_uses(&mut f, &map);
+
+        // y = add 7, 7 now; x's own def remains.
+        match &f.blocks[0].insts[1] {
+            Inst::Bin { a, b, .. } => {
+                assert_eq!(*a, Operand::ImmI(7));
+                assert_eq!(*b, Operand::ImmI(7));
+            }
+            other => panic!("unexpected {:?}", other),
+        }
+        assert_eq!(f.blocks[0].insts[0].def(), Some(x));
+    }
+
+    #[test]
+    fn rename_regs_hits_defs_and_uses() {
+        let mut b = FunctionBuilder::new("f", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Mul, p, 2i64);
+        b.ret(Some(x.into()));
+        let mut f = b.finish();
+        let fresh = f.new_reg(Ty::I64);
+
+        let mut map = HashMap::new();
+        map.insert(x, fresh);
+        rename_regs(&mut f, &map);
+
+        assert_eq!(f.blocks[0].insts[0].def(), Some(fresh));
+        match &f.blocks[0].term {
+            Terminator::Ret(Some(Operand::Reg(r))) => assert_eq!(*r, fresh),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn remove_unreachable_compacts_and_remaps() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let live = b.new_block(); // bb1
+        b.jump(live);
+        b.switch_to(live);
+        b.ret(None);
+        let mut f = b.finish();
+        // Insert a dead block between them by appending then rewiring:
+        let dead = f.add_block(); // bb2, unreachable
+        f.blocks[dead.index()].term = Terminator::Jump(BlockId(1));
+
+        let removed = remove_unreachable_blocks(&mut f);
+        assert_eq!(removed, 1);
+        assert_eq!(f.blocks.len(), 2);
+        assert!(matches!(f.blocks[0].term, Terminator::Jump(BlockId(1))));
+    }
+
+    #[test]
+    fn redirect_edges_rewrites_targets() {
+        let mut b = FunctionBuilder::new("f", &[], None);
+        let a = b.new_block();
+        let c = b.new_block();
+        b.jump(a);
+        b.switch_to(a);
+        b.ret(None);
+        b.switch_to(c);
+        b.ret(None);
+        let mut f = b.finish();
+        redirect_edges(&mut f, a, c);
+        assert!(matches!(f.blocks[0].term, Terminator::Jump(t) if t == c));
+    }
+}

@@ -1,0 +1,313 @@
+//! Structural verifier. Run after every pass in debug/test builds to catch
+//! IR corruption at the point it is introduced.
+
+use crate::{BlockId, Function, FuncId, Inst, Module, Operand, Reg, Terminator, Ty};
+
+/// A verification failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub func: String,
+    pub block: Option<BlockId>,
+    pub message: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.block {
+            Some(b) => write!(f, "[{} bb{}] {}", self.func, b.0, self.message),
+            None => write!(f, "[{}] {}", self.func, self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole module. Checks:
+/// * entry function exists and takes no parameters,
+/// * every block target / callee / array / register index is in range,
+/// * operand and result types are consistent with each opcode,
+/// * call arity and argument types match the callee signature,
+/// * `Ret` value presence matches the function's return type.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    if m.entry.index() >= m.funcs.len() {
+        return Err(VerifyError {
+            func: m.name.clone(),
+            block: None,
+            message: format!("entry {:?} out of range", m.entry),
+        });
+    }
+    if !m.func(m.entry).params.is_empty() {
+        return Err(VerifyError {
+            func: m.func(m.entry).name.clone(),
+            block: None,
+            message: "entry function must take no parameters".into(),
+        });
+    }
+    for f in &m.funcs {
+        verify_function(m, f)?;
+    }
+    Ok(())
+}
+
+fn err(f: &Function, block: Option<BlockId>, message: String) -> VerifyError {
+    VerifyError {
+        func: f.name.clone(),
+        block,
+        message,
+    }
+}
+
+/// Verify a single function against its module context.
+pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(err(f, None, "function has no blocks".into()));
+    }
+    for (i, &p) in f.params.iter().enumerate() {
+        if p.index() >= f.num_regs() {
+            return Err(err(f, None, format!("param {} register out of range", i)));
+        }
+    }
+
+    let check_reg = |r: Reg, b: BlockId| -> Result<(), VerifyError> {
+        if r.index() >= f.num_regs() {
+            Err(err(f, Some(b), format!("register r{} out of range", r.0)))
+        } else {
+            Ok(())
+        }
+    };
+    let op_ty = |op: &Operand| -> Option<Ty> {
+        match op {
+            Operand::Reg(r) => f.reg_tys.get(r.index()).copied(),
+            Operand::ImmI(_) => Some(Ty::I64),
+            Operand::ImmF(_) => Some(Ty::F64),
+        }
+    };
+    let expect_ty = |op: &Operand, want: Ty, b: BlockId, what: &str| -> Result<(), VerifyError> {
+        match op_ty(op) {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(err(
+                f,
+                Some(b),
+                format!("{what}: expected {:?}, got {:?}", want, t),
+            )),
+            None => Err(err(f, Some(b), format!("{what}: register out of range"))),
+        }
+    };
+
+    for (bid, block) in f.iter_blocks() {
+        for inst in &block.insts {
+            // Range checks for every register mentioned.
+            if let Some(d) = inst.def() {
+                check_reg(d, bid)?;
+            }
+            let mut bad: Option<Reg> = None;
+            inst.for_each_use(|op| {
+                if let Operand::Reg(r) = op {
+                    if r.index() >= f.num_regs() && bad.is_none() {
+                        bad = Some(*r);
+                    }
+                }
+            });
+            if let Some(r) = bad {
+                return Err(err(f, Some(bid), format!("use of r{} out of range", r.0)));
+            }
+
+            match inst {
+                Inst::Bin { op, dst, a, b } => {
+                    expect_ty(a, op.operand_ty(), bid, "binop lhs")?;
+                    expect_ty(b, op.operand_ty(), bid, "binop rhs")?;
+                    if f.reg_ty(*dst) != op.result_ty() {
+                        return Err(err(f, Some(bid), "binop dst type mismatch".into()));
+                    }
+                }
+                Inst::Un { op, dst, a } => {
+                    expect_ty(a, op.operand_ty(), bid, "unop operand")?;
+                    if f.reg_ty(*dst) != op.result_ty() {
+                        return Err(err(f, Some(bid), "unop dst type mismatch".into()));
+                    }
+                }
+                Inst::Mov { dst, src } => {
+                    expect_ty(src, f.reg_ty(*dst), bid, "mov src")?;
+                }
+                Inst::Load { dst, arr, idx } => {
+                    if arr.index() >= m.arrays.len() {
+                        return Err(err(f, Some(bid), format!("load from unknown array {:?}", arr)));
+                    }
+                    expect_ty(idx, Ty::I64, bid, "load index")?;
+                    let want = m.arrays[arr.index()].class.reg_ty();
+                    if f.reg_ty(*dst) != want {
+                        return Err(err(f, Some(bid), "load dst type mismatch".into()));
+                    }
+                }
+                Inst::Store { arr, idx, val } => {
+                    if arr.index() >= m.arrays.len() {
+                        return Err(err(f, Some(bid), format!("store to unknown array {:?}", arr)));
+                    }
+                    expect_ty(idx, Ty::I64, bid, "store index")?;
+                    expect_ty(val, m.arrays[arr.index()].class.reg_ty(), bid, "store value")?;
+                }
+                Inst::Call { dst, callee, args } => {
+                    if callee.index() >= m.funcs.len() {
+                        return Err(err(f, Some(bid), format!("call to unknown {:?}", callee)));
+                    }
+                    let target = m.func(FuncId(callee.0));
+                    if args.len() != target.params.len() {
+                        return Err(err(
+                            f,
+                            Some(bid),
+                            format!(
+                                "call to {}: {} args, expected {}",
+                                target.name,
+                                args.len(),
+                                target.params.len()
+                            ),
+                        ));
+                    }
+                    for (a, &p) in args.iter().zip(&target.params) {
+                        expect_ty(a, target.reg_ty(p), bid, "call arg")?;
+                    }
+                    match (dst, target.ret_ty) {
+                        (Some(d), Some(rt)) => {
+                            if f.reg_ty(*d) != rt {
+                                return Err(err(f, Some(bid), "call dst type mismatch".into()));
+                            }
+                        }
+                        (Some(_), None) => {
+                            return Err(err(
+                                f,
+                                Some(bid),
+                                format!("call captures result of void fn {}", target.name),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                Inst::Select { dst, cond, t, f: fv } => {
+                    expect_ty(cond, Ty::I64, bid, "select cond")?;
+                    expect_ty(t, f.reg_ty(*dst), bid, "select then")?;
+                    expect_ty(fv, f.reg_ty(*dst), bid, "select else")?;
+                }
+            }
+        }
+
+        match &block.term {
+            Terminator::Jump(t) => {
+                if t.index() >= f.blocks.len() {
+                    return Err(err(f, Some(bid), format!("jump to unknown bb{}", t.0)));
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                expect_ty(cond, Ty::I64, bid, "branch cond")?;
+                for t in [then_bb, else_bb] {
+                    if t.index() >= f.blocks.len() {
+                        return Err(err(f, Some(bid), format!("branch to unknown bb{}", t.0)));
+                    }
+                }
+            }
+            Terminator::Ret(v) => match (v, f.ret_ty) {
+                (Some(op), Some(rt)) => expect_ty(op, rt, bid, "return value")?,
+                (None, Some(_)) => {
+                    return Err(err(f, Some(bid), "missing return value".into()));
+                }
+                (Some(_), None) => {
+                    return Err(err(f, Some(bid), "void function returns a value".into()));
+                }
+                (None, None) => {}
+            },
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::{BinOp, ElemClass, Operand};
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new("t");
+        m.add_func(f);
+        m
+    }
+
+    #[test]
+    fn accepts_wellformed() {
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.bin(BinOp::Add, 1i64, 2i64);
+        b.ret(Some(x.into()));
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.bin(BinOp::FAdd, 1.0f64, 2.0f64);
+        b.ret(Some(x.into())); // F64 returned from I64 fn
+        let m = module_with(b.finish());
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("return value"), "{}", e);
+    }
+
+    #[test]
+    fn rejects_bad_block_target() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.ret(None);
+        let mut f = b.finish();
+        f.blocks[0].term = Terminator::Jump(BlockId(9));
+        let m = module_with(f);
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_array() {
+        let mut b = FunctionBuilder::new("main", &[], None);
+        b.store(crate::ArrId(0), 0i64, 1i64);
+        b.ret(None);
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut m = Module::new("t");
+        let mut cal = FunctionBuilder::new("callee", &[Ty::I64], Some(Ty::I64));
+        let p = cal.params()[0];
+        cal.ret(Some(p.into()));
+        let callee = m.add_func(cal.finish());
+
+        let mut mainb = FunctionBuilder::new("main", &[], None);
+        mainb.call_void(callee, vec![]); // wrong arity AND captures nothing from non-void: arity fires first
+        mainb.ret(None);
+        let main = m.add_func(mainb.finish());
+        m.entry = main;
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.message.contains("args"), "{}", e);
+    }
+
+    #[test]
+    fn rejects_entry_with_params() {
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], None);
+        b.ret(None);
+        let m = module_with(b.finish());
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn accepts_array_ops() {
+        let mut m = Module::new("t");
+        let arr = m.add_array("a", ElemClass::Int, 16);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        b.store(arr, 3i64, 42i64);
+        let v = b.load(Ty::I64, arr, 3i64);
+        b.ret(Some(Operand::Reg(v)));
+        let f = m.add_func(b.finish());
+        m.entry = f;
+        assert!(verify_module(&m).is_ok());
+    }
+}

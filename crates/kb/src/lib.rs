@@ -1,0 +1,330 @@
+//! # ic-kb — the knowledge base
+//!
+//! Section III-E of the paper asks for "a standardized database to store
+//! learning data in order to facilitate the communication between machine
+//! learning components, optimization algorithms, compiler and
+//! instrumentation tools, compiler writers, as well as application
+//! developers", populated with "the results of optimization experiments
+//! and with extensive architecture characterization experiments".
+//!
+//! This crate is that database:
+//!
+//! * typed records ([`ProgramRecord`], [`ArchRecord`],
+//!   [`ExperimentRecord`]) with a versioned, documented JSON schema
+//!   ([`SCHEMA_VERSION`]) — the "standard format" the paper calls for;
+//! * a [`KnowledgeBase`] store with save/load and the queries the
+//!   controller and the focused-search model need (best sequence per
+//!   program/arch, all experiments for a program, nearest programs by
+//!   feature distance);
+//! * [`SharedKb`] for concurrent producers (parallel search workers).
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Version of the on-disk JSON schema. Bump on breaking changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Static characterization of one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgramRecord {
+    pub program: String,
+    pub feature_names: Vec<String>,
+    pub features: Vec<f64>,
+}
+
+/// Measured characterization of one architecture (from microbenchmarks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchRecord {
+    pub arch: String,
+    pub feature_names: Vec<String>,
+    pub features: Vec<f64>,
+}
+
+/// One optimization experiment: a sequence applied to a program on an
+/// architecture, and what happened.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    pub program: String,
+    pub arch: String,
+    /// Optimization names (`ic_passes::Opt::name` strings).
+    pub sequence: Vec<String>,
+    pub cycles: u64,
+    /// Speedup over the unoptimized (-O0) build of the same program.
+    pub speedup: f64,
+    /// Named counter values from the run (optional; empty if not profiled).
+    #[serde(default)]
+    pub counters: Vec<(String, u64)>,
+}
+
+/// The whole knowledge base.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeBase {
+    #[serde(default = "default_schema")]
+    pub schema_version: u32,
+    pub programs: Vec<ProgramRecord>,
+    pub archs: Vec<ArchRecord>,
+    pub experiments: Vec<ExperimentRecord>,
+}
+
+fn default_schema() -> u32 {
+    SCHEMA_VERSION
+}
+
+/// Errors from persistence.
+#[derive(Debug)]
+pub enum KbError {
+    Io(std::io::Error),
+    Format(serde_json::Error),
+    SchemaMismatch { found: u32, expected: u32 },
+}
+
+impl std::fmt::Display for KbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KbError::Io(e) => write!(f, "io: {e}"),
+            KbError::Format(e) => write!(f, "format: {e}"),
+            KbError::SchemaMismatch { found, expected } => {
+                write!(f, "schema {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+impl KnowledgeBase {
+    /// Empty knowledge base at the current schema version.
+    pub fn new() -> Self {
+        KnowledgeBase {
+            schema_version: SCHEMA_VERSION,
+            ..Default::default()
+        }
+    }
+
+    /// Insert or replace a program characterization (keyed by name).
+    pub fn upsert_program(&mut self, rec: ProgramRecord) {
+        match self.programs.iter_mut().find(|p| p.program == rec.program) {
+            Some(p) => *p = rec,
+            None => self.programs.push(rec),
+        }
+    }
+
+    /// Insert or replace an architecture characterization (keyed by name).
+    pub fn upsert_arch(&mut self, rec: ArchRecord) {
+        match self.archs.iter_mut().find(|a| a.arch == rec.arch) {
+            Some(a) => *a = rec,
+            None => self.archs.push(rec),
+        }
+    }
+
+    /// Append an experiment.
+    pub fn add_experiment(&mut self, rec: ExperimentRecord) {
+        self.experiments.push(rec);
+    }
+
+    /// All experiments for `program` on `arch`.
+    pub fn experiments_for(&self, program: &str, arch: &str) -> Vec<&ExperimentRecord> {
+        self.experiments
+            .iter()
+            .filter(|e| e.program == program && e.arch == arch)
+            .collect()
+    }
+
+    /// The best (highest-speedup) experiment for `program` on `arch`.
+    pub fn best_for(&self, program: &str, arch: &str) -> Option<&ExperimentRecord> {
+        self.experiments_for(program, arch)
+            .into_iter()
+            .max_by(|a, b| a.speedup.partial_cmp(&b.speedup).unwrap())
+    }
+
+    /// Top-`k` sequences by speedup for `program` on `arch` (deduplicated
+    /// by sequence).
+    pub fn top_k(&self, program: &str, arch: &str, k: usize) -> Vec<&ExperimentRecord> {
+        let mut v = self.experiments_for(program, arch);
+        v.sort_by(|a, b| b.speedup.partial_cmp(&a.speedup).unwrap());
+        let mut seen = HashMap::new();
+        v.into_iter()
+            .filter(|e| seen.insert(e.sequence.clone(), ()).is_none())
+            .take(k)
+            .collect()
+    }
+
+    /// Programs ranked by Euclidean feature distance to `features`
+    /// (closest first), excluding `exclude`.
+    pub fn nearest_programs(&self, features: &[f64], exclude: &str) -> Vec<&ProgramRecord> {
+        let mut v: Vec<(&ProgramRecord, f64)> = self
+            .programs
+            .iter()
+            .filter(|p| p.program != exclude)
+            .map(|p| {
+                let d: f64 = p
+                    .features
+                    .iter()
+                    .zip(features)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (p, d)
+            })
+            .collect();
+        v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        v.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// Serialize to pretty JSON (the documented interchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("kb serializes")
+    }
+
+    /// Parse from JSON, enforcing the schema version.
+    pub fn from_json(s: &str) -> Result<Self, KbError> {
+        let kb: KnowledgeBase = serde_json::from_str(s).map_err(KbError::Format)?;
+        if kb.schema_version != SCHEMA_VERSION {
+            return Err(KbError::SchemaMismatch {
+                found: kb.schema_version,
+                expected: SCHEMA_VERSION,
+            });
+        }
+        Ok(kb)
+    }
+
+    /// Save to a file.
+    pub fn save(&self, path: &Path) -> Result<(), KbError> {
+        std::fs::write(path, self.to_json()).map_err(KbError::Io)
+    }
+
+    /// Load from a file.
+    pub fn load(path: &Path) -> Result<Self, KbError> {
+        let s = std::fs::read_to_string(path).map_err(KbError::Io)?;
+        Self::from_json(&s)
+    }
+}
+
+/// A thread-safe handle for concurrent writers (parallel search).
+pub type SharedKb = Arc<RwLock<KnowledgeBase>>;
+
+/// Create a fresh shared knowledge base.
+pub fn shared() -> SharedKb {
+    Arc::new(RwLock::new(KnowledgeBase::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(prog: &str, seq: &[&str], speedup: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            program: prog.into(),
+            arch: "vliw".into(),
+            sequence: seq.iter().map(|s| s.to_string()).collect(),
+            cycles: (1000.0 / speedup) as u64,
+            speedup,
+            counters: vec![],
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_by_key() {
+        let mut kb = KnowledgeBase::new();
+        kb.upsert_program(ProgramRecord {
+            program: "p".into(),
+            feature_names: vec!["f".into()],
+            features: vec![1.0],
+        });
+        kb.upsert_program(ProgramRecord {
+            program: "p".into(),
+            feature_names: vec!["f".into()],
+            features: vec![2.0],
+        });
+        assert_eq!(kb.programs.len(), 1);
+        assert_eq!(kb.programs[0].features[0], 2.0);
+    }
+
+    #[test]
+    fn best_and_topk() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_experiment(exp("p", &["dce"], 1.1));
+        kb.add_experiment(exp("p", &["licm", "dce"], 1.5));
+        kb.add_experiment(exp("p", &["licm", "dce"], 1.5)); // dup sequence
+        kb.add_experiment(exp("p", &["cse"], 1.3));
+        kb.add_experiment(exp("q", &["cse"], 9.9)); // other program
+        let best = kb.best_for("p", "vliw").unwrap();
+        assert_eq!(best.speedup, 1.5);
+        let top = kb.top_k("p", "vliw", 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].sequence, vec!["licm", "dce"]);
+        assert_eq!(top[1].sequence, vec!["cse"]);
+    }
+
+    #[test]
+    fn nearest_programs_ordering() {
+        let mut kb = KnowledgeBase::new();
+        for (name, f) in [("a", 0.0), ("b", 5.0), ("c", 1.0)] {
+            kb.upsert_program(ProgramRecord {
+                program: name.into(),
+                feature_names: vec!["f".into()],
+                features: vec![f],
+            });
+        }
+        let near = kb.nearest_programs(&[0.9], "self");
+        let names: Vec<&str> = near.iter().map(|p| p.program.as_str()).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+        // exclusion works
+        let near = kb.nearest_programs(&[0.9], "c");
+        assert_eq!(near[0].program, "a");
+    }
+
+    #[test]
+    fn json_round_trip_and_schema_guard() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_experiment(exp("p", &["dce"], 1.25));
+        let json = kb.to_json();
+        let back = KnowledgeBase::from_json(&json).unwrap();
+        assert_eq!(back.experiments.len(), 1);
+        assert_eq!(back.experiments[0].speedup, 1.25);
+
+        let bad = json.replace("\"schema_version\": 1", "\"schema_version\": 99");
+        assert!(matches!(
+            KnowledgeBase::from_json(&bad),
+            Err(KbError::SchemaMismatch { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut kb = KnowledgeBase::new();
+        kb.add_experiment(exp("p", &["schedule"], 2.0));
+        let dir = std::env::temp_dir().join("ic-kb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        kb.save(&path).unwrap();
+        let back = KnowledgeBase::load(&path).unwrap();
+        assert_eq!(back.experiments, kb.experiments);
+    }
+
+    #[test]
+    fn shared_concurrent_writes() {
+        let kb = shared();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let kb = kb.clone();
+                std::thread::spawn(move || {
+                    kb.write().add_experiment(ExperimentRecord {
+                        program: format!("p{i}"),
+                        arch: "a".into(),
+                        sequence: vec!["dce".into()],
+                        cycles: 100,
+                        speedup: 1.0,
+                        counters: vec![],
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(kb.read().experiments.len(), 8);
+    }
+}

@@ -1,0 +1,142 @@
+//! Abstract syntax tree for MinC.
+
+/// Scalar types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarTy {
+    Int,
+    Float,
+}
+
+/// Array element classes (mirrors `ic_ir::ElemClass`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayClass {
+    Int,
+    Float,
+    Ptr,
+}
+
+/// Binary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit logical and.
+    LAnd,
+    /// Short-circuit logical or.
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+    CastInt,
+    CastFloat,
+}
+
+/// Expression node (line-tagged for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    IntLit(i64),
+    FloatLit(f64),
+    Var(String),
+    Index { array: String, index: Box<Expr> },
+    Call { callee: String, args: Vec<Expr> },
+    Unary { op: UnOp, operand: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+}
+
+/// Statement node (line-tagged for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `int x = e;` / `float x = e;`
+    Decl {
+        ty: ScalarTy,
+        name: String,
+        init: Expr,
+    },
+    /// `x = e;`
+    Assign { name: String, value: Expr },
+    /// `a[i] = e;`
+    StoreIndex {
+        array: String,
+        index: Expr,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+    Break,
+    Continue,
+    /// Bare expression (evaluated for side effects; usually a call).
+    Expr(Expr),
+    Block(Vec<Stmt>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<(ScalarTy, String)>,
+    pub ret: Option<ScalarTy>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A global array declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDef {
+    pub name: String,
+    pub class: ArrayClass,
+    pub len: usize,
+    pub line: u32,
+}
+
+/// A whole parsed program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    pub arrays: Vec<ArrayDef>,
+    pub funcs: Vec<FuncDef>,
+}

@@ -1,0 +1,383 @@
+//! Hand-written lexer for MinC.
+
+use crate::CompileError;
+
+/// Token kinds. Punctuation/operator tokens carry no payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // literals / identifiers
+    Int(i64),
+    Float(f64),
+    Ident(String),
+    // keywords
+    KwInt,
+    KwFloat,
+    KwPtr,
+    KwVoid,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    // operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    NotEq,
+    Assign,
+    Bang,
+    AndAnd,
+    OrOr,
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+/// Streaming lexer (wrapped by [`lex`] for whole-input tokenization).
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(CompileError::new(start, "unterminated block comment"));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Lex the next token (Eof at end).
+    pub fn next_token(&mut self) -> Result<Token, CompileError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let tok = |kind| Ok(Token { kind, line });
+        let c = match self.peek() {
+            None => return tok(TokenKind::Eof),
+            Some(c) => c,
+        };
+
+        if c.is_ascii_digit() {
+            return self.number(line);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return self.ident_or_kw(line);
+        }
+
+        self.bump();
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'^' => TokenKind::Caret,
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    TokenKind::Amp
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    TokenKind::Pipe
+                }
+            }
+            b'<' => match self.peek() {
+                Some(b'<') => {
+                    self.bump();
+                    TokenKind::Shl
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Le
+                }
+                _ => TokenKind::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'>') => {
+                    self.bump();
+                    TokenKind::Shr
+                }
+                Some(b'=') => {
+                    self.bump();
+                    TokenKind::Ge
+                }
+                _ => TokenKind::Gt,
+            },
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            other => {
+                return Err(CompileError::new(
+                    line,
+                    format!("unexpected character {:?}", other as char),
+                ))
+            }
+        };
+        tok(kind)
+    }
+
+    fn number(&mut self, line: u32) -> Result<Token, CompileError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            // exponent: e[+-]?digits
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                self.pos = save;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let kind = if is_float {
+            TokenKind::Float(
+                text.parse()
+                    .map_err(|_| CompileError::new(line, format!("bad float literal {text}")))?,
+            )
+        } else {
+            TokenKind::Int(
+                text.parse()
+                    .map_err(|_| CompileError::new(line, format!("bad int literal {text}")))?,
+            )
+        };
+        Ok(Token { kind, line })
+    }
+
+    fn ident_or_kw(&mut self, line: u32) -> Result<Token, CompileError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let kind = match text {
+            "int" => TokenKind::KwInt,
+            "float" => TokenKind::KwFloat,
+            "ptr" => TokenKind::KwPtr,
+            "void" => TokenKind::KwVoid,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            _ => TokenKind::Ident(text.to_string()),
+        };
+        Ok(Token { kind, line })
+    }
+}
+
+/// Tokenize a whole input, including the trailing `Eof` token.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let done = t.kind == TokenKind::Eof;
+        out.push(t);
+        if done {
+            return Ok(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a <= b << 2 && !c"),
+            vec![
+                Ident("a".into()),
+                Le,
+                Ident("b".into()),
+                Shl,
+                Int(2),
+                AndAnd,
+                Bang,
+                Ident("c".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("42 3.5 1e3 7"), vec![Int(42), Float(3.5), Float(1000.0), Int(7), Eof]);
+    }
+
+    #[test]
+    fn keyword_vs_ident() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("int intx for fort"),
+            vec![KwInt, Ident("intx".into()), KwFor, Ident("fort".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        assert_eq!(toks.len(), 4); // a b c eof
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_char() {
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn distinguishes_eq_and_assign() {
+        use TokenKind::*;
+        assert_eq!(kinds("= == != !"), vec![Assign, EqEq, NotEq, Bang, Eof]);
+    }
+}

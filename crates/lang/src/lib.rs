@@ -1,0 +1,109 @@
+//! # ic-lang — the MinC frontend
+//!
+//! MinC is a small C-like language: the dialect the workload suite is
+//! written in, compiled by *this* stack so that every optimization pass in
+//! `ic-passes` operates on real programs rather than hand-built IR.
+//!
+//! Supported surface:
+//!
+//! * top level: global array declarations (`int a[100];`, `float w[8];`,
+//!   `ptr next[64];`) and function definitions (`int f(int x, float y)`,
+//!   `void g()`, `float h()`);
+//! * statements: variable declarations with initializers, assignment,
+//!   array stores, `if`/`else`, `while`, `for`, `break`, `continue`,
+//!   `return`, blocks and expression statements;
+//! * expressions: integer/float literals, variables, array indexing,
+//!   calls, unary `-`/`!`, casts `(int)`/`(float)`, the C binary operator
+//!   set with C precedence, and short-circuiting `&&`/`||`.
+//!
+//! `ptr` arrays hold integer indices that play the role of pointers; they
+//! are what the `ptr-compress` optimization narrows (see DESIGN.md §7).
+//!
+//! Entry point: [`compile`] — source text to a verified [`ic_ir::Module`].
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use lexer::{Lexer, Token, TokenKind};
+
+/// A frontend error with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl CompileError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        CompileError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+/// Compile MinC source text into a verified IR module.
+///
+/// The module is named `name`; its entry point is the (mandatory,
+/// parameterless) `main` function.
+///
+/// ```
+/// let m = ic_lang::compile("demo", "int main() { return 2 + 3; }").unwrap();
+/// assert_eq!(m.funcs.len(), 1);
+/// ```
+pub fn compile(name: &str, source: &str) -> Result<ic_ir::Module, CompileError> {
+    let tokens = lexer::lex(source)?;
+    let program = parser::parse(&tokens)?;
+    let module = lower::lower(name, &program)?;
+    ic_ir::verify::verify_module(&module)
+        .map_err(|e| CompileError::new(0, format!("internal: lowering produced invalid IR: {e}")))?;
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let src = r#"
+            int acc[4];
+            int helper(int x) { return x * 2; }
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 4; i = i + 1) {
+                    acc[i] = helper(i);
+                    s = s + acc[i];
+                }
+                return s;
+            }
+        "#;
+        let m = compile("t", src).unwrap();
+        assert_eq!(m.funcs.len(), 2);
+        assert_eq!(m.arrays.len(), 1);
+        assert_eq!(m.funcs[m.entry.index()].name, "main");
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let err = compile("t", "int main() {\n  return x;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains('x'));
+    }
+
+    #[test]
+    fn requires_main() {
+        let err = compile("t", "int f() { return 1; }").unwrap_err();
+        assert!(err.message.contains("main"));
+    }
+}

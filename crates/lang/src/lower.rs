@@ -1,0 +1,650 @@
+//! AST → IR lowering with scope handling, type checking, short-circuit
+//! logical operators, and canonical loop shapes.
+//!
+//! Loops are lowered to the canonical form the loop optimizations in
+//! `ic-passes` recognize: a dedicated header block holding the exit test,
+//! the body, and (for `for` loops) a dedicated step/latch block.
+
+use crate::ast::{self, ArrayClass, Expr, ExprKind, FuncDef, Program, ScalarTy, Stmt, StmtKind};
+use crate::CompileError;
+use ic_ir::builder::FunctionBuilder;
+use ic_ir::{ArrId, BinOp, BlockId, ElemClass, FuncId, Module, Operand, Reg, Ty};
+use std::collections::HashMap;
+
+fn scalar_to_ty(s: ScalarTy) -> Ty {
+    match s {
+        ScalarTy::Int => Ty::I64,
+        ScalarTy::Float => Ty::F64,
+    }
+}
+
+fn class_to_elem(c: ArrayClass) -> ElemClass {
+    match c {
+        ArrayClass::Int => ElemClass::Int,
+        ArrayClass::Float => ElemClass::Float,
+        ArrayClass::Ptr => ElemClass::Ptr,
+    }
+}
+
+fn elem_scalar(c: ElemClass) -> ScalarTy {
+    match c {
+        ElemClass::Float => ScalarTy::Float,
+        _ => ScalarTy::Int,
+    }
+}
+
+/// Signature info gathered in the pre-pass.
+struct Sig {
+    id: FuncId,
+    params: Vec<ScalarTy>,
+    ret: Option<ScalarTy>,
+}
+
+struct Ctx<'a> {
+    sigs: &'a HashMap<String, Sig>,
+    arrays: &'a HashMap<String, (ArrId, ElemClass)>,
+    b: FunctionBuilder,
+    /// Lexical scopes: name -> (register, type).
+    scopes: Vec<HashMap<String, (Reg, ScalarTy)>>,
+    /// (break target, continue target) stack.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    ret: Option<ScalarTy>,
+}
+
+impl<'a> Ctx<'a> {
+    fn lookup_var(&self, name: &str) -> Option<(Reg, ScalarTy)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, r: Reg, ty: ScalarTy, line: u32) -> Result<(), CompileError> {
+        let top = self.scopes.last_mut().expect("scope stack non-empty");
+        if top.contains_key(name) {
+            return Err(CompileError::new(
+                line,
+                format!("variable `{name}` already declared in this scope"),
+            ));
+        }
+        top.insert(name.to_string(), (r, ty));
+        Ok(())
+    }
+}
+
+/// Lower a parsed program to an IR module named `name`.
+pub fn lower(name: &str, prog: &Program) -> Result<Module, CompileError> {
+    let mut module = Module::new(name);
+
+    let mut arrays = HashMap::new();
+    for a in &prog.arrays {
+        if arrays.contains_key(&a.name) {
+            return Err(CompileError::new(a.line, format!("duplicate array `{}`", a.name)));
+        }
+        let class = class_to_elem(a.class);
+        let id = module.add_array(a.name.clone(), class, a.len);
+        arrays.insert(a.name.clone(), (id, class));
+    }
+
+    // Pre-pass: declare all function signatures so calls can be forward.
+    let mut sigs: HashMap<String, Sig> = HashMap::new();
+    for (i, f) in prog.funcs.iter().enumerate() {
+        if sigs.contains_key(&f.name) {
+            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+        }
+        sigs.insert(
+            f.name.clone(),
+            Sig {
+                id: FuncId(i as u32),
+                params: f.params.iter().map(|(t, _)| *t).collect(),
+                ret: f.ret,
+            },
+        );
+    }
+    let main = sigs
+        .get("main")
+        .ok_or_else(|| CompileError::new(1, "program has no `main` function"))?;
+    if !main.params.is_empty() {
+        return Err(CompileError::new(1, "`main` must take no parameters"));
+    }
+    let entry = main.id;
+
+    for f in &prog.funcs {
+        let lowered = lower_func(f, &sigs, &arrays)?;
+        module.add_func(lowered);
+    }
+    module.entry = entry;
+    Ok(module)
+}
+
+fn lower_func(
+    f: &FuncDef,
+    sigs: &HashMap<String, Sig>,
+    arrays: &HashMap<String, (ArrId, ElemClass)>,
+) -> Result<ic_ir::Function, CompileError> {
+    let param_tys: Vec<Ty> = f.params.iter().map(|(t, _)| scalar_to_ty(*t)).collect();
+    let b = FunctionBuilder::new(f.name.clone(), &param_tys, f.ret.map(scalar_to_ty));
+    let mut ctx = Ctx {
+        sigs,
+        arrays,
+        b,
+        scopes: vec![HashMap::new()],
+        loop_stack: Vec::new(),
+        ret: f.ret,
+    };
+    let params = ctx.b.params();
+    for ((ty, pname), reg) in f.params.iter().zip(params) {
+        ctx.declare(pname, reg, *ty, f.line)?;
+    }
+    let terminated = lower_stmts(&mut ctx, &f.body)?;
+    if !terminated {
+        // Implicit return: 0 / 0.0 for value-returning functions.
+        let v = match f.ret {
+            None => None,
+            Some(ScalarTy::Int) => Some(Operand::ImmI(0)),
+            Some(ScalarTy::Float) => Some(Operand::ImmF(0.0)),
+        };
+        ctx.b.ret(v);
+    }
+    Ok(ctx.b.finish())
+}
+
+/// Lower a statement list; returns true if control cannot fall out the end.
+fn lower_stmts(ctx: &mut Ctx, stmts: &[Stmt]) -> Result<bool, CompileError> {
+    ctx.scopes.push(HashMap::new());
+    let mut terminated = false;
+    for s in stmts {
+        if terminated {
+            // Unreachable code after return/break/continue: emit into a
+            // fresh dead block so the IR stays well formed.
+            let dead = ctx.b.new_block();
+            ctx.b.switch_to(dead);
+        }
+        terminated = lower_stmt(ctx, s)?;
+    }
+    ctx.scopes.pop();
+    Ok(terminated)
+}
+
+fn lower_stmt(ctx: &mut Ctx, s: &Stmt) -> Result<bool, CompileError> {
+    match &s.kind {
+        StmtKind::Decl { ty, name, init } => {
+            let (v, vty) = lower_expr(ctx, init)?;
+            if vty != *ty {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("initializer type mismatch for `{name}`"),
+                ));
+            }
+            let r = ctx.b.new_reg(scalar_to_ty(*ty));
+            ctx.b.mov(r, v);
+            ctx.declare(name, r, *ty, s.line)?;
+            Ok(false)
+        }
+        StmtKind::Assign { name, value } => {
+            let (r, ty) = ctx
+                .lookup_var(name)
+                .ok_or_else(|| CompileError::new(s.line, format!("unknown variable `{name}`")))?;
+            let (v, vty) = lower_expr(ctx, value)?;
+            if vty != ty {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("assignment type mismatch for `{name}`"),
+                ));
+            }
+            ctx.b.mov(r, v);
+            Ok(false)
+        }
+        StmtKind::StoreIndex { array, index, value } => {
+            let (arr, class) = *ctx
+                .arrays
+                .get(array)
+                .ok_or_else(|| CompileError::new(s.line, format!("unknown array `{array}`")))?;
+            let (idx, ity) = lower_expr(ctx, index)?;
+            if ity != ScalarTy::Int {
+                return Err(CompileError::new(s.line, "array index must be int"));
+            }
+            let (v, vty) = lower_expr(ctx, value)?;
+            if vty != elem_scalar(class) {
+                return Err(CompileError::new(
+                    s.line,
+                    format!("store type mismatch for `{array}`"),
+                ));
+            }
+            ctx.b.store(arr, idx, v);
+            Ok(false)
+        }
+        StmtKind::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let c = lower_cond(ctx, cond)?;
+            let then_bb = ctx.b.new_block();
+            let else_bb = ctx.b.new_block();
+            let join = ctx.b.new_block();
+            ctx.b.branch(c, then_bb, else_bb);
+
+            ctx.b.switch_to(then_bb);
+            let t_term = lower_stmts(ctx, then_body)?;
+            if !t_term {
+                ctx.b.jump(join);
+            }
+            ctx.b.switch_to(else_bb);
+            let e_term = lower_stmts(ctx, else_body)?;
+            if !e_term {
+                ctx.b.jump(join);
+            }
+            ctx.b.switch_to(join);
+            // If both arms terminated, the join block is unreachable; we
+            // report "not terminated" so a dead default-ret is emitted,
+            // which simplify-cfg removes.
+            Ok(false)
+        }
+        StmtKind::While { cond, body } => {
+            let header = ctx.b.new_block();
+            let body_bb = ctx.b.new_block();
+            let exit = ctx.b.new_block();
+            ctx.b.jump(header);
+
+            ctx.b.switch_to(header);
+            let c = lower_cond(ctx, cond)?;
+            ctx.b.branch(c, body_bb, exit);
+
+            ctx.b.switch_to(body_bb);
+            ctx.loop_stack.push((exit, header));
+            let b_term = lower_stmts(ctx, body)?;
+            ctx.loop_stack.pop();
+            if !b_term {
+                ctx.b.jump(header);
+            }
+            ctx.b.switch_to(exit);
+            Ok(false)
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            ctx.scopes.push(HashMap::new()); // for-scope (init variable)
+            if let Some(init) = init {
+                let t = lower_stmt(ctx, init)?;
+                debug_assert!(!t, "for-init cannot terminate");
+            }
+            let header = ctx.b.new_block();
+            let body_bb = ctx.b.new_block();
+            let step_bb = ctx.b.new_block();
+            let exit = ctx.b.new_block();
+            ctx.b.jump(header);
+
+            ctx.b.switch_to(header);
+            match cond {
+                Some(c) => {
+                    let cv = lower_cond(ctx, c)?;
+                    ctx.b.branch(cv, body_bb, exit);
+                }
+                None => ctx.b.jump(body_bb),
+            }
+
+            ctx.b.switch_to(body_bb);
+            ctx.loop_stack.push((exit, step_bb));
+            let b_term = lower_stmts(ctx, body)?;
+            ctx.loop_stack.pop();
+            if !b_term {
+                ctx.b.jump(step_bb);
+            }
+
+            ctx.b.switch_to(step_bb);
+            if let Some(step) = step {
+                let t = lower_stmt(ctx, step)?;
+                debug_assert!(!t, "for-step cannot terminate");
+            }
+            ctx.b.jump(header);
+
+            ctx.b.switch_to(exit);
+            ctx.scopes.pop();
+            Ok(false)
+        }
+        StmtKind::Return(v) => {
+            match (v, ctx.ret) {
+                (Some(e), Some(rt)) => {
+                    let (val, ty) = lower_expr(ctx, e)?;
+                    if ty != rt {
+                        return Err(CompileError::new(s.line, "return type mismatch"));
+                    }
+                    ctx.b.ret(Some(val));
+                }
+                (None, None) => ctx.b.ret(None),
+                (Some(_), None) => {
+                    return Err(CompileError::new(s.line, "void function returns a value"))
+                }
+                (None, Some(_)) => {
+                    return Err(CompileError::new(s.line, "missing return value"))
+                }
+            }
+            Ok(true)
+        }
+        StmtKind::Break => {
+            let (brk, _) = *ctx
+                .loop_stack
+                .last()
+                .ok_or_else(|| CompileError::new(s.line, "`break` outside loop"))?;
+            ctx.b.jump(brk);
+            Ok(true)
+        }
+        StmtKind::Continue => {
+            let (_, cont) = *ctx
+                .loop_stack
+                .last()
+                .ok_or_else(|| CompileError::new(s.line, "`continue` outside loop"))?;
+            ctx.b.jump(cont);
+            Ok(true)
+        }
+        StmtKind::Expr(e) => {
+            // Only calls make sense as expression statements; allow void.
+            if let ExprKind::Call { callee, args } = &e.kind {
+                lower_call(ctx, callee, args, e.line, true)?;
+                Ok(false)
+            } else {
+                let _ = lower_expr(ctx, e)?;
+                Ok(false)
+            }
+        }
+        StmtKind::Block(stmts) => lower_stmts(ctx, stmts),
+    }
+}
+
+/// Lower an expression used as a branch condition (must be int).
+fn lower_cond(ctx: &mut Ctx, e: &Expr) -> Result<Operand, CompileError> {
+    let (v, ty) = lower_expr(ctx, e)?;
+    if ty != ScalarTy::Int {
+        return Err(CompileError::new(e.line, "condition must be int"));
+    }
+    Ok(v)
+}
+
+fn lower_call(
+    ctx: &mut Ctx,
+    callee: &str,
+    args: &[Expr],
+    line: u32,
+    allow_void: bool,
+) -> Result<Option<(Operand, ScalarTy)>, CompileError> {
+    let (id, ret, ptys) = {
+        let sig = ctx
+            .sigs
+            .get(callee)
+            .ok_or_else(|| CompileError::new(line, format!("unknown function `{callee}`")))?;
+        (sig.id, sig.ret, sig.params.clone())
+    };
+    if args.len() != ptys.len() {
+        return Err(CompileError::new(
+            line,
+            format!(
+                "`{callee}` expects {} argument(s), got {}",
+                ptys.len(),
+                args.len()
+            ),
+        ));
+    }
+    let mut lowered = Vec::with_capacity(args.len());
+    for (a, want) in args.iter().zip(&ptys) {
+        let (v, ty) = lower_expr(ctx, a)?;
+        if ty != *want {
+            return Err(CompileError::new(a.line, format!("argument type mismatch in call to `{callee}`")));
+        }
+        lowered.push(v);
+    }
+    match ret {
+        Some(rt) => {
+            let r = ctx.b.call(scalar_to_ty(rt), id, lowered);
+            Ok(Some((Operand::Reg(r), rt)))
+        }
+        None if allow_void => {
+            ctx.b.call_void(id, lowered);
+            Ok(None)
+        }
+        None => Err(CompileError::new(
+            line,
+            format!("void function `{callee}` used in an expression"),
+        )),
+    }
+}
+
+fn lower_expr(ctx: &mut Ctx, e: &Expr) -> Result<(Operand, ScalarTy), CompileError> {
+    use ast::BinOp as AB;
+    use ast::UnOp as AU;
+    match &e.kind {
+        ExprKind::IntLit(v) => Ok((Operand::ImmI(*v), ScalarTy::Int)),
+        ExprKind::FloatLit(v) => Ok((Operand::ImmF(*v), ScalarTy::Float)),
+        ExprKind::Var(name) => {
+            let (r, ty) = ctx
+                .lookup_var(name)
+                .ok_or_else(|| CompileError::new(e.line, format!("unknown variable `{name}`")))?;
+            Ok((Operand::Reg(r), ty))
+        }
+        ExprKind::Index { array, index } => {
+            let (arr, class) = *ctx
+                .arrays
+                .get(array)
+                .ok_or_else(|| CompileError::new(e.line, format!("unknown array `{array}`")))?;
+            let (idx, ity) = lower_expr(ctx, index)?;
+            if ity != ScalarTy::Int {
+                return Err(CompileError::new(e.line, "array index must be int"));
+            }
+            let ty = elem_scalar(class);
+            let r = ctx.b.load(scalar_to_ty(ty), arr, idx);
+            Ok((Operand::Reg(r), ty))
+        }
+        ExprKind::Call { callee, args } => lower_call(ctx, callee, args, e.line, false)?
+            .ok_or_else(|| CompileError::new(e.line, "void call in expression")),
+        ExprKind::Unary { op, operand } => {
+            let (v, ty) = lower_expr(ctx, operand)?;
+            match (op, ty) {
+                (AU::Neg, ScalarTy::Int) => Ok((ctx.b.un(ic_ir::UnOp::Neg, v).into(), ScalarTy::Int)),
+                (AU::Neg, ScalarTy::Float) => {
+                    Ok((ctx.b.un(ic_ir::UnOp::FNeg, v).into(), ScalarTy::Float))
+                }
+                (AU::Not, ScalarTy::Int) => Ok((ctx.b.un(ic_ir::UnOp::Not, v).into(), ScalarTy::Int)),
+                (AU::Not, ScalarTy::Float) => {
+                    Err(CompileError::new(e.line, "`!` needs an int operand"))
+                }
+                (AU::CastInt, ScalarTy::Float) => {
+                    Ok((ctx.b.un(ic_ir::UnOp::F2I, v).into(), ScalarTy::Int))
+                }
+                (AU::CastInt, ScalarTy::Int) => Ok((v, ScalarTy::Int)),
+                (AU::CastFloat, ScalarTy::Int) => {
+                    Ok((ctx.b.un(ic_ir::UnOp::I2F, v).into(), ScalarTy::Float))
+                }
+                (AU::CastFloat, ScalarTy::Float) => Ok((v, ScalarTy::Float)),
+            }
+        }
+        ExprKind::Binary { op: AB::LAnd, lhs, rhs } => lower_short_circuit(ctx, lhs, rhs, true, e.line),
+        ExprKind::Binary { op: AB::LOr, lhs, rhs } => lower_short_circuit(ctx, lhs, rhs, false, e.line),
+        ExprKind::Binary { op, lhs, rhs } => {
+            let (a, at) = lower_expr(ctx, lhs)?;
+            let (b, bt) = lower_expr(ctx, rhs)?;
+            if at != bt {
+                return Err(CompileError::new(
+                    e.line,
+                    "binary operator requires matching operand types (use a cast)",
+                ));
+            }
+            let (irop, rty) = match (op, at) {
+                (AB::Add, ScalarTy::Int) => (BinOp::Add, ScalarTy::Int),
+                (AB::Sub, ScalarTy::Int) => (BinOp::Sub, ScalarTy::Int),
+                (AB::Mul, ScalarTy::Int) => (BinOp::Mul, ScalarTy::Int),
+                (AB::Div, ScalarTy::Int) => (BinOp::Div, ScalarTy::Int),
+                (AB::Rem, ScalarTy::Int) => (BinOp::Rem, ScalarTy::Int),
+                (AB::And, ScalarTy::Int) => (BinOp::And, ScalarTy::Int),
+                (AB::Or, ScalarTy::Int) => (BinOp::Or, ScalarTy::Int),
+                (AB::Xor, ScalarTy::Int) => (BinOp::Xor, ScalarTy::Int),
+                (AB::Shl, ScalarTy::Int) => (BinOp::Shl, ScalarTy::Int),
+                (AB::Shr, ScalarTy::Int) => (BinOp::Shr, ScalarTy::Int),
+                (AB::Lt, ScalarTy::Int) => (BinOp::Lt, ScalarTy::Int),
+                (AB::Le, ScalarTy::Int) => (BinOp::Le, ScalarTy::Int),
+                (AB::Gt, ScalarTy::Int) => (BinOp::Gt, ScalarTy::Int),
+                (AB::Ge, ScalarTy::Int) => (BinOp::Ge, ScalarTy::Int),
+                (AB::Eq, ScalarTy::Int) => (BinOp::Eq, ScalarTy::Int),
+                (AB::Ne, ScalarTy::Int) => (BinOp::Ne, ScalarTy::Int),
+                (AB::Add, ScalarTy::Float) => (BinOp::FAdd, ScalarTy::Float),
+                (AB::Sub, ScalarTy::Float) => (BinOp::FSub, ScalarTy::Float),
+                (AB::Mul, ScalarTy::Float) => (BinOp::FMul, ScalarTy::Float),
+                (AB::Div, ScalarTy::Float) => (BinOp::FDiv, ScalarTy::Float),
+                (AB::Lt, ScalarTy::Float) => (BinOp::FLt, ScalarTy::Int),
+                (AB::Le, ScalarTy::Float) => (BinOp::FLe, ScalarTy::Int),
+                (AB::Gt, ScalarTy::Float) => (BinOp::FGt, ScalarTy::Int),
+                (AB::Ge, ScalarTy::Float) => (BinOp::FGe, ScalarTy::Int),
+                (AB::Eq, ScalarTy::Float) => (BinOp::FEq, ScalarTy::Int),
+                (AB::Ne, ScalarTy::Float) => (BinOp::FNe, ScalarTy::Int),
+                (other, ScalarTy::Float) => {
+                    return Err(CompileError::new(
+                        e.line,
+                        format!("operator {:?} not defined on float", other),
+                    ))
+                }
+                (AB::LAnd | AB::LOr, _) => unreachable!("handled above"),
+            };
+            Ok((ctx.b.bin(irop, a, b).into(), rty))
+        }
+    }
+}
+
+/// Lower `lhs && rhs` / `lhs || rhs` with control flow, producing 0/1.
+fn lower_short_circuit(
+    ctx: &mut Ctx,
+    lhs: &Expr,
+    rhs: &Expr,
+    is_and: bool,
+    line: u32,
+) -> Result<(Operand, ScalarTy), CompileError> {
+    let (a, at) = lower_expr(ctx, lhs)?;
+    if at != ScalarTy::Int {
+        return Err(CompileError::new(line, "logical operand must be int"));
+    }
+    let res = ctx.b.new_reg(Ty::I64);
+    let rhs_bb = ctx.b.new_block();
+    let short_bb = ctx.b.new_block();
+    let join = ctx.b.new_block();
+    if is_and {
+        ctx.b.branch(a, rhs_bb, short_bb);
+    } else {
+        ctx.b.branch(a, short_bb, rhs_bb);
+    }
+
+    ctx.b.switch_to(short_bb);
+    ctx.b.mov(res, if is_and { 0i64 } else { 1i64 });
+    ctx.b.jump(join);
+
+    ctx.b.switch_to(rhs_bb);
+    let (bv, bt) = lower_expr(ctx, rhs)?;
+    if bt != ScalarTy::Int {
+        return Err(CompileError::new(line, "logical operand must be int"));
+    }
+    let norm = ctx.b.bin(BinOp::Ne, bv, 0i64);
+    ctx.b.mov(res, norm);
+    ctx.b.jump(join);
+
+    ctx.b.switch_to(join);
+    Ok((Operand::Reg(res), ScalarTy::Int))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile;
+    use ic_ir::Terminator;
+
+    #[test]
+    fn for_loop_has_canonical_shape() {
+        let m = compile(
+            "t",
+            "int main() { int s = 0; for (int i = 0; i < 8; i = i + 1) s = s + i; return s; }",
+        )
+        .unwrap();
+        let f = &m.funcs[0];
+        // entry, header, body, step, exit
+        assert_eq!(f.blocks.len(), 5);
+        // header branches to body/exit
+        assert!(matches!(f.blocks[1].term, Terminator::Branch { .. }));
+        // step jumps to header
+        assert!(matches!(f.blocks[3].term, Terminator::Jump(b) if b.0 == 1));
+    }
+
+    #[test]
+    fn short_circuit_creates_branches() {
+        let m = compile(
+            "t",
+            "int main() { int a = 1; int b = 0; if (a && b) return 1; return 0; }",
+        )
+        .unwrap();
+        // && lowers to extra blocks beyond the if's three.
+        assert!(m.funcs[0].blocks.len() >= 6);
+    }
+
+    #[test]
+    fn type_errors_are_caught() {
+        assert!(compile("t", "int main() { float x = 1; return 0; }").is_err());
+        assert!(compile("t", "int main() { return 1.5; }").is_err());
+        assert!(compile("t", "int main() { int x = 1 + 2.0; return x; }").is_err());
+        assert!(compile("t", "float f[4]; int main() { f[0] = 1; return 0; }").is_err());
+    }
+
+    #[test]
+    fn casts_bridge_types() {
+        let m = compile(
+            "t",
+            "int main() { float x = (float)3 * 1.5; return (int)x; }",
+        );
+        assert!(m.is_ok());
+    }
+
+    #[test]
+    fn break_continue_scoping() {
+        assert!(compile("t", "int main() { break; return 0; }").is_err());
+        let ok = compile(
+            "t",
+            "int main() {
+                int s = 0;
+                for (int i = 0; i < 10; i = i + 1) {
+                    if (i == 3) continue;
+                    if (i == 7) break;
+                    s = s + i;
+                }
+                return s;
+            }",
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn recursion_allowed() {
+        let m = compile(
+            "t",
+            "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+             int main() { return fib(10); }",
+        );
+        assert!(m.is_ok());
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let m = compile(
+            "t",
+            "int main() { int x = 1; { int x = 2; } return x; }",
+        );
+        assert!(m.is_ok());
+        // same-scope redeclaration is an error
+        assert!(compile("t", "int main() { int x = 1; int x = 2; return x; }").is_err());
+    }
+
+    #[test]
+    fn unreachable_code_after_return_is_tolerated() {
+        let m = compile("t", "int main() { return 1; return 2; }");
+        assert!(m.is_ok());
+    }
+
+    #[test]
+    fn ptr_arrays_marked() {
+        let m = compile("t", "ptr next[16]; int main() { next[0] = 3; return next[0]; }").unwrap();
+        assert_eq!(m.arrays[0].class, ic_ir::ElemClass::Ptr);
+        assert_eq!(m.arrays[0].elem_size, 8);
+    }
+}

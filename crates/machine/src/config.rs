@@ -1,0 +1,242 @@
+//! Machine descriptions: issue model, operation latencies, cache geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes. Must be `sets * ways * line_size`.
+    pub size_bytes: u64,
+    pub ways: u32,
+    pub line_size: u32,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways as u64 * self.line_size as u64)
+    }
+}
+
+/// Per-opcode-class execution latencies in cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Latencies {
+    pub alu: u64,
+    pub mul: u64,
+    pub div: u64,
+    pub fadd: u64,
+    pub fmul: u64,
+    pub fdiv: u64,
+    pub mov: u64,
+    /// Address-generation / L1-hit portion of a load (the cache level adds
+    /// its own latency on top for misses).
+    pub load_base: u64,
+}
+
+/// A complete simulated machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    pub name: String,
+    /// Instructions issued per cycle (1 = scalar, 8 = C6713-like VLIW).
+    pub issue_width: u32,
+    pub lat: Latencies,
+    pub l1d: CacheConfig,
+    pub l2: CacheConfig,
+    /// Main-memory latency in cycles (beyond L2).
+    pub mem_latency: u64,
+    /// Cycles lost on a branch mispredict.
+    pub branch_penalty: u64,
+    /// Fixed cycles charged for taking any branch/jump (packet break on a
+    /// VLIW, fetch redirect on a superscalar).
+    pub taken_branch_cost: u64,
+    /// Call/return overhead in cycles.
+    pub call_overhead: u64,
+    /// Data-TLB entries (fully associative) and page size.
+    pub tlb_entries: u32,
+    pub page_size: u32,
+    /// TLB-miss penalty in cycles.
+    pub tlb_penalty: u64,
+    /// Cycles charged when a *store* misses in L2 (models write-bandwidth
+    /// pressure; loads pay `mem_latency`).
+    pub store_miss_penalty: u64,
+    /// Number of cores (used by the multicore model; single-core code
+    /// ignores it).
+    pub cores: u32,
+}
+
+impl MachineConfig {
+    /// A TI-C6713-flavoured VLIW: wide issue, exposed latencies, small
+    /// caches, cheap branches mispredicts (short pipeline) but expensive
+    /// packet breaks. The Fig. 2 target.
+    pub fn vliw_c6713_like() -> Self {
+        MachineConfig {
+            name: "vliw-c6713-like".into(),
+            issue_width: 8,
+            lat: Latencies {
+                alu: 1,
+                mul: 2,
+                div: 18,
+                fadd: 4,
+                fmul: 4,
+                fdiv: 22,
+                mov: 1,
+                load_base: 4,
+            },
+            l1d: CacheConfig {
+                size_bytes: 4 * 1024,
+                ways: 2,
+                line_size: 32,
+                latency: 0, // folded into load_base
+            },
+            l2: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 4,
+                line_size: 64,
+                latency: 8,
+            },
+            mem_latency: 60,
+            branch_penalty: 5,
+            taken_branch_cost: 2,
+            call_overhead: 6,
+            tlb_entries: 16,
+            page_size: 4096,
+            tlb_penalty: 20,
+            store_miss_penalty: 12,
+            cores: 1,
+        }
+    }
+
+    /// An AMD-Opteron-flavoured superscalar: 3-wide, deeper memory system,
+    /// expensive mispredicts. The Fig. 3/4 target.
+    pub fn superscalar_amd_like() -> Self {
+        MachineConfig {
+            name: "superscalar-amd-like".into(),
+            issue_width: 3,
+            lat: Latencies {
+                alu: 1,
+                mul: 3,
+                div: 40,
+                fadd: 4,
+                fmul: 4,
+                fdiv: 20,
+                mov: 1,
+                load_base: 3,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                ways: 2,
+                line_size: 64,
+                latency: 0,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                line_size: 64,
+                latency: 12,
+            },
+            mem_latency: 200,
+            branch_penalty: 12,
+            taken_branch_cost: 1,
+            call_overhead: 4,
+            tlb_entries: 32,
+            page_size: 4096,
+            tlb_penalty: 30,
+            store_miss_penalty: 40,
+            cores: 1,
+        }
+    }
+
+    /// A small, fast config for unit tests: tiny caches so cache effects
+    /// are visible on tiny programs.
+    pub fn test_tiny() -> Self {
+        MachineConfig {
+            name: "test-tiny".into(),
+            issue_width: 2,
+            lat: Latencies {
+                alu: 1,
+                mul: 2,
+                div: 10,
+                fadd: 2,
+                fmul: 2,
+                fdiv: 10,
+                mov: 1,
+                load_base: 2,
+            },
+            l1d: CacheConfig {
+                size_bytes: 256,
+                ways: 2,
+                line_size: 32,
+                latency: 0,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024,
+                ways: 4,
+                line_size: 32,
+                latency: 6,
+            },
+            mem_latency: 40,
+            branch_penalty: 4,
+            taken_branch_cost: 1,
+            call_overhead: 3,
+            tlb_entries: 4,
+            page_size: 256,
+            tlb_penalty: 10,
+            store_miss_penalty: 8,
+            cores: 1,
+        }
+    }
+
+    /// A multicore derivative of the AMD-like config with `n` cores
+    /// sharing the L2.
+    pub fn multicore_amd_like(n: u32) -> Self {
+        let mut c = Self::superscalar_amd_like();
+        c.name = format!("multicore-amd-like-x{n}");
+        c.cores = n;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometries_are_consistent() {
+        for cfg in [
+            MachineConfig::vliw_c6713_like(),
+            MachineConfig::superscalar_amd_like(),
+            MachineConfig::test_tiny(),
+        ] {
+            for c in [&cfg.l1d, &cfg.l2] {
+                assert!(c.sets() >= 1, "{}: degenerate cache", cfg.name);
+                assert_eq!(
+                    c.sets() * c.ways as u64 * c.line_size as u64,
+                    c.size_bytes,
+                    "{}: size not factorable",
+                    cfg.name
+                );
+            }
+            assert!(cfg.l2.size_bytes > cfg.l1d.size_bytes);
+            assert!(cfg.issue_width >= 1);
+        }
+    }
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let vliw = MachineConfig::vliw_c6713_like();
+        let amd = MachineConfig::superscalar_amd_like();
+        assert!(vliw.issue_width > amd.issue_width);
+        assert!(amd.mem_latency > vliw.mem_latency);
+        assert!(amd.l2.size_bytes > vliw.l2.size_bytes);
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let cfg = MachineConfig::vliw_c6713_like();
+        let c2 = cfg.clone();
+        assert_eq!(cfg, c2);
+        assert_ne!(cfg, MachineConfig::test_tiny());
+    }
+}

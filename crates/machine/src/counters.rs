@@ -1,0 +1,207 @@
+//! PAPI-style performance counters.
+//!
+//! Counter names mirror the ones the paper's Figures 3 and 4 plot
+//! (`L1_TCM`, `L1_TCA`, `L2_TCA`, `L2_STM`, ...) so the reproduction
+//! harness can print the same columns.
+
+use serde::{Deserialize, Serialize};
+
+/// The counters the simulated machine maintains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(non_camel_case_types)]
+pub enum Counter {
+    /// Total cycles.
+    TOT_CYC,
+    /// Total instructions retired.
+    TOT_INS,
+    /// Load instructions.
+    LD_INS,
+    /// Store instructions.
+    SR_INS,
+    /// Branch instructions (conditional branches).
+    BR_INS,
+    /// Branch mispredictions.
+    BR_MSP,
+    /// Floating-point instructions.
+    FP_INS,
+    /// Integer multiply/divide instructions.
+    MULDIV_INS,
+    /// L1 data-cache total accesses.
+    L1_TCA,
+    /// L1 data-cache total misses.
+    L1_TCM,
+    /// L1 data-cache load misses.
+    L1_LDM,
+    /// L1 data-cache store misses.
+    L1_STM,
+    /// L2 total accesses.
+    L2_TCA,
+    /// L2 total misses.
+    L2_TCM,
+    /// L2 load misses.
+    L2_LDM,
+    /// L2 store misses.
+    L2_STM,
+    /// Data-TLB misses.
+    TLB_DM,
+    /// Function calls executed.
+    CALLS,
+    /// Cycles lost to stalls (dependences + memory), derived.
+    CYC_STALL,
+}
+
+impl Counter {
+    /// All counters, in a stable presentation order.
+    pub const ALL: [Counter; 19] = [
+        Counter::TOT_CYC,
+        Counter::TOT_INS,
+        Counter::LD_INS,
+        Counter::SR_INS,
+        Counter::BR_INS,
+        Counter::BR_MSP,
+        Counter::FP_INS,
+        Counter::MULDIV_INS,
+        Counter::L1_TCA,
+        Counter::L1_TCM,
+        Counter::L1_LDM,
+        Counter::L1_STM,
+        Counter::L2_TCA,
+        Counter::L2_TCM,
+        Counter::L2_LDM,
+        Counter::L2_STM,
+        Counter::TLB_DM,
+        Counter::CALLS,
+        Counter::CYC_STALL,
+    ];
+
+    /// PAPI-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::TOT_CYC => "TOT_CYC",
+            Counter::TOT_INS => "TOT_INS",
+            Counter::LD_INS => "LD_INS",
+            Counter::SR_INS => "SR_INS",
+            Counter::BR_INS => "BR_INS",
+            Counter::BR_MSP => "BR_MSP",
+            Counter::FP_INS => "FP_INS",
+            Counter::MULDIV_INS => "MULDIV_INS",
+            Counter::L1_TCA => "L1_TCA",
+            Counter::L1_TCM => "L1_TCM",
+            Counter::L1_LDM => "L1_LDM",
+            Counter::L1_STM => "L1_STM",
+            Counter::L2_TCA => "L2_TCA",
+            Counter::L2_TCM => "L2_TCM",
+            Counter::L2_LDM => "L2_LDM",
+            Counter::L2_STM => "L2_STM",
+            Counter::TLB_DM => "TLB_DM",
+            Counter::CALLS => "CALLS",
+            Counter::CYC_STALL => "CYC_STALL",
+        }
+    }
+
+    /// Index into the dense storage array.
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Dense counter vector.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    vals: Vec<u64>,
+}
+
+impl PerfCounters {
+    /// All-zero counters.
+    pub fn new() -> Self {
+        PerfCounters {
+            vals: vec![0; Counter::ALL.len()],
+        }
+    }
+
+    /// Read a counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c.idx()]
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&mut self, c: Counter, n: u64) {
+        self.vals[c.idx()] += n;
+    }
+
+    /// Increment a counter by one.
+    pub fn bump(&mut self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Overwrite a counter (used for derived values like TOT_CYC).
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.vals[c.idx()] = v;
+    }
+
+    /// Accumulate another counter vector into this one.
+    pub fn merge(&mut self, other: &PerfCounters) {
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            *a += b;
+        }
+    }
+
+    /// Counter value normalized per retired instruction — the
+    /// representation the paper's Figure 3 uses (events *per instruction*
+    /// so programs of different lengths are comparable).
+    pub fn per_instruction(&self, c: Counter) -> f64 {
+        let ins = self.get(Counter::TOT_INS).max(1) as f64;
+        self.get(c) as f64 / ins
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        let cyc = self.get(Counter::TOT_CYC).max(1) as f64;
+        self.get(Counter::TOT_INS) as f64 / cyc
+    }
+
+    /// The full vector of per-instruction rates, ordered by
+    /// [`Counter::ALL`] (dynamic feature vector for the ML models).
+    pub fn rate_vector(&self) -> Vec<f64> {
+        Counter::ALL
+            .iter()
+            .map(|&c| match c {
+                Counter::TOT_INS => self.get(c) as f64, // raw count, scaled later
+                _ => self.per_instruction(c),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_indices_unique_and_dense() {
+        let mut seen = vec![false; Counter::ALL.len()];
+        for c in Counter::ALL {
+            assert!(!seen[c.idx()], "duplicate idx for {}", c.name());
+            seen[c.idx()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bump_get_merge() {
+        let mut a = PerfCounters::new();
+        a.bump(Counter::L1_TCM);
+        a.add(Counter::TOT_INS, 10);
+        let mut b = PerfCounters::new();
+        b.add(Counter::L1_TCM, 4);
+        a.merge(&b);
+        assert_eq!(a.get(Counter::L1_TCM), 5);
+        assert_eq!(a.per_instruction(Counter::L1_TCM), 0.5);
+    }
+
+    #[test]
+    fn ipc_guarded_against_zero() {
+        let c = PerfCounters::new();
+        assert_eq!(c.ipc(), 0.0);
+    }
+}

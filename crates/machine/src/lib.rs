@@ -1,0 +1,69 @@
+//! # ic-machine — cycle-level simulated targets
+//!
+//! The paper's experiments ran on a TI C6713 VLIW DSP and an AMD Opteron
+//! with PAPI hardware counters. This crate is the substitute substrate: a
+//! deterministic cycle-level simulator that executes `ic-ir` modules under
+//! a configurable [`MachineConfig`] and reports a PAPI-style
+//! [`PerfCounters`] vector.
+//!
+//! The timing model is an in-order machine with:
+//!
+//! * a bounded issue width per cycle with true-dependence stalls tracked
+//!   through per-register ready times (so the list-scheduling and
+//!   unrolling passes have the effect they have on a real in-order VLIW);
+//! * a two-level set-associative write-allocate/write-back data-cache
+//!   hierarchy with LRU replacement ([`cache`]);
+//! * a 2-bit saturating-counter branch predictor ([`branch`]);
+//! * a small fully-associative data TLB ([`tlb`]).
+//!
+//! Execution is *resumable*: [`interp::Sim::step`] runs a bounded number
+//! of instructions and can be interleaved with other cores (the multicore
+//! model in [`multicore`] shares one L2 between per-core simulators) or
+//! sampled in windows (the dynamic-optimization runtime monitor in
+//! `ic-core` uses this).
+//!
+//! [`microbench`] implements Yotov-style microbenchmark characterization
+//! of a machine config: it *measures* cache sizes and latencies by running
+//! probe programs, rather than reading the config — the knowledge-base
+//! entries for architectures are produced this way.
+
+pub mod branch;
+pub mod cache;
+pub mod config;
+pub mod counters;
+pub mod interp;
+pub mod mem;
+pub mod microbench;
+pub mod multicore;
+pub mod tlb;
+
+pub use config::MachineConfig;
+pub use counters::{Counter, PerfCounters};
+pub use interp::{RunResult, Sim, SimError};
+pub use mem::Memory;
+
+/// Execute `module` to completion on a machine described by `config`,
+/// with `mem` as the initial array contents and an instruction budget of
+/// `fuel`. Convenience wrapper over [`interp::Sim`].
+pub fn simulate(
+    module: &ic_ir::Module,
+    config: &MachineConfig,
+    mem: Memory,
+    fuel: u64,
+) -> Result<RunResult, SimError> {
+    let mut l2 = cache::Cache::new(&config.l2);
+    let mut sim = Sim::new(module, config, mem);
+    match sim.step(fuel, &mut l2)? {
+        interp::StepOutcome::Finished(ret) => Ok(sim.into_result(ret)),
+        interp::StepOutcome::Running => Err(SimError::OutOfFuel),
+    }
+}
+
+/// Run a module on a fresh zeroed memory. Most tests use this.
+pub fn simulate_default(
+    module: &ic_ir::Module,
+    config: &MachineConfig,
+    fuel: u64,
+) -> Result<RunResult, SimError> {
+    simulate(module, config, Memory::for_module(module), fuel)
+}

@@ -1,0 +1,221 @@
+//! Program memory: typed arrays at synthetic base addresses.
+//!
+//! Values are stored as raw 64-bit words (`i64` or `f64` bit patterns)
+//! regardless of the array's *cache* element size, so `ptr-compress`
+//! changes the address mapping without touching semantics (DESIGN.md §7).
+
+use ic_ir::{ArrId, Module};
+
+/// All global arrays of a module plus their base addresses.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    data: Vec<Vec<u64>>,
+    bases: Vec<u64>,
+    elem_sizes: Vec<u8>,
+    total_bytes: u64,
+}
+
+impl Memory {
+    /// Zero-initialized memory laid out for `module`. Arrays are placed
+    /// contiguously, each base aligned to 64 bytes, starting at a non-zero
+    /// offset so address 0 is never used.
+    pub fn for_module(module: &Module) -> Self {
+        let mut bases = Vec::with_capacity(module.arrays.len());
+        let mut data = Vec::with_capacity(module.arrays.len());
+        let mut elem_sizes = Vec::with_capacity(module.arrays.len());
+        let mut cursor: u64 = 64;
+        for a in &module.arrays {
+            bases.push(cursor);
+            data.push(vec![0u64; a.len]);
+            elem_sizes.push(a.elem_size);
+            let bytes = a.len as u64 * a.elem_size as u64;
+            cursor += (bytes + 63) & !63;
+        }
+        Memory {
+            data,
+            bases,
+            elem_sizes,
+            total_bytes: cursor,
+        }
+    }
+
+    /// Number of arrays.
+    pub fn num_arrays(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Length (in elements) of array `arr`.
+    pub fn len_of(&self, arr: ArrId) -> usize {
+        self.data[arr.index()].len()
+    }
+
+    /// Total footprint in bytes (including alignment padding).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Wrap an index into bounds (loads/stores never trap; see ic-ir docs).
+    #[inline]
+    pub fn wrap_index(&self, arr: ArrId, idx: i64) -> usize {
+        let len = self.data[arr.index()].len() as i64;
+        idx.rem_euclid(len) as usize
+    }
+
+    /// Byte address of element `idx` of `arr` (already wrapped).
+    #[inline]
+    pub fn address(&self, arr: ArrId, idx: usize) -> u64 {
+        self.bases[arr.index()] + idx as u64 * self.elem_sizes[arr.index()] as u64
+    }
+
+    /// Raw 64-bit read.
+    #[inline]
+    pub fn read(&self, arr: ArrId, idx: usize) -> u64 {
+        self.data[arr.index()][idx]
+    }
+
+    /// Raw 64-bit write.
+    #[inline]
+    pub fn write(&mut self, arr: ArrId, idx: usize, val: u64) {
+        self.data[arr.index()][idx] = val;
+    }
+
+    // ---- typed convenience accessors for workload setup/inspection ----
+
+    /// Read an integer element.
+    pub fn get_i64(&self, arr: ArrId, idx: usize) -> i64 {
+        self.read(arr, idx) as i64
+    }
+
+    /// Write an integer element.
+    pub fn set_i64(&mut self, arr: ArrId, idx: usize, v: i64) {
+        self.write(arr, idx, v as u64);
+    }
+
+    /// Read a float element.
+    pub fn get_f64(&self, arr: ArrId, idx: usize) -> f64 {
+        f64::from_bits(self.read(arr, idx))
+    }
+
+    /// Write a float element.
+    pub fn set_f64(&mut self, arr: ArrId, idx: usize, v: f64) {
+        self.write(arr, idx, v.to_bits());
+    }
+
+    /// Fill an integer array from a slice (panics on length mismatch with
+    /// the shorter of the two).
+    pub fn fill_i64(&mut self, arr: ArrId, vals: &[i64]) {
+        for (i, &v) in vals.iter().enumerate().take(self.len_of(arr)) {
+            self.set_i64(arr, i, v);
+        }
+    }
+
+    /// Fill a float array from a slice.
+    pub fn fill_f64(&mut self, arr: ArrId, vals: &[f64]) {
+        for (i, &v) in vals.iter().enumerate().take(self.len_of(arr)) {
+            self.set_f64(arr, i, v);
+        }
+    }
+
+    /// Snapshot an integer array (for result checking in tests).
+    pub fn dump_i64(&self, arr: ArrId) -> Vec<i64> {
+        self.data[arr.index()].iter().map(|&w| w as i64).collect()
+    }
+
+    /// Checksum of all memory words — used by pass-correctness tests to
+    /// assert that optimized and unoptimized programs leave identical
+    /// final states.
+    pub fn checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for arr in &self.data {
+            for &w in arr {
+                h ^= w;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// Rebuild the address mapping after a pass changed element sizes
+/// (`ptr-compress`): keeps contents, recomputes bases/strides.
+pub fn remap_for(module: &Module, old: &Memory) -> Memory {
+    let mut fresh = Memory::for_module(module);
+    for (i, arr) in old.data.iter().enumerate() {
+        fresh.data[i].clone_from(arr);
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::{ElemClass, Module};
+
+    fn two_array_module(elem_size_b: u8) -> Module {
+        let mut m = Module::new("t");
+        m.add_array("a", ElemClass::Int, 10);
+        let b = m.add_array("b", ElemClass::Ptr, 10);
+        m.arrays[b.index()].elem_size = elem_size_b;
+        m
+    }
+
+    #[test]
+    fn layout_is_aligned_and_disjoint() {
+        let m = two_array_module(8);
+        let mem = Memory::for_module(&m);
+        let a0 = mem.address(ArrId(0), 0);
+        let b0 = mem.address(ArrId(1), 0);
+        assert_eq!(a0 % 64, 0);
+        assert_eq!(b0 % 64, 0);
+        assert!(b0 >= a0 + 80, "arrays must not overlap");
+    }
+
+    #[test]
+    fn ptr_compress_halves_footprint() {
+        let wide = Memory::for_module(&two_array_module(8));
+        let narrow = Memory::for_module(&two_array_module(4));
+        let w_span = wide.address(ArrId(1), 9) - wide.address(ArrId(1), 0);
+        let n_span = narrow.address(ArrId(1), 9) - narrow.address(ArrId(1), 0);
+        assert_eq!(w_span, 72);
+        assert_eq!(n_span, 36);
+    }
+
+    #[test]
+    fn typed_accessors_round_trip() {
+        let m = two_array_module(8);
+        let mut mem = Memory::for_module(&m);
+        mem.set_i64(ArrId(0), 3, -7);
+        assert_eq!(mem.get_i64(ArrId(0), 3), -7);
+        mem.set_f64(ArrId(0), 4, 2.5);
+        assert_eq!(mem.get_f64(ArrId(0), 4), 2.5);
+    }
+
+    #[test]
+    fn wrap_index_semantics() {
+        let m = two_array_module(8);
+        let mem = Memory::for_module(&m);
+        assert_eq!(mem.wrap_index(ArrId(0), 12), 2);
+        assert_eq!(mem.wrap_index(ArrId(0), -1), 9);
+        assert_eq!(mem.wrap_index(ArrId(0), 0), 0);
+    }
+
+    #[test]
+    fn checksum_detects_changes() {
+        let m = two_array_module(8);
+        let mut mem = Memory::for_module(&m);
+        let c0 = mem.checksum();
+        mem.set_i64(ArrId(0), 0, 1);
+        assert_ne!(c0, mem.checksum());
+    }
+
+    #[test]
+    fn remap_preserves_contents() {
+        let mut m = two_array_module(8);
+        let mut mem = Memory::for_module(&m);
+        mem.set_i64(ArrId(1), 5, 99);
+        m.arrays[1].elem_size = 4; // simulate ptr-compress
+        let remapped = remap_for(&m, &mem);
+        assert_eq!(remapped.get_i64(ArrId(1), 5), 99);
+        assert!(remapped.total_bytes() < mem.total_bytes());
+    }
+}

@@ -1,0 +1,291 @@
+//! Multicore execution model: N cores, private L1/TLB/predictor, shared L2.
+//!
+//! Cores are interleaved in fixed instruction quanta against one shared L2
+//! tag store, which makes cross-core cache contention visible: two cores
+//! streaming disjoint partitions evict each other's L2 lines exactly as
+//! they would on a real shared-L2 CMP. Core clocks advance independently;
+//! the reported makespan is the slowest core plus a per-core barrier cost.
+//! This is the substrate for the paper's Section III-G (multicore
+//! optimization decisions: core count, partitioning, scheduling).
+
+use crate::cache::Cache;
+use crate::config::MachineConfig;
+use crate::counters::{Counter, PerfCounters};
+use crate::interp::{Sim, SimError, StepOutcome};
+use crate::mem::Memory;
+use ic_ir::Module;
+
+/// Result of a parallel run.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    /// Per-core cycle counts.
+    pub core_cycles: Vec<u64>,
+    /// Per-core return words.
+    pub core_rets: Vec<Option<u64>>,
+    /// Per-core final memories (each core owns a private memory image).
+    pub core_mems: Vec<Memory>,
+    /// Slowest core plus barrier overhead.
+    pub makespan: u64,
+    /// Counters summed over all cores.
+    pub counters: PerfCounters,
+}
+
+/// Cycles charged per core for thread start + final barrier/join.
+/// Real CMP thread dispatch costs tens of microseconds; 2000 cycles is a
+/// deliberately conservative stand-in, and it is what makes core-count
+/// selection a real trade-off for small jobs (Sec. III-G).
+pub const BARRIER_COST_PER_CORE: u64 = 2000;
+
+/// Run `mems.len()` cores, each executing `module` over its own memory
+/// image, sharing one L2. `quantum` is the interleaving granularity in
+/// instructions; `fuel_per_core` bounds each core.
+pub fn run_parallel(
+    module: &Module,
+    config: &MachineConfig,
+    mems: Vec<Memory>,
+    fuel_per_core: u64,
+    quantum: u64,
+) -> Result<ParallelResult, SimError> {
+    assert!(!mems.is_empty(), "need at least one core");
+    let ncores = mems.len();
+    let mut l2 = Cache::new(&config.l2);
+    let mut sims: Vec<Sim> = mems
+        .into_iter()
+        .map(|m| Sim::new(module, config, m))
+        .collect();
+    let mut rets: Vec<Option<Option<u64>>> = vec![None; ncores];
+    let mut used: Vec<u64> = vec![0; ncores];
+
+    let mut remaining = ncores;
+    while remaining > 0 {
+        for (i, sim) in sims.iter_mut().enumerate() {
+            if rets[i].is_some() {
+                continue;
+            }
+            if used[i] >= fuel_per_core {
+                return Err(SimError::OutOfFuel);
+            }
+            let slice = quantum.min(fuel_per_core - used[i]);
+            used[i] += slice;
+            match sim.step(slice, &mut l2)? {
+                StepOutcome::Finished(v) => {
+                    rets[i] = Some(v);
+                    remaining -= 1;
+                }
+                StepOutcome::Running => {}
+            }
+        }
+    }
+
+    let mut counters = PerfCounters::new();
+    let mut core_cycles = Vec::with_capacity(ncores);
+    let mut core_rets = Vec::with_capacity(ncores);
+    let mut core_mems = Vec::with_capacity(ncores);
+    let mut slowest = 0;
+    for (sim, ret) in sims.into_iter().zip(rets) {
+        let ret = ret.expect("all cores finished");
+        let r = sim.into_result(ret);
+        slowest = slowest.max(r.cycles());
+        core_cycles.push(r.cycles());
+        counters.merge(&r.counters);
+        core_rets.push(r.ret);
+        core_mems.push(r.mem);
+    }
+    let makespan = slowest + BARRIER_COST_PER_CORE * ncores as u64;
+    counters.set(Counter::TOT_CYC, makespan);
+    Ok(ParallelResult {
+        core_cycles,
+        core_rets,
+        core_mems,
+        makespan,
+        counters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BinOp, ElemClass, Ty};
+
+    /// A module that sums `work[lo..hi]` where lo/hi live in a params array.
+    fn partition_module(n: usize) -> Module {
+        let mut m = Module::new("psum");
+        let work = m.add_array("work", ElemClass::Int, n);
+        let params = m.add_array("params", ElemClass::Int, 2);
+        let out = m.add_array("out", ElemClass::Int, 1);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let lo = b.load(Ty::I64, params, 0i64);
+        let hi = b.load(Ty::I64, params, 1i64);
+        let s = b.new_reg(Ty::I64);
+        let i = b.new_reg(Ty::I64);
+        b.mov(s, 0i64);
+        b.mov(i, lo);
+        let h = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(h);
+        b.switch_to(h);
+        let c = b.bin(BinOp::Lt, i, hi);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let v = b.load(Ty::I64, work, i);
+        b.bin_to(s, BinOp::Add, s, v);
+        b.bin_to(i, BinOp::Add, i, 1i64);
+        b.jump(h);
+        b.switch_to(exit);
+        b.store(out, 0i64, s);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        m
+    }
+
+    fn mem_for_partition(m: &Module, n: usize, lo: i64, hi: i64) -> Memory {
+        let mut mem = Memory::for_module(m);
+        let work = m.array_by_name("work").unwrap();
+        let params = m.array_by_name("params").unwrap();
+        for i in 0..n {
+            mem.set_i64(work, i, i as i64);
+        }
+        mem.set_i64(params, 0, lo);
+        mem.set_i64(params, 1, hi);
+        mem
+    }
+
+    #[test]
+    fn two_cores_compute_disjoint_halves() {
+        let n = 256;
+        let m = partition_module(n);
+        let cfg = MachineConfig::test_tiny();
+        let mems = vec![
+            mem_for_partition(&m, n, 0, 128),
+            mem_for_partition(&m, n, 128, 256),
+        ];
+        let r = run_parallel(&m, &cfg, mems, 10_000_000, 64).unwrap();
+        let total: i64 = r.core_rets.iter().map(|v| v.unwrap() as i64).sum();
+        assert_eq!(total, (0..256).sum::<i64>());
+        assert_eq!(r.core_cycles.len(), 2);
+        assert!(r.makespan >= *r.core_cycles.iter().max().unwrap());
+    }
+
+    #[test]
+    fn parallel_beats_serial_for_balanced_work() {
+        let n = 4096;
+        let m = partition_module(n);
+        let cfg = MachineConfig::test_tiny();
+        let serial = run_parallel(
+            &m,
+            &cfg,
+            vec![mem_for_partition(&m, n, 0, n as i64)],
+            100_000_000,
+            256,
+        )
+        .unwrap();
+        let quad = run_parallel(
+            &m,
+            &cfg,
+            (0..4)
+                .map(|c| mem_for_partition(&m, n, c * 1024, (c + 1) * 1024))
+                .collect(),
+            100_000_000,
+            256,
+        )
+        .unwrap();
+        assert!(
+            quad.makespan * 2 < serial.makespan,
+            "4 cores should at least halve the makespan: {} vs {}",
+            quad.makespan,
+            serial.makespan
+        );
+    }
+
+    /// Like `partition_module` but makes `passes` sweeps over its range,
+    /// so cache *reuse* across passes is what gets measured.
+    fn repeated_module(n: usize, passes: i64) -> Module {
+        let mut m = Module::new("rsum");
+        let work = m.add_array("work", ElemClass::Int, n);
+        let params = m.add_array("params", ElemClass::Int, 2);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let lo = b.load(Ty::I64, params, 0i64);
+        let hi = b.load(Ty::I64, params, 1i64);
+        let s = b.new_reg(Ty::I64);
+        let p = b.new_reg(Ty::I64);
+        let i = b.new_reg(Ty::I64);
+        b.mov(s, 0i64);
+        b.mov(p, 0i64);
+        let ph = b.new_block(); // pass header
+        let ih_init = b.new_block();
+        let ih = b.new_block(); // inner header
+        let body = b.new_block();
+        let platch = b.new_block();
+        let exit = b.new_block();
+        b.jump(ph);
+        b.switch_to(ph);
+        let pc = b.bin(BinOp::Lt, p, passes);
+        b.branch(pc, ih_init, exit);
+        b.switch_to(ih_init);
+        b.mov(i, lo);
+        b.jump(ih);
+        b.switch_to(ih);
+        let c = b.bin(BinOp::Lt, i, hi);
+        b.branch(c, body, platch);
+        b.switch_to(body);
+        let v = b.load(Ty::I64, work, i);
+        b.bin_to(s, BinOp::Add, s, v);
+        b.bin_to(i, BinOp::Add, i, 1i64);
+        b.jump(ih);
+        b.switch_to(platch);
+        b.bin_to(p, BinOp::Add, p, 1i64);
+        b.jump(ph);
+        b.switch_to(exit);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn shared_l2_contention_is_visible() {
+        // Each core repeatedly sweeps a 512 B slice. Solo, the slice fits
+        // the 1 KiB shared L2 and later passes hit; with four cores the
+        // combined 2 KiB thrashes it, so misses grow far more than 4x.
+        let n = 1024;
+        let m = repeated_module(n, 16);
+        let cfg = MachineConfig::test_tiny();
+        let mem_for = |lo: i64, hi: i64| {
+            let mut mem = Memory::for_module(&m);
+            let work = m.array_by_name("work").unwrap();
+            let params = m.array_by_name("params").unwrap();
+            for i in 0..n {
+                mem.set_i64(work, i, 1);
+            }
+            mem.set_i64(params, 0, lo);
+            mem.set_i64(params, 1, hi);
+            mem
+        };
+        let solo = run_parallel(&m, &cfg, vec![mem_for(0, 64)], 100_000_000, 128).unwrap();
+        let shared = run_parallel(
+            &m,
+            &cfg,
+            (0..4).map(|c| mem_for(c * 64, (c + 1) * 64)).collect(),
+            100_000_000,
+            128,
+        )
+        .unwrap();
+        let solo_l2m = solo.counters.get(Counter::L2_TCM);
+        let shared_l2m = shared.counters.get(Counter::L2_TCM);
+        assert!(
+            shared_l2m > solo_l2m * 8,
+            "contention: {} vs 4x{}",
+            shared_l2m,
+            solo_l2m
+        );
+    }
+
+    #[test]
+    fn out_of_fuel_propagates() {
+        let m = partition_module(64);
+        let cfg = MachineConfig::test_tiny();
+        let e = run_parallel(&m, &cfg, vec![mem_for_partition(&m, 64, 0, 64)], 10, 4);
+        assert!(matches!(e, Err(SimError::OutOfFuel)));
+    }
+}

@@ -1,0 +1,106 @@
+//! A small fully-associative data TLB with LRU replacement.
+
+/// Fully-associative TLB over virtual pages.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    pages: Vec<u64>,
+    stamps: Vec<u64>,
+    page_shift: u32,
+    tick: u64,
+    pub accesses: u64,
+    pub misses: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl Tlb {
+    /// `entries` slots over pages of `page_size` bytes (power of two).
+    pub fn new(entries: usize, page_size: u32) -> Self {
+        assert!(page_size.is_power_of_two());
+        Tlb {
+            pages: vec![EMPTY; entries.max(1)],
+            stamps: vec![0; entries.max(1)],
+            page_shift: page_size.trailing_zeros(),
+            tick: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translate the page containing `addr`; returns true on a TLB hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        self.tick += 1;
+        let page = addr >> self.page_shift;
+        for i in 0..self.pages.len() {
+            if self.pages[i] == page {
+                self.stamps[i] = self.tick;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // LRU replace.
+        let mut victim = 0;
+        let mut best = u64::MAX;
+        for i in 0..self.pages.len() {
+            if self.pages[i] == EMPTY {
+                victim = i;
+                break;
+            }
+            if self.stamps[i] < best {
+                best = self.stamps[i];
+                victim = i;
+            }
+        }
+        self.pages[victim] = page;
+        self.stamps[victim] = self.tick;
+        false
+    }
+
+    /// Drop all entries and statistics.
+    pub fn reset(&mut self) {
+        self.pages.fill(EMPTY);
+        self.stamps.fill(0);
+        self.tick = 0;
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits() {
+        let mut t = Tlb::new(4, 4096);
+        assert!(!t.access(0));
+        assert!(t.access(100));
+        assert!(t.access(4095));
+        assert!(!t.access(4096));
+    }
+
+    #[test]
+    fn capacity_thrash() {
+        let mut t = Tlb::new(2, 4096);
+        // 3 pages round-robin with LRU: every access misses.
+        let mut misses = 0;
+        for i in 0..30u64 {
+            if !t.access((i % 3) * 4096) {
+                misses += 1;
+            }
+        }
+        assert_eq!(misses, 30);
+    }
+
+    #[test]
+    fn lru_keeps_hot_page() {
+        let mut t = Tlb::new(2, 4096);
+        t.access(0); // page 0
+        t.access(4096); // page 1
+        t.access(0); // refresh 0
+        t.access(8192); // evicts page 1
+        assert!(t.access(0));
+        assert!(!t.access(4096));
+    }
+}

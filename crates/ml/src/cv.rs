@@ -1,0 +1,171 @@
+//! Cross-validation protocols.
+//!
+//! The paper (Section II, "Training the Learning Component") prescribes
+//! leave-one-out cross-validation over *benchmarks*: train on instances
+//! from N-1 programs, test on the held-out program. That is
+//! [`leave_one_group_out`]; plain per-instance LOOCV and k-fold are also
+//! provided.
+
+use crate::data::Dataset;
+use crate::metrics::accuracy;
+use crate::Classifier;
+
+/// Result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CvResult {
+    /// Accuracy per fold.
+    pub fold_accuracy: Vec<f64>,
+    /// Pooled predictions in dataset order (where tested).
+    pub predictions: Vec<usize>,
+}
+
+impl CvResult {
+    /// Mean over folds.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracy.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracy.iter().sum::<f64>() / self.fold_accuracy.len() as f64
+    }
+}
+
+/// Leave-one-*group*-out CV: each fold holds out every instance of one
+/// group (= one benchmark). `make` builds a fresh classifier per fold.
+pub fn leave_one_group_out(
+    data: &Dataset,
+    make: &dyn Fn() -> Box<dyn Classifier>,
+) -> CvResult {
+    let groups = data.group_ids();
+    let mut fold_accuracy = Vec::with_capacity(groups.len());
+    let mut predictions = vec![0usize; data.len()];
+    for g in groups {
+        let train = data.subset(|i| data.groups[i] != g);
+        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| data.groups[i] == g).collect();
+        if train.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let mut model = make();
+        model.fit(&train.x, &train.y, data.n_classes);
+        let preds: Vec<usize> = test_idx.iter().map(|&i| model.predict(&data.x[i])).collect();
+        let truth: Vec<usize> = test_idx.iter().map(|&i| data.y[i]).collect();
+        fold_accuracy.push(accuracy(&truth, &preds));
+        for (&i, &p) in test_idx.iter().zip(&preds) {
+            predictions[i] = p;
+        }
+    }
+    CvResult {
+        fold_accuracy,
+        predictions,
+    }
+}
+
+/// Per-instance leave-one-out CV.
+pub fn leave_one_out(data: &Dataset, make: &dyn Fn() -> Box<dyn Classifier>) -> CvResult {
+    let mut fold_accuracy = Vec::with_capacity(data.len());
+    let mut predictions = vec![0usize; data.len()];
+    for i in 0..data.len() {
+        let train = data.subset(|j| j != i);
+        let mut model = make();
+        model.fit(&train.x, &train.y, data.n_classes);
+        let p = model.predict(&data.x[i]);
+        predictions[i] = p;
+        fold_accuracy.push((p == data.y[i]) as u8 as f64);
+    }
+    CvResult {
+        fold_accuracy,
+        predictions,
+    }
+}
+
+/// Deterministic k-fold CV (folds are contiguous stripes `i % k`).
+pub fn k_fold(data: &Dataset, k: usize, make: &dyn Fn() -> Box<dyn Classifier>) -> CvResult {
+    let k = k.max(2);
+    let mut fold_accuracy = Vec::with_capacity(k);
+    let mut predictions = vec![0usize; data.len()];
+    for fold in 0..k {
+        let train = data.subset(|i| i % k != fold);
+        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| i % k == fold).collect();
+        if train.is_empty() || test_idx.is_empty() {
+            continue;
+        }
+        let mut model = make();
+        model.fit(&train.x, &train.y, data.n_classes);
+        let preds: Vec<usize> = test_idx.iter().map(|&i| model.predict(&data.x[i])).collect();
+        let truth: Vec<usize> = test_idx.iter().map(|&i| data.y[i]).collect();
+        fold_accuracy.push(accuracy(&truth, &preds));
+        for (&i, &p) in test_idx.iter().zip(&preds) {
+            predictions[i] = p;
+        }
+    }
+    CvResult {
+        fold_accuracy,
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KNearestNeighbors;
+
+    fn blob_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "y".into()], 2);
+        for g in 0..4 {
+            for i in 0..6 {
+                let j = i as f64 * 0.1;
+                d.push(vec![0.0 + j, 0.0], 0, g);
+                d.push(vec![5.0 + j, 5.0], 1, g);
+            }
+        }
+        d
+    }
+
+    fn make_knn() -> Box<dyn Classifier> {
+        Box::new(KNearestNeighbors::new(3))
+    }
+
+    #[test]
+    fn group_cv_runs_one_fold_per_group() {
+        let d = blob_dataset();
+        let r = leave_one_group_out(&d, &make_knn);
+        assert_eq!(r.fold_accuracy.len(), 4);
+        assert!(r.mean_accuracy() > 0.95, "{:?}", r.fold_accuracy);
+    }
+
+    #[test]
+    fn loo_cv_high_accuracy_on_easy_data() {
+        let d = blob_dataset();
+        let r = leave_one_out(&d, &make_knn);
+        assert_eq!(r.fold_accuracy.len(), d.len());
+        assert!(r.mean_accuracy() > 0.95);
+    }
+
+    #[test]
+    fn kfold_covers_every_instance() {
+        let d = blob_dataset();
+        let r = k_fold(&d, 4, &make_knn);
+        assert_eq!(r.predictions.len(), d.len());
+        assert!(r.mean_accuracy() > 0.9);
+    }
+
+    #[test]
+    fn group_holdout_is_honest() {
+        // Make group 3's labels inverted: its fold accuracy should tank
+        // while others stay high — proving the fold really held it out.
+        let mut d = blob_dataset();
+        for i in 0..d.len() {
+            if d.groups[i] == 3 {
+                d.y[i] = 1 - d.y[i];
+            }
+        }
+        let r = leave_one_group_out(&d, &make_knn);
+        let worst = r
+            .fold_accuracy
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let best = r.fold_accuracy.iter().cloned().fold(0.0, f64::max);
+        assert!(worst < 0.2, "inverted group must be mispredicted: {worst}");
+        assert!(best > 0.9);
+    }
+}

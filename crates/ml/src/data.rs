@@ -1,0 +1,164 @@
+//! Datasets and feature standardization.
+
+use serde::{Deserialize, Serialize};
+
+/// A labelled dataset with optional group ids (one group per benchmark,
+/// used for leave-one-benchmark-out CV).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub x: Vec<Vec<f64>>,
+    pub y: Vec<usize>,
+    pub n_classes: usize,
+    /// Group id per row (e.g. which benchmark produced the instance).
+    pub groups: Vec<usize>,
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Empty dataset with named features.
+    pub fn new(feature_names: Vec<String>, n_classes: usize) -> Self {
+        Dataset {
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes,
+            groups: Vec::new(),
+            feature_names,
+        }
+    }
+
+    /// Append one instance.
+    pub fn push(&mut self, features: Vec<f64>, label: usize, group: usize) {
+        debug_assert!(
+            self.feature_names.is_empty() || features.len() == self.feature_names.len()
+        );
+        debug_assert!(label < self.n_classes);
+        self.x.push(features);
+        self.y.push(label);
+        self.groups.push(group);
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True if the dataset holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features per instance (0 if empty).
+    pub fn dim(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Distinct group ids present.
+    pub fn group_ids(&self) -> Vec<usize> {
+        let mut g = self.groups.clone();
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    /// Row subsets by predicate on the index.
+    pub fn subset(&self, keep: impl Fn(usize) -> bool) -> Dataset {
+        let mut out = Dataset::new(self.feature_names.clone(), self.n_classes);
+        for i in 0..self.len() {
+            if keep(i) {
+                out.push(self.x[i].clone(), self.y[i], self.groups[i]);
+            }
+        }
+        out
+    }
+}
+
+/// Per-feature standardization (z-score) fitted on training data and
+/// applied to anything.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Standardizer {
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit means/stds on rows (std floors at 1e-9 to avoid division by 0).
+    pub fn fit(rows: &[Vec<f64>]) -> Self {
+        let d = rows.first().map_or(0, |r| r.len());
+        let n = rows.len().max(1) as f64;
+        let mut mean = vec![0.0; d];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for r in rows {
+            for ((s, v), m) in var.iter_mut().zip(r).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-9))
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Standardize one row.
+    pub fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardize many rows.
+    pub fn apply_all(&self, rows: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        rows.iter().map(|r| self.apply(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_push_and_subset() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()], 2);
+        d.push(vec![1.0, 2.0], 0, 0);
+        d.push(vec![3.0, 4.0], 1, 1);
+        d.push(vec![5.0, 6.0], 0, 1);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.group_ids(), vec![0, 1]);
+        let s = d.subset(|i| d.groups[i] == 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![1, 0]);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let rows = vec![vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]];
+        let st = Standardizer::fit(&rows);
+        let z = st.apply_all(&rows);
+        for j in 0..2 {
+            let mean: f64 = z.iter().map(|r| r[j]).sum::<f64>() / 3.0;
+            let var: f64 = z.iter().map(|r| r[j] * r[j]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_feature_safe() {
+        let rows = vec![vec![7.0], vec![7.0]];
+        let st = Standardizer::fit(&rows);
+        let z = st.apply(&[7.0]);
+        assert!(z[0].abs() < 1e-6);
+        assert!(z[0].is_finite());
+    }
+}

@@ -1,0 +1,192 @@
+//! Random forest: bagged decision trees with feature subsampling —
+//! the "more advanced technique" tier of Section III-F, for when the
+//! simple learners plateau.
+
+use crate::dtree::DecisionTree;
+use crate::Classifier;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// An ensemble of CART trees trained on bootstrap samples over random
+/// feature subsets. Deterministic for a fixed seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    pub seed: u64,
+    trees: Vec<(DecisionTree, Vec<usize>)>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// A forest of `n_trees` trees.
+    pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        RandomForest {
+            n_trees: n_trees.max(1),
+            max_depth,
+            min_leaf: 2,
+            seed,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn project(row: &[f64], feats: &[usize]) -> Vec<f64> {
+        feats.iter().map(|&j| row[j]).collect()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        self.n_classes = n_classes;
+        self.trees.clear();
+        let n = x.len();
+        let d = x.first().map_or(0, |r| r.len());
+        if n == 0 || d == 0 {
+            return;
+        }
+        // sqrt(d) features per tree, at least 1.
+        let k = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        for _ in 0..self.n_trees {
+            // Bootstrap rows.
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            // Random feature subset (sampled without replacement).
+            let mut feats: Vec<usize> = (0..d).collect();
+            for i in (1..feats.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                feats.swap(i, j);
+            }
+            feats.truncate(k);
+            feats.sort_unstable();
+
+            let bx: Vec<Vec<f64>> = rows.iter().map(|&i| Self::project(&x[i], &feats)).collect();
+            let by: Vec<usize> = rows.iter().map(|&i| y[i]).collect();
+            let mut tree = DecisionTree::new(self.max_depth, self.min_leaf);
+            tree.fit(&bx, &by, n_classes);
+            self.trees.push((tree, feats));
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x, self.n_classes.max(1));
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba(&self, x: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; n_classes];
+        if self.trees.is_empty() {
+            if n_classes > 0 {
+                acc[0] = 1.0;
+            }
+            return acc;
+        }
+        for (tree, feats) in &self.trees {
+            let proj = Self::project(x, feats);
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(&proj, n_classes)) {
+                *a += p;
+            }
+        }
+        let s: f64 = acc.iter().sum::<f64>().max(1e-12);
+        for a in &mut acc {
+            *a /= s;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "forest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            for j in 0..8 {
+                let (a, b) = (i as f64, j as f64);
+                x.push(vec![a, b]);
+                y.push(((a < 4.0) ^ (b < 4.0)) as usize);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn fits_xor_like_single_tree() {
+        let (x, y) = xor_data();
+        let mut f = RandomForest::new(25, 6, 7);
+        f.fit(&x, &y, 2);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| f.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.85, "{acc}");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (x, y) = xor_data();
+        let mut a = RandomForest::new(10, 4, 3);
+        let mut b = RandomForest::new(10, 4, 3);
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        for row in &x {
+            assert_eq!(a.predict_proba(row, 2), b.predict_proba(row, 2));
+        }
+    }
+
+    #[test]
+    fn probabilities_normalized() {
+        let (x, y) = xor_data();
+        let mut f = RandomForest::new(9, 4, 1);
+        f.fit(&x, &y, 2);
+        let p = f.predict_proba(&[1.0, 1.0], 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn robust_to_noise_features() {
+        // 18 noise features + 2 informative: the forest's feature
+        // subsampling must still find signal.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..120 {
+            let label = (i % 2) as usize;
+            let mut row: Vec<f64> = (0..18)
+                .map(|j| (((i * 31 + j * 17) % 101) as f64) / 10.0)
+                .collect();
+            row.push(label as f64 * 5.0 + (i % 3) as f64 * 0.1);
+            row.push(label as f64 * -3.0);
+            x.push(row);
+            y.push(label);
+        }
+        let mut f = RandomForest::new(40, 5, 5);
+        f.fit(&x, &y, 2);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| f.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.9, "{acc}");
+    }
+
+    #[test]
+    fn unfitted_predicts_class_zero() {
+        let f = RandomForest::new(5, 3, 1);
+        assert_eq!(f.predict(&[1.0]), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Distance-weighted k-nearest-neighbour classification on standardized
+//! features.
+
+use crate::data::Standardizer;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// k-NN classifier. Stores the (standardized) training set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KNearestNeighbors {
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+    n_classes: usize,
+    standardizer: Option<Standardizer>,
+}
+
+impl KNearestNeighbors {
+    /// A k-NN classifier with the given neighbourhood size.
+    pub fn new(k: usize) -> Self {
+        KNearestNeighbors {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+            n_classes: 0,
+            standardizer: None,
+        }
+    }
+
+    fn votes(&self, x: &[f64]) -> Vec<f64> {
+        let xs = self
+            .standardizer
+            .as_ref()
+            .map(|s| s.apply(x))
+            .unwrap_or_else(|| x.to_vec());
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| {
+                let d: f64 = xi
+                    .iter()
+                    .zip(&xs)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                (d, yi)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut votes = vec![0.0; self.n_classes.max(1)];
+        for &(d, yi) in dists.iter().take(self.k) {
+            votes[yi] += 1.0 / (d + 1e-6);
+        }
+        votes
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let st = Standardizer::fit(x);
+        self.x = st.apply_all(x);
+        self.standardizer = Some(st);
+        self.y = y.to_vec();
+        self.n_classes = n_classes;
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let v = self.votes(x);
+        v.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba(&self, x: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut v = self.votes(x);
+        v.resize(n_classes, 0.0);
+        let s: f64 = v.iter().sum::<f64>().max(1e-12);
+        v.into_iter().map(|p| p / s).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_wins() {
+        let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut knn = KNearestNeighbors::new(3);
+        knn.fit(&x, &y, 2);
+        assert_eq!(knn.predict(&[0.2, 0.1]), 0);
+        assert_eq!(knn.predict(&[4.9, 5.2]), 1);
+    }
+
+    #[test]
+    fn handles_nonlinear_boundaries() {
+        // XOR pattern: linear models fail, k-NN should not.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                let (a, b) = (i as f64, j as f64);
+                x.push(vec![a, b]);
+                y.push(((a < 2.5) ^ (b < 2.5)) as usize);
+            }
+        }
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y, 2);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| knn.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.95, "{acc}");
+    }
+
+    #[test]
+    fn standardization_matters_for_scale() {
+        // Feature 1 is 1000x feature 0; without standardization the useful
+        // feature would be drowned out.
+        let x = vec![
+            vec![0.0, 1000.0],
+            vec![1.0, 1010.0],
+            vec![0.1, 2000.0],
+            vec![0.9, 1990.0],
+        ];
+        let y = vec![0, 1, 0, 1]; // class tracks feature 0 only
+        let mut knn = KNearestNeighbors::new(1);
+        knn.fit(&x, &y, 2);
+        assert_eq!(knn.predict(&[0.05, 1500.0]), 0);
+        assert_eq!(knn.predict(&[0.95, 1500.0]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_safe() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0, 1];
+        let mut knn = KNearestNeighbors::new(50);
+        knn.fit(&x, &y, 2);
+        let _ = knn.predict(&[0.4]);
+    }
+}

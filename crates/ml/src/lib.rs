@@ -1,0 +1,111 @@
+//! # ic-ml — from-scratch supervised learning for compiler heuristics
+//!
+//! The paper's Section III-F calls for "a large breadth of different
+//! learning techniques ... from simple techniques, such as logistic
+//! regression and nearest neighbor classification" and concludes
+//! (Section V) that *"a variety of learning algorithms all had low
+//! classification error rates"* on well-phrased compiler problems. This
+//! crate provides that variety, implemented from first principles:
+//!
+//! * [`logreg::LogisticRegression`] — one-vs-rest logistic regression
+//!   trained by batch gradient descent;
+//! * [`knn::KNearestNeighbors`] — distance-weighted k-NN;
+//! * [`dtree::DecisionTree`] — CART with Gini impurity;
+//! * [`nbayes::GaussianNaiveBayes`];
+//! * [`forest::RandomForest`] — bagged trees with feature subsampling
+//!   (the "more advanced techniques" tier of Sec. III-F);
+//! * [`ridge::RidgeRegression`] — for continuous performance prediction.
+//!
+//! [`cv`] implements the evaluation protocol the paper prescribes:
+//! leave-one-out cross-validation, including the *grouped* variant
+//! (leave-one-benchmark-out) that keeps every training instance from the
+//! held-out program out of the training set.
+
+pub mod cv;
+pub mod forest;
+pub mod data;
+pub mod dtree;
+pub mod knn;
+pub mod logreg;
+pub mod metrics;
+pub mod nbayes;
+pub mod ridge;
+
+pub use data::Dataset;
+
+/// A trainable multi-class classifier.
+pub trait Classifier {
+    /// Fit on feature rows `x` with labels `y` in `0..n_classes`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize);
+
+    /// Predict the label of one feature row.
+    fn predict(&self, x: &[f64]) -> usize;
+
+    /// Class-probability estimates (default: one-hot of `predict`).
+    fn predict_proba(&self, x: &[f64], n_classes: usize) -> Vec<f64> {
+        let mut p = vec![0.0; n_classes];
+        p[self.predict(x)] = 1.0;
+        p
+    }
+
+    /// Short display name ("logreg", "knn", ...).
+    fn name(&self) -> &'static str;
+}
+
+/// Every classifier in the suite, boxed, with paper-reasonable defaults.
+/// The methodology harness trains all of them and reports per-learner
+/// accuracy (the paper's Section V claim).
+pub fn all_classifiers() -> Vec<Box<dyn Classifier>> {
+    vec![
+        Box::new(logreg::LogisticRegression::default()),
+        Box::new(knn::KNearestNeighbors::new(5)),
+        Box::new(dtree::DecisionTree::new(6, 4)),
+        Box::new(nbayes::GaussianNaiveBayes::default()),
+        Box::new(forest::RandomForest::new(25, 6, 0xF0)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-class linearly-separable problem every learner must ace.
+    fn separable() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let v = i as f64 / 10.0;
+            x.push(vec![v, 1.0 - v]);
+            y.push(0);
+            x.push(vec![v + 6.0, v + 5.0]);
+            y.push(1);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn all_learners_fit_separable_data() {
+        let (x, y) = separable();
+        for mut c in all_classifiers() {
+            c.fit(&x, &y, 2);
+            let correct = x
+                .iter()
+                .zip(&y)
+                .filter(|(xi, &yi)| c.predict(xi) == yi)
+                .count();
+            let acc = correct as f64 / x.len() as f64;
+            assert!(acc > 0.95, "{} only reached {acc}", c.name());
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = separable();
+        for mut c in all_classifiers() {
+            c.fit(&x, &y, 2);
+            let p = c.predict_proba(&x[0], 2);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6, "{}: {:?}", c.name(), p);
+        }
+    }
+}

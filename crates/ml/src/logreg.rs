@@ -1,0 +1,191 @@
+//! One-vs-rest logistic regression trained by batch gradient descent with
+//! L2 regularization. Features are standardized internally, so callers
+//! can feed raw counter values.
+
+use crate::data::Standardizer;
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Logistic-regression classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub lr: f64,
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    /// L2 penalty.
+    pub l2: f64,
+    /// Per-class weight vectors (bias last), set by `fit`.
+    weights: Vec<Vec<f64>>,
+    standardizer: Option<Standardizer>,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        LogisticRegression {
+            lr: 0.3,
+            epochs: 300,
+            l2: 1e-4,
+            weights: Vec::new(),
+            standardizer: None,
+        }
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    fn score(&self, class: usize, x: &[f64]) -> f64 {
+        let w = &self.weights[class];
+        let mut z = w[w.len() - 1]; // bias
+        for (wi, xi) in w[..w.len() - 1].iter().zip(x) {
+            z += wi * xi;
+        }
+        z
+    }
+
+    /// Per-class sigmoid scores normalized to sum 1.
+    fn proba_internal(&self, x: &[f64]) -> Vec<f64> {
+        let raw: Vec<f64> = (0..self.weights.len())
+            .map(|c| sigmoid(self.score(c, x)))
+            .collect();
+        let s: f64 = raw.iter().sum::<f64>().max(1e-12);
+        raw.into_iter().map(|p| p / s).collect()
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        assert_eq!(x.len(), y.len());
+        let st = Standardizer::fit(x);
+        let xs = st.apply_all(x);
+        self.standardizer = Some(st);
+        let d = xs.first().map_or(0, |r| r.len());
+        let n = xs.len().max(1) as f64;
+
+        self.weights = vec![vec![0.0; d + 1]; n_classes];
+        for class in 0..n_classes {
+            let targets: Vec<f64> = y.iter().map(|&yi| (yi == class) as u8 as f64).collect();
+            let w = &mut self.weights[class];
+            for _ in 0..self.epochs {
+                let mut grad = vec![0.0; d + 1];
+                for (xi, &t) in xs.iter().zip(&targets) {
+                    let mut z = w[d];
+                    for (wi, v) in w[..d].iter().zip(xi) {
+                        z += wi * v;
+                    }
+                    let err = sigmoid(z) - t;
+                    for (g, v) in grad[..d].iter_mut().zip(xi) {
+                        *g += err * v;
+                    }
+                    grad[d] += err;
+                }
+                for j in 0..=d {
+                    let reg = if j < d { self.l2 * w[j] } else { 0.0 };
+                    w[j] -= self.lr * (grad[j] / n + reg);
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        let xs = self
+            .standardizer
+            .as_ref()
+            .map(|s| s.apply(x))
+            .unwrap_or_else(|| x.to_vec());
+        let p = self.proba_internal(&xs);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    fn predict_proba(&self, x: &[f64], n_classes: usize) -> Vec<f64> {
+        let xs = self
+            .standardizer
+            .as_ref()
+            .map(|s| s.apply(x))
+            .unwrap_or_else(|| x.to_vec());
+        let mut p = self.proba_internal(&xs);
+        p.resize(n_classes, 0.0);
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "logreg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_boundary() {
+        // y = 1 iff x0 + x1 > 4
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                x.push(vec![i as f64 * 0.5, j as f64 * 0.5]);
+                y.push(((i + j) as f64 * 0.5 > 4.0) as usize);
+            }
+        }
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y, 2);
+        let acc = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| lr.predict(xi) == yi)
+            .count() as f64
+            / x.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn multiclass_one_vs_rest() {
+        // Three blobs on a line.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.05;
+            x.push(vec![0.0 + jitter, 0.0]);
+            y.push(0);
+            x.push(vec![5.0 + jitter, 5.0]);
+            y.push(1);
+            x.push(vec![10.0 + jitter, 10.0]);
+            y.push(2);
+        }
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y, 3);
+        assert_eq!(lr.predict(&[0.1, 0.0]), 0);
+        assert_eq!(lr.predict(&[5.1, 5.0]), 1);
+        assert_eq!(lr.predict(&[9.9, 10.0]), 2);
+    }
+
+    #[test]
+    fn probabilities_reflect_confidence() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y, 2);
+        let far = lr.predict_proba(&[20.0], 2);
+        let near = lr.predict_proba(&[5.5], 2);
+        assert!(far[1] > near[1], "far point is more confidently class 1");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let x = vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut a = LogisticRegression::default();
+        let mut b = LogisticRegression::default();
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        assert_eq!(a.predict_proba(&[3.0], 2), b.predict_proba(&[3.0], 2));
+    }
+}

@@ -1,0 +1,98 @@
+//! Classification and regression metrics.
+
+/// Fraction of matching label pairs.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth.iter().zip(pred).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+}
+
+/// `confusion[t][p]` = count of instances with true label `t` predicted `p`.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<u64>> {
+    let mut m = vec![vec![0u64; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Mean squared error.
+pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Coefficient of determination (1 = perfect, 0 = mean predictor).
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    let n = truth.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mean: f64 = truth.iter().sum::<f64>() / n as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot < 1e-12 {
+        return if ss_res < 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Majority-class baseline accuracy — the number a learned model must
+/// beat for the paper's "low classification error" claim to mean anything.
+pub fn majority_baseline(truth: &[usize], n_classes: usize) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; n_classes];
+    for &t in truth {
+        counts[t] += 1;
+    }
+    *counts.iter().max().unwrap() as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basics() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn confusion_shape_and_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 1], &[0, 1, 1, 1], 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 2);
+        assert_eq!(m[1][0], 0);
+    }
+
+    #[test]
+    fn r2_perfect_and_mean() {
+        let t = [1.0, 2.0, 3.0];
+        assert!((r2(&t, &t) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.0, 2.0, 2.0];
+        assert!(r2(&t, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_baseline_counts() {
+        assert_eq!(majority_baseline(&[0, 0, 0, 1], 2), 0.75);
+    }
+}

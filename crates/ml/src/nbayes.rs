@@ -1,0 +1,148 @@
+//! Gaussian naive Bayes.
+
+use crate::Classifier;
+use serde::{Deserialize, Serialize};
+
+/// Gaussian naive Bayes classifier with per-class feature means/variances
+/// and Laplace-smoothed priors.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GaussianNaiveBayes {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianNaiveBayes {
+    fn log_likelihood(&self, class: usize, x: &[f64]) -> f64 {
+        let mut ll = self.priors[class].ln();
+        for ((&m, &v), &xi) in self.means[class]
+            .iter()
+            .zip(&self.vars[class])
+            .zip(x)
+        {
+            // log N(xi; m, v)
+            ll += -0.5 * ((xi - m) * (xi - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNaiveBayes {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize], n_classes: usize) {
+        let d = x.first().map_or(0, |r| r.len());
+        let mut counts = vec![0usize; n_classes];
+        let mut sums = vec![vec![0.0; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            counts[yi] += 1;
+            for (s, v) in sums[yi].iter_mut().zip(xi) {
+                *s += v;
+            }
+        }
+        self.means = (0..n_classes)
+            .map(|c| {
+                sums[c]
+                    .iter()
+                    .map(|s| s / counts[c].max(1) as f64)
+                    .collect()
+            })
+            .collect();
+        let mut sq = vec![vec![0.0; d]; n_classes];
+        for (xi, &yi) in x.iter().zip(y) {
+            for ((s, v), m) in sq[yi].iter_mut().zip(xi).zip(&self.means[yi]) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        self.vars = (0..n_classes)
+            .map(|c| {
+                sq[c]
+                    .iter()
+                    .map(|s| (s / counts[c].max(1) as f64).max(1e-6))
+                    .collect()
+            })
+            .collect();
+        let n = x.len() as f64;
+        self.priors = counts
+            .iter()
+            .map(|&c| (c as f64 + 1.0) / (n + n_classes as f64))
+            .collect();
+    }
+
+    fn predict(&self, x: &[f64]) -> usize {
+        (0..self.priors.len())
+            .max_by(|&a, &b| {
+                self.log_likelihood(a, x)
+                    .partial_cmp(&self.log_likelihood(b, x))
+                    .unwrap()
+            })
+            .unwrap_or(0)
+    }
+
+    fn predict_proba(&self, x: &[f64], n_classes: usize) -> Vec<f64> {
+        let lls: Vec<f64> = (0..self.priors.len())
+            .map(|c| self.log_likelihood(c, x))
+            .collect();
+        let mx = lls.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = lls.iter().map(|&l| (l - mx).exp()).collect();
+        let s: f64 = exps.iter().sum::<f64>().max(1e-300);
+        let mut p: Vec<f64> = exps.into_iter().map(|e| e / s).collect();
+        p.resize(n_classes, 0.0);
+        p
+    }
+
+    fn name(&self) -> &'static str {
+        "nbayes"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_gaussian_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let j = (i % 7) as f64 * 0.1;
+            x.push(vec![0.0 + j, 0.0 - j]);
+            y.push(0);
+            x.push(vec![4.0 + j, 4.0 - j]);
+            y.push(1);
+        }
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict(&[0.3, 0.0]), 0);
+        assert_eq!(nb.predict(&[4.3, 3.9]), 1);
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // Identical feature distributions, skewed class frequencies.
+        let x = vec![vec![1.0]; 10];
+        let y = vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 1];
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict(&[1.0]), 0);
+    }
+
+    #[test]
+    fn proba_is_normalized_and_confident_far_away() {
+        let x = vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]];
+        let y = vec![0, 0, 1, 1];
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        let p = nb.predict_proba(&[10.1], 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[1] > 0.99);
+    }
+
+    #[test]
+    fn zero_variance_feature_tolerated() {
+        let x = vec![vec![5.0, 0.0], vec![5.0, 1.0], vec![5.0, 10.0], vec![5.0, 11.0]];
+        let y = vec![0, 0, 1, 1];
+        let mut nb = GaussianNaiveBayes::default();
+        nb.fit(&x, &y, 2);
+        assert_eq!(nb.predict(&[5.0, 0.5]), 0);
+        assert_eq!(nb.predict(&[5.0, 10.5]), 1);
+    }
+}

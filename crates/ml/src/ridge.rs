@@ -1,0 +1,161 @@
+//! Ridge regression via the normal equations, solved with Gaussian
+//! elimination (partial pivoting). Used for continuous performance
+//! prediction (e.g. predicting speedup from features).
+
+use crate::data::Standardizer;
+use serde::{Deserialize, Serialize};
+
+/// L2-regularized linear regression.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RidgeRegression {
+    pub lambda: f64,
+    /// Weights (bias last), set by `fit`.
+    weights: Vec<f64>,
+    standardizer: Option<Standardizer>,
+}
+
+impl Default for RidgeRegression {
+    fn default() -> Self {
+        RidgeRegression {
+            lambda: 1e-3,
+            weights: Vec::new(),
+            standardizer: None,
+        }
+    }
+}
+
+/// Solve `a · w = b` in place with partial pivoting; returns `w`.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let piv = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, piv);
+        b.swap(col, piv);
+        let diag = a[col][col];
+        if diag.abs() < 1e-12 {
+            continue; // singular direction: leave weight at 0
+        }
+        for row in (col + 1)..n {
+            let f = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut w = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in (col + 1)..n {
+            s -= a[col][k] * w[k];
+        }
+        w[col] = if a[col][col].abs() < 1e-12 {
+            0.0
+        } else {
+            s / a[col][col]
+        };
+    }
+    w
+}
+
+impl RidgeRegression {
+    /// Fit on rows `x` with targets `y`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        let st = Standardizer::fit(x);
+        let xs = st.apply_all(x);
+        self.standardizer = Some(st);
+        let d = xs.first().map_or(0, |r| r.len());
+        let dd = d + 1; // bias column
+
+        // A = X^T X + λI,  b = X^T y  (bias unregularized).
+        let mut a = vec![vec![0.0; dd]; dd];
+        let mut bv = vec![0.0; dd];
+        for (row, &t) in xs.iter().zip(y) {
+            for i in 0..dd {
+                let xi = if i < d { row[i] } else { 1.0 };
+                bv[i] += xi * t;
+                for j in 0..dd {
+                    let xj = if j < d { row[j] } else { 1.0 };
+                    a[i][j] += xi * xj;
+                }
+            }
+        }
+        for (i, ai) in a.iter_mut().enumerate().take(d) {
+            ai[i] += self.lambda * x.len() as f64;
+        }
+        self.weights = solve(a, bv);
+    }
+
+    /// Predict the target for one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.weights.is_empty() {
+            return 0.0;
+        }
+        let xs = self
+            .standardizer
+            .as_ref()
+            .map(|s| s.apply(x))
+            .unwrap_or_else(|| x.to_vec());
+        let d = self.weights.len() - 1;
+        let mut v = self.weights[d];
+        for (w, xi) in self.weights[..d].iter().zip(&xs) {
+            v += w * xi;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_function() {
+        // y = 3 x0 - 2 x1 + 5
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let (a, b) = (i as f64 * 0.3, j as f64 * 0.2);
+                x.push(vec![a, b]);
+                y.push(3.0 * a - 2.0 * b + 5.0);
+            }
+        }
+        let mut r = RidgeRegression::default();
+        r.fit(&x, &y);
+        let pred = r.predict(&[2.0, 1.0]);
+        assert!((pred - 9.0).abs() < 0.1, "{pred}");
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![0.0, 10.0, 20.0, 30.0];
+        let mut light = RidgeRegression { lambda: 1e-6, ..Default::default() };
+        let mut heavy = RidgeRegression { lambda: 100.0, ..Default::default() };
+        light.fit(&x, &y);
+        heavy.fit(&x, &y);
+        let spread_light = light.predict(&[3.0]) - light.predict(&[0.0]);
+        let spread_heavy = heavy.predict(&[3.0]) - heavy.predict(&[0.0]);
+        assert!(spread_heavy.abs() < spread_light.abs());
+    }
+
+    #[test]
+    fn constant_target() {
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![7.0, 7.0, 7.0];
+        let mut r = RidgeRegression::default();
+        r.fit(&x, &y);
+        assert!((r.predict(&[10.0]) - 7.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn unfitted_predicts_zero() {
+        let r = RidgeRegression::default();
+        assert_eq!(r.predict(&[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Constant folding: evaluate instructions whose operands are all
+//! immediates, replacing them with `Mov dst, <imm>`. Also folds constant
+//! branch conditions into unconditional jumps (leaving the dead edge for
+//! `simplify-cfg` to reap).
+
+use ic_ir::{BinOp, Inst, Module, Operand, Terminator, UnOp};
+
+/// Fold a binary op over immediates. `None` when not both-imm or when the
+/// operation would trap (division by zero stays for runtime).
+fn fold_bin(op: BinOp, a: Operand, b: Operand) -> Option<Operand> {
+    use BinOp::*;
+    match (a, b) {
+        (Operand::ImmI(x), Operand::ImmI(y)) => {
+            let bi = |v: bool| Operand::ImmI(v as i64);
+            Some(match op {
+                Add => Operand::ImmI(x.wrapping_add(y)),
+                Sub => Operand::ImmI(x.wrapping_sub(y)),
+                Mul => Operand::ImmI(x.wrapping_mul(y)),
+                Div => {
+                    if y == 0 {
+                        return None;
+                    }
+                    Operand::ImmI(x.wrapping_div(y))
+                }
+                Rem => {
+                    if y == 0 {
+                        return None;
+                    }
+                    Operand::ImmI(x.wrapping_rem(y))
+                }
+                And => Operand::ImmI(x & y),
+                Or => Operand::ImmI(x | y),
+                Xor => Operand::ImmI(x ^ y),
+                Shl => Operand::ImmI(x.wrapping_shl(y as u32 & 63)),
+                Shr => Operand::ImmI(x.wrapping_shr(y as u32 & 63)),
+                Eq => bi(x == y),
+                Ne => bi(x != y),
+                Lt => bi(x < y),
+                Le => bi(x <= y),
+                Gt => bi(x > y),
+                Ge => bi(x >= y),
+                _ => return None,
+            })
+        }
+        (Operand::ImmF(x), Operand::ImmF(y)) => {
+            let bi = |v: bool| Operand::ImmI(v as i64);
+            Some(match op {
+                FAdd => Operand::ImmF(x + y),
+                FSub => Operand::ImmF(x - y),
+                FMul => Operand::ImmF(x * y),
+                FDiv => Operand::ImmF(x / y),
+                FEq => bi(x == y),
+                FNe => bi(x != y),
+                FLt => bi(x < y),
+                FLe => bi(x <= y),
+                FGt => bi(x > y),
+                FGe => bi(x >= y),
+                _ => return None,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn fold_un(op: UnOp, a: Operand) -> Option<Operand> {
+    match (op, a) {
+        (UnOp::Neg, Operand::ImmI(x)) => Some(Operand::ImmI(x.wrapping_neg())),
+        (UnOp::Not, Operand::ImmI(x)) => Some(Operand::ImmI((x == 0) as i64)),
+        (UnOp::FNeg, Operand::ImmF(x)) => Some(Operand::ImmF(-x)),
+        (UnOp::I2F, Operand::ImmI(x)) => Some(Operand::ImmF(x as f64)),
+        (UnOp::F2I, Operand::ImmF(x)) => Some(Operand::ImmI(x as i64)),
+        _ => None,
+    }
+}
+
+/// Run over every function; returns true if anything folded.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                let folded = match inst {
+                    Inst::Bin { op, dst, a, b } => {
+                        fold_bin(*op, *a, *b).map(|v| Inst::Mov { dst: *dst, src: v })
+                    }
+                    Inst::Un { op, dst, a } => {
+                        fold_un(*op, *a).map(|v| Inst::Mov { dst: *dst, src: v })
+                    }
+                    Inst::Select { dst, cond, t, f } => match cond {
+                        Operand::ImmI(c) => Some(Inst::Mov {
+                            dst: *dst,
+                            src: if *c != 0 { *t } else { *f },
+                        }),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                if let Some(new) = folded {
+                    *inst = new;
+                    changed = true;
+                }
+            }
+            // Constant branch -> jump.
+            if let Terminator::Branch {
+                cond: Operand::ImmI(c),
+                then_bb,
+                else_bb,
+            } = block.term
+            {
+                block.term = Terminator::Jump(if c != 0 { then_bb } else { else_bb });
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BlockId, Ty};
+
+    #[test]
+    fn folds_int_arith() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.bin(BinOp::Mul, 6i64, 7i64);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[0],
+            Inst::Mov {
+                src: Operand::ImmI(42),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn folds_float_and_compare() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let _f = b.bin(BinOp::FMul, 2.0f64, 4.0f64);
+        let c = b.bin(BinOp::FLt, 1.0f64, 2.0f64);
+        b.ret(Some(c.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[0],
+            Inst::Mov {
+                src: Operand::ImmF(v),
+                ..
+            } if v == 8.0
+        ));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[1],
+            Inst::Mov {
+                src: Operand::ImmI(1),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn preserves_div_by_zero_for_runtime() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.bin(BinOp::Div, 1i64, 0i64);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m), "div by zero must not be folded away");
+        assert!(matches!(m.funcs[0].blocks[0].insts[0], Inst::Bin { .. }));
+    }
+
+    #[test]
+    fn folds_constant_branch() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(1i64, t, e);
+        b.switch_to(t);
+        b.ret(Some(1i64.into()));
+        b.switch_to(e);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            Terminator::Jump(BlockId(1))
+        ));
+    }
+
+    #[test]
+    fn folds_unary_and_select() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let n = b.un(UnOp::Neg, 5i64);
+        b.ret(Some(n.into()));
+        let mut f = b.finish();
+        f.blocks[0].insts.push(Inst::Select {
+            dst: ic_ir::Reg(0),
+            cond: Operand::ImmI(0),
+            t: Operand::ImmI(1),
+            f: Operand::ImmI(2),
+        });
+        m.add_func(f);
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[0],
+            Inst::Mov {
+                src: Operand::ImmI(-5),
+                ..
+            }
+        ));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[1],
+            Inst::Mov {
+                src: Operand::ImmI(2),
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! Block-local constant propagation.
+//!
+//! Within each block, tracks registers that currently hold a known
+//! immediate (from `Mov r, imm` or a folded op) and rewrites later uses to
+//! the immediate. Redefinition invalidates. Purely local — the global
+//! story is handled by iterating with `simplify-cfg` (which merges blocks)
+//! in a sequence, which is exactly the kind of pass interaction the paper
+//! wants the learner to discover.
+
+use ic_ir::{Inst, Module, Operand, Reg};
+use std::collections::HashMap;
+
+/// Run over every function; returns true if any use was rewritten.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        for block in &mut f.blocks {
+            let mut known: HashMap<Reg, Operand> = HashMap::new();
+            for inst in &mut block.insts {
+                inst.for_each_use_mut(|op| {
+                    if let Operand::Reg(r) = op {
+                        if let Some(c) = known.get(r) {
+                            *op = *c;
+                            changed = true;
+                        }
+                    }
+                });
+                match inst {
+                    Inst::Mov { dst, src } if src.is_imm() => {
+                        known.insert(*dst, *src);
+                    }
+                    _ => {
+                        if let Some(d) = inst.def() {
+                            known.remove(&d);
+                        }
+                    }
+                }
+            }
+            block.term.for_each_use_mut(|op| {
+                if let Operand::Reg(r) = op {
+                    if let Some(c) = known.get(r) {
+                        *op = *c;
+                        changed = true;
+                    }
+                }
+            });
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BinOp, Ty};
+
+    #[test]
+    fn propagates_within_block() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, 7i64);
+        let y = b.bin(BinOp::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+
+        assert!(run(&mut m));
+        match &m.funcs[0].blocks[0].insts[1] {
+            Inst::Bin { a, .. } => assert_eq!(*a, Operand::ImmI(7)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, 7i64);
+        b.bin_to(x, BinOp::Add, p, p); // x redefined with unknown
+        let y = b.bin(BinOp::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+
+        run(&mut m);
+        match &m.funcs[0].blocks[0].insts[2] {
+            Inst::Bin { a, .. } => assert_eq!(*a, Operand::Reg(x)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn does_not_cross_blocks() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, 3i64);
+        let next = b.new_block();
+        b.jump(next);
+        b.switch_to(next);
+        let y = b.bin(BinOp::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+
+        assert!(!run(&mut m), "local pass must not cross block boundaries");
+    }
+
+    #[test]
+    fn propagates_into_terminator() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, 5i64);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            ic_ir::Terminator::Ret(Some(Operand::ImmI(5)))
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Block-local copy propagation: after `Mov x, y`, later uses of `x` read
+//! `y` directly until either register is redefined.
+
+use ic_ir::{Inst, Module, Operand, Reg};
+use std::collections::HashMap;
+
+/// Run over every function; returns true if any use was rewritten.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        for block in &mut f.blocks {
+            // copy_of[x] = y  means x currently equals register y.
+            let mut copy_of: HashMap<Reg, Reg> = HashMap::new();
+            let invalidate = |copy_of: &mut HashMap<Reg, Reg>, d: Reg| {
+                copy_of.remove(&d);
+                copy_of.retain(|_, src| *src != d);
+            };
+            for inst in &mut block.insts {
+                inst.for_each_use_mut(|op| {
+                    if let Operand::Reg(r) = op {
+                        if let Some(&src) = copy_of.get(r) {
+                            *op = Operand::Reg(src);
+                            changed = true;
+                        }
+                    }
+                });
+                match inst {
+                    Inst::Mov {
+                        dst,
+                        src: Operand::Reg(s),
+                    } if dst != s => {
+                        let (d, s) = (*dst, *s);
+                        invalidate(&mut copy_of, d);
+                        copy_of.insert(d, s);
+                    }
+                    _ => {
+                        if let Some(d) = inst.def() {
+                            invalidate(&mut copy_of, d);
+                        }
+                    }
+                }
+            }
+            block.term.for_each_use_mut(|op| {
+                if let Operand::Reg(r) = op {
+                    if let Some(&src) = copy_of.get(r) {
+                        *op = Operand::Reg(src);
+                        changed = true;
+                    }
+                }
+            });
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BinOp, Ty};
+
+    #[test]
+    fn forwards_through_copy() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, p);
+        let y = b.bin(BinOp::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        match &m.funcs[0].blocks[0].insts[1] {
+            Inst::Bin { a, .. } => assert_eq!(*a, Operand::Reg(p)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn source_redefinition_invalidates() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, p);
+        b.bin_to(p, BinOp::Add, p, 1i64); // p changes: x != p now
+        let y = b.bin(BinOp::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+        run(&mut m);
+        match &m.funcs[0].blocks[0].insts[2] {
+            Inst::Bin { a, .. } => assert_eq!(*a, Operand::Reg(x), "must not forward stale copy"),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn dest_redefinition_invalidates() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.new_reg(Ty::I64);
+        b.mov(x, p);
+        b.bin_to(x, BinOp::Mul, x, 2i64); // x no longer a copy
+        let y = b.bin(BinOp::Add, x, 1i64);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+        run(&mut m);
+        match &m.funcs[0].blocks[0].insts[2] {
+            Inst::Bin { a, .. } => assert_eq!(*a, Operand::Reg(x)),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn chains_collapse() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.new_reg(Ty::I64);
+        let y = b.new_reg(Ty::I64);
+        b.mov(x, p);
+        b.mov(y, x);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+        run(&mut m);
+        assert!(matches!(
+            m.funcs[0].blocks[0].term,
+            ic_ir::Terminator::Ret(Some(Operand::Reg(r))) if r == p
+        ));
+    }
+}

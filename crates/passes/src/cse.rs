@@ -1,0 +1,200 @@
+//! Local common-subexpression elimination by value numbering.
+//!
+//! Within a block, pure expressions over the *same register versions* are
+//! computed once; later occurrences become `Mov` from the first result.
+//! Register versions are tracked so redefinitions invalidate correctly in
+//! this non-SSA IR. Loads participate until the next store or call
+//! (which conservatively invalidate all memory value numbers).
+
+use ic_ir::{ArrId, BinOp, Inst, Module, Operand, Reg, UnOp};
+use std::collections::HashMap;
+
+/// A version-qualified operand for hashing expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum VOp {
+    Reg(Reg, u32),
+    ImmI(i64),
+    /// Bit pattern, so `-0.0` and `0.0` stay distinct.
+    ImmF(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Bin(BinOp, VOp, VOp),
+    Un(UnOp, VOp),
+    Load(ArrId, VOp),
+}
+
+/// Run over every function; returns true if any expression was reused.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        let nregs = f.num_regs();
+        for block in &mut f.blocks {
+            let mut version = vec![0u32; nregs];
+            let mut table: HashMap<Key, Reg> = HashMap::new();
+            let vop = |version: &[u32], op: &Operand| -> VOp {
+                match op {
+                    Operand::Reg(r) => VOp::Reg(*r, version[r.index()]),
+                    Operand::ImmI(v) => VOp::ImmI(*v),
+                    Operand::ImmF(v) => VOp::ImmF(v.to_bits()),
+                }
+            };
+            for inst in &mut block.insts {
+                let key = match inst {
+                    Inst::Bin { op, a, b, .. } if op.is_speculable() => {
+                        // Canonicalize commutative operands for better hits.
+                        let (va, vb) = (vop(&version, a), vop(&version, b));
+                        let (va, vb) = if op.is_commutative() && vb < va {
+                            (vb, va)
+                        } else {
+                            (va, vb)
+                        };
+                        Some(Key::Bin(*op, va, vb))
+                    }
+                    Inst::Un { op, a, .. } => Some(Key::Un(*op, vop(&version, a))),
+                    Inst::Load { arr, idx, .. } => Some(Key::Load(*arr, vop(&version, idx))),
+                    _ => None,
+                };
+
+                // Reuse check happens with *pre-def* versions; entries
+                // whose result register is still intact are valid because
+                // clobbers purge them below.
+                let reused = if let (Some(key), Some(dst)) = (&key, inst.def()) {
+                    if let Some(&prev) = table.get(key) {
+                        *inst = Inst::Mov {
+                            dst,
+                            src: Operand::Reg(prev),
+                        };
+                        changed = true;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+
+                // Invalidate on side effects and redefinitions.
+                if matches!(inst, Inst::Store { .. } | Inst::Call { .. }) {
+                    table.retain(|k, _| !matches!(k, Key::Load(..)));
+                }
+                if let Some(d) = inst.def() {
+                    version[d.index()] += 1;
+                    // Entries whose *result* register was just clobbered
+                    // can no longer be reused.
+                    table.retain(|_, res| *res != d);
+                }
+
+                // Record the new expression AFTER purging (so the purge
+                // cannot delete the entry we are adding).
+                if !reused {
+                    if let (Some(key), Some(dst)) = (key, inst.def()) {
+                        table.insert(key, dst);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{ElemClass, Ty};
+
+    #[test]
+    fn reuses_pure_expression() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Mul, p, p);
+        let y = b.bin(BinOp::Mul, p, p);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[1],
+            Inst::Mov {
+                src: Operand::Reg(r),
+                ..
+            } if r == x
+        ));
+    }
+
+    #[test]
+    fn commutative_match() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Add, p, 3i64);
+        let _y = b.bin(BinOp::Add, 3i64, p);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+    }
+
+    #[test]
+    fn redefinition_blocks_reuse() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Mul, p, p);
+        b.bin_to(p, BinOp::Add, p, 1i64); // p changes
+        let y = b.bin(BinOp::Mul, p, p); // NOT the same value
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn result_clobber_blocks_reuse() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Mul, p, p);
+        b.bin_to(x, BinOp::Add, x, 1i64); // x no longer holds p*p
+        let y = b.bin(BinOp::Mul, p, p);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m), "clobbered result must not be forwarded");
+    }
+
+    #[test]
+    fn load_reuse_until_store() {
+        let mut m = Module::new("t");
+        let arr = m.add_array("a", ElemClass::Int, 8);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let v1 = b.load(Ty::I64, arr, 3i64);
+        let _v2 = b.load(Ty::I64, arr, 3i64); // reusable
+        b.store(arr, 3i64, 9i64);
+        let v3 = b.load(Ty::I64, arr, 3i64); // NOT reusable
+        let s = b.bin(BinOp::Add, v1, v3);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(m.funcs[0].blocks[0].insts[1], Inst::Mov { .. }));
+        assert!(matches!(m.funcs[0].blocks[0].insts[3], Inst::Load { .. }));
+    }
+
+    #[test]
+    fn div_not_csed() {
+        // Division traps; keep both (DCE-style removability rule).
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Div, 100i64, p);
+        let y = b.bin(BinOp::Div, 100i64, p);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s.into()));
+        m.add_func(b.finish());
+        // CSE of a trapping op is actually safe (same operands, same trap),
+        // but we keep the conservative contract stated in the docs.
+        assert!(!run(&mut m));
+    }
+}

@@ -1,0 +1,149 @@
+//! Global dead-code elimination driven by liveness.
+//!
+//! An instruction is deleted when its defined register is not live after
+//! the instruction and the instruction is removable (pure, non-trapping).
+//! Runs per block, walking backwards with the block's live-out set.
+
+use ic_ir::cfg::Cfg;
+use ic_ir::liveness::Liveness;
+use ic_ir::{Function, Module, Operand};
+
+fn run_function(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let lv = Liveness::compute(f, &cfg);
+    let mut changed = false;
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let mut live = lv.live_out[bi].clone();
+        // Backward scan: delete dead removable defs, update liveness.
+        let mut keep = vec![true; block.insts.len()];
+        // Terminator uses are part of live-out computation already? No:
+        // live_out excludes the block's own terminator uses. Add them.
+        block.term.for_each_use(|op| {
+            if let Operand::Reg(r) = op {
+                live.insert(*r);
+            }
+        });
+        for (i, inst) in block.insts.iter().enumerate().rev() {
+            let dead = match inst.def() {
+                Some(d) => !live.contains(d),
+                None => false,
+            };
+            if dead && inst.is_removable_if_dead() {
+                keep[i] = false;
+                changed = true;
+                continue;
+            }
+            if let Some(d) = inst.def() {
+                live.remove(d);
+            }
+            inst.for_each_use(|op| {
+                if let Operand::Reg(r) = op {
+                    live.insert(*r);
+                }
+            });
+        }
+        let mut i = 0;
+        block.insts.retain(|_| {
+            let k = keep[i];
+            i += 1;
+            k
+        });
+    }
+    changed
+}
+
+/// Run DCE to a per-function fixpoint (removing one dead instruction can
+/// expose another). Returns true if anything was removed.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        // Each run_function pass already cascades within a block via the
+        // backward scan; iterate for cross-block cascades.
+        while run_function(f) {
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BinOp, ElemClass, Inst, Ty};
+
+    #[test]
+    fn removes_dead_chain() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let d1 = b.bin(BinOp::Add, p, 1i64);
+        let _d2 = b.bin(BinOp::Mul, d1, 3i64); // only user of d1, itself dead
+        b.ret(Some(p.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(m.funcs[0].blocks[0].insts.is_empty(), "whole chain removed");
+    }
+
+    #[test]
+    fn keeps_stores_and_calls() {
+        let mut m = Module::new("t");
+        let arr = m.add_array("a", ElemClass::Int, 4);
+        let mut cal = FunctionBuilder::new("side", &[], Some(Ty::I64));
+        cal.store(arr, 0i64, 1i64);
+        cal.ret(Some(0i64.into()));
+        let callee = m.add_func(cal.finish());
+
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let dead_result = b.call(Ty::I64, callee, vec![]);
+        let _ = dead_result;
+        b.store(arr, 1i64, 2i64);
+        b.ret(Some(0i64.into()));
+        let main = m.add_func(b.finish());
+        m.entry = main;
+
+        run(&mut m);
+        let main = &m.funcs[1];
+        assert!(matches!(main.blocks[0].insts[0], Inst::Call { .. }));
+        assert!(matches!(main.blocks[0].insts[1], Inst::Store { .. }));
+    }
+
+    #[test]
+    fn keeps_trapping_div() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let _d = b.bin(BinOp::Div, 1i64, p); // may trap: must stay
+        b.ret(Some(p.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m));
+        assert_eq!(m.funcs[0].blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn removes_dead_load() {
+        let mut m = Module::new("t");
+        let arr = m.add_array("a", ElemClass::Int, 4);
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let _v = b.load(Ty::I64, arr, 0i64);
+        b.ret(Some(9i64.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(m.funcs[0].blocks[0].insts.is_empty());
+    }
+
+    #[test]
+    fn loop_carried_values_survive() {
+        // s accumulates across a loop and is returned: nothing to remove.
+        let mut m = ic_lang::compile(
+            "t",
+            "int main() { int s = 0; for (int i = 0; i < 4; i = i + 1) s = s + i; return s; }",
+        )
+        .unwrap();
+        let before = m.num_insts();
+        run(&mut m);
+        // The loop's work must survive; only frontend temporaries may go.
+        assert!(m.num_insts() + 2 >= before);
+        ic_ir::verify::verify_module(&m).unwrap();
+    }
+}

@@ -1,0 +1,310 @@
+//! If-conversion: turn short, side-effect-free branch diamonds into
+//! straight-line code with `Select` instructions.
+//!
+//! Pattern:
+//!
+//! ```text
+//! A:  ... ; br c, T, E
+//! T:  <= MAX_ARM speculable insts ; jump J      (single pred: A)
+//! E:  <= MAX_ARM speculable insts ; jump J      (single pred: A)
+//! ```
+//!
+//! Both arms are appended to `A` with their definitions renamed to fresh
+//! registers, then every register either arm originally defined gets a
+//! `Select` on `c`. Profitable when the branch mispredicts (the paper's
+//! VLIW target, like the real C6xx, relies heavily on predication);
+//! counter-productive for well-predicted branches — exactly the kind of
+//! decision the learned controller is for.
+
+use ic_ir::cfg::Cfg;
+use ic_ir::{BlockId, Function, Inst, Module, Operand, Reg, Terminator};
+use std::collections::HashMap;
+
+/// Maximum instructions per arm.
+pub const MAX_ARM: usize = 4;
+
+fn arm_convertible(f: &Function, b: BlockId) -> bool {
+    let block = f.block(b);
+    if block.insts.len() > MAX_ARM {
+        return false;
+    }
+    block.insts.iter().all(|i| match i {
+        Inst::Bin { op, .. } => op.is_speculable(),
+        Inst::Un { .. } | Inst::Mov { .. } | Inst::Load { .. } | Inst::Select { .. } => true,
+        Inst::Store { .. } | Inst::Call { .. } => false,
+    }) && block.insts.iter().all(|i| i.def().is_some())
+}
+
+/// Copy an arm's instructions with defs renamed to fresh registers.
+/// Returns the instructions and the mapping original-def -> final fresh reg.
+fn rename_arm(f: &mut Function, b: BlockId) -> (Vec<Inst>, HashMap<Reg, Reg>) {
+    let insts = f.block(b).insts.clone();
+    let mut map: HashMap<Reg, Reg> = HashMap::new();
+    let mut out = Vec::with_capacity(insts.len());
+    for mut inst in insts {
+        // Uses see earlier renamed defs of the same arm.
+        inst.for_each_use_mut(|op| {
+            if let Operand::Reg(r) = op {
+                if let Some(&nr) = map.get(r) {
+                    *op = Operand::Reg(nr);
+                }
+            }
+        });
+        let d = inst.def().expect("checked: all defining");
+        let ty = f.reg_ty(d);
+        let fresh = f.new_reg(ty);
+        inst.set_def(fresh);
+        map.insert(d, fresh);
+        out.push(inst);
+    }
+    (out, map)
+}
+
+fn convert_one(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let nb = f.blocks.len();
+    for ai in 0..nb {
+        let a = BlockId(ai as u32);
+        if !cfg.is_reachable(a) {
+            continue;
+        }
+        let (cond, t, e) = match f.block(a).term {
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => (cond, then_bb, else_bb),
+            _ => continue,
+        };
+        if t == e || t == a || e == a {
+            continue;
+        }
+        // Both arms: single predecessor (a), convertible body, same join.
+        let single_pred = |b: BlockId| {
+            cfg.preds(b)
+                .iter()
+                .filter(|p| cfg.is_reachable(**p))
+                .collect::<Vec<_>>()
+                == vec![&a]
+        };
+        if !single_pred(t) || !single_pred(e) {
+            continue;
+        }
+        if !arm_convertible(f, t) || !arm_convertible(f, e) {
+            continue;
+        }
+        let (Terminator::Jump(jt), Terminator::Jump(je)) =
+            (&f.block(t).term, &f.block(e).term)
+        else {
+            continue;
+        };
+        if jt != je {
+            continue;
+        }
+        let join = *jt;
+        if join == t || join == e {
+            continue;
+        }
+        // The selects read the branch condition; if an arm redefines the
+        // condition register, a select writing it would clobber the value
+        // other selects still need. Skip that (rare) shape.
+        if let Operand::Reg(c) = cond {
+            let defines_cond = |b: BlockId| {
+                f.block(b).insts.iter().any(|i| i.def() == Some(c))
+            };
+            if defines_cond(t) || defines_cond(e) {
+                continue;
+            }
+        }
+
+        // Transform.
+        let (t_insts, t_map) = rename_arm(f, t);
+        let (e_insts, e_map) = rename_arm(f, e);
+        let mut defined: Vec<Reg> = t_map.keys().chain(e_map.keys()).copied().collect();
+        defined.sort();
+        defined.dedup();
+
+        let a_block = f.blocks[a.index()].insts.len();
+        let _ = a_block;
+        let ab = &mut f.blocks[ai];
+        ab.insts.extend(t_insts);
+        ab.insts.extend(e_insts);
+        for r in defined {
+            let tv = t_map.get(&r).map(|&nr| Operand::Reg(nr)).unwrap_or(Operand::Reg(r));
+            let ev = e_map.get(&r).map(|&nr| Operand::Reg(nr)).unwrap_or(Operand::Reg(r));
+            ab.insts.push(Inst::Select {
+                dst: r,
+                cond,
+                t: tv,
+                f: ev,
+            });
+        }
+        ab.term = Terminator::Jump(join);
+        return true;
+    }
+    false
+}
+
+/// Run to a per-function fixpoint; returns true if any diamond converted.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        let mut guard = 0;
+        while convert_one(f) {
+            changed = true;
+            guard += 1;
+            if guard > 100 {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_machine::{simulate_default, Counter, MachineConfig};
+
+    fn exec(m: &Module) -> (Option<i64>, u64, u64) {
+        let r = simulate_default(m, &MachineConfig::superscalar_amd_like(), 50_000_000).unwrap();
+        (
+            r.ret_i64(),
+            r.mem.checksum(),
+            r.counters.get(Counter::BR_INS),
+        )
+    }
+
+    #[test]
+    fn converts_simple_diamond() {
+        let src = "int main() {
+            int s = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                int v = 0;
+                if (i % 3 == 0) v = i * 2; else v = i + 7;
+                s = s + v;
+            }
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1));
+        ic_ir::verify::verify_module(&m1).unwrap();
+        let (r0, mem0, br0) = exec(&m0);
+        let (r1, mem1, br1) = exec(&m1);
+        assert_eq!(r0, r1);
+        assert_eq!(mem0, mem1);
+        assert!(br1 < br0, "a conditional branch disappeared: {br1} vs {br0}");
+        // At least one Select was emitted.
+        let selects = m1
+            .funcs
+            .iter()
+            .flat_map(|f| &f.blocks)
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Select { .. }))
+            .count();
+        assert!(selects >= 1);
+    }
+
+    #[test]
+    fn skips_arms_with_stores() {
+        let src = "int a[4]; int main() {
+            int x = 3;
+            if (x > 1) a[0] = 1; else a[1] = 2;
+            return a[0] + a[1];
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        assert!(!run(&mut m), "store arms must not be speculated");
+    }
+
+    #[test]
+    fn skips_arms_with_calls_and_div() {
+        let src = "int f(int x) { return x + 1; }
+        int main() {
+            int x = 3;
+            int v = 0;
+            if (x > 1) v = f(x); else v = 2;
+            if (x > 2) v = v + 100 / x; else v = v - 1;
+            return v;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        run(&mut m1); // the div arm and call arm must be skipped
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+
+    #[test]
+    fn helps_on_unpredictable_branches() {
+        // Data-dependent 50/50 branch: if-conversion removes mispredicts.
+        let src = "int main() {
+            int x = 88172645;
+            int s = 0;
+            for (int i = 0; i < 2000; i = i + 1) {
+                x = (x * 1103515245 + 12345) % 2147483648;
+                int v = 0;
+                if (x & 1) v = x & 63; else v = i & 31;
+                s = (s + v) % 1000003;
+            }
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1));
+        let cfg = MachineConfig::superscalar_amd_like();
+        let r0 = simulate_default(&m0, &cfg, 50_000_000).unwrap();
+        let r1 = simulate_default(&m1, &cfg, 50_000_000).unwrap();
+        assert_eq!(r0.ret_i64(), r1.ret_i64());
+        assert!(
+            r1.counters.get(Counter::BR_MSP) < r0.counters.get(Counter::BR_MSP) / 2,
+            "mispredicts should collapse: {} vs {}",
+            r1.counters.get(Counter::BR_MSP),
+            r0.counters.get(Counter::BR_MSP)
+        );
+        assert!(
+            r1.cycles() < r0.cycles(),
+            "if-conversion should win here: {} vs {}",
+            r1.cycles(),
+            r0.cycles()
+        );
+    }
+
+    #[test]
+    fn loads_may_be_speculated() {
+        // Loads are non-trapping in this IR, so arms with loads convert.
+        let src = "int a[16]; int b[16]; int main() {
+            for (int i = 0; i < 16; i = i + 1) { a[i] = i; b[i] = 100 - i; }
+            int s = 0;
+            for (int i = 0; i < 16; i = i + 1) {
+                int v = 0;
+                if (i % 2 == 0) v = a[i]; else v = b[i];
+                s = s + v;
+            }
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1));
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+
+    #[test]
+    fn nested_diamonds_converge() {
+        let src = "int main() {
+            int s = 0;
+            for (int i = 0; i < 50; i = i + 1) {
+                int v = 0;
+                if (i % 2 == 0) v = 1; else v = 2;
+                int w = 0;
+                if (i % 3 == 0) w = v * 2; else w = v + 9;
+                s = s + w;
+            }
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1));
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+}

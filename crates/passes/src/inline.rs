@@ -1,0 +1,260 @@
+//! Function inlining for small, non-recursive callees.
+//!
+//! A call site is inlined when the callee has at most [`SIZE_LIMIT`]
+//! instructions and is not (transitively) recursive. Mechanics: the
+//! callee's blocks are copied into the caller with all registers and
+//! block ids offset, argument `Mov`s are prepended, every `Ret` becomes a
+//! `Mov` into the call's destination plus a jump to the split-off
+//! continuation block.
+
+use ic_ir::{Block, BlockId, Function, Inst, Module, Operand, Reg, Terminator};
+use std::collections::HashSet;
+
+/// Callees larger than this are never inlined.
+pub const SIZE_LIMIT: usize = 40;
+
+/// Compute the set of functions that may (transitively) call themselves.
+fn recursive_set(module: &Module) -> HashSet<usize> {
+    let n = module.funcs.len();
+    // callees[i] = set of direct callees
+    let mut callees: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for (i, f) in module.funcs.iter().enumerate() {
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    callees[i].insert(callee.index());
+                }
+            }
+        }
+    }
+    // Transitive closure (tiny graphs: simple iteration).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let reach: Vec<usize> = callees[i].iter().copied().collect();
+            for j in reach {
+                let extra: Vec<usize> = callees[j].difference(&callees[i]).copied().collect();
+                if !extra.is_empty() {
+                    callees[i].extend(extra);
+                    changed = true;
+                }
+            }
+        }
+    }
+    (0..n).filter(|&i| callees[i].contains(&i)).collect()
+}
+
+/// Inline a single call site in `caller` (block `bi`, instruction `ii`).
+fn inline_site(caller: &mut Function, callee: &Function, bi: usize, ii: usize) {
+    let (dst, args) = match &caller.blocks[bi].insts[ii] {
+        Inst::Call { dst, args, .. } => (*dst, args.clone()),
+        other => panic!("inline_site: not a call: {:?}", other),
+    };
+
+    let reg_off = caller.num_regs() as u32;
+    let blk_off = caller.blocks.len() as u32;
+    // Import callee registers.
+    for &ty in &callee.reg_tys {
+        caller.reg_tys.push(ty);
+    }
+    let map_reg = |r: Reg| Reg(r.0 + reg_off);
+    let map_blk = |b: BlockId| BlockId(b.0 + blk_off);
+
+    // Split the caller block: everything after the call moves to a fresh
+    // continuation block that inherits the original terminator.
+    let cont_insts: Vec<Inst> = caller.blocks[bi].insts.split_off(ii + 1);
+    caller.blocks[bi].insts.pop(); // remove the call itself
+    let cont_term = std::mem::replace(
+        &mut caller.blocks[bi].term,
+        Terminator::Jump(BlockId(blk_off + callee.blocks.len() as u32)),
+    );
+
+    // Bind arguments.
+    for (a, &p) in args.iter().zip(&callee.params) {
+        caller.blocks[bi].insts.push(Inst::Mov {
+            dst: map_reg(p),
+            src: *a,
+        });
+    }
+    caller.blocks[bi].term = Terminator::Jump(map_blk(BlockId(0)));
+
+    let cont_id = BlockId(blk_off + callee.blocks.len() as u32);
+
+    // Copy callee blocks with remapping.
+    for cb in &callee.blocks {
+        let mut nb = Block::new();
+        for inst in &cb.insts {
+            let mut ni = inst.clone();
+            if let Some(d) = ni.def() {
+                ni.set_def(map_reg(d));
+            }
+            ni.for_each_use_mut(|op| {
+                if let Operand::Reg(r) = op {
+                    *op = Operand::Reg(map_reg(*r));
+                }
+            });
+            nb.insts.push(ni);
+        }
+        nb.term = match &cb.term {
+            Terminator::Jump(t) => Terminator::Jump(map_blk(*t)),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let mut c = *cond;
+                if let Operand::Reg(r) = c {
+                    c = Operand::Reg(map_reg(r));
+                }
+                Terminator::Branch {
+                    cond: c,
+                    then_bb: map_blk(*then_bb),
+                    else_bb: map_blk(*else_bb),
+                }
+            }
+            Terminator::Ret(v) => {
+                if let (Some(d), Some(val)) = (dst, v) {
+                    let mut src = *val;
+                    if let Operand::Reg(r) = src {
+                        src = Operand::Reg(map_reg(r));
+                    }
+                    nb.insts.push(Inst::Mov { dst: d, src });
+                }
+                Terminator::Jump(cont_id)
+            }
+        };
+        caller.blocks.push(nb);
+    }
+
+    // The continuation block.
+    caller.blocks.push(Block {
+        insts: cont_insts,
+        term: cont_term,
+    });
+    debug_assert_eq!(caller.blocks.len() as u32, cont_id.0 + 1);
+}
+
+/// Run one inlining wave over the module (each function inlines at most
+/// one call site per wave, repeated to a bounded fixpoint by the caller
+/// sequencing `inline` multiple times). Returns true if any site inlined.
+pub fn run(module: &mut Module) -> bool {
+    let recursive = recursive_set(module);
+    let sizes: Vec<usize> = module.funcs.iter().map(|f| f.num_insts()).collect();
+    let mut changed = false;
+
+    for caller_idx in 0..module.funcs.len() {
+        // Find a call site worth inlining.
+        let mut site: Option<(usize, usize, usize)> = None;
+        'outer: for (bi, b) in module.funcs[caller_idx].blocks.iter().enumerate() {
+            for (ii, inst) in b.insts.iter().enumerate() {
+                if let Inst::Call { callee, .. } = inst {
+                    let ci = callee.index();
+                    if ci != caller_idx && !recursive.contains(&ci) && sizes[ci] <= SIZE_LIMIT {
+                        site = Some((bi, ii, ci));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        if let Some((bi, ii, ci)) = site {
+            let callee = module.funcs[ci].clone();
+            inline_site(&mut module.funcs[caller_idx], &callee, bi, ii);
+            changed = true;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_machine::{simulate_default, MachineConfig};
+
+    fn exec(m: &ic_ir::Module) -> (Option<i64>, u64) {
+        let r = simulate_default(m, &MachineConfig::test_tiny(), 10_000_000).unwrap();
+        (r.ret_i64(), r.mem.checksum())
+    }
+
+    #[test]
+    fn inlines_small_leaf() {
+        let src = "int sq(int x) { return x * x; }
+                   int main() { return sq(6) + sq(7); }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1));
+        // run waves until no more call sites in main
+        while run(&mut m1) {}
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m0), exec(&m1));
+        assert_eq!(exec(&m1).0, Some(85));
+        // No calls remain in main.
+        let main = &m1.funcs[m1.entry.index()];
+        let calls = main
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Call { .. }))
+            .count();
+        assert_eq!(calls, 0);
+    }
+
+    #[test]
+    fn skips_recursive() {
+        let src = "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+                   int main() { return fib(10); }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        assert!(!run(&mut m), "recursive callee must not be inlined");
+        assert_eq!(exec(&m).0, Some(55));
+    }
+
+    #[test]
+    fn skips_mutually_recursive() {
+        let src = "int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+                   int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+                   int main() { return is_even(10); }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        assert!(!run(&mut m));
+        assert_eq!(exec(&m).0, Some(1));
+    }
+
+    #[test]
+    fn inlines_with_control_flow_and_sides() {
+        let src = "int g[2];
+            int clamp(int x) { if (x > 10) { g[0] = g[0] + 1; return 10; } return x; }
+            int main() {
+                int s = 0;
+                for (int i = 0; i < 20; i = i + 1) s = s + clamp(i);
+                return s + g[0];
+            }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        while run(&mut m1) {}
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m0), exec(&m1));
+    }
+
+    #[test]
+    fn void_callee_inlined() {
+        let src = "int g[1];
+            void poke(int v) { g[0] = v; }
+            int main() { poke(9); return g[0]; }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        while run(&mut m1) {}
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m1).0, Some(9));
+    }
+
+    #[test]
+    fn big_callee_skipped() {
+        // Generate a callee over the size limit.
+        let mut body = String::from("int big(int x) { int s = x;\n");
+        for _ in 0..SIZE_LIMIT {
+            body.push_str("s = s + 1;\n");
+        }
+        body.push_str("return s; } int main() { return big(1); }");
+        let mut m = ic_lang::compile("t", &body).unwrap();
+        assert!(!run(&mut m));
+    }
+}

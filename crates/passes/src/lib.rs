@@ -1,0 +1,229 @@
+//! # ic-passes — the optimization passes and the paper's 13-opt space
+//!
+//! Every optimization the intelligent compiler can sequence lives here as
+//! an [`Opt`]. The Fig. 2 experiments search over length-5 sequences drawn
+//! from [`Opt::PAPER_13`] — ten scalar/loop/CFG optimizations plus three
+//! unrolling factors, with unrolling allowed at most once per sequence
+//! (exactly the setup described in the paper's footnote 1).
+//!
+//! Passes are deliberately *order-sensitive* — e.g. `const-fold` only
+//! fires on operands `const-prop` has already materialized, `schedule`
+//! benefits from the straight-line code `unroll` creates, `dce` cleans up
+//! what the others leave behind — because the whole point of the paper is
+//! that pass ordering is a rugged search space worth learning over.
+//!
+//! All passes preserve observable semantics (return value and final
+//! memory); the differential test-suite in this crate checks that on real
+//! MinC programs by executing before/after on the `ic-machine` simulator.
+
+pub mod const_fold;
+pub mod const_prop;
+pub mod copy_prop;
+pub mod cse;
+pub mod dce;
+pub mod if_convert;
+pub mod inline;
+pub mod licm;
+pub mod peephole;
+pub mod ptr_compress;
+pub mod schedule;
+pub mod simplify_cfg;
+pub mod strength_red;
+pub mod unroll;
+
+use ic_ir::Module;
+use serde::{Deserialize, Serialize};
+
+/// A named optimization. The unit the optimization controller, the search
+/// strategies and the learned models all traffic in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Opt {
+    ConstProp,
+    ConstFold,
+    CopyProp,
+    Dce,
+    Cse,
+    Licm,
+    StrengthRed,
+    Inline,
+    SimplifyCfg,
+    Schedule,
+    Peephole,
+    PtrCompress,
+    IfConvert,
+    Unroll2,
+    Unroll4,
+    Unroll8,
+}
+
+impl Opt {
+    /// The 13-optimization space of the paper's Fig. 2 (ten base
+    /// optimizations + three unroll factors).
+    pub const PAPER_13: [Opt; 13] = [
+        Opt::ConstProp,
+        Opt::ConstFold,
+        Opt::CopyProp,
+        Opt::Dce,
+        Opt::Cse,
+        Opt::Licm,
+        Opt::StrengthRed,
+        Opt::Inline,
+        Opt::SimplifyCfg,
+        Opt::Schedule,
+        Opt::Unroll2,
+        Opt::Unroll4,
+        Opt::Unroll8,
+    ];
+
+    /// Every optimization in the registry.
+    pub const ALL: [Opt; 16] = [
+        Opt::ConstProp,
+        Opt::ConstFold,
+        Opt::CopyProp,
+        Opt::Dce,
+        Opt::Cse,
+        Opt::Licm,
+        Opt::StrengthRed,
+        Opt::Inline,
+        Opt::SimplifyCfg,
+        Opt::Schedule,
+        Opt::Peephole,
+        Opt::PtrCompress,
+        Opt::IfConvert,
+        Opt::Unroll2,
+        Opt::Unroll4,
+        Opt::Unroll8,
+    ];
+
+    /// Stable command-line name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opt::ConstProp => "const-prop",
+            Opt::ConstFold => "const-fold",
+            Opt::CopyProp => "copy-prop",
+            Opt::Dce => "dce",
+            Opt::Cse => "cse",
+            Opt::Licm => "licm",
+            Opt::StrengthRed => "strength-red",
+            Opt::Inline => "inline",
+            Opt::SimplifyCfg => "simplify-cfg",
+            Opt::Schedule => "schedule",
+            Opt::Peephole => "peephole",
+            Opt::PtrCompress => "ptr-compress",
+            Opt::IfConvert => "if-convert",
+            Opt::Unroll2 => "unroll2",
+            Opt::Unroll4 => "unroll4",
+            Opt::Unroll8 => "unroll8",
+        }
+    }
+
+    /// Parse a name produced by [`Opt::name`].
+    pub fn from_name(s: &str) -> Option<Opt> {
+        Opt::ALL.into_iter().find(|o| o.name() == s)
+    }
+
+    /// True for the unrolling variants (at most one may appear in a
+    /// paper-space sequence).
+    pub fn is_unroll(self) -> bool {
+        matches!(self, Opt::Unroll2 | Opt::Unroll4 | Opt::Unroll8)
+    }
+
+    /// Apply this optimization to `module`. Returns true if anything
+    /// changed (useful for fixpoint drivers and enable/disable analyses).
+    pub fn apply(self, module: &mut Module) -> bool {
+        match self {
+            Opt::ConstProp => const_prop::run(module),
+            Opt::ConstFold => const_fold::run(module),
+            Opt::CopyProp => copy_prop::run(module),
+            Opt::Dce => dce::run(module),
+            Opt::Cse => cse::run(module),
+            Opt::Licm => licm::run(module),
+            Opt::StrengthRed => strength_red::run(module),
+            Opt::Inline => inline::run(module),
+            Opt::SimplifyCfg => simplify_cfg::run(module),
+            Opt::Schedule => schedule::run(module),
+            Opt::Peephole => peephole::run(module),
+            Opt::PtrCompress => ptr_compress::run(module),
+            Opt::IfConvert => if_convert::run(module),
+            Opt::Unroll2 => unroll::run(module, 2),
+            Opt::Unroll4 => unroll::run(module, 4),
+            Opt::Unroll8 => unroll::run(module, 8),
+        }
+    }
+}
+
+impl std::fmt::Display for Opt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Apply a sequence of optimizations in order, verifying the module after
+/// each pass in debug builds. Returns the number of passes that reported
+/// a change.
+pub fn apply_sequence(module: &mut Module, seq: &[Opt]) -> usize {
+    let mut changed = 0;
+    for &opt in seq {
+        if opt.apply(module) {
+            changed += 1;
+        }
+        debug_assert!(
+            ic_ir::verify::verify_module(module).is_ok(),
+            "pass {} corrupted the module: {:?}",
+            opt.name(),
+            ic_ir::verify::verify_module(module).err()
+        );
+    }
+    changed
+}
+
+/// The fixed aggressive pipeline standing in for PathScale `-Ofast`
+/// (everything on, cache-oblivious; see DESIGN.md §2).
+pub fn ofast_sequence() -> Vec<Opt> {
+    vec![
+        Opt::Inline,
+        Opt::ConstProp,
+        Opt::ConstFold,
+        Opt::CopyProp,
+        Opt::Cse,
+        Opt::Licm,
+        Opt::StrengthRed,
+        Opt::Peephole,
+        Opt::Unroll4,
+        Opt::SimplifyCfg,
+        Opt::Dce,
+        Opt::Schedule,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for o in Opt::ALL {
+            assert_eq!(Opt::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Opt::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn paper_13_has_exactly_three_unrolls() {
+        let unrolls = Opt::PAPER_13.iter().filter(|o| o.is_unroll()).count();
+        assert_eq!(unrolls, 3);
+        assert_eq!(Opt::PAPER_13.len(), 13);
+    }
+
+    #[test]
+    fn ofast_is_verifiable_on_a_real_program() {
+        let mut m = ic_lang::compile(
+            "t",
+            "int work(int n) { int s = 0; for (int i = 0; i < n; i = i + 1) s = s + i * 2; return s; }
+             int main() { return work(50); }",
+        )
+        .unwrap();
+        apply_sequence(&mut m, &ofast_sequence());
+        ic_ir::verify::verify_module(&m).unwrap();
+    }
+}

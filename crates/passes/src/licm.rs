@@ -1,0 +1,278 @@
+//! Loop-invariant code motion.
+//!
+//! For every natural loop that has a unique preheader-capable entry edge,
+//! hoists instructions that are:
+//!
+//! * speculable (pure, non-trapping) — loads qualify only when the loop
+//!   contains no store or call at all;
+//! * operand-invariant: every register operand has *no definition inside
+//!   the loop*;
+//! * the only definition of their destination register in the loop, with
+//!   the destination not live into the loop header (so the preheader
+//!   definition cannot clobber a value observed before the first
+//!   execution of the original instruction).
+//!
+//! These conditions are the classically sufficient ones for non-SSA IR.
+//! The preheader is created on demand by splitting the entry edge.
+
+use ic_ir::cfg::Cfg;
+use ic_ir::dom::Dominators;
+use ic_ir::liveness::Liveness;
+use ic_ir::loops::LoopForest;
+use ic_ir::{BlockId, Function, Inst, Module, Operand, Reg, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// Run over every function; returns true if anything was hoisted.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        // Hoist one loop at a time; recompute analyses after each change
+        // (loops are few, functions small — clarity over asymptotics).
+        let mut guard = 0;
+        while hoist_one(f) {
+            changed = true;
+            guard += 1;
+            if guard > 100 {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+fn hoist_one(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dom = Dominators::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dom);
+    let lv = Liveness::compute(f, &cfg);
+
+    for lp in &forest.loops {
+        let body: HashSet<BlockId> = lp.body.iter().copied().collect();
+
+        // Definitions inside the loop, per register.
+        let mut defs_in_loop: HashMap<Reg, usize> = HashMap::new();
+        let mut has_side_effects = false;
+        for &b in &lp.body {
+            for inst in &f.block(b).insts {
+                if let Some(d) = inst.def() {
+                    *defs_in_loop.entry(d).or_insert(0) += 1;
+                }
+                if matches!(inst, Inst::Store { .. } | Inst::Call { .. }) {
+                    has_side_effects = true;
+                }
+            }
+        }
+
+        // Find a hoistable instruction.
+        let mut candidate: Option<(BlockId, usize)> = None;
+        'search: for &b in &lp.body {
+            for (i, inst) in f.block(b).insts.iter().enumerate() {
+                let hoistable = match inst {
+                    Inst::Bin { op, .. } => op.is_speculable(),
+                    Inst::Un { .. } | Inst::Mov { .. } | Inst::Select { .. } => true,
+                    Inst::Load { .. } => !has_side_effects,
+                    _ => false,
+                };
+                if !hoistable {
+                    continue;
+                }
+                let Some(dst) = inst.def() else { continue };
+                if defs_in_loop.get(&dst) != Some(&1) {
+                    continue;
+                }
+                // Destination must not be observable before the def: not
+                // live into the header.
+                if lv.live_in[lp.header.index()].contains(dst) {
+                    continue;
+                }
+                // All register operands invariant.
+                let mut invariant = true;
+                inst.for_each_use(|op| {
+                    if let Operand::Reg(r) = op {
+                        if defs_in_loop.contains_key(r) {
+                            invariant = false;
+                        }
+                    }
+                });
+                if !invariant {
+                    continue;
+                }
+                candidate = Some((b, i));
+                break 'search;
+            }
+        }
+
+        let Some((cb, ci)) = candidate else { continue };
+
+        // Build / find the preheader: the unique edge source outside the
+        // loop into the header. If several, give up on this loop.
+        let outside_preds: Vec<BlockId> = cfg
+            .preds(lp.header)
+            .iter()
+            .copied()
+            .filter(|p| !body.contains(p) && cfg.is_reachable(*p))
+            .collect();
+        if outside_preds.is_empty() {
+            continue;
+        }
+
+        let inst = f.block_mut(cb).insts.remove(ci);
+
+        if outside_preds.len() == 1
+            && matches!(f.block(outside_preds[0]).term, Terminator::Jump(_))
+        {
+            // The edge source ends in an unconditional jump to the header:
+            // append there.
+            f.block_mut(outside_preds[0]).insts.push(inst);
+        } else {
+            // Split: create a fresh preheader between the outside preds
+            // and the header.
+            let pre = f.add_block();
+            f.block_mut(pre).insts.push(inst);
+            f.block_mut(pre).term = Terminator::Jump(lp.header);
+            for p in outside_preds {
+                f.block_mut(p).term.for_each_succ_mut(|s| {
+                    if *s == lp.header {
+                        *s = pre;
+                    }
+                });
+            }
+        }
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_machine::{simulate_default, MachineConfig};
+
+    fn exec(m: &ic_ir::Module) -> i64 {
+        simulate_default(m, &MachineConfig::test_tiny(), 10_000_000)
+            .unwrap()
+            .ret_i64()
+            .unwrap()
+    }
+
+    #[test]
+    fn hoists_invariant_multiply() {
+        let src = "int main() {
+            int n = 37;
+            int s = 0;
+            for (int i = 0; i < 100; i = i + 1) {
+                int t = n * 3;
+                s = s + t + i;
+            }
+            return s;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        let before = exec(&m);
+        let insts_before = m.num_insts();
+        assert!(run(&mut m));
+        ic_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(exec(&m), before, "semantics preserved");
+        assert_eq!(m.num_insts(), insts_before, "moved, not duplicated");
+
+        // And it actually got faster (fewer dynamic instructions).
+        let cfg = MachineConfig::test_tiny();
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let r0 = simulate_default(&m0, &cfg, 10_000_000).unwrap();
+        let r1 = simulate_default(&m, &cfg, 10_000_000).unwrap();
+        assert!(r1.instructions() < r0.instructions());
+    }
+
+    #[test]
+    fn does_not_hoist_variant_value() {
+        let src = "int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                int t = i * 3;
+                s = s + t;
+            }
+            return s;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        let before = exec(&m);
+        run(&mut m); // may hoist nothing or harmless invariants
+        assert_eq!(exec(&m), before);
+    }
+
+    #[test]
+    fn does_not_hoist_load_past_store() {
+        let src = "int a[8]; int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                int t = a[0];
+                a[0] = t + 1;
+                s = s + t;
+            }
+            return s;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        let before = exec(&m);
+        run(&mut m);
+        assert_eq!(exec(&m), before, "load of mutated cell must stay put");
+        assert_eq!(before, 45);
+    }
+
+    #[test]
+    fn hoists_load_from_readonly_loop() {
+        let src = "int a[8]; int main() {
+            a[0] = 5;
+            int s = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                s = s + a[0];
+            }
+            return s;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        assert_eq!(exec(&m), 50);
+        let changed = run(&mut m);
+        ic_ir::verify::verify_module(&m).unwrap();
+        assert!(changed, "read-only loop load should hoist");
+        assert_eq!(exec(&m), 50);
+    }
+
+    #[test]
+    fn nested_loop_invariants() {
+        let src = "int main() {
+            int s = 0;
+            int k = 7;
+            for (int i = 0; i < 5; i = i + 1) {
+                for (int j = 0; j < 5; j = j + 1) {
+                    s = s + k * 11;
+                }
+            }
+            return s;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        let before = exec(&m);
+        assert!(run(&mut m));
+        assert_eq!(exec(&m), before);
+        assert_eq!(before, 25 * 77);
+    }
+
+    #[test]
+    fn while_loop_with_branch_preheader() {
+        // The loop entry edge comes from a conditional branch: the pass
+        // must split the edge rather than append to the branch block.
+        let src = "int main() {
+            int s = 0;
+            int n = 6;
+            if (n > 0) {
+                int i = 0;
+                while (i < n) {
+                    s = s + n * 2;
+                    i = i + 1;
+                }
+            }
+            return s;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        let before = exec(&m);
+        run(&mut m);
+        ic_ir::verify::verify_module(&m).unwrap();
+        assert_eq!(exec(&m), before);
+    }
+}

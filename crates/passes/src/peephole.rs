@@ -1,0 +1,134 @@
+//! Peephole algebraic simplifications on single instructions.
+
+use ic_ir::{BinOp, Inst, Module, Operand};
+
+/// Simplify one instruction, or `None` if no rule applies.
+fn simplify(inst: &Inst) -> Option<Inst> {
+    let Inst::Bin { op, dst, a, b } = inst else {
+        return None;
+    };
+    let dst = *dst;
+    let mv = |src: Operand| Some(Inst::Mov { dst, src });
+    use BinOp::*;
+    use Operand::{ImmF, ImmI, Reg};
+    match (op, a, b) {
+        // x + 0, 0 + x, x - 0, x | 0, x ^ 0, x << 0, x >> 0
+        (Add | Or | Xor | Shl | Shr | Sub, x, ImmI(0)) => mv(*x),
+        (Add | Or | Xor, ImmI(0), x) => mv(*x),
+        // x * 1, 1 * x, x / 1
+        (Mul | Div, x, ImmI(1)) => mv(*x),
+        (Mul, ImmI(1), x) => mv(*x),
+        // x * 0, 0 * x, 0 / x(nonzero-imm), x & 0
+        (Mul | And, _, ImmI(0)) => mv(ImmI(0)),
+        (Mul | And, ImmI(0), _) => mv(ImmI(0)),
+        // x - x, x ^ x
+        (Sub | Xor, Reg(x), Reg(y)) if x == y => mv(ImmI(0)),
+        // x & x, x | x
+        (And | Or, Reg(x), Reg(y)) if x == y => mv(Operand::Reg(*x)),
+        // x % 1 == 0
+        (Rem, _, ImmI(1)) => mv(ImmI(0)),
+        // x == x, x <= x, x >= x (register identity only)
+        (Eq | Le | Ge, Reg(x), Reg(y)) if x == y => mv(ImmI(1)),
+        (Ne | Lt | Gt, Reg(x), Reg(y)) if x == y => mv(ImmI(0)),
+        // float identities that are exact in IEEE: x * 1.0, x / 1.0
+        (FMul | FDiv, x, ImmF(f)) if *f == 1.0 => mv(*x),
+        (FMul, ImmF(f), x) if *f == 1.0 => mv(*x),
+        _ => None,
+    }
+}
+
+/// Run over every function; returns true if any rule fired.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                if let Some(new) = simplify(inst) {
+                    *inst = new;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::Ty;
+
+    fn first_inst_after(build: impl FnOnce(&mut FunctionBuilder)) -> Inst {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        build(&mut b);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+        run(&mut m);
+        m.funcs[0].blocks[0].insts[0].clone()
+    }
+
+    #[test]
+    fn add_zero_becomes_mov() {
+        let p = ic_ir::Reg(0);
+        let inst = first_inst_after(|b| {
+            b.bin(BinOp::Add, p, 0i64);
+        });
+        assert!(matches!(inst, Inst::Mov { src: Operand::Reg(r), .. } if r == p));
+    }
+
+    #[test]
+    fn mul_zero_becomes_zero() {
+        let p = ic_ir::Reg(0);
+        let inst = first_inst_after(|b| {
+            b.bin(BinOp::Mul, p, 0i64);
+        });
+        assert!(matches!(inst, Inst::Mov { src: Operand::ImmI(0), .. }));
+    }
+
+    #[test]
+    fn self_xor_zeroes() {
+        let p = ic_ir::Reg(0);
+        let inst = first_inst_after(|b| {
+            b.bin(BinOp::Xor, p, p);
+        });
+        assert!(matches!(inst, Inst::Mov { src: Operand::ImmI(0), .. }));
+    }
+
+    #[test]
+    fn self_compare_resolves() {
+        let p = ic_ir::Reg(0);
+        let eq = first_inst_after(|b| {
+            b.bin(BinOp::Eq, p, p);
+        });
+        assert!(matches!(eq, Inst::Mov { src: Operand::ImmI(1), .. }));
+        let lt = first_inst_after(|b| {
+            b.bin(BinOp::Lt, p, p);
+        });
+        assert!(matches!(lt, Inst::Mov { src: Operand::ImmI(0), .. }));
+    }
+
+    #[test]
+    fn float_add_zero_not_simplified() {
+        // x + 0.0 is NOT an identity under IEEE (x = -0.0), so no rule.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::F64], Some(Ty::I64));
+        let p = b.params()[0];
+        let _x = b.bin(BinOp::FAdd, p, 0.0f64);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn fmul_one_simplified() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::F64], Some(Ty::I64));
+        let p = b.params()[0];
+        let _x = b.bin(BinOp::FMul, p, 1.0f64);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+    }
+}

@@ -1,0 +1,229 @@
+//! CFG cleanup: fold constant branches, thread trivial jumps, merge
+//! straight-line block pairs, and delete unreachable blocks.
+
+use ic_ir::cfg::Cfg;
+use ic_ir::rewrite::remove_unreachable_blocks;
+use ic_ir::{BlockId, Function, Module, Operand, Terminator};
+
+/// One simplification round; returns true if anything changed.
+fn round(f: &mut Function) -> bool {
+    let mut changed = false;
+
+    // 1. Constant branches -> jumps.
+    for block in &mut f.blocks {
+        if let Terminator::Branch {
+            cond: Operand::ImmI(c),
+            then_bb,
+            else_bb,
+        } = block.term
+        {
+            block.term = Terminator::Jump(if c != 0 { then_bb } else { else_bb });
+            changed = true;
+        }
+        // Branch with identical arms -> jump.
+        if let Terminator::Branch {
+            then_bb, else_bb, ..
+        } = block.term
+        {
+            if then_bb == else_bb {
+                block.term = Terminator::Jump(then_bb);
+                changed = true;
+            }
+        }
+    }
+
+    // 2. Jump threading: an edge into an *empty* block that just jumps on
+    //    is redirected to its target.
+    let trampoline: Vec<Option<BlockId>> = f
+        .blocks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| match (&b.insts.is_empty(), &b.term) {
+            (true, Terminator::Jump(t)) if t.index() != i => Some(*t),
+            _ => None,
+        })
+        .collect();
+    for block in &mut f.blocks {
+        block.term.for_each_succ_mut(|s| {
+            // Follow at most a short chain to avoid cycles of empties.
+            let mut hops = 0;
+            while let Some(t) = trampoline[s.index()] {
+                if hops > 8 || t == *s {
+                    break;
+                }
+                *s = t;
+                hops += 1;
+                changed = true;
+            }
+        });
+    }
+
+    // 3. Merge `a -> b` when a ends in Jump(b) and b has exactly one
+    //    (syntactic, reachable) predecessor and b != entry and a != b.
+    let cfg = Cfg::compute(f);
+    let nb = f.blocks.len();
+    for a_idx in 0..nb {
+        let a = BlockId(a_idx as u32);
+        if !cfg.is_reachable(a) {
+            continue;
+        }
+        let target = match f.block(a).term {
+            Terminator::Jump(t) => t,
+            _ => continue,
+        };
+        if target == a || target.index() == 0 {
+            continue;
+        }
+        let preds: Vec<_> = cfg
+            .preds(target)
+            .iter()
+            .filter(|p| cfg.is_reachable(**p))
+            .collect();
+        if preds.len() != 1 {
+            continue;
+        }
+        // Splice b into a.
+        let b_block = std::mem::take(&mut f.blocks[target.index()]);
+        let a_block = &mut f.blocks[a_idx];
+        a_block.insts.extend(b_block.insts);
+        a_block.term = b_block.term;
+        // Leave the husk of b unreachable (self-loop) for step 4.
+        f.blocks[target.index()].term = Terminator::Jump(target);
+        changed = true;
+        break; // CFG facts are stale; re-run the round.
+    }
+
+    // 4. Drop unreachable blocks.
+    if remove_unreachable_blocks(f) > 0 {
+        changed = true;
+    }
+    changed
+}
+
+/// Run to fixpoint per function; returns true if anything changed.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        let mut guard = 0;
+        while round(f) {
+            changed = true;
+            guard += 1;
+            if guard > 200 {
+                break;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BinOp, Ty};
+
+    #[test]
+    fn constant_branch_prunes_dead_arm() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let t = b.new_block();
+        let e = b.new_block();
+        b.branch(1i64, t, e);
+        b.switch_to(t);
+        b.ret(Some(1i64.into()));
+        b.switch_to(e);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        // entry + taken arm merged, dead arm gone
+        let f = &m.funcs[0];
+        assert_eq!(f.blocks.len(), 1);
+        assert!(matches!(f.blocks[0].term, Terminator::Ret(Some(Operand::ImmI(1)))));
+    }
+
+    #[test]
+    fn merges_straightline_chain() {
+        let mut m = m_with_chain();
+        assert!(run(&mut m));
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        assert_eq!(m.funcs[0].blocks[0].insts.len(), 2);
+        ic_ir::verify::verify_module(&m).unwrap();
+    }
+
+    fn m_with_chain() -> Module {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let b1 = b.new_block();
+        let b2 = b.new_block();
+        let x = b.bin(BinOp::Add, 5i64, 1i64);
+        b.jump(b1);
+        b.switch_to(b1);
+        let y = b.bin(BinOp::Mul, x, 2i64);
+        b.jump(b2);
+        b.switch_to(b2);
+        b.ret(Some(y.into()));
+        m.add_func(b.finish());
+        m
+    }
+
+    #[test]
+    fn threads_empty_blocks() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let hop = b.new_block();
+        let dest = b.new_block();
+        let other = b.new_block();
+        let c = b.bin(BinOp::Gt, p, 0i64);
+        b.branch(c, hop, other);
+        b.switch_to(hop); // empty: just jumps
+        b.jump(dest);
+        b.switch_to(dest);
+        b.ret(Some(1i64.into()));
+        b.switch_to(other);
+        b.ret(Some(0i64.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        // The branch's then-edge now points straight at dest's code.
+        let f = &m.funcs[0];
+        match f.blocks[0].term {
+            Terminator::Branch { then_bb, .. } => {
+                assert!(matches!(
+                    f.blocks[then_bb.index()].term,
+                    Terminator::Ret(Some(Operand::ImmI(1)))
+                ));
+            }
+            ref other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn loop_structure_preserved() {
+        let mut m = ic_lang::compile(
+            "t",
+            "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) s = s + i; return s; }",
+        )
+        .unwrap();
+        run(&mut m);
+        ic_ir::verify::verify_module(&m).unwrap();
+        // Still runs correctly.
+        let cfg = ic_machine::MachineConfig::test_tiny();
+        let r = ic_machine::simulate_default(&m, &cfg, 100_000).unwrap();
+        assert_eq!(r.ret_i64(), Some(45));
+    }
+
+    #[test]
+    fn identical_arm_branch_folds() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let j = b.new_block();
+        let c = b.bin(BinOp::Gt, p, 0i64);
+        b.branch(c, j, j);
+        b.switch_to(j);
+        b.ret(Some(p.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Strength reduction: replace expensive operations with cheaper
+//! equivalents (multiply by a power of two → shift, etc.).
+//!
+//! Signed division/remainder by powers of two are *not* reduced to shifts
+//! because the rounding direction differs for negative operands; only the
+//! always-safe rewrites are performed.
+
+use ic_ir::{BinOp, Inst, Module, Operand};
+
+fn log2_exact(v: i64) -> Option<i64> {
+    if v > 0 && (v as u64).is_power_of_two() {
+        Some(v.trailing_zeros() as i64)
+    } else {
+        None
+    }
+}
+
+fn reduce(inst: &Inst) -> Option<Inst> {
+    let Inst::Bin { op, dst, a, b } = inst else {
+        return None;
+    };
+    let dst = *dst;
+    use BinOp::*;
+    match (op, a, b) {
+        // x * 2^k  ->  x << k
+        (Mul, x, Operand::ImmI(c)) => log2_exact(*c).map(|k| Inst::Bin {
+            op: Shl,
+            dst,
+            a: *x,
+            b: Operand::ImmI(k),
+        }),
+        (Mul, Operand::ImmI(c), x) => log2_exact(*c).map(|k| Inst::Bin {
+            op: Shl,
+            dst,
+            a: *x,
+            b: Operand::ImmI(k),
+        }),
+        // x + x  ->  x << 1
+        (Add, Operand::Reg(x), Operand::Reg(y)) if x == y => Some(Inst::Bin {
+            op: Shl,
+            dst,
+            a: Operand::Reg(*x),
+            b: Operand::ImmI(1),
+        }),
+        // x * 2.0 -> x + x (one FP add is cheaper than a multiply on both
+        // machine models; exact in IEEE)
+        (FMul, x, Operand::ImmF(c)) if *c == 2.0 => Some(Inst::Bin {
+            op: FAdd,
+            dst,
+            a: *x,
+            b: *x,
+        }),
+        _ => None,
+    }
+}
+
+/// Run over every function; returns true if any reduction fired.
+pub fn run(module: &mut Module) -> bool {
+    let mut changed = false;
+    for f in &mut module.funcs {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                if let Some(new) = reduce(inst) {
+                    *inst = new;
+                    changed = true;
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::Ty;
+
+    #[test]
+    fn mul_pow2_to_shift() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Mul, p, 8i64);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[0],
+            Inst::Bin {
+                op: BinOp::Shl,
+                b: Operand::ImmI(3),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn mul_nonpow2_untouched() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Mul, p, 6i64);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn signed_div_untouched() {
+        // (-7)/2 == -3 but (-7)>>1 == -4: must not reduce.
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Div, p, 2i64);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(!run(&mut m));
+    }
+
+    #[test]
+    fn self_add_to_shift() {
+        let mut m = Module::new("t");
+        let mut b = FunctionBuilder::new("main", &[Ty::I64], Some(Ty::I64));
+        let p = b.params()[0];
+        let x = b.bin(BinOp::Add, p, p);
+        b.ret(Some(x.into()));
+        m.add_func(b.finish());
+        assert!(run(&mut m));
+        assert!(matches!(
+            m.funcs[0].blocks[0].insts[0],
+            Inst::Bin { op: BinOp::Shl, .. }
+        ));
+    }
+
+    #[test]
+    fn semantics_preserved_on_negatives() {
+        // Differential check through the simulator: mul-by-8 on negatives.
+        let src = "int main() { int s = 0; for (int i = -10; i < 10; i = i + 1) s = s + i * 8; return s; }";
+        let mut m1 = ic_lang::compile("t", src).unwrap();
+        let m0 = m1.clone();
+        run(&mut m1);
+        let cfg = ic_machine::MachineConfig::test_tiny();
+        let r0 = ic_machine::simulate_default(&m0, &cfg, 100_000).unwrap();
+        let r1 = ic_machine::simulate_default(&m1, &cfg, 100_000).unwrap();
+        assert_eq!(r0.ret_i64(), r1.ret_i64());
+    }
+}

@@ -1,0 +1,452 @@
+//! Loop unrolling for canonical counted loops.
+//!
+//! Recognized shape (exactly what the MinC `for` lowering produces):
+//!
+//! ```text
+//! header:  c = lt/le i, bound      ; single compare, used only by branch
+//!          br c, <into loop>, <exit>
+//! body...: any subgraph with all in-loop back edges going to header
+//! latch:   contains the unique in-loop def of i:  i = add i, +step
+//! ```
+//!
+//! The transformation keeps the original loop as the remainder loop and
+//! adds a *guarded unrolled loop* in front of it:
+//!
+//! ```text
+//! uheader: t = i + (F-1)*step ; c' = lt/le t, bound
+//!          br c', copy1, header
+//! copy1..copyF: copies of the body subgraph, edge-to-header chained to
+//!               the next copy, the last copy jumping back to uheader
+//! ```
+//!
+//! Because the IR is not SSA, a body copy *is* one full iteration —
+//! registers carry values from copy to copy with no renaming needed.
+//! Early exits (breaks) inside copies keep their original out-of-loop
+//! targets and remain correct: the guard only replaces the header test.
+//!
+//! The guard uses the same wrapping arithmetic as the IR's `add`, so the
+//! transformation is exact even at the i64 boundary.
+
+use ic_ir::cfg::Cfg;
+use ic_ir::dom::Dominators;
+use ic_ir::loops::LoopForest;
+use ic_ir::{BinOp, Block, BlockId, Function, Inst, Module, Operand, Reg, Terminator, Ty};
+use std::collections::HashSet;
+
+/// A recognized unrollable loop.
+struct Candidate {
+    header: BlockId,
+    /// Loop entry block (header's in-loop successor).
+    enter: BlockId,
+    exit: BlockId,
+    body: Vec<BlockId>,
+    cmp_op: BinOp,
+    ind: Reg,
+    bound: Operand,
+    step: i64,
+}
+
+fn find_candidates(f: &Function) -> Vec<Candidate> {
+    let cfg = Cfg::compute(f);
+    let dom = Dominators::compute(f, &cfg);
+    let forest = LoopForest::compute(f, &cfg, &dom);
+
+    let mut out = Vec::new();
+    'loops: for lp in forest.innermost() {
+        let header = lp.header;
+        let hblock = f.block(header);
+        // Header must be exactly [cmp] + branch on it.
+        if hblock.insts.len() != 1 {
+            continue;
+        }
+        let (cmp_op, ind, bound) = match &hblock.insts[0] {
+            Inst::Bin {
+                op: op @ (BinOp::Lt | BinOp::Le),
+                dst,
+                a: Operand::Reg(i),
+                b,
+            } => {
+                // cmp result used only by the branch
+                match &hblock.term {
+                    Terminator::Branch {
+                        cond: Operand::Reg(c),
+                        ..
+                    } if c == dst => {}
+                    _ => continue,
+                }
+                (*op, *i, *b)
+            }
+            _ => continue,
+        };
+        let (enter, exit) = match &hblock.term {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if lp.contains(*then_bb) && !lp.contains(*else_bb) {
+                    (*then_bb, *else_bb)
+                } else {
+                    continue;
+                }
+            }
+            _ => continue,
+        };
+        // Bound must be invariant: imm, or a register never defined in loop.
+        let body: Vec<BlockId> = lp.body.iter().copied().filter(|b| *b != header).collect();
+        let defined_in = |r: Reg| -> bool {
+            body.iter().chain([&header]).any(|&b| {
+                f.block(b).insts.iter().any(|inst| inst.def() == Some(r))
+            })
+        };
+        if let Operand::Reg(r) = bound {
+            if defined_in(r) {
+                continue;
+            }
+        }
+        // The induction variable must have exactly one in-loop def, in
+        // one of two shapes:
+        //   i = add i, +imm                    (hand-built IR)
+        //   t = add i, +imm ... mov i, t       (the MinC lowering idiom)
+        let mut step: Option<i64> = None;
+        let mut defs = 0;
+        for &b in &body {
+            let insts = &f.block(b).insts;
+            for (pos, inst) in insts.iter().enumerate() {
+                if inst.def() != Some(ind) {
+                    continue;
+                }
+                defs += 1;
+                match inst {
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        dst,
+                        a: Operand::Reg(x),
+                        b: Operand::ImmI(s),
+                    } if dst == x && *x == ind && *s > 0 => step = Some(*s),
+                    Inst::Mov {
+                        src: Operand::Reg(t),
+                        ..
+                    } => {
+                        // Find `t = add i, +imm` earlier in the same block
+                        // with no intervening redefinition of t or i.
+                        let mut found = None;
+                        for prev in insts[..pos].iter().rev() {
+                            if prev.def() == Some(*t) {
+                                if let Inst::Bin {
+                                    op: BinOp::Add,
+                                    a: Operand::Reg(x),
+                                    b: Operand::ImmI(s),
+                                    ..
+                                } = prev
+                                {
+                                    if *x == ind && *s > 0 {
+                                        found = Some(*s);
+                                    }
+                                }
+                                break;
+                            }
+                            if prev.def() == Some(ind) {
+                                break;
+                            }
+                        }
+                        match found {
+                            Some(s) => step = Some(s),
+                            None => continue 'loops,
+                        }
+                    }
+                    _ => {
+                        continue 'loops;
+                    }
+                }
+            }
+        }
+        // Header must not define ind (it doesn't: single cmp).
+        let (Some(step), 1) = (step, defs) else {
+            continue;
+        };
+        // Calls inside the body are fine: a copy is still just a repeated
+        // iteration.
+        out.push(Candidate {
+            header,
+            enter,
+            exit,
+            body,
+            cmp_op,
+            ind,
+            bound,
+            step,
+        });
+    }
+    out
+}
+
+/// Copy the body subgraph once. `edge_to_header_goes` is where copies of
+/// back edges should point. Returns the id of the copied `enter` block.
+fn copy_body(
+    f: &mut Function,
+    body: &[BlockId],
+    header: BlockId,
+    enter: BlockId,
+    edge_to_header_goes: BlockId,
+) -> BlockId {
+    let base = f.blocks.len() as u32;
+    let body_set: HashSet<BlockId> = body.iter().copied().collect();
+    // old body block -> new id (dense, in body order)
+    let new_id = |old: BlockId| -> BlockId {
+        let pos = body.iter().position(|b| *b == old).expect("in body");
+        BlockId(base + pos as u32)
+    };
+    for &ob in body {
+        let src = f.block(ob).clone();
+        let mut nb = Block {
+            insts: src.insts,
+            term: src.term,
+        };
+        nb.term.for_each_succ_mut(|s| {
+            if *s == header {
+                *s = edge_to_header_goes;
+            } else if body_set.contains(s) {
+                *s = new_id(*s);
+            }
+            // else: early exit out of the loop — keep as is.
+        });
+        f.blocks.push(nb);
+    }
+    new_id(enter)
+}
+
+/// Unroll every eligible innermost loop once by `factor`. Returns true if
+/// any loop was transformed.
+///
+/// All candidates are found *before* transforming: the remainder loop a
+/// transform leaves behind still matches the canonical shape, and
+/// re-searching would unroll it again ad infinitum. (A later `unrollN` in
+/// a sequence does unroll remainders once more — harmless, and the
+/// paper's unroll-at-most-once-per-sequence rule bounds it.)
+pub fn run(module: &mut Module, factor: u32) -> bool {
+    assert!(factor >= 2, "unroll factor must be >= 2");
+    let mut changed = false;
+    for f in &mut module.funcs {
+        for c in find_candidates(f) {
+            transform(f, &c, factor);
+            changed = true;
+        }
+    }
+    changed
+}
+
+fn transform(f: &mut Function, c: &Candidate, factor: u32) {
+    // New registers for the guard computation.
+    let t = f.new_reg(Ty::I64);
+    let cnew = f.new_reg(Ty::I64);
+
+    // uheader block (created first so copies can target it).
+    let uheader = f.add_block();
+
+    // Copies: copyK's back edge goes to copy(K+1)'s entry; the last goes
+    // back to uheader. Build last-to-first so targets exist.
+    // copy indices 1..factor-1 are fresh copies; "copy 0" is... also a
+    // fresh copy (the original body stays as the remainder loop).
+    let mut next_entry = uheader;
+    let mut entries: Vec<BlockId> = Vec::new();
+    for _ in 0..factor {
+        let entry = copy_body(f, &c.body, c.header, c.enter, next_entry);
+        entries.push(entry);
+        next_entry = entry;
+    }
+    let first_entry = *entries.last().expect("factor >= 2");
+
+    // Guard: t = i + (factor-1)*step ; cnew = cmp t, bound ; br cnew, first_copy, header
+    let lead = (factor as i64 - 1).wrapping_mul(c.step);
+    let ub = f.block_mut(uheader);
+    ub.insts.push(Inst::Bin {
+        op: BinOp::Add,
+        dst: t,
+        a: Operand::Reg(c.ind),
+        b: Operand::ImmI(lead),
+    });
+    ub.insts.push(Inst::Bin {
+        op: c.cmp_op,
+        dst: cnew,
+        a: Operand::Reg(t),
+        b: c.bound,
+    });
+    ub.term = Terminator::Branch {
+        cond: Operand::Reg(cnew),
+        then_bb: first_entry,
+        else_bb: c.header,
+    };
+    let _ = c.exit;
+
+    // Redirect outside entries into the loop: every edge into the header
+    // from a non-body block now goes to uheader.
+    let body_set: HashSet<BlockId> = c.body.iter().copied().collect();
+    let nb = f.blocks.len();
+    for bi in 0..nb {
+        let bid = BlockId(bi as u32);
+        if bid == uheader || body_set.contains(&bid) {
+            continue;
+        }
+        // Copies must keep their internal chain (they point at entries /
+        // uheader, not the header) — only true header edges move.
+        if entries.contains(&bid) {
+            continue;
+        }
+        // Skip blocks that belong to a copy (ids >= first copy base).
+        // Copies' edges to header were already rewritten during copying.
+        f.blocks[bi].term.for_each_succ_mut(|s| {
+            if *s == c.header {
+                *s = uheader;
+            }
+        });
+    }
+    // ...but the remainder loop's own latch must still target the original
+    // header. The loop body blocks were excluded above, so their back
+    // edges are intact.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_machine::{simulate_default, Counter, MachineConfig};
+
+    fn exec(m: &Module) -> (Option<i64>, u64, u64) {
+        let r = simulate_default(m, &MachineConfig::vliw_c6713_like(), 50_000_000).unwrap();
+        (
+            r.ret_i64(),
+            r.mem.checksum(),
+            r.counters.get(Counter::BR_INS),
+        )
+    }
+
+    #[test]
+    fn unrolls_simple_counted_loop() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 100; i = i + 1) s = s + i; return s; }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, 4));
+        ic_ir::verify::verify_module(&m1).unwrap();
+        let (r0, mem0, br0) = exec(&m0);
+        let (r1, mem1, br1) = exec(&m1);
+        assert_eq!(r0, r1);
+        assert_eq!(mem0, mem1);
+        assert!(br1 < br0, "unrolling must reduce dynamic branches: {br1} vs {br0}");
+    }
+
+    #[test]
+    fn remainder_iterations_handled() {
+        // 103 % 4 != 0: remainder loop must pick up the tail.
+        for n in [1, 2, 3, 7, 103] {
+            let src = format!(
+                "int main() {{ int s = 0; for (int i = 0; i < {n}; i = i + 1) s = s + i * i; return s; }}"
+            );
+            let m0 = ic_lang::compile("t", &src).unwrap();
+            let mut m1 = m0.clone();
+            run(&mut m1, 4);
+            assert_eq!(exec(&m0).0, exec(&m1).0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn non_unit_step() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 50; i = i + 3) s = s + i; return s; }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, 2));
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+
+    #[test]
+    fn loop_with_memory_and_branch_in_body() {
+        let src = "int a[64]; int main() {
+            for (int i = 0; i < 64; i = i + 1) {
+                if (i % 3 == 0) a[i] = i * 2; else a[i] = i;
+            }
+            int s = 0;
+            for (int i = 0; i < 64; i = i + 1) s = s + a[i];
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, 4));
+        ic_ir::verify::verify_module(&m1).unwrap();
+        let (r0, mem0, _) = exec(&m0);
+        let (r1, mem1, _) = exec(&m1);
+        assert_eq!(r0, r1);
+        assert_eq!(mem0, mem1);
+    }
+
+    #[test]
+    fn break_inside_loop_prevents_or_survives() {
+        // A break exits from a body copy directly; must stay correct.
+        let src = "int main() {
+            int s = 0;
+            for (int i = 0; i < 1000; i = i + 1) {
+                if (i == 37) break;
+                s = s + i;
+            }
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        run(&mut m1, 4);
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+
+    #[test]
+    fn while_loop_not_matching_shape_untouched() {
+        // while with a complex condition (two insts in header) is skipped.
+        let src = "int main() {
+            int i = 0;
+            while (i * i < 50) { i = i + 1; }
+            return i;
+        }";
+        let mut m = ic_lang::compile("t", src).unwrap();
+        assert!(!run(&mut m, 4));
+    }
+
+    #[test]
+    fn nested_loops_unroll_inner() {
+        let src = "int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i = i + 1)
+                for (int j = 0; j < 10; j = j + 1)
+                    s = s + i * j;
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, 2));
+        ic_ir::verify::verify_module(&m1).unwrap();
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+
+    #[test]
+    fn le_bound_loops() {
+        // `for (i = 1; i <= n; ...)` style via while: craft with for+Le by
+        // using a <= comparison through MinC.
+        let src = "int main() {
+            int s = 0;
+            for (int i = 1; i <= 9; i = i + 1) s = s + i;
+            return s;
+        }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, 4));
+        assert_eq!(exec(&m1).0, Some(45));
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+    }
+
+    #[test]
+    fn factor_eight() {
+        let src = "int main() { int s = 0; for (int i = 0; i < 64; i = i + 1) s = s + 2; return s; }";
+        let m0 = ic_lang::compile("t", src).unwrap();
+        let mut m1 = m0.clone();
+        assert!(run(&mut m1, 8));
+        assert_eq!(exec(&m0).0, exec(&m1).0);
+        // 8x unroll: branch count should drop by roughly 8x on the hot loop.
+        let (_, _, br0) = exec(&m0);
+        let (_, _, br1) = exec(&m1);
+        assert!(br1 * 4 < br0, "8x unroll: {br1} vs {br0}");
+    }
+}

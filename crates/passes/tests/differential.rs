@@ -1,0 +1,194 @@
+//! Differential correctness: any sequence of optimizations must preserve
+//! the observable behaviour (return value + final memory) of real MinC
+//! programs when executed on the cycle-level simulator.
+//!
+//! This is the safety net the whole Fig. 2 experiment stands on — the
+//! exhaustive search evaluates tens of thousands of random sequences, so
+//! every sequence must be semantics-preserving.
+
+use ic_machine::{simulate_default, MachineConfig};
+use ic_passes::{apply_sequence, Opt};
+use proptest::prelude::*;
+
+/// Programs chosen to exercise every pass: loops (unroll/licm/schedule),
+/// calls (inline), arrays (cse/load-motion), branches (simplify-cfg),
+/// arithmetic idioms (const-*/strength-red/peephole), pointers
+/// (ptr-compress).
+const PROGRAMS: &[(&str, &str)] = &[
+    (
+        "arith_loop",
+        "int main() {
+            int s = 0;
+            for (int i = 0; i < 37; i = i + 1) {
+                s = s + i * 8 + (i % 3) - (i / 2);
+            }
+            return s;
+        }",
+    ),
+    (
+        "nested_memory",
+        "int a[32]; int b[32];
+        int main() {
+            for (int i = 0; i < 32; i = i + 1) a[i] = i * 3 + 1;
+            int s = 0;
+            for (int i = 0; i < 8; i = i + 1) {
+                for (int j = 0; j < 32; j = j + 1) {
+                    b[j] = a[j] * 2 + a[0];
+                    s = s + b[j];
+                }
+            }
+            return s;
+        }",
+    ),
+    (
+        "calls_and_branches",
+        "int g[4];
+        int clamp(int x) { if (x > 20) return 20; if (x < 0) return 0; return x; }
+        int step(int x) { g[0] = g[0] + 1; return clamp(x * 3 - 7); }
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 25; i = i + 1) {
+                s = s + step(i);
+                if (s > 100 && i % 2 == 0) s = s - 5;
+            }
+            return s + g[0];
+        }",
+    ),
+    (
+        "pointer_chase",
+        "ptr next[64]; int vals[64];
+        int main() {
+            for (int i = 0; i < 64; i = i + 1) {
+                next[i] = (i * 17 + 5) % 64;
+                vals[i] = i * i;
+            }
+            int s = 0;
+            int p = 3;
+            for (int k = 0; k < 200; k = k + 1) {
+                s = s + vals[p];
+                p = next[p];
+            }
+            return s;
+        }",
+    ),
+    (
+        "float_kernel",
+        "float x[16]; float y[16];
+        int main() {
+            for (int i = 0; i < 16; i = i + 1) {
+                x[i] = (float)i * 0.5;
+            }
+            float acc = 0.0;
+            for (int i = 0; i < 16; i = i + 1) {
+                y[i] = x[i] * 2.0 + 1.0;
+                acc = acc + y[i] * x[i];
+            }
+            return (int)acc;
+        }",
+    ),
+    (
+        "early_exit",
+        "int main() {
+            int s = 0;
+            for (int i = 0; i < 1000; i = i + 1) {
+                if (i == 53) break;
+                if (i % 7 == 0) continue;
+                s = s + i;
+            }
+            int j = 0;
+            while (j < 10) { s = s + 2; j = j + 1; }
+            return s;
+        }",
+    ),
+];
+
+fn behaviour(m: &ic_ir::Module, cfg: &MachineConfig) -> (Option<i64>, u64) {
+    let r = simulate_default(m, cfg, 100_000_000).expect("program terminates");
+    (r.ret_i64(), r.mem.checksum())
+}
+
+fn opt_strategy() -> impl Strategy<Value = Opt> {
+    prop::sample::select(Opt::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_sequences_preserve_semantics(
+        seq in prop::collection::vec(opt_strategy(), 1..=6),
+        prog_idx in 0usize..PROGRAMS.len(),
+    ) {
+        let (name, src) = PROGRAMS[prog_idx];
+        let m0 = ic_lang::compile(name, src).expect("compiles");
+        let cfg = MachineConfig::test_tiny();
+        let base = behaviour(&m0, &cfg);
+
+        let mut m1 = m0.clone();
+        apply_sequence(&mut m1, &seq);
+        ic_ir::verify::verify_module(&m1).expect("valid after passes");
+        let opt = behaviour(&m1, &cfg);
+
+        prop_assert_eq!(base, opt, "program {} diverged under {:?}", name, seq);
+    }
+}
+
+#[test]
+fn paper_13_each_single_pass_safe() {
+    let cfg = MachineConfig::vliw_c6713_like();
+    for (name, src) in PROGRAMS {
+        let m0 = ic_lang::compile(name, src).unwrap();
+        let base = behaviour(&m0, &cfg);
+        for opt in Opt::ALL {
+            let mut m1 = m0.clone();
+            apply_sequence(&mut m1, &[opt]);
+            assert_eq!(
+                base,
+                behaviour(&m1, &cfg),
+                "{} diverged under single pass {}",
+                name,
+                opt.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn ofast_pipeline_safe_and_not_slower() {
+    let cfg = MachineConfig::vliw_c6713_like();
+    for (name, src) in PROGRAMS {
+        let m0 = ic_lang::compile(name, src).unwrap();
+        let r0 = simulate_default(&m0, &cfg, 100_000_000).unwrap();
+        let mut m1 = m0.clone();
+        apply_sequence(&mut m1, &ic_passes::ofast_sequence());
+        let r1 = simulate_default(&m1, &cfg, 100_000_000).unwrap();
+        assert_eq!(r0.ret_i64(), r1.ret_i64(), "{name}");
+        assert_eq!(r0.mem.checksum(), r1.mem.checksum(), "{name}");
+        // -Ofast should never slow a program down by more than noise.
+        assert!(
+            r1.cycles() as f64 <= r0.cycles() as f64 * 1.10,
+            "{name}: Ofast {} vs O0 {}",
+            r1.cycles(),
+            r0.cycles()
+        );
+    }
+}
+
+#[test]
+fn repeated_application_is_stable() {
+    // Applying the same pass twice must keep semantics (idempotence is not
+    // required, stability is).
+    let cfg = MachineConfig::test_tiny();
+    for (name, src) in PROGRAMS {
+        let m0 = ic_lang::compile(name, src).unwrap();
+        let base = behaviour(&m0, &cfg);
+        for opt in [Opt::Dce, Opt::Cse, Opt::SimplifyCfg, Opt::Licm, Opt::Schedule] {
+            let mut m1 = m0.clone();
+            apply_sequence(&mut m1, &[opt, opt, opt]);
+            assert_eq!(base, behaviour(&m1, &cfg), "{name} under 3x {}", opt.name());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Simulated annealing over optimization sequences: accepts worsening
+//! moves with temperature-decaying probability, escaping the local optima
+//! that trap plain hill climbing in the rugged phase-ordering landscape.
+
+use crate::{Evaluator, SearchResult, SequenceSpace};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealing schedule parameters.
+#[derive(Debug, Clone)]
+pub struct AnnealConfig {
+    /// Initial temperature as a fraction of the first-seen cost.
+    pub t0_frac: f64,
+    /// Geometric cooling factor per evaluation.
+    pub cooling: f64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            t0_frac: 0.05,
+            cooling: 0.97,
+        }
+    }
+}
+
+/// Run simulated annealing for `budget` evaluations.
+pub fn run(
+    space: &SequenceSpace,
+    eval: &dyn Evaluator,
+    budget: usize,
+    cfg: &AnnealConfig,
+    seed: u64,
+) -> SearchResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut result = SearchResult::new();
+    if budget == 0 {
+        return result;
+    }
+    let mut current = space.sample(&mut rng);
+    let mut current_cost = eval.evaluate(&current);
+    result.observe(&current, current_cost);
+    let mut temp = (current_cost * cfg.t0_frac).max(1e-9);
+
+    for _ in 1..budget {
+        let cand = space.mutate(&current, &mut rng);
+        let cost = eval.evaluate(&cand);
+        result.observe(&cand, cost);
+        let accept = cost <= current_cost || {
+            let delta = cost - current_cost;
+            rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0))
+        };
+        if accept {
+            current = cand;
+            current_cost = cost;
+        }
+        temp = (temp * cfg.cooling).max(1e-9);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic_cost;
+    use crate::{hillclimb, random};
+    use ic_passes::Opt;
+
+    fn space() -> SequenceSpace {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    #[test]
+    fn budget_and_monotonicity() {
+        let r = run(&space(), &synthetic_cost, 64, &AnnealConfig::default(), 1);
+        assert_eq!(r.evaluations(), 64);
+        for w in r.best_so_far.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    #[test]
+    fn competitive_with_other_strategies() {
+        let mut sa = 0.0;
+        let mut rnd = 0.0;
+        let mut hc = 0.0;
+        for seed in 0..8 {
+            sa += run(&space(), &synthetic_cost, 100, &AnnealConfig::default(), seed).best_cost;
+            rnd += random::run(&space(), &synthetic_cost, 100, seed).best_cost;
+            hc += hillclimb::run(&space(), &synthetic_cost, 100, 10, seed).best_cost;
+        }
+        assert!(sa <= rnd * 1.02, "sa {sa} vs random {rnd}");
+        assert!(sa <= hc * 1.05, "sa {sa} vs hillclimb {hc}");
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = run(&space(), &synthetic_cost, 40, &AnnealConfig::default(), 9);
+        let b = run(&space(), &synthetic_cost, 40, &AnnealConfig::default(), 9);
+        assert_eq!(a.best_so_far, b.best_so_far);
+    }
+
+    #[test]
+    fn zero_budget_is_safe() {
+        let r = run(&space(), &synthetic_cost, 0, &AnnealConfig::default(), 1);
+        assert_eq!(r.evaluations(), 0);
+        assert!(r.best_cost.is_infinite());
+    }
+}

@@ -1,0 +1,133 @@
+//! Exhaustive enumeration of the sequence space — the ground truth for
+//! the paper's Fig. 2(a).
+
+use crate::{Evaluator, SequenceSpace};
+use ic_passes::Opt;
+use rayon::prelude::*;
+
+/// Cost of every sequence in the space, indexed by the space's dense
+/// sequence index.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveResult {
+    pub costs: Vec<f64>,
+}
+
+impl ExhaustiveResult {
+    /// Index and cost of the optimum.
+    pub fn best(&self) -> (u64, f64) {
+        self.costs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, &c)| (i as u64, c))
+            .expect("non-empty space")
+    }
+
+    /// Indices of sequences whose cost is within `frac` of the optimum
+    /// (the paper plots `frac = 0.05`).
+    pub fn within_of_best(&self, frac: f64) -> Vec<u64> {
+        let (_, best) = self.best();
+        let cutoff = best * (1.0 + frac);
+        self.costs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c <= cutoff)
+            .map(|(i, _)| i as u64)
+            .collect()
+    }
+}
+
+/// Evaluate every sequence in `space`, in parallel. Deterministic: output
+/// order is index order regardless of thread scheduling.
+pub fn run(space: &SequenceSpace, eval: &dyn Evaluator) -> ExhaustiveResult {
+    let costs: Vec<f64> = (0..space.count())
+        .into_par_iter()
+        .map(|i| eval.evaluate(&space.decode(i)))
+        .collect();
+    ExhaustiveResult { costs }
+}
+
+/// Evaluate a deterministic subsample of `n` sequences (evenly strided
+/// over the index range). Returns `(index, sequence, cost)` triples —
+/// used by the small-scale Fig. 2(a) harness.
+pub fn run_subsampled(
+    space: &SequenceSpace,
+    eval: &dyn Evaluator,
+    n: u64,
+) -> Vec<(u64, Vec<Opt>, f64)> {
+    let total = space.count();
+    let n = n.min(total).max(1);
+    let stride = total / n;
+    let idxs: Vec<u64> = (0..n).map(|k| (k * stride).min(total - 1)).collect();
+    idxs.into_par_iter()
+        .map(|i| {
+            let seq = space.decode(i);
+            let c = eval.evaluate(&seq);
+            (i, seq, c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic_cost;
+
+    fn small_space() -> SequenceSpace {
+        SequenceSpace::new(
+            &[Opt::Dce, Opt::Licm, Opt::Schedule, Opt::Cse, Opt::Unroll4],
+            3,
+        )
+    }
+
+    #[test]
+    fn covers_whole_space() {
+        let s = small_space();
+        let r = run(&s, &synthetic_cost);
+        assert_eq!(r.costs.len() as u64, s.count());
+    }
+
+    #[test]
+    fn finds_planted_optimum() {
+        let s = small_space();
+        let r = run(&s, &synthetic_cost);
+        let (bi, bc) = r.best();
+        let best_seq = s.decode(bi);
+        // The synthetic landscape rewards licm-early + unroll4 + schedule-late.
+        assert!(bc < 910.0, "{bc} for {:?}", best_seq);
+        assert_eq!(best_seq[0], Opt::Licm);
+        assert_eq!(*best_seq.last().unwrap(), Opt::Schedule);
+        // Every enumerated cost >= optimum.
+        assert!(r.costs.iter().all(|&c| c >= bc));
+    }
+
+    #[test]
+    fn within_of_best_monotone() {
+        let s = small_space();
+        let r = run(&s, &synthetic_cost);
+        let tight = r.within_of_best(0.01).len();
+        let loose = r.within_of_best(0.10).len();
+        assert!(tight >= 1);
+        assert!(loose >= tight);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = small_space();
+        let a = run(&s, &synthetic_cost);
+        let b = run(&s, &synthetic_cost);
+        assert_eq!(a.costs, b.costs);
+    }
+
+    #[test]
+    fn subsample_is_subset_and_sized() {
+        let s = small_space();
+        let full = run(&s, &synthetic_cost);
+        let sub = run_subsampled(&s, &synthetic_cost, 20);
+        assert_eq!(sub.len(), 20);
+        for (i, seq, c) in &sub {
+            assert_eq!(s.decode(*i), *seq);
+            assert_eq!(full.costs[*i as usize], *c);
+        }
+    }
+}

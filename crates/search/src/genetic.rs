@@ -1,0 +1,127 @@
+//! A Cooper-style genetic algorithm over optimization sequences
+//! (Cooper, Schielke & Subramanian, LCTES'99 — the paper's reference
+//! \[33\] used GAs for the phase-ordering problem).
+
+use crate::{Evaluator, SearchResult, SequenceSpace};
+use ic_passes::Opt;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    pub population: usize,
+    pub tournament: usize,
+    pub mutation_rate: f64,
+    /// Fraction of elites copied unchanged each generation.
+    pub elitism: f64,
+}
+
+impl Default for GaConfig {
+    fn default() -> Self {
+        GaConfig {
+            population: 20,
+            tournament: 3,
+            mutation_rate: 0.3,
+            elitism: 0.1,
+        }
+    }
+}
+
+/// Run the GA until `budget` evaluations are spent.
+pub fn run(
+    space: &SequenceSpace,
+    eval: &dyn Evaluator,
+    budget: usize,
+    cfg: &GaConfig,
+    seed: u64,
+) -> SearchResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut result = SearchResult::new();
+    let mut evals = 0usize;
+
+    let mut pop: Vec<(Vec<Opt>, f64)> = Vec::with_capacity(cfg.population);
+    for _ in 0..cfg.population {
+        if evals >= budget {
+            break;
+        }
+        let seq = space.sample(&mut rng);
+        let cost = eval.evaluate(&seq);
+        result.observe(&seq, cost);
+        evals += 1;
+        pop.push((seq, cost));
+    }
+
+    while evals < budget && !pop.is_empty() {
+        pop.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let elites = ((cfg.population as f64 * cfg.elitism).ceil() as usize).max(1);
+        let mut next: Vec<(Vec<Opt>, f64)> = pop[..elites.min(pop.len())].to_vec();
+
+        while next.len() < cfg.population && evals < budget {
+            let pick = |rng: &mut SmallRng| -> &(Vec<Opt>, f64) {
+                (0..cfg.tournament)
+                    .map(|_| &pop[rng.gen_range(0..pop.len())])
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                    .unwrap()
+            };
+            let a = pick(&mut rng).0.clone();
+            let b = pick(&mut rng).0.clone();
+            let mut child = space.crossover(&a, &b, &mut rng);
+            if rng.gen_bool(cfg.mutation_rate) {
+                child = space.mutate(&child, &mut rng);
+            }
+            let cost = eval.evaluate(&child);
+            result.observe(&child, cost);
+            evals += 1;
+            next.push((child, cost));
+        }
+        pop = next;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+    use crate::testutil::synthetic_cost;
+
+    fn space() -> SequenceSpace {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    #[test]
+    fn budget_respected() {
+        let r = run(&space(), &synthetic_cost, 83, &GaConfig::default(), 1);
+        assert_eq!(r.evaluations(), 83);
+    }
+
+    #[test]
+    fn improves_over_generations() {
+        let r = run(&space(), &synthetic_cost, 200, &GaConfig::default(), 2);
+        let early = r.best_so_far[19];
+        let late = r.best_so_far[199];
+        assert!(late <= early, "GA must not regress");
+    }
+
+    #[test]
+    fn competitive_with_random() {
+        let mut ga_total = 0.0;
+        let mut rnd_total = 0.0;
+        for seed in 0..8 {
+            ga_total += run(&space(), &synthetic_cost, 120, &GaConfig::default(), seed).best_cost;
+            rnd_total += random::run(&space(), &synthetic_cost, 120, seed).best_cost;
+        }
+        assert!(
+            ga_total <= rnd_total * 1.02,
+            "ga {ga_total} vs random {rnd_total}"
+        );
+    }
+
+    #[test]
+    fn reproducible() {
+        let a = run(&space(), &synthetic_cost, 60, &GaConfig::default(), 5);
+        let b = run(&space(), &synthetic_cost, 60, &GaConfig::default(), 5);
+        assert_eq!(a.best_so_far, b.best_so_far);
+    }
+}

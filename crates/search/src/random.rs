@@ -1,0 +1,82 @@
+//! Uniform random search — the RANDOM baseline of Fig. 2(b).
+
+use crate::{Evaluator, SearchResult, SequenceSpace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Evaluate `budget` uniform random sequences.
+pub fn run(space: &SequenceSpace, eval: &dyn Evaluator, budget: usize, seed: u64) -> SearchResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut result = SearchResult::new();
+    for _ in 0..budget {
+        let seq = space.sample(&mut rng);
+        let cost = eval.evaluate(&seq);
+        result.observe(&seq, cost);
+    }
+    result
+}
+
+/// Mean best-so-far trajectory over `trials` independent random searches
+/// (the paper averages 20 trials "to be statistically meaningful").
+pub fn mean_trajectory(
+    space: &SequenceSpace,
+    eval: &dyn Evaluator,
+    budget: usize,
+    trials: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let mut acc = vec![0.0; budget];
+    for t in 0..trials {
+        let r = run(space, eval, budget, seed.wrapping_add(t as u64 * 7919));
+        for (a, b) in acc.iter_mut().zip(&r.best_so_far) {
+            *a += b;
+        }
+    }
+    acc.into_iter().map(|v| v / trials.max(1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic_cost;
+    use ic_passes::Opt;
+
+    fn space() -> SequenceSpace {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    #[test]
+    fn best_so_far_is_monotone_nonincreasing() {
+        let r = run(&space(), &synthetic_cost, 50, 1);
+        assert_eq!(r.evaluations(), 50);
+        for w in r.best_so_far.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(*r.best_so_far.last().unwrap(), r.best_cost);
+    }
+
+    #[test]
+    fn seeded_and_reproducible() {
+        let a = run(&space(), &synthetic_cost, 30, 99);
+        let b = run(&space(), &synthetic_cost, 30, 99);
+        assert_eq!(a.best_so_far, b.best_so_far);
+        let c = run(&space(), &synthetic_cost, 30, 100);
+        assert_ne!(a.best_so_far, c.best_so_far, "different seed, different path");
+    }
+
+    #[test]
+    fn more_budget_no_worse() {
+        let small = run(&space(), &synthetic_cost, 10, 5);
+        let large = run(&space(), &synthetic_cost, 200, 5);
+        assert!(large.best_cost <= small.best_cost);
+    }
+
+    #[test]
+    fn mean_trajectory_shape() {
+        let t = mean_trajectory(&space(), &synthetic_cost, 40, 5, 3);
+        assert_eq!(t.len(), 40);
+        for w in t.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The optimization-sequence space with the paper's constraints.
+
+use ic_passes::Opt;
+use rand::Rng;
+
+/// Length-`len` sequences over `opts`, with unrolling variants allowed at
+/// most once per sequence (the paper's footnote 1). Sequences are densely
+/// indexed in `0..count()`, enabling exhaustive enumeration, uniform
+/// sampling, and compact storage of search results.
+#[derive(Debug, Clone)]
+pub struct SequenceSpace {
+    /// Non-unroll optimizations.
+    base: Vec<Opt>,
+    /// Unroll variants.
+    unrolls: Vec<Opt>,
+    len: usize,
+}
+
+impl SequenceSpace {
+    /// Build a space over `opts` with sequences of length `len`.
+    pub fn new(opts: &[Opt], len: usize) -> Self {
+        assert!(len >= 1);
+        let base: Vec<Opt> = opts.iter().copied().filter(|o| !o.is_unroll()).collect();
+        let unrolls: Vec<Opt> = opts.iter().copied().filter(|o| o.is_unroll()).collect();
+        assert!(!base.is_empty(), "need at least one non-unroll opt");
+        SequenceSpace { base, unrolls, len }
+    }
+
+    /// The paper's Fig. 2 setup: length-5 sequences over the 13-opt space.
+    pub fn paper() -> Self {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Never empty (len >= 1 enforced).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All optimizations in the space (base then unrolls).
+    pub fn alphabet(&self) -> Vec<Opt> {
+        self.base
+            .iter()
+            .chain(self.unrolls.iter())
+            .copied()
+            .collect()
+    }
+
+    fn b(&self) -> u64 {
+        self.base.len() as u64
+    }
+
+    /// Total number of valid sequences:
+    /// `B^L + L * U * B^(L-1)`.
+    pub fn count(&self) -> u64 {
+        let b = self.b();
+        let l = self.len as u32;
+        b.pow(l) + self.len as u64 * self.unrolls.len() as u64 * b.pow(l - 1)
+    }
+
+    /// Decode a dense index into a sequence. Panics if out of range.
+    pub fn decode(&self, index: u64) -> Vec<Opt> {
+        let b = self.b();
+        let l = self.len;
+        let all_base = b.pow(l as u32);
+        if index < all_base {
+            // Base-B digits.
+            let mut out = Vec::with_capacity(l);
+            let mut v = index;
+            for _ in 0..l {
+                out.push(self.base[(v % b) as usize]);
+                v /= b;
+            }
+            out.reverse();
+            return out;
+        }
+        let idx2 = index - all_base;
+        let per_pos = self.unrolls.len() as u64 * b.pow(l as u32 - 1);
+        let pos = (idx2 / per_pos) as usize;
+        assert!(pos < l, "sequence index out of range");
+        let rem = idx2 % per_pos;
+        let u = (rem / b.pow(l as u32 - 1)) as usize;
+        let mut digits = rem % b.pow(l as u32 - 1);
+        let mut out = Vec::with_capacity(l);
+        for i in 0..l {
+            if i == pos {
+                out.push(self.unrolls[u]);
+            } else {
+                out.push(Opt::ConstProp); // placeholder, fixed below
+            }
+        }
+        // Fill base digits right-to-left over non-unroll positions.
+        for i in (0..l).rev() {
+            if i != pos {
+                out[i] = self.base[(digits % b) as usize];
+                digits /= b;
+            }
+        }
+        out
+    }
+
+    /// Encode a sequence back to its dense index (`None` if the sequence
+    /// is not a member of this space, e.g. two unrolls).
+    pub fn encode(&self, seq: &[Opt]) -> Option<u64> {
+        if seq.len() != self.len {
+            return None;
+        }
+        let b = self.b();
+        let l = self.len;
+        let upos: Vec<usize> = seq
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_unroll())
+            .map(|(i, _)| i)
+            .collect();
+        let base_idx = |o: Opt| self.base.iter().position(|x| *x == o);
+        match upos.len() {
+            0 => {
+                let mut v = 0u64;
+                for &o in seq {
+                    v = v * b + base_idx(o)? as u64;
+                }
+                Some(v)
+            }
+            1 => {
+                let pos = upos[0];
+                let u = self.unrolls.iter().position(|x| *x == seq[pos])? as u64;
+                let mut digits = 0u64;
+                for (i, &o) in seq.iter().enumerate() {
+                    if i != pos {
+                        digits = digits * b + base_idx(o)? as u64;
+                    }
+                }
+                let per_pos = self.unrolls.len() as u64 * b.pow(l as u32 - 1);
+                Some(b.pow(l as u32) + pos as u64 * per_pos + u * b.pow(l as u32 - 1) + digits)
+            }
+            _ => None,
+        }
+    }
+
+    /// Uniform random member.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<Opt> {
+        let idx = rng.gen_range(0..self.count());
+        self.decode(idx)
+    }
+
+    /// Iterate over every sequence in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<Opt>> + '_ {
+        (0..self.count()).map(|i| self.decode(i))
+    }
+
+    /// The paper's Fig. 2(a) plot coordinates: x identifies the length-2
+    /// prefix `(t1 t2)`, y the length-3 suffix `(t3 t4 t5)`. Requires
+    /// `len == 5`. Coordinates are dense ids over the full alphabet.
+    pub fn plot_coords(&self, seq: &[Opt]) -> (u64, u64) {
+        let alpha = self.alphabet();
+        let a = alpha.len() as u64;
+        let id = |o: Opt| alpha.iter().position(|x| *x == o).unwrap() as u64;
+        let x = id(seq[0]) * a + id(seq[1]);
+        let y = if seq.len() >= 5 {
+            id(seq[2]) * a * a + id(seq[3]) * a + id(seq[4])
+        } else {
+            seq[2..].iter().fold(0, |acc, &o| acc * a + id(o))
+        };
+        (x, y)
+    }
+
+    /// Mutate one position of `seq` into a different valid member
+    /// (respecting the unroll-once constraint). Used by local search / GA.
+    pub fn mutate(&self, seq: &[Opt], rng: &mut impl Rng) -> Vec<Opt> {
+        let mut out = seq.to_vec();
+        let pos = rng.gen_range(0..out.len());
+        let unroll_elsewhere = out
+            .iter()
+            .enumerate()
+            .any(|(i, o)| i != pos && o.is_unroll());
+        let choices: Vec<Opt> = if unroll_elsewhere {
+            self.base.clone()
+        } else {
+            self.alphabet()
+        };
+        let mut pick = choices[rng.gen_range(0..choices.len())];
+        // Avoid no-op mutations when possible.
+        if choices.len() > 1 {
+            while pick == out[pos] {
+                pick = choices[rng.gen_range(0..choices.len())];
+            }
+        }
+        out[pos] = pick;
+        out
+    }
+
+    /// Single-point crossover that repairs the unroll-once constraint
+    /// (keeps the first unroll, downgrades later ones to `Dce`).
+    pub fn crossover(&self, a: &[Opt], b: &[Opt], rng: &mut impl Rng) -> Vec<Opt> {
+        let cut = rng.gen_range(1..self.len.max(2));
+        let mut out: Vec<Opt> = a[..cut.min(a.len())]
+            .iter()
+            .chain(b[cut.min(b.len())..].iter())
+            .copied()
+            .collect();
+        out.truncate(self.len);
+        while out.len() < self.len {
+            out.push(self.base[0]);
+        }
+        let mut seen_unroll = false;
+        for o in &mut out {
+            if o.is_unroll() {
+                if seen_unroll {
+                    *o = Opt::Dce;
+                }
+                seen_unroll = true;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_space_count() {
+        let s = SequenceSpace::paper();
+        // 10 base opts, 3 unrolls, length 5:
+        // 10^5 + 5 * 3 * 10^4 = 100000 + 150000 = 250000.
+        assert_eq!(s.count(), 250_000);
+    }
+
+    #[test]
+    fn decode_encode_round_trip() {
+        let s = SequenceSpace::new(
+            &[Opt::Dce, Opt::Cse, Opt::Licm, Opt::Unroll2, Opt::Unroll4],
+            3,
+        );
+        // 3 base, 2 unrolls, len 3: 27 + 3*2*9 = 81.
+        assert_eq!(s.count(), 81);
+        for i in 0..s.count() {
+            let seq = s.decode(i);
+            assert_eq!(seq.len(), 3);
+            let unrolls = seq.iter().filter(|o| o.is_unroll()).count();
+            assert!(unrolls <= 1, "{:?}", seq);
+            assert_eq!(s.encode(&seq), Some(i), "{:?}", seq);
+        }
+    }
+
+    #[test]
+    fn all_sequences_distinct() {
+        let s = SequenceSpace::new(&[Opt::Dce, Opt::Cse, Opt::Unroll2], 3);
+        let all: Vec<Vec<Opt>> = s.iter().collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+        assert_eq!(all.len() as u64, s.count());
+    }
+
+    #[test]
+    fn encode_rejects_double_unroll() {
+        let s = SequenceSpace::paper();
+        let bad = vec![Opt::Unroll2, Opt::Unroll4, Opt::Dce, Opt::Dce, Opt::Dce];
+        assert_eq!(s.encode(&bad), None);
+    }
+
+    #[test]
+    fn sampling_is_in_space() {
+        let s = SequenceSpace::paper();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let seq = s.sample(&mut rng);
+            assert!(s.encode(&seq).is_some());
+        }
+    }
+
+    #[test]
+    fn mutation_stays_valid_and_differs() {
+        let s = SequenceSpace::paper();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seq = s.sample(&mut rng);
+        for _ in 0..100 {
+            let next = s.mutate(&seq, &mut rng);
+            assert!(s.encode(&next).is_some(), "{:?}", next);
+            assert_ne!(next, seq);
+            seq = next;
+        }
+    }
+
+    #[test]
+    fn crossover_stays_valid() {
+        let s = SequenceSpace::paper();
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let a = s.sample(&mut rng);
+            let b = s.sample(&mut rng);
+            let c = s.crossover(&a, &b, &mut rng);
+            assert!(s.encode(&c).is_some(), "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn plot_coords_distinguish_prefixes_and_suffixes() {
+        let s = SequenceSpace::paper();
+        let a = vec![Opt::Dce, Opt::Cse, Opt::Licm, Opt::Licm, Opt::Licm];
+        let b = vec![Opt::Cse, Opt::Dce, Opt::Licm, Opt::Licm, Opt::Licm];
+        let c = vec![Opt::Dce, Opt::Cse, Opt::Licm, Opt::Licm, Opt::Dce];
+        assert_ne!(s.plot_coords(&a).0, s.plot_coords(&b).0);
+        assert_eq!(s.plot_coords(&a).0, s.plot_coords(&c).0);
+        assert_ne!(s.plot_coords(&a).1, s.plot_coords(&c).1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Property tests on the sequence space: dense indexing is a bijection
+//! and every constructive operation stays inside the space.
+
+use ic_passes::Opt;
+use ic_search::SequenceSpace;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn decode_encode_bijection(idx in 0u64..250_000) {
+        let space = SequenceSpace::paper();
+        let seq = space.decode(idx);
+        prop_assert_eq!(seq.len(), 5);
+        prop_assert!(seq.iter().filter(|o| o.is_unroll()).count() <= 1);
+        prop_assert_eq!(space.encode(&seq), Some(idx));
+    }
+
+    #[test]
+    fn mutate_preserves_membership(idx in 0u64..250_000, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let space = SequenceSpace::paper();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let seq = space.decode(idx);
+        let mutated = space.mutate(&seq, &mut rng);
+        prop_assert!(space.encode(&mutated).is_some(), "{:?}", mutated);
+        prop_assert_ne!(mutated, seq);
+    }
+
+    #[test]
+    fn crossover_preserves_membership(a in 0u64..250_000, b in 0u64..250_000, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let space = SequenceSpace::paper();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let child = space.crossover(&space.decode(a), &space.decode(b), &mut rng);
+        prop_assert!(space.encode(&child).is_some(), "{:?}", child);
+    }
+
+    #[test]
+    fn smaller_spaces_also_bijective(len in 1usize..5, idx_frac in 0.0f64..1.0) {
+        let space = SequenceSpace::new(
+            &[Opt::Dce, Opt::Cse, Opt::Licm, Opt::Schedule, Opt::Unroll2, Opt::Unroll8],
+            len,
+        );
+        let idx = (idx_frac * (space.count() - 1) as f64) as u64;
+        let seq = space.decode(idx);
+        prop_assert_eq!(seq.len(), len);
+        prop_assert_eq!(space.encode(&seq), Some(idx));
+    }
+}

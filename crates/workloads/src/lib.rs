@@ -1,0 +1,197 @@
+//! # ic-workloads — the benchmark suite, written in MinC
+//!
+//! The paper's experiments use MiBench's `adpcm` (Fig. 2), SPEC's
+//! `181.mcf` (Fig. 3/4) and a large mixed population (SPECFP, SPECINT,
+//! MiBench, Polyhedron) as the normalization baseline. This crate is the
+//! substitute suite: sixteen kernels covering the same behavioural axes —
+//! ALU-bound, memory-streaming, pointer-chasing, branchy, floating-point,
+//! call-heavy — every one a self-contained MinC program compiled by
+//! `ic-lang` and executed on the `ic-machine` simulator.
+//!
+//! Every program initializes its own input deterministically (an embedded
+//! LCG seeded from the workload's `seed` parameter), so a [`Workload`]
+//! fully determines behaviour: same source, same result, on every machine
+//! config — which the test-suite checks.
+
+pub mod sources;
+
+use ic_ir::Module;
+
+/// Broad behavioural class (used as a feature and for stratified
+/// reporting; the learned models never see it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    AluBound,
+    MemoryStreaming,
+    PointerChasing,
+    Branchy,
+    FloatHeavy,
+    CallHeavy,
+}
+
+/// One benchmark: a name, MinC source, and an instruction budget
+/// generous enough for its -O0 build.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub name: String,
+    pub kind: Kind,
+    pub source: String,
+    pub fuel: u64,
+}
+
+impl Workload {
+    /// Compile the workload to IR (panics on frontend errors — sources
+    /// are fixed at build time and covered by tests).
+    pub fn compile(&self) -> Module {
+        ic_lang::compile(&self.name, &self.source)
+            .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
+    }
+}
+
+/// The `adpcm` stand-in (MiBench): IMA-ADPCM encode + decode over an LCG
+/// waveform. The Fig. 2 target.
+pub fn adpcm() -> Workload {
+    adpcm_scaled(2048, 12345)
+}
+
+/// `adpcm` with explicit sample count and seed.
+pub fn adpcm_scaled(samples: usize, seed: u64) -> Workload {
+    Workload {
+        name: "adpcm".into(),
+        kind: Kind::Branchy,
+        source: sources::adpcm(samples, seed),
+        fuel: 3_000_000 + samples as u64 * 3_000,
+    }
+}
+
+/// The `181.mcf` stand-in: min-cost-flow-flavoured pointer chasing over
+/// arc/node tables dominated by `ptr`-class data. The Fig. 3/4 target.
+///
+/// The default size is chosen so the pointer tables *straddle* the
+/// AMD-like config's 1 MiB L2 — ~1.2 MiB as 8-byte pointers, ~0.7 MiB
+/// after `ptr-compress` — which is the regime where the paper's 64→32-bit
+/// pointer conversion pays off (effective cache capacity doubles).
+pub fn mcf_like() -> Workload {
+    mcf_scaled(2048, 24576, 6, 9177)
+}
+
+/// `mcf` with explicit node/arc counts and sweep iterations.
+pub fn mcf_scaled(nodes: usize, arcs: usize, iters: usize, seed: u64) -> Workload {
+    Workload {
+        name: "mcf".into(),
+        kind: Kind::PointerChasing,
+        source: sources::mcf(nodes, arcs, iters, seed),
+        fuel: 10_000_000 + (arcs * iters) as u64 * 200 + nodes as u64 * 100,
+    }
+}
+
+/// The full mixed suite (adpcm + mcf + fourteen more kernels), default
+/// sizes. The Fig. 3 normalization population.
+pub fn suite() -> Vec<Workload> {
+    let mk = |name: &str, kind: Kind, source: String, fuel: u64| Workload {
+        name: name.into(),
+        kind,
+        source,
+        fuel,
+    };
+    vec![
+        adpcm(),
+        mcf_like(),
+        mk("matmul", Kind::FloatHeavy, sources::matmul(40), 40_000_000),
+        mk("fir", Kind::FloatHeavy, sources::fir(2048, 16), 20_000_000),
+        mk("crc32", Kind::AluBound, sources::crc32(4096), 30_000_000),
+        mk("dijkstra", Kind::Branchy, sources::dijkstra(96), 30_000_000),
+        mk("qsort", Kind::CallHeavy, sources::qsort(2048), 30_000_000),
+        mk("stencil", Kind::MemoryStreaming, sources::stencil(48, 6), 30_000_000),
+        mk("susan", Kind::Branchy, sources::susan(64), 30_000_000),
+        mk("butterfly", Kind::FloatHeavy, sources::butterfly(1024, 6), 20_000_000),
+        mk("histogram", Kind::MemoryStreaming, sources::histogram(8192), 20_000_000),
+        mk("strsearch", Kind::Branchy, sources::strsearch(4096), 20_000_000),
+        mk("bitcount", Kind::AluBound, sources::bitcount(4096), 20_000_000),
+        mk("nbody", Kind::FloatHeavy, sources::nbody(24, 8), 20_000_000),
+        mk("spmv", Kind::PointerChasing, sources::spmv(8192, 16, 2), 80_000_000),
+        mk("feistel", Kind::AluBound, sources::feistel(2048, 8), 20_000_000),
+    ]
+}
+
+/// Look up a suite workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_machine::{simulate_default, MachineConfig};
+
+    #[test]
+    fn every_workload_compiles() {
+        for w in suite() {
+            let m = w.compile();
+            ic_ir::verify::verify_module(&m).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(m.num_insts() > 20, "{} suspiciously small", w.name);
+        }
+    }
+
+    #[test]
+    fn every_workload_terminates_with_nonzero_result() {
+        for w in suite() {
+            let m = w.compile();
+            let r = simulate_default(&m, &MachineConfig::test_tiny(), w.fuel)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(
+                r.ret_i64().unwrap_or(0) != 0,
+                "{} returned zero (degenerate checksum?)",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn results_identical_across_machine_configs() {
+        // Functional semantics must not depend on the timing model.
+        for w in suite() {
+            let m = w.compile();
+            let a = simulate_default(&m, &MachineConfig::test_tiny(), w.fuel).unwrap();
+            let b = simulate_default(&m, &MachineConfig::vliw_c6713_like(), w.fuel).unwrap();
+            let c = simulate_default(&m, &MachineConfig::superscalar_amd_like(), w.fuel).unwrap();
+            assert_eq!(a.ret_i64(), b.ret_i64(), "{}", w.name);
+            assert_eq!(b.ret_i64(), c.ret_i64(), "{}", w.name);
+            assert_eq!(a.mem.checksum(), c.mem.checksum(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn seeds_change_results() {
+        let a = adpcm_scaled(512, 1);
+        let b = adpcm_scaled(512, 2);
+        let ra = simulate_default(&a.compile(), &MachineConfig::test_tiny(), a.fuel).unwrap();
+        let rb = simulate_default(&b.compile(), &MachineConfig::test_tiny(), b.fuel).unwrap();
+        assert_ne!(ra.ret_i64(), rb.ret_i64());
+    }
+
+    #[test]
+    fn mcf_is_memory_bound_on_amd_config() {
+        use ic_machine::Counter;
+        let w = mcf_like();
+        let m = w.compile();
+        let r = simulate_default(&m, &MachineConfig::superscalar_amd_like(), w.fuel).unwrap();
+        let l1_rate = r.counters.per_instruction(Counter::L1_TCM);
+        assert!(l1_rate > 0.01, "mcf must miss L1 a lot: {l1_rate}");
+        assert!(r.counters.ipc() < 1.0, "mcf must be stalled: {}", r.counters.ipc());
+    }
+
+    #[test]
+    fn kinds_are_diverse() {
+        use std::collections::HashSet;
+        let kinds: HashSet<_> = suite().into_iter().map(|w| w.kind).collect();
+        assert!(kinds.len() >= 5);
+    }
+
+    #[test]
+    fn by_name_round_trip() {
+        assert!(by_name("adpcm").is_some());
+        assert!(by_name("mcf").is_some());
+        assert!(by_name("nope").is_none());
+    }
+}

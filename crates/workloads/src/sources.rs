@@ -1,0 +1,732 @@
+//! MinC source generators for the benchmark suite.
+//!
+//! Each function returns a complete, self-initializing MinC program.
+//! Programs share a deterministic LCG (`next_rand`) so inputs are a pure
+//! function of the embedded seed.
+
+/// The shared LCG helper (31-bit state, values in `[0, 2^31)`).
+fn lcg() -> &'static str {
+    "int rng_state[1];
+     int next_rand() {
+         int x = rng_state[0];
+         x = (x * 1103515245 + 12345) % 2147483648;
+         rng_state[0] = x;
+         return x;
+     }"
+}
+
+/// IMA-ADPCM encode/decode over an LCG waveform (MiBench `adpcm` stand-in).
+pub fn adpcm(samples: usize, seed: u64) -> String {
+    format!(
+        "{lcg}
+        int stepsizes[89];
+        int indextab[16];
+        int input[{n}];
+        int encoded[{n}];
+        int decoded[{n}];
+        int enc_state[2];
+        int dec_state[2];
+
+        void init_tables() {{
+            int st = 7;
+            for (int i = 0; i < 89; i = i + 1) {{
+                stepsizes[i] = st;
+                st = st + st / 10 + 1;
+            }}
+            for (int i = 0; i < 16; i = i + 1) {{
+                if (i % 8 < 4) indextab[i] = -1;
+                else indextab[i] = (i % 8 - 3) * 2;
+            }}
+        }}
+
+        int encode_sample(int sample) {{
+            int pred = enc_state[0];
+            int index = enc_state[1];
+            int step = stepsizes[index];
+            int diff = sample - pred;
+            int code = 0;
+            if (diff < 0) {{ code = 8; diff = -diff; }}
+            if (diff >= step) {{ code = code + 4; diff = diff - step; }}
+            int half = step / 2;
+            if (diff >= half) {{ code = code + 2; diff = diff - half; }}
+            int quarter = step / 4;
+            if (diff >= quarter) {{ code = code + 1; }}
+            int delta = step / 8;
+            if (code & 4) delta = delta + step;
+            if (code & 2) delta = delta + step / 2;
+            if (code & 1) delta = delta + step / 4;
+            if (code & 8) pred = pred - delta;
+            else pred = pred + delta;
+            if (pred > 32767) pred = 32767;
+            if (pred < -32768) pred = -32768;
+            index = index + indextab[code];
+            if (index < 0) index = 0;
+            if (index > 88) index = 88;
+            enc_state[0] = pred;
+            enc_state[1] = index;
+            return code;
+        }}
+
+        int decode_sample(int code) {{
+            int pred = dec_state[0];
+            int index = dec_state[1];
+            int step = stepsizes[index];
+            int delta = step / 8;
+            if (code & 4) delta = delta + step;
+            if (code & 2) delta = delta + step / 2;
+            if (code & 1) delta = delta + step / 4;
+            if (code & 8) pred = pred - delta;
+            else pred = pred + delta;
+            if (pred > 32767) pred = 32767;
+            if (pred < -32768) pred = -32768;
+            index = index + indextab[code];
+            if (index < 0) index = 0;
+            if (index > 88) index = 88;
+            dec_state[0] = pred;
+            dec_state[1] = index;
+            return pred;
+        }}
+
+        int main() {{
+            rng_state[0] = {seed};
+            init_tables();
+            for (int i = 0; i < {n}; i = i + 1) {{
+                input[i] = next_rand() % 32768 - 16384;
+            }}
+            for (int i = 0; i < {n}; i = i + 1) {{
+                encoded[i] = encode_sample(input[i]);
+            }}
+            for (int i = 0; i < {n}; i = i + 1) {{
+                decoded[i] = decode_sample(encoded[i]);
+            }}
+            int sum = 0;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                sum = (sum + decoded[i] * (i % 7 + 1)) % 1000000007;
+            }}
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = samples,
+        seed = seed % 2147483647,
+    )
+}
+
+/// Min-cost-flow-flavoured pointer chasing (`181.mcf` stand-in): arc and
+/// node tables whose pointer fields dominate the footprint; sweeps chase
+/// `arc_nextout` while updating potentials through random node accesses.
+pub fn mcf(nodes: usize, arcs: usize, iters: usize, seed: u64) -> String {
+    format!(
+        "{lcg}
+        ptr arc_tail[{a}];
+        ptr arc_head[{a}];
+        ptr arc_nextout[{a}];
+        ptr arc_sister[{a}];
+        ptr arc_perm[{a}];
+        int arc_cost[{a}];
+        int node_pot[{n}];
+
+        int main() {{
+            rng_state[0] = {seed};
+            for (int i = 0; i < {a}; i = i + 1) {{
+                arc_tail[i] = next_rand() % {n};
+                arc_head[i] = next_rand() % {n};
+                arc_cost[i] = next_rand() % 1000 - 500;
+                arc_nextout[i] = next_rand() % {a};
+                arc_sister[i] = i ^ 1;
+                arc_perm[i] = i;
+            }}
+            // Fisher-Yates: the price sweep visits every arc in a random
+            // but fixed order (data-driven order of a network simplex).
+            for (int i = {a} - 1; i > 0; i = i - 1) {{
+                int j = next_rand() % (i + 1);
+                int t = arc_perm[i];
+                arc_perm[i] = arc_perm[j];
+                arc_perm[j] = t;
+            }}
+            for (int i = 0; i < {n}; i = i + 1) {{
+                node_pot[i] = next_rand() % 10000;
+            }}
+            int total = 0;
+            for (int it = 0; it < {iters}; it = it + 1) {{
+                for (int k = 0; k < {a}; k = k + 1) {{
+                    int a = arc_perm[k];
+                    int t = arc_tail[a];
+                    int h = arc_head[a];
+                    int rc = arc_cost[a] + node_pot[t] - node_pot[h];
+                    if (rc < 0) {{
+                        node_pot[h] = node_pot[h] + rc / 2;
+                        total = total + rc;
+                    }} else {{
+                        int s = arc_sister[a];
+                        total = total + ((arc_tail[s] + arc_nextout[a]) & 15);
+                    }}
+                }}
+                total = total % 1000000007;
+            }}
+            if (total < 0) total = -total;
+            if (total == 0) total = 1;
+            return total;
+        }}",
+        lcg = lcg(),
+        a = arcs,
+        n = nodes,
+        iters = iters,
+        seed = seed % 2147483647,
+    )
+}
+
+/// Dense float matrix multiply (`n x n`).
+pub fn matmul(n: usize) -> String {
+    format!(
+        "float ma[{nn}];
+        float mb[{nn}];
+        float mc[{nn}];
+
+        int main() {{
+            for (int i = 0; i < {n}; i = i + 1) {{
+                for (int j = 0; j < {n}; j = j + 1) {{
+                    ma[i * {n} + j] = (float)((i * 7 + j * 3) % 13) * 0.25;
+                    mb[i * {n} + j] = (float)((i * 5 + j * 11) % 17) * 0.125;
+                }}
+            }}
+            for (int i = 0; i < {n}; i = i + 1) {{
+                for (int j = 0; j < {n}; j = j + 1) {{
+                    float acc = 0.0;
+                    for (int k = 0; k < {n}; k = k + 1) {{
+                        acc = acc + ma[i * {n} + k] * mb[k * {n} + j];
+                    }}
+                    mc[i * {n} + j] = acc;
+                }}
+            }}
+            float total = 0.0;
+            for (int i = 0; i < {nn}; i = i + 1) total = total + mc[i];
+            int out = (int)total % 1000000007;
+            if (out == 0) out = 1;
+            return out;
+        }}",
+        n = n,
+        nn = n * n,
+    )
+}
+
+/// FIR filter over an LCG signal.
+pub fn fir(n: usize, taps: usize) -> String {
+    format!(
+        "{lcg}
+        float signal[{n}];
+        float coef[{t}];
+        float out[{n}];
+
+        int main() {{
+            rng_state[0] = 777;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                signal[i] = (float)(next_rand() % 2000 - 1000) * 0.001;
+            }}
+            for (int i = 0; i < {t}; i = i + 1) {{
+                coef[i] = (float)(i + 1) * 0.0625;
+            }}
+            for (int i = {t}; i < {n}; i = i + 1) {{
+                float acc = 0.0;
+                for (int k = 0; k < {t}; k = k + 1) {{
+                    acc = acc + signal[i - k] * coef[k];
+                }}
+                out[i] = acc;
+            }}
+            float total = 0.0;
+            for (int i = 0; i < {n}; i = i + 1) total = total + out[i];
+            int r = (int)(total * 1000.0) % 1000000007;
+            if (r < 0) r = -r;
+            if (r == 0) r = 1;
+            return r;
+        }}",
+        lcg = lcg(),
+        n = n,
+        t = taps,
+    )
+}
+
+/// Bitwise CRC-32 (table-less) over LCG bytes.
+pub fn crc32(n: usize) -> String {
+    format!(
+        "{lcg}
+        int data[{n}];
+
+        int main() {{
+            rng_state[0] = 4242;
+            for (int i = 0; i < {n}; i = i + 1) data[i] = next_rand() % 256;
+            int crc = 4294967295;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                crc = crc ^ data[i];
+                for (int b = 0; b < 8; b = b + 1) {{
+                    if (crc & 1) crc = (crc >> 1) ^ 3988292384;
+                    else crc = crc >> 1;
+                    crc = crc & 4294967295;
+                }}
+            }}
+            if (crc == 0) crc = 1;
+            return crc;
+        }}",
+        lcg = lcg(),
+        n = n,
+    )
+}
+
+/// O(n^2) Dijkstra over a dense random graph.
+pub fn dijkstra(n: usize) -> String {
+    format!(
+        "{lcg}
+        int adj[{nn}];
+        int dist[{n}];
+        int visited[{n}];
+
+        int main() {{
+            rng_state[0] = 31337;
+            for (int i = 0; i < {nn}; i = i + 1) adj[i] = next_rand() % 100 + 1;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                dist[i] = 1000000000;
+                visited[i] = 0;
+            }}
+            dist[0] = 0;
+            for (int round = 0; round < {n}; round = round + 1) {{
+                int best = -1;
+                int bestd = 1000000000;
+                for (int i = 0; i < {n}; i = i + 1) {{
+                    if (visited[i] == 0 && dist[i] < bestd) {{
+                        bestd = dist[i];
+                        best = i;
+                    }}
+                }}
+                if (best < 0) break;
+                visited[best] = 1;
+                for (int j = 0; j < {n}; j = j + 1) {{
+                    int nd = dist[best] + adj[best * {n} + j];
+                    if (nd < dist[j]) dist[j] = nd;
+                }}
+            }}
+            int sum = 0;
+            for (int i = 0; i < {n}; i = i + 1) sum = (sum + dist[i]) % 1000000007;
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+        nn = n * n,
+    )
+}
+
+/// Recursive quicksort on LCG data.
+pub fn qsort(n: usize) -> String {
+    format!(
+        "{lcg}
+        int arr[{n}];
+
+        void qs(int lo, int hi) {{
+            if (lo >= hi) return;
+            int p = arr[(lo + hi) / 2];
+            int i = lo;
+            int j = hi;
+            while (i <= j) {{
+                while (arr[i] < p) i = i + 1;
+                while (arr[j] > p) j = j - 1;
+                if (i <= j) {{
+                    int t = arr[i];
+                    arr[i] = arr[j];
+                    arr[j] = t;
+                    i = i + 1;
+                    j = j - 1;
+                }}
+            }}
+            qs(lo, j);
+            qs(i, hi);
+        }}
+
+        int main() {{
+            rng_state[0] = 5150;
+            for (int i = 0; i < {n}; i = i + 1) arr[i] = next_rand() % 100000;
+            qs(0, {n} - 1);
+            int bad = 0;
+            for (int i = 1; i < {n}; i = i + 1) {{
+                if (arr[i - 1] > arr[i]) bad = bad + 1;
+            }}
+            int sum = 0;
+            for (int i = 0; i < {n}; i = i + 1) sum = (sum + arr[i] * (i % 5 + 1)) % 1000000007;
+            if (bad > 0) return -bad;
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+    )
+}
+
+/// 5-point Jacobi stencil on an `n x n` float grid.
+pub fn stencil(n: usize, iters: usize) -> String {
+    format!(
+        "float g0[{nn}];
+        float g1[{nn}];
+
+        int main() {{
+            for (int i = 0; i < {nn}; i = i + 1) g0[i] = (float)(i % 97) * 0.01;
+            for (int it = 0; it < {iters}; it = it + 1) {{
+                for (int i = 1; i < {n} - 1; i = i + 1) {{
+                    for (int j = 1; j < {n} - 1; j = j + 1) {{
+                        int c = i * {n} + j;
+                        float v = g0[c] + g0[c - 1] + g0[c + 1] + g0[c - {n}] + g0[c + {n}];
+                        g1[c] = v * 0.2;
+                    }}
+                }}
+                for (int i = 0; i < {nn}; i = i + 1) g0[i] = g1[i];
+            }}
+            float total = 0.0;
+            for (int i = 0; i < {nn}; i = i + 1) total = total + g0[i];
+            int r = (int)(total * 100.0) % 1000000007;
+            if (r < 0) r = -r;
+            if (r == 0) r = 1;
+            return r;
+        }}",
+        n = n,
+        nn = n * n,
+        iters = iters,
+    )
+}
+
+/// SUSAN-like corner response: neighbourhood similarity counting on an
+/// `n x n` random image (abs-diff threshold, very branchy).
+pub fn susan(n: usize) -> String {
+    format!(
+        "{lcg}
+        int img[{nn}];
+        int resp[{nn}];
+
+        int main() {{
+            rng_state[0] = 2718;
+            for (int i = 0; i < {nn}; i = i + 1) img[i] = next_rand() % 256;
+            int corners = 0;
+            for (int i = 1; i < {n} - 1; i = i + 1) {{
+                for (int j = 1; j < {n} - 1; j = j + 1) {{
+                    int c = i * {n} + j;
+                    int center = img[c];
+                    int similar = 0;
+                    for (int di = -1; di < 2; di = di + 1) {{
+                        for (int dj = -1; dj < 2; dj = dj + 1) {{
+                            int d = img[c + di * {n} + dj] - center;
+                            if (d < 0) d = -d;
+                            if (d < 27) similar = similar + 1;
+                        }}
+                    }}
+                    resp[c] = similar;
+                    if (similar < 5) corners = corners + 1;
+                }}
+            }}
+            int sum = corners * 131071;
+            for (int i = 0; i < {nn}; i = i + 1) sum = (sum + resp[i]) % 1000000007;
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+        nn = n * n,
+    )
+}
+
+/// FFT-like butterfly passes over float arrays (no real twiddles — a
+/// fixed rotation approximation keeps it in MinC's operator set).
+pub fn butterfly(n: usize, stages: usize) -> String {
+    format!(
+        "float re[{n}];
+        float im[{n}];
+
+        int main() {{
+            for (int i = 0; i < {n}; i = i + 1) {{
+                re[i] = (float)(i % 31) * 0.125;
+                im[i] = (float)(i % 17) * 0.0625;
+            }}
+            int half = {n} / 2;
+            for (int s = 0; s < {stages}; s = s + 1) {{
+                for (int i = 0; i < half; i = i + 1) {{
+                    int a = i * 2;
+                    int b = a + 1;
+                    float wr = 0.7071;
+                    float wi = 0.7071;
+                    float tr = re[b] * wr - im[b] * wi;
+                    float ti = re[b] * wi + im[b] * wr;
+                    float ar = re[a];
+                    float ai = im[a];
+                    re[a] = ar + tr;
+                    im[a] = ai + ti;
+                    re[b] = ar - tr;
+                    im[b] = ai - ti;
+                }}
+                // interleave shuffle so later stages mix distant elements
+                for (int i = 0; i < half; i = i + 1) {{
+                    float t = re[i];
+                    re[i] = re[i + half];
+                    re[i + half] = t;
+                }}
+            }}
+            float total = 0.0;
+            for (int i = 0; i < {n}; i = i + 1) total = total + re[i] * re[i] + im[i] * im[i];
+            int r = (int)total % 1000000007;
+            if (r < 0) r = -r;
+            if (r == 0) r = 1;
+            return r;
+        }}",
+        n = n,
+        stages = stages,
+    )
+}
+
+/// Byte histogram with scatter increments.
+pub fn histogram(n: usize) -> String {
+    format!(
+        "{lcg}
+        int data[{n}];
+        int hist[256];
+
+        int main() {{
+            rng_state[0] = 1618;
+            for (int i = 0; i < {n}; i = i + 1) data[i] = next_rand() % 256;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                int b = data[i];
+                hist[b] = hist[b] + 1;
+            }}
+            int sum = 0;
+            for (int i = 0; i < 256; i = i + 1) sum = (sum + hist[i] * (i + 1)) % 1000000007;
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+    )
+}
+
+/// Naive substring search over a synthetic 26-letter text.
+pub fn strsearch(n: usize) -> String {
+    format!(
+        "{lcg}
+        int text[{n}];
+        int pattern[6];
+
+        int main() {{
+            rng_state[0] = 1234;
+            for (int i = 0; i < {n}; i = i + 1) text[i] = next_rand() % 26;
+            for (int i = 0; i < 6; i = i + 1) pattern[i] = (i * 7 + 3) % 26;
+            int hits = 0;
+            int partial = 0;
+            for (int i = 0; i + 6 <= {n}; i = i + 1) {{
+                int k = 0;
+                while (k < 6 && text[i + k] == pattern[k]) k = k + 1;
+                partial = partial + k;
+                if (k == 6) hits = hits + 1;
+            }}
+            int r = (hits * 100003 + partial) % 1000000007;
+            if (r == 0) r = 1;
+            return r;
+        }}",
+        lcg = lcg(),
+        n = n,
+    )
+}
+
+/// Bit counting over LCG words (shift/mask loops).
+pub fn bitcount(n: usize) -> String {
+    format!(
+        "{lcg}
+        int data[{n}];
+
+        int main() {{
+            rng_state[0] = 8086;
+            for (int i = 0; i < {n}; i = i + 1) data[i] = next_rand();
+            int total = 0;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                int v = data[i] & 4294967295;
+                int c = 0;
+                while (v > 0) {{
+                    c = c + (v & 1);
+                    v = v >> 1;
+                }}
+                total = total + c;
+            }}
+            if (total == 0) total = 1;
+            return total;
+        }}",
+        lcg = lcg(),
+        n = n,
+    )
+}
+
+/// Softened O(n^2) n-body velocity update (float-division heavy).
+pub fn nbody(n: usize, steps: usize) -> String {
+    format!(
+        "float px[{n}];
+        float py[{n}];
+        float vx[{n}];
+        float vy[{n}];
+        float mass[{n}];
+
+        int main() {{
+            for (int i = 0; i < {n}; i = i + 1) {{
+                px[i] = (float)(i % 13) * 1.5;
+                py[i] = (float)(i % 7) * 2.5;
+                vx[i] = 0.0;
+                vy[i] = 0.0;
+                mass[i] = (float)(i % 5 + 1);
+            }}
+            for (int s = 0; s < {steps}; s = s + 1) {{
+                for (int i = 0; i < {n}; i = i + 1) {{
+                    float fx = 0.0;
+                    float fy = 0.0;
+                    for (int j = 0; j < {n}; j = j + 1) {{
+                        float dx = px[j] - px[i];
+                        float dy = py[j] - py[i];
+                        float d2 = dx * dx + dy * dy + 0.01;
+                        float f = mass[j] / d2;
+                        fx = fx + f * dx;
+                        fy = fy + f * dy;
+                    }}
+                    vx[i] = vx[i] + fx * 0.001;
+                    vy[i] = vy[i] + fy * 0.001;
+                }}
+                for (int i = 0; i < {n}; i = i + 1) {{
+                    px[i] = px[i] + vx[i];
+                    py[i] = py[i] + vy[i];
+                }}
+            }}
+            float total = 0.0;
+            for (int i = 0; i < {n}; i = i + 1) total = total + px[i] * px[i] + py[i] * py[i];
+            int r = (int)total % 1000000007;
+            if (r < 0) r = -r;
+            if (r == 0) r = 1;
+            return r;
+        }}",
+        n = n,
+        steps = steps,
+    )
+}
+
+/// Sparse matrix-vector product with a pattern matrix (fixed nnz per
+/// row, `ptr` column indices; values implied by position, as in
+/// pattern-only SpMV — keeps the footprint pointer-dominated).
+pub fn spmv(rows: usize, nnz_per_row: usize, iters: usize) -> String {
+    let nnz = rows * nnz_per_row;
+    format!(
+        "{lcg}
+        ptr colidx[{nnz}];
+        float vecx[{rows}];
+        float vecy[{rows}];
+
+        int main() {{
+            rng_state[0] = 60221;
+            for (int i = 0; i < {nnz}; i = i + 1) {{
+                colidx[i] = next_rand() % {rows};
+            }}
+            for (int i = 0; i < {rows}; i = i + 1) vecx[i] = 1.0;
+            for (int it = 0; it < {iters}; it = it + 1) {{
+                for (int r = 0; r < {rows}; r = r + 1) {{
+                    float acc = 0.0;
+                    for (int k = 0; k < {pr}; k = k + 1) {{
+                        int e = r * {pr} + k;
+                        float v = (float)((e & 7) + 1) * 0.125;
+                        acc = acc + v * vecx[colidx[e]];
+                    }}
+                    vecy[r] = acc;
+                }}
+                for (int r = 0; r < {rows}; r = r + 1) vecx[r] = vecy[r] * 0.0625 + 0.5;
+            }}
+            float total = 0.0;
+            for (int r = 0; r < {rows}; r = r + 1) total = total + vecx[r];
+            int out = (int)(total * 1000.0) % 1000000007;
+            if (out < 0) out = -out;
+            if (out == 0) out = 1;
+            return out;
+        }}",
+        lcg = lcg(),
+        nnz = nnz,
+        rows = rows,
+        pr = nnz_per_row,
+        iters = iters,
+    )
+}
+
+/// Feistel-style block mixing (pure integer ALU).
+pub fn feistel(n: usize, rounds: usize) -> String {
+    format!(
+        "{lcg}
+        int blocks[{n}];
+
+        int main() {{
+            rng_state[0] = 54321;
+            for (int i = 0; i < {n}; i = i + 1) blocks[i] = next_rand();
+            for (int i = 0; i < {n}; i = i + 1) {{
+                int v = blocks[i] & 4294967295;
+                int l = v >> 16;
+                int r = v & 65535;
+                for (int k = 0; k < {rounds}; k = k + 1) {{
+                    int f = (r * 2654435761 + k * 40503) % 65536;
+                    if (f < 0) f = -f;
+                    int nl = r;
+                    r = (l ^ f) & 65535;
+                    l = nl;
+                }}
+                blocks[i] = l * 65536 + r;
+            }}
+            int sum = 0;
+            for (int i = 0; i < {n}; i = i + 1) sum = (sum + blocks[i]) % 1000000007;
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+        rounds = rounds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_parameterized() {
+        let small = adpcm(128, 1);
+        let big = adpcm(4096, 1);
+        assert!(small.contains("[128]"));
+        assert!(big.contains("[4096]"));
+        assert_ne!(adpcm(128, 1), adpcm(128, 2));
+    }
+
+    #[test]
+    fn mcf_ptr_arrays_declared() {
+        let src = mcf(64, 128, 1, 3);
+        assert!(src.contains("ptr arc_tail"));
+        assert!(src.contains("ptr arc_head"));
+        assert!(src.contains("ptr arc_nextout"));
+        assert!(src.contains("ptr arc_sister"));
+        assert!(src.contains("ptr arc_perm"));
+    }
+
+    #[test]
+    fn all_generators_produce_compilable_minc() {
+        let cases: Vec<(&str, String)> = vec![
+            ("adpcm", adpcm(64, 7)),
+            ("mcf", mcf(32, 64, 1, 7)),
+            ("matmul", matmul(6)),
+            ("fir", fir(64, 4)),
+            ("crc32", crc32(32)),
+            ("dijkstra", dijkstra(10)),
+            ("qsort", qsort(64)),
+            ("stencil", stencil(8, 2)),
+            ("susan", susan(10)),
+            ("butterfly", butterfly(32, 2)),
+            ("histogram", histogram(128)),
+            ("strsearch", strsearch(128)),
+            ("bitcount", bitcount(64)),
+            ("nbody", nbody(6, 2)),
+            ("spmv", spmv(32, 4, 2)),
+            ("feistel", feistel(64, 4)),
+        ];
+        for (name, src) in cases {
+            ic_lang::compile(name, &src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

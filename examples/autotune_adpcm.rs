@@ -1,0 +1,71 @@
+//! Model-focused iterative compilation (the Fig. 2 workflow): build a
+//! knowledge base from other programs' search data, fit the focused
+//! model, and compare FOCUSSED search against RANDOM on adpcm.
+//!
+//! ```sh
+//! cargo run --release --example autotune_adpcm
+//! ```
+
+use intelligent_compilers::core::IntelligentCompiler;
+use intelligent_compilers::machine::MachineConfig;
+use intelligent_compilers::search::{random, SequenceSpace};
+use intelligent_compilers::workloads;
+
+fn main() {
+    let config = MachineConfig::vliw_c6713_like();
+    let mut ic = IntelligentCompiler::new(config.clone());
+
+    // Populate the knowledge base with random-search experiments on a few
+    // *other* programs (never adpcm: leave-the-target-out).
+    println!("populating the knowledge base from other programs ...");
+    for name in ["crc32", "dijkstra", "bitcount", "strsearch", "feistel"] {
+        let w = workloads::by_name(name).expect("suite program");
+        ic.characterize_program(&w);
+        ic.populate_kb(&w, 25, 7);
+        let best = ic.kb.best_for(name, &config.name).unwrap();
+        println!(
+            "  {:10} best random speedup {:.2}x via [{}]",
+            name,
+            best.speedup,
+            best.sequence.join(" ")
+        );
+    }
+
+    // Tune adpcm.
+    let target = workloads::adpcm_scaled(512, 12345);
+    let budget = 30;
+
+    let focused = ic.compile_iterative(&target, budget, 99);
+    let space = SequenceSpace::paper();
+    let eval = intelligent_compilers::core::controller::WorkloadEvaluator::new(&target, &config);
+    let rand = random::run(&space, &eval, budget, 99);
+    let o0 = eval.baseline_cycles() as f64;
+
+    println!("\nadpcm, budget {budget} evaluations:");
+    println!(
+        "  RANDOM  : best {:.0} cycles ({:.2}x)",
+        rand.best_cost,
+        o0 / rand.best_cost
+    );
+    println!(
+        "  FOCUSSED: best {:.0} cycles ({:.2}x) via [{}]",
+        focused.best_cost,
+        o0 / focused.best_cost,
+        focused
+            .best_seq
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    // One-shot mode: no trials at all, just the model's most likely pick.
+    let (_module, seq) = ic.compile_one_shot(&target);
+    let one_shot_cost = ic_search::Evaluator::evaluate(&eval, &seq);
+    println!(
+        "  ONE-SHOT: {:.0} cycles ({:.2}x) via [{}]",
+        one_shot_cost,
+        o0 / one_shot_cost,
+        seq.iter().map(|o| o.name()).collect::<Vec<_>>().join(" ")
+    );
+}

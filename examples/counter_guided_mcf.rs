@@ -1,0 +1,57 @@
+//! The Fig. 4 workflow as an API walkthrough: profile a new program at
+//! -O0, let the counter-trained PCModel pick an optimization setting it
+//! never saw the program during training, and verify the win.
+//!
+//! ```sh
+//! cargo run --release --example counter_guided_mcf
+//! ```
+
+use intelligent_compilers::core::models::PcModel;
+use intelligent_compilers::machine::{simulate_default, Counter, MachineConfig};
+use intelligent_compilers::passes::apply_sequence;
+use intelligent_compilers::workloads;
+
+fn main() {
+    let config = MachineConfig::superscalar_amd_like();
+
+    // Train on the suite with mcf held out (the paper's protocol).
+    println!("training PCModel (leave-mcf-out) ...");
+    let suite: Vec<_> = workloads::suite();
+    let model = PcModel::train(&suite, &config, &["mcf"]);
+    for row in &model.rows {
+        println!(
+            "  {:10} best setting: {:12} ({:.2}x)",
+            row.program, model.candidates[row.best_candidate].0, row.best_speedup
+        );
+    }
+
+    // A "new" program arrives: profile it once at -O0.
+    let mcf = workloads::mcf_like();
+    let module = mcf.compile();
+    let o0 = simulate_default(&module, &config, mcf.fuel).expect("O0 run");
+    println!(
+        "\nmcf at -O0: {} cycles, L1 miss rate {:.3}, IPC {:.2}",
+        o0.cycles(),
+        o0.counters.per_instruction(Counter::L1_TCM),
+        o0.counters.ipc()
+    );
+
+    // The model reads the counters and prescribes a setting.
+    let (setting, seq) = model.predict(&o0.counters);
+    println!(
+        "PCModel prescribes '{setting}': [{}]",
+        seq.iter().map(|o| o.name()).collect::<Vec<_>>().join(" ")
+    );
+
+    let mut optimized = module.clone();
+    apply_sequence(&mut optimized, seq);
+    let r = simulate_default(&optimized, &config, mcf.fuel).expect("optimized run");
+    assert_eq!(o0.ret_i64(), r.ret_i64(), "semantics preserved");
+    println!(
+        "optimized: {} cycles — {:.2}x speedup, L2 misses {} -> {}",
+        r.cycles(),
+        o0.cycles() as f64 / r.cycles() as f64,
+        o0.counters.get(Counter::L2_TCM),
+        r.counters.get(Counter::L2_TCM),
+    );
+}

@@ -1,0 +1,48 @@
+//! Multicore decisions (Sec. III-G): measure a parallel job across core
+//! counts on the shared-L2 simulator, train the tuner, and predict the
+//! core count for unseen jobs.
+//!
+//! ```sh
+//! cargo run --release --example multicore_partition
+//! ```
+
+use intelligent_compilers::core::multicore::{MulticoreTuner, ParallelJob, CORE_MENU};
+use intelligent_compilers::machine::MachineConfig;
+
+fn main() {
+    let config = MachineConfig::multicore_amd_like(8);
+
+    let train_jobs = [
+        ParallelJob { n: 16, passes: 1, work_per_elem: 1 },
+        ParallelJob { n: 128, passes: 1, work_per_elem: 2 },
+        ParallelJob { n: 1024, passes: 2, work_per_elem: 4 },
+        ParallelJob { n: 8192, passes: 2, work_per_elem: 8 },
+    ];
+
+    println!("measuring training jobs across {:?} cores:", CORE_MENU);
+    let mut rows = Vec::new();
+    for job in &train_jobs {
+        let spans: Vec<u64> = CORE_MENU.iter().map(|&c| job.measure(&config, c)).collect();
+        let best = spans.iter().enumerate().min_by_key(|&(_, m)| *m).unwrap().0;
+        println!(
+            "  n={:5} passes={} work={}: makespans {:?} -> best {} core(s)",
+            job.n, job.passes, job.work_per_elem, spans, CORE_MENU[best]
+        );
+        rows.push((*job, best));
+    }
+
+    let tuner = MulticoreTuner::train(&rows);
+    println!("\npredictions for unseen jobs:");
+    for job in [
+        ParallelJob { n: 24, passes: 1, work_per_elem: 1 },
+        ParallelJob { n: 512, passes: 1, work_per_elem: 4 },
+        ParallelJob { n: 6000, passes: 2, work_per_elem: 8 },
+    ] {
+        let pred = tuner.predict(&job);
+        let actual_best = CORE_MENU[job.best_core_index(&config)];
+        println!(
+            "  n={:5} passes={} work={}: predicted {} core(s), measured best {}",
+            job.n, job.passes, job.work_per_elem, pred, actual_best
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! `icc` — the intelligent-compiler command-line driver.
+//!
+//! Compile a MinC source file, optimize it (fixed levels, an explicit
+//! sequence, or the knowledge-base-driven intelligent modes), run it on a
+//! simulated machine, and report counters.
+//!
+//! ```text
+//! icc program.mc                         # -O0 on the VLIW config
+//! icc program.mc -O2                     # the -Ofast pipeline
+//! icc program.mc --seq "licm,unroll4,dce,schedule"
+//! icc program.mc --machine amd --counters
+//! icc program.mc --emit-ir               # print the optimized IR
+//! icc program.mc --search 50 --seed 7    # 50-evaluation random search
+//! icc program.mc --kb kb.json --intelligent   # model-predicted sequence
+//! ```
+
+use intelligent_compilers::core::controller::WorkloadEvaluator;
+use intelligent_compilers::core::IntelligentCompiler;
+use intelligent_compilers::kb::KnowledgeBase;
+use intelligent_compilers::machine::{simulate_default, Counter, MachineConfig};
+use intelligent_compilers::passes::{apply_sequence, ofast_sequence, Opt};
+use intelligent_compilers::search::{random, SequenceSpace};
+use intelligent_compilers::workloads::{Kind, Workload};
+use std::process::ExitCode;
+
+struct Options {
+    input: Option<String>,
+    machine: String,
+    seq: Option<Vec<Opt>>,
+    olevel: u8,
+    counters: bool,
+    emit_ir: bool,
+    search: Option<usize>,
+    seed: u64,
+    fuel: u64,
+    kb: Option<String>,
+    intelligent: bool,
+}
+
+const USAGE: &str = "\
+usage: icc <file.mc> [options]
+  -O0|-O1|-O2          fixed optimization level (O1 = scalar cleanups, O2 = Ofast)
+  --seq a,b,c          explicit comma-separated optimization sequence
+  --machine NAME       vliw | amd | tiny        (default: vliw)
+  --counters           print the full counter vector
+  --emit-ir            print the optimized IR instead of running
+  --search N           random-search N sequences, use the best
+  --intelligent        predict the sequence from the knowledge base (needs --kb)
+  --kb FILE            knowledge-base JSON to read/extend
+  --seed N             RNG seed (default 42)
+  --fuel N             instruction budget (default 100M)
+  --list-opts          print the optimization registry and exit
+  --build-kb FILE [N]  build a knowledge base from the built-in suite and exit";
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        input: None,
+        machine: "vliw".into(),
+        seq: None,
+        olevel: 0,
+        counters: false,
+        emit_ir: false,
+        search: None,
+        seed: 42,
+        fuel: 100_000_000,
+        kb: None,
+        intelligent: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-O0" => o.olevel = 0,
+            "-O1" => o.olevel = 1,
+            "-O2" | "-Ofast" => o.olevel = 2,
+            "--seq" => {
+                let spec = it.next().ok_or("--seq needs a value")?;
+                let seq: Result<Vec<Opt>, String> = spec
+                    .split(',')
+                    .map(|s| {
+                        Opt::from_name(s.trim())
+                            .ok_or_else(|| format!("unknown optimization `{s}` (try --list-opts)"))
+                    })
+                    .collect();
+                o.seq = Some(seq?);
+            }
+            "--machine" => o.machine = it.next().ok_or("--machine needs a value")?,
+            "--counters" => o.counters = true,
+            "--emit-ir" => o.emit_ir = true,
+            "--search" => {
+                o.search = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--search needs a number")?,
+                )
+            }
+            "--intelligent" => o.intelligent = true,
+            "--kb" => o.kb = Some(it.next().ok_or("--kb needs a file")?),
+            "--seed" => {
+                o.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?
+            }
+            "--fuel" => {
+                o.fuel = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--fuel needs a number")?
+            }
+            "--list-opts" => {
+                for opt in Opt::ALL {
+                    println!("{}", opt.name());
+                }
+                std::process::exit(0);
+            }
+            "--build-kb" => {
+                // Populate a knowledge base from the built-in suite and
+                // save it (the training step for --intelligent).
+                let path = it.next().expect("--build-kb needs an output file");
+                let trials: usize = it.next().and_then(|v| v.parse().ok()).unwrap_or(20);
+                build_kb(&path, trials);
+                std::process::exit(0);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => o.input = Some(other.to_string()),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(o)
+}
+
+/// `icc --build-kb kb.json [trials]`: characterize the architecture and
+/// the whole built-in suite, run `trials` random-sequence experiments per
+/// program, and save the knowledge base in the documented JSON format.
+fn build_kb(path: &str, trials: usize) {
+    let config = MachineConfig::vliw_c6713_like();
+    let mut ic = IntelligentCompiler::new(config);
+    eprintln!("icc: characterizing architecture by microbenchmarks ...");
+    ic.characterize_architecture();
+    for w in intelligent_compilers::workloads::suite() {
+        eprintln!("icc: {} — characterize + {trials} experiments", w.name);
+        ic.characterize_program(&w);
+        ic.populate_kb(&w, trials, 42);
+    }
+    ic.kb
+        .save(std::path::Path::new(path))
+        .unwrap_or_else(|e| panic!("saving {path}: {e}"));
+    eprintln!(
+        "icc: wrote {} ({} programs, {} experiments)",
+        path,
+        ic.kb.programs.len(),
+        ic.kb.experiments.len()
+    );
+}
+
+fn machine_for(name: &str) -> Result<MachineConfig, String> {
+    Ok(match name {
+        "vliw" => MachineConfig::vliw_c6713_like(),
+        "amd" => MachineConfig::superscalar_amd_like(),
+        "tiny" => MachineConfig::test_tiny(),
+        other => return Err(format!("unknown machine `{other}` (vliw|amd|tiny)")),
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("icc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let o = parse_args()?;
+    let Some(path) = o.input.clone() else {
+        return Err(format!("no input file\n{USAGE}"));
+    };
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+
+    let config = machine_for(&o.machine)?;
+    let module = intelligent_compilers::lang::compile(&name, &source)
+        .map_err(|e| format!("{path}:{e}"))?;
+    eprintln!(
+        "icc: compiled `{name}`: {} functions, {} instructions (-O0)",
+        module.funcs.len(),
+        module.num_insts()
+    );
+
+    // Decide the sequence.
+    let seq: Vec<Opt> = if let Some(seq) = o.seq.clone() {
+        seq
+    } else if let Some(budget) = o.search {
+        let w = Workload {
+            name: name.clone(),
+            kind: Kind::AluBound,
+            source: source.clone(),
+            fuel: o.fuel,
+        };
+        let eval = WorkloadEvaluator::new(&w, &config);
+        let space = SequenceSpace::paper();
+        let r = random::run(&space, &eval, budget, o.seed);
+        eprintln!(
+            "icc: search best {:.0} cycles after {} evaluations",
+            r.best_cost,
+            r.evaluations()
+        );
+        r.best_seq
+    } else if o.intelligent {
+        let kb_path = o.kb.clone().ok_or("--intelligent needs --kb FILE")?;
+        let kb = KnowledgeBase::load(std::path::Path::new(&kb_path))
+            .map_err(|e| format!("{kb_path}: {e}"))?;
+        let mut ic = IntelligentCompiler::new(config.clone());
+        ic.kb = kb;
+        let w = Workload {
+            name: name.clone(),
+            kind: Kind::AluBound,
+            source: source.clone(),
+            fuel: o.fuel,
+        };
+        let (_m, seq) = ic.compile_one_shot(&w);
+        eprintln!(
+            "icc: model predicted [{}]",
+            seq.iter().map(|s| s.name()).collect::<Vec<_>>().join(" ")
+        );
+        seq
+    } else {
+        match o.olevel {
+            0 => vec![],
+            1 => vec![
+                Opt::ConstProp,
+                Opt::ConstFold,
+                Opt::CopyProp,
+                Opt::Cse,
+                Opt::Dce,
+                Opt::SimplifyCfg,
+            ],
+            _ => ofast_sequence(),
+        }
+    };
+
+    let mut optimized = module.clone();
+    let changed = apply_sequence(&mut optimized, &seq);
+    if !seq.is_empty() {
+        eprintln!(
+            "icc: applied [{}] ({changed} passes changed something): {} instructions",
+            seq.iter().map(|s| s.name()).collect::<Vec<_>>().join(" "),
+            optimized.num_insts()
+        );
+    }
+
+    if o.emit_ir {
+        print!(
+            "{}",
+            intelligent_compilers::ir::print::module_to_string(&optimized)
+        );
+        return Ok(());
+    }
+
+    let r = simulate_default(&optimized, &config, o.fuel)
+        .map_err(|e| format!("execution failed: {e}"))?;
+    println!(
+        "result: {:?}   cycles: {}   instructions: {}   IPC: {:.3}",
+        r.ret_i64(),
+        r.cycles(),
+        r.instructions(),
+        r.counters.ipc()
+    );
+    if o.counters {
+        for c in Counter::ALL {
+            println!("  {:10} = {}", c.name(), r.counters.get(c));
+        }
+    }
+    Ok(())
+}

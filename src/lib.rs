@@ -1,0 +1,15 @@
+//! Facade crate for the Intelligent Compilers reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use intelligent_compilers::...`.
+
+pub use ic_core as core;
+pub use ic_features as features;
+pub use ic_ir as ir;
+pub use ic_kb as kb;
+pub use ic_lang as lang;
+pub use ic_machine as machine;
+pub use ic_ml as ml;
+pub use ic_passes as passes;
+pub use ic_search as search;
+pub use ic_workloads as workloads;

@@ -1,0 +1,119 @@
+//! Integration: the full Fig. 1 pipeline across crates — characterize,
+//! populate the knowledge base, fit models, search, persist.
+
+use intelligent_compilers::core::IntelligentCompiler;
+use intelligent_compilers::kb::KnowledgeBase;
+use intelligent_compilers::machine::MachineConfig;
+use intelligent_compilers::search::focused::ModelKind;
+use intelligent_compilers::workloads;
+
+fn small(name: &str, source: String, fuel: u64) -> workloads::Workload {
+    workloads::Workload {
+        name: name.into(),
+        kind: workloads::Kind::AluBound,
+        source,
+        fuel,
+    }
+}
+
+fn small_population() -> Vec<workloads::Workload> {
+    use workloads::sources;
+    vec![
+        small("crc32", sources::crc32(192), 4_000_000),
+        small("bitcount", sources::bitcount(192), 4_000_000),
+        small("feistel", sources::feistel(192, 4), 4_000_000),
+        small("strsearch", sources::strsearch(384), 4_000_000),
+    ]
+}
+
+#[test]
+fn pipeline_characterize_populate_model_search() {
+    let mut ic = IntelligentCompiler::new(MachineConfig::vliw_c6713_like());
+
+    // Architecture characterization via microbenchmarks.
+    ic.characterize_architecture();
+    assert_eq!(ic.kb.archs.len(), 1);
+    assert!(ic.kb.archs[0].features.iter().all(|f| f.is_finite()));
+
+    // Program characterization + random-search experiments.
+    for w in small_population() {
+        ic.characterize_program(&w);
+        ic.populate_kb(&w, 10, 5);
+    }
+    assert_eq!(ic.kb.programs.len(), 4);
+    assert_eq!(ic.kb.experiments.len(), 40);
+
+    // Focused model for an unseen target exists and drives iterative
+    // compilation.
+    let target = workloads::adpcm_scaled(192, 3);
+    let model = ic.focused_model(&target, 3, 4, ModelKind::Markov);
+    assert!(model.is_some(), "kb built, model must fit");
+
+    let result = ic.compile_iterative(&target, 6, 11);
+    assert_eq!(result.evaluations(), 6);
+    assert!(result.best_cost.is_finite());
+
+    // One-shot compilation produces a valid module with preserved
+    // semantics.
+    let (module, seq) = ic.compile_one_shot(&target);
+    intelligent_compilers::ir::verify::verify_module(&module).unwrap();
+    assert_eq!(seq.len(), 5, "one-shot draws from the length-5 space");
+    let o0 = intelligent_compilers::machine::simulate_default(
+        &target.compile(),
+        &ic.config,
+        target.fuel,
+    )
+    .unwrap();
+    let opt =
+        intelligent_compilers::machine::simulate_default(&module, &ic.config, target.fuel)
+            .unwrap();
+    assert_eq!(o0.ret_i64(), opt.ret_i64());
+}
+
+#[test]
+fn knowledge_base_survives_disk_round_trip() {
+    let mut ic = IntelligentCompiler::new(MachineConfig::test_tiny());
+    let w = small("crc32", workloads::sources::crc32(96), 2_000_000);
+    ic.characterize_program(&w);
+    ic.populate_kb(&w, 5, 1);
+
+    let dir = std::env::temp_dir().join("ic-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kb.json");
+    ic.kb.save(&path).unwrap();
+
+    let loaded = KnowledgeBase::load(&path).unwrap();
+    assert_eq!(loaded.experiments.len(), ic.kb.experiments.len());
+    assert_eq!(loaded.programs.len(), 1);
+    // Queries behave identically after the round trip.
+    let a = ic.kb.best_for("crc32", &ic.config.name).unwrap().speedup;
+    let b = loaded.best_for("crc32", &ic.config.name).unwrap().speedup;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn focused_search_beats_random_at_small_budget_on_average() {
+    // The Fig. 2(b) effect end-to-end, averaged over seeds for stability.
+    let mut ic = IntelligentCompiler::new(MachineConfig::vliw_c6713_like());
+    for w in small_population() {
+        ic.characterize_program(&w);
+        ic.populate_kb(&w, 14, 5);
+    }
+    let target = workloads::adpcm_scaled(192, 3);
+    let eval = intelligent_compilers::core::controller::WorkloadEvaluator::new(
+        &target, &ic.config,
+    );
+    let space = intelligent_compilers::search::SequenceSpace::paper();
+
+    let mut focused_total = 0.0;
+    let mut random_total = 0.0;
+    for seed in 0..6 {
+        focused_total += ic.compile_iterative(&target, 8, seed).best_cost;
+        random_total +=
+            intelligent_compilers::search::random::run(&space, &eval, 8, seed).best_cost;
+    }
+    assert!(
+        focused_total < random_total * 1.01,
+        "focused {focused_total} must not lose to random {random_total}"
+    );
+}

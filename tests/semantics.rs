@@ -1,0 +1,117 @@
+//! Integration: semantic preservation across the whole stack — any
+//! optimization pipeline, any machine config, same observable behaviour.
+
+use intelligent_compilers::machine::{simulate_default, MachineConfig};
+use intelligent_compilers::passes::{apply_sequence, ofast_sequence, Opt};
+use intelligent_compilers::workloads::{self, sources, Workload};
+use proptest::prelude::*;
+
+fn small_suite() -> Vec<Workload> {
+    let mk = |name: &str, source: String, fuel: u64| Workload {
+        name: name.into(),
+        kind: workloads::Kind::AluBound,
+        source,
+        fuel,
+    };
+    vec![
+        workloads::adpcm_scaled(160, 3),
+        workloads::mcf_scaled(96, 384, 2, 5),
+        mk("matmul", sources::matmul(8), 2_000_000),
+        mk("qsort", sources::qsort(128), 2_000_000),
+        mk("stencil", sources::stencil(10, 2), 2_000_000),
+        mk("spmv", sources::spmv(64, 4, 2), 2_000_000),
+    ]
+}
+
+fn behaviour(m: &intelligent_compilers::ir::Module, cfg: &MachineConfig, fuel: u64) -> (Option<i64>, u64) {
+    let r = simulate_default(m, cfg, fuel).expect("terminates");
+    (r.ret_i64(), r.mem.checksum())
+}
+
+#[test]
+fn ofast_preserves_semantics_on_every_workload_and_config() {
+    for w in small_suite() {
+        let m0 = w.compile();
+        let mut m1 = m0.clone();
+        apply_sequence(&mut m1, &ofast_sequence());
+        intelligent_compilers::ir::verify::verify_module(&m1).unwrap();
+        for cfg in [
+            MachineConfig::test_tiny(),
+            MachineConfig::vliw_c6713_like(),
+            MachineConfig::superscalar_amd_like(),
+        ] {
+            assert_eq!(
+                behaviour(&m0, &cfg, w.fuel),
+                behaviour(&m1, &cfg, w.fuel),
+                "{} diverged under ofast on {}",
+                w.name,
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_never_depends_on_timing_model() {
+    // The *functional* result of an optimized binary must be identical on
+    // every machine config (timing differs, values do not).
+    let w = workloads::adpcm_scaled(160, 9);
+    let mut m = w.compile();
+    apply_sequence(
+        &mut m,
+        &[Opt::PtrCompress, Opt::Licm, Opt::Unroll8, Opt::Dce, Opt::Schedule],
+    );
+    let a = behaviour(&m, &MachineConfig::test_tiny(), w.fuel);
+    let b = behaviour(&m, &MachineConfig::vliw_c6713_like(), w.fuel);
+    let c = behaviour(&m, &MachineConfig::superscalar_amd_like(), w.fuel);
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn random_paper_space_sequences_preserve_semantics(
+        seq in prop::collection::vec(prop::sample::select(Opt::PAPER_13.to_vec()), 1..=5),
+        which in 0usize..6,
+    ) {
+        let w = &small_suite()[which];
+        let m0 = w.compile();
+        let mut m1 = m0.clone();
+        apply_sequence(&mut m1, &seq);
+        intelligent_compilers::ir::verify::verify_module(&m1).unwrap();
+        let cfg = MachineConfig::test_tiny();
+        prop_assert_eq!(
+            behaviour(&m0, &cfg, w.fuel),
+            behaviour(&m1, &cfg, w.fuel),
+            "{} diverged under {:?}", w.name, seq
+        );
+    }
+}
+
+#[test]
+fn ir_text_round_trip_preserves_behaviour() {
+    // print -> parse -> run must match the original for real compiled
+    // (and optimized) workloads.
+    for w in small_suite() {
+        for optimize in [false, true] {
+            let mut m = w.compile();
+            if optimize {
+                apply_sequence(&mut m, &ofast_sequence());
+            }
+            let text = intelligent_compilers::ir::print::module_to_string(&m);
+            let back = intelligent_compilers::ir::parse::parse_module(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            intelligent_compilers::ir::verify::verify_module(&back)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let cfg = MachineConfig::test_tiny();
+            assert_eq!(
+                behaviour(&m, &cfg, w.fuel),
+                behaviour(&back, &cfg, w.fuel),
+                "{} (optimized={optimize}) changed across text round-trip",
+                w.name
+            );
+        }
+    }
+}
