@@ -45,7 +45,11 @@ fn bench_unroll_factors(c: &mut Criterion) {
     let eval = WorkloadEvaluator::new(&w, &cfg);
     for f in [Opt::Unroll2, Opt::Unroll4, Opt::Unroll8] {
         let seq = vec![f, Opt::Dce, Opt::Schedule];
-        println!("[ablation] adpcm {}+dce+schedule cycles = {}", f.name(), eval.evaluate(&seq));
+        println!(
+            "[ablation] adpcm {}+dce+schedule cycles = {}",
+            f.name(),
+            eval.evaluate(&seq)
+        );
     }
     let mut g = c.benchmark_group("ablation_unroll");
     g.sample_size(15);
@@ -62,7 +66,13 @@ fn bench_model_families(c: &mut Criterion) {
     let space = SequenceSpace::paper();
     let good: Vec<Vec<Opt>> = vec![
         vec![Opt::Licm, Opt::Cse, Opt::Unroll4, Opt::Dce, Opt::Schedule],
-        vec![Opt::Inline, Opt::Licm, Opt::Unroll8, Opt::Dce, Opt::Schedule],
+        vec![
+            Opt::Inline,
+            Opt::Licm,
+            Opt::Unroll8,
+            Opt::Dce,
+            Opt::Schedule,
+        ],
         vec![Opt::Licm, Opt::Dce, Opt::Unroll4, Opt::Cse, Opt::Schedule],
     ];
     let mut g = c.benchmark_group("ablation_model");
@@ -85,5 +95,10 @@ fn bench_model_families(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_schedule_ablation, bench_unroll_factors, bench_model_families);
+criterion_group!(
+    benches,
+    bench_schedule_ablation,
+    bench_unroll_factors,
+    bench_model_families
+);
 criterion_main!(benches);

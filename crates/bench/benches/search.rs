@@ -25,13 +25,23 @@ fn bench_strategies(c: &mut Criterion) {
         b.iter(|| hillclimb::run(&space, &synthetic_cost, 100, 10, 1))
     });
     g.bench_function("genetic_100", |b| {
-        b.iter(|| genetic::run(&space, &synthetic_cost, 100, &genetic::GaConfig::default(), 1))
+        b.iter(|| {
+            genetic::run(
+                &space,
+                &synthetic_cost,
+                100,
+                &genetic::GaConfig::default(),
+                1,
+            )
+        })
     });
-    let good: Vec<Vec<Opt>> = (0..20).map(|i| {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(i);
-        space.sample(&mut rng)
-    }).collect();
+    let good: Vec<Vec<Opt>> = (0..20)
+        .map(|i| {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(i);
+            space.sample(&mut rng)
+        })
+        .collect();
     let model = focused::SequenceModel::fit(&space, &good, 0.25, focused::ModelKind::Markov);
     g.bench_function("focused_100", |b| {
         b.iter(|| focused::run(&space, &synthetic_cost, 100, &model, 1))
@@ -67,5 +77,10 @@ fn bench_space_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_strategies, bench_real_evaluation, bench_space_ops);
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_real_evaluation,
+    bench_space_ops
+);
 criterion_main!(benches);

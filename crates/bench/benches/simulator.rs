@@ -7,15 +7,25 @@ use ic_machine::{simulate_default, MachineConfig};
 
 fn bench_throughput(c: &mut Criterion) {
     let cases = [
-        ("feistel_alu", ic_workloads::sources::feistel(512, 6), 10_000_000u64),
-        ("spmv_mem", ic_workloads::sources::spmv(512, 6, 3), 10_000_000),
+        (
+            "feistel_alu",
+            ic_workloads::sources::feistel(512, 6),
+            10_000_000u64,
+        ),
+        (
+            "spmv_mem",
+            ic_workloads::sources::spmv(512, 6, 3),
+            10_000_000,
+        ),
         ("qsort_calls", ic_workloads::sources::qsort(512), 10_000_000),
     ];
     let mut g = c.benchmark_group("simulator");
     for (name, src, fuel) in cases {
         let module = ic_lang::compile(name, &src).unwrap();
         let cfg = MachineConfig::superscalar_amd_like();
-        let insts = simulate_default(&module, &cfg, fuel).unwrap().instructions();
+        let insts = simulate_default(&module, &cfg, fuel)
+            .unwrap()
+            .instructions();
         g.throughput(Throughput::Elements(insts));
         g.bench_function(name, |b| {
             b.iter(|| simulate_default(&module, &cfg, fuel).unwrap())
@@ -32,7 +42,7 @@ fn bench_configs(c: &mut Criterion) {
         MachineConfig::vliw_c6713_like(),
         MachineConfig::superscalar_amd_like(),
     ] {
-        g.bench_function(&cfg.name.clone(), |b| {
+        g.bench_function(cfg.name.clone(), |b| {
             b.iter(|| simulate_default(&module, &cfg, 20_000_000).unwrap())
         });
     }

@@ -1,6 +1,6 @@
 //! Section III-D experiment: dynamic optimization via runtime monitoring
-//! + performance auditing, against every static one-version choice, on a
-//! workload whose behaviour shifts phase mid-run.
+//! and performance auditing, against every static one-version choice, on
+//! a workload whose behaviour shifts phase mid-run.
 
 use ic_bench::{banner, Args, Scale, Table};
 use ic_core::dynamic::{default_versions, phased_workload, DynamicOptimizer};
@@ -56,7 +56,9 @@ fn main() {
         for &ph in &schedule {
             let mut mem = Memory::for_module(&v.module);
             set_phase(ph)(&v.module, &mut mem);
-            let c = simulate(&v.module, &config, mem, w.fuel).expect("run").cycles();
+            let c = simulate(&v.module, &config, mem, w.fuel)
+                .expect("run")
+                .cycles();
             if ph == 0 {
                 alu += c;
             } else {
@@ -75,12 +77,8 @@ fn main() {
     }
 
     // Dynamic.
-    let mut dyno = DynamicOptimizer::with_threshold(
-        default_versions(&w),
-        config.clone(),
-        w.fuel,
-        threshold,
-    );
+    let mut dyno =
+        DynamicOptimizer::with_threshold(default_versions(&w), config.clone(), w.fuel, threshold);
     let mut alu = 0u64;
     let mut chase = 0u64;
     let mut phase_changes = 0;

@@ -10,7 +10,7 @@ use ic_core::controller::WorkloadEvaluator;
 use ic_core::IntelligentCompiler;
 use ic_machine::MachineConfig;
 use ic_search::focused::ModelKind;
-use ic_search::{exhaustive, SequenceSpace};
+use ic_search::{exhaustive, CachedEvaluator, SequenceSpace};
 use std::collections::HashSet;
 
 fn main() {
@@ -67,9 +67,14 @@ fn main() {
     );
 
     // Scatter: how many distinct (t1 t2) prefix cells hold a good point?
-    let prefix_cells: HashSet<u64> = good.iter().map(|(_, s, _)| space.plot_coords(s).0).collect();
-    let all_prefix_cells: HashSet<u64> =
-        samples.iter().map(|(_, s, _)| space.plot_coords(s).0).collect();
+    let prefix_cells: HashSet<u64> = good
+        .iter()
+        .map(|(_, s, _)| space.plot_coords(s).0)
+        .collect();
+    let all_prefix_cells: HashSet<u64> = samples
+        .iter()
+        .map(|(_, s, _)| space.plot_coords(s).0)
+        .collect();
     println!(
         "prefix cells holding good points: {} of {} sampled ({}) — minima are scattered",
         prefix_cells.len(),
@@ -104,15 +109,15 @@ fn main() {
     let mut hits = 0usize;
     let mut contains_best_cell = false;
     let best_cell = space.plot_coords(&best.1);
-    // Evaluate model draws directly (memoized by sequence index) so the
-    // hit test is exact even when the scatter was subsampled.
-    let mut cost_cache: std::collections::HashMap<u64, f64> =
-        samples.iter().map(|(i, _, c)| (*i, *c)).collect();
+    // Evaluate model draws through the memoizing engine, warmed with the
+    // scatter's already-simulated costs, so the hit test is exact even
+    // when the scatter was subsampled and repeated draws cost nothing.
+    let cached = CachedEvaluator::new(space.clone(), eval);
+    cached.warm(samples.iter().map(|(i, _, c)| (*i, *c)));
     use ic_search::Evaluator;
     for _ in 0..draws {
         let s = model.sample(&mut rng);
-        let idx = space.encode(&s).expect("model samples are in-space");
-        let cost = *cost_cache.entry(idx).or_insert_with(|| eval.evaluate(&s));
+        let cost = cached.evaluate(&s);
         if cost <= cutoff {
             hits += 1;
         }
@@ -120,6 +125,13 @@ fn main() {
             contains_best_cell = true;
         }
     }
+    let stats = cached.stats();
+    println!(
+        "model draws: {} lookups, {} raw simulations beyond the scatter ({:.1}% cache hit rate)",
+        stats.lookups(),
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
     let p_model = hits as f64 / draws as f64;
     let p_uniform = good.len() as f64 / samples.len() as f64;
     let t = Table::new(&[34, 12]);

@@ -4,13 +4,17 @@
 //! The paper's numbers: after 10 evaluations RANDOM reaches ~38% of the
 //! available improvement, FOCUSSED ~86%, and RANDOM needs >80
 //! evaluations to match. `--model iid|markov` selects the model family.
+//! `--cache FILE` persists the evaluation cache to a knowledge-base JSON
+//! file so re-runs skip already-simulated sequences.
 
 use ic_bench::{banner, bench_suite, Args, Scale, Table};
 use ic_core::controller::WorkloadEvaluator;
 use ic_core::IntelligentCompiler;
+use ic_kb::KnowledgeBase;
 use ic_machine::MachineConfig;
 use ic_search::focused::ModelKind;
-use ic_search::{focused, random, SequenceSpace};
+use ic_search::{focused, random, CachedEvaluator, SequenceSpace};
+use std::path::Path;
 
 fn main() {
     let args = Args::parse();
@@ -22,8 +26,19 @@ fn main() {
         Scale::Small => ic_workloads::adpcm_scaled(512, 12345),
     };
     let space = SequenceSpace::paper();
-    let eval = WorkloadEvaluator::new(&workload, &config);
-    let o0 = eval.baseline_cycles() as f64;
+    let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&workload, &config));
+    let cache_file = args.flag("cache").map(|s| s.to_string());
+    let ctx = ic_core::context_fingerprint(&workload, &config);
+    let mut cache_kb = match &cache_file {
+        Some(f) if Path::new(f).exists() => {
+            let kb = KnowledgeBase::load(Path::new(f)).expect("cache file parses");
+            let warmed = ic_core::evalcache::warm_from_kb(&eval, &kb, &ctx);
+            println!("warmed {warmed} cached evaluations from {f}");
+            kb
+        }
+        _ => KnowledgeBase::new(),
+    };
+    let o0 = eval.inner().baseline_cycles() as f64;
     let budget = 100usize;
     let trials = 20usize; // the paper averages 20 random trials
 
@@ -47,7 +62,9 @@ fn main() {
         .focused_model(&workload, 3, 8, kind)
         .expect("kb has neighbours");
 
-    println!("running RANDOM ({trials} trials) and FOCUSSED ({trials} trials), budget {budget} ...");
+    println!(
+        "running RANDOM ({trials} trials) and FOCUSSED ({trials} trials), budget {budget} ..."
+    );
     let rnd = random::mean_trajectory(&space, &eval, budget, trials, args.seed);
     let mut foc = vec![0.0; budget];
     for t in 0..trials {
@@ -102,4 +119,23 @@ fn main() {
     println!("FOCUSSED @10 evals : {f10:.1}% of available improvement (paper: ~86%)");
     println!("RANDOM needs {crossover} evaluations to match FOCUSSED@10 (paper: >80)");
     println!("model family: {:?}", kind);
+
+    let stats = eval.stats();
+    println!();
+    println!(
+        "evaluation engine  : {} lookups, {} hits / {} raw simulations ({:.1}% hit rate)",
+        stats.lookups(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+    println!(
+        "raw sim throughput : {:.0} evals/s (aggregate evaluator time)",
+        stats.evals_per_second()
+    );
+    if let Some(f) = cache_file {
+        let total = ic_core::evalcache::flush_to_kb(&eval, &mut cache_kb, &ctx);
+        cache_kb.save(Path::new(&f)).expect("cache file writes");
+        println!("persisted {total} cached evaluations to {f}");
+    }
 }

@@ -34,15 +34,19 @@ fn main() {
         .par_iter()
         .map(|w| {
             let m = w.compile();
-            let r = simulate_default(&m, &config, w.fuel)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let r =
+                simulate_default(&m, &config, w.fuel).unwrap_or_else(|e| panic!("{}: {e}", w.name));
             (w.name.clone(), r.counters)
         })
         .collect();
 
     // Per-instruction rates; suite average excludes mcf itself (the
     // paper's baseline is "a large set of benchmark suites").
-    let mcf = &profiles.iter().find(|(n, _)| n == "mcf").expect("mcf profiled").1;
+    let mcf = &profiles
+        .iter()
+        .find(|(n, _)| n == "mcf")
+        .expect("mcf profiled")
+        .1;
     let rate = |c: &ic_machine::PerfCounters, ctr: Counter| c.per_instruction(ctr);
 
     let t = Table::new(&[10, 14, 14, 10]);

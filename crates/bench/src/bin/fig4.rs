@@ -43,7 +43,11 @@ fn main() {
     let (setting, pc_seq) = model.predict(&r_o0.counters);
     println!(
         "PCModel prediction for mcf: setting '{setting}' = [{}]",
-        pc_seq.iter().map(|o| o.name()).collect::<Vec<_>>().join(" ")
+        pc_seq
+            .iter()
+            .map(|o| o.name())
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 
     let run_with = |seq: &[ic_passes::Opt]| {
@@ -56,11 +60,7 @@ fn main() {
 
     let t = Table::new(&[10, 16, 16]);
     t.sep();
-    t.row(&[
-        "counter".into(),
-        "FAST / O0".into(),
-        "PCModel / O0".into(),
-    ]);
+    t.row(&["counter".into(), "FAST / O0".into(), "PCModel / O0".into()]);
     t.sep();
     for ctr in SHOWN {
         let base = r_o0.counters.get(ctr).max(1) as f64;
@@ -77,7 +77,10 @@ fn main() {
     println!();
     println!("speedup -Ofast  over -O0 : {s_fast:.2}x  (paper: 1.24x)");
     println!("speedup PCModel over -O0 : {s_pc:.2}x  (paper: 2.33x)");
-    println!("speedup PCModel over FAST: {:.2}x  (paper: 1.88x)", s_pc / s_fast);
+    println!(
+        "speedup PCModel over FAST: {:.2}x  (paper: 1.88x)",
+        s_pc / s_fast
+    );
     let red = |ctr: Counter| {
         (1.0 - r_pc.counters.get(ctr) as f64 / r_o0.counters.get(ctr).max(1) as f64) * 100.0
     };

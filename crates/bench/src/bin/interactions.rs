@@ -76,7 +76,7 @@ fn main() {
 
     let n = per_program.len() as f64;
     let mut widths = vec![12usize];
-    widths.extend(std::iter::repeat(10).take(opts.len()));
+    widths.extend(std::iter::repeat_n(10, opts.len()));
     let t = Table::new(&widths);
     t.sep();
     let mut header = vec!["A \\ B".to_string()];
@@ -89,10 +89,8 @@ fn main() {
     for (ai, a) in opts.iter().enumerate() {
         let mut cells = vec![a.name().to_string()];
         for bi in 0..opts.len() {
-            let p_alone =
-                per_program.iter().filter(|(al, _)| al[bi]).count() as f64 / n;
-            let p_after =
-                per_program.iter().filter(|(_, af)| af[ai][bi]).count() as f64 / n;
+            let p_alone = per_program.iter().filter(|(al, _)| al[bi]).count() as f64 / n;
+            let p_after = per_program.iter().filter(|(_, af)| af[ai][bi]).count() as f64 / n;
             let delta = p_after - p_alone;
             if delta > 0.12 {
                 enables += 1;

@@ -104,9 +104,18 @@ fn main() {
         correct,
         measured.len()
     );
-    println!("mean slowdown vs oracle — tuner   : {:.3}x", regret_pred / n);
-    println!("mean slowdown vs oracle — always 8: {:.3}x", regret_always8 / n);
-    println!("mean slowdown vs oracle — always 1: {:.3}x", regret_always1 / n);
+    println!(
+        "mean slowdown vs oracle — tuner   : {:.3}x",
+        regret_pred / n
+    );
+    println!(
+        "mean slowdown vs oracle — always 8: {:.3}x",
+        regret_always8 / n
+    );
+    println!(
+        "mean slowdown vs oracle — always 1: {:.3}x",
+        regret_always1 / n
+    );
     println!(
         "\npaper shape check: neither fixed policy is safe — the learned selector\n\
          approaches the oracle across job sizes (Sec. III-G)."

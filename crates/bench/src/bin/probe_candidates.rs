@@ -9,18 +9,12 @@ fn main() {
     let cfg = MachineConfig::superscalar_amd_like();
     let cands = candidate_sequences();
     let mut ws = ic_bench::bench_suite(ic_bench::Scale::Small);
-    for (name, w) in [
-        ("spmv-strad", ic_workloads::Workload {
-            name: "spmv-strad".into(),
-            kind: ic_workloads::Kind::PointerChasing,
-            source: ic_workloads::sources::spmv(8192, 16, 2),
-            fuel: 80_000_000,
-        }),
-    ] {
-        let mut w = w;
-        w.name = name.into();
-        ws.push(w);
-    }
+    ws.push(ic_workloads::Workload {
+        name: "spmv-strad".into(),
+        kind: ic_workloads::Kind::PointerChasing,
+        source: ic_workloads::sources::spmv(8192, 16, 2),
+        fuel: 80_000_000,
+    });
     for w in &ws {
         let row = measure_program(w, &cfg);
         println!(

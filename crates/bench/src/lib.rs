@@ -138,15 +138,50 @@ pub fn bench_suite(scale: Scale) -> Vec<ic_workloads::Workload> {
                 mk("crc32", Kind::AluBound, sources::crc32(512), 10_000_000),
                 mk("dijkstra", Kind::Branchy, sources::dijkstra(32), 10_000_000),
                 mk("qsort", Kind::CallHeavy, sources::qsort(512), 10_000_000),
-                mk("stencil", Kind::MemoryStreaming, sources::stencil(24, 3), 10_000_000),
+                mk(
+                    "stencil",
+                    Kind::MemoryStreaming,
+                    sources::stencil(24, 3),
+                    10_000_000,
+                ),
                 mk("susan", Kind::Branchy, sources::susan(24), 10_000_000),
-                mk("butterfly", Kind::FloatHeavy, sources::butterfly(256, 4), 10_000_000),
-                mk("histogram", Kind::MemoryStreaming, sources::histogram(2048), 10_000_000),
-                mk("strsearch", Kind::Branchy, sources::strsearch(1024), 10_000_000),
-                mk("bitcount", Kind::AluBound, sources::bitcount(1024), 10_000_000),
+                mk(
+                    "butterfly",
+                    Kind::FloatHeavy,
+                    sources::butterfly(256, 4),
+                    10_000_000,
+                ),
+                mk(
+                    "histogram",
+                    Kind::MemoryStreaming,
+                    sources::histogram(2048),
+                    10_000_000,
+                ),
+                mk(
+                    "strsearch",
+                    Kind::Branchy,
+                    sources::strsearch(1024),
+                    10_000_000,
+                ),
+                mk(
+                    "bitcount",
+                    Kind::AluBound,
+                    sources::bitcount(1024),
+                    10_000_000,
+                ),
                 mk("nbody", Kind::FloatHeavy, sources::nbody(12, 4), 10_000_000),
-                mk("spmv", Kind::PointerChasing, sources::spmv(8192, 16, 2), 80_000_000),
-                mk("feistel", Kind::AluBound, sources::feistel(512, 6), 10_000_000),
+                mk(
+                    "spmv",
+                    Kind::PointerChasing,
+                    sources::spmv(8192, 16, 2),
+                    80_000_000,
+                ),
+                mk(
+                    "feistel",
+                    Kind::AluBound,
+                    sources::feistel(512, 6),
+                    10_000_000,
+                ),
             ]
         }
     }

@@ -11,7 +11,9 @@ use ic_kb::{ArchRecord, ExperimentRecord, KnowledgeBase, ProgramRecord};
 use ic_machine::{microbench, simulate_default, MachineConfig, PerfCounters, RunResult, SimError};
 use ic_passes::{apply_sequence, Opt};
 use ic_search::focused::{ModelKind, SequenceModel};
-use ic_search::{focused, random, Evaluator, SearchResult, SequenceSpace};
+use ic_search::{
+    focused, random, CacheStats, CachedEvaluator, Evaluator, SearchResult, SequenceSpace,
+};
 use ic_workloads::Workload;
 use rayon::prelude::*;
 
@@ -116,7 +118,8 @@ impl IntelligentCompiler {
         let base = eval.baseline_cycles() as f64;
         let mut rng = SmallRng::seed_from_u64(seed);
         let seqs: Vec<Vec<Opt>> = (0..trials).map(|_| self.space.sample(&mut rng)).collect();
-        let outcomes: Vec<(Vec<Opt>, f64, Vec<(String, u64)>)> = seqs
+        type Outcome = (Vec<Opt>, f64, Vec<(String, u64)>);
+        let outcomes: Vec<Outcome> = seqs
             .into_par_iter()
             .map(|seq| match eval.run(&seq) {
                 Ok(r) => {
@@ -129,6 +132,15 @@ impl IntelligentCompiler {
                 Err(_) => (seq, f64::INFINITY, Vec::new()),
             })
             .collect();
+        // Write the measured costs through to the persisted evaluation
+        // cache so later searches in the same context start warm (failed
+        // compilations persist as INFINITY and are skipped too).
+        let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
+        let cached: Vec<(u64, f64)> = outcomes
+            .iter()
+            .filter_map(|(seq, cycles, _)| self.space.encode(seq).map(|i| (i, *cycles)))
+            .collect();
+        self.kb.merge_eval_cache(&ctx, cached);
         for (seq, cycles, counters) in outcomes {
             if !cycles.is_finite() {
                 continue;
@@ -150,8 +162,13 @@ impl IntelligentCompiler {
     /// needs as training data ("the output of previous runs of pure
     /// search", Sec. III-C). Records every evaluated sequence.
     pub fn populate_kb_search(&mut self, workload: &Workload, budget: usize, seed: u64) {
-        let eval = WorkloadEvaluator::new(workload, &self.config);
-        let base = eval.baseline_cycles() as f64;
+        let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
+        let eval = CachedEvaluator::new(
+            self.space.clone(),
+            WorkloadEvaluator::new(workload, &self.config),
+        );
+        crate::evalcache::warm_from_kb(&eval, &self.kb, &ctx);
+        let base = eval.inner().baseline_cycles() as f64;
         let r = ic_search::genetic::run(
             &self.space,
             &eval,
@@ -159,6 +176,7 @@ impl IntelligentCompiler {
             &ic_search::genetic::GaConfig::default(),
             seed,
         );
+        crate::evalcache::flush_to_kb(&eval, &mut self.kb, &ctx);
         for (seq, cycles) in r.evaluated {
             if !cycles.is_finite() {
                 continue;
@@ -194,8 +212,7 @@ impl IntelligentCompiler {
         let mut good: Vec<Vec<Opt>> = Vec::new();
         for p in near.iter().take(neighbors) {
             for e in self.kb.top_k(&p.program, &self.config.name, per_program) {
-                let seq: Option<Vec<Opt>> =
-                    e.sequence.iter().map(|s| Opt::from_name(s)).collect();
+                let seq: Option<Vec<Opt>> = e.sequence.iter().map(|s| Opt::from_name(s)).collect();
                 if let Some(seq) = seq {
                     good.push(seq);
                 }
@@ -231,17 +248,53 @@ impl IntelligentCompiler {
 
     /// Iterative compilation with model focus: `budget` evaluations
     /// sampled from the focused model (falls back to random search with
-    /// an empty knowledge base).
-    pub fn compile_iterative(
-        &self,
+    /// an empty knowledge base). Runs through an in-memory
+    /// [`CachedEvaluator`] so repeated model draws of the same sequence
+    /// are simulated once; use [`Self::compile_iterative_cached`] to also
+    /// warm from / persist to the knowledge base.
+    pub fn compile_iterative(&self, workload: &Workload, budget: usize, seed: u64) -> SearchResult {
+        let eval = CachedEvaluator::new(
+            self.space.clone(),
+            WorkloadEvaluator::new(workload, &self.config),
+        );
+        self.run_focused_or_random(workload, &eval, budget, seed)
+    }
+
+    /// Iterative compilation backed by the knowledge base's persisted
+    /// evaluation cache: warms the memo table from any prior runs in the
+    /// same (workload, machine) context, searches, then writes the new
+    /// costs back. Returns the search result together with the cache
+    /// statistics (hits, misses = raw simulations, throughput) for
+    /// harness reporting. The trajectory is bit-identical to
+    /// [`Self::compile_iterative`] — warming changes how many raw
+    /// simulations run, never what the search observes.
+    pub fn compile_iterative_cached(
+        &mut self,
         workload: &Workload,
         budget: usize,
         seed: u64,
+    ) -> (SearchResult, CacheStats) {
+        let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
+        let eval = CachedEvaluator::new(
+            self.space.clone(),
+            WorkloadEvaluator::new(workload, &self.config),
+        );
+        crate::evalcache::warm_from_kb(&eval, &self.kb, &ctx);
+        let r = self.run_focused_or_random(workload, &eval, budget, seed);
+        crate::evalcache::flush_to_kb(&eval, &mut self.kb, &ctx);
+        (r, eval.stats())
+    }
+
+    fn run_focused_or_random(
+        &self,
+        workload: &Workload,
+        eval: &dyn Evaluator,
+        budget: usize,
+        seed: u64,
     ) -> SearchResult {
-        let eval = WorkloadEvaluator::new(workload, &self.config);
         match self.focused_model(workload, 3, 5, ModelKind::Markov) {
-            Some(model) => focused::run(&self.space, &eval, budget, &model, seed),
-            None => random::run(&self.space, &eval, budget, seed),
+            Some(model) => focused::run(&self.space, eval, budget, &model, seed),
+            None => random::run(&self.space, eval, budget, seed),
         }
     }
 }
@@ -317,14 +370,43 @@ mod tests {
         ic.populate_kb(&crc, 8, 7);
         let w = tiny_workload();
         // The model exists because crc32 (a different program) has data.
-        assert!(ic
-            .focused_model(&w, 3, 4, ModelKind::Iid)
-            .is_some());
+        assert!(ic.focused_model(&w, 3, 4, ModelKind::Iid).is_some());
         // But with only the target program in the KB, no model.
         let mut ic2 = compiler();
         ic2.characterize_program(&w);
         ic2.populate_kb(&w, 4, 7);
         assert!(ic2.focused_model(&w, 3, 4, ModelKind::Iid).is_none());
+    }
+
+    #[test]
+    fn cached_iterative_warm_run_skips_simulations() {
+        let mut ic = compiler();
+        let w = tiny_workload();
+        let (cold, cold_stats) = ic.compile_iterative_cached(&w, 12, 3);
+        assert!(cold_stats.misses > 0);
+        // Same context, same seed: the whole trajectory is served from
+        // the persisted cache — zero raw simulations.
+        let (warm, warm_stats) = ic.compile_iterative_cached(&w, 12, 3);
+        assert_eq!(cold.best_so_far, warm.best_so_far);
+        assert_eq!(warm_stats.misses, 0, "warm run re-simulated");
+        // And the uncached path sees the same costs.
+        assert_eq!(
+            ic.compile_iterative(&w, 12, 3).best_so_far,
+            cold.best_so_far
+        );
+    }
+
+    #[test]
+    fn populate_kb_writes_eval_cache_through() {
+        let mut ic = compiler();
+        let w = tiny_workload();
+        ic.populate_kb(&w, 10, 42);
+        let ctx = crate::evalcache::context_fingerprint(&w, &ic.config);
+        let entries = ic.kb.eval_cache(&ctx).expect("cache record written");
+        assert_eq!(entries.len(), 10);
+        // A later search over the same context starts warm.
+        let (_, stats) = ic.compile_iterative_cached(&w, 8, 42);
+        assert!(stats.hits > 0 || stats.misses < 8);
     }
 
     #[test]

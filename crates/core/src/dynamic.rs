@@ -74,20 +74,21 @@ impl RuntimeMonitor {
         let sig = Self::signature(c);
         let changed = match &self.last {
             None => true,
-            Some(prev) => prev
-                .iter()
-                .zip(&sig)
-                .map(|(a, b)| {
-                    let scale = a.abs().max(b.abs());
-                    if scale < 1e-4 {
-                        // Both negligible: not a meaningful dimension.
-                        0.0
-                    } else {
-                        (a - b).abs() / scale
-                    }
-                })
-                .fold(0.0f64, f64::max)
-                > self.threshold,
+            Some(prev) => {
+                prev.iter()
+                    .zip(&sig)
+                    .map(|(a, b)| {
+                        let scale = a.abs().max(b.abs());
+                        if scale < 1e-4 {
+                            // Both negligible: not a meaningful dimension.
+                            0.0
+                        } else {
+                            (a - b).abs() / scale
+                        }
+                    })
+                    .fold(0.0f64, f64::max)
+                    > self.threshold
+            }
         };
         self.last = Some(sig);
         changed
@@ -98,7 +99,10 @@ impl RuntimeMonitor {
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Mode {
     /// Auditing: trying version `next` this invocation.
-    Auditing { next: usize, best: Option<(usize, u64)> },
+    Auditing {
+        next: usize,
+        best: Option<(usize, u64)>,
+    },
     /// Steady: dispatching to the audited winner. `fresh` marks the first
     /// steady invocation, whose observation only (re)establishes the
     /// monitor baseline — different *versions* legitimately have
@@ -300,7 +304,13 @@ pub fn default_versions(workload: &Workload) -> Vec<Version> {
             ),
             (
                 "cache-tuned",
-                vec![Opt::PtrCompress, Opt::Licm, Opt::Cse, Opt::Dce, Opt::Schedule],
+                vec![
+                    Opt::PtrCompress,
+                    Opt::Licm,
+                    Opt::Cse,
+                    Opt::Dce,
+                    Opt::Schedule,
+                ],
             ),
         ],
     )
@@ -338,7 +348,8 @@ mod tests {
         let w = phased_workload(512);
         let versions = default_versions(&w);
         let nv = versions.len();
-        let mut dyno = DynamicOptimizer::new(versions, MachineConfig::superscalar_amd_like(), w.fuel);
+        let mut dyno =
+            DynamicOptimizer::new(versions, MachineConfig::superscalar_amd_like(), w.fuel);
         let mut outcomes = Vec::new();
         for _ in 0..nv + 3 {
             outcomes.push(dyno.invoke(&set_phase(0)));
@@ -366,7 +377,8 @@ mod tests {
         let w = phased_workload(16384);
         let versions = default_versions(&w);
         let nv = versions.len();
-        let mut dyno = DynamicOptimizer::new(versions, MachineConfig::superscalar_amd_like(), w.fuel);
+        let mut dyno =
+            DynamicOptimizer::new(versions, MachineConfig::superscalar_amd_like(), w.fuel);
         for _ in 0..nv + 2 {
             dyno.invoke(&set_phase(0));
         }
@@ -398,7 +410,10 @@ mod tests {
         }
 
         let mut dyno = DynamicOptimizer::new(default_versions(&w), cfg, w.fuel);
-        let dyn_total: u64 = schedule.iter().map(|&ph| dyno.invoke(&set_phase(ph)).cycles).sum();
+        let dyn_total: u64 = schedule
+            .iter()
+            .map(|&ph| dyno.invoke(&set_phase(ph)).cycles)
+            .sum();
 
         let worst = *static_total.iter().max().unwrap();
         assert!(

@@ -1,0 +1,120 @@
+//! Knowledge-base persistence for the evaluation engine.
+//!
+//! A [`ic_search::CachedEvaluator`] memoizes simulated costs in memory;
+//! this module gives the memo table a home in the knowledge base so
+//! repeated harness runs start warm. Costs are only valid for one
+//! *evaluation context* — the exact workload (name, source, fuel) on the
+//! exact machine configuration — so snapshots are keyed by a
+//! [`context_fingerprint`] that hashes all of those inputs: change the
+//! machine's latencies or the workload's source and the fingerprint
+//! changes, and stale costs are simply never looked up.
+
+use ic_kb::KnowledgeBase;
+use ic_machine::MachineConfig;
+use ic_search::{CachedEvaluator, Evaluator};
+use ic_workloads::Workload;
+
+/// FNV-1a, the same cheap stable hash used elsewhere in the workspace.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A stable fingerprint for the (workload, machine) evaluation context,
+/// e.g. `"adpcm@vliw-c6713#9f3a5c1e2b4d6780"`. The hash covers the
+/// workload source and fuel and the full serialized machine
+/// configuration, so any change that could alter a simulated cost yields
+/// a different context.
+pub fn context_fingerprint(workload: &Workload, config: &MachineConfig) -> String {
+    let cfg_json = serde_json::to_string(config).expect("config serializes");
+    let mut bytes = Vec::with_capacity(cfg_json.len() + workload.source.len() + 16);
+    bytes.extend_from_slice(workload.source.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&workload.fuel.to_le_bytes());
+    bytes.extend_from_slice(cfg_json.as_bytes());
+    format!("{}@{}#{:016x}", workload.name, config.name, fnv1a(&bytes))
+}
+
+/// Pre-load `cache` with the entries persisted for `context`. Returns
+/// how many entries were loaded (0 when the knowledge base has no record
+/// for the context).
+pub fn warm_from_kb<E: Evaluator>(
+    cache: &CachedEvaluator<E>,
+    kb: &KnowledgeBase,
+    context: &str,
+) -> usize {
+    match kb.eval_cache(context) {
+        Some(entries) => cache.warm(entries.iter().copied()),
+        None => 0,
+    }
+}
+
+/// Write `cache`'s current memo table through to the knowledge base
+/// record for `context` (merging with whatever is already persisted).
+/// Returns the total number of entries stored for the context.
+pub fn flush_to_kb<E: Evaluator>(
+    cache: &CachedEvaluator<E>,
+    kb: &mut KnowledgeBase,
+    context: &str,
+) -> usize {
+    kb.merge_eval_cache(context, cache.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ic_search::SequenceSpace;
+
+    fn setup() -> (Workload, MachineConfig, SequenceSpace) {
+        (
+            ic_workloads::adpcm_scaled(256, 3),
+            MachineConfig::vliw_c6713_like(),
+            SequenceSpace::paper(),
+        )
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let (w, cfg, _) = setup();
+        let a = context_fingerprint(&w, &cfg);
+        assert_eq!(a, context_fingerprint(&w, &cfg), "deterministic");
+        assert!(a.starts_with("adpcm@"), "readable prefix: {a}");
+
+        let mut w2 = w.clone();
+        w2.fuel += 1;
+        assert_ne!(a, context_fingerprint(&w2, &cfg), "fuel changes context");
+
+        let mut cfg2 = cfg.clone();
+        cfg2.name = "other".into();
+        assert_ne!(a, context_fingerprint(&w, &cfg2));
+    }
+
+    #[test]
+    fn warm_flush_round_trip() {
+        let (w, cfg, space) = setup();
+        let ctx = context_fingerprint(&w, &cfg);
+        let mut kb = KnowledgeBase::new();
+
+        let cache = CachedEvaluator::new(space.clone(), crate::WorkloadEvaluator::new(&w, &cfg));
+        for i in [3u64, 77, 1234] {
+            cache.evaluate(&space.decode(i));
+        }
+        assert_eq!(flush_to_kb(&cache, &mut kb, &ctx), 3);
+
+        // A fresh cache warmed from the kb answers without simulating.
+        let warmed = CachedEvaluator::new(space.clone(), crate::WorkloadEvaluator::new(&w, &cfg));
+        assert_eq!(warm_from_kb(&warmed, &kb, &ctx), 3);
+        for i in [3u64, 77, 1234] {
+            let seq = space.decode(i);
+            assert_eq!(warmed.evaluate(&seq), cache.evaluate(&seq));
+        }
+        assert_eq!(warmed.stats().misses, 0);
+
+        // Unknown context warms nothing.
+        assert_eq!(warm_from_kb(&warmed, &kb, "nope"), 0);
+    }
+}

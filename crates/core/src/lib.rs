@@ -45,9 +45,11 @@
 
 pub mod controller;
 pub mod dynamic;
+pub mod evalcache;
 pub mod methodology;
 pub mod models;
 pub mod multicore;
 pub mod tournament;
 
-pub use controller::IntelligentCompiler;
+pub use controller::{IntelligentCompiler, WorkloadEvaluator};
+pub use evalcache::context_fingerprint;

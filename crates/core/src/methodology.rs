@@ -90,8 +90,7 @@ pub fn generate_instances(
                 .filter_map(|p| {
                     use rand::Rng;
                     let plen = rng.gen_range(0..=3usize);
-                    let prefix: Vec<Opt> =
-                        (0..plen).map(|_| space.sample(&mut rng)[0]).collect();
+                    let prefix: Vec<Opt> = (0..plen).map(|_| space.sample(&mut rng)[0]).collect();
                     let mut before = base_module.clone();
                     apply_sequence(&mut before, &prefix);
                     let r_before = simulate_default(&before, config, w.fuel).ok()?;
@@ -152,12 +151,34 @@ pub struct LearnerRow {
 /// Evaluate every learner in the `ic-ml` suite with
 /// leave-one-benchmark-out CV; also returns the majority baseline.
 pub fn evaluate_learners(data: &Dataset) -> (Vec<LearnerRow>, f64) {
-    let makers: Vec<(&'static str, Box<dyn Fn() -> Box<dyn Classifier>>)> = vec![
-        ("logreg", Box::new(|| Box::new(ic_ml::logreg::LogisticRegression::default()) as Box<dyn Classifier>)),
-        ("knn", Box::new(|| Box::new(ic_ml::knn::KNearestNeighbors::new(5)) as Box<dyn Classifier>)),
-        ("dtree", Box::new(|| Box::new(ic_ml::dtree::DecisionTree::new(6, 4)) as Box<dyn Classifier>)),
-        ("nbayes", Box::new(|| Box::new(ic_ml::nbayes::GaussianNaiveBayes::default()) as Box<dyn Classifier>)),
-        ("forest", Box::new(|| Box::new(ic_ml::forest::RandomForest::new(25, 6, 0xF0)) as Box<dyn Classifier>)),
+    type ClassifierMaker = Box<dyn Fn() -> Box<dyn Classifier>>;
+    let makers: Vec<(&'static str, ClassifierMaker)> = vec![
+        (
+            "logreg",
+            Box::new(|| {
+                Box::new(ic_ml::logreg::LogisticRegression::default()) as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "knn",
+            Box::new(|| Box::new(ic_ml::knn::KNearestNeighbors::new(5)) as Box<dyn Classifier>),
+        ),
+        (
+            "dtree",
+            Box::new(|| Box::new(ic_ml::dtree::DecisionTree::new(6, 4)) as Box<dyn Classifier>),
+        ),
+        (
+            "nbayes",
+            Box::new(|| {
+                Box::new(ic_ml::nbayes::GaussianNaiveBayes::default()) as Box<dyn Classifier>
+            }),
+        ),
+        (
+            "forest",
+            Box::new(|| {
+                Box::new(ic_ml::forest::RandomForest::new(25, 6, 0xF0)) as Box<dyn Classifier>
+            }),
+        ),
     ];
     let rows = makers
         .into_iter()

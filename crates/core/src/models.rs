@@ -37,7 +37,15 @@ pub fn candidate_sequences() -> Vec<(String, Vec<Opt>)> {
         ),
         (
             "alu".into(),
-            vec![Inline, ConstProp, ConstFold, StrengthRed, Peephole, Dce, Schedule],
+            vec![
+                Inline,
+                ConstProp,
+                ConstFold,
+                StrengthRed,
+                Peephole,
+                Dce,
+                Schedule,
+            ],
         ),
         (
             "loops".into(),

@@ -79,7 +79,11 @@ impl ParallelJob {
             .map(|c| {
                 let mut mem = Memory::for_module(&module);
                 let lo = (c * chunk) as i64;
-                let hi = if c == cores - 1 { self.n } else { (c + 1) * chunk } as i64;
+                let hi = if c == cores - 1 {
+                    self.n
+                } else {
+                    (c + 1) * chunk
+                } as i64;
                 mem.set_i64(params, 0, lo);
                 mem.set_i64(params, 1, hi);
                 mem
@@ -175,18 +179,42 @@ mod tests {
         // Train on measured small/large jobs, predict held-out sizes.
         let c = cfg();
         let train_jobs = [
-            ParallelJob { n: 64, passes: 1, work_per_elem: 1 },
-            ParallelJob { n: 256, passes: 1, work_per_elem: 2 },
-            ParallelJob { n: 4096, passes: 2, work_per_elem: 8 },
-            ParallelJob { n: 8192, passes: 2, work_per_elem: 8 },
+            ParallelJob {
+                n: 64,
+                passes: 1,
+                work_per_elem: 1,
+            },
+            ParallelJob {
+                n: 256,
+                passes: 1,
+                work_per_elem: 2,
+            },
+            ParallelJob {
+                n: 4096,
+                passes: 2,
+                work_per_elem: 8,
+            },
+            ParallelJob {
+                n: 8192,
+                passes: 2,
+                work_per_elem: 8,
+            },
         ];
         let rows: Vec<(ParallelJob, usize)> = train_jobs
             .iter()
             .map(|j| (*j, j.best_core_index(&c)))
             .collect();
         let tuner = MulticoreTuner::train(&rows);
-        let small_pred = tuner.predict(&ParallelJob { n: 96, passes: 1, work_per_elem: 1 });
-        let large_pred = tuner.predict(&ParallelJob { n: 6144, passes: 2, work_per_elem: 8 });
+        let small_pred = tuner.predict(&ParallelJob {
+            n: 96,
+            passes: 1,
+            work_per_elem: 1,
+        });
+        let large_pred = tuner.predict(&ParallelJob {
+            n: 6144,
+            passes: 2,
+            work_per_elem: 8,
+        });
         assert!(large_pred >= small_pred);
         assert!(large_pred >= 4, "large jobs should get real parallelism");
     }

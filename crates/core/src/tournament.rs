@@ -45,17 +45,14 @@ impl Contender {
 }
 
 /// Cycles after appending `c` to the current module state.
-fn outcome(
-    module: &ic_ir::Module,
-    c: Contender,
-    config: &MachineConfig,
-    fuel: u64,
-) -> Option<f64> {
+fn outcome(module: &ic_ir::Module, c: Contender, config: &MachineConfig, fuel: u64) -> Option<f64> {
     let mut m = module.clone();
     if let Contender::Apply(o) = c {
         apply_sequence(&mut m, &[o]);
     }
-    simulate_default(&m, config, fuel).ok().map(|r| r.cycles() as f64)
+    simulate_default(&m, config, fuel)
+        .ok()
+        .map(|r| r.cycles() as f64)
 }
 
 fn prefix_counts(prefix: &[Opt]) -> Vec<f64> {
@@ -153,7 +150,9 @@ impl TournamentCompiler {
                         vec![f; rng.gen_range(1..=2)]
                     } else {
                         let plen = rng.gen_range(0..=3usize);
-                        (0..plen).map(|_| pool[rng.gen_range(0..pool.len())]).collect()
+                        (0..plen)
+                            .map(|_| pool[rng.gen_range(0..pool.len())])
+                            .collect()
                     };
                     let mut state = base.clone();
                     apply_sequence(&mut state, &prefix);
@@ -251,7 +250,13 @@ impl TournamentCompiler {
                     champion = challenger;
                 }
             }
-            if self.prefers(&module, &profile.counters, &applied, Contender::Stop, champion) {
+            if self.prefers(
+                &module,
+                &profile.counters,
+                &applied,
+                Contender::Stop,
+                champion,
+            ) {
                 break;
             }
             match champion {
@@ -294,7 +299,14 @@ mod tests {
     }
 
     fn pool() -> Vec<Opt> {
-        vec![Opt::Licm, Opt::Cse, Opt::Dce, Opt::Schedule, Opt::Unroll4, Opt::Inline]
+        vec![
+            Opt::Licm,
+            Opt::Cse,
+            Opt::Dce,
+            Opt::Schedule,
+            Opt::Unroll4,
+            Opt::Inline,
+        ]
     }
 
     #[test]

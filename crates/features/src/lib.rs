@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn dynamic_vector_matches_names() {
         let c = PerfCounters::new();
-        assert_eq!(dynamic_features(&c).len(), dynamic_feature_names_full().len());
+        assert_eq!(
+            dynamic_features(&c).len(),
+            dynamic_feature_names_full().len()
+        );
     }
 
     #[test]

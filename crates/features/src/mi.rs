@@ -30,7 +30,10 @@ pub fn mutual_information(col: &[f64], labels: &[usize], bins: usize) -> f64 {
         joint[xi][yi] += 1.0;
     }
     let nf = n as f64;
-    let px: Vec<f64> = joint.iter().map(|row| row.iter().sum::<f64>() / nf).collect();
+    let px: Vec<f64> = joint
+        .iter()
+        .map(|row| row.iter().sum::<f64>() / nf)
+        .collect();
     let mut py = vec![0.0f64; ny];
     for row in &joint {
         for (p, &c) in py.iter_mut().zip(row) {
@@ -70,10 +73,12 @@ mod tests {
     #[test]
     fn informative_feature_beats_noise() {
         let n = 200;
-        let labels: Vec<usize> = (0..n).map(|i| (i % 2) as usize).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let informative: Vec<f64> = labels.iter().map(|&y| y as f64 * 10.0).collect();
         // Deterministic pseudo-noise uncorrelated with label.
-        let noise: Vec<f64> = (0..n).map(|i| ((i * 2654435761usize) % 97) as f64).collect();
+        let noise: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 97) as f64)
+            .collect();
         let mi_info = mutual_information(&informative, &labels, 4);
         let mi_noise = mutual_information(&noise, &labels, 4);
         assert!(mi_info > 0.9, "{mi_info}");
@@ -91,11 +96,11 @@ mod tests {
     #[test]
     fn ranking_orders_by_information() {
         let n = 100;
-        let labels: Vec<usize> = (0..n).map(|i| (i % 2) as usize).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
         let x: Vec<Vec<f64>> = (0..n)
             .map(|i| {
                 vec![
-                    ((i * 7919) % 31) as f64,      // noise
+                    ((i * 7919) % 31) as f64,       // noise
                     (i % 2) as f64 * 5.0,           // perfect
                     (i % 4 < 2) as u8 as f64 * 2.0, // partial
                 ]

@@ -204,7 +204,10 @@ impl BinOp {
     /// True for comparison operations (result type is always `I64`).
     pub fn is_cmp(self) -> bool {
         use BinOp::*;
-        matches!(self, Eq | Ne | Lt | Le | Gt | Ge | FEq | FNe | FLt | FLe | FGt | FGe)
+        matches!(
+            self,
+            Eq | Ne | Lt | Le | Gt | Ge | FEq | FNe | FLt | FLe | FGt | FGe
+        )
     }
 
     /// Result register type.
@@ -228,7 +231,10 @@ impl BinOp {
     /// True if `a op b == b op a` for all inputs.
     pub fn is_commutative(self) -> bool {
         use BinOp::*;
-        matches!(self, Add | Mul | And | Or | Xor | FAdd | FMul | Eq | Ne | FEq | FNe)
+        matches!(
+            self,
+            Add | Mul | And | Or | Xor | FAdd | FMul | Eq | Ne | FEq | FNe
+        )
     }
 
     /// True if the operation has no side effects and never traps.
@@ -464,7 +470,9 @@ impl Terminator {
     pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
         let (a, b) = match self {
             Terminator::Jump(t) => (Some(*t), None),
-            Terminator::Branch { then_bb, else_bb, .. } => (Some(*then_bb), Some(*else_bb)),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => (Some(*then_bb), Some(*else_bb)),
             Terminator::Ret(_) => (None, None),
         };
         a.into_iter().chain(b)
@@ -474,7 +482,9 @@ impl Terminator {
     pub fn for_each_succ_mut(&mut self, mut f: impl FnMut(&mut BlockId)) {
         match self {
             Terminator::Jump(t) => f(t),
-            Terminator::Branch { then_bb, else_bb, .. } => {
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
                 f(then_bb);
                 f(else_bb);
             }

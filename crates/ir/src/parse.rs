@@ -106,7 +106,10 @@ fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
 
 /// Split `a, b, c` at top level (no nesting in our format).
 fn commas(s: &str) -> Vec<&str> {
-    s.split(',').map(|p| p.trim()).filter(|p| !p.is_empty()).collect()
+    s.split(',')
+        .map(|p| p.trim())
+        .filter(|p| !p.is_empty())
+        .collect()
 }
 
 /// Parse a whole module from the textual form.
@@ -166,12 +169,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("array ") {
             // `array NAME: Class x LEN (NB elems)`
-            let (name, spec) = rest
-                .split_once(':')
-                .ok_or(ParseError {
-                    line: lineno,
-                    message: "bad array header".into(),
-                })?;
+            let (name, spec) = rest.split_once(':').ok_or(ParseError {
+                line: lineno,
+                message: "bad array header".into(),
+            })?;
             let mut parts = spec.split_whitespace();
             let class = match parts.next() {
                 Some("Int") => ElemClass::Int,
@@ -271,14 +272,20 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 return err(lineno, "br needs cond, then, else");
             }
             let cond = parse_operand(parts[0], lineno)?;
-            let tb: u32 = parts[1].trim_start_matches("bb").parse().map_err(|_| ParseError {
-                line: lineno,
-                message: "bad br target".into(),
-            })?;
-            let eb: u32 = parts[2].trim_start_matches("bb").parse().map_err(|_| ParseError {
-                line: lineno,
-                message: "bad br target".into(),
-            })?;
+            let tb: u32 = parts[1]
+                .trim_start_matches("bb")
+                .parse()
+                .map_err(|_| ParseError {
+                    line: lineno,
+                    message: "bad br target".into(),
+                })?;
+            let eb: u32 = parts[2]
+                .trim_start_matches("bb")
+                .parse()
+                .map_err(|_| ParseError {
+                    line: lineno,
+                    message: "bad br target".into(),
+                })?;
             block.term = Terminator::Branch {
                 cond,
                 then_bb: BlockId(tb),
@@ -301,12 +308,14 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 line: lineno,
                 message: "bad store".into(),
             })?;
-            let (arr_name, idx_s) = lhs.trim().trim_end_matches(']').split_once('[').ok_or(
-                ParseError {
-                    line: lineno,
-                    message: "bad store target".into(),
-                },
-            )?;
+            let (arr_name, idx_s) =
+                lhs.trim()
+                    .trim_end_matches(']')
+                    .split_once('[')
+                    .ok_or(ParseError {
+                        line: lineno,
+                        message: "bad store target".into(),
+                    })?;
             let arr = *array_ids.get(arr_name.trim()).ok_or(ParseError {
                 line: lineno,
                 message: format!("unknown array `{arr_name}`"),
@@ -326,8 +335,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 message: "bad call".into(),
             })?;
             let args_s = args_s.trim_end_matches(')');
-            let args: Result<Vec<Operand>, _> =
-                commas(args_s).into_iter().map(|a| parse_operand(a, lineno)).collect();
+            let args: Result<Vec<Operand>, _> = commas(args_s)
+                .into_iter()
+                .map(|a| parse_operand(a, lineno))
+                .collect();
             block.insts.push(Inst::Call {
                 dst: None,
                 callee: func_id(name.trim(), lineno)?,
@@ -352,12 +363,13 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
             continue;
         }
         if let Some(rest) = rhs.strip_prefix("load ") {
-            let (arr_name, idx_s) = rest.trim_end_matches(']').split_once('[').ok_or(
-                ParseError {
-                    line: lineno,
-                    message: "bad load".into(),
-                },
-            )?;
+            let (arr_name, idx_s) =
+                rest.trim_end_matches(']')
+                    .split_once('[')
+                    .ok_or(ParseError {
+                        line: lineno,
+                        message: "bad load".into(),
+                    })?;
             let arr = *array_ids.get(arr_name.trim()).ok_or(ParseError {
                 line: lineno,
                 message: format!("unknown array `{arr_name}`"),
@@ -375,8 +387,10 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                 message: "bad call".into(),
             })?;
             let args_s = args_s.trim_end_matches(')');
-            let args: Result<Vec<Operand>, _> =
-                commas(args_s).into_iter().map(|a| parse_operand(a, lineno)).collect();
+            let args: Result<Vec<Operand>, _> = commas(args_s)
+                .into_iter()
+                .map(|a| parse_operand(a, lineno))
+                .collect();
             block.insts.push(Inst::Call {
                 dst: Some(dst),
                 callee: func_id(name.trim(), lineno)?,
@@ -472,9 +486,11 @@ pub fn parse_module(text: &str) -> Result<Module, ParseError> {
                         Inst::Load { dst, arr, .. } => {
                             Some((*dst, module.arrays[arr.index()].class.reg_ty()))
                         }
-                        Inst::Call { dst: Some(d), callee, .. } => {
-                            ret_tys[callee.index()].map(|t| (*d, t))
-                        }
+                        Inst::Call {
+                            dst: Some(d),
+                            callee,
+                            ..
+                        } => ret_tys[callee.index()].map(|t| (*d, t)),
                         Inst::Mov { dst, src } => match src {
                             Operand::ImmF(_) => Some((*dst, Ty::F64)),
                             Operand::ImmI(_) => None, // keep default / other defs

@@ -130,7 +130,12 @@ pub fn function_to_string(m: &Module, f: &Function) -> String {
 /// Render a whole module.
 pub fn module_to_string(m: &Module) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "module {} (entry: {})", m.name, m.funcs[m.entry.index()].name);
+    let _ = writeln!(
+        s,
+        "module {} (entry: {})",
+        m.name,
+        m.funcs[m.entry.index()].name
+    );
     for a in &m.arrays {
         let _ = writeln!(
             s,

@@ -77,7 +77,9 @@ pub fn redirect_edges(f: &mut Function, from: BlockId, to: BlockId) {
 pub fn remove_unreachable_blocks(f: &mut Function) -> usize {
     let cfg = Cfg::compute(f);
     let n = f.blocks.len();
-    let keep: Vec<bool> = (0..n).map(|i| cfg.is_reachable(BlockId(i as u32))).collect();
+    let keep: Vec<bool> = (0..n)
+        .map(|i| cfg.is_reachable(BlockId(i as u32)))
+        .collect();
     let removed = keep.iter().filter(|k| !**k).count();
     if removed == 0 {
         return 0;

@@ -1,7 +1,7 @@
 //! Structural verifier. Run after every pass in debug/test builds to catch
 //! IR corruption at the point it is introduced.
 
-use crate::{BlockId, Function, FuncId, Inst, Module, Operand, Reg, Terminator, Ty};
+use crate::{BlockId, FuncId, Function, Inst, Module, Operand, Reg, Terminator, Ty};
 
 /// A verification failure, with enough context to locate it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,7 +131,11 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 }
                 Inst::Load { dst, arr, idx } => {
                     if arr.index() >= m.arrays.len() {
-                        return Err(err(f, Some(bid), format!("load from unknown array {:?}", arr)));
+                        return Err(err(
+                            f,
+                            Some(bid),
+                            format!("load from unknown array {:?}", arr),
+                        ));
                     }
                     expect_ty(idx, Ty::I64, bid, "load index")?;
                     let want = m.arrays[arr.index()].class.reg_ty();
@@ -141,10 +145,19 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                 }
                 Inst::Store { arr, idx, val } => {
                     if arr.index() >= m.arrays.len() {
-                        return Err(err(f, Some(bid), format!("store to unknown array {:?}", arr)));
+                        return Err(err(
+                            f,
+                            Some(bid),
+                            format!("store to unknown array {:?}", arr),
+                        ));
                     }
                     expect_ty(idx, Ty::I64, bid, "store index")?;
-                    expect_ty(val, m.arrays[arr.index()].class.reg_ty(), bid, "store value")?;
+                    expect_ty(
+                        val,
+                        m.arrays[arr.index()].class.reg_ty(),
+                        bid,
+                        "store value",
+                    )?;
                 }
                 Inst::Call { dst, callee, args } => {
                     if callee.index() >= m.funcs.len() {
@@ -167,11 +180,10 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         expect_ty(a, target.reg_ty(p), bid, "call arg")?;
                     }
                     match (dst, target.ret_ty) {
-                        (Some(d), Some(rt)) => {
-                            if f.reg_ty(*d) != rt {
-                                return Err(err(f, Some(bid), "call dst type mismatch".into()));
-                            }
+                        (Some(d), Some(rt)) if f.reg_ty(*d) != rt => {
+                            return Err(err(f, Some(bid), "call dst type mismatch".into()));
                         }
+                        (Some(_), Some(_)) => {}
                         (Some(_), None) => {
                             return Err(err(
                                 f,
@@ -182,7 +194,12 @@ pub fn verify_function(m: &Module, f: &Function) -> Result<(), VerifyError> {
                         _ => {}
                     }
                 }
-                Inst::Select { dst, cond, t, f: fv } => {
+                Inst::Select {
+                    dst,
+                    cond,
+                    t,
+                    f: fv,
+                } => {
                     expect_ty(cond, Ty::I64, bid, "select cond")?;
                     expect_ty(t, f.reg_ty(*dst), bid, "select then")?;
                     expect_ty(fv, f.reg_ty(*dst), bid, "select else")?;

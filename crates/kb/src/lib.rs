@@ -59,6 +59,20 @@ pub struct ExperimentRecord {
     pub counters: Vec<(String, u64)>,
 }
 
+/// A persisted evaluation-cache snapshot: memoized `(sequence index,
+/// cost)` pairs for one evaluation context (a workload + machine
+/// configuration, identified by an opaque fingerprint string). Search
+/// harnesses warm a `CachedEvaluator` from the matching record so
+/// repeated runs skip already-simulated sequences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvalCacheRecord {
+    /// Context fingerprint (e.g. `"matmul@vliw#1a2b3c4d"`). Costs are
+    /// only comparable within a single context.
+    pub context: String,
+    /// `(dense sequence index, cost in cycles)`, sorted by index.
+    pub entries: Vec<(u64, f64)>,
+}
+
 /// The whole knowledge base.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
@@ -67,6 +81,10 @@ pub struct KnowledgeBase {
     pub programs: Vec<ProgramRecord>,
     pub archs: Vec<ArchRecord>,
     pub experiments: Vec<ExperimentRecord>,
+    /// Evaluation-cache snapshots, one per context. Absent in older
+    /// knowledge bases, hence the default.
+    #[serde(default)]
+    pub eval_caches: Vec<EvalCacheRecord>,
 }
 
 fn default_schema() -> u32 {
@@ -171,6 +189,43 @@ impl KnowledgeBase {
             .collect();
         v.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         v.into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// The evaluation-cache entries persisted for `context`, if any.
+    pub fn eval_cache(&self, context: &str) -> Option<&[(u64, f64)]> {
+        self.eval_caches
+            .iter()
+            .find(|c| c.context == context)
+            .map(|c| c.entries.as_slice())
+    }
+
+    /// Merge `entries` into the cache record for `context`, creating the
+    /// record if needed. Entries are deduplicated by sequence index (new
+    /// costs win — evaluators are deterministic so a disagreement means
+    /// the old entry is stale) and kept sorted. Returns the total number
+    /// of entries stored for the context afterwards.
+    pub fn merge_eval_cache(
+        &mut self,
+        context: &str,
+        entries: impl IntoIterator<Item = (u64, f64)>,
+    ) -> usize {
+        let rec = match self.eval_caches.iter_mut().find(|c| c.context == context) {
+            Some(r) => r,
+            None => {
+                self.eval_caches.push(EvalCacheRecord {
+                    context: context.to_string(),
+                    entries: Vec::new(),
+                });
+                self.eval_caches.last_mut().unwrap()
+            }
+        };
+        let mut map: HashMap<u64, f64> = rec.entries.iter().copied().collect();
+        for (idx, cost) in entries {
+            map.insert(idx, cost);
+        }
+        rec.entries = map.into_iter().collect();
+        rec.entries.sort_by_key(|&(k, _)| k);
+        rec.entries.len()
     }
 
     /// Serialize to pretty JSON (the documented interchange format).
@@ -302,6 +357,51 @@ mod tests {
         kb.save(&path).unwrap();
         let back = KnowledgeBase::load(&path).unwrap();
         assert_eq!(back.experiments, kb.experiments);
+    }
+
+    #[test]
+    fn eval_cache_merge_and_lookup() {
+        let mut kb = KnowledgeBase::new();
+        assert!(kb.eval_cache("ctx").is_none());
+        assert_eq!(kb.merge_eval_cache("ctx", [(5, 50.0), (1, 10.0)]), 2);
+        assert_eq!(kb.eval_cache("ctx").unwrap(), &[(1, 10.0), (5, 50.0)]);
+        // Re-merging dedups by index; new costs replace old ones.
+        assert_eq!(kb.merge_eval_cache("ctx", [(5, 55.0), (9, 90.0)]), 3);
+        assert_eq!(
+            kb.eval_cache("ctx").unwrap(),
+            &[(1, 10.0), (5, 55.0), (9, 90.0)]
+        );
+        // Contexts are independent.
+        kb.merge_eval_cache("other", [(1, 99.0)]);
+        assert_eq!(kb.eval_cache("ctx").unwrap().len(), 3);
+        assert_eq!(kb.eval_cache("other").unwrap(), &[(1, 99.0)]);
+        assert_eq!(kb.eval_caches.len(), 2);
+    }
+
+    #[test]
+    fn eval_cache_json_round_trip_with_infinity() {
+        let mut kb = KnowledgeBase::new();
+        // INFINITY marks sequences whose compilation failed — it must
+        // survive persistence (serialized as JSON null).
+        kb.merge_eval_cache("p@a#1", [(0, 123.0), (7, f64::INFINITY)]);
+        let json = kb.to_json();
+        let back = KnowledgeBase::from_json(&json).unwrap();
+        let entries = back.eval_cache("p@a#1").unwrap();
+        assert_eq!(entries[0], (0, 123.0));
+        assert_eq!(entries[1].0, 7);
+        assert!(entries[1].1.is_infinite());
+    }
+
+    #[test]
+    fn old_json_without_eval_caches_loads() {
+        let kb = KnowledgeBase::new();
+        let json = kb.to_json().replace(",\n  \"eval_caches\": []", "");
+        assert!(
+            !json.contains("eval_caches"),
+            "field removed from fixture: {json}"
+        );
+        let back = KnowledgeBase::from_json(&json).unwrap();
+        assert!(back.eval_caches.is_empty());
     }
 
     #[test]

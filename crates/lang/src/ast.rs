@@ -62,10 +62,23 @@ pub enum ExprKind {
     IntLit(i64),
     FloatLit(f64),
     Var(String),
-    Index { array: String, index: Box<Expr> },
-    Call { callee: String, args: Vec<Expr> },
-    Unary { op: UnOp, operand: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Index {
+        array: String,
+        index: Box<Expr>,
+    },
+    Call {
+        callee: String,
+        args: Vec<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        operand: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
 }
 
 /// Statement node (line-tagged for diagnostics).
@@ -85,7 +98,10 @@ pub enum StmtKind {
         init: Expr,
     },
     /// `x = e;`
-    Assign { name: String, value: Expr },
+    Assign {
+        name: String,
+        value: Expr,
+    },
     /// `a[i] = e;`
     StoreIndex {
         array: String,

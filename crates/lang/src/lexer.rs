@@ -344,7 +344,10 @@ mod tests {
     #[test]
     fn lexes_numbers() {
         use TokenKind::*;
-        assert_eq!(kinds("42 3.5 1e3 7"), vec![Int(42), Float(3.5), Float(1000.0), Int(7), Eof]);
+        assert_eq!(
+            kinds("42 3.5 1e3 7"),
+            vec![Int(42), Float(3.5), Float(1000.0), Int(7), Eof]
+        );
     }
 
     #[test]
@@ -352,7 +355,13 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds("int intx for fort"),
-            vec![KwInt, Ident("intx".into()), KwFor, Ident("fort".into()), Eof]
+            vec![
+                KwInt,
+                Ident("intx".into()),
+                KwFor,
+                Ident("fort".into()),
+                Eof
+            ]
         );
     }
 

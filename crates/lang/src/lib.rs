@@ -65,8 +65,9 @@ pub fn compile(name: &str, source: &str) -> Result<ic_ir::Module, CompileError> 
     let tokens = lexer::lex(source)?;
     let program = parser::parse(&tokens)?;
     let module = lower::lower(name, &program)?;
-    ic_ir::verify::verify_module(&module)
-        .map_err(|e| CompileError::new(0, format!("internal: lowering produced invalid IR: {e}")))?;
+    ic_ir::verify::verify_module(&module).map_err(|e| {
+        CompileError::new(0, format!("internal: lowering produced invalid IR: {e}"))
+    })?;
     Ok(module)
 }
 

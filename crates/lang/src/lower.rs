@@ -76,7 +76,10 @@ pub fn lower(name: &str, prog: &Program) -> Result<Module, CompileError> {
     let mut arrays = HashMap::new();
     for a in &prog.arrays {
         if arrays.contains_key(&a.name) {
-            return Err(CompileError::new(a.line, format!("duplicate array `{}`", a.name)));
+            return Err(CompileError::new(
+                a.line,
+                format!("duplicate array `{}`", a.name),
+            ));
         }
         let class = class_to_elem(a.class);
         let id = module.add_array(a.name.clone(), class, a.len);
@@ -87,7 +90,10 @@ pub fn lower(name: &str, prog: &Program) -> Result<Module, CompileError> {
     let mut sigs: HashMap<String, Sig> = HashMap::new();
     for (i, f) in prog.funcs.iter().enumerate() {
         if sigs.contains_key(&f.name) {
-            return Err(CompileError::new(f.line, format!("duplicate function `{}`", f.name)));
+            return Err(CompileError::new(
+                f.line,
+                format!("duplicate function `{}`", f.name),
+            ));
         }
         sigs.insert(
             f.name.clone(),
@@ -192,7 +198,11 @@ fn lower_stmt(ctx: &mut Ctx, s: &Stmt) -> Result<bool, CompileError> {
             ctx.b.mov(r, v);
             Ok(false)
         }
-        StmtKind::StoreIndex { array, index, value } => {
+        StmtKind::StoreIndex {
+            array,
+            index,
+            value,
+        } => {
             let (arr, class) = *ctx
                 .arrays
                 .get(array)
@@ -316,9 +326,7 @@ fn lower_stmt(ctx: &mut Ctx, s: &Stmt) -> Result<bool, CompileError> {
                 (Some(_), None) => {
                     return Err(CompileError::new(s.line, "void function returns a value"))
                 }
-                (None, Some(_)) => {
-                    return Err(CompileError::new(s.line, "missing return value"))
-                }
+                (None, Some(_)) => return Err(CompileError::new(s.line, "missing return value")),
             }
             Ok(true)
         }
@@ -389,7 +397,10 @@ fn lower_call(
     for (a, want) in args.iter().zip(&ptys) {
         let (v, ty) = lower_expr(ctx, a)?;
         if ty != *want {
-            return Err(CompileError::new(a.line, format!("argument type mismatch in call to `{callee}`")));
+            return Err(CompileError::new(
+                a.line,
+                format!("argument type mismatch in call to `{callee}`"),
+            ));
         }
         lowered.push(v);
     }
@@ -439,11 +450,15 @@ fn lower_expr(ctx: &mut Ctx, e: &Expr) -> Result<(Operand, ScalarTy), CompileErr
         ExprKind::Unary { op, operand } => {
             let (v, ty) = lower_expr(ctx, operand)?;
             match (op, ty) {
-                (AU::Neg, ScalarTy::Int) => Ok((ctx.b.un(ic_ir::UnOp::Neg, v).into(), ScalarTy::Int)),
+                (AU::Neg, ScalarTy::Int) => {
+                    Ok((ctx.b.un(ic_ir::UnOp::Neg, v).into(), ScalarTy::Int))
+                }
                 (AU::Neg, ScalarTy::Float) => {
                     Ok((ctx.b.un(ic_ir::UnOp::FNeg, v).into(), ScalarTy::Float))
                 }
-                (AU::Not, ScalarTy::Int) => Ok((ctx.b.un(ic_ir::UnOp::Not, v).into(), ScalarTy::Int)),
+                (AU::Not, ScalarTy::Int) => {
+                    Ok((ctx.b.un(ic_ir::UnOp::Not, v).into(), ScalarTy::Int))
+                }
                 (AU::Not, ScalarTy::Float) => {
                     Err(CompileError::new(e.line, "`!` needs an int operand"))
                 }
@@ -457,8 +472,16 @@ fn lower_expr(ctx: &mut Ctx, e: &Expr) -> Result<(Operand, ScalarTy), CompileErr
                 (AU::CastFloat, ScalarTy::Float) => Ok((v, ScalarTy::Float)),
             }
         }
-        ExprKind::Binary { op: AB::LAnd, lhs, rhs } => lower_short_circuit(ctx, lhs, rhs, true, e.line),
-        ExprKind::Binary { op: AB::LOr, lhs, rhs } => lower_short_circuit(ctx, lhs, rhs, false, e.line),
+        ExprKind::Binary {
+            op: AB::LAnd,
+            lhs,
+            rhs,
+        } => lower_short_circuit(ctx, lhs, rhs, true, e.line),
+        ExprKind::Binary {
+            op: AB::LOr,
+            lhs,
+            rhs,
+        } => lower_short_circuit(ctx, lhs, rhs, false, e.line),
         ExprKind::Binary { op, lhs, rhs } => {
             let (a, at) = lower_expr(ctx, lhs)?;
             let (b, bt) = lower_expr(ctx, rhs)?;
@@ -626,10 +649,7 @@ mod tests {
 
     #[test]
     fn shadowing_in_nested_scopes() {
-        let m = compile(
-            "t",
-            "int main() { int x = 1; { int x = 2; } return x; }",
-        );
+        let m = compile("t", "int main() { int x = 1; { int x = 2; } return x; }");
         assert!(m.is_ok());
         // same-scope redeclaration is an error
         assert!(compile("t", "int main() { int x = 1; int x = 2; return x; }").is_err());
@@ -643,7 +663,11 @@ mod tests {
 
     #[test]
     fn ptr_arrays_marked() {
-        let m = compile("t", "ptr next[16]; int main() { next[0] = 3; return next[0]; }").unwrap();
+        let m = compile(
+            "t",
+            "ptr next[16]; int main() { next[0] = 3; return next[0]; }",
+        )
+        .unwrap();
         assert_eq!(m.arrays[0].class, ic_ir::ElemClass::Ptr);
         assert_eq!(m.arrays[0].elem_size, 8);
     }

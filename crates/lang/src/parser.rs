@@ -12,7 +12,10 @@ struct Parser<'a> {
 /// Parse a token stream (as produced by [`crate::lexer::lex`]) into a
 /// [`Program`].
 pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     p.program()
 }
 
@@ -93,8 +96,8 @@ impl<'a> Parser<'a> {
             };
             self.bump();
             // Distinguish `int name[...]` (array) from `int name(` (function).
-            if scalar.is_some() && *self.peek_ahead(1) == TokenKind::LBracket {
-                let class = match scalar.unwrap() {
+            if let (Some(sc), TokenKind::LBracket) = (scalar, self.peek_ahead(1)) {
+                let class = match sc {
                     ScalarTy::Int => ArrayClass::Int,
                     ScalarTy::Float => ArrayClass::Float,
                 };
@@ -116,7 +119,10 @@ impl<'a> Parser<'a> {
             other => {
                 return Err(CompileError::new(
                     line,
-                    format!("array length must be a positive integer literal, found {:?}", other),
+                    format!(
+                        "array length must be a positive integer literal, found {:?}",
+                        other
+                    ),
                 ))
             }
         };
@@ -169,7 +175,10 @@ impl<'a> Parser<'a> {
         let mut stmts = Vec::new();
         while !self.eat(&TokenKind::RBrace) {
             if *self.peek() == TokenKind::Eof {
-                return Err(CompileError::new(self.line(), "unexpected end of input in block"));
+                return Err(CompileError::new(
+                    self.line(),
+                    "unexpected end of input in block",
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -429,7 +438,10 @@ impl<'a> Parser<'a> {
     }
     fn additive(&mut self) -> Result<Expr, CompileError> {
         self.binary_level(
-            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
             Self::multiplicative,
         )
     }
@@ -605,13 +617,15 @@ mod tests {
         let ret = &p.funcs[0].body[0];
         match &ret.kind {
             StmtKind::Return(Some(Expr {
-                kind: ExprKind::Binary { op: BinOp::Add, rhs, .. },
+                kind:
+                    ExprKind::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    },
                 ..
             })) => {
-                assert!(matches!(
-                    rhs.kind,
-                    ExprKind::Binary { op: BinOp::Mul, .. }
-                ));
+                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected {:?}", other),
         }
@@ -643,7 +657,9 @@ mod tests {
 
     #[test]
     fn parses_casts_and_logicals() {
-        let p = parse_src("int main() { int x = (int)(1.5) + 2; if (x > 0 && x < 9 || !x) return 1; return 0; }");
+        let p = parse_src(
+            "int main() { int x = (int)(1.5) + 2; if (x > 0 && x < 9 || !x) return 1; return 0; }",
+        );
         assert_eq!(p.funcs[0].body.len(), 3);
     }
 
@@ -655,9 +671,13 @@ mod tests {
 
     #[test]
     fn for_with_empty_clauses() {
-        let p = parse_src("int main() { int i = 0; for (;;) { i = i + 1; if (i > 3) break; } return i; }");
+        let p = parse_src(
+            "int main() { int i = 0; for (;;) { i = i + 1; if (i > 3) break; } return i; }",
+        );
         match &p.funcs[0].body[1].kind {
-            StmtKind::For { init, cond, step, .. } => {
+            StmtKind::For {
+                init, cond, step, ..
+            } => {
                 assert!(init.is_none() && cond.is_none() && step.is_none());
             }
             other => panic!("unexpected {:?}", other),

@@ -8,7 +8,9 @@ use crate::config::CacheConfig;
 pub enum Access {
     Hit,
     /// Miss; `writeback` is true if a dirty line was evicted.
-    Miss { writeback: bool },
+    Miss {
+        writeback: bool,
+    },
 }
 
 /// One cache level. Tags only — data contents live in [`crate::Memory`].
@@ -37,7 +39,10 @@ impl Cache {
         let sets = cfg.sets();
         let ways = cfg.ways as usize;
         assert!(sets.is_power_of_two(), "sets must be a power of two");
-        assert!(cfg.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let n = sets as usize * ways;
         Cache {
             sets,
@@ -209,6 +214,9 @@ mod tests {
         c.access(0, true);
         c.reset();
         assert_eq!(c.accesses, 0);
-        assert!(matches!(c.access(0, false), Access::Miss { writeback: false }));
+        assert!(matches!(
+            c.access(0, false),
+            Access::Miss { writeback: false }
+        ));
     }
 }

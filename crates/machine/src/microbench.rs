@@ -212,8 +212,7 @@ fn measure_branch_penalty(cfg: &MachineConfig) -> f64 {
         let sh = b.bin(BinOp::Shl, x, 7i64);
         b.bin_to(x, BinOp::Xor, x, sh);
         let cond = if random {
-            let bit = b.bin(BinOp::And, x, 1i64);
-            bit
+            b.bin(BinOp::And, x, 1i64)
         } else {
             b.bin(BinOp::Ge, i, 0i64)
         };

@@ -31,10 +31,7 @@ impl CvResult {
 
 /// Leave-one-*group*-out CV: each fold holds out every instance of one
 /// group (= one benchmark). `make` builds a fresh classifier per fold.
-pub fn leave_one_group_out(
-    data: &Dataset,
-    make: &dyn Fn() -> Box<dyn Classifier>,
-) -> CvResult {
+pub fn leave_one_group_out(data: &Dataset, make: &dyn Fn() -> Box<dyn Classifier>) -> CvResult {
     let groups = data.group_ids();
     let mut fold_accuracy = Vec::with_capacity(groups.len());
     let mut predictions = vec![0usize; data.len()];
@@ -46,7 +43,10 @@ pub fn leave_one_group_out(
         }
         let mut model = make();
         model.fit(&train.x, &train.y, data.n_classes);
-        let preds: Vec<usize> = test_idx.iter().map(|&i| model.predict(&data.x[i])).collect();
+        let preds: Vec<usize> = test_idx
+            .iter()
+            .map(|&i| model.predict(&data.x[i]))
+            .collect();
         let truth: Vec<usize> = test_idx.iter().map(|&i| data.y[i]).collect();
         fold_accuracy.push(accuracy(&truth, &preds));
         for (&i, &p) in test_idx.iter().zip(&preds) {
@@ -63,12 +63,12 @@ pub fn leave_one_group_out(
 pub fn leave_one_out(data: &Dataset, make: &dyn Fn() -> Box<dyn Classifier>) -> CvResult {
     let mut fold_accuracy = Vec::with_capacity(data.len());
     let mut predictions = vec![0usize; data.len()];
-    for i in 0..data.len() {
+    for (i, pred) in predictions.iter_mut().enumerate() {
         let train = data.subset(|j| j != i);
         let mut model = make();
         model.fit(&train.x, &train.y, data.n_classes);
         let p = model.predict(&data.x[i]);
-        predictions[i] = p;
+        *pred = p;
         fold_accuracy.push((p == data.y[i]) as u8 as f64);
     }
     CvResult {
@@ -90,7 +90,10 @@ pub fn k_fold(data: &Dataset, k: usize, make: &dyn Fn() -> Box<dyn Classifier>) 
         }
         let mut model = make();
         model.fit(&train.x, &train.y, data.n_classes);
-        let preds: Vec<usize> = test_idx.iter().map(|&i| model.predict(&data.x[i])).collect();
+        let preds: Vec<usize> = test_idx
+            .iter()
+            .map(|&i| model.predict(&data.x[i]))
+            .collect();
         let truth: Vec<usize> = test_idx.iter().map(|&i| data.y[i]).collect();
         fold_accuracy.push(accuracy(&truth, &preds));
         for (&i, &p) in test_idx.iter().zip(&preds) {

@@ -28,9 +28,7 @@ impl Dataset {
 
     /// Append one instance.
     pub fn push(&mut self, features: Vec<f64>, label: usize, group: usize) {
-        debug_assert!(
-            self.feature_names.is_empty() || features.len() == self.feature_names.len()
-        );
+        debug_assert!(self.feature_names.is_empty() || features.len() == self.feature_names.len());
         debug_assert!(label < self.n_classes);
         self.x.push(features);
         self.y.push(label);
@@ -100,10 +98,7 @@ impl Standardizer {
                 *s += (v - m) * (v - m);
             }
         }
-        let std = var
-            .into_iter()
-            .map(|v| (v / n).sqrt().max(1e-9))
-            .collect();
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-9)).collect();
         Standardizer { mean, std }
     }
 

@@ -56,13 +56,7 @@ impl DecisionTree {
         1.0 - dist.iter().map(|p| p * p).sum::<f64>()
     }
 
-    fn build(
-        &self,
-        x: &[Vec<f64>],
-        y: &[usize],
-        idx: Vec<usize>,
-        depth: usize,
-    ) -> Node {
+    fn build(&self, x: &[Vec<f64>], y: &[usize], idx: Vec<usize>, depth: usize) -> Node {
         let dist = Self::class_dist(y, &idx, self.n_classes);
         let node_gini = Self::gini(&dist);
         if depth >= self.max_depth || idx.len() < self.min_leaf * 2 || node_gini < 1e-9 {
@@ -70,7 +64,10 @@ impl DecisionTree {
         }
 
         let d = x[0].len();
-        let mut best: Option<(f64, usize, f64)> = None; // (impurity, feature, threshold)
+        // best = (impurity, feature, threshold); the feature index
+        // addresses a column across rows of `x`.
+        let mut best: Option<(f64, usize, f64)> = None;
+        #[allow(clippy::needless_range_loop)]
         for feature in 0..d {
             // Candidate thresholds: midpoints of sorted unique values.
             let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][feature]).collect();
@@ -88,10 +85,9 @@ impl DecisionTree {
                 }
                 let dl = Self::class_dist(y, &l, self.n_classes);
                 let dr = Self::class_dist(y, &r, self.n_classes);
-                let imp = (l.len() as f64 * Self::gini(&dl)
-                    + r.len() as f64 * Self::gini(&dr))
+                let imp = (l.len() as f64 * Self::gini(&dl) + r.len() as f64 * Self::gini(&dr))
                     / idx.len() as f64;
-                if best.map_or(true, |(b, _, _)| imp < b) {
+                if best.is_none_or(|(b, _, _)| imp < b) {
                     best = Some((imp, feature, threshold));
                 }
             }

@@ -92,7 +92,12 @@ mod tests {
 
     #[test]
     fn nearest_wins() {
-        let x = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut knn = KNearestNeighbors::new(3);
         knn.fit(&x, &y, 2);

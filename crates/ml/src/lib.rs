@@ -22,9 +22,9 @@
 //! held-out program out of the training set.
 
 pub mod cv;
-pub mod forest;
 pub mod data;
 pub mod dtree;
+pub mod forest;
 pub mod knn;
 pub mod logreg;
 pub mod metrics;

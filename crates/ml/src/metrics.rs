@@ -40,11 +40,7 @@ pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
     }
     let mean: f64 = truth.iter().sum::<f64>() / n as f64;
     let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
-    let ss_res: f64 = truth
-        .iter()
-        .zip(pred)
-        .map(|(t, p)| (t - p) * (t - p))
-        .sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p) * (t - p)).sum();
     if ss_tot < 1e-12 {
         return if ss_res < 1e-12 { 1.0 } else { 0.0 };
     }

@@ -15,11 +15,7 @@ pub struct GaussianNaiveBayes {
 impl GaussianNaiveBayes {
     fn log_likelihood(&self, class: usize, x: &[f64]) -> f64 {
         let mut ll = self.priors[class].ln();
-        for ((&m, &v), &xi) in self.means[class]
-            .iter()
-            .zip(&self.vars[class])
-            .zip(x)
-        {
+        for ((&m, &v), &xi) in self.means[class].iter().zip(&self.vars[class]).zip(x) {
             // log N(xi; m, v)
             ll += -0.5 * ((xi - m) * (xi - m) / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
         }
@@ -138,7 +134,12 @@ mod tests {
 
     #[test]
     fn zero_variance_feature_tolerated() {
-        let x = vec![vec![5.0, 0.0], vec![5.0, 1.0], vec![5.0, 10.0], vec![5.0, 11.0]];
+        let x = vec![
+            vec![5.0, 0.0],
+            vec![5.0, 1.0],
+            vec![5.0, 10.0],
+            vec![5.0, 11.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut nb = GaussianNaiveBayes::default();
         nb.fit(&x, &y, 2);

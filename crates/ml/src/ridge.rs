@@ -38,12 +38,14 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         if diag.abs() < 1e-12 {
             continue; // singular direction: leave weight at 0
         }
-        for row in (col + 1)..n {
-            let f = a[row][col] / diag;
-            for k in col..n {
-                a[row][k] -= f * a[col][k];
+        let (pivot_rows, elim_rows) = a.split_at_mut(col + 1);
+        let pivot = &pivot_rows[col];
+        for (off, row) in elim_rows[..n - col - 1].iter_mut().enumerate() {
+            let f = row[col] / diag;
+            for (x, &p) in row[col..n].iter_mut().zip(&pivot[col..n]) {
+                *x -= f * p;
             }
-            b[row] -= f * b[col];
+            b[col + 1 + off] -= f * b[col];
         }
     }
     let mut w = vec![0.0; n];
@@ -135,8 +137,14 @@ mod tests {
     fn regularization_shrinks_weights() {
         let x = vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]];
         let y = vec![0.0, 10.0, 20.0, 30.0];
-        let mut light = RidgeRegression { lambda: 1e-6, ..Default::default() };
-        let mut heavy = RidgeRegression { lambda: 100.0, ..Default::default() };
+        let mut light = RidgeRegression {
+            lambda: 1e-6,
+            ..Default::default()
+        };
+        let mut heavy = RidgeRegression {
+            lambda: 100.0,
+            ..Default::default()
+        };
         light.fit(&x, &y);
         heavy.fit(&x, &y);
         let spread_light = light.predict(&[3.0]) - light.predict(&[0.0]);

@@ -86,13 +86,15 @@ pub fn run(module: &mut Module) -> bool {
                     Inst::Un { op, dst, a } => {
                         fold_un(*op, *a).map(|v| Inst::Mov { dst: *dst, src: v })
                     }
-                    Inst::Select { dst, cond, t, f } => match cond {
-                        Operand::ImmI(c) => Some(Inst::Mov {
-                            dst: *dst,
-                            src: if *c != 0 { *t } else { *f },
-                        }),
-                        _ => None,
-                    },
+                    Inst::Select {
+                        dst,
+                        cond: Operand::ImmI(c),
+                        t,
+                        f,
+                    } => Some(Inst::Mov {
+                        dst: *dst,
+                        src: if *c != 0 { *t } else { *f },
+                    }),
                     _ => None,
                 };
                 if let Some(new) = folded {

@@ -93,8 +93,7 @@ fn convert_one(f: &mut Function) -> bool {
         if !arm_convertible(f, t) || !arm_convertible(f, e) {
             continue;
         }
-        let (Terminator::Jump(jt), Terminator::Jump(je)) =
-            (&f.block(t).term, &f.block(e).term)
+        let (Terminator::Jump(jt), Terminator::Jump(je)) = (&f.block(t).term, &f.block(e).term)
         else {
             continue;
         };
@@ -109,9 +108,7 @@ fn convert_one(f: &mut Function) -> bool {
         // condition register, a select writing it would clobber the value
         // other selects still need. Skip that (rare) shape.
         if let Operand::Reg(c) = cond {
-            let defines_cond = |b: BlockId| {
-                f.block(b).insts.iter().any(|i| i.def() == Some(c))
-            };
+            let defines_cond = |b: BlockId| f.block(b).insts.iter().any(|i| i.def() == Some(c));
             if defines_cond(t) || defines_cond(e) {
                 continue;
             }
@@ -130,8 +127,14 @@ fn convert_one(f: &mut Function) -> bool {
         ab.insts.extend(t_insts);
         ab.insts.extend(e_insts);
         for r in defined {
-            let tv = t_map.get(&r).map(|&nr| Operand::Reg(nr)).unwrap_or(Operand::Reg(r));
-            let ev = e_map.get(&r).map(|&nr| Operand::Reg(nr)).unwrap_or(Operand::Reg(r));
+            let tv = t_map
+                .get(&r)
+                .map(|&nr| Operand::Reg(nr))
+                .unwrap_or(Operand::Reg(r));
+            let ev = e_map
+                .get(&r)
+                .map(|&nr| Operand::Reg(nr))
+                .unwrap_or(Operand::Reg(r));
             ab.insts.push(Inst::Select {
                 dst: r,
                 cond,
@@ -194,7 +197,10 @@ mod tests {
         let (r1, mem1, br1) = exec(&m1);
         assert_eq!(r0, r1);
         assert_eq!(mem0, mem1);
-        assert!(br1 < br0, "a conditional branch disappeared: {br1} vs {br0}");
+        assert!(
+            br1 < br0,
+            "a conditional branch disappeared: {br1} vs {br0}"
+        );
         // At least one Select was emitted.
         let selects = m1
             .funcs

@@ -118,8 +118,7 @@ fn hoist_one(f: &mut Function) -> bool {
 
         let inst = f.block_mut(cb).insts.remove(ci);
 
-        if outside_preds.len() == 1
-            && matches!(f.block(outside_preds[0]).term, Terminator::Jump(_))
+        if outside_preds.len() == 1 && matches!(f.block(outside_preds[0]).term, Terminator::Jump(_))
         {
             // The edge source ends in an unconditional jump to the header:
             // append there.

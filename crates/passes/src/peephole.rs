@@ -84,7 +84,13 @@ mod tests {
         let inst = first_inst_after(|b| {
             b.bin(BinOp::Mul, p, 0i64);
         });
-        assert!(matches!(inst, Inst::Mov { src: Operand::ImmI(0), .. }));
+        assert!(matches!(
+            inst,
+            Inst::Mov {
+                src: Operand::ImmI(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -93,7 +99,13 @@ mod tests {
         let inst = first_inst_after(|b| {
             b.bin(BinOp::Xor, p, p);
         });
-        assert!(matches!(inst, Inst::Mov { src: Operand::ImmI(0), .. }));
+        assert!(matches!(
+            inst,
+            Inst::Mov {
+                src: Operand::ImmI(0),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -102,11 +114,23 @@ mod tests {
         let eq = first_inst_after(|b| {
             b.bin(BinOp::Eq, p, p);
         });
-        assert!(matches!(eq, Inst::Mov { src: Operand::ImmI(1), .. }));
+        assert!(matches!(
+            eq,
+            Inst::Mov {
+                src: Operand::ImmI(1),
+                ..
+            }
+        ));
         let lt = first_inst_after(|b| {
             b.bin(BinOp::Lt, p, p);
         });
-        assert!(matches!(lt, Inst::Mov { src: Operand::ImmI(0), .. }));
+        assert!(matches!(
+            lt,
+            Inst::Mov {
+                src: Operand::ImmI(0),
+                ..
+            }
+        ));
     }
 
     #[test]

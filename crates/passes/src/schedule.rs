@@ -134,7 +134,6 @@ fn schedule_block(insts: &[Inst]) -> Option<Vec<Inst>> {
     // height (ties: original order, keeping the schedule stable).
     let mut order = Vec::with_capacity(n);
     let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut indeg = indeg;
     while let Some(pos) = ready
         .iter()
         .enumerate()

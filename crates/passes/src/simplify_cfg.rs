@@ -138,7 +138,10 @@ mod tests {
         // entry + taken arm merged, dead arm gone
         let f = &m.funcs[0];
         assert_eq!(f.blocks.len(), 1);
-        assert!(matches!(f.blocks[0].term, Terminator::Ret(Some(Operand::ImmI(1)))));
+        assert!(matches!(
+            f.blocks[0].term,
+            Terminator::Ret(Some(Operand::ImmI(1)))
+        ));
     }
 
     #[test]

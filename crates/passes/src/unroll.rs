@@ -93,9 +93,9 @@ fn find_candidates(f: &Function) -> Vec<Candidate> {
         // Bound must be invariant: imm, or a register never defined in loop.
         let body: Vec<BlockId> = lp.body.iter().copied().filter(|b| *b != header).collect();
         let defined_in = |r: Reg| -> bool {
-            body.iter().chain([&header]).any(|&b| {
-                f.block(b).insts.iter().any(|inst| inst.def() == Some(r))
-            })
+            body.iter()
+                .chain([&header])
+                .any(|&b| f.block(b).insts.iter().any(|inst| inst.def() == Some(r)))
         };
         if let Operand::Reg(r) = bound {
             if defined_in(r) {
@@ -320,7 +320,8 @@ mod tests {
 
     #[test]
     fn unrolls_simple_counted_loop() {
-        let src = "int main() { int s = 0; for (int i = 0; i < 100; i = i + 1) s = s + i; return s; }";
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 100; i = i + 1) s = s + i; return s; }";
         let m0 = ic_lang::compile("t", src).unwrap();
         let mut m1 = m0.clone();
         assert!(run(&mut m1, 4));
@@ -329,7 +330,10 @@ mod tests {
         let (r1, mem1, br1) = exec(&m1);
         assert_eq!(r0, r1);
         assert_eq!(mem0, mem1);
-        assert!(br1 < br0, "unrolling must reduce dynamic branches: {br1} vs {br0}");
+        assert!(
+            br1 < br0,
+            "unrolling must reduce dynamic branches: {br1} vs {br0}"
+        );
     }
 
     #[test]
@@ -348,7 +352,8 @@ mod tests {
 
     #[test]
     fn non_unit_step() {
-        let src = "int main() { int s = 0; for (int i = 0; i < 50; i = i + 3) s = s + i; return s; }";
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 50; i = i + 3) s = s + i; return s; }";
         let m0 = ic_lang::compile("t", src).unwrap();
         let mut m1 = m0.clone();
         assert!(run(&mut m1, 2));
@@ -439,7 +444,8 @@ mod tests {
 
     #[test]
     fn factor_eight() {
-        let src = "int main() { int s = 0; for (int i = 0; i < 64; i = i + 1) s = s + 2; return s; }";
+        let src =
+            "int main() { int s = 0; for (int i = 0; i < 64; i = i + 1) s = s + 2; return s; }";
         let m0 = ic_lang::compile("t", src).unwrap();
         let mut m1 = m0.clone();
         assert!(run(&mut m1, 8));

@@ -185,7 +185,13 @@ fn repeated_application_is_stable() {
     for (name, src) in PROGRAMS {
         let m0 = ic_lang::compile(name, src).unwrap();
         let base = behaviour(&m0, &cfg);
-        for opt in [Opt::Dce, Opt::Cse, Opt::SimplifyCfg, Opt::Licm, Opt::Schedule] {
+        for opt in [
+            Opt::Dce,
+            Opt::Cse,
+            Opt::SimplifyCfg,
+            Opt::Licm,
+            Opt::Schedule,
+        ] {
             let mut m1 = m0.clone();
             apply_sequence(&mut m1, &[opt, opt, opt]);
             assert_eq!(base, behaviour(&m1, &cfg), "{name} under 3x {}", opt.name());

@@ -1,6 +1,11 @@
 //! Simulated annealing over optimization sequences: accepts worsening
 //! moves with temperature-decaying probability, escaping the local optima
 //! that trap plain hill climbing in the rugged phase-ordering landscape.
+//!
+//! Like hill climbing this is inherently sequential (each proposal
+//! mutates the current state, which depends on the previous accept
+//! decision), so it gains nothing from batching — but a
+//! [`crate::CachedEvaluator`] still memoizes re-visited sequences.
 
 use crate::{Evaluator, SearchResult, SequenceSpace};
 use rand::rngs::SmallRng;
@@ -85,7 +90,14 @@ mod tests {
         let mut rnd = 0.0;
         let mut hc = 0.0;
         for seed in 0..8 {
-            sa += run(&space(), &synthetic_cost, 100, &AnnealConfig::default(), seed).best_cost;
+            sa += run(
+                &space(),
+                &synthetic_cost,
+                100,
+                &AnnealConfig::default(),
+                seed,
+            )
+            .best_cost;
             rnd += random::run(&space(), &synthetic_cost, 100, seed).best_cost;
             hc += hillclimb::run(&space(), &synthetic_cost, 100, 10, seed).best_cost;
         }

@@ -1,0 +1,119 @@
+//! Order-stable parallel batch evaluation.
+//!
+//! Strategies that can name several candidates before needing any of
+//! their costs (random, focused, GA generations, exhaustive sweeps) hand
+//! the whole batch to [`BatchEvaluator::evaluate_batch`], which fans the
+//! distinct sequences out over rayon and returns costs in input order.
+//! Results are bit-identical to evaluating the batch sequentially —
+//! parallelism never changes what a search sees, only how fast it sees
+//! it. This relies on evaluators being deterministic functions of the
+//! sequence, which every evaluator in this workspace is (the simulator
+//! is cycle-deterministic and the synthetic landscapes are pure).
+//!
+//! Duplicate sequences within a batch are evaluated once and their cost
+//! replicated, mirroring what a [`crate::CachedEvaluator`] would do
+//! across batches; composing both gives cross-run memoization *and*
+//! intra-batch dedup.
+
+use crate::Evaluator;
+use ic_passes::Opt;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Batched evaluation, implemented for every [`Evaluator`] (including
+/// trait objects) via a blanket impl.
+pub trait BatchEvaluator: Evaluator {
+    /// Cost of every sequence in `seqs`; `result[i]` is the cost of
+    /// `seqs[i]`. Deterministic and order-stable regardless of thread
+    /// scheduling.
+    fn evaluate_batch(&self, seqs: &[Vec<Opt>]) -> Vec<f64> {
+        // Dedup first: each distinct sequence is evaluated exactly once.
+        let mut uniq: Vec<&Vec<Opt>> = Vec::new();
+        let mut slot: HashMap<&Vec<Opt>, usize> = HashMap::new();
+        let assign: Vec<usize> = seqs
+            .iter()
+            .map(|s| {
+                *slot.entry(s).or_insert_with(|| {
+                    uniq.push(s);
+                    uniq.len() - 1
+                })
+            })
+            .collect();
+        let costs: Vec<f64> = uniq
+            .par_iter()
+            .map(|s| self.evaluate(s.as_slice()))
+            .collect();
+        assign.into_iter().map(|i| costs[i]).collect()
+    }
+}
+
+impl<E: Evaluator + ?Sized> BatchEvaluator for E {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic_cost;
+    use crate::{CachedEvaluator, SequenceSpace};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn space() -> SequenceSpace {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    #[test]
+    fn matches_sequential_in_order() {
+        let s = space();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seqs: Vec<Vec<Opt>> = (0..200).map(|_| s.sample(&mut rng)).collect();
+        let batched = (synthetic_cost).evaluate_batch(&seqs);
+        let sequential: Vec<f64> = seqs.iter().map(|q| synthetic_cost(q)).collect();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn duplicates_evaluated_once() {
+        struct Counting(AtomicUsize);
+        impl Evaluator for Counting {
+            fn evaluate(&self, seq: &[Opt]) -> f64 {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                synthetic_cost(seq)
+            }
+        }
+        let s = space();
+        let a = s.decode(17);
+        let b = s.decode(93);
+        let seqs = vec![a.clone(), b.clone(), a.clone(), a.clone(), b.clone()];
+        let eval = Counting(AtomicUsize::new(0));
+        let costs = eval.evaluate_batch(&seqs);
+        assert_eq!(eval.0.load(Ordering::SeqCst), 2, "two distinct sequences");
+        assert_eq!(costs[0], costs[2]);
+        assert_eq!(costs[0], costs[3]);
+        assert_eq!(costs[1], costs[4]);
+        assert_eq!(costs[0], synthetic_cost(&a));
+    }
+
+    #[test]
+    fn composes_with_cache() {
+        let s = space();
+        let cache = CachedEvaluator::new(s.clone(), synthetic_cost);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let seqs: Vec<Vec<Opt>> = (0..100).map(|_| s.sample(&mut rng)).collect();
+        let first = cache.evaluate_batch(&seqs);
+        let misses_after_first = cache.stats().misses;
+        let second = cache.evaluate_batch(&seqs);
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats().misses,
+            misses_after_first,
+            "second pass is all hits"
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let costs = (synthetic_cost).evaluate_batch(&[]);
+        assert!(costs.is_empty());
+    }
+}

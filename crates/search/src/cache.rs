@@ -1,0 +1,318 @@
+//! Memoizing evaluator wrapper — the core of the evaluation engine.
+//!
+//! Search strategies re-visit sequences constantly: random trials collide
+//! in the 250k space, the focused model concentrates its draws on a tiny
+//! good region, and GA elites are re-examined every generation. A single
+//! simulated evaluation costs milliseconds; a cache lookup costs
+//! nanoseconds. [`CachedEvaluator`] drops transparently in front of any
+//! [`Evaluator`]: identical costs out (the inner evaluator must be
+//! deterministic, which every evaluator in this workspace is), with
+//! hit/miss/throughput statistics exposed for harness reporting and
+//! snapshot/warm APIs so the memo table can persist across runs (the
+//! knowledge base stores snapshots keyed by a workload+machine context
+//! fingerprint — see `ic-kb` and `ic-core::evalcache`).
+//!
+//! Concurrency: the table is sharded under `parking_lot` mutexes and the
+//! wrapper is `Sync`, so rayon fan-out (see [`crate::batch`]) hits it
+//! from many threads. A lock is never held across an inner evaluation.
+
+use crate::{Evaluator, SequenceSpace};
+use ic_passes::Opt;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Shard count for the index-keyed table (power of two, modest: the
+/// table is read-heavy and evaluations dominate lock hold times).
+const SHARDS: usize = 16;
+
+/// A point-in-time view of cache activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo table.
+    pub hits: u64,
+    /// Lookups that fell through to the inner evaluator. This is the
+    /// number of *raw* evaluations (simulations) actually performed.
+    pub misses: u64,
+    /// Entries currently in the table (warm entries included).
+    pub entries: usize,
+    /// Total nanoseconds spent inside the inner evaluator, summed over
+    /// all threads.
+    pub eval_nanos: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the table.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Raw-evaluation throughput, in evaluations per second of
+    /// *aggregate* evaluator time (CPU-seconds across threads, not wall
+    /// clock).
+    pub fn evals_per_second(&self) -> f64 {
+        if self.eval_nanos == 0 {
+            0.0
+        } else {
+            self.misses as f64 / (self.eval_nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// A transparent memoizing wrapper around any [`Evaluator`].
+///
+/// Sequences that belong to `space` are keyed by their dense sequence
+/// index (exact, collision-free); sequences outside the space (different
+/// length, double unroll — e.g. the empty baseline sequence) fall back to
+/// a table keyed by the sequence itself.
+pub struct CachedEvaluator<E> {
+    inner: E,
+    space: SequenceSpace,
+    shards: Vec<Mutex<HashMap<u64, f64>>>,
+    misc: Mutex<HashMap<Vec<Opt>, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    eval_nanos: AtomicU64,
+}
+
+impl<E: Evaluator> CachedEvaluator<E> {
+    /// Wrap `inner`, memoizing over `space`.
+    pub fn new(space: SequenceSpace, inner: E) -> Self {
+        CachedEvaluator {
+            inner,
+            space,
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            misc: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            eval_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The space the cache is keyed over.
+    pub fn space(&self) -> &SequenceSpace {
+        &self.space
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+            eval_nanos: self.eval_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of memoized costs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum::<usize>() + self.misc.lock().len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pre-load `(sequence index, cost)` pairs (e.g. from a knowledge-base
+    /// snapshot). Entries with out-of-range indices are ignored; warming
+    /// does not count as hits or misses. Returns how many entries were
+    /// loaded.
+    pub fn warm(&self, entries: impl IntoIterator<Item = (u64, f64)>) -> usize {
+        let mut loaded = 0usize;
+        for (idx, cost) in entries {
+            if idx < self.space.count() {
+                self.shard(idx).lock().insert(idx, cost);
+                loaded += 1;
+            }
+        }
+        loaded
+    }
+
+    /// Dump the in-space memo table as `(sequence index, cost)` pairs,
+    /// sorted by index (deterministic regardless of insertion order or
+    /// thread interleaving). Out-of-space entries are not included — they
+    /// are not addressable in a persisted snapshot.
+    pub fn snapshot(&self) -> Vec<(u64, f64)> {
+        let mut out: Vec<(u64, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.lock().iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>())
+            .collect();
+        out.sort_by_key(|&(k, _)| k);
+        out
+    }
+
+    fn shard(&self, idx: u64) -> &Mutex<HashMap<u64, f64>> {
+        &self.shards[(idx as usize) % SHARDS]
+    }
+
+    fn evaluate_raw(&self, seq: &[Opt]) -> f64 {
+        let t0 = Instant::now();
+        let cost = self.inner.evaluate(seq);
+        self.eval_nanos
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        cost
+    }
+}
+
+impl<E: Evaluator> Evaluator for CachedEvaluator<E> {
+    fn evaluate(&self, seq: &[Opt]) -> f64 {
+        match self.space.encode(seq) {
+            Some(idx) => {
+                if let Some(&cost) = self.shard(idx).lock().get(&idx) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return cost;
+                }
+                // Not held across the (possibly long) inner evaluation;
+                // a concurrent duplicate miss recomputes the same value.
+                let cost = self.evaluate_raw(seq);
+                self.shard(idx).lock().insert(idx, cost);
+                cost
+            }
+            None => {
+                if let Some(&cost) = self.misc.lock().get(seq) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return cost;
+                }
+                let cost = self.evaluate_raw(seq);
+                self.misc.lock().insert(seq.to_vec(), cost);
+                cost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic_cost;
+    use std::sync::atomic::AtomicUsize;
+
+    fn space() -> SequenceSpace {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    /// An evaluator that counts raw calls.
+    struct Counting {
+        calls: AtomicUsize,
+    }
+
+    impl Evaluator for Counting {
+        fn evaluate(&self, seq: &[Opt]) -> f64 {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            synthetic_cost(seq)
+        }
+    }
+
+    #[test]
+    fn transparent_and_memoizing() {
+        let cache = CachedEvaluator::new(
+            space(),
+            Counting {
+                calls: AtomicUsize::new(0),
+            },
+        );
+        let s = space();
+        for round in 0..3 {
+            for i in (0..s.count()).step_by(9931) {
+                let seq = s.decode(i);
+                assert_eq!(cache.evaluate(&seq), synthetic_cost(&seq), "{:?}", seq);
+            }
+            // Raw calls only grow on the first round.
+            let distinct = (0..s.count()).step_by(9931).count();
+            assert_eq!(cache.inner().calls.load(Ordering::SeqCst), distinct);
+            let stats = cache.stats();
+            assert_eq!(stats.misses as usize, distinct);
+            assert_eq!(stats.hits as usize, round * distinct);
+            assert_eq!(stats.entries, distinct);
+        }
+    }
+
+    #[test]
+    fn out_of_space_sequences_cache_too() {
+        let cache = CachedEvaluator::new(
+            space(),
+            Counting {
+                calls: AtomicUsize::new(0),
+            },
+        );
+        // Empty sequence (the -O0 baseline) is not in the length-5 space.
+        assert_eq!(cache.evaluate(&[]), synthetic_cost(&[]));
+        assert_eq!(cache.evaluate(&[]), synthetic_cost(&[]));
+        assert_eq!(cache.inner().calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn warm_and_snapshot_round_trip() {
+        let cache = CachedEvaluator::new(space(), synthetic_cost);
+        let s = space();
+        for i in [0u64, 7, 130_000, 249_999] {
+            cache.evaluate(&s.decode(i));
+        }
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0), "sorted by index");
+
+        let warmed = CachedEvaluator::new(space(), synthetic_cost);
+        assert_eq!(warmed.warm(snap.clone()), 4);
+        for &(i, c) in &snap {
+            assert_eq!(warmed.evaluate(&s.decode(i)), c);
+        }
+        let stats = warmed.stats();
+        assert_eq!(stats.misses, 0, "warm entries served every lookup");
+        assert_eq!(stats.hits, 4);
+        // Out-of-range indices are rejected.
+        assert_eq!(warmed.warm([(u64::MAX, 1.0)]), 0);
+    }
+
+    #[test]
+    fn concurrent_hammering_is_consistent() {
+        let cache = CachedEvaluator::new(
+            space(),
+            Counting {
+                calls: AtomicUsize::new(0),
+            },
+        );
+        let s = space();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = &cache;
+                let s = &s;
+                scope.spawn(move || {
+                    // All threads walk the same 500 indices (offset start)
+                    // so most lookups collide and become hits.
+                    for k in 0..500u64 {
+                        let idx = ((t * 67 + k) * 101) % (500 * 101) % s.count();
+                        let seq = s.decode(idx);
+                        assert_eq!(cache.evaluate(&seq), synthetic_cost(&seq));
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 8 * 500);
+        // Concurrent duplicate misses may recompute, but the table holds
+        // one entry per distinct index and far fewer raw calls than
+        // lookups happened.
+        assert!(stats.entries <= 4000);
+        assert!(stats.misses < 8 * 500);
+    }
+}

@@ -46,7 +46,12 @@ impl SequenceModel {
         let alphabet = space.alphabet();
         let a = alphabet.len();
         let len = space.len();
-        let idx = |o: Opt| alphabet.iter().position(|x| *x == o).expect("opt in alphabet");
+        let idx = |o: Opt| {
+            alphabet
+                .iter()
+                .position(|x| *x == o)
+                .expect("opt in alphabet")
+        };
 
         let mut pos_counts = vec![vec![alpha; a]; len];
         let mut init = vec![alpha; a];
@@ -100,10 +105,7 @@ impl SequenceModel {
         let total: f64 = weights.iter().sum();
         if total <= 0.0 {
             // Degenerate: fall back to the first non-unroll opt.
-            return alphabet
-                .iter()
-                .position(|o| !o.is_unroll())
-                .unwrap_or(0);
+            return alphabet.iter().position(|o| !o.is_unroll()).unwrap_or(0);
         }
         let mut t = rng.gen_range(0.0..total);
         for (i, w) in weights.iter().enumerate() {
@@ -155,6 +157,12 @@ impl SequenceModel {
 }
 
 /// Focused search: evaluate `budget` sequences sampled from `model`.
+///
+/// Like random search, the model's draws don't depend on observed costs,
+/// so all candidates are sampled first and evaluated as one parallel,
+/// order-stable batch (bit-identical to the sequential loop). Focused
+/// draws concentrate on a small region, so this batch dedups heavily —
+/// and hits hard in a [`crate::CachedEvaluator`] across repeated runs.
 pub fn run(
     space: &SequenceSpace,
     eval: &dyn Evaluator,
@@ -164,12 +172,9 @@ pub fn run(
 ) -> SearchResult {
     let _ = space; // the model already encodes the space's constraints
     let mut rng = SmallRng::seed_from_u64(seed);
+    let seqs: Vec<_> = (0..budget).map(|_| model.sample(&mut rng)).collect();
     let mut result = SearchResult::new();
-    for _ in 0..budget {
-        let seq = model.sample(&mut rng);
-        let cost = eval.evaluate(&seq);
-        result.observe(&seq, cost);
-    }
+    result.observe_batch(eval, &seqs);
     result
 }
 
@@ -187,7 +192,13 @@ mod tests {
     fn good_seqs() -> Vec<Vec<Opt>> {
         vec![
             vec![Opt::Licm, Opt::Dce, Opt::Unroll4, Opt::Dce, Opt::Schedule],
-            vec![Opt::Licm, Opt::Unroll4, Opt::Dce, Opt::Schedule, Opt::Schedule],
+            vec![
+                Opt::Licm,
+                Opt::Unroll4,
+                Opt::Dce,
+                Opt::Schedule,
+                Opt::Schedule,
+            ],
             vec![Opt::Licm, Opt::Dce, Opt::Dce, Opt::Unroll4, Opt::Schedule],
             vec![Opt::Licm, Opt::Cse, Opt::Unroll4, Opt::Dce, Opt::Schedule],
         ]

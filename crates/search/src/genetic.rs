@@ -29,6 +29,12 @@ impl Default for GaConfig {
 }
 
 /// Run the GA until `budget` evaluations are spent.
+///
+/// Evaluation is batched per generation: selection, crossover, and
+/// mutation draw only on the *previous* generation's costs, so a whole
+/// brood of children is bred first (same RNG stream as breeding one at a
+/// time) and then costed as one parallel, order-stable batch — the
+/// trajectory is bit-identical to the sequential interleaving.
 pub fn run(
     space: &SequenceSpace,
     eval: &dyn Evaluator,
@@ -36,45 +42,56 @@ pub fn run(
     cfg: &GaConfig,
     seed: u64,
 ) -> SearchResult {
+    use crate::BatchEvaluator;
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut result = SearchResult::new();
     let mut evals = 0usize;
 
-    let mut pop: Vec<(Vec<Opt>, f64)> = Vec::with_capacity(cfg.population);
-    for _ in 0..cfg.population {
-        if evals >= budget {
-            break;
-        }
-        let seq = space.sample(&mut rng);
-        let cost = eval.evaluate(&seq);
-        result.observe(&seq, cost);
-        evals += 1;
-        pop.push((seq, cost));
+    let init: Vec<Vec<Opt>> = (0..cfg.population.min(budget))
+        .map(|_| space.sample(&mut rng))
+        .collect();
+    let costs = eval.evaluate_batch(&init);
+    for (seq, cost) in init.iter().zip(&costs) {
+        result.observe(seq, *cost);
     }
+    evals += init.len();
+    let mut pop: Vec<(Vec<Opt>, f64)> = init.into_iter().zip(costs).collect();
 
     while evals < budget && !pop.is_empty() {
         pop.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         let elites = ((cfg.population as f64 * cfg.elitism).ceil() as usize).max(1);
         let mut next: Vec<(Vec<Opt>, f64)> = pop[..elites.min(pop.len())].to_vec();
 
-        while next.len() < cfg.population && evals < budget {
-            let pick = |rng: &mut SmallRng| -> &(Vec<Opt>, f64) {
-                (0..cfg.tournament)
-                    .map(|_| &pop[rng.gen_range(0..pop.len())])
-                    .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                    .unwrap()
-            };
-            let a = pick(&mut rng).0.clone();
-            let b = pick(&mut rng).0.clone();
-            let mut child = space.crossover(&a, &b, &mut rng);
-            if rng.gen_bool(cfg.mutation_rate) {
-                child = space.mutate(&child, &mut rng);
-            }
-            let cost = eval.evaluate(&child);
-            result.observe(&child, cost);
-            evals += 1;
-            next.push((child, cost));
+        let brood = cfg
+            .population
+            .saturating_sub(next.len())
+            .min(budget - evals);
+        if brood == 0 {
+            break; // degenerate config (all elites): nothing left to breed
         }
+        let children: Vec<Vec<Opt>> = (0..brood)
+            .map(|_| {
+                let pick = |rng: &mut SmallRng| -> &(Vec<Opt>, f64) {
+                    (0..cfg.tournament)
+                        .map(|_| &pop[rng.gen_range(0..pop.len())])
+                        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .unwrap()
+                };
+                let a = pick(&mut rng).0.clone();
+                let b = pick(&mut rng).0.clone();
+                let mut child = space.crossover(&a, &b, &mut rng);
+                if rng.gen_bool(cfg.mutation_rate) {
+                    child = space.mutate(&child, &mut rng);
+                }
+                child
+            })
+            .collect();
+        let costs = eval.evaluate_batch(&children);
+        for (child, cost) in children.iter().zip(&costs) {
+            result.observe(child, *cost);
+        }
+        evals += children.len();
+        next.extend(children.into_iter().zip(costs));
         pop = next;
     }
     result

@@ -1,4 +1,10 @@
 //! First-improvement hill climbing with random restarts.
+//!
+//! Inherently sequential: every candidate is a mutation of the current
+//! point, which depends on the previous evaluation's outcome, so there
+//! is no batch to fan out. Pass a [`crate::CachedEvaluator`] to get
+//! memoization when the climb re-visits sequences (common near optima
+//! and across restarts).
 
 use crate::{Evaluator, SearchResult, SequenceSpace};
 use rand::rngs::SmallRng;
@@ -56,8 +62,8 @@ pub fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::synthetic_cost;
     use crate::random;
+    use crate::testutil::synthetic_cost;
     use ic_passes::Opt;
 
     fn space() -> SequenceSpace {

@@ -19,8 +19,29 @@
 //!
 //! Strategies see programs only through the [`Evaluator`] trait (cost =
 //! simulated cycles), so they are testable against synthetic landscapes.
+//!
+//! ## The evaluation engine
+//!
+//! Raw evaluations (compile + simulate) dominate search wall-clock, so
+//! every strategy runs on top of a two-part engine:
+//!
+//! * [`cache::CachedEvaluator`] — a concurrent, transparent memo table
+//!   in front of any evaluator, keyed by dense sequence index, with
+//!   hit/miss/throughput stats and snapshot/warm persistence hooks;
+//! * [`batch::BatchEvaluator`] — order-stable rayon fan-out of candidate
+//!   batches, available on every evaluator via a blanket impl.
+//!
+//! The batched strategies (`random`, `focused`, `genetic`, `exhaustive`)
+//! draw their candidates *before* evaluating, so batching never changes
+//! the RNG stream: batched, cached, and plain sequential runs produce
+//! bit-identical trajectories. Inherently sequential strategies
+//! (`hillclimb`, `anneal`) pick each candidate from the previous cost
+//! and stay serial, but still benefit from memoization when handed a
+//! [`CachedEvaluator`].
 
 pub mod anneal;
+pub mod batch;
+pub mod cache;
 pub mod exhaustive;
 pub mod focused;
 pub mod genetic;
@@ -28,6 +49,8 @@ pub mod hillclimb;
 pub mod random;
 pub mod space;
 
+pub use batch::BatchEvaluator;
+pub use cache::{CacheStats, CachedEvaluator};
 pub use space::SequenceSpace;
 
 use ic_passes::Opt;
@@ -82,10 +105,21 @@ impl SearchResult {
     pub fn evaluations(&self) -> usize {
         self.best_so_far.len()
     }
+
+    /// Batch-evaluate `seqs` (parallel, order-stable) and fold each
+    /// outcome into the result in input order. The shared path of the
+    /// batched strategies.
+    pub(crate) fn observe_batch(&mut self, eval: &dyn Evaluator, seqs: &[Vec<Opt>]) {
+        let costs = eval.evaluate_batch(seqs);
+        for (seq, cost) in seqs.iter().zip(costs) {
+            self.observe(seq, cost);
+        }
+    }
 }
 
-#[cfg(test)]
-pub(crate) mod testutil {
+/// Deterministic synthetic cost landscapes. Public (not `cfg(test)`) so
+/// integration tests and benches can search without a simulator.
+pub mod testutil {
     use super::*;
 
     /// A deterministic synthetic landscape: cost depends on the sequence

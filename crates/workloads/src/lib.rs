@@ -102,15 +102,50 @@ pub fn suite() -> Vec<Workload> {
         mk("crc32", Kind::AluBound, sources::crc32(4096), 30_000_000),
         mk("dijkstra", Kind::Branchy, sources::dijkstra(96), 30_000_000),
         mk("qsort", Kind::CallHeavy, sources::qsort(2048), 30_000_000),
-        mk("stencil", Kind::MemoryStreaming, sources::stencil(48, 6), 30_000_000),
+        mk(
+            "stencil",
+            Kind::MemoryStreaming,
+            sources::stencil(48, 6),
+            30_000_000,
+        ),
         mk("susan", Kind::Branchy, sources::susan(64), 30_000_000),
-        mk("butterfly", Kind::FloatHeavy, sources::butterfly(1024, 6), 20_000_000),
-        mk("histogram", Kind::MemoryStreaming, sources::histogram(8192), 20_000_000),
-        mk("strsearch", Kind::Branchy, sources::strsearch(4096), 20_000_000),
-        mk("bitcount", Kind::AluBound, sources::bitcount(4096), 20_000_000),
+        mk(
+            "butterfly",
+            Kind::FloatHeavy,
+            sources::butterfly(1024, 6),
+            20_000_000,
+        ),
+        mk(
+            "histogram",
+            Kind::MemoryStreaming,
+            sources::histogram(8192),
+            20_000_000,
+        ),
+        mk(
+            "strsearch",
+            Kind::Branchy,
+            sources::strsearch(4096),
+            20_000_000,
+        ),
+        mk(
+            "bitcount",
+            Kind::AluBound,
+            sources::bitcount(4096),
+            20_000_000,
+        ),
         mk("nbody", Kind::FloatHeavy, sources::nbody(24, 8), 20_000_000),
-        mk("spmv", Kind::PointerChasing, sources::spmv(8192, 16, 2), 80_000_000),
-        mk("feistel", Kind::AluBound, sources::feistel(2048, 8), 20_000_000),
+        mk(
+            "spmv",
+            Kind::PointerChasing,
+            sources::spmv(8192, 16, 2),
+            80_000_000,
+        ),
+        mk(
+            "feistel",
+            Kind::AluBound,
+            sources::feistel(2048, 8),
+            20_000_000,
+        ),
     ]
 }
 
@@ -178,7 +213,11 @@ mod tests {
         let r = simulate_default(&m, &MachineConfig::superscalar_amd_like(), w.fuel).unwrap();
         let l1_rate = r.counters.per_instruction(Counter::L1_TCM);
         assert!(l1_rate > 0.01, "mcf must miss L1 a lot: {l1_rate}");
-        assert!(r.counters.ipc() < 1.0, "mcf must be stalled: {}", r.counters.ipc());
+        assert!(
+            r.counters.ipc() < 1.0,
+            "mcf must be stalled: {}",
+            r.counters.ipc()
+        );
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! cargo run --release --example dynamic_reopt
 //! ```
 
-use intelligent_compilers::core::dynamic::{
-    default_versions, phased_workload, DynamicOptimizer,
-};
+use intelligent_compilers::core::dynamic::{default_versions, phased_workload, DynamicOptimizer};
 use intelligent_compilers::machine::{MachineConfig, Memory};
 
 fn main() {

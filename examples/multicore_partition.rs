@@ -13,10 +13,26 @@ fn main() {
     let config = MachineConfig::multicore_amd_like(8);
 
     let train_jobs = [
-        ParallelJob { n: 16, passes: 1, work_per_elem: 1 },
-        ParallelJob { n: 128, passes: 1, work_per_elem: 2 },
-        ParallelJob { n: 1024, passes: 2, work_per_elem: 4 },
-        ParallelJob { n: 8192, passes: 2, work_per_elem: 8 },
+        ParallelJob {
+            n: 16,
+            passes: 1,
+            work_per_elem: 1,
+        },
+        ParallelJob {
+            n: 128,
+            passes: 1,
+            work_per_elem: 2,
+        },
+        ParallelJob {
+            n: 1024,
+            passes: 2,
+            work_per_elem: 4,
+        },
+        ParallelJob {
+            n: 8192,
+            passes: 2,
+            work_per_elem: 8,
+        },
     ];
 
     println!("measuring training jobs across {:?} cores:", CORE_MENU);
@@ -34,9 +50,21 @@ fn main() {
     let tuner = MulticoreTuner::train(&rows);
     println!("\npredictions for unseen jobs:");
     for job in [
-        ParallelJob { n: 24, passes: 1, work_per_elem: 1 },
-        ParallelJob { n: 512, passes: 1, work_per_elem: 4 },
-        ParallelJob { n: 6000, passes: 2, work_per_elem: 8 },
+        ParallelJob {
+            n: 24,
+            passes: 1,
+            work_per_elem: 1,
+        },
+        ParallelJob {
+            n: 512,
+            passes: 1,
+            work_per_elem: 4,
+        },
+        ParallelJob {
+            n: 6000,
+            passes: 2,
+            work_per_elem: 8,
+        },
     ] {
         let pred = tuner.predict(&job);
         let actual_best = CORE_MENU[job.best_core_index(&config)];

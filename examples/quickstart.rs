@@ -52,7 +52,11 @@ fn main() {
         optimized.cycles(),
         baseline.cycles() as f64 / optimized.cycles() as f64
     );
-    assert_eq!(baseline.ret_i64(), optimized.ret_i64(), "semantics preserved");
+    assert_eq!(
+        baseline.ret_i64(),
+        optimized.ret_i64(),
+        "semantics preserved"
+    );
 
     // 5. Performance counters, PAPI-style.
     println!("\ncounters (optimized run):");

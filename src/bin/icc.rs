@@ -19,7 +19,7 @@ use intelligent_compilers::core::IntelligentCompiler;
 use intelligent_compilers::kb::KnowledgeBase;
 use intelligent_compilers::machine::{simulate_default, Counter, MachineConfig};
 use intelligent_compilers::passes::{apply_sequence, ofast_sequence, Opt};
-use intelligent_compilers::search::{random, SequenceSpace};
+use intelligent_compilers::search::{random, CachedEvaluator, SequenceSpace};
 use intelligent_compilers::workloads::{Kind, Workload};
 use std::process::ExitCode;
 
@@ -44,7 +44,8 @@ usage: icc <file.mc> [options]
   --machine NAME       vliw | amd | tiny        (default: vliw)
   --counters           print the full counter vector
   --emit-ir            print the optimized IR instead of running
-  --search N           random-search N sequences, use the best
+  --search N           random-search N sequences, use the best (with --kb:
+                       warm from / persist the evaluation cache)
   --intelligent        predict the sequence from the knowledge base (needs --kb)
   --kb FILE            knowledge-base JSON to read/extend
   --seed N             RNG seed (default 42)
@@ -188,8 +189,8 @@ fn run() -> Result<(), String> {
         .to_string();
 
     let config = machine_for(&o.machine)?;
-    let module = intelligent_compilers::lang::compile(&name, &source)
-        .map_err(|e| format!("{path}:{e}"))?;
+    let module =
+        intelligent_compilers::lang::compile(&name, &source).map_err(|e| format!("{path}:{e}"))?;
     eprintln!(
         "icc: compiled `{name}`: {} functions, {} instructions (-O0)",
         module.funcs.len(),
@@ -206,14 +207,36 @@ fn run() -> Result<(), String> {
             source: source.clone(),
             fuel: o.fuel,
         };
-        let eval = WorkloadEvaluator::new(&w, &config);
         let space = SequenceSpace::paper();
+        let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&w, &config));
+        // With --kb, warm the memo table from prior runs of the same
+        // workload/machine context and persist the new costs afterwards.
+        let ctx = intelligent_compilers::core::context_fingerprint(&w, &config);
+        let mut kb = match &o.kb {
+            Some(f) if std::path::Path::new(f).exists() => {
+                let kb = KnowledgeBase::load(std::path::Path::new(f))
+                    .map_err(|e| format!("{f}: {e}"))?;
+                let warmed = intelligent_compilers::core::evalcache::warm_from_kb(&eval, &kb, &ctx);
+                eprintln!("icc: warmed {warmed} cached evaluations from {f}");
+                kb
+            }
+            _ => KnowledgeBase::new(),
+        };
         let r = random::run(&space, &eval, budget, o.seed);
+        let stats = eval.stats();
         eprintln!(
-            "icc: search best {:.0} cycles after {} evaluations",
+            "icc: search best {:.0} cycles after {} evaluations ({} raw simulations, {} cache hits)",
             r.best_cost,
-            r.evaluations()
+            r.evaluations(),
+            stats.misses,
+            stats.hits
         );
+        if let Some(f) = &o.kb {
+            intelligent_compilers::core::evalcache::flush_to_kb(&eval, &mut kb, &ctx);
+            kb.save(std::path::Path::new(f))
+                .map_err(|e| format!("{f}: {e}"))?;
+            eprintln!("icc: persisted evaluation cache to {f}");
+        }
         r.best_seq
     } else if o.intelligent {
         let kb_path = o.kb.clone().ok_or("--intelligent needs --kb FILE")?;

@@ -1,0 +1,72 @@
+//! Property test: [`CachedEvaluator`] is semantically transparent.
+//!
+//! For arbitrary lookup patterns over the sequence space, the cached
+//! cost always equals the raw cost, and the hit counter grows exactly on
+//! repeats — never on first sight.
+
+use intelligent_compilers::passes::Opt;
+use intelligent_compilers::search::testutil::synthetic_cost;
+use intelligent_compilers::search::{CachedEvaluator, Evaluator, SequenceSpace};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn space() -> SequenceSpace {
+    SequenceSpace::new(&Opt::PAPER_13, 5)
+}
+
+proptest! {
+    #[test]
+    fn cached_cost_equals_raw_cost(
+        indices in prop::collection::vec(0u64..250_000, 1..200),
+    ) {
+        let s = space();
+        let cache = CachedEvaluator::new(s.clone(), synthetic_cost);
+        for &i in &indices {
+            let seq = s.decode(i);
+            // Transparency: wrapped == unwrapped, lookup after lookup.
+            prop_assert_eq!(cache.evaluate(&seq), synthetic_cost(&seq));
+        }
+    }
+
+    #[test]
+    fn hits_grow_only_on_repeats(
+        indices in prop::collection::vec(0u64..250_000, 1..200),
+    ) {
+        let s = space();
+        let cache = CachedEvaluator::new(s.clone(), synthetic_cost);
+        let mut seen = HashSet::new();
+        for &i in &indices {
+            let before = cache.stats();
+            cache.evaluate(&s.decode(i));
+            let after = cache.stats();
+            if seen.insert(i) {
+                prop_assert_eq!(after.misses, before.misses + 1, "first sight is a miss");
+                prop_assert_eq!(after.hits, before.hits, "first sight is not a hit");
+            } else {
+                prop_assert_eq!(after.hits, before.hits + 1, "repeat is a hit");
+                prop_assert_eq!(after.misses, before.misses, "repeat is not a miss");
+            }
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.entries, seen.len());
+        prop_assert_eq!(stats.lookups(), indices.len() as u64);
+    }
+
+    #[test]
+    fn warming_preserves_transparency(
+        warm_idx in prop::collection::vec(0u64..250_000, 0..50),
+        query_idx in prop::collection::vec(0u64..250_000, 1..50),
+    ) {
+        let s = space();
+        let donor = CachedEvaluator::new(s.clone(), synthetic_cost);
+        for &i in &warm_idx {
+            donor.evaluate(&s.decode(i));
+        }
+        let cache = CachedEvaluator::new(s.clone(), synthetic_cost);
+        cache.warm(donor.snapshot());
+        for &i in &query_idx {
+            let seq = s.decode(i);
+            prop_assert_eq!(cache.evaluate(&seq), synthetic_cost(&seq));
+        }
+    }
+}

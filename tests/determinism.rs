@@ -1,0 +1,101 @@
+//! Determinism of the search strategies and transparency of the
+//! evaluation engine, on the synthetic landscape.
+//!
+//! Two invariants the evaluation engine must never break:
+//!
+//! 1. every strategy is a deterministic function of its seed — the same
+//!    seed yields an identical evaluation trajectory, run to run;
+//! 2. memoization and batching are invisible — a search through a
+//!    [`CachedEvaluator`] (cold or warmed from a snapshot) observes
+//!    bit-identical costs to one run against the raw evaluator.
+
+use intelligent_compilers::passes::Opt;
+use intelligent_compilers::search::focused::{ModelKind, SequenceModel};
+use intelligent_compilers::search::testutil::synthetic_cost;
+use intelligent_compilers::search::{
+    anneal, exhaustive, focused, genetic, hillclimb, random, CachedEvaluator, Evaluator,
+    SearchResult, SequenceSpace,
+};
+
+fn space() -> SequenceSpace {
+    SequenceSpace::new(&Opt::PAPER_13, 5)
+}
+
+fn model(space: &SequenceSpace) -> SequenceModel {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(99);
+    let good: Vec<Vec<Opt>> = (0..12).map(|_| space.sample(&mut rng)).collect();
+    SequenceModel::fit(space, &good, 0.25, ModelKind::Markov)
+}
+
+/// Run every seeded strategy against `eval` with a fixed seed.
+fn all_strategies(space: &SequenceSpace, eval: &dyn Evaluator, seed: u64) -> Vec<SearchResult> {
+    vec![
+        random::run(space, eval, 60, seed),
+        hillclimb::run(space, eval, 60, 8, seed),
+        anneal::run(space, eval, 60, &anneal::AnnealConfig::default(), seed),
+        genetic::run(space, eval, 60, &genetic::GaConfig::default(), seed),
+        focused::run(space, eval, 60, &model(space), seed),
+    ]
+}
+
+#[test]
+fn same_seed_same_trajectory_for_every_strategy() {
+    let s = space();
+    let a = all_strategies(&s, &synthetic_cost, 7);
+    let b = all_strategies(&s, &synthetic_cost, 7);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.evaluated, y.evaluated, "trajectory must be reproducible");
+        assert_eq!(x.best_so_far, y.best_so_far);
+    }
+    // And a different seed actually changes the trajectory.
+    let c = all_strategies(&s, &synthetic_cost, 8);
+    for (x, z) in a.iter().zip(&c) {
+        assert_ne!(x.evaluated, z.evaluated, "seed must matter");
+    }
+}
+
+#[test]
+fn exhaustive_is_deterministic() {
+    // Exhaustive search has no seed; it must still be a pure function.
+    let s = SequenceSpace::new(&Opt::PAPER_13, 2);
+    let a = exhaustive::run(&s, &synthetic_cost);
+    let b = exhaustive::run(&s, &synthetic_cost);
+    assert_eq!(a.costs, b.costs);
+    assert_eq!(a.best(), b.best());
+}
+
+#[test]
+fn cached_search_is_bit_identical_to_uncached() {
+    let s = space();
+    let raw = all_strategies(&s, &synthetic_cost, 13);
+    let cache = CachedEvaluator::new(s.clone(), synthetic_cost);
+    let cached = all_strategies(&s, &cache, 13);
+    for (x, y) in raw.iter().zip(&cached) {
+        assert_eq!(
+            x.evaluated, y.evaluated,
+            "memoization must not change what a search observes"
+        );
+    }
+    let stats = cache.stats();
+    assert!(stats.hits > 0, "five searches over one seed must collide");
+}
+
+#[test]
+fn warmed_cache_replays_without_raw_evaluations() {
+    let s = space();
+    let cold = CachedEvaluator::new(s.clone(), synthetic_cost);
+    let first = all_strategies(&s, &cold, 21);
+    assert!(cold.stats().misses > 0);
+
+    // A fresh cache warmed from the snapshot serves the identical rerun
+    // entirely from memory: zero raw evaluations.
+    let warm = CachedEvaluator::new(s.clone(), synthetic_cost);
+    warm.warm(cold.snapshot());
+    let second = all_strategies(&s, &warm, 21);
+    for (x, y) in first.iter().zip(&second) {
+        assert_eq!(x.evaluated, y.evaluated);
+    }
+    assert_eq!(warm.stats().misses, 0, "warm rerun must not re-simulate");
+}

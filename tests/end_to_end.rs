@@ -65,8 +65,7 @@ fn pipeline_characterize_populate_model_search() {
     )
     .unwrap();
     let opt =
-        intelligent_compilers::machine::simulate_default(&module, &ic.config, target.fuel)
-            .unwrap();
+        intelligent_compilers::machine::simulate_default(&module, &ic.config, target.fuel).unwrap();
     assert_eq!(o0.ret_i64(), opt.ret_i64());
 }
 
@@ -100,9 +99,7 @@ fn focused_search_beats_random_at_small_budget_on_average() {
         ic.populate_kb(&w, 14, 5);
     }
     let target = workloads::adpcm_scaled(192, 3);
-    let eval = intelligent_compilers::core::controller::WorkloadEvaluator::new(
-        &target, &ic.config,
-    );
+    let eval = intelligent_compilers::core::controller::WorkloadEvaluator::new(&target, &ic.config);
     let space = intelligent_compilers::search::SequenceSpace::paper();
 
     let mut focused_total = 0.0;

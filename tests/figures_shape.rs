@@ -22,7 +22,7 @@ fn mk(name: &str, source: String, fuel: u64) -> Workload {
 fn fig3_shape_mcf_is_a_memory_outlier() {
     let cfg = MachineConfig::superscalar_amd_like();
     let mcf = workloads::mcf_like();
-    let others = vec![
+    let others = [
         mk("crc32", sources::crc32(512), 6_000_000),
         mk("bitcount", sources::bitcount(512), 6_000_000),
         mk("feistel", sources::feistel(512, 6), 6_000_000),
@@ -121,11 +121,100 @@ fn fig2_shape_sequence_space_has_spread() {
     let space = SequenceSpace::paper();
     use rand::SeedableRng;
     let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
-    let costs: Vec<f64> = (0..32).map(|_| eval.evaluate(&space.sample(&mut rng))).collect();
+    let costs: Vec<f64> = (0..32)
+        .map(|_| eval.evaluate(&space.sample(&mut rng)))
+        .collect();
     let best = costs.iter().cloned().fold(f64::INFINITY, f64::min);
     let worst = costs.iter().cloned().fold(0.0, f64::max);
     assert!(
         worst > best * 1.1,
         "sequence choice must matter: best {best} worst {worst}"
+    );
+}
+
+/// Fig. 2(b) shape: after 10 evaluations, FOCUSSED search (a model
+/// trained on good sequences) is at least as good as RANDOM, averaged
+/// over trials (paper: ~86% vs ~38% of available improvement).
+#[test]
+fn fig2b_shape_focused_beats_random_at_ten_evals() {
+    use intelligent_compilers::passes::Opt;
+    use intelligent_compilers::search::focused::{ModelKind, SequenceModel};
+    use intelligent_compilers::search::testutil::synthetic_cost;
+    use intelligent_compilers::search::{focused, random, SequenceSpace};
+    use rand::SeedableRng;
+
+    let space = SequenceSpace::new(&Opt::PAPER_13, 5);
+    // Train the model on the best of a random sample — a stand-in for
+    // "good sequences of similar programs" from the knowledge base.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF1C);
+    let mut pool: Vec<(Vec<Opt>, f64)> = (0..2000)
+        .map(|_| {
+            let s = space.sample(&mut rng);
+            let c = synthetic_cost(&s);
+            (s, c)
+        })
+        .collect();
+    pool.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let good: Vec<Vec<Opt>> = pool.iter().take(20).map(|(s, _)| s.clone()).collect();
+    let model = SequenceModel::fit(&space, &good, 0.25, ModelKind::Markov);
+
+    let trials = 12u64;
+    let mut rnd_at_10 = 0.0;
+    let mut foc_at_10 = 0.0;
+    for seed in 0..trials {
+        rnd_at_10 += random::run(&space, &synthetic_cost, 10, seed).best_cost;
+        foc_at_10 += focused::run(&space, &synthetic_cost, 10, &model, seed).best_cost;
+    }
+    assert!(
+        foc_at_10 <= rnd_at_10,
+        "FOCUSSED@10 ({foc_at_10}) must be at least as good as RANDOM@10 ({rnd_at_10})"
+    );
+}
+
+/// Acceptance: a warm-cache fig2b-style re-run performs at least 5x
+/// fewer raw simulations than the cold run, with bit-identical results —
+/// verified through the engine's exposed statistics and the knowledge
+/// base's persisted snapshot (full JSON round trip).
+#[test]
+fn fig2b_warm_cache_rerun_skips_raw_simulations() {
+    use intelligent_compilers::core::controller::WorkloadEvaluator;
+    use intelligent_compilers::core::evalcache;
+    use intelligent_compilers::kb::KnowledgeBase;
+    use intelligent_compilers::search::{random, CachedEvaluator, SequenceSpace};
+
+    let cfg = MachineConfig::vliw_c6713_like();
+    let w = workloads::adpcm_scaled(192, 3);
+    let space = SequenceSpace::paper();
+    let ctx = evalcache::context_fingerprint(&w, &cfg);
+    let budget = 25usize;
+    let trials = 3u64;
+
+    // Cold run: everything is simulated; persist the memo table to a
+    // knowledge base and round-trip it through the JSON interchange
+    // format (what `fig2b --cache FILE` writes to disk).
+    let cold = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&w, &cfg));
+    let cold_results: Vec<_> = (0..trials)
+        .map(|s| random::run(&space, &cold, budget, s))
+        .collect();
+    let cold_misses = cold.stats().misses;
+    assert!(cold_misses > 0);
+    let mut kb = KnowledgeBase::new();
+    evalcache::flush_to_kb(&cold, &mut kb, &ctx);
+    let kb = KnowledgeBase::from_json(&kb.to_json()).expect("kb round-trips");
+
+    // Warm re-run of the same experiment.
+    let warm = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&w, &cfg));
+    assert!(evalcache::warm_from_kb(&warm, &kb, &ctx) > 0);
+    let warm_results: Vec<_> = (0..trials)
+        .map(|s| random::run(&space, &warm, budget, s))
+        .collect();
+    let warm_misses = warm.stats().misses;
+
+    for (c, r) in cold_results.iter().zip(&warm_results) {
+        assert_eq!(c.evaluated, r.evaluated, "warm rerun must be bit-identical");
+    }
+    assert!(
+        warm_misses * 5 <= cold_misses,
+        "warm rerun must do at least 5x fewer raw simulations: {warm_misses} vs {cold_misses}"
     );
 }

@@ -23,7 +23,11 @@ fn small_suite() -> Vec<Workload> {
     ]
 }
 
-fn behaviour(m: &intelligent_compilers::ir::Module, cfg: &MachineConfig, fuel: u64) -> (Option<i64>, u64) {
+fn behaviour(
+    m: &intelligent_compilers::ir::Module,
+    cfg: &MachineConfig,
+    fuel: u64,
+) -> (Option<i64>, u64) {
     let r = simulate_default(m, cfg, fuel).expect("terminates");
     (r.ret_i64(), r.mem.checksum())
 }
@@ -59,7 +63,13 @@ fn optimization_never_depends_on_timing_model() {
     let mut m = w.compile();
     apply_sequence(
         &mut m,
-        &[Opt::PtrCompress, Opt::Licm, Opt::Unroll8, Opt::Dce, Opt::Schedule],
+        &[
+            Opt::PtrCompress,
+            Opt::Licm,
+            Opt::Unroll8,
+            Opt::Dce,
+            Opt::Schedule,
+        ],
     );
     let a = behaviour(&m, &MachineConfig::test_tiny(), w.fuel);
     let b = behaviour(&m, &MachineConfig::vliw_c6713_like(), w.fuel);

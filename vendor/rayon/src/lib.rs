@@ -1,0 +1,287 @@
+//! Vendored stand-in for the parts of `rayon` this workspace uses.
+//!
+//! Semantics: `par_iter()` / `into_par_iter()` materialize the input and
+//! each transforming combinator (`map`, `filter`, `flat_map`, …) executes
+//! **eagerly in parallel** across `std::thread::scope` workers, chunked
+//! by index so output order always equals input order (rayon's indexed
+//! guarantee). Reductions (`min_by`, `sum`, `collect`, …) then run on the
+//! ordered results. This trades rayon's work-stealing laziness for a
+//! dependency-free implementation with the same observable results.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads to fan out over.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// Run `f` over `items` in parallel, preserving order. Consumes the
+/// items; each is handed to exactly one worker.
+fn parallel_map<T: Send, O: Send, F: Fn(T) -> O + Sync>(items: Vec<T>, f: F) -> Vec<O> {
+    let n = items.len();
+    let threads = workers().min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 || n == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    // Split from the back so each drain is O(chunk).
+    let mut tail: Vec<Vec<T>> = Vec::new();
+    while items.len() > chunk {
+        tail.push(items.split_off(items.len() - chunk));
+    }
+    chunks.push(items);
+    while let Some(c) = tail.pop() {
+        chunks.push(c);
+    }
+
+    let f = &f;
+    let mut out: Vec<Vec<O>> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// An eagerly-evaluated "parallel iterator" holding ordered items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<O: Send, F: Fn(T) -> O + Sync>(self, f: F) -> ParIter<O> {
+        ParIter {
+            items: parallel_map(self.items, f),
+        }
+    }
+
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: parallel_map(self.items, |t| {
+                let keep = f(&t);
+                (keep, t)
+            })
+            .into_iter()
+            .filter_map(|(keep, t)| keep.then_some(t))
+            .collect(),
+        }
+    }
+
+    pub fn filter_map<O: Send, F: Fn(T) -> Option<O> + Sync>(self, f: F) -> ParIter<O> {
+        ParIter {
+            items: parallel_map(self.items, f).into_iter().flatten().collect(),
+        }
+    }
+
+    pub fn flat_map<O, I, F>(self, f: F) -> ParIter<O>
+    where
+        O: Send,
+        I: IntoIterator<Item = O>,
+        F: Fn(T) -> I + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, |t| f(t).into_iter().collect::<Vec<O>>())
+                .into_iter()
+                .flatten()
+                .collect(),
+        }
+    }
+
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map(self.items, f);
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter {
+            items: self.items.into_iter().zip(other.items).collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T,
+        F: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
+    pub fn min_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().min_by(|a, b| cmp(a, b))
+    }
+
+    pub fn max_by<F: Fn(&T, &T) -> std::cmp::Ordering>(self, cmp: F) -> Option<T> {
+        self.items.into_iter().max_by(|a, b| cmp(a, b))
+    }
+
+    pub fn min_by_key<K: Ord, F: Fn(&T) -> K>(self, key: F) -> Option<T> {
+        self.items.into_iter().min_by_key(|t| key(t))
+    }
+
+    pub fn max_by_key<K: Ord, F: Fn(&T) -> K>(self, key: F) -> Option<T> {
+        self.items.into_iter().max_by_key(|t| key(t))
+    }
+
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+}
+
+impl<T: Sync> ParIter<&T> {
+    pub fn cloned(self) -> ParIter<T>
+    where
+        T: Clone + Send,
+    {
+        ParIter {
+            items: self.items.into_iter().cloned().collect(),
+        }
+    }
+
+    pub fn copied(self) -> ParIter<T>
+    where
+        T: Copy + Send,
+    {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+/// `into_par_iter()` — by-value parallel iteration.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `par_iter()` — by-reference parallel iteration.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn actually_uses_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..1000usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let n = ids.lock().unwrap().len();
+        // At least one worker beyond the caller on multi-core machines.
+        if std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            > 1
+        {
+            assert!(n > 1, "expected parallel execution, saw {n} thread(s)");
+        }
+    }
+
+    #[test]
+    fn ref_iter_and_reductions() {
+        let v: Vec<i64> = (1..=100).collect();
+        let s: i64 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 5050);
+        let m = v.par_iter().map(|x| *x).min_by(|a, b| a.cmp(b));
+        assert_eq!(m, Some(1));
+        let evens: Vec<i64> = v.par_iter().map(|x| *x).filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 50);
+    }
+
+    #[test]
+    fn flat_map_order() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .flat_map(|i| vec![i, i])
+            .collect();
+        assert_eq!(v.len(), 200);
+        assert_eq!(v[0], 0);
+        assert_eq!(v[199], 99);
+    }
+}

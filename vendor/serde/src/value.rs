@@ -1,0 +1,94 @@
+//! The serialization tree shared by `serde` impls and `serde_json`.
+
+/// A JSON-shaped value. Objects preserve insertion order so printed
+/// output follows struct field declaration order (like upstream
+/// serde_json with default features).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            Value::F64(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            Value::F64(f) if f.fract() == 0.0 && (0.0..1.9e19).contains(&f) => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(f) => Some(f),
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Deserialization error: a plain message (no span tracking).
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,497 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the simplified vendored `serde`.
+//!
+//! Implemented with hand-rolled `proc_macro::TokenTree` parsing (the
+//! offline build has no `syn`/`quote`). Supports the shapes this
+//! workspace derives on:
+//!
+//! * structs with named fields (`#[serde(default)]` and
+//!   `#[serde(default = "path")]` honoured),
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged,
+//!   matching upstream's JSON encoding).
+//!
+//! Generics, lifetimes, and other `#[serde(...)]` attributes are
+//! intentionally unsupported and panic with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: DefaultAttr,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Def {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Number of comma-separated items at top level, treating `<...>` as
+/// nested (token trees don't group angle brackets).
+fn count_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    let mut trailing_comma = false;
+    for t in ts {
+        any = true;
+        trailing_comma = false;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+/// Extract a `DefaultAttr` from one `#[...]` attribute body, if it is a
+/// `serde` attribute.
+fn parse_attr(group_stream: TokenStream, out: &mut DefaultAttr) {
+    let toks: Vec<TokenTree> = group_stream.into_iter().collect();
+    if toks.is_empty() || !is_ident(&toks[0], "serde") {
+        return;
+    }
+    let TokenTree::Group(inner) = &toks[1] else {
+        panic!("malformed #[serde] attribute");
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    if inner.is_empty() {
+        return;
+    }
+    if is_ident(&inner[0], "default") {
+        if inner.len() >= 3 && is_punct(&inner[1], '=') {
+            let lit = inner[2].to_string();
+            *out = DefaultAttr::Path(lit.trim_matches('"').to_string());
+        } else {
+            *out = DefaultAttr::Std;
+        }
+    } else {
+        panic!(
+            "vendored serde_derive only supports #[serde(default)] / #[serde(default = \"path\")], got #[serde({})]",
+            inner[0]
+        );
+    }
+}
+
+/// Parse `name: Type` fields (with optional attributes and visibility)
+/// from the body of a braced struct or struct variant.
+fn parse_named(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut j = 0usize;
+    while j < toks.len() {
+        let mut default = DefaultAttr::None;
+        while j < toks.len() && is_punct(&toks[j], '#') {
+            let TokenTree::Group(g) = &toks[j + 1] else {
+                panic!("malformed attribute");
+            };
+            parse_attr(g.stream(), &mut default);
+            j += 2;
+        }
+        if j < toks.len() && is_ident(&toks[j], "pub") {
+            j += 1;
+            if matches!(&toks[j], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                j += 1;
+            }
+        }
+        let TokenTree::Ident(name) = &toks[j] else {
+            panic!("expected field name, got {}", toks[j]);
+        };
+        let name = name.to_string();
+        j += 1;
+        assert!(is_punct(&toks[j], ':'), "expected `:` after field {name}");
+        j += 1;
+        // Skip the type up to the next top-level comma.
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match &toks[j] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0usize;
+    while j < toks.len() {
+        while j < toks.len() && is_punct(&toks[j], '#') {
+            j += 2; // attribute (doc comment etc.)
+        }
+        if j >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[j] else {
+            panic!("expected variant name, got {}", toks[j]);
+        };
+        let name = name.to_string();
+        j += 1;
+        let kind = match toks.get(j) {
+            None => VariantKind::Unit,
+            Some(t) if is_punct(t, ',') => {
+                j += 1;
+                VariantKind::Unit
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_fields(g.stream()));
+                j += 1;
+                if j < toks.len() && is_punct(&toks[j], ',') {
+                    j += 1;
+                }
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named(g.stream()));
+                j += 1;
+                if j < toks.len() && is_punct(&toks[j], ',') {
+                    j += 1;
+                }
+                k
+            }
+            Some(t) if is_punct(t, '=') => {
+                // Explicit discriminant: skip to the next top-level comma.
+                j += 1;
+                while j < toks.len() && !is_punct(&toks[j], ',') {
+                    j += 1;
+                }
+                if j < toks.len() {
+                    j += 1;
+                }
+                VariantKind::Unit
+            }
+            Some(t) => panic!("unexpected token after variant {name}: {t}"),
+        };
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_def(input: TokenStream) -> Def {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    let kind = loop {
+        match &toks[i] {
+            t if is_punct(t, '#') => i += 2,
+            t if is_ident(t, "pub") => {
+                i += 1;
+                if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            t if is_ident(t, "struct") || is_ident(t, "enum") => break t.to_string(),
+            t => panic!("unexpected token in derive input: {t}"),
+        }
+    };
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("expected type name");
+    };
+    let name = name.to_string();
+    i += 1;
+    if i < toks.len() && is_punct(&toks[i], '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+    let shape = if kind == "enum" {
+        let TokenTree::Group(g) = &toks[i] else {
+            panic!("expected enum body");
+        };
+        Shape::Enum(parse_variants(g.stream()))
+    } else {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named(g.stream()))
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_fields(g.stream()))
+            }
+            t if is_punct(t, ';') => Shape::UnitStruct,
+            t => panic!("unexpected struct body: {t}"),
+        }
+    };
+    Def { name, shape }
+}
+
+// ---- codegen ---------------------------------------------------------
+
+const V: &str = "::serde::value::Value";
+const DE: &str = "::serde::value::DeError";
+
+fn gen_serialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::UnitStruct => format!("{V}::Null"),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("{V}::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("{V}::Object(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => {V}::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => {V}::Object(vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => {V}::Object(vec![(::std::string::String::from(\"{vn}\"), {V}::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                        f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => {V}::Object(vec![(::std::string::String::from(\"{vn}\"), {V}::Object(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {V} {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// The expression deserializing field `f` out of object pairs `__obj`.
+fn named_field_expr(type_name: &str, f: &Field) -> String {
+    let missing = match &f.default {
+        DefaultAttr::None => format!(
+            "return ::std::result::Result::Err({DE}::new(\"missing field `{}` in {type_name}\"))",
+            f.name
+        ),
+        DefaultAttr::Std => "::std::default::Default::default()".to_string(),
+        DefaultAttr::Path(p) => format!("{p}()"),
+    };
+    format!(
+        "match __obj.iter().find(|(__k, _)| __k == \"{0}\") {{\n\
+             ::std::option::Option::Some((_, __fv)) => ::serde::Deserialize::from_value(__fv)?,\n\
+             ::std::option::Option::None => {missing},\n\
+         }}",
+        f.name
+    )
+}
+
+fn gen_deserialize(def: &Def) -> String {
+    let name = &def.name;
+    let body = match &def.shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                .collect();
+            format!(
+                "let __arr = __v.as_array().ok_or_else(|| {DE}::new(\"expected array for {name}\"))?;\n\
+                 if __arr.len() != {n} {{ return ::std::result::Result::Err({DE}::new(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{}: {},", f.name, named_field_expr(name, f)))
+                .collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| {DE}::new(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join("\n")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __arr = __inner.as_array().ok_or_else(|| {DE}::new(\"expected array for {name}::{vn}\"))?;\n\
+                                     if __arr.len() != {n} {{ return ::std::result::Result::Err({DE}::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                     ::std::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let items: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{}: {},", f.name, named_field_expr(&format!("{name}::{vn}"), f)))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let __obj = __inner.as_object().ok_or_else(|| {DE}::new(\"expected object for {name}::{vn}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                                 }}",
+                                items.join("\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                     {V}::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         _ => ::std::result::Result::Err({DE}::new(\"unknown variant of {name}\")),\n\
+                     }},\n\
+                     {V}::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                         let (__k, __inner) = &__pairs[0];\n\
+                         let _ = __inner;\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             _ => ::std::result::Result::Err({DE}::new(\"unknown variant of {name}\")),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err({DE}::new(\"expected variant for {name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    let vname = if matches!(def.shape, Shape::UnitStruct) {
+        "_v"
+    } else {
+        "__v"
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value({vname}: &{V}) -> ::std::result::Result<Self, {DE}> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_def(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
