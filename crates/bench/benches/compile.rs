@@ -1,0 +1,140 @@
+//! Compile-throughput benchmark: applying optimization sequences from
+//! scratch vs through the prefix-tree compilation cache
+//! (`ic_passes::PrefixCache`), over a blocked sample of the paper's
+//! 250k-sequence space (the same index locality the fig2a harness and
+//! the search batchers produce).
+//!
+//! Besides the criterion console output, this bench writes
+//! `BENCH_compile.json` at the repo root with before/after throughput,
+//! the measured speedup, and the passes-elided factor.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ic_passes::{apply_sequence, Opt, PrefixCache};
+use ic_search::{exhaustive, SequenceSpace};
+use serde::Serialize;
+use std::time::Instant;
+
+const SAMPLES: u64 = 600;
+
+fn sample_sequences() -> Vec<Vec<Opt>> {
+    let space = SequenceSpace::paper();
+    exhaustive::blocked_indices(space.count(), SAMPLES)
+        .into_iter()
+        .map(|i| space.decode(i))
+        .collect()
+}
+
+fn base_module() -> ic_ir::Module {
+    ic_workloads::adpcm_scaled(256, 3).compile()
+}
+
+fn compile_all_uncached(base: &ic_ir::Module, seqs: &[Vec<Opt>]) -> usize {
+    let mut total = 0usize;
+    for seq in seqs {
+        let mut m = base.clone();
+        total += apply_sequence(&mut m, seq);
+    }
+    total
+}
+
+fn compile_all_cached(cache: &PrefixCache, seqs: &[Vec<Opt>]) -> usize {
+    seqs.iter().map(|seq| cache.apply_cached(seq).1).sum()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let base = base_module();
+    let seqs = sample_sequences();
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(10);
+    g.bench_function(format!("uncached_{SAMPLES}_seqs"), |b| {
+        b.iter(|| compile_all_uncached(&base, &seqs))
+    });
+    g.bench_function(format!("prefix_cached_{SAMPLES}_seqs"), |b| {
+        b.iter_batched(
+            || PrefixCache::new(base.clone()),
+            |cache| compile_all_cached(&cache, &seqs),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+#[derive(Serialize)]
+struct Throughput {
+    seconds: f64,
+    seqs_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    workload: String,
+    sequences: u64,
+    uncached: Throughput,
+    prefix_cached: Throughput,
+    speedup: f64,
+    passes_run: u64,
+    passes_elided: u64,
+    elision_factor: f64,
+}
+
+/// One measured before/after pass, written to `BENCH_compile.json` at
+/// the repo root (path anchored to the crate, not the working dir).
+fn emit_report(_c: &mut Criterion) {
+    let base = base_module();
+    let seqs = sample_sequences();
+    const REPS: usize = 5;
+
+    let start = Instant::now();
+    let mut changed_uncached = 0usize;
+    for _ in 0..REPS {
+        changed_uncached = compile_all_uncached(&base, &seqs);
+    }
+    let uncached_s = start.elapsed().as_secs_f64() / REPS as f64;
+
+    let mut changed_cached = 0usize;
+    let mut cached_s = 0.0;
+    let mut stats = ic_passes::CompileCacheStats::default();
+    for _ in 0..REPS {
+        let cache = PrefixCache::new(base.clone());
+        let start = Instant::now();
+        changed_cached = compile_all_cached(&cache, &seqs);
+        cached_s += start.elapsed().as_secs_f64() / REPS as f64;
+        stats = cache.stats();
+    }
+    assert_eq!(
+        changed_uncached, changed_cached,
+        "cached compile must be bit-identical"
+    );
+
+    let report = Report {
+        bench: "compile".into(),
+        workload: "adpcm_scaled(256)".into(),
+        sequences: SAMPLES,
+        uncached: Throughput {
+            seconds: uncached_s,
+            seqs_per_sec: SAMPLES as f64 / uncached_s,
+        },
+        prefix_cached: Throughput {
+            seconds: cached_s,
+            seqs_per_sec: SAMPLES as f64 / cached_s,
+        },
+        speedup: uncached_s / cached_s,
+        passes_run: stats.passes_run,
+        passes_elided: stats.passes_elided,
+        elision_factor: stats.elision_factor(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compile.json");
+    std::fs::write(path, json + "\n").expect("write BENCH_compile.json");
+    println!(
+        "wrote BENCH_compile.json: {:.0} -> {:.0} seqs/s ({:.2}x), {:.2}x fewer pass applications",
+        report.uncached.seqs_per_sec,
+        report.prefix_cached.seqs_per_sec,
+        report.speedup,
+        report.elision_factor
+    );
+}
+
+criterion_group!(benches, bench_compile, emit_report);
+criterion_main!(benches);

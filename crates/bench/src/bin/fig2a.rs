@@ -2,8 +2,10 @@
 //! target — scatter of points within 5% of the optimum, and the focus of
 //! the learned model's predicted region.
 //!
-//! `--scale small` evaluates a deterministic stride-subsample of the
-//! 250,000-sequence space; `--scale full` enumerates all of it.
+//! `--scale small` evaluates a deterministic blocked subsample of the
+//! 250,000-sequence space (runs of consecutive indices, so the prefix
+//! compilation cache sees the same locality as the full sweep);
+//! `--scale full` enumerates all of it.
 
 use ic_bench::{banner, bench_suite, pct, Args, Scale, Table};
 use ic_core::controller::WorkloadEvaluator;
@@ -131,6 +133,21 @@ fn main() {
         stats.lookups(),
         stats.misses,
         stats.hit_rate() * 100.0
+    );
+    let cstats = cached.inner().compile_stats();
+    println!(
+        "compile cache: {} prefix hits / {} misses ({:.1}% hit rate), \
+         {} passes run, {} elided ({:.2}x fewer pass applications), \
+         {} nodes / {:.1} MiB, {} evictions",
+        cstats.hits,
+        cstats.misses,
+        cstats.hit_rate() * 100.0,
+        cstats.passes_run,
+        cstats.passes_elided,
+        cstats.elision_factor(),
+        cstats.nodes,
+        cstats.bytes as f64 / (1024.0 * 1024.0),
+        cstats.evictions
     );
     let p_model = hits as f64 / draws as f64;
     let p_uniform = good.len() as f64 / samples.len() as f64;

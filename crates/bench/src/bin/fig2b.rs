@@ -133,6 +133,17 @@ fn main() {
         "raw sim throughput : {:.0} evals/s (aggregate evaluator time)",
         stats.evals_per_second()
     );
+    let cstats = eval.inner().compile_stats();
+    println!(
+        "compile cache      : {} prefix hits / {} misses ({:.1}% hit rate), \
+         {} passes run / {} elided ({:.2}x fewer pass applications)",
+        cstats.hits,
+        cstats.misses,
+        cstats.hit_rate() * 100.0,
+        cstats.passes_run,
+        cstats.passes_elided,
+        cstats.elision_factor()
+    );
     if let Some(f) = cache_file {
         let total = ic_core::evalcache::flush_to_kb(&eval, &mut cache_kb, &ctx);
         cache_kb.save(Path::new(&f)).expect("cache file writes");

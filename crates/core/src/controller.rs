@@ -9,26 +9,35 @@
 use ic_features::{combined_feature_names, combined_features, static_features};
 use ic_kb::{ArchRecord, ExperimentRecord, KnowledgeBase, ProgramRecord};
 use ic_machine::{microbench, simulate_default, MachineConfig, PerfCounters, RunResult, SimError};
-use ic_passes::{apply_sequence, Opt};
+use ic_passes::{apply_sequence, CompileCacheStats, Opt, PrefixCache, PrefixCacheConfig};
 use ic_search::focused::{ModelKind, SequenceModel};
 use ic_search::{
     focused, random, CacheStats, CachedEvaluator, Evaluator, SearchResult, SequenceSpace,
 };
 use ic_workloads::Workload;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// The intelligent compiler for one target machine.
 pub struct IntelligentCompiler {
     pub config: MachineConfig,
     pub kb: KnowledgeBase,
-    /// The sequence space searched/predicted over.
-    pub space: SequenceSpace,
+    /// The sequence space searched/predicted over. `Arc`-shared so every
+    /// [`CachedEvaluator`] built per search borrows the same allocation
+    /// instead of deep-cloning the space.
+    pub space: Arc<SequenceSpace>,
 }
 
 /// A cost evaluator that compiles a fixed workload with a sequence and
 /// runs it on a machine config. Cost = simulated cycles.
+///
+/// Compilation goes through a [`PrefixCache`]: sequences sharing a
+/// pipeline prefix reuse the cached post-prefix module instead of
+/// re-running the shared passes (and the unoptimized module is never
+/// deep-cloned when a cached prefix exists). Results are bit-identical
+/// to compiling each sequence from scratch.
 pub struct WorkloadEvaluator<'a> {
-    module_o0: ic_ir::Module,
+    cache: PrefixCache,
     config: &'a MachineConfig,
     fuel: u64,
 }
@@ -36,8 +45,17 @@ pub struct WorkloadEvaluator<'a> {
 impl<'a> WorkloadEvaluator<'a> {
     /// Build an evaluator for `workload` on `config`.
     pub fn new(workload: &Workload, config: &'a MachineConfig) -> Self {
+        Self::with_compile_budget(workload, config, PrefixCacheConfig::default())
+    }
+
+    /// Like [`Self::new`] but with an explicit compile-cache byte budget.
+    pub fn with_compile_budget(
+        workload: &Workload,
+        config: &'a MachineConfig,
+        cache_config: PrefixCacheConfig,
+    ) -> Self {
         WorkloadEvaluator {
-            module_o0: workload.compile(),
+            cache: PrefixCache::with_config(workload.compile(), cache_config),
             config,
             fuel: workload.fuel,
         }
@@ -45,16 +63,21 @@ impl<'a> WorkloadEvaluator<'a> {
 
     /// Cycles of the unoptimized build.
     pub fn baseline_cycles(&self) -> u64 {
-        simulate_default(&self.module_o0, self.config, self.fuel)
+        simulate_default(self.cache.base(), self.config, self.fuel)
             .expect("baseline run")
             .cycles()
     }
 
-    /// Compile with `seq` and run; full result.
+    /// Compile with `seq` (reusing any cached pipeline prefix) and run;
+    /// full result.
     pub fn run(&self, seq: &[Opt]) -> Result<RunResult, SimError> {
-        let mut m = self.module_o0.clone();
-        apply_sequence(&mut m, seq);
+        let (m, _changed) = self.cache.apply_cached(seq);
         simulate_default(&m, self.config, self.fuel)
+    }
+
+    /// Prefix-compilation-cache counters (hits, misses, passes elided).
+    pub fn compile_stats(&self) -> CompileCacheStats {
+        self.cache.stats()
     }
 }
 
@@ -77,7 +100,7 @@ impl IntelligentCompiler {
         IntelligentCompiler {
             config,
             kb: KnowledgeBase::new(),
-            space: SequenceSpace::paper(),
+            space: Arc::new(SequenceSpace::paper()),
         }
     }
 
@@ -119,18 +142,36 @@ impl IntelligentCompiler {
         let mut rng = SmallRng::seed_from_u64(seed);
         let seqs: Vec<Vec<Opt>> = (0..trials).map(|_| self.space.sample(&mut rng)).collect();
         type Outcome = (Vec<Opt>, f64, Vec<(String, u64)>);
-        let outcomes: Vec<Outcome> = seqs
+        // Hand the trials to rayon in lexicographic order so sequences
+        // sharing a pipeline prefix land on the same worker back-to-back
+        // (prefix-cache locality), then scatter outcomes back so the
+        // recorded experiments keep the RNG's sample order.
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        order.sort_unstable_by(|&a, &b| seqs[a].cmp(&seqs[b]));
+        let evaluated: Vec<(usize, Outcome)> = order
             .into_par_iter()
-            .map(|seq| match eval.run(&seq) {
-                Ok(r) => {
-                    let counters: Vec<(String, u64)> = ic_machine::Counter::ALL
-                        .iter()
-                        .map(|c| (c.name().to_string(), r.counters.get(*c)))
-                        .collect();
-                    (seq, r.cycles() as f64, counters)
-                }
-                Err(_) => (seq, f64::INFINITY, Vec::new()),
+            .map(|i| {
+                let seq = seqs[i].clone();
+                let outcome = match eval.run(&seq) {
+                    Ok(r) => {
+                        let counters: Vec<(String, u64)> = ic_machine::Counter::ALL
+                            .iter()
+                            .map(|c| (c.name().to_string(), r.counters.get(*c)))
+                            .collect();
+                        (seq, r.cycles() as f64, counters)
+                    }
+                    Err(_) => (seq, f64::INFINITY, Vec::new()),
+                };
+                (i, outcome)
             })
+            .collect();
+        let mut outcomes: Vec<Option<Outcome>> = (0..seqs.len()).map(|_| None).collect();
+        for (i, outcome) in evaluated {
+            outcomes[i] = Some(outcome);
+        }
+        let outcomes: Vec<Outcome> = outcomes
+            .into_iter()
+            .map(|o| o.expect("all slots"))
             .collect();
         // Write the measured costs through to the persisted evaluation
         // cache so later searches in the same context start warm (failed
@@ -141,13 +182,16 @@ impl IntelligentCompiler {
             .filter_map(|(seq, cycles, _)| self.space.encode(seq).map(|i| (i, *cycles)))
             .collect();
         self.kb.merge_eval_cache(&ctx, cached);
+        // One allocation per name for the whole run; records share it.
+        let program: Arc<str> = Arc::from(workload.name.as_str());
+        let arch: Arc<str> = Arc::from(self.config.name.as_str());
         for (seq, cycles, counters) in outcomes {
             if !cycles.is_finite() {
                 continue;
             }
             self.kb.add_experiment(ExperimentRecord {
-                program: workload.name.clone(),
-                arch: self.config.name.clone(),
+                program: program.clone(),
+                arch: arch.clone(),
                 sequence: seq.iter().map(|o| o.name().to_string()).collect(),
                 cycles: cycles as u64,
                 speedup: base / cycles,
@@ -177,13 +221,15 @@ impl IntelligentCompiler {
             seed,
         );
         crate::evalcache::flush_to_kb(&eval, &mut self.kb, &ctx);
+        let program: Arc<str> = Arc::from(workload.name.as_str());
+        let arch: Arc<str> = Arc::from(self.config.name.as_str());
         for (seq, cycles) in r.evaluated {
             if !cycles.is_finite() {
                 continue;
             }
             self.kb.add_experiment(ExperimentRecord {
-                program: workload.name.clone(),
-                arch: self.config.name.clone(),
+                program: program.clone(),
+                arch: arch.clone(),
                 sequence: seq.iter().map(|o| o.name().to_string()).collect(),
                 cycles: cycles as u64,
                 speedup: base / cycles,

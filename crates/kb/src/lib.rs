@@ -45,10 +45,16 @@ pub struct ArchRecord {
 
 /// One optimization experiment: a sequence applied to a program on an
 /// architecture, and what happened.
+///
+/// `program` and `arch` are `Arc<str>` because a single `populate_kb`
+/// run appends hundreds of records for the same workload/machine pair:
+/// producers mint the name once and clone the pointer per record instead
+/// of re-allocating the string (serialized form is unchanged — plain
+/// JSON strings).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentRecord {
-    pub program: String,
-    pub arch: String,
+    pub program: Arc<str>,
+    pub arch: Arc<str>,
     /// Optimization names (`ic_passes::Opt::name` strings).
     pub sequence: Vec<String>,
     pub cycles: u64,
@@ -147,7 +153,7 @@ impl KnowledgeBase {
     pub fn experiments_for(&self, program: &str, arch: &str) -> Vec<&ExperimentRecord> {
         self.experiments
             .iter()
-            .filter(|e| e.program == program && e.arch == arch)
+            .filter(|e| &*e.program == program && &*e.arch == arch)
             .collect()
     }
 
@@ -412,7 +418,7 @@ mod tests {
                 let kb = kb.clone();
                 std::thread::spawn(move || {
                     kb.write().add_experiment(ExperimentRecord {
-                        program: format!("p{i}"),
+                        program: format!("p{i}").into(),
                         arch: "a".into(),
                         sequence: vec!["dce".into()],
                         cycles: 100,

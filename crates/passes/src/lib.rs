@@ -25,6 +25,7 @@ pub mod if_convert;
 pub mod inline;
 pub mod licm;
 pub mod peephole;
+pub mod prefix_cache;
 pub mod ptr_compress;
 pub mod schedule;
 pub mod simplify_cfg;
@@ -33,6 +34,8 @@ pub mod unroll;
 
 use ic_ir::Module;
 use serde::{Deserialize, Serialize};
+
+pub use prefix_cache::{CompileCacheStats, PrefixCache, PrefixCacheConfig};
 
 /// A named optimization. The unit the optimization controller, the search
 /// strategies and the learned models all traffic in.

@@ -1,0 +1,130 @@
+//! Property tests for the prefix-tree compilation cache: for *any*
+//! sequence — including `ptr-compress` and `unroll*` in every relative
+//! order — [`PrefixCache::apply_cached`] must produce IR **identical**
+//! to cloning the base module and running [`apply_sequence`] from
+//! scratch. Identity is checked through the `ic-ir` printer, so any
+//! divergence in instructions, block structure, names, or layout fails.
+//!
+//! Each case shares one cache across a whole batch of sequences (plus
+//! every proper prefix of each), so later lookups genuinely hit prefixes
+//! cached by earlier ones — the property covers the reuse path, not just
+//! cold compiles.
+
+use ic_passes::{apply_sequence, Opt, PrefixCache, PrefixCacheConfig};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// A program with loops, arrays, calls and pointer-shaped data so every
+/// pass in the registry (unrolling, licm, ptr-compress, ...) has
+/// something to chew on.
+const SOURCE: &str = "
+    ptr next[32]; int vals[32]; int out[8];
+    int acc(int x) { return x * 3 - 1; }
+    int main() {
+        for (int i = 0; i < 32; i = i + 1) {
+            next[i] = (i * 13 + 7) % 32;
+            vals[i] = i * i - 4 * i;
+        }
+        int s = 0;
+        int p = 5;
+        for (int k = 0; k < 40; k = k + 1) {
+            s = s + acc(vals[p]);
+            p = next[p];
+            out[k % 8] = s;
+        }
+        return s + out[3];
+    }";
+
+fn base_module() -> &'static ic_ir::Module {
+    static MODULE: OnceLock<ic_ir::Module> = OnceLock::new();
+    MODULE.get_or_init(|| ic_lang::compile("prefix_props", SOURCE).expect("valid MinC"))
+}
+
+/// Uncached ground truth: printer text and changed-pass count.
+fn ground_truth(seq: &[Opt]) -> (String, usize) {
+    let mut m = base_module().clone();
+    let changed = apply_sequence(&mut m, seq);
+    (ic_ir::print::module_to_string(&m), changed)
+}
+
+/// Check `cache` against ground truth for `seq` and all its prefixes
+/// (longest first, so shorter lookups hit nodes the longer ones cached).
+fn check_seq_and_prefixes(cache: &PrefixCache, seq: &[Opt]) {
+    for k in (1..=seq.len()).rev() {
+        let sub = &seq[..k];
+        let (m, changed) = cache.apply_cached(sub);
+        let (want_text, want_changed) = ground_truth(sub);
+        assert_eq!(changed, want_changed, "changed-count diverged for {sub:?}");
+        assert_eq!(
+            ic_ir::print::module_to_string(&m),
+            want_text,
+            "IR diverged for {sub:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Arbitrary sequences over the full registry, batched through one
+    /// shared cache.
+    #[test]
+    fn cached_matches_uncached_for_random_batches(
+        seqs in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(Opt::ALL.to_vec()), 1..=6),
+            1..=6,
+        ),
+    ) {
+        let cache = PrefixCache::new(base_module().clone());
+        for seq in &seqs {
+            check_seq_and_prefixes(&cache, seq);
+        }
+        let stats = cache.stats();
+        prop_assert_eq!(stats.hits + stats.misses, stats.lookups());
+    }
+
+    /// The orderings the pipeline is most sensitive to: `ptr-compress`
+    /// and the unroll variants permuted around the scalar cleanups.
+    #[test]
+    fn ptr_compress_and_unroll_orderings(
+        seq in prop::collection::vec(
+            prop::sample::select(vec![
+                Opt::PtrCompress,
+                Opt::Unroll2,
+                Opt::Unroll4,
+                Opt::Unroll8,
+                Opt::Licm,
+                Opt::Dce,
+                Opt::Cse,
+            ]),
+            2..=5,
+        ),
+    ) {
+        let cache = PrefixCache::new(base_module().clone());
+        check_seq_and_prefixes(&cache, &seq);
+        // And again: the second walk must be served from cached prefixes
+        // without changing the answer.
+        let before = cache.stats().misses;
+        check_seq_and_prefixes(&cache, &seq);
+        prop_assert!(cache.stats().misses >= before, "stats are monotone");
+    }
+
+    /// A byte budget small enough to force evictions mid-batch never
+    /// changes results — eviction is a performance event, not a
+    /// correctness event.
+    #[test]
+    fn identity_survives_evictions(
+        seqs in prop::collection::vec(
+            prop::collection::vec(prop::sample::select(Opt::ALL.to_vec()), 1..=5),
+            2..=4,
+        ),
+    ) {
+        let cache = PrefixCache::with_config(
+            base_module().clone(),
+            PrefixCacheConfig { byte_budget: 16 * 1024 },
+        );
+        for seq in &seqs {
+            check_seq_and_prefixes(&cache, seq);
+        }
+    }
+}

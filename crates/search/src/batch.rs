@@ -14,6 +14,14 @@
 //! replicated, mirroring what a [`crate::CachedEvaluator`] would do
 //! across batches; composing both gives cross-run memoization *and*
 //! intra-batch dedup.
+//!
+//! Distinct sequences are handed to rayon in **lexicographic order** (the
+//! returned costs stay in input order, and candidate *selection* never
+//! sees the permutation, so RNG streams are untouched): rayon splits a
+//! sorted batch into contiguous chunks, so sequences sharing a pipeline
+//! prefix land on the same worker back-to-back and the prefix-tree
+//! compilation cache (`ic_passes::PrefixCache`) under the evaluator can
+//! elide the shared prefix instead of recompiling it per candidate.
 
 use crate::Evaluator;
 use ic_passes::Opt;
@@ -39,10 +47,18 @@ pub trait BatchEvaluator: Evaluator {
                 })
             })
             .collect();
-        let costs: Vec<f64> = uniq
+        // Evaluate in lexicographic order for compile-cache prefix
+        // locality, then scatter costs back to first-appearance slots.
+        let mut order: Vec<usize> = (0..uniq.len()).collect();
+        order.sort_unstable_by(|&a, &b| uniq[a].cmp(uniq[b]));
+        let sorted_costs: Vec<f64> = order
             .par_iter()
-            .map(|s| self.evaluate(s.as_slice()))
+            .map(|&i| self.evaluate(uniq[i].as_slice()))
             .collect();
+        let mut costs = vec![0.0; uniq.len()];
+        for (&slot, cost) in order.iter().zip(sorted_costs) {
+            costs[slot] = cost;
+        }
         assign.into_iter().map(|i| costs[i]).collect()
     }
 }

@@ -21,6 +21,7 @@ use ic_passes::Opt;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Shard count for the index-keyed table (power of two, modest: the
@@ -77,7 +78,7 @@ impl CacheStats {
 /// a table keyed by the sequence itself.
 pub struct CachedEvaluator<E> {
     inner: E,
-    space: SequenceSpace,
+    space: Arc<SequenceSpace>,
     shards: Vec<Mutex<HashMap<u64, f64>>>,
     misc: Mutex<HashMap<Vec<Opt>, f64>>,
     hits: AtomicU64,
@@ -86,11 +87,13 @@ pub struct CachedEvaluator<E> {
 }
 
 impl<E: Evaluator> CachedEvaluator<E> {
-    /// Wrap `inner`, memoizing over `space`.
-    pub fn new(space: SequenceSpace, inner: E) -> Self {
+    /// Wrap `inner`, memoizing over `space`. Accepts the space by value
+    /// or `Arc`-shared (callers that already hold an `Arc` avoid cloning
+    /// the alphabet vectors).
+    pub fn new(space: impl Into<Arc<SequenceSpace>>, inner: E) -> Self {
         CachedEvaluator {
             inner,
-            space,
+            space: space.into(),
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             misc: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),

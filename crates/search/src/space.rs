@@ -7,6 +7,18 @@ use rand::Rng;
 /// most once per sequence (the paper's footnote 1). Sequences are densely
 /// indexed in `0..count()`, enabling exhaustive enumeration, uniform
 /// sampling, and compact storage of search results.
+///
+/// # Index order is lexicographic (and that is a contract)
+///
+/// Dense indices enumerate the all-base block first — sequences ordered
+/// as base-B digit strings, most-significant (earliest) position first —
+/// then one block per (unroll position, unroll factor) pair, each again
+/// lexicographic over the non-unroll positions. Consecutive indices
+/// therefore almost always differ only in the final positions, i.e. they
+/// share a long *pipeline prefix*. The prefix-tree compilation cache
+/// (`ic_passes::PrefixCache`) turns that adjacency into elided pass
+/// applications, so enumeration order is part of the engine's
+/// performance contract; `ic-search::exhaustive` documents and tests it.
 #[derive(Debug, Clone)]
 pub struct SequenceSpace {
     /// Non-unroll optimizations.

@@ -35,6 +35,7 @@ struct Options {
     fuel: u64,
     kb: Option<String>,
     intelligent: bool,
+    stats: bool,
 }
 
 const USAGE: &str = "\
@@ -48,6 +49,8 @@ usage: icc <file.mc> [options]
                        warm from / persist the evaluation cache)
   --intelligent        predict the sequence from the knowledge base (needs --kb)
   --kb FILE            knowledge-base JSON to read/extend
+  --stats              print compile-cache / eval-cache statistics after
+                       --search or --intelligent
   --seed N             RNG seed (default 42)
   --fuel N             instruction budget (default 100M)
   --list-opts          print the optimization registry and exit
@@ -66,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         fuel: 100_000_000,
         kb: None,
         intelligent: false,
+        stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -95,6 +99,7 @@ fn parse_args() -> Result<Options, String> {
                 )
             }
             "--intelligent" => o.intelligent = true,
+            "--stats" => o.stats = true,
             "--kb" => o.kb = Some(it.next().ok_or("--kb needs a file")?),
             "--seed" => {
                 o.seed = it
@@ -237,6 +242,26 @@ fn run() -> Result<(), String> {
                 .map_err(|e| format!("{f}: {e}"))?;
             eprintln!("icc: persisted evaluation cache to {f}");
         }
+        if o.stats {
+            let cstats = eval.inner().compile_stats();
+            eprintln!(
+                "icc: eval cache    : {} lookups, {} hits / {} misses ({:.1}% hit rate), {:.0} evals/s raw",
+                stats.lookups(),
+                stats.hits,
+                stats.misses,
+                stats.hit_rate() * 100.0,
+                stats.evals_per_second()
+            );
+            eprintln!(
+                "icc: compile cache : {} prefix hits / {} misses ({:.1}% hit rate), {} passes run / {} elided ({:.2}x fewer pass applications)",
+                cstats.hits,
+                cstats.misses,
+                cstats.hit_rate() * 100.0,
+                cstats.passes_run,
+                cstats.passes_elided,
+                cstats.elision_factor()
+            );
+        }
         r.best_seq
     } else if o.intelligent {
         let kb_path = o.kb.clone().ok_or("--intelligent needs --kb FILE")?;
@@ -255,6 +280,12 @@ fn run() -> Result<(), String> {
             "icc: model predicted [{}]",
             seq.iter().map(|s| s.name()).collect::<Vec<_>>().join(" ")
         );
+        if o.stats {
+            eprintln!(
+                "icc: eval cache    : 0 lookups (one-shot prediction runs no trial evaluations)"
+            );
+            eprintln!("icc: compile cache : 1 pipeline compiled (the predicted sequence)");
+        }
         seq
     } else {
         match o.olevel {
