@@ -1,0 +1,168 @@
+//! `bench_serve` — throughput/latency benchmark for the `ic-serve`
+//! daemon, in-process over a real Unix socket.
+//!
+//! Drives a mixed workload (fixed-sequence compiles + repeated
+//! searches) from several concurrent clients, then reports requests/s
+//! and p50/p95 latency, plus the warm-vs-cold raw-simulation reduction
+//! the shared caches buy. Emits `BENCH_serve.json` for CI trend lines.
+//!
+//! ```sh
+//! cargo run --release -p ic-bench --bin bench_serve [requests] [clients]
+//! ```
+
+use ic_serve::proto::Response;
+use ic_serve::{Client, JobContext, ServeConfig, Server};
+use std::time::Instant;
+
+const SOURCE: &str = "\
+int a[64];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 64; i = i + 1) a[i] = i * 3 + 1;
+    for (int i = 0; i < 64; i = i + 1) s = s + a[i] * a[i];
+    return s;
+}
+";
+
+fn ctx() -> JobContext {
+    JobContext {
+        name: "hot".into(),
+        source: SOURCE.into(),
+        machine: "vliw".into(),
+        fuel: 100_000_000,
+        deadline_ms: 0,
+    }
+}
+
+/// The i-th compile request's optimization sequence: a deterministic
+/// walk over the registry so the prefix cache sees realistic overlap.
+fn sequence_for(i: usize) -> Vec<String> {
+    let opts = ic_passes::Opt::PAPER_13;
+    (0..(i % 5))
+        .map(|k| opts[(i * 7 + k * 3) % opts.len()].name().to_string())
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+
+    let socket = std::env::temp_dir().join(format!("ic-bench-serve-{}.sock", std::process::id()));
+    let handle = Server::spawn(
+        ServeConfig {
+            socket: socket.clone(),
+            queue_capacity: requests.max(64),
+            ..ServeConfig::default()
+        },
+        None,
+    )
+    .expect("server spawns");
+
+    // Cold vs warm search: the headline cache effect.
+    let mut probe = Client::connect_unix(&socket).expect("connect");
+    let cold = match probe.search(ctx(), "random", 60, 7).expect("search") {
+        Response::Search(s) => s,
+        other => panic!("expected Search, got {other:?}"),
+    };
+    let warm = match probe.search(ctx(), "random", 60, 7).expect("search") {
+        Response::Search(s) => s,
+        other => panic!("expected Search, got {other:?}"),
+    };
+    assert_eq!(cold.best_so_far, warm.best_so_far, "determinism violated");
+
+    // Mixed data-plane load from concurrent clients.
+    let t0 = Instant::now();
+    let per_client = requests / clients.max(1);
+    let threads: Vec<_> = (0..clients.max(1))
+        .map(|c| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_unix(&socket).expect("connect");
+                let mut lat = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let n = c * per_client + i;
+                    let t = Instant::now();
+                    let resp = if n % 10 == 9 {
+                        // Every tenth request re-runs the warm search.
+                        client.search(ctx(), "random", 60, 7).expect("search")
+                    } else {
+                        client
+                            .compile(ctx(), sequence_for(n), false)
+                            .expect("compile")
+                    };
+                    lat.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert!(
+                        matches!(resp, Response::Compile(_) | Response::Search(_)),
+                        "unexpected response: {resp:?}"
+                    );
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(requests);
+    for t in threads {
+        latencies_ms.extend(t.join().expect("client thread"));
+    }
+    let wall = t0.elapsed();
+
+    handle.shutdown();
+    let stats = handle.join();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let served = latencies_ms.len();
+    let rps = served as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p95 = percentile(&latencies_ms, 0.95);
+    let sims_reduction = if warm.stats.eval_misses == 0 {
+        f64::INFINITY
+    } else {
+        cold.stats.eval_misses as f64 / warm.stats.eval_misses as f64
+    };
+
+    println!("ic-serve benchmark ({served} requests, {clients} clients)");
+    println!("  wall time        : {:.2}s", wall.as_secs_f64());
+    println!("  throughput       : {rps:.0} requests/s");
+    println!("  latency p50      : {p50:.3}ms");
+    println!("  latency p95      : {p95:.3}ms");
+    println!(
+        "  cold search      : {} raw simulations",
+        cold.stats.eval_misses
+    );
+    println!(
+        "  warm search      : {} raw simulations ({sims_reduction:.0}x reduction)",
+        warm.stats.eval_misses
+    );
+    println!(
+        "  server totals    : {} compiles, {} searches, eval {} hits / {} misses",
+        stats.compile_requests, stats.search_requests, stats.eval_hits, stats.eval_misses
+    );
+
+    // Machine-readable record for CI. `inf` is not JSON, so the
+    // reduction field falls back to a large sentinel when warm ran
+    // zero simulations.
+    let reduction_json = if sims_reduction.is_finite() {
+        sims_reduction
+    } else {
+        cold.stats.eval_misses as f64
+    };
+    let json = format!(
+        "{{\"requests\":{served},\"clients\":{clients},\"wall_s\":{:.4},\"requests_per_s\":{rps:.1},\"p50_ms\":{p50:.4},\"p95_ms\":{p95:.4},\"cold_sims\":{},\"warm_sims\":{},\"sims_reduction\":{reduction_json:.1},\"eval_hits\":{},\"eval_misses\":{}}}",
+        wall.as_secs_f64(),
+        cold.stats.eval_misses,
+        warm.stats.eval_misses,
+        stats.eval_hits,
+        stats.eval_misses,
+    );
+    std::fs::write("BENCH_serve.json", format!("{json}\n")).expect("write BENCH_serve.json");
+    println!("  wrote BENCH_serve.json");
+}

@@ -36,34 +36,39 @@ pub struct IntelligentCompiler {
 /// re-running the shared passes (and the unoptimized module is never
 /// deep-cloned when a cached prefix exists). Results are bit-identical
 /// to compiling each sequence from scratch.
-pub struct WorkloadEvaluator<'a> {
+///
+/// Owns its machine configuration (a clone of the one passed to
+/// [`Self::new`]) so the evaluator is `'static`: long-lived services
+/// (`ic-serve`) keep one per workload+machine context in an `Arc` shared
+/// across connections.
+pub struct WorkloadEvaluator {
     cache: PrefixCache,
-    config: &'a MachineConfig,
+    config: MachineConfig,
     fuel: u64,
 }
 
-impl<'a> WorkloadEvaluator<'a> {
+impl WorkloadEvaluator {
     /// Build an evaluator for `workload` on `config`.
-    pub fn new(workload: &Workload, config: &'a MachineConfig) -> Self {
+    pub fn new(workload: &Workload, config: &MachineConfig) -> Self {
         Self::with_compile_budget(workload, config, PrefixCacheConfig::default())
     }
 
     /// Like [`Self::new`] but with an explicit compile-cache byte budget.
     pub fn with_compile_budget(
         workload: &Workload,
-        config: &'a MachineConfig,
+        config: &MachineConfig,
         cache_config: PrefixCacheConfig,
     ) -> Self {
         WorkloadEvaluator {
             cache: PrefixCache::with_config(workload.compile(), cache_config),
-            config,
+            config: config.clone(),
             fuel: workload.fuel,
         }
     }
 
     /// Cycles of the unoptimized build.
     pub fn baseline_cycles(&self) -> u64 {
-        simulate_default(self.cache.base(), self.config, self.fuel)
+        simulate_default(self.cache.base(), &self.config, self.fuel)
             .expect("baseline run")
             .cycles()
     }
@@ -72,7 +77,14 @@ impl<'a> WorkloadEvaluator<'a> {
     /// full result.
     pub fn run(&self, seq: &[Opt]) -> Result<RunResult, SimError> {
         let (m, _changed) = self.cache.apply_cached(seq);
-        simulate_default(&m, self.config, self.fuel)
+        simulate_default(&m, &self.config, self.fuel)
+    }
+
+    /// Compile with `seq` (through the prefix cache) without running:
+    /// the optimized module and how many passes changed it. Used by
+    /// services that need the IR itself (e.g. `ic-serve` `emit_ir`).
+    pub fn compile(&self, seq: &[Opt]) -> (ic_ir::Module, usize) {
+        self.cache.apply_cached(seq)
     }
 
     /// Prefix-compilation-cache counters (hits, misses, passes elided).
@@ -81,7 +93,7 @@ impl<'a> WorkloadEvaluator<'a> {
     }
 }
 
-impl Evaluator for WorkloadEvaluator<'_> {
+impl Evaluator for WorkloadEvaluator {
     fn evaluate(&self, seq: &[Opt]) -> f64 {
         match self.run(seq) {
             Ok(r) => r.cycles() as f64,

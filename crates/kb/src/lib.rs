@@ -251,15 +251,49 @@ impl KnowledgeBase {
         Ok(kb)
     }
 
-    /// Save to a file.
+    /// Save to a file, atomically: the JSON is written to a `.tmp`
+    /// sibling and renamed over `path`, so a crash mid-write leaves
+    /// either the old store or the new one — never a truncated hybrid.
     pub fn save(&self, path: &Path) -> Result<(), KbError> {
-        std::fs::write(path, self.to_json()).map_err(KbError::Io)
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json()).map_err(KbError::Io)?;
+        std::fs::rename(&tmp, path).map_err(KbError::Io)
     }
 
     /// Load from a file.
     pub fn load(path: &Path) -> Result<Self, KbError> {
         let s = std::fs::read_to_string(path).map_err(KbError::Io)?;
         Self::from_json(&s)
+    }
+
+    /// Load from a file, tolerating a corrupt or truncated store: a
+    /// store that exists but does not parse (or has the wrong schema) is
+    /// quarantined to `<path>.bad` and an empty knowledge base is
+    /// returned alongside the error, so a long-running service that hit
+    /// a partial write keeps serving instead of dying on startup. A
+    /// missing file is not an error — it simply yields a fresh store.
+    ///
+    /// Returns `(kb, Some(error))` when the store was corrupt (the error
+    /// says why; the caller should warn), `(kb, None)` otherwise.
+    pub fn load_or_quarantine(path: &Path) -> (Self, Option<KbError>) {
+        if !path.exists() {
+            return (Self::new(), None);
+        }
+        match Self::load(path) {
+            Ok(kb) => (kb, None),
+            Err(e) => {
+                // Move the bad store aside (best effort — if even the
+                // rename fails, the next save's atomic rename will
+                // replace it anyway).
+                let bad = {
+                    let mut os = path.as_os_str().to_owned();
+                    os.push(".bad");
+                    std::path::PathBuf::from(os)
+                };
+                let _ = std::fs::rename(path, &bad);
+                (Self::new(), Some(e))
+            }
+        }
     }
 }
 
@@ -361,6 +395,60 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("kb.json");
         kb.save(&path).unwrap();
+        let back = KnowledgeBase::load(&path).unwrap();
+        assert_eq!(back.experiments, kb.experiments);
+    }
+
+    #[test]
+    fn corrupt_store_is_quarantined_not_fatal() {
+        let dir = std::env::temp_dir().join("ic-kb-quarantine-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        let bad = dir.join("kb.json.bad");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&bad);
+
+        // Missing file: fresh store, no error, nothing quarantined.
+        let (kb, err) = KnowledgeBase::load_or_quarantine(&path);
+        assert!(err.is_none());
+        assert!(kb.experiments.is_empty());
+        assert!(!bad.exists());
+
+        // Truncated store (a partial write): quarantined to `.bad`.
+        let mut full = KnowledgeBase::new();
+        full.add_experiment(exp("p", &["dce"], 1.5));
+        let json = full.to_json();
+        std::fs::write(&path, &json[..json.len() / 2]).unwrap();
+        let (kb, err) = KnowledgeBase::load_or_quarantine(&path);
+        assert!(matches!(err, Some(KbError::Format(_))), "warns: {err:?}");
+        assert!(kb.experiments.is_empty(), "fresh store after corruption");
+        assert!(!path.exists(), "corrupt store moved aside");
+        assert!(bad.exists(), "corrupt store quarantined to .bad");
+
+        // The service keeps going: a save over the quarantined path and
+        // a clean reload both work.
+        full.save(&path).unwrap();
+        let (kb, err) = KnowledgeBase::load_or_quarantine(&path);
+        assert!(err.is_none());
+        assert_eq!(kb.experiments.len(), 1);
+
+        // Outright garbage also quarantines (schema mismatch included).
+        std::fs::write(&path, "not json at all {{{").unwrap();
+        let (_, err) = KnowledgeBase::load_or_quarantine(&path);
+        assert!(err.is_some());
+        assert!(bad.exists());
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let dir = std::env::temp_dir().join("ic-kb-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.json");
+        let mut kb = KnowledgeBase::new();
+        kb.add_experiment(exp("p", &["dce"], 2.0));
+        kb.save(&path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists(), "tmp renamed away");
         let back = KnowledgeBase::load(&path).unwrap();
         assert_eq!(back.experiments, kb.experiments);
     }

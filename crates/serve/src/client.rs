@@ -1,0 +1,144 @@
+//! A blocking client for the `ic-serve` protocol.
+//!
+//! One request, one response, in order — [`Client::request`] is the
+//! whole API, with typed helpers on top. Connects over the daemon's
+//! Unix socket or TCP.
+
+use crate::proto::{
+    read_message, write_message, AdminRequest, CharacterizeRequest, CompileRequest, FrameError,
+    JobContext, Request, Response, SearchRequest, StatsResponse,
+};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// Client-side errors.
+#[derive(Debug)]
+pub enum ClientError {
+    Connect(std::io::Error),
+    Frame(FrameError),
+    /// The server closed the stream before answering.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol: {e}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+enum Stream {
+    Unix(BufReader<UnixStream>, BufWriter<UnixStream>),
+    Tcp(
+        BufReader<std::net::TcpStream>,
+        BufWriter<std::net::TcpStream>,
+    ),
+}
+
+/// A connection to a running `ic-serve` daemon.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect over the daemon's Unix socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Client, ClientError> {
+        let w = UnixStream::connect(path.as_ref()).map_err(ClientError::Connect)?;
+        let r = w.try_clone().map_err(ClientError::Connect)?;
+        Ok(Client {
+            stream: Stream::Unix(BufReader::new(r), BufWriter::new(w)),
+        })
+    }
+
+    /// Connect over TCP (`host:port`).
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> Result<Client, ClientError> {
+        let w = std::net::TcpStream::connect(addr).map_err(ClientError::Connect)?;
+        let r = w.try_clone().map_err(ClientError::Connect)?;
+        Ok(Client {
+            stream: Stream::Tcp(BufReader::new(r), BufWriter::new(w)),
+        })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        fn round_trip<R: Read, W: Write>(
+            reader: &mut BufReader<R>,
+            writer: &mut BufWriter<W>,
+            request: &Request,
+        ) -> Result<Response, ClientError> {
+            write_message(writer, request)?;
+            read_message::<Response>(reader)?.ok_or(ClientError::Disconnected)
+        }
+        match &mut self.stream {
+            Stream::Unix(r, w) => round_trip(r, w, request),
+            Stream::Tcp(r, w) => round_trip(r, w, request),
+        }
+    }
+
+    /// Compile `ctx` with `sequence` (optimization names).
+    pub fn compile(
+        &mut self,
+        ctx: JobContext,
+        sequence: Vec<String>,
+        emit_ir: bool,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Compile(CompileRequest {
+            ctx,
+            sequence,
+            emit_ir,
+        }))
+    }
+
+    /// Run a budgeted search on the daemon.
+    pub fn search(
+        &mut self,
+        ctx: JobContext,
+        strategy: &str,
+        budget: usize,
+        seed: u64,
+    ) -> Result<Response, ClientError> {
+        self.request(&Request::Search(SearchRequest {
+            ctx,
+            strategy: strategy.into(),
+            budget,
+            seed,
+        }))
+    }
+
+    /// Fetch the -O0 counter vector for `ctx`.
+    pub fn characterize(&mut self, ctx: JobContext) -> Result<Response, ClientError> {
+        self.request(&Request::Characterize(CharacterizeRequest { ctx }))
+    }
+
+    /// Aggregated server statistics.
+    pub fn stats(&mut self) -> Result<StatsResponse, ClientError> {
+        match self.request(&Request::Admin(AdminRequest::Stats))? {
+            Response::Stats(s) => Ok(s),
+            other => Err(ClientError::Frame(FrameError::BadPayload(format!(
+                "expected Stats, got {other:?}"
+            )))),
+        }
+    }
+
+    /// Ask the daemon to persist its cache snapshots now.
+    pub fn flush(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Admin(AdminRequest::Flush))
+    }
+
+    /// Ask the daemon to shut down gracefully.
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.request(&Request::Admin(AdminRequest::Shutdown))
+    }
+}

@@ -1,0 +1,390 @@
+//! The daemon's warm core: one evaluator stack per workload+machine
+//! context, shared across every connection.
+//!
+//! An [`Engine`] owns the full two-level evaluation engine PR 1–2 built
+//! — a [`CachedEvaluator`] (whole-sequence memo table) wrapped around a
+//! [`WorkloadEvaluator`] (pass-prefix compilation cache) — plus the
+//! sequence space. The [`EnginePool`] keys engines by the same context
+//! fingerprint `ic-kb` uses for persisted snapshots, so the second
+//! client asking about a workload reuses everything the first client
+//! paid for, and a fingerprint collision is impossible without the
+//! costs being valid anyway.
+//!
+//! Request execution lives here too, behind a deadline guard: a search
+//! that outlives its deadline stops evaluating immediately (remaining
+//! lookups short-circuit to `+∞` *without* touching the shared memo
+//! table) and is reported as cancelled.
+
+use crate::proto::{
+    CharacterizeResponse, CompileRequest, CompileResponse, ErrorKind, ErrorResponse, JobContext,
+    RequestStats, SearchRequest, SearchResponse,
+};
+use ic_core::evalcache::context_fingerprint;
+use ic_core::WorkloadEvaluator;
+use ic_kb::KnowledgeBase;
+use ic_machine::{Counter, MachineConfig};
+use ic_passes::Opt;
+use ic_search::{anneal, genetic, hillclimb, random, CachedEvaluator, Evaluator, SequenceSpace};
+use ic_workloads::{Kind, Workload};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Resolve a machine config by protocol name.
+pub fn machine_by_name(name: &str) -> Option<MachineConfig> {
+    match name {
+        "vliw" => Some(MachineConfig::vliw_c6713_like()),
+        "amd" => Some(MachineConfig::superscalar_amd_like()),
+        "tiny" => Some(MachineConfig::test_tiny()),
+        _ => None,
+    }
+}
+
+/// One warm evaluation stack for a single workload+machine context.
+pub struct Engine {
+    /// Context fingerprint (`ic_core::evalcache::context_fingerprint`) —
+    /// the pool key and the knowledge-base snapshot key.
+    pub fingerprint: String,
+    pub workload: Workload,
+    pub config: MachineConfig,
+    pub space: Arc<SequenceSpace>,
+    pub eval: CachedEvaluator<WorkloadEvaluator>,
+}
+
+impl Engine {
+    fn build(ctx: &JobContext) -> Result<Engine, ErrorResponse> {
+        let config = machine_by_name(&ctx.machine).ok_or_else(|| ErrorResponse {
+            kind: ErrorKind::BadRequest,
+            message: format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
+            retry_after_ms: None,
+        })?;
+        // Validate the frontend up front so a syntax error is a
+        // structured BadRequest, not a worker panic.
+        ic_lang::compile(&ctx.name, &ctx.source).map_err(|e| ErrorResponse {
+            kind: ErrorKind::BadRequest,
+            message: format!("frontend: {e}"),
+            retry_after_ms: None,
+        })?;
+        let workload = Workload {
+            name: ctx.name.clone(),
+            kind: Kind::AluBound,
+            source: ctx.source.clone(),
+            fuel: ctx.fuel,
+        };
+        let space = Arc::new(SequenceSpace::paper());
+        let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&workload, &config));
+        Ok(Engine {
+            fingerprint: context_fingerprint(&workload, &config),
+            workload,
+            config,
+            space,
+            eval,
+        })
+    }
+}
+
+/// The pool of warm engines, keyed by context fingerprint.
+#[derive(Default)]
+pub struct EnginePool {
+    engines: Mutex<HashMap<String, Arc<Engine>>>,
+}
+
+impl EnginePool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the engine for `ctx`, building (and warming from `kb`'s
+    /// persisted snapshot) on first sight.
+    pub fn get_or_create(
+        &self,
+        ctx: &JobContext,
+        kb: &Mutex<KnowledgeBase>,
+    ) -> Result<Arc<Engine>, ErrorResponse> {
+        // Cheap pre-key: fingerprinting needs the config, so probe by
+        // (machine, name, fuel, source) only after a full build once.
+        // Build outside the map lock — engine construction compiles the
+        // workload, which can take milliseconds.
+        let fingerprint = {
+            let config = machine_by_name(&ctx.machine).ok_or_else(|| ErrorResponse {
+                kind: ErrorKind::BadRequest,
+                message: format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
+                retry_after_ms: None,
+            })?;
+            let probe = Workload {
+                name: ctx.name.clone(),
+                kind: Kind::AluBound,
+                source: ctx.source.clone(),
+                fuel: ctx.fuel,
+            };
+            context_fingerprint(&probe, &config)
+        };
+        if let Some(e) = self.engines.lock().get(&fingerprint) {
+            return Ok(e.clone());
+        }
+        let engine = Arc::new(Engine::build(ctx)?);
+        {
+            let warmed = ic_core::evalcache::warm_from_kb(&engine.eval, &kb.lock(), &fingerprint);
+            if warmed > 0 {
+                eprintln!(
+                    "ic-serve: warmed {warmed} cached evaluations for {}",
+                    engine.fingerprint
+                );
+            }
+        }
+        let mut map = self.engines.lock();
+        // A concurrent first-sight may have raced us; keep the winner so
+        // every connection shares one memo table.
+        Ok(map
+            .entry(fingerprint)
+            .or_insert_with(|| engine.clone())
+            .clone())
+    }
+
+    /// Snapshot every engine's memo table into `kb`. Returns the total
+    /// number of entries persisted.
+    pub fn flush_to_kb(&self, kb: &Mutex<KnowledgeBase>) -> u64 {
+        let engines: Vec<Arc<Engine>> = self.engines.lock().values().cloned().collect();
+        let mut total = 0u64;
+        let mut kb = kb.lock();
+        for e in engines {
+            total += kb.merge_eval_cache(&e.fingerprint, e.eval.snapshot()) as u64;
+        }
+        total
+    }
+
+    /// All resident engines (for stats aggregation).
+    pub fn engines(&self) -> Vec<Arc<Engine>> {
+        self.engines.lock().values().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.engines.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Evaluator wrapper that enforces a wall-clock deadline: once the
+/// deadline passes, every further lookup returns `+∞` immediately and
+/// never reaches the shared cache (so cancellation cannot poison it).
+struct DeadlineGuard<'a> {
+    inner: &'a dyn Evaluator,
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+}
+
+impl DeadlineGuard<'_> {
+    fn expired(&self) -> bool {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() > d => {
+                self.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Evaluator for DeadlineGuard<'_> {
+    fn evaluate(&self, seq: &[Opt]) -> f64 {
+        if self.expired() {
+            return f64::INFINITY;
+        }
+        self.inner.evaluate(seq)
+    }
+}
+
+/// Delta-capture around an engine's shared cache counters, for
+/// per-request stats.
+pub struct StatsCapture {
+    started: Instant,
+    eval_hits: u64,
+    eval_misses: u64,
+    compile_hits: u64,
+    compile_misses: u64,
+}
+
+impl StatsCapture {
+    pub fn begin(engine: &Engine) -> Self {
+        let e = engine.eval.stats();
+        let c = engine.eval.inner().compile_stats();
+        StatsCapture {
+            started: Instant::now(),
+            eval_hits: e.hits,
+            eval_misses: e.misses,
+            compile_hits: c.hits,
+            compile_misses: c.misses,
+        }
+    }
+
+    pub fn finish(self, engine: &Engine, queue_ms: f64) -> RequestStats {
+        let e = engine.eval.stats();
+        let c = engine.eval.inner().compile_stats();
+        RequestStats {
+            queue_ms,
+            service_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            eval_hits: e.hits.saturating_sub(self.eval_hits),
+            eval_misses: e.misses.saturating_sub(self.eval_misses),
+            compile_hits: c.hits.saturating_sub(self.compile_hits),
+            compile_misses: c.misses.saturating_sub(self.compile_misses),
+        }
+    }
+}
+
+fn parse_sequence(names: &[String]) -> Result<Vec<Opt>, ErrorResponse> {
+    names
+        .iter()
+        .map(|s| {
+            Opt::from_name(s).ok_or_else(|| ErrorResponse {
+                kind: ErrorKind::BadRequest,
+                message: format!("unknown optimization `{s}`"),
+                retry_after_ms: None,
+            })
+        })
+        .collect()
+}
+
+/// Serve a compile request on `engine`. The measured cost is written
+/// through to the shared eval cache, so compiles warm later searches.
+pub fn run_compile(
+    engine: &Engine,
+    req: &CompileRequest,
+    queue_ms: f64,
+) -> Result<CompileResponse, ErrorResponse> {
+    let seq = parse_sequence(&req.sequence)?;
+    let cap = StatsCapture::begin(engine);
+    let outcome = engine.eval.inner().run(&seq);
+    let resp = match outcome {
+        Ok(r) => {
+            if let Some(idx) = engine.space.encode(&seq) {
+                engine.eval.warm([(idx, r.cycles() as f64)]);
+            }
+            CompileResponse {
+                cycles: r.cycles() as f64,
+                instructions: r.instructions(),
+                result: r.ret_i64().unwrap_or(0),
+                counters: Counter::ALL
+                    .iter()
+                    .map(|c| (c.name().to_string(), r.counters.get(*c)))
+                    .collect(),
+                ir: req.emit_ir.then(|| {
+                    let (m, _) = engine.eval.inner().compile(&seq);
+                    ic_ir::print::module_to_string(&m)
+                }),
+                stats: RequestStats::default(),
+            }
+        }
+        // Fuel exhaustion is a valid measurement (+∞), not an error:
+        // the CLI reports it the same way the search engine scores it.
+        Err(_) => {
+            if let Some(idx) = engine.space.encode(&seq) {
+                engine.eval.warm([(idx, f64::INFINITY)]);
+            }
+            CompileResponse {
+                cycles: f64::INFINITY,
+                instructions: 0,
+                result: 0,
+                counters: Vec::new(),
+                ir: None,
+                stats: RequestStats::default(),
+            }
+        }
+    };
+    let stats = cap.finish(engine, queue_ms);
+    Ok(CompileResponse { stats, ..resp })
+}
+
+/// Serve a search request on `engine` under `deadline`.
+pub fn run_search(
+    engine: &Engine,
+    req: &SearchRequest,
+    deadline: Option<Instant>,
+    queue_ms: f64,
+) -> Result<SearchResponse, ErrorResponse> {
+    let cap = StatsCapture::begin(engine);
+    let guard = DeadlineGuard {
+        inner: &engine.eval,
+        deadline,
+        cancelled: AtomicBool::new(false),
+    };
+    let space = &engine.space;
+    let r = match req.strategy.as_str() {
+        "random" => random::run(space, &guard, req.budget, req.seed),
+        "hillclimb" => hillclimb::run(space, &guard, req.budget, 20, req.seed),
+        "genetic" => genetic::run(
+            space,
+            &guard,
+            req.budget,
+            &genetic::GaConfig::default(),
+            req.seed,
+        ),
+        "anneal" => anneal::run(
+            space,
+            &guard,
+            req.budget,
+            &anneal::AnnealConfig::default(),
+            req.seed,
+        ),
+        other => {
+            return Err(ErrorResponse {
+                kind: ErrorKind::BadRequest,
+                message: format!("unknown strategy `{other}` (random|hillclimb|genetic|anneal)"),
+                retry_after_ms: None,
+            })
+        }
+    };
+    if guard.cancelled.load(Ordering::Relaxed) {
+        return Err(ErrorResponse {
+            kind: ErrorKind::DeadlineExceeded,
+            message: format!(
+                "search cancelled mid-run after {} of {} evaluations",
+                r.evaluated.iter().filter(|(_, c)| c.is_finite()).count(),
+                req.budget
+            ),
+            retry_after_ms: None,
+        });
+    }
+    let stats = cap.finish(engine, queue_ms);
+    let evaluations = r.evaluations();
+    Ok(SearchResponse {
+        best_sequence: r.best_seq.iter().map(|o| o.name().to_string()).collect(),
+        best_cost: r.best_cost,
+        best_so_far: r.best_so_far,
+        evaluations,
+        stats,
+    })
+}
+
+/// Serve a characterize request: the -O0 counter vector.
+pub fn run_characterize(
+    engine: &Engine,
+    queue_ms: f64,
+) -> Result<CharacterizeResponse, ErrorResponse> {
+    let cap = StatsCapture::begin(engine);
+    match engine.eval.inner().run(&[]) {
+        Ok(r) => {
+            let stats = cap.finish(engine, queue_ms);
+            Ok(CharacterizeResponse {
+                counters: Counter::ALL
+                    .iter()
+                    .map(|c| (c.name().to_string(), r.counters.get(*c)))
+                    .collect(),
+                cycles: r.cycles() as f64,
+                stats,
+            })
+        }
+        Err(e) => Err(ErrorResponse {
+            kind: ErrorKind::BadRequest,
+            message: format!("baseline run failed: {e}"),
+            retry_after_ms: None,
+        }),
+    }
+}

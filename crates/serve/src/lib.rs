@@ -1,0 +1,48 @@
+//! # ic-serve — compilation as a service
+//!
+//! The ROADMAP's north star is a long-lived system serving heavy
+//! traffic, and the paper's Fig. 1 centers on a persistent intelligent
+//! optimization controller backed by a knowledge base — not a one-shot
+//! CLI. Until now every `icc` invocation started cold and died with its
+//! caches. This crate is the missing long-lived half: a daemon that
+//! keeps the whole two-level evaluation engine (PR 1's whole-sequence
+//! eval cache, PR 2's pass-prefix compilation cache) **warm and shared
+//! across every client**, in the spirit of MLComp's and MCompiler's
+//! persistent ML-guided frameworks.
+//!
+//! * [`proto`] — the length-prefixed newline-delimited JSON wire
+//!   protocol: `compile` / `search` / `characterize` / `admin`
+//!   requests, structured per-request stats in every response, and
+//!   structured errors (busy-with-retry-after, deadline-exceeded) so
+//!   overload degrades gracefully instead of hanging;
+//! * [`engine`] — the warm core: one
+//!   `CachedEvaluator<WorkloadEvaluator>` stack per workload+machine
+//!   context fingerprint, shared by all connections, warmed from and
+//!   persisted to the `ic-kb` store;
+//! * [`server`] — listeners (Unix socket, optional TCP), a bounded
+//!   submission queue in front of a worker pool (individual jobs still
+//!   fan out over rayon inside the search strategies), per-request
+//!   deadlines with mid-run cancellation, and graceful shutdown
+//!   (SIGTERM / `admin shutdown` → stop accepting, drain in-flight,
+//!   persist snapshots, exit 0);
+//! * [`client`] — a blocking client; `icc --remote <sock>` routes the
+//!   ordinary CLI surface through it, bit-identically to running
+//!   locally.
+//!
+//! Determinism contract: for a fixed seed, a remote `search` returns
+//! the same best sequence, cost, and trajectory as the same search
+//! in-process — warm caches change how many raw simulations run, never
+//! what the search observes.
+
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use engine::{machine_by_name, Engine, EnginePool};
+pub use proto::{
+    AdminRequest, CompileRequest, ErrorKind, JobContext, Request, RequestStats, Response,
+    SearchRequest, StatsResponse, PROTOCOL_VERSION,
+};
+pub use server::{ServeConfig, Server, ServerHandle};

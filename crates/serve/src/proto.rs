@@ -1,0 +1,458 @@
+//! The `ic-serve` wire protocol.
+//!
+//! Frames are **length-prefixed, newline-delimited JSON**: a decimal
+//! ASCII byte count, a newline, exactly that many bytes of JSON, and a
+//! trailing newline. The length prefix lets a reader allocate once and
+//! never scan JSON for frame boundaries; the newlines keep the stream
+//! greppable and `nc`-debuggable:
+//!
+//! ```text
+//! 47\n{"Compile":{"name":"hot","source":"...",...}}\n
+//! ```
+//!
+//! One request frame yields exactly one response frame, in order, so a
+//! client may pipeline. All payloads are externally-tagged enums with a
+//! versioned envelope field check ([`PROTOCOL_VERSION`]) performed by
+//! the server on `Hello`-less streams implicitly: an unknown tag or a
+//! malformed frame produces an [`ErrorResponse`] with kind
+//! [`ErrorKind::BadRequest`] rather than a dropped connection.
+//!
+//! Costs are `f64` cycles. Non-finite costs (a sequence whose
+//! compilation exceeded its fuel budget evaluates to `+∞`) serialize as
+//! JSON `null` and deserialize back to `+∞` — the one canonical
+//! non-finite value of the protocol, matching the knowledge-base
+//! convention in `ic-kb`.
+
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+
+/// Version of the wire protocol. Bump on breaking changes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame's payload, to keep a garbage or
+/// malicious length prefix from provoking a huge allocation.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A client request. Externally tagged: `{"Compile": {...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Compile a source with a fixed sequence, run it, return cost and
+    /// counters (and optionally the optimized IR).
+    Compile(CompileRequest),
+    /// Run a budgeted sequence search and return the best sequence plus
+    /// the full cost trajectory.
+    Search(SearchRequest),
+    /// Characterize a program: compile at -O0, run, return the counter
+    /// vector.
+    Characterize(CharacterizeRequest),
+    /// Server administration: stats, cache flush, shutdown.
+    Admin(AdminRequest),
+}
+
+/// The workload + machine context a request executes in. Requests
+/// carrying the same context (same name, source, machine, fuel) share
+/// one warm evaluator pool inside the daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobContext {
+    /// Program name (used for reporting and the context fingerprint).
+    pub name: String,
+    /// MinC source text.
+    pub source: String,
+    /// Machine config name: `vliw` | `amd` | `tiny`.
+    pub machine: String,
+    /// Instruction budget for simulation.
+    pub fuel: u64,
+    /// Per-request deadline in milliseconds; 0 means "use the server
+    /// default". A request still queued past its deadline is cancelled
+    /// without running; a search past its deadline stops evaluating and
+    /// reports [`ErrorKind::DeadlineExceeded`].
+    #[serde(default)]
+    pub deadline_ms: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileRequest {
+    pub ctx: JobContext,
+    /// Optimization names (`ic_passes::Opt::name` strings); empty = -O0.
+    pub sequence: Vec<String>,
+    /// Also return the optimized IR as text.
+    #[serde(default)]
+    pub emit_ir: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchRequest {
+    pub ctx: JobContext,
+    /// `random` | `hillclimb` | `genetic` | `anneal`.
+    pub strategy: String,
+    /// Evaluation budget.
+    pub budget: usize,
+    /// RNG seed — same seed, same trajectory, hot or cold.
+    pub seed: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizeRequest {
+    pub ctx: JobContext,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AdminRequest {
+    /// Aggregated server statistics.
+    Stats,
+    /// Persist every engine's evaluation-cache snapshot to the
+    /// knowledge-base store now.
+    Flush,
+    /// Graceful shutdown: stop accepting, drain in-flight requests,
+    /// persist snapshots, exit 0.
+    Shutdown,
+}
+
+// ---------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------
+
+/// A server response. One per request, in request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Compile(CompileResponse),
+    Search(SearchResponse),
+    Characterize(CharacterizeResponse),
+    Stats(StatsResponse),
+    /// Acknowledgement for `Admin(Flush)` / `Admin(Shutdown)`.
+    Admin(AdminResponse),
+    Error(ErrorResponse),
+}
+
+/// Per-request service statistics, returned in every successful
+/// response. Cache counters are deltas over the engine's shared caches
+/// attributable to this request (approximate only when concurrent
+/// requests hammer the same context — the totals in `Admin(Stats)` are
+/// exact).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RequestStats {
+    /// Milliseconds spent queued before a worker picked the job up.
+    pub queue_ms: f64,
+    /// Milliseconds of service time (compile + simulate + search).
+    pub service_ms: f64,
+    /// Evaluation-cache hits attributable to this request.
+    pub eval_hits: u64,
+    /// Evaluation-cache misses (= raw simulations run) for this request.
+    pub eval_misses: u64,
+    /// Pass-prefix compile-cache hits for this request.
+    pub compile_hits: u64,
+    /// Pass-prefix compile-cache misses for this request.
+    pub compile_misses: u64,
+}
+
+impl RequestStats {
+    /// Fraction of evaluation lookups served without simulating.
+    pub fn eval_hit_rate(&self) -> f64 {
+        let total = self.eval_hits + self.eval_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.eval_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompileResponse {
+    /// Simulated cycles (`+∞` if the run exceeded its fuel budget).
+    pub cycles: f64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// The program's return value.
+    pub result: i64,
+    /// Named counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Optimized IR text (only when `emit_ir` was set).
+    #[serde(default)]
+    pub ir: Option<String>,
+    pub stats: RequestStats,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResponse {
+    /// Best sequence found (optimization names).
+    pub best_sequence: Vec<String>,
+    /// Its cost in cycles.
+    pub best_cost: f64,
+    /// `best_so_far[i]` = best cost after `i + 1` evaluations — the
+    /// trajectory, bit-identical to an in-process run with the same
+    /// seed.
+    pub best_so_far: Vec<f64>,
+    /// Evaluations actually performed.
+    pub evaluations: usize,
+    pub stats: RequestStats,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharacterizeResponse {
+    /// Named counter values of the -O0 run.
+    pub counters: Vec<(String, u64)>,
+    /// Simulated cycles of the -O0 run.
+    pub cycles: f64,
+    pub stats: RequestStats,
+}
+
+/// Aggregated server statistics (`Admin(Stats)`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StatsResponse {
+    pub protocol_version: u32,
+    /// Requests fully served, by type.
+    pub compile_requests: u64,
+    pub search_requests: u64,
+    pub characterize_requests: u64,
+    /// Requests rejected because the submission queue was full.
+    pub busy_rejections: u64,
+    /// Requests cancelled by their deadline (queued or mid-run).
+    pub deadline_cancellations: u64,
+    /// Malformed or unserviceable requests.
+    pub bad_requests: u64,
+    /// Jobs currently waiting in the submission queue.
+    pub queue_depth: usize,
+    /// Warm evaluator pools currently resident (one per distinct
+    /// workload+machine context).
+    pub engines: usize,
+    /// Totals across all engines since startup.
+    pub eval_hits: u64,
+    pub eval_misses: u64,
+    /// Memoized costs currently held across all engines.
+    pub eval_entries: u64,
+    pub compile_hits: u64,
+    pub compile_misses: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: f64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdminResponse {
+    /// What was acknowledged: `"flush"` or `"shutdown"`.
+    pub action: String,
+    /// Evaluation-cache entries persisted to the knowledge base by this
+    /// action (0 when no store is configured).
+    pub persisted_entries: u64,
+}
+
+/// Machine-readable error kinds — the structured part of graceful
+/// degradation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// The submission queue is full; retry after `retry_after_ms`.
+    Busy,
+    /// The request's deadline elapsed (in queue or mid-run).
+    DeadlineExceeded,
+    /// The request was malformed (bad frame, unknown machine/strategy/
+    /// optimization name, frontend error).
+    BadRequest,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+    /// Anything else.
+    Internal,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    pub kind: ErrorKind,
+    pub message: String,
+    /// For [`ErrorKind::Busy`]: a backoff hint in milliseconds.
+    #[serde(default)]
+    pub retry_after_ms: Option<u64>,
+}
+
+impl ErrorResponse {
+    pub fn bad_request(message: impl Into<String>) -> Response {
+        Response::Error(ErrorResponse {
+            kind: ErrorKind::BadRequest,
+            message: message.into(),
+            retry_after_ms: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Framing / transport errors.
+#[derive(Debug)]
+pub enum FrameError {
+    Io(std::io::Error),
+    /// The length prefix was not a decimal integer, or exceeded
+    /// [`MAX_FRAME_BYTES`].
+    BadLength(String),
+    /// The payload was not valid JSON for the expected type.
+    BadPayload(String),
+    /// The stream ended mid-frame.
+    Truncated,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "io: {e}"),
+            FrameError::BadLength(s) => write!(f, "bad frame length: {s}"),
+            FrameError::BadPayload(s) => write!(f, "bad frame payload: {s}"),
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: `<len>\n<json>\n`.
+pub fn write_frame(w: &mut impl Write, json: &str) -> Result<(), FrameError> {
+    w.write_all(json.len().to_string().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.write_all(json.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's JSON payload. `Ok(None)` on clean end-of-stream
+/// (EOF at a frame boundary).
+pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Ok(None); // clean EOF between frames
+    }
+    let len: usize = header
+        .trim()
+        .parse()
+        .map_err(|_| FrameError::BadLength(header.trim().to_string()))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::BadLength(format!(
+            "{len} bytes exceeds the {MAX_FRAME_BYTES}-byte frame cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    let mut nl = [0u8; 1];
+    r.read_exact(&mut nl).map_err(|_| FrameError::Truncated)?;
+    if nl[0] != b'\n' {
+        return Err(FrameError::BadPayload("missing frame terminator".into()));
+    }
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| FrameError::BadPayload(e.to_string()))
+}
+
+/// Serialize + frame a value in one step.
+pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
+    let json = serde_json::to_string(msg).map_err(|e| FrameError::BadPayload(e.to_string()))?;
+    write_frame(w, &json)
+}
+
+/// Read + deserialize a value in one step. `Ok(None)` on clean EOF.
+pub fn read_message<T: Deserialize>(r: &mut impl BufRead) -> Result<Option<T>, FrameError> {
+    match read_frame(r)? {
+        Some(json) => serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| FrameError::BadPayload(e.to_string())),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn ctx() -> JobContext {
+        JobContext {
+            name: "hot".into(),
+            source: "fn main() -> i64 { return 0; }".into(),
+            machine: "vliw".into(),
+            fuel: 1_000_000,
+            deadline_ms: 0,
+        }
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"x\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = BufReader::new(&buf[..]);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "{\"x\":1}");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::Search(SearchRequest {
+            ctx: ctx(),
+            strategy: "random".into(),
+            budget: 50,
+            seed: 42,
+        });
+        let mut buf = Vec::new();
+        write_message(&mut buf, &req).unwrap();
+        let back: Request = read_message(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn non_finite_costs_survive_as_canonical_infinity() {
+        let resp = Response::Search(SearchResponse {
+            best_sequence: vec!["dce".into()],
+            best_cost: 123.0,
+            best_so_far: vec![f64::INFINITY, 123.0],
+            evaluations: 2,
+            stats: RequestStats::default(),
+        });
+        let mut buf = Vec::new();
+        write_message(&mut buf, &resp).unwrap();
+        let back: Response = read_message(&mut BufReader::new(&buf[..]))
+            .unwrap()
+            .unwrap();
+        match back {
+            Response::Search(s) => {
+                assert!(s.best_so_far[0].is_infinite() && s.best_so_far[0] > 0.0);
+                assert_eq!(s.best_so_far[1], 123.0);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_frames_error_cleanly() {
+        // Truncated payload.
+        let mut r = BufReader::new(&b"10\n{\"x\""[..]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Non-numeric length.
+        let mut r = BufReader::new(&b"banana\n"[..]);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadLength(_))));
+        // Oversized length.
+        let huge = format!("{}\n", MAX_FRAME_BYTES + 1);
+        let mut r = BufReader::new(huge.as_bytes());
+        assert!(matches!(read_frame(&mut r), Err(FrameError::BadLength(_))));
+        // Valid frame, invalid JSON for the type.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"NotARequest\":{}}").unwrap();
+        let r: Result<Option<Request>, _> = read_message(&mut BufReader::new(&buf[..]));
+        assert!(matches!(r, Err(FrameError::BadPayload(_))));
+    }
+}

@@ -1,0 +1,602 @@
+//! The `ic-serve` daemon: listeners, the bounded submission queue, the
+//! worker pool, and graceful shutdown.
+//!
+//! ## Threading model
+//!
+//! * one accept thread per listener (Unix socket always, TCP
+//!   optionally) — accepts connections and spawns a connection thread;
+//! * one connection thread per client — decodes frames, answers admin
+//!   requests inline (the admin plane must work even when the data
+//!   plane is jammed), and submits compile/search/characterize jobs to
+//!   the bounded queue, blocking on the job's reply so responses stay
+//!   in request order (clients may pipeline);
+//! * `workers` worker threads — pop jobs, execute them on the shared
+//!   [`EnginePool`], reply.
+//!
+//! ## Graceful degradation
+//!
+//! * queue full → the job is rejected *immediately* with a structured
+//!   [`ErrorKind::Busy`] response carrying a `retry_after_ms` hint
+//!   (scaled by recent service times), never a hang;
+//! * a job still queued past its deadline is cancelled without running;
+//!   a search past its deadline stops evaluating (see
+//!   `engine::DeadlineGuard`) and reports
+//!   [`ErrorKind::DeadlineExceeded`];
+//! * shutdown (SIGTERM via an external flag, or `Admin(Shutdown)`)
+//!   stops accepting, drains in-flight jobs, persists every engine's
+//!   eval-cache snapshot to the knowledge-base store, and exits 0.
+
+use crate::engine::{run_characterize, run_compile, run_search, EnginePool};
+use crate::proto::{
+    write_message, AdminRequest, AdminResponse, ErrorKind, ErrorResponse, FrameError, JobContext,
+    Request, Response, StatsResponse, PROTOCOL_VERSION,
+};
+use ic_kb::KnowledgeBase;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+// The queue needs a condvar; the vendored parking_lot has none, so the
+// queue alone runs on std primitives (guards recover from poisoning —
+// a panicking worker must not wedge the whole daemon).
+use std::io::{BufReader, BufWriter};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Unix socket path to listen on.
+    pub socket: PathBuf,
+    /// Optional TCP address (`host:port`) to also listen on.
+    pub tcp: Option<String>,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Submission-queue capacity; a full queue rejects with `Busy`.
+    pub queue_capacity: usize,
+    /// Default per-request deadline in ms (0 = none).
+    pub default_deadline_ms: u64,
+    /// Knowledge-base JSON store to warm engines from and persist
+    /// snapshots to on flush/shutdown.
+    pub kb_path: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            socket: std::env::temp_dir().join("ic-serve.sock"),
+            tcp: None,
+            workers: std::thread::available_parallelism()
+                .map(|p| p.get().min(4))
+                .unwrap_or(2),
+            queue_capacity: 64,
+            default_deadline_ms: 0,
+            kb_path: None,
+        }
+    }
+}
+
+/// One queued data-plane job.
+struct Job {
+    request: Request,
+    enqueued: Instant,
+    deadline: Option<Instant>,
+    reply: mpsc::Sender<Response>,
+}
+
+/// Bounded MPMC queue with condvar wakeups.
+struct JobQueue {
+    jobs: StdMutex<VecDeque<Job>>,
+    ready: StdCondvar,
+    capacity: usize,
+}
+
+enum PushError {
+    Full,
+    ShuttingDown,
+}
+
+impl JobQueue {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn push(&self, job: Job, draining: bool) -> Result<(), PushError> {
+        if draining {
+            return Err(PushError::ShuttingDown);
+        }
+        let mut q = self.lock();
+        if q.len() >= self.capacity {
+            return Err(PushError::Full);
+        }
+        q.push_back(job);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop a job, blocking. Returns `None` once `draining` is set and
+    /// the queue is empty (the drain contract: queued work finishes).
+    fn pop(&self, draining: &AtomicBool) -> Option<Job> {
+        let mut q = self.lock();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if draining.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .ready
+                .wait_timeout(q, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.lock().len()
+    }
+}
+
+/// Monotonic aggregate counters for `Admin(Stats)`.
+#[derive(Default)]
+struct Agg {
+    compile_requests: AtomicU64,
+    search_requests: AtomicU64,
+    characterize_requests: AtomicU64,
+    busy_rejections: AtomicU64,
+    deadline_cancellations: AtomicU64,
+    bad_requests: AtomicU64,
+    /// EWMA of service time in microseconds (backoff hint input).
+    service_ewma_us: AtomicU64,
+}
+
+impl Agg {
+    fn observe_service(&self, elapsed: Duration) {
+        let us = elapsed.as_micros() as u64;
+        let old = self.service_ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { (old * 7 + us) / 8 };
+        self.service_ewma_us.store(new, Ordering::Relaxed);
+    }
+
+    /// Backoff hint for `Busy` rejections: roughly the time for the
+    /// current queue to drain at recent service rates, floored at 50ms.
+    fn retry_after_ms(&self, queue_depth: usize, workers: usize) -> u64 {
+        let per_job_ms = self.service_ewma_us.load(Ordering::Relaxed) / 1000;
+        (per_job_ms * queue_depth as u64 / workers.max(1) as u64).max(50)
+    }
+}
+
+/// Shared state of a running server.
+pub struct ServerState {
+    config: ServeConfig,
+    engines: EnginePool,
+    queue: JobQueue,
+    agg: Agg,
+    kb: Mutex<KnowledgeBase>,
+    /// True once shutdown begins: listeners stop accepting, the queue
+    /// rejects new jobs, workers exit when drained.
+    draining: AtomicBool,
+    started: Instant,
+}
+
+impl ServerState {
+    /// Begin graceful shutdown (idempotent).
+    pub fn begin_shutdown(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.queue.ready.notify_all();
+    }
+
+    /// True once shutdown has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Persist every engine's eval-cache snapshot into the knowledge
+    /// base and save it to the configured store. Returns entries
+    /// persisted (0 with no store configured — snapshots still merge
+    /// into the in-memory KB so a later flush with a store catches up).
+    pub fn flush(&self) -> u64 {
+        let total = self.engines.flush_to_kb(&self.kb);
+        if let Some(path) = &self.config.kb_path {
+            if let Err(e) = self.kb.lock().save(path) {
+                eprintln!("ic-serve: persisting {}: {e}", path.display());
+                return 0;
+            }
+        }
+        total
+    }
+
+    fn stats(&self) -> StatsResponse {
+        let mut s = StatsResponse {
+            protocol_version: PROTOCOL_VERSION,
+            compile_requests: self.agg.compile_requests.load(Ordering::Relaxed),
+            search_requests: self.agg.search_requests.load(Ordering::Relaxed),
+            characterize_requests: self.agg.characterize_requests.load(Ordering::Relaxed),
+            busy_rejections: self.agg.busy_rejections.load(Ordering::Relaxed),
+            deadline_cancellations: self.agg.deadline_cancellations.load(Ordering::Relaxed),
+            bad_requests: self.agg.bad_requests.load(Ordering::Relaxed),
+            queue_depth: self.queue.len(),
+            engines: self.engines.len(),
+            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            ..Default::default()
+        };
+        for e in self.engines.engines() {
+            let ev = e.eval.stats();
+            let cv = e.eval.inner().compile_stats();
+            s.eval_hits += ev.hits;
+            s.eval_misses += ev.misses;
+            s.eval_entries += ev.entries as u64;
+            s.compile_hits += cv.hits;
+            s.compile_misses += cv.misses;
+        }
+        s
+    }
+
+    fn effective_deadline(&self, ctx: &JobContext, now: Instant) -> Option<Instant> {
+        let ms = if ctx.deadline_ms != 0 {
+            ctx.deadline_ms
+        } else {
+            self.config.default_deadline_ms
+        };
+        (ms != 0).then(|| now + Duration::from_millis(ms))
+    }
+
+    /// Execute one data-plane job (already popped by a worker).
+    fn execute(&self, job: Job) {
+        let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        // Cancelled while queued?
+        if let Some(d) = job.deadline {
+            if Instant::now() > d {
+                self.agg
+                    .deadline_cancellations
+                    .fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Response::Error(ErrorResponse {
+                    kind: ErrorKind::DeadlineExceeded,
+                    message: format!("deadline elapsed after {queue_ms:.0}ms in queue"),
+                    retry_after_ms: None,
+                }));
+                return;
+            }
+        }
+        let t0 = Instant::now();
+        let response = match &job.request {
+            Request::Compile(req) => match self.engines.get_or_create(&req.ctx, &self.kb) {
+                Ok(engine) => match run_compile(&engine, req, queue_ms) {
+                    Ok(r) => {
+                        self.agg.compile_requests.fetch_add(1, Ordering::Relaxed);
+                        Response::Compile(r)
+                    }
+                    Err(e) => self.error_response(e),
+                },
+                Err(e) => self.error_response(e),
+            },
+            Request::Search(req) => match self.engines.get_or_create(&req.ctx, &self.kb) {
+                Ok(engine) => {
+                    let deadline = job.deadline;
+                    match run_search(&engine, req, deadline, queue_ms) {
+                        Ok(r) => {
+                            self.agg.search_requests.fetch_add(1, Ordering::Relaxed);
+                            Response::Search(r)
+                        }
+                        Err(e) => self.error_response(e),
+                    }
+                }
+                Err(e) => self.error_response(e),
+            },
+            Request::Characterize(req) => match self.engines.get_or_create(&req.ctx, &self.kb) {
+                Ok(engine) => match run_characterize(&engine, queue_ms) {
+                    Ok(r) => {
+                        self.agg
+                            .characterize_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        Response::Characterize(r)
+                    }
+                    Err(e) => self.error_response(e),
+                },
+                Err(e) => self.error_response(e),
+            },
+            // Admin requests never enter the queue.
+            Request::Admin(_) => ErrorResponse::bad_request("admin requests are not queueable"),
+        };
+        self.agg.observe_service(t0.elapsed());
+        // A disconnected client is not an error — the work (and the
+        // warm cache it produced) is still valuable.
+        let _ = job.reply.send(response);
+    }
+
+    fn error_response(&self, e: ErrorResponse) -> Response {
+        match e.kind {
+            ErrorKind::DeadlineExceeded => {
+                self.agg
+                    .deadline_cancellations
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorKind::BadRequest => {
+                self.agg.bad_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+        Response::Error(e)
+    }
+
+    /// Answer an admin request inline.
+    fn admin(&self, req: &AdminRequest) -> Response {
+        match req {
+            AdminRequest::Stats => Response::Stats(self.stats()),
+            AdminRequest::Flush => Response::Admin(AdminResponse {
+                action: "flush".into(),
+                persisted_entries: self.flush(),
+            }),
+            AdminRequest::Shutdown => {
+                let persisted = self.flush();
+                self.begin_shutdown();
+                Response::Admin(AdminResponse {
+                    action: "shutdown".into(),
+                    persisted_entries: persisted,
+                })
+            }
+        }
+    }
+
+    /// Route one decoded request from a connection thread.
+    fn serve_request(&self, request: Request) -> Response {
+        if let Request::Admin(req) = &request {
+            return self.admin(req);
+        }
+        let now = Instant::now();
+        let ctx = match &request {
+            Request::Compile(r) => &r.ctx,
+            Request::Search(r) => &r.ctx,
+            Request::Characterize(r) => &r.ctx,
+            Request::Admin(_) => unreachable!(),
+        };
+        let deadline = self.effective_deadline(ctx, now);
+        let (tx, rx) = mpsc::channel();
+        let job = Job {
+            request: request.clone(),
+            enqueued: now,
+            deadline,
+            reply: tx,
+        };
+        match self.queue.push(job, self.is_draining()) {
+            Ok(()) => match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => Response::Error(ErrorResponse {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "server shut down before the job ran".into(),
+                    retry_after_ms: None,
+                }),
+            },
+            Err(PushError::Full) => {
+                self.agg.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                Response::Error(ErrorResponse {
+                    kind: ErrorKind::Busy,
+                    message: format!(
+                        "submission queue full ({} jobs)",
+                        self.config.queue_capacity
+                    ),
+                    retry_after_ms: Some(
+                        self.agg
+                            .retry_after_ms(self.queue.len(), self.config.workers),
+                    ),
+                })
+            }
+            Err(PushError::ShuttingDown) => Response::Error(ErrorResponse {
+                kind: ErrorKind::ShuttingDown,
+                message: "server is draining for shutdown".into(),
+                retry_after_ms: None,
+            }),
+        }
+    }
+}
+
+/// Serve one client connection until EOF or a fatal frame error. Frame
+/// errors that are recoverable in principle (bad JSON) get an error
+/// response; a torn stream just closes.
+fn serve_connection<S>(state: &Arc<ServerState>, stream: S)
+where
+    S: std::io::Read + std::io::Write + TryCloneStream,
+{
+    let reader_half = match stream.try_clone_stream() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(reader_half);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        match crate::proto::read_message::<Request>(&mut reader) {
+            Ok(Some(request)) => {
+                let response = state.serve_request(request);
+                if write_message(&mut writer, &response).is_err() {
+                    return; // client went away
+                }
+            }
+            Ok(None) => return, // clean EOF
+            Err(FrameError::BadPayload(msg)) => {
+                state.agg.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let resp = ErrorResponse::bad_request(format!("malformed request: {msg}"));
+                if write_message(&mut writer, &resp).is_err() {
+                    return;
+                }
+            }
+            Err(_) => return, // torn frame or IO error: drop the stream
+        }
+    }
+}
+
+/// `try_clone` over both stream types, so one connection loop serves
+/// Unix and TCP.
+trait TryCloneStream: Sized {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+}
+
+impl TryCloneStream for UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+}
+
+impl TryCloneStream for std::net::TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+}
+
+/// A running daemon.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Bound TCP address, when TCP was requested (useful with port 0).
+    pub tcp_addr: Option<std::net::SocketAddr>,
+}
+
+impl ServerHandle {
+    /// Shared state (for tests and embedding).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The Unix socket path the server listens on.
+    pub fn socket(&self) -> &std::path::Path {
+        &self.state.config.socket
+    }
+
+    /// Trigger graceful shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Block until the server has fully drained, then persist caches a
+    /// final time. Returns the aggregate stats at exit.
+    pub fn join(self) -> StatsResponse {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        // Final write-through: catches evaluations that landed between
+        // an admin-triggered flush and the last worker exiting.
+        self.state.flush();
+        let _ = std::fs::remove_file(&self.state.config.socket);
+        self.state.stats()
+    }
+}
+
+/// The server entry point.
+pub struct Server;
+
+impl Server {
+    /// Start a daemon: bind listeners, spawn workers, return a handle.
+    ///
+    /// `external_shutdown` is an optional flag (e.g. set from a SIGTERM
+    /// handler) polled by the accept loop; setting it begins the same
+    /// graceful drain as `Admin(Shutdown)`.
+    pub fn spawn(
+        config: ServeConfig,
+        external_shutdown: Option<&'static AtomicBool>,
+    ) -> std::io::Result<ServerHandle> {
+        let (kb, kb_err) = match &config.kb_path {
+            Some(path) => KnowledgeBase::load_or_quarantine(path),
+            None => (KnowledgeBase::new(), None),
+        };
+        if let Some(e) = kb_err {
+            eprintln!(
+                "ic-serve: knowledge-base store was corrupt ({e}); quarantined to .bad, starting fresh"
+            );
+        }
+        // Remove a stale socket from a previous unclean exit.
+        let _ = std::fs::remove_file(&config.socket);
+        let unix = UnixListener::bind(&config.socket)?;
+        unix.set_nonblocking(true)?;
+        let tcp = match &config.tcp {
+            Some(addr) => {
+                let l = std::net::TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let tcp_addr = tcp.as_ref().and_then(|l| l.local_addr().ok());
+
+        let workers = config.workers.max(1);
+        let state = Arc::new(ServerState {
+            queue: JobQueue {
+                jobs: StdMutex::new(VecDeque::new()),
+                ready: StdCondvar::new(),
+                capacity: config.queue_capacity.max(1),
+            },
+            config,
+            engines: EnginePool::new(),
+            agg: Agg::default(),
+            kb: Mutex::new(kb),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+
+        let mut threads = Vec::new();
+        // Accept loop(s): poll-accept so shutdown is observed promptly.
+        threads.push(spawn_accept_loop(
+            state.clone(),
+            external_shutdown,
+            move |s| {
+                unix.accept().map(|(c, _)| {
+                    let state = s.clone();
+                    std::thread::spawn(move || serve_connection(&state, c))
+                })
+            },
+        ));
+        if let Some(tcp) = tcp {
+            threads.push(spawn_accept_loop(
+                state.clone(),
+                external_shutdown,
+                move |s| {
+                    tcp.accept().map(|(c, _)| {
+                        let state = s.clone();
+                        std::thread::spawn(move || serve_connection(&state, c))
+                    })
+                },
+            ));
+        }
+        for _ in 0..workers {
+            let state = state.clone();
+            threads.push(std::thread::spawn(move || {
+                while let Some(job) = state.queue.pop(&state.draining) {
+                    state.execute(job);
+                }
+            }));
+        }
+        Ok(ServerHandle {
+            state,
+            threads,
+            tcp_addr,
+        })
+    }
+}
+
+fn spawn_accept_loop(
+    state: Arc<ServerState>,
+    external_shutdown: Option<&'static AtomicBool>,
+    mut accept: impl FnMut(&Arc<ServerState>) -> std::io::Result<std::thread::JoinHandle<()>>
+        + Send
+        + 'static,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if let Some(flag) = external_shutdown {
+            if flag.load(Ordering::SeqCst) {
+                state.begin_shutdown();
+            }
+        }
+        if state.is_draining() {
+            return;
+        }
+        match accept(&state) {
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    })
+}

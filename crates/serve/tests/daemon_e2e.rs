@@ -1,0 +1,318 @@
+//! End-to-end tests for the `ic-serve` daemon: an in-process server on
+//! a real Unix socket, real clients, and the ISSUE's acceptance
+//! criteria — bit-identical remote results, a ≥5x warm-cache
+//! simulation reduction, structured overload/deadline errors, and
+//! shutdown that drains and persists.
+
+use ic_core::controller::WorkloadEvaluator;
+use ic_kb::KnowledgeBase;
+use ic_search::{random, CachedEvaluator, SequenceSpace};
+use ic_serve::proto::{ErrorKind, Request, Response, SearchRequest};
+use ic_serve::{Client, JobContext, ServeConfig, Server, ServerHandle};
+use ic_workloads::{Kind, Workload};
+use std::path::PathBuf;
+
+/// The README's array-walking MinC program — enough structure for the
+/// optimizer to bite on.
+const SOURCE: &str = "\
+int a[64];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 64; i = i + 1) a[i] = i * 3 + 1;
+    for (int i = 0; i < 64; i = i + 1) s = s + a[i] * a[i];
+    return s;
+}
+";
+const FUEL: u64 = 100_000_000;
+const BUDGET: usize = 40;
+const SEED: u64 = 7;
+
+fn ctx() -> JobContext {
+    JobContext {
+        name: "hot".into(),
+        source: SOURCE.into(),
+        machine: "vliw".into(),
+        fuel: FUEL,
+        deadline_ms: 0,
+    }
+}
+
+/// Per-test unique paths: tests run in parallel in one process.
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ic-serve-test-{}-{tag}", std::process::id()))
+}
+
+fn start(tag: &str, mutate: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut cfg = ServeConfig {
+        socket: scratch(&format!("{tag}.sock")),
+        workers: 2,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    mutate(&mut cfg);
+    Server::spawn(cfg, None).expect("server spawns")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    // The socket exists before spawn returns; connect can still lose a
+    // race with the accept thread only on a loaded machine, so retry.
+    for _ in 0..50 {
+        if let Ok(c) = Client::connect_unix(handle.socket()) {
+            return c;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("could not connect to {}", handle.socket().display());
+}
+
+fn search_ok(client: &mut Client) -> ic_serve::proto::SearchResponse {
+    match client
+        .search(ctx(), "random", BUDGET, SEED)
+        .expect("search")
+    {
+        Response::Search(s) => s,
+        other => panic!("expected Search response, got {other:?}"),
+    }
+}
+
+/// The same search, run locally — the determinism reference.
+fn local_reference() -> (Vec<String>, f64, Vec<f64>) {
+    let w = Workload {
+        name: "hot".into(),
+        kind: Kind::AluBound,
+        source: SOURCE.into(),
+        fuel: FUEL,
+    };
+    let config = ic_machine::MachineConfig::vliw_c6713_like();
+    let space = SequenceSpace::paper();
+    let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&w, &config));
+    let r = random::run(&space, &eval, BUDGET, SEED);
+    let names = r.best_seq.iter().map(|o| o.name().to_string()).collect();
+    (names, r.best_cost, r.best_so_far)
+}
+
+#[test]
+fn remote_search_is_bit_identical_and_warm_reruns_skip_simulation() {
+    let handle = start("warm", |_| {});
+    let (ref_seq, ref_cost, ref_traj) = local_reference();
+
+    // Cold: every evaluation is a raw simulation.
+    let cold = search_ok(&mut connect(&handle));
+    assert_eq!(cold.best_sequence, ref_seq, "remote best != local best");
+    assert_eq!(
+        cold.best_cost.to_bits(),
+        ref_cost.to_bits(),
+        "remote cost != local cost"
+    );
+    assert_eq!(cold.best_so_far, ref_traj, "trajectory diverged");
+    assert!(cold.stats.eval_misses > 0, "cold run must simulate");
+
+    // Warm, from a different client connection: identical answer, ≥5x
+    // fewer raw simulations (the ISSUE's acceptance bar).
+    let warm = search_ok(&mut connect(&handle));
+    assert_eq!(warm.best_sequence, ref_seq);
+    assert_eq!(warm.best_cost.to_bits(), ref_cost.to_bits());
+    assert_eq!(warm.best_so_far, ref_traj);
+    assert!(
+        warm.stats.eval_misses * 5 <= cold.stats.eval_misses,
+        "warm run simulated {} times, cold {} — less than a 5x reduction",
+        warm.stats.eval_misses,
+        cold.stats.eval_misses
+    );
+    assert!(warm.stats.eval_hit_rate() > 0.0, "warm run must hit");
+
+    // Two *concurrent* clients against the warm pool: both identical,
+    // both served from cache.
+    let socket = handle.socket().to_path_buf();
+    let threads: Vec<_> = (0..2)
+        .map(|_| {
+            let sock = socket.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect_unix(&sock).expect("connect");
+                match c.search(ctx(), "random", BUDGET, SEED).expect("search") {
+                    Response::Search(s) => s,
+                    other => panic!("expected Search, got {other:?}"),
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        let s = t.join().expect("client thread");
+        assert_eq!(s.best_sequence, ref_seq);
+        assert_eq!(s.best_so_far, ref_traj);
+        assert!(s.stats.eval_hit_rate() > 0.0, "concurrent client missed");
+    }
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert_eq!(stats.search_requests, 4);
+    assert!(stats.eval_hits > 0 && stats.eval_misses > 0);
+}
+
+#[test]
+fn full_queue_rejects_with_structured_retry_after() {
+    // One worker, one queue slot: the third in-flight job must bounce.
+    let handle = start("busy", |c| {
+        c.workers = 1;
+        c.queue_capacity = 1;
+    });
+
+    // Jam the worker. The long search self-bounds via its deadline, so
+    // the test can't hang even if the assertions below are slow.
+    let socket = handle.socket().to_path_buf();
+    let jam = std::thread::spawn({
+        let sock = socket.clone();
+        move || {
+            let mut c = Client::connect_unix(&sock).expect("connect");
+            let mut jam_ctx = ctx();
+            jam_ctx.deadline_ms = 3_000;
+            // Big enough to outlast the Busy probe below.
+            let _ = c.search(jam_ctx, "random", 2_000_000, 1);
+        }
+    });
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Fill the single queue slot.
+    let filler = std::thread::spawn({
+        let sock = socket.clone();
+        move || {
+            let mut c = Client::connect_unix(&sock).expect("connect");
+            let _ = c.compile(ctx(), vec![], false);
+        }
+    });
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Queue is now full: this must be rejected immediately, with a
+    // machine-readable backoff hint — not hang.
+    let mut c = connect(&handle);
+    match c.compile(ctx(), vec![], false).expect("round trip") {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::Busy);
+            let hint = e.retry_after_ms.expect("busy carries retry_after_ms");
+            assert!(hint >= 50, "hint {hint}ms below the floor");
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    jam.join().unwrap();
+    filler.join().unwrap();
+    handle.shutdown();
+    let stats = handle.join();
+    assert!(stats.busy_rejections >= 1);
+}
+
+#[test]
+fn deadline_exceeded_mid_search_is_structured_and_counted() {
+    let handle = start("deadline", |_| {});
+    let mut c = connect(&handle);
+    let mut d_ctx = ctx();
+    d_ctx.deadline_ms = 1;
+    let resp = c
+        .request(&Request::Search(SearchRequest {
+            ctx: d_ctx,
+            strategy: "random".into(),
+            budget: 5_000_000, // cannot finish in 1ms
+            seed: 3,
+        }))
+        .expect("round trip");
+    match resp {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    handle.shutdown();
+    let stats = handle.join();
+    assert!(stats.deadline_cancellations >= 1);
+}
+
+#[test]
+fn bad_requests_get_structured_errors_not_dropped_connections() {
+    let handle = start("bad", |_| {});
+    let mut c = connect(&handle);
+
+    // Unknown machine.
+    let mut bad = ctx();
+    bad.machine = "quantum".into();
+    match c.compile(bad, vec![], false).expect("round trip") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // Unknown optimization name.
+    match c
+        .compile(ctx(), vec!["transmogrify".into()], false)
+        .expect("round trip")
+    {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // Unknown strategy.
+    match c.search(ctx(), "bogo", 10, 1).expect("round trip") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // Frontend error in the source.
+    let mut syn = ctx();
+    syn.source = "int main( {".into();
+    match c.compile(syn, vec![], false).expect("round trip") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+
+    // The same connection still serves good requests afterwards.
+    match c
+        .compile(ctx(), vec!["dce".into()], false)
+        .expect("round trip")
+    {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert!(stats.bad_requests >= 4);
+}
+
+#[test]
+fn shutdown_drains_persists_and_next_server_warms_from_the_store() {
+    let kb_path = scratch("persist.kb.json");
+    let _ = std::fs::remove_file(&kb_path);
+
+    // Round 1: populate the cache, shut down via the admin plane.
+    let handle = start("persist1", |c| c.kb_path = Some(kb_path.clone()));
+    let mut client = connect(&handle);
+    let cold = search_ok(&mut client);
+    assert!(cold.stats.eval_misses > 0);
+    match client.shutdown().expect("shutdown round trip") {
+        Response::Admin(a) => {
+            assert_eq!(a.action, "shutdown");
+            assert!(a.persisted_entries > 0, "nothing persisted");
+        }
+        other => panic!("expected Admin ack, got {other:?}"),
+    }
+    // New work after the drain began is refused, in a structured way.
+    match client.compile(ctx(), vec![], false).expect("round trip") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::ShuttingDown),
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+    handle.join();
+
+    // The store on disk holds the snapshot.
+    let kb = KnowledgeBase::load(&kb_path).expect("store parses");
+    assert!(
+        kb.eval_caches.iter().any(|c| !c.entries.is_empty()),
+        "no eval-cache snapshot in the store"
+    );
+
+    // Round 2: a fresh daemon process-equivalent warms from the store —
+    // the same search runs zero-to-few raw simulations.
+    let handle = start("persist2", |c| c.kb_path = Some(kb_path.clone()));
+    let warm = search_ok(&mut connect(&handle));
+    assert!(
+        warm.stats.eval_misses * 5 <= cold.stats.eval_misses,
+        "restarted daemon did not warm from the kb store"
+    );
+    assert_eq!(warm.best_sequence, cold.best_sequence);
+    assert_eq!(warm.best_so_far, cold.best_so_far);
+    handle.shutdown();
+    handle.join();
+    let _ = std::fs::remove_file(&kb_path);
+}

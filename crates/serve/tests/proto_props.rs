@@ -1,0 +1,190 @@
+//! Property tests for the `ic-serve` wire protocol.
+//!
+//! Every request/response the protocol can express must survive a
+//! serialize → frame → unframe → deserialize round trip unchanged —
+//! except non-finite costs, which collapse to the protocol's one
+//! canonical non-finite value, `+∞` (JSON has no `inf`/`nan` literals;
+//! the vendored serde writes them as `null`).
+
+use ic_serve::proto::{
+    read_message, write_message, AdminRequest, CharacterizeRequest, CompileRequest,
+    CompileResponse, ErrorKind, ErrorResponse, JobContext, Request, RequestStats, Response,
+    SearchRequest, SearchResponse, StatsResponse,
+};
+use proptest::prelude::*;
+use std::io::BufReader;
+
+/// What any in-protocol `f64` becomes after one round trip.
+fn canonical(x: f64) -> f64 {
+    if x.is_finite() {
+        x
+    } else {
+        f64::INFINITY
+    }
+}
+
+/// Decode a generated code into a cost, hitting every f64 class.
+fn cost_from_code(code: u64) -> f64 {
+    match code % 5 {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => f64::NAN,
+        // Integer-valued f64s round-trip exactly through decimal JSON.
+        _ => (code / 5) as f64,
+    }
+}
+
+fn round_trip<T: serde::Serialize + serde::Deserialize>(v: &T) -> T {
+    let mut buf = Vec::new();
+    write_message(&mut buf, v).expect("serialize");
+    read_message(&mut BufReader::new(&buf[..]))
+        .expect("deserialize")
+        .expect("not EOF")
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(
+        name_bytes in prop::collection::vec(97u8..123, 1..16),
+        src_bytes in prop::collection::vec(32u8..127, 0..200),
+        machine in prop::sample::select(vec!["vliw", "amd", "tiny"]),
+        strategy in prop::sample::select(vec!["random", "hillclimb", "genetic", "anneal"]),
+        opt_idx in prop::collection::vec(0usize..13, 0..8),
+        fuel in 1u64..1_000_000_000_000,
+        deadline_ms in 0u64..60_000,
+        budget in 1usize..10_000,
+        seed in 0u64..u64::MAX,
+        emit_ir in prop::sample::select(vec![false, true]),
+    ) {
+        let ctx = JobContext {
+            name: String::from_utf8(name_bytes).unwrap(),
+            source: String::from_utf8(src_bytes).unwrap(),
+            machine: machine.to_string(),
+            fuel,
+            deadline_ms,
+        };
+        let sequence: Vec<String> = opt_idx
+            .iter()
+            .map(|&i| ic_passes::Opt::PAPER_13[i].name().to_string())
+            .collect();
+        let requests = [
+            Request::Compile(CompileRequest { ctx: ctx.clone(), sequence, emit_ir }),
+            Request::Search(SearchRequest {
+                ctx: ctx.clone(),
+                strategy: strategy.to_string(),
+                budget,
+                seed,
+            }),
+            Request::Characterize(CharacterizeRequest { ctx }),
+            Request::Admin(AdminRequest::Stats),
+            Request::Admin(AdminRequest::Flush),
+            Request::Admin(AdminRequest::Shutdown),
+        ];
+        for req in &requests {
+            prop_assert_eq!(&round_trip(req), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_with_canonical_non_finite_costs(
+        cost_codes in prop::collection::vec(0u64..1_000_000, 1..60),
+        counters in prop::collection::vec(0u64..u64::MAX / 2, 0..8),
+        hits in 0u64..1_000_000,
+        misses in 0u64..1_000_000,
+        evaluations in 0usize..100_000,
+        result in -1_000_000i64..1_000_000,
+    ) {
+        let costs: Vec<f64> = cost_codes.iter().map(|&c| cost_from_code(c)).collect();
+        let stats = RequestStats {
+            queue_ms: 0.25,
+            service_ms: 1.5,
+            eval_hits: hits,
+            eval_misses: misses,
+            compile_hits: hits / 2,
+            compile_misses: misses / 2,
+        };
+        let named: Vec<(String, u64)> = counters
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (format!("c{i}"), v))
+            .collect();
+
+        let search = Response::Search(SearchResponse {
+            best_sequence: vec!["dce".into(), "licm".into()],
+            best_cost: costs[0],
+            best_so_far: costs.clone(),
+            evaluations,
+            stats,
+        });
+        match round_trip(&search) {
+            Response::Search(s) => {
+                prop_assert_eq!(s.best_cost.to_bits(), canonical(costs[0]).to_bits());
+                prop_assert_eq!(s.best_so_far.len(), costs.len());
+                for (got, want) in s.best_so_far.iter().zip(&costs) {
+                    prop_assert_eq!(got.to_bits(), canonical(*want).to_bits());
+                }
+                prop_assert_eq!(s.evaluations, evaluations);
+                prop_assert_eq!(s.stats, stats);
+            }
+            other => return Err(TestCaseError::fail(format!("wrong variant: {other:?}"))),
+        }
+
+        let compile = Response::Compile(CompileResponse {
+            cycles: costs[0],
+            instructions: hits,
+            result,
+            counters: named.clone(),
+            ir: Some("module m\n".into()),
+            stats,
+        });
+        match round_trip(&compile) {
+            Response::Compile(c) => {
+                prop_assert_eq!(c.cycles.to_bits(), canonical(costs[0]).to_bits());
+                prop_assert_eq!(c.result, result);
+                prop_assert_eq!(c.counters, named);
+                prop_assert_eq!(c.ir.as_deref(), Some("module m\n"));
+            }
+            other => return Err(TestCaseError::fail(format!("wrong variant: {other:?}"))),
+        }
+    }
+
+    #[test]
+    fn error_and_stats_responses_round_trip(
+        retry in 0u64..100_000,
+        with_retry in prop::sample::select(vec![false, true]),
+        kind in prop::sample::select(vec![
+            ErrorKind::Busy,
+            ErrorKind::DeadlineExceeded,
+            ErrorKind::BadRequest,
+            ErrorKind::ShuttingDown,
+            ErrorKind::Internal,
+        ]),
+        counts in prop::collection::vec(0u64..u64::MAX / 2, 6..7),
+    ) {
+        let err = Response::Error(ErrorResponse {
+            kind,
+            message: "queue full".into(),
+            retry_after_ms: with_retry.then_some(retry),
+        });
+        prop_assert_eq!(&round_trip(&err), &err);
+
+        let stats = Response::Stats(StatsResponse {
+            protocol_version: 1,
+            compile_requests: counts[0],
+            search_requests: counts[1],
+            characterize_requests: counts[2],
+            busy_rejections: counts[3],
+            deadline_cancellations: counts[4],
+            bad_requests: counts[5],
+            queue_depth: 3,
+            engines: 2,
+            eval_hits: counts[0],
+            eval_misses: counts[1],
+            eval_entries: counts[2],
+            compile_hits: counts[3],
+            compile_misses: counts[4],
+            uptime_ms: 1234.5,
+        });
+        prop_assert_eq!(&round_trip(&stats), &stats);
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! Compile a MinC source file, optimize it (fixed levels, an explicit
 //! sequence, or the knowledge-base-driven intelligent modes), run it on a
-//! simulated machine, and report counters.
+//! simulated machine, and report counters. Works cold (in-process) or
+//! hot (`--remote`, against a running `icc serve` daemon whose caches
+//! stay warm across invocations and clients).
 //!
 //! ```text
 //! icc program.mc                         # -O0 on the VLIW config
@@ -12,6 +14,10 @@
 //! icc program.mc --emit-ir               # print the optimized IR
 //! icc program.mc --search 50 --seed 7    # 50-evaluation random search
 //! icc program.mc --kb kb.json --intelligent   # model-predicted sequence
+//!
+//! icc serve --socket /tmp/ic.sock --kb kb.json    # start the daemon
+//! icc program.mc --remote /tmp/ic.sock --search 50  # search on the daemon
+//! icc --remote /tmp/ic.sock --admin stats --json    # daemon statistics
 //! ```
 
 use intelligent_compilers::core::controller::WorkloadEvaluator;
@@ -20,8 +26,11 @@ use intelligent_compilers::kb::KnowledgeBase;
 use intelligent_compilers::machine::{simulate_default, Counter, MachineConfig};
 use intelligent_compilers::passes::{apply_sequence, ofast_sequence, Opt};
 use intelligent_compilers::search::{random, CachedEvaluator, SequenceSpace};
+use intelligent_compilers::serve::proto::{AdminRequest, Request, Response};
+use intelligent_compilers::serve::{Client, JobContext, ServeConfig, Server};
 use intelligent_compilers::workloads::{Kind, Workload};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 struct Options {
     input: Option<String>,
@@ -36,10 +45,15 @@ struct Options {
     kb: Option<String>,
     intelligent: bool,
     stats: bool,
+    json: bool,
+    remote: Option<String>,
+    admin: Option<String>,
+    deadline_ms: u64,
 }
 
 const USAGE: &str = "\
 usage: icc <file.mc> [options]
+       icc serve [serve options]
   -O0|-O1|-O2          fixed optimization level (O1 = scalar cleanups, O2 = Ofast)
   --seq a,b,c          explicit comma-separated optimization sequence
   --machine NAME       vliw | amd | tiny        (default: vliw)
@@ -51,10 +65,28 @@ usage: icc <file.mc> [options]
   --kb FILE            knowledge-base JSON to read/extend
   --stats              print compile-cache / eval-cache statistics after
                        --search or --intelligent
+  --json               machine-readable JSON for --stats / --admin output
   --seed N             RNG seed (default 42)
   --fuel N             instruction budget (default 100M)
+  --remote SOCK        route compile/search through a running `icc serve`
+                       daemon at this Unix socket (bit-identical results,
+                       warm shared caches)
+  --deadline-ms N      per-request deadline for --remote requests (0 = server default)
+  --admin CMD          with --remote: stats | flush | shutdown
   --list-opts          print the optimization registry and exit
-  --build-kb FILE [N]  build a knowledge base from the built-in suite and exit";
+  --build-kb FILE [N]  build a knowledge base from the built-in suite and exit
+
+serve options (after `icc serve`):
+  --socket PATH        Unix socket to listen on (default: $TMPDIR/ic-serve.sock)
+  --tcp ADDR           also listen on a TCP address (host:port)
+  --workers N          worker threads (default: min(cores, 4))
+  --queue N            submission-queue capacity; full queue rejects with
+                       a structured retry-after error (default 64)
+  --deadline-ms N      default per-request deadline (0 = none)
+  --kb FILE            knowledge-base store: engines warm from it at first
+                       sight and snapshots persist on flush/shutdown
+  SIGTERM/SIGINT, or a client `--admin shutdown`, drain in-flight
+  requests, persist cache snapshots, and exit 0.";
 
 fn parse_args() -> Result<Options, String> {
     let mut o = Options {
@@ -70,6 +102,10 @@ fn parse_args() -> Result<Options, String> {
         kb: None,
         intelligent: false,
         stats: false,
+        json: false,
+        remote: None,
+        admin: None,
+        deadline_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -100,6 +136,15 @@ fn parse_args() -> Result<Options, String> {
             }
             "--intelligent" => o.intelligent = true,
             "--stats" => o.stats = true,
+            "--json" => o.json = true,
+            "--remote" => o.remote = Some(it.next().ok_or("--remote needs a socket path")?),
+            "--admin" => o.admin = Some(it.next().ok_or("--admin needs a command")?),
+            "--deadline-ms" => {
+                o.deadline_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--deadline-ms needs a number")?
+            }
             "--kb" => o.kb = Some(it.next().ok_or("--kb needs a file")?),
             "--seed" => {
                 o.seed = it
@@ -171,7 +216,296 @@ fn machine_for(name: &str) -> Result<MachineConfig, String> {
     })
 }
 
+// -------------------------------------------------------------------
+// `icc serve` — run the compilation-as-a-service daemon
+// -------------------------------------------------------------------
+
+/// Set from the SIGTERM/SIGINT handler; polled by the server's accept
+/// loop to begin a graceful drain.
+static SHUTDOWN_SIGNAL: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_shutdown_signal(_sig: i32) {
+    // An atomic store is async-signal-safe; everything else happens on
+    // the server threads.
+    SHUTDOWN_SIGNAL.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Raw libc `signal(2)` — the workspace vendors no `libc` crate, but
+    // the symbol is always present in the platform libc we already link.
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_shutdown_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--socket" => cfg.socket = args.next().ok_or("--socket needs a path")?.into(),
+            "--tcp" => cfg.tcp = Some(args.next().ok_or("--tcp needs an address")?),
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--workers needs a number")?
+            }
+            "--queue" => {
+                cfg.queue_capacity = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--queue needs a number")?
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--deadline-ms needs a number")?
+            }
+            "--kb" => cfg.kb_path = Some(args.next().ok_or("--kb needs a file")?.into()),
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(());
+            }
+            other => return Err(format!("unknown serve flag `{other}`")),
+        }
+    }
+    #[cfg(unix)]
+    install_signal_handlers();
+    let handle = Server::spawn(cfg.clone(), Some(&SHUTDOWN_SIGNAL))
+        .map_err(|e| format!("starting server: {e}"))?;
+    eprintln!(
+        "icc: serving on {}{} ({} workers, queue capacity {}, kb {})",
+        handle.socket().display(),
+        handle
+            .tcp_addr
+            .map(|a| format!(" and tcp {a}"))
+            .unwrap_or_default(),
+        cfg.workers,
+        cfg.queue_capacity,
+        cfg.kb_path
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "none".into()),
+    );
+    let stats = handle.join();
+    eprintln!(
+        "icc: ic-serve drained and exiting: {} compiles, {} searches, {} eval-cache hits / {} misses persisted",
+        stats.compile_requests, stats.search_requests, stats.eval_hits, stats.eval_misses
+    );
+    Ok(())
+}
+
+// -------------------------------------------------------------------
+// `icc --remote` — the client mode
+// -------------------------------------------------------------------
+
+fn print_request_stats(stats: &intelligent_compilers::serve::RequestStats, json: bool) {
+    if json {
+        println!("{}", serde_json::to_string(stats).expect("stats serialize"));
+    } else {
+        eprintln!(
+            "icc: remote stats  : {:.1}ms queued, {:.1}ms service, eval {} hits / {} misses ({:.1}% hit rate), compile {} hits / {} misses",
+            stats.queue_ms,
+            stats.service_ms,
+            stats.eval_hits,
+            stats.eval_misses,
+            stats.eval_hit_rate() * 100.0,
+            stats.compile_hits,
+            stats.compile_misses,
+        );
+    }
+}
+
+fn remote_error(e: &intelligent_compilers::serve::proto::ErrorResponse) -> String {
+    match e.retry_after_ms {
+        Some(ms) => format!("server: {:?}: {} (retry after {ms}ms)", e.kind, e.message),
+        None => format!("server: {:?}: {}", e.kind, e.message),
+    }
+}
+
+fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
+    let mut client = Client::connect_unix(sock).map_err(|e| format!("{sock}: {e}"))?;
+
+    // Admin commands need no input file.
+    if let Some(cmd) = &o.admin {
+        let req = match cmd.as_str() {
+            "stats" => AdminRequest::Stats,
+            "flush" => AdminRequest::Flush,
+            "shutdown" => AdminRequest::Shutdown,
+            other => return Err(format!("unknown admin command `{other}`")),
+        };
+        match client
+            .request(&Request::Admin(req))
+            .map_err(|e| e.to_string())?
+        {
+            Response::Stats(s) => {
+                if o.json {
+                    println!("{}", serde_json::to_string(&s).expect("stats serialize"));
+                } else {
+                    println!(
+                        "requests: {} compile, {} search, {} characterize\n\
+                         rejected: {} busy, {} deadline, {} bad\n\
+                         queue depth {}, {} warm engines, up {:.0}s\n\
+                         eval cache: {} hits / {} misses, {} entries\n\
+                         compile cache: {} hits / {} misses",
+                        s.compile_requests,
+                        s.search_requests,
+                        s.characterize_requests,
+                        s.busy_rejections,
+                        s.deadline_cancellations,
+                        s.bad_requests,
+                        s.queue_depth,
+                        s.engines,
+                        s.uptime_ms / 1e3,
+                        s.eval_hits,
+                        s.eval_misses,
+                        s.eval_entries,
+                        s.compile_hits,
+                        s.compile_misses,
+                    );
+                }
+            }
+            Response::Admin(a) => {
+                eprintln!(
+                    "icc: server acknowledged {} ({} cache entries persisted)",
+                    a.action, a.persisted_entries
+                );
+            }
+            Response::Error(e) => return Err(remote_error(&e)),
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
+        return Ok(());
+    }
+
+    let Some(path) = o.input.clone() else {
+        return Err(format!("no input file\n{USAGE}"));
+    };
+    let source = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    let ctx = JobContext {
+        name,
+        source,
+        machine: o.machine.clone(),
+        fuel: o.fuel,
+        deadline_ms: o.deadline_ms,
+    };
+
+    // Decide the sequence: remotely searched, or fixed.
+    let sequence: Vec<String> = if let Some(budget) = o.search {
+        let resp = client
+            .search(ctx.clone(), "random", budget, o.seed)
+            .map_err(|e| e.to_string())?;
+        match resp {
+            Response::Search(s) => {
+                eprintln!(
+                    "icc: remote search best {:.0} cycles after {} evaluations ({} raw simulations, {} cache hits)",
+                    s.best_cost, s.evaluations, s.stats.eval_misses, s.stats.eval_hits
+                );
+                if o.stats {
+                    print_request_stats(&s.stats, o.json);
+                }
+                s.best_sequence
+            }
+            Response::Error(e) => return Err(remote_error(&e)),
+            other => return Err(format!("unexpected response: {other:?}")),
+        }
+    } else if let Some(seq) = &o.seq {
+        seq.iter().map(|s| s.name().to_string()).collect()
+    } else {
+        let seq = match o.olevel {
+            0 => vec![],
+            1 => vec![
+                Opt::ConstProp,
+                Opt::ConstFold,
+                Opt::CopyProp,
+                Opt::Cse,
+                Opt::Dce,
+                Opt::SimplifyCfg,
+            ],
+            _ => ofast_sequence(),
+        };
+        seq.iter().map(|s| s.name().to_string()).collect()
+    };
+
+    // Compile + run on the daemon.
+    let resp = client
+        .compile(ctx, sequence.clone(), o.emit_ir)
+        .map_err(|e| e.to_string())?;
+    match resp {
+        Response::Compile(c) => {
+            if let Some(ir) = &c.ir {
+                print!("{ir}");
+                return Ok(());
+            }
+            if !sequence.is_empty() {
+                eprintln!("icc: applied [{}] remotely", sequence.join(" "));
+            }
+            // With --json, stdout carries exactly one JSON object (the
+            // stats); the human-readable lines move to stderr.
+            let human = |line: String| {
+                if o.json && o.stats {
+                    eprintln!("{line}");
+                } else {
+                    println!("{line}");
+                }
+            };
+            if c.cycles.is_finite() {
+                human(format!(
+                    "result: Some({})   cycles: {}   instructions: {}   IPC: {:.3}",
+                    c.result,
+                    c.cycles as u64,
+                    c.instructions,
+                    if c.cycles > 0.0 {
+                        c.instructions as f64 / c.cycles
+                    } else {
+                        0.0
+                    }
+                ));
+            } else {
+                human("result: fuel exceeded   cycles: inf".to_string());
+            }
+            if o.counters {
+                for (name, v) in &c.counters {
+                    human(format!("  {name:10} = {v}"));
+                }
+            }
+            if o.stats && o.search.is_none() {
+                print_request_stats(&c.stats, o.json);
+            }
+            Ok(())
+        }
+        Response::Error(e) => Err(remote_error(&e)),
+        other => Err(format!("unexpected response: {other:?}")),
+    }
+}
+
 fn main() -> ExitCode {
+    // Subcommand dispatch: `icc serve ...` runs the daemon.
+    let mut args = std::env::args().skip(1);
+    if let Some(first) = args.next() {
+        if first == "serve" {
+            return match serve_main(args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("icc: {e}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+    }
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -181,8 +515,63 @@ fn main() -> ExitCode {
     }
 }
 
+/// Local-mode eval/compile-cache statistics, printable as text or JSON
+/// (`--stats --json`) so harnesses can assert on hit rates without
+/// scraping log lines.
+fn print_local_stats(
+    stats: &intelligent_compilers::search::CacheStats,
+    cstats: &intelligent_compilers::passes::CompileCacheStats,
+    json: bool,
+) {
+    if json {
+        // Hand-rolled object: the stats types live below the serde
+        // boundary, and the schema here is the documented one.
+        println!(
+            "{{\"eval_lookups\":{},\"eval_hits\":{},\"eval_misses\":{},\"eval_hit_rate\":{:.4},\"evals_per_second\":{:.1},\"compile_hits\":{},\"compile_misses\":{},\"compile_hit_rate\":{:.4},\"passes_run\":{},\"passes_elided\":{},\"elision_factor\":{:.3}}}",
+            stats.lookups(),
+            stats.hits,
+            stats.misses,
+            stats.hit_rate(),
+            stats.evals_per_second(),
+            cstats.hits,
+            cstats.misses,
+            cstats.hit_rate(),
+            cstats.passes_run,
+            cstats.passes_elided,
+            cstats.elision_factor()
+        );
+    } else {
+        eprintln!(
+            "icc: eval cache    : {} lookups, {} hits / {} misses ({:.1}% hit rate), {:.0} evals/s raw",
+            stats.lookups(),
+            stats.hits,
+            stats.misses,
+            stats.hit_rate() * 100.0,
+            stats.evals_per_second()
+        );
+        eprintln!(
+            "icc: compile cache : {} prefix hits / {} misses ({:.1}% hit rate), {} passes run / {} elided ({:.2}x fewer pass applications)",
+            cstats.hits,
+            cstats.misses,
+            cstats.hit_rate() * 100.0,
+            cstats.passes_run,
+            cstats.passes_elided,
+            cstats.elision_factor()
+        );
+    }
+}
+
 fn run() -> Result<(), String> {
     let o = parse_args()?;
+
+    // Client mode: route everything through the daemon.
+    if let Some(sock) = o.remote.clone() {
+        return run_remote(&o, &sock);
+    }
+    if o.admin.is_some() {
+        return Err("--admin needs --remote SOCK".into());
+    }
+
     let Some(path) = o.input.clone() else {
         return Err(format!("no input file\n{USAGE}"));
     };
@@ -243,24 +632,7 @@ fn run() -> Result<(), String> {
             eprintln!("icc: persisted evaluation cache to {f}");
         }
         if o.stats {
-            let cstats = eval.inner().compile_stats();
-            eprintln!(
-                "icc: eval cache    : {} lookups, {} hits / {} misses ({:.1}% hit rate), {:.0} evals/s raw",
-                stats.lookups(),
-                stats.hits,
-                stats.misses,
-                stats.hit_rate() * 100.0,
-                stats.evals_per_second()
-            );
-            eprintln!(
-                "icc: compile cache : {} prefix hits / {} misses ({:.1}% hit rate), {} passes run / {} elided ({:.2}x fewer pass applications)",
-                cstats.hits,
-                cstats.misses,
-                cstats.hit_rate() * 100.0,
-                cstats.passes_run,
-                cstats.passes_elided,
-                cstats.elision_factor()
-            );
+            print_local_stats(&stats, &eval.inner().compile_stats(), o.json);
         }
         r.best_seq
     } else if o.intelligent {
@@ -322,16 +694,25 @@ fn run() -> Result<(), String> {
 
     let r = simulate_default(&optimized, &config, o.fuel)
         .map_err(|e| format!("execution failed: {e}"))?;
-    println!(
+    // With --stats --json, stdout carries exactly one JSON object (the
+    // stats, printed above); the human-readable lines move to stderr.
+    let human = |line: String| {
+        if o.json && o.stats {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    human(format!(
         "result: {:?}   cycles: {}   instructions: {}   IPC: {:.3}",
         r.ret_i64(),
         r.cycles(),
         r.instructions(),
         r.counters.ipc()
-    );
+    ));
     if o.counters {
         for c in Counter::ALL {
-            println!("  {:10} = {}", c.name(), r.counters.get(c));
+            human(format!("  {:10} = {}", c.name(), r.counters.get(c)));
         }
     }
     Ok(())
