@@ -57,15 +57,12 @@ fn main() {
     let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
 
     let socket = std::env::temp_dir().join(format!("ic-bench-serve-{}.sock", std::process::id()));
-    let handle = Server::spawn(
-        ServeConfig {
-            socket: socket.clone(),
-            queue_capacity: requests.max(64),
-            ..ServeConfig::default()
-        },
-        None,
-    )
-    .expect("server spawns");
+    let config = ServeConfig::builder()
+        .socket(socket.clone())
+        .queue_capacity(requests.max(64))
+        .build()
+        .expect("bench config validates");
+    let handle = Server::spawn(config, None).expect("server spawns");
 
     // Cold vs warm search: the headline cache effect.
     let mut probe = Client::connect_unix(&socket).expect("connect");
@@ -115,6 +112,10 @@ fn main() {
     }
     let wall = t0.elapsed();
 
+    // The unified observability snapshot, before the daemon drains —
+    // the same schema `icc --metrics-json` emits locally.
+    let metrics = probe.metrics().expect("admin metrics");
+
     handle.shutdown();
     let stats = handle.join();
 
@@ -146,6 +147,13 @@ fn main() {
         "  server totals    : {} compiles, {} searches, eval {} hits / {} misses",
         stats.compile_requests, stats.search_requests, stats.eval_hits, stats.eval_misses
     );
+    println!(
+        "  metrics snapshot : {} rejected, {} cancelled, {} profiled passes, {} histograms",
+        metrics.service.requests_rejected,
+        metrics.service.requests_cancelled,
+        metrics.passes.iter().filter(|p| p.calls > 0).count(),
+        metrics.histograms.len()
+    );
 
     // Machine-readable record for CI. `inf` is not JSON, so the
     // reduction field falls back to a large sentinel when warm ran
@@ -156,12 +164,13 @@ fn main() {
         cold.stats.eval_misses as f64
     };
     let json = format!(
-        "{{\"requests\":{served},\"clients\":{clients},\"wall_s\":{:.4},\"requests_per_s\":{rps:.1},\"p50_ms\":{p50:.4},\"p95_ms\":{p95:.4},\"cold_sims\":{},\"warm_sims\":{},\"sims_reduction\":{reduction_json:.1},\"eval_hits\":{},\"eval_misses\":{}}}",
+        "{{\"requests\":{served},\"clients\":{clients},\"wall_s\":{:.4},\"requests_per_s\":{rps:.1},\"p50_ms\":{p50:.4},\"p95_ms\":{p95:.4},\"cold_sims\":{},\"warm_sims\":{},\"sims_reduction\":{reduction_json:.1},\"eval_hits\":{},\"eval_misses\":{},\"metrics\":{}}}",
         wall.as_secs_f64(),
         cold.stats.eval_misses,
         warm.stats.eval_misses,
         stats.eval_hits,
         stats.eval_misses,
+        serde_json::to_string(&metrics).expect("metrics serialize"),
     );
     std::fs::write("BENCH_serve.json", format!("{json}\n")).expect("write BENCH_serve.json");
     println!("  wrote BENCH_serve.json");

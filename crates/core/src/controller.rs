@@ -9,6 +9,7 @@
 use ic_features::{combined_feature_names, combined_features, static_features};
 use ic_kb::{ArchRecord, ExperimentRecord, KnowledgeBase, ProgramRecord};
 use ic_machine::{microbench, simulate_default, MachineConfig, PerfCounters, RunResult, SimError};
+use ic_obs::Registry;
 use ic_passes::{apply_sequence, CompileCacheStats, Opt, PrefixCache, PrefixCacheConfig};
 use ic_search::focused::{ModelKind, SequenceModel};
 use ic_search::{
@@ -26,6 +27,11 @@ pub struct IntelligentCompiler {
     /// [`CachedEvaluator`] built per search borrows the same allocation
     /// instead of deep-cloning the space.
     pub space: Arc<SequenceSpace>,
+    /// Observability registry: every methodology step records a
+    /// `controller.*` span here, so callers can see where a compilation
+    /// spent its time ([`Registry::snapshot`]). Cheap-clone; share it
+    /// with a wider registry to aggregate across compilers.
+    pub obs: Registry,
 }
 
 /// A cost evaluator that compiles a fixed workload with a sequence and
@@ -59,11 +65,29 @@ impl WorkloadEvaluator {
         config: &MachineConfig,
         cache_config: PrefixCacheConfig,
     ) -> Self {
+        Self::with_profiler(workload, config, cache_config, None)
+    }
+
+    /// Like [`Self::with_compile_budget`], optionally recording every
+    /// pass the compile cache actually runs into a per-pass profiler
+    /// (see [`ic_passes::profiler`]). Profiling is observation-only:
+    /// compiled IR and costs are bit-identical either way.
+    pub fn with_profiler(
+        workload: &Workload,
+        config: &MachineConfig,
+        cache_config: PrefixCacheConfig,
+        profiler: Option<ic_passes::PassProfiler>,
+    ) -> Self {
         WorkloadEvaluator {
-            cache: PrefixCache::with_config(workload.compile(), cache_config),
+            cache: PrefixCache::with_profiler(workload.compile(), cache_config, profiler),
             config: config.clone(),
             fuel: workload.fuel,
         }
+    }
+
+    /// The per-pass profiler attached to the compile cache, if any.
+    pub fn profiler(&self) -> Option<&ic_passes::PassProfiler> {
+        self.cache.profiler()
     }
 
     /// Cycles of the unoptimized build.
@@ -113,12 +137,14 @@ impl IntelligentCompiler {
             config,
             kb: KnowledgeBase::new(),
             space: Arc::new(SequenceSpace::paper()),
+            obs: Registry::new(),
         }
     }
 
     /// Characterize the target architecture by microbenchmarks and store
     /// it in the knowledge base (Sec. III-B).
     pub fn characterize_architecture(&mut self) {
+        let _span = self.obs.span("controller.characterize_architecture");
         let ch = microbench::characterize(&self.config, 2048);
         self.kb.upsert_arch(ArchRecord {
             arch: self.config.name.clone(),
@@ -133,6 +159,7 @@ impl IntelligentCompiler {
     /// Compile `workload` unoptimized and profile it: returns the -O0
     /// counters and stores the program's combined characterization.
     pub fn characterize_program(&mut self, workload: &Workload) -> PerfCounters {
+        let _span = self.obs.span("controller.characterize_program");
         let module = workload.compile();
         let r = simulate_default(&module, &self.config, workload.fuel).expect("O0 run");
         self.kb.upsert_program(ProgramRecord {
@@ -149,6 +176,7 @@ impl IntelligentCompiler {
     pub fn populate_kb(&mut self, workload: &Workload, trials: usize, seed: u64) {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
+        let _span = self.obs.span("controller.populate_kb");
         let eval = WorkloadEvaluator::new(workload, &self.config);
         let base = eval.baseline_cycles() as f64;
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -218,6 +246,7 @@ impl IntelligentCompiler {
     /// needs as training data ("the output of previous runs of pure
     /// search", Sec. III-C). Records every evaluated sequence.
     pub fn populate_kb_search(&mut self, workload: &Workload, budget: usize, seed: u64) {
+        let _span = self.obs.span("controller.populate_kb_search");
         let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
         let eval = CachedEvaluator::new(
             self.space.clone(),
@@ -260,6 +289,7 @@ impl IntelligentCompiler {
         per_program: usize,
         kind: ModelKind,
     ) -> Option<SequenceModel> {
+        let _span = self.obs.span("controller.focused_model");
         let module = workload.compile();
         let mut feats = static_features(&module);
         // Compare on the static prefix only (dynamic features of the new
@@ -288,6 +318,7 @@ impl IntelligentCompiler {
     pub fn compile_one_shot(&self, workload: &Workload) -> (ic_ir::Module, Vec<Opt>) {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
+        let _span = self.obs.span("controller.compile_one_shot");
         let seq = match self.focused_model(workload, 3, 5, ModelKind::Markov) {
             Some(model) => {
                 // Most-likely-of-32-draws: cheap mode of the distribution.
@@ -311,6 +342,7 @@ impl IntelligentCompiler {
     /// are simulated once; use [`Self::compile_iterative_cached`] to also
     /// warm from / persist to the knowledge base.
     pub fn compile_iterative(&self, workload: &Workload, budget: usize, seed: u64) -> SearchResult {
+        let _span = self.obs.span("controller.compile_iterative");
         let eval = CachedEvaluator::new(
             self.space.clone(),
             WorkloadEvaluator::new(workload, &self.config),
@@ -332,6 +364,7 @@ impl IntelligentCompiler {
         budget: usize,
         seed: u64,
     ) -> (SearchResult, CacheStats) {
+        let _span = self.obs.span("controller.compile_iterative_cached");
         let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
         let eval = CachedEvaluator::new(
             self.space.clone(),

@@ -53,3 +53,12 @@ pub mod tournament;
 
 pub use controller::{IntelligentCompiler, WorkloadEvaluator};
 pub use evalcache::context_fingerprint;
+
+// The unified observability/error API (see `ic-obs`): `ic_core::Error`
+// is the workspace-wide error enum, `Registry`/`Snapshot` the metrics
+// surface. Re-exported here so downstream crates and binaries can name
+// them without a direct `ic-obs` dependency.
+pub use ic_obs::{Error, PassProfiler, Registry, Snapshot};
+
+/// Workspace-standard result type over [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;

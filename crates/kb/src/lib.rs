@@ -79,6 +79,20 @@ pub struct EvalCacheRecord {
     pub entries: Vec<(u64, f64)>,
 }
 
+/// A persisted observability snapshot: the unified [`ic_obs::Snapshot`]
+/// an engine or service produced for one context, stamped with wall-clock
+/// time. The daemon periodically upserts these so operators can inspect
+/// the last-known metrics of a stopped service from the store alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsRecord {
+    /// What the snapshot describes (e.g. an engine's context fingerprint
+    /// or `"ic-serve"` for the whole daemon).
+    pub context: String,
+    /// Milliseconds since the Unix epoch when the snapshot was taken.
+    pub unix_ms: u64,
+    pub snapshot: ic_obs::Snapshot,
+}
+
 /// The whole knowledge base.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
@@ -91,6 +105,10 @@ pub struct KnowledgeBase {
     /// knowledge bases, hence the default.
     #[serde(default)]
     pub eval_caches: Vec<EvalCacheRecord>,
+    /// Last-known observability snapshots, one per context. Absent in
+    /// older knowledge bases, hence the default.
+    #[serde(default)]
+    pub metrics: Vec<MetricsRecord>,
 }
 
 fn default_schema() -> u32 {
@@ -98,26 +116,12 @@ fn default_schema() -> u32 {
 }
 
 /// Errors from persistence.
-#[derive(Debug)]
-pub enum KbError {
-    Io(std::io::Error),
-    Format(serde_json::Error),
-    SchemaMismatch { found: u32, expected: u32 },
-}
-
-impl std::fmt::Display for KbError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            KbError::Io(e) => write!(f, "io: {e}"),
-            KbError::Format(e) => write!(f, "format: {e}"),
-            KbError::SchemaMismatch { found, expected } => {
-                write!(f, "schema {found}, expected {expected}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for KbError {}
+///
+/// An alias for the workspace-wide [`ic_obs::Error`] — the kb only ever
+/// constructs the `Io`, `Format` and `SchemaMismatch` variants, and the
+/// alias keeps existing `KbError::Io(..)` constructor paths and pattern
+/// matches compiling unchanged.
+pub type KbError = ic_obs::Error;
 
 impl KnowledgeBase {
     /// Empty knowledge base at the current schema version.
@@ -232,6 +236,21 @@ impl KnowledgeBase {
         rec.entries = map.into_iter().collect();
         rec.entries.sort_by_key(|&(k, _)| k);
         rec.entries.len()
+    }
+
+    /// Insert or replace the metrics snapshot for `rec.context` (the kb
+    /// keeps only the latest snapshot per context — history belongs in
+    /// external telemetry, not the store).
+    pub fn upsert_metrics(&mut self, rec: MetricsRecord) {
+        match self.metrics.iter_mut().find(|m| m.context == rec.context) {
+            Some(m) => *m = rec,
+            None => self.metrics.push(rec),
+        }
+    }
+
+    /// The last-known metrics snapshot for `context`, if any.
+    pub fn metrics_for(&self, context: &str) -> Option<&MetricsRecord> {
+        self.metrics.iter().find(|m| m.context == context)
     }
 
     /// Serialize to pretty JSON (the documented interchange format).
@@ -496,6 +515,42 @@ mod tests {
         );
         let back = KnowledgeBase::from_json(&json).unwrap();
         assert!(back.eval_caches.is_empty());
+    }
+
+    #[test]
+    fn metrics_upsert_and_round_trip() {
+        let mut kb = KnowledgeBase::new();
+        assert!(kb.metrics_for("eng@vliw").is_none());
+
+        let mut snap = ic_obs::Snapshot::for_context("eng@vliw");
+        snap.counters.push(("requests".into(), 3));
+        kb.upsert_metrics(MetricsRecord {
+            context: "eng@vliw".into(),
+            unix_ms: 1_000,
+            snapshot: snap.clone(),
+        });
+        // Upsert replaces by context: only the latest snapshot survives.
+        snap.counters[0].1 = 7;
+        kb.upsert_metrics(MetricsRecord {
+            context: "eng@vliw".into(),
+            unix_ms: 2_000,
+            snapshot: snap,
+        });
+        assert_eq!(kb.metrics.len(), 1);
+        assert_eq!(kb.metrics_for("eng@vliw").unwrap().unix_ms, 2_000);
+
+        let back = KnowledgeBase::from_json(&kb.to_json()).unwrap();
+        let rec = back.metrics_for("eng@vliw").unwrap();
+        assert_eq!(rec.snapshot.counters, vec![("requests".to_string(), 7)]);
+
+        // Older stores without the field still load.
+        let json = kb.to_json();
+        let start = json.find(",\n  \"metrics\":").unwrap();
+        let end = json.rfind('}').unwrap() - 1; // metrics is the last field
+        let old = format!("{}{}", &json[..start], &json[end..]);
+        assert!(!old.contains("\"metrics\""), "field removed: {old}");
+        let back = KnowledgeBase::from_json(&old).unwrap();
+        assert!(back.metrics.is_empty());
     }
 
     #[test]

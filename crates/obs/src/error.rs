@@ -1,0 +1,139 @@
+//! The workspace-wide error type.
+//!
+//! One enum replaces the previous mix of `Result<_, String>` signatures
+//! and crate-local error enums. Every variant carries a stable
+//! machine-readable [`Error::code`] string; the daemon copies it into
+//! error responses so clients can dispatch without parsing prose.
+//!
+//! `Display` and the `From` conversions are hand-rolled — no new
+//! dependencies, per the workspace's vendored-only rule.
+
+/// Unified error for `ic-core`, `ic-kb`, `ic-serve`, and friends.
+#[derive(Debug)]
+pub enum Error {
+    /// Filesystem or socket failure.
+    Io(std::io::Error),
+    /// Malformed JSON or a value that does not fit the schema.
+    Format(serde_json::Error),
+    /// A persisted store carries an incompatible schema version.
+    SchemaMismatch { found: u32, expected: u32 },
+    /// The caller sent something invalid (unknown machine, pass,
+    /// strategy, malformed request, ...).
+    BadRequest(String),
+    /// The MinC frontend rejected the source program.
+    Frontend(String),
+    /// The server is saturated; retry after the embedded hint.
+    Busy { retry_after_ms: u64 },
+    /// The request's deadline expired before the work finished.
+    DeadlineExceeded(String),
+    /// The server is draining and accepts no new work.
+    ShuttingDown,
+    /// An invalid configuration value (builder validation).
+    Config(String),
+    /// An internal invariant failed.
+    Internal(String),
+}
+
+impl Error {
+    /// A stable, machine-readable identifier for the error class.
+    ///
+    /// These strings are part of the daemon wire protocol (the `code`
+    /// field of error responses) — append new ones, never rename.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Error::Io(_) => "io",
+            Error::Format(_) => "format",
+            Error::SchemaMismatch { .. } => "schema_mismatch",
+            Error::BadRequest(_) => "bad_request",
+            Error::Frontend(_) => "frontend",
+            Error::Busy { .. } => "busy",
+            Error::DeadlineExceeded(_) => "deadline_exceeded",
+            Error::ShuttingDown => "shutting_down",
+            Error::Config(_) => "config",
+            Error::Internal(_) => "internal",
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "io: {e}"),
+            Error::Format(e) => write!(f, "format: {e}"),
+            Error::SchemaMismatch { found, expected } => {
+                write!(f, "schema {found}, expected {expected}")
+            }
+            Error::BadRequest(m) => write!(f, "bad request: {m}"),
+            Error::Frontend(m) => write!(f, "frontend: {m}"),
+            Error::Busy { retry_after_ms } => {
+                write!(f, "busy, retry after {retry_after_ms}ms")
+            }
+            Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            Error::ShuttingDown => write!(f, "shutting down"),
+            Error::Config(m) => write!(f, "config: {m}"),
+            Error::Internal(m) => write!(f, "internal: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for Error {
+    fn from(e: serde_json::Error) -> Self {
+        Error::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let errs = [
+            Error::Io(std::io::Error::other("x")),
+            Error::SchemaMismatch {
+                found: 2,
+                expected: 1,
+            },
+            Error::BadRequest("m".into()),
+            Error::Frontend("m".into()),
+            Error::Busy { retry_after_ms: 50 },
+            Error::DeadlineExceeded("m".into()),
+            Error::ShuttingDown,
+            Error::Config("m".into()),
+            Error::Internal("m".into()),
+        ];
+        let codes: Vec<&str> = errs.iter().map(|e| e.code()).collect();
+        let mut unique = codes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "duplicate codes: {codes:?}");
+        assert_eq!(Error::ShuttingDown.code(), "shutting_down");
+    }
+
+    #[test]
+    fn display_carries_the_payload() {
+        let e = Error::Busy { retry_after_ms: 75 };
+        assert_eq!(e.to_string(), "busy, retry after 75ms");
+        let e = Error::SchemaMismatch {
+            found: 9,
+            expected: 1,
+        };
+        assert_eq!(e.to_string(), "schema 9, expected 1");
+    }
+}

@@ -1,0 +1,481 @@
+//! Lock-free instruments behind a cheap-clone [`Registry`].
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Span`], [`Histogram`]) are `Arc`s
+//! over atomics: once looked up, recording touches no lock and no
+//! shared cache line in the common case. Registration (name → handle)
+//! is the only locked path, read-optimized under a `parking_lot`
+//! `RwLock` — look handles up once, outside hot loops.
+//!
+//! Counters shard their cells 16 ways by thread so concurrent writers
+//! on different cores do not bounce one cache line; reads sum the
+//! shards with saturation. Gauges store `f64` bits in an `AtomicU64`
+//! with compare-and-swap min/max updates. Spans aggregate scoped
+//! timings (count / total / max); [`Registry::span`] hands back an RAII
+//! [`SpanTimer`] so a timing cannot be leaked by an early return.
+//!
+//! The whole layer is observation-only: nothing here feeds back into
+//! compilation, so enabling it cannot perturb compiled IR (pinned by
+//! the workspace's profile-determinism test).
+
+use crate::snapshot::{HistogramStats, Snapshot, SpanStats};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counter shard count (power of two). 16 matches the cache sharding
+/// elsewhere in the workspace: enough to spread a 16-thread rayon pool,
+/// small enough that summing stays trivial.
+const SHARDS: usize = 16;
+
+/// One atomic on its own cache line, so shards never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// This thread's fixed counter shard, from a hash of its thread id.
+fn shard_index() -> usize {
+    use std::hash::{Hash, Hasher};
+    thread_local! {
+        static SHARD: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SHARD.with(|cell| {
+        let mut idx = cell.get();
+        if idx == usize::MAX {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            idx = (h.finish() as usize) & (SHARDS - 1);
+            cell.set(idx);
+        }
+        idx
+    })
+}
+
+/// A monotonic counter, sharded per thread. Cloning shares the cells.
+#[derive(Clone, Default)]
+pub struct Counter {
+    shards: Arc<[PaddedU64; SHARDS]>,
+}
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n` to this thread's shard. Saturates at `u64::MAX` instead
+    /// of wrapping (a counter that jumps back to 0 reads as progress
+    /// lost; one parked at MAX reads as what it is).
+    pub fn add(&self, n: u64) {
+        let cell = &self.shards[shard_index()].0;
+        let prev = cell.fetch_add(n, Ordering::Relaxed);
+        if prev.checked_add(n).is_none() {
+            cell.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Sum of all shards (saturating).
+    pub fn get(&self) -> u64 {
+        self.shards.iter().fold(0u64, |acc, s| {
+            acc.saturating_add(s.0.load(Ordering::Relaxed))
+        })
+    }
+}
+
+/// A last/extreme-value gauge: an `f64` stored as bits in an atomic.
+#[derive(Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            bits: Arc::new(AtomicU64::new(0f64.to_bits())),
+        }
+    }
+}
+
+impl Gauge {
+    /// A gauge reading 0.0.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Lower the value to `v` if `v` is smaller (total order, so NaN
+    /// and infinities behave deterministically).
+    pub fn set_min(&self, v: f64) {
+        self.update(v, |new, cur| new.total_cmp(&cur).is_lt());
+    }
+
+    /// Raise the value to `v` if `v` is larger.
+    pub fn set_max(&self, v: f64) {
+        self.update(v, |new, cur| new.total_cmp(&cur).is_gt());
+    }
+
+    fn update(&self, v: f64, wins: impl Fn(f64, f64) -> bool) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while wins(v, f64::from_bits(cur)) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregate of scoped timings: count, total, and max nanoseconds.
+#[derive(Clone, Default)]
+pub struct Span {
+    inner: Arc<SpanInner>,
+}
+
+#[derive(Default)]
+struct SpanInner {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Span {
+    /// A fresh empty span aggregate.
+    pub fn new() -> Self {
+        Span::default()
+    }
+
+    /// Start timing; the returned guard records on drop.
+    pub fn start(&self) -> SpanTimer {
+        SpanTimer {
+            span: self.clone(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Record one completed timing of `ns` nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.inner.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    fn stats(&self, name: &str) -> SpanStats {
+        SpanStats {
+            name: name.to_string(),
+            count: self.inner.count.load(Ordering::Relaxed),
+            total_ns: self.inner.total_ns.load(Ordering::Relaxed),
+            max_ns: self.inner.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII guard from [`Span::start`] / [`Registry::span`]; records the
+/// elapsed wall time into its span when dropped.
+pub struct SpanTimer {
+    span: Span,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Elapsed time so far, without stopping the timer.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let ns = u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.span.record_ns(ns);
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds zeros, bucket `i` holds
+/// values with bit length `i`, up to the full 64-bit range.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed distribution of `u64` samples.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    total: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                total: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let idx = (u64::BITS - v.leading_zeros()) as usize;
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        // Saturating total: near the top, park at MAX instead of wrapping.
+        let prev = self.inner.total.fetch_add(v, Ordering::Relaxed);
+        if prev.checked_add(v).is_none() {
+            self.inner.total.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    fn stats(&self, name: &str) -> HistogramStats {
+        let mut buckets: Vec<u64> = self
+            .inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramStats {
+            name: name.to_string(),
+            count: buckets.iter().fold(0u64, |a, b| a.saturating_add(*b)),
+            total: self.inner.total.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A named set of instruments. Cloning shares all state; registration
+/// is get-or-create, so any clone can mint or re-find a handle.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<RegistryInner>,
+}
+
+struct RegistryInner {
+    counters: RwLock<HashMap<String, Counter>>,
+    gauges: RwLock<HashMap<String, Gauge>>,
+    spans: RwLock<HashMap<String, Span>>,
+    histograms: RwLock<HashMap<String, Histogram>>,
+    started: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            inner: Arc::new(RegistryInner {
+                counters: RwLock::new(HashMap::new()),
+                gauges: RwLock::new(HashMap::new()),
+                spans: RwLock::new(HashMap::new()),
+                histograms: RwLock::new(HashMap::new()),
+                started: Instant::now(),
+            }),
+        }
+    }
+}
+
+/// Get-or-create `name` in a `RwLock<HashMap>` (read fast path).
+fn intern<T: Clone + Default>(map: &RwLock<HashMap<String, T>>, name: &str) -> T {
+    if let Some(found) = map.read().get(name) {
+        return found.clone();
+    }
+    map.write().entry(name.to_string()).or_default().clone()
+}
+
+impl Registry {
+    /// A fresh empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name` (created zeroed on first use).
+    pub fn counter(&self, name: &str) -> Counter {
+        intern(&self.inner.counters, name)
+    }
+
+    /// The gauge named `name` (created reading 0.0 on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        intern(&self.inner.gauges, name)
+    }
+
+    /// The span aggregate named `name`.
+    pub fn span_handle(&self, name: &str) -> Span {
+        intern(&self.inner.spans, name)
+    }
+
+    /// Start timing span `name`; drop the guard to record.
+    pub fn span(&self, name: &str) -> SpanTimer {
+        self.span_handle(name).start()
+    }
+
+    /// The histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        intern(&self.inner.histograms, name)
+    }
+
+    /// Time since the registry was created.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// Dump every instrument into `snap`'s named collections (sorted by
+    /// name, merged with anything already there).
+    pub fn snapshot_into(&self, snap: &mut Snapshot) {
+        let mut fresh = Snapshot {
+            counters: self
+                .inner
+                .counters
+                .read()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .read()
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            spans: self
+                .inner
+                .spans
+                .read()
+                .iter()
+                .map(|(name, s)| s.stats(name))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .read()
+                .iter()
+                .map(|(name, h)| h.stats(name))
+                .collect(),
+            ..Snapshot::default()
+        };
+        fresh.canonicalize();
+        snap.merge(&fresh);
+    }
+
+    /// This registry's instruments as a standalone snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let reg = Registry::new();
+        let counter = reg.counter("work");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let c = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 8000);
+        assert_eq!(reg.counter("work").get(), 8000, "same handle by name");
+    }
+
+    #[test]
+    fn counter_read_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX);
+        c.add(5); // may land in the same shard or another; either way:
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_min_max_use_total_order() {
+        let g = Gauge::new();
+        g.set(f64::INFINITY);
+        g.set_min(10.0);
+        assert_eq!(g.get(), 10.0);
+        g.set_min(25.0);
+        assert_eq!(g.get(), 10.0);
+        g.set_max(12.0);
+        assert_eq!(g.get(), 12.0);
+    }
+
+    #[test]
+    fn span_timer_records_on_drop() {
+        let reg = Registry::new();
+        {
+            let _t = reg.span("step");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = reg.snapshot();
+        let s = snap.spans.iter().find(|s| s.name == "step").unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.total_ns >= 1_000_000, "recorded {}ns", s.total_ns);
+        assert_eq!(s.max_ns, s.total_ns);
+    }
+
+    #[test]
+    fn histogram_buckets_by_bit_length() {
+        let h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1
+        h.record(2); // bucket 2
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        let stats = h.stats("h");
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.total, 1030);
+        assert_eq!(stats.buckets[0], 1);
+        assert_eq!(stats.buckets[1], 1);
+        assert_eq!(stats.buckets[2], 2);
+        assert_eq!(stats.buckets[11], 1);
+        assert_eq!(stats.buckets.len(), 12, "trailing zeros trimmed");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let reg = Registry::new();
+        reg.counter("zeta").inc();
+        reg.counter("alpha").add(2);
+        reg.gauge("mid").set(1.5);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("alpha".to_string(), 2), ("zeta".to_string(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("mid".to_string(), 1.5)]);
+    }
+}

@@ -1,0 +1,139 @@
+//! The per-pass profiler.
+//!
+//! A [`PassProfiler`] holds one fixed row per registered optimization
+//! pass — rows are pre-registered at construction from the pass
+//! registry's names, so a profile always covers every pass, including
+//! ones that never ran (calls = 0). Recording is a handful of relaxed
+//! atomic adds on a pre-resolved row: cheap enough to leave on in
+//! production, and strictly observational — the profiler never feeds
+//! back into pass behaviour, so profiled and unprofiled compilations
+//! produce bit-identical IR.
+
+use crate::snapshot::PassStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Row {
+    calls: AtomicU64,
+    changed: AtomicU64,
+    wall_ns: AtomicU64,
+    insts_in: AtomicU64,
+    insts_out: AtomicU64,
+}
+
+struct ProfilerInner {
+    /// Row storage in registration order (the natural `--profile` table
+    /// order: the pass registry's own ordering).
+    names: Vec<String>,
+    rows: Vec<Row>,
+    index: HashMap<String, usize>,
+}
+
+/// Shared per-pass profiling table. Cloning shares the rows.
+#[derive(Clone)]
+pub struct PassProfiler {
+    inner: Arc<ProfilerInner>,
+}
+
+impl PassProfiler {
+    /// A profiler with one zeroed row per name, in the given order.
+    /// `ic-passes` constructs this over its full pass registry.
+    pub fn with_passes<S: AsRef<str>>(passes: &[S]) -> Self {
+        let names: Vec<String> = passes.iter().map(|s| s.as_ref().to_string()).collect();
+        let rows = names.iter().map(|_| Row::default()).collect();
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        PassProfiler {
+            inner: Arc::new(ProfilerInner { names, rows, index }),
+        }
+    }
+
+    /// Record one application of `pass`: whether it reported a change,
+    /// its wall time, and the module's instruction counts around it.
+    /// Unknown names are ignored (the registry is closed; a miss here
+    /// means a caller bypassed `with_passes`).
+    pub fn record(&self, pass: &str, changed: bool, wall_ns: u64, insts_in: u64, insts_out: u64) {
+        let Some(&i) = self.inner.index.get(pass) else {
+            return;
+        };
+        let row = &self.inner.rows[i];
+        row.calls.fetch_add(1, Ordering::Relaxed);
+        if changed {
+            row.changed.fetch_add(1, Ordering::Relaxed);
+        }
+        row.wall_ns.fetch_add(wall_ns, Ordering::Relaxed);
+        row.insts_in.fetch_add(insts_in, Ordering::Relaxed);
+        row.insts_out.fetch_add(insts_out, Ordering::Relaxed);
+    }
+
+    /// All rows in registration order — every registered pass appears,
+    /// ran or not.
+    pub fn rows(&self) -> Vec<PassStats> {
+        self.inner
+            .names
+            .iter()
+            .zip(&self.inner.rows)
+            .map(|(name, row)| PassStats {
+                pass: name.clone(),
+                calls: row.calls.load(Ordering::Relaxed),
+                changed: row.changed.load(Ordering::Relaxed),
+                wall_ns: row.wall_ns.load(Ordering::Relaxed),
+                insts_in: row.insts_in.load(Ordering::Relaxed),
+                insts_out: row.insts_out.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Dump the rows into `snap.passes` (canonical sorted order).
+    pub fn snapshot_into(&self, snap: &mut crate::Snapshot) {
+        let mut fresh = crate::Snapshot {
+            passes: self.rows(),
+            ..crate::Snapshot::default()
+        };
+        fresh.canonicalize();
+        snap.merge(&fresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_every_registered_pass() {
+        let prof = PassProfiler::with_passes(&["dce", "licm", "unroll"]);
+        prof.record("licm", true, 500, 100, 90);
+        prof.record("licm", false, 300, 90, 90);
+        prof.record("bogus", true, 1, 1, 1); // ignored, not a panic
+        let rows = prof.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].pass, "dce");
+        assert_eq!(rows[0].calls, 0, "never-ran pass still has a row");
+        let licm = &rows[1];
+        assert_eq!((licm.calls, licm.changed, licm.wall_ns), (2, 1, 800));
+        assert_eq!((licm.insts_in, licm.insts_out), (190, 180));
+    }
+
+    #[test]
+    fn clones_share_rows_across_threads() {
+        let prof = PassProfiler::with_passes(&["dce"]);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let p = prof.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        p.record("dce", true, 10, 5, 4);
+                    }
+                });
+            }
+        });
+        let rows = prof.rows();
+        assert_eq!(rows[0].calls, 400);
+        assert_eq!(rows[0].wall_ns, 4000);
+    }
+}

@@ -1,0 +1,202 @@
+//! Property tests for [`Snapshot::merge`]: folding any collection of
+//! snapshots must give the same result in every order (the daemon
+//! merges per-engine snapshots in whatever order the pool iterates),
+//! and counts near `u64::MAX` must saturate, never wrap or panic.
+//!
+//! The vendored proptest has no `prop_map`, so snapshots are built
+//! deterministically from generated raw words: each word is classified
+//! onto the interesting boundary (0, small, `u64::MAX`, near-MAX, or
+//! anywhere) before landing in a field.
+
+use ic_obs::{
+    CompileCacheStats, EvalCacheStats, HistogramStats, PassStats, ServiceStats, Snapshot, SpanStats,
+};
+use proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// Map a raw word onto the saturation-interesting boundary values.
+fn classify(raw: u64) -> u64 {
+    match raw % 6 {
+        0 => 0,
+        1 => raw % 997 + 1,
+        2 => u64::MAX,
+        3 => u64::MAX - 1,
+        4 => u64::MAX - (raw % 1000),
+        _ => raw,
+    }
+}
+
+/// Words consumed per snapshot by [`build_snapshot`].
+const WORDS: usize = 48;
+
+/// Deterministically assemble a canonicalized snapshot from raw words.
+fn build_snapshot(raw: &[u64]) -> Snapshot {
+    let w = |i: usize| classify(raw[i % raw.len()]);
+    let name = |i: usize| NAMES[(raw[i % raw.len()] % 4) as usize].to_string();
+    let mut s = Snapshot::for_context("prop");
+    s.eval_cache = EvalCacheStats {
+        hits: w(0),
+        misses: w(1),
+        entries: w(2) as usize,
+        eval_nanos: w(3),
+    };
+    s.compile_cache = CompileCacheStats {
+        hits: w(4),
+        misses: w(5),
+        passes_run: w(6),
+        passes_elided: w(7),
+        nodes: w(8) as usize,
+        bytes: w(9) as usize,
+        evictions: w(10),
+    };
+    s.service = ServiceStats {
+        compile_requests: w(11),
+        search_requests: w(12),
+        characterize_requests: w(13),
+        requests_rejected: w(14),
+        requests_cancelled: w(15),
+        bad_requests: w(16),
+        queue_depth: w(17),
+        engines: w(18),
+        uptime_ms: w(19),
+    };
+    s.counters = (0..3).map(|k| (name(20 + 2 * k), w(21 + 2 * k))).collect();
+    // Gauges stay finite so JSON round trips exactly.
+    s.gauges = (0..2)
+        .map(|k| {
+            let v = (raw[(26 + 2 * k) % raw.len()] % 2001) as f64 - 1000.0;
+            (name(27 + 2 * k), v)
+        })
+        .collect();
+    s.spans = (0..2)
+        .map(|k| SpanStats {
+            name: name(31 + 3 * k),
+            count: w(32 + 3 * k),
+            total_ns: w(33 + 3 * k),
+            max_ns: w(34 + 3 * k),
+        })
+        .collect();
+    s.histograms = vec![HistogramStats {
+        name: name(38),
+        count: w(39),
+        total: w(40),
+        buckets: (0..(raw[41 % raw.len()] % 5) as usize)
+            .map(|b| w(42 + b))
+            .collect(),
+    }];
+    s.passes = (0..2)
+        .map(|k| PassStats {
+            pass: name(43 + 2 * k),
+            calls: w(44 + 2 * k),
+            changed: w(45 + 2 * k),
+            wall_ns: w(46 + 2 * k),
+            insts_in: w(47 + 2 * k),
+            insts_out: w(47 + 2 * k),
+        })
+        .collect();
+    s.canonicalize();
+    s
+}
+
+fn build_all(raws: &[Vec<u64>]) -> Vec<Snapshot> {
+    raws.iter().map(|r| build_snapshot(r)).collect()
+}
+
+fn fold(parts: &[Snapshot]) -> Snapshot {
+    let mut acc = Snapshot::for_context("prop");
+    for p in parts {
+        acc.merge(p);
+    }
+    acc
+}
+
+proptest! {
+    /// Merging the same snapshots in any order gives the same result —
+    /// including at the saturation boundary, where a sum parks at
+    /// `u64::MAX` regardless of which addition saturated first.
+    #[test]
+    fn merge_is_order_independent(
+        raws in prop::collection::vec(prop::collection::vec(0u64..u64::MAX, WORDS), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let parts = build_all(&raws);
+        let forward = fold(&parts);
+
+        let mut reversed = parts.clone();
+        reversed.reverse();
+        prop_assert_eq!(&fold(&reversed), &forward, "reverse order diverged");
+
+        // A seeded Fisher-Yates shuffle as a third order.
+        let mut shuffled = parts.clone();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for i in (1..shuffled.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(&fold(&shuffled), &forward, "shuffled order diverged");
+    }
+
+    /// Merge is associative: (a + b) + c == a + (b + c).
+    #[test]
+    fn merge_is_associative(
+        ra in prop::collection::vec(0u64..u64::MAX, WORDS),
+        rb in prop::collection::vec(0u64..u64::MAX, WORDS),
+        rc in prop::collection::vec(0u64..u64::MAX, WORDS),
+    ) {
+        let (a, b, c) = (build_snapshot(&ra), build_snapshot(&rb), build_snapshot(&rc));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// Counts saturate at `u64::MAX`: merging never shrinks a count,
+    /// and the named collections stay canonically sorted.
+    #[test]
+    fn merge_saturates_and_is_monotone(
+        ra in prop::collection::vec(0u64..u64::MAX, WORDS),
+        rb in prop::collection::vec(0u64..u64::MAX, WORDS),
+    ) {
+        let (a, b) = (build_snapshot(&ra), build_snapshot(&rb));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert!(merged.eval_cache.hits >= a.eval_cache.hits.max(b.eval_cache.hits));
+        prop_assert!(
+            merged.service.requests_rejected
+                >= a.service.requests_rejected.max(b.service.requests_rejected)
+        );
+        prop_assert!(merged.service.uptime_ms >= a.service.uptime_ms.max(b.service.uptime_ms));
+        for (cname, v) in &a.counters {
+            let found = merged.counters.iter().find(|(n, _)| n == cname);
+            prop_assert!(found.is_some_and(|(_, m)| m >= v), "counter {} shrank", cname);
+        }
+        for w in merged.counters.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "counters unsorted");
+        }
+        for w in merged.passes.windows(2) {
+            prop_assert!(w[0].pass < w[1].pass, "passes unsorted");
+        }
+    }
+
+    /// Round-tripping a merged snapshot through JSON is lossless.
+    #[test]
+    fn merged_snapshot_round_trips_json(
+        ra in prop::collection::vec(0u64..u64::MAX, WORDS),
+        rb in prop::collection::vec(0u64..u64::MAX, WORDS),
+    ) {
+        let mut merged = build_snapshot(&ra);
+        merged.merge(&build_snapshot(&rb));
+        let back = Snapshot::from_json(&merged.to_json()).expect("parses");
+        prop_assert_eq!(back, merged);
+    }
+}

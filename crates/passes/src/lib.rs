@@ -35,6 +35,7 @@ pub mod unroll;
 use ic_ir::Module;
 use serde::{Deserialize, Serialize};
 
+pub use ic_obs::{PassProfiler, PassStats};
 pub use prefix_cache::{CompileCacheStats, PrefixCache, PrefixCacheConfig};
 
 /// A named optimization. The unit the optimization controller, the search
@@ -153,6 +154,43 @@ impl Opt {
             Opt::Unroll8 => unroll::run(module, 8),
         }
     }
+
+    /// [`Opt::apply`] plus a profiling record: wall time and the
+    /// module's instruction counts around the pass go to `profiler`.
+    /// Observation-only — the transformed module is bit-identical to an
+    /// unprofiled [`Opt::apply`].
+    pub fn apply_profiled(self, module: &mut Module, profiler: &PassProfiler) -> bool {
+        let insts_in = module_insts(module);
+        let started = std::time::Instant::now();
+        let changed = self.apply(module);
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        profiler.record(
+            self.name(),
+            changed,
+            wall_ns,
+            insts_in,
+            module_insts(module),
+        );
+        changed
+    }
+}
+
+/// Total instructions in the module (the profiler's IR-size measure).
+pub fn module_insts(module: &Module) -> u64 {
+    module
+        .funcs
+        .iter()
+        .flat_map(|f| &f.blocks)
+        .map(|b| b.insts.len() as u64)
+        .sum()
+}
+
+/// A [`PassProfiler`] pre-registered with every pass in [`Opt::ALL`],
+/// so profile rows cover the whole registry — passes that never ran
+/// report zero calls rather than being absent.
+pub fn profiler() -> PassProfiler {
+    let names: Vec<&'static str> = Opt::ALL.iter().map(|o| o.name()).collect();
+    PassProfiler::with_passes(&names)
 }
 
 impl std::fmt::Display for Opt {
@@ -168,6 +206,25 @@ pub fn apply_sequence(module: &mut Module, seq: &[Opt]) -> usize {
     let mut changed = 0;
     for &opt in seq {
         if opt.apply(module) {
+            changed += 1;
+        }
+        debug_assert!(
+            ic_ir::verify::verify_module(module).is_ok(),
+            "pass {} corrupted the module: {:?}",
+            opt.name(),
+            ic_ir::verify::verify_module(module).err()
+        );
+    }
+    changed
+}
+
+/// [`apply_sequence`] with per-pass profiling into `profiler`. The
+/// resulting module and changed count are bit-identical to the
+/// unprofiled path (pinned by the workspace's determinism test).
+pub fn apply_sequence_profiled(module: &mut Module, seq: &[Opt], profiler: &PassProfiler) -> usize {
+    let mut changed = 0;
+    for &opt in seq {
+        if opt.apply_profiled(module, profiler) {
             changed += 1;
         }
         debug_assert!(

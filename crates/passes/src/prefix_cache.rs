@@ -63,49 +63,12 @@ impl Default for PrefixCacheConfig {
 }
 
 /// A point-in-time view of compile-cache activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct CompileCacheStats {
-    /// Sequence applications that found a cached prefix (depth >= 1).
-    pub hits: u64,
-    /// Sequence applications that started from the base module.
-    pub misses: u64,
-    /// Individual passes actually applied.
-    pub passes_run: u64,
-    /// Individual passes skipped because a cached prefix covered them.
-    pub passes_elided: u64,
-    /// Trie nodes currently resident.
-    pub nodes: usize,
-    /// Estimated bytes of resident post-prefix modules.
-    pub bytes: usize,
-    /// Nodes dropped by the LRU to stay under the byte budget.
-    pub evictions: u64,
-}
-
-impl CompileCacheStats {
-    /// Sequence applications served (hit or miss).
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Fraction of sequence applications that found a cached prefix.
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups() as f64
-        }
-    }
-
-    /// How many times fewer passes ran than the uncached pipeline would
-    /// have run: `(passes_run + passes_elided) / passes_run`.
-    pub fn elision_factor(&self) -> f64 {
-        if self.passes_run == 0 {
-            1.0
-        } else {
-            (self.passes_run + self.passes_elided) as f64 / self.passes_run as f64
-        }
-    }
-}
+///
+/// Since the `ic-obs` unification this is the workspace-wide
+/// [`ic_obs::CompileCacheStats`], re-exported under its historical
+/// path; it slots directly into an [`ic_obs::Snapshot`]'s
+/// `compile_cache` field.
+pub use ic_obs::CompileCacheStats;
 
 /// Rough resident size of a module, for LRU accounting. Counts
 /// instructions, blocks, registers and array declarations at fixed
@@ -152,6 +115,7 @@ pub struct PrefixCache {
     base: Arc<Module>,
     inner: Mutex<Trie>,
     budget: usize,
+    profiler: Option<ic_obs::PassProfiler>,
     hits: AtomicU64,
     misses: AtomicU64,
     passes_run: AtomicU64,
@@ -167,6 +131,18 @@ impl PrefixCache {
 
     /// A cache over `base` with an explicit configuration.
     pub fn with_config(base: Module, config: PrefixCacheConfig) -> Self {
+        PrefixCache::with_profiler(base, config, None)
+    }
+
+    /// A cache that also records every pass it actually runs into
+    /// `profiler` (elided prefix passes are, by definition, not run and
+    /// not recorded). Profiling is observation-only: cached results
+    /// stay bit-identical to the unprofiled path.
+    pub fn with_profiler(
+        base: Module,
+        config: PrefixCacheConfig,
+        profiler: Option<ic_obs::PassProfiler>,
+    ) -> Self {
         PrefixCache {
             base: Arc::new(base),
             inner: Mutex::new(Trie {
@@ -175,12 +151,18 @@ impl PrefixCache {
                 tick: 0,
             }),
             budget: config.byte_budget,
+            profiler,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             passes_run: AtomicU64::new(0),
             passes_elided: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The profiler recording this cache's pass applications, if any.
+    pub fn profiler(&self) -> Option<&ic_obs::PassProfiler> {
+        self.profiler.as_ref()
     }
 
     /// The unoptimized base module every sequence is applied to.
@@ -240,7 +222,11 @@ impl PrefixCache {
         // suffix passes mutate a private copy.
         let mut module = (*start).clone();
         for (i, &opt) in seq.iter().enumerate().skip(depth) {
-            if opt.apply(&mut module) {
+            let applied = match &self.profiler {
+                Some(prof) => opt.apply_profiled(&mut module, prof),
+                None => opt.apply(&mut module),
+            };
+            if applied {
                 changed += 1;
             }
             self.passes_run.fetch_add(1, Ordering::Relaxed);

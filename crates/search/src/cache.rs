@@ -29,46 +29,12 @@ use std::time::Instant;
 const SHARDS: usize = 16;
 
 /// A point-in-time view of cache activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct CacheStats {
-    /// Lookups answered from the memo table.
-    pub hits: u64,
-    /// Lookups that fell through to the inner evaluator. This is the
-    /// number of *raw* evaluations (simulations) actually performed.
-    pub misses: u64,
-    /// Entries currently in the table (warm entries included).
-    pub entries: usize,
-    /// Total nanoseconds spent inside the inner evaluator, summed over
-    /// all threads.
-    pub eval_nanos: u64,
-}
-
-impl CacheStats {
-    /// Total lookups.
-    pub fn lookups(&self) -> u64 {
-        self.hits + self.misses
-    }
-
-    /// Fraction of lookups served from the table.
-    pub fn hit_rate(&self) -> f64 {
-        if self.lookups() == 0 {
-            0.0
-        } else {
-            self.hits as f64 / self.lookups() as f64
-        }
-    }
-
-    /// Raw-evaluation throughput, in evaluations per second of
-    /// *aggregate* evaluator time (CPU-seconds across threads, not wall
-    /// clock).
-    pub fn evals_per_second(&self) -> f64 {
-        if self.eval_nanos == 0 {
-            0.0
-        } else {
-            self.misses as f64 / (self.eval_nanos as f64 / 1e9)
-        }
-    }
-}
+///
+/// Since the `ic-obs` unification this is the workspace-wide
+/// [`ic_obs::EvalCacheStats`], re-exported under its historical name so
+/// existing imports keep compiling; it slots directly into an
+/// [`ic_obs::Snapshot`]'s `eval_cache` field.
+pub use ic_obs::EvalCacheStats as CacheStats;
 
 /// A transparent memoizing wrapper around any [`Evaluator`].
 ///

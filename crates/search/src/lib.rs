@@ -46,11 +46,13 @@ pub mod exhaustive;
 pub mod focused;
 pub mod genetic;
 pub mod hillclimb;
+pub mod obs;
 pub mod random;
 pub mod space;
 
 pub use batch::BatchEvaluator;
 pub use cache::{CacheStats, CachedEvaluator};
+pub use obs::ObservedEvaluator;
 pub use space::SequenceSpace;
 
 use ic_passes::Opt;

@@ -1,0 +1,121 @@
+//! Search-progress instrumentation.
+//!
+//! [`ObservedEvaluator`] drops in front of any [`Evaluator`] (typically
+//! a [`crate::CachedEvaluator`]) and streams per-evaluation progress
+//! into an [`ic_obs::Registry`]:
+//!
+//! * counter `search.evaluations` — evaluations performed,
+//! * gauge `search.best_cost` — best (lowest) cost seen so far,
+//! * span `search.evaluate` — wall time per evaluation (count / total /
+//!   max).
+//!
+//! Because every strategy funnels each candidate through
+//! `Evaluator::evaluate`, wrapping the evaluator observes *every*
+//! iteration of *every* strategy without touching their signatures —
+//! and without perturbing them: the wrapper forwards costs bit-exactly,
+//! so trajectories are identical with or without observation.
+
+use crate::Evaluator;
+use ic_obs::{Counter, Gauge, Registry, Span};
+use ic_passes::Opt;
+
+/// A transparent instrumentation wrapper around any [`Evaluator`].
+pub struct ObservedEvaluator<E> {
+    inner: E,
+    evaluations: Counter,
+    best_cost: Gauge,
+    span: Span,
+}
+
+impl<E> ObservedEvaluator<E> {
+    /// Wrap `inner`, recording into `registry`'s `search.*` instruments.
+    ///
+    /// Resets the `search.best_cost` gauge to `+∞` — each wrapper marks
+    /// the start of one search run, and a stale best from a previous
+    /// run must not mask this one's progress.
+    pub fn new(registry: &Registry, inner: E) -> Self {
+        let best_cost = registry.gauge("search.best_cost");
+        best_cost.set(f64::INFINITY);
+        ObservedEvaluator {
+            inner,
+            evaluations: registry.counter("search.evaluations"),
+            best_cost,
+            span: registry.span_handle("search.evaluate"),
+        }
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwrap, keeping the recorded metrics in the registry.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Evaluator> Evaluator for ObservedEvaluator<E> {
+    fn evaluate(&self, seq: &[Opt]) -> f64 {
+        let _timing = self.span.start();
+        let cost = self.inner.evaluate(seq);
+        self.evaluations.inc();
+        self.best_cost.set_min(cost);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::synthetic_cost;
+    use crate::{random, SequenceSpace};
+
+    #[test]
+    fn forwards_costs_bit_exactly_and_records_progress() {
+        let space = SequenceSpace::new(&Opt::PAPER_13, 5);
+        let registry = Registry::new();
+
+        let plain = random::run(&space, &synthetic_cost, 60, 11);
+        let observed = random::run(
+            &space,
+            &ObservedEvaluator::new(&registry, synthetic_cost),
+            60,
+            11,
+        );
+        assert_eq!(observed.best_seq, plain.best_seq);
+        assert_eq!(observed.best_cost.to_bits(), plain.best_cost.to_bits());
+        assert_eq!(observed.best_so_far, plain.best_so_far);
+
+        let snap = registry.snapshot();
+        let evals = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "search.evaluations")
+            .expect("counter registered");
+        assert_eq!(evals.1, 60);
+        let best = snap
+            .gauges
+            .iter()
+            .find(|(n, _)| n == "search.best_cost")
+            .expect("gauge registered");
+        assert_eq!(best.1.to_bits(), plain.best_cost.to_bits());
+        let span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "search.evaluate")
+            .expect("span registered");
+        assert_eq!(span.count, 60);
+    }
+
+    #[test]
+    fn new_wrapper_resets_best_cost_for_the_next_run() {
+        let registry = Registry::new();
+        let e1 = ObservedEvaluator::new(&registry, synthetic_cost);
+        e1.evaluate(&[Opt::Dce]);
+        let first_best = registry.gauge("search.best_cost").get();
+        assert!(first_best.is_finite());
+        let _e2 = ObservedEvaluator::new(&registry, synthetic_cost);
+        assert!(registry.gauge("search.best_cost").get().is_infinite());
+    }
+}

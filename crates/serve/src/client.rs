@@ -132,6 +132,18 @@ impl Client {
         }
     }
 
+    /// The daemon's unified observability snapshot (`Admin(Metrics)`)
+    /// — the same [`ic_obs::Snapshot`] schema `icc --metrics-json`
+    /// prints locally.
+    pub fn metrics(&mut self) -> Result<ic_obs::Snapshot, ClientError> {
+        match self.request(&Request::Admin(AdminRequest::Metrics))? {
+            Response::Metrics(s) => Ok(s),
+            other => Err(ClientError::Frame(FrameError::BadPayload(format!(
+                "expected Metrics, got {other:?}"
+            )))),
+        }
+    }
+
     /// Ask the daemon to persist its cache snapshots now.
     pub fn flush(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::Admin(AdminRequest::Flush))

@@ -23,7 +23,7 @@ use ic_core::evalcache::context_fingerprint;
 use ic_core::WorkloadEvaluator;
 use ic_kb::KnowledgeBase;
 use ic_machine::{Counter, MachineConfig};
-use ic_passes::Opt;
+use ic_passes::{Opt, PrefixCacheConfig};
 use ic_search::{anneal, genetic, hillclimb, random, CachedEvaluator, Evaluator, SequenceSpace};
 use ic_workloads::{Kind, Workload};
 use parking_lot::Mutex;
@@ -42,6 +42,72 @@ pub fn machine_by_name(name: &str) -> Option<MachineConfig> {
     }
 }
 
+/// How the pool builds engines. Construct via [`EngineConfig::builder`]
+/// — the builder validates, so a constructed config is always sane.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Record every pass the compile cache actually runs into a
+    /// per-pass profiler (wall time + IR-size deltas). Observation-only:
+    /// compiled IR and costs are bit-identical either way.
+    pub profile_passes: bool,
+    /// Pass-prefix compile-cache tuning.
+    pub prefix_cache: PrefixCacheConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::builder().build().expect("defaults validate")
+    }
+}
+
+impl EngineConfig {
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            profile_passes: true,
+            compile_cache_bytes: PrefixCacheConfig::default().byte_budget,
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`]; `build` validates.
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    profile_passes: bool,
+    compile_cache_bytes: usize,
+}
+
+impl EngineConfigBuilder {
+    /// Enable/disable per-pass profiling (default: enabled — the
+    /// overhead budget is <5% on bench_compile, gated in CI).
+    pub fn profile_passes(mut self, on: bool) -> Self {
+        self.profile_passes = on;
+        self
+    }
+
+    /// LRU byte budget of the pass-prefix compile cache.
+    pub fn compile_cache_bytes(mut self, bytes: usize) -> Self {
+        self.compile_cache_bytes = bytes;
+        self
+    }
+
+    pub fn build(self) -> Result<EngineConfig, ic_obs::Error> {
+        // A budget below one workload-sized module would make every
+        // insertion evict itself — a config bug, not a tuning choice.
+        if self.compile_cache_bytes < 4096 {
+            return Err(ic_obs::Error::Config(format!(
+                "compile_cache_bytes {} is below the 4096-byte floor",
+                self.compile_cache_bytes
+            )));
+        }
+        Ok(EngineConfig {
+            profile_passes: self.profile_passes,
+            prefix_cache: PrefixCacheConfig {
+                byte_budget: self.compile_cache_bytes,
+            },
+        })
+    }
+}
+
 /// One warm evaluation stack for a single workload+machine context.
 pub struct Engine {
     /// Context fingerprint (`ic_core::evalcache::context_fingerprint`) —
@@ -54,19 +120,17 @@ pub struct Engine {
 }
 
 impl Engine {
-    fn build(ctx: &JobContext) -> Result<Engine, ErrorResponse> {
-        let config = machine_by_name(&ctx.machine).ok_or_else(|| ErrorResponse {
-            kind: ErrorKind::BadRequest,
-            message: format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
-            retry_after_ms: None,
+    fn build(ctx: &JobContext, cfg: &EngineConfig) -> Result<Engine, ErrorResponse> {
+        let config = machine_by_name(&ctx.machine).ok_or_else(|| {
+            ErrorResponse::new(
+                ErrorKind::BadRequest,
+                format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
+            )
         })?;
         // Validate the frontend up front so a syntax error is a
         // structured BadRequest, not a worker panic.
-        ic_lang::compile(&ctx.name, &ctx.source).map_err(|e| ErrorResponse {
-            kind: ErrorKind::BadRequest,
-            message: format!("frontend: {e}"),
-            retry_after_ms: None,
-        })?;
+        ic_lang::compile(&ctx.name, &ctx.source)
+            .map_err(|e| ErrorResponse::new(ErrorKind::BadRequest, format!("frontend: {e}")))?;
         let workload = Workload {
             name: ctx.name.clone(),
             kind: Kind::AluBound,
@@ -74,7 +138,11 @@ impl Engine {
             fuel: ctx.fuel,
         };
         let space = Arc::new(SequenceSpace::paper());
-        let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&workload, &config));
+        let profiler = cfg.profile_passes.then(ic_passes::profiler);
+        let eval = CachedEvaluator::new(
+            space.clone(),
+            WorkloadEvaluator::with_profiler(&workload, &config, cfg.prefix_cache, profiler),
+        );
         Ok(Engine {
             fingerprint: context_fingerprint(&workload, &config),
             workload,
@@ -83,15 +151,39 @@ impl Engine {
             eval,
         })
     }
+
+    /// This engine's slice of the unified observability snapshot:
+    /// eval-cache and compile-cache activity plus per-pass profiling
+    /// rows, labelled with the context fingerprint.
+    pub fn metrics_snapshot(&self) -> ic_obs::Snapshot {
+        let mut snap = ic_obs::Snapshot::for_context(self.fingerprint.clone());
+        snap.eval_cache = self.eval.stats();
+        snap.compile_cache = self.eval.inner().compile_stats();
+        if let Some(prof) = self.eval.inner().profiler() {
+            snap.passes = prof.rows();
+        }
+        snap
+    }
 }
 
 /// The pool of warm engines, keyed by context fingerprint.
 #[derive(Default)]
 pub struct EnginePool {
+    config: EngineConfig,
     engines: Mutex<HashMap<String, Arc<Engine>>>,
 }
 
 impl EnginePool {
+    /// A pool with an explicit (already-validated) engine config.
+    pub fn with_config(config: EngineConfig) -> Self {
+        EnginePool {
+            config,
+            engines: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// A pool with default engine config.
+    #[deprecated(note = "use EnginePool::with_config(EngineConfig::builder()...build()?)")]
     pub fn new() -> Self {
         Self::default()
     }
@@ -108,10 +200,11 @@ impl EnginePool {
         // Build outside the map lock — engine construction compiles the
         // workload, which can take milliseconds.
         let fingerprint = {
-            let config = machine_by_name(&ctx.machine).ok_or_else(|| ErrorResponse {
-                kind: ErrorKind::BadRequest,
-                message: format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
-                retry_after_ms: None,
+            let config = machine_by_name(&ctx.machine).ok_or_else(|| {
+                ErrorResponse::new(
+                    ErrorKind::BadRequest,
+                    format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
+                )
             })?;
             let probe = Workload {
                 name: ctx.name.clone(),
@@ -124,7 +217,7 @@ impl EnginePool {
         if let Some(e) = self.engines.lock().get(&fingerprint) {
             return Ok(e.clone());
         }
-        let engine = Arc::new(Engine::build(ctx)?);
+        let engine = Arc::new(Engine::build(ctx, &self.config)?);
         {
             let warmed = ic_core::evalcache::warm_from_kb(&engine.eval, &kb.lock(), &fingerprint);
             if warmed > 0 {
@@ -243,10 +336,8 @@ fn parse_sequence(names: &[String]) -> Result<Vec<Opt>, ErrorResponse> {
     names
         .iter()
         .map(|s| {
-            Opt::from_name(s).ok_or_else(|| ErrorResponse {
-                kind: ErrorKind::BadRequest,
-                message: format!("unknown optimization `{s}`"),
-                retry_after_ms: None,
+            Opt::from_name(s).ok_or_else(|| {
+                ErrorResponse::new(ErrorKind::BadRequest, format!("unknown optimization `{s}`"))
             })
         })
         .collect()
@@ -334,23 +425,21 @@ pub fn run_search(
             req.seed,
         ),
         other => {
-            return Err(ErrorResponse {
-                kind: ErrorKind::BadRequest,
-                message: format!("unknown strategy `{other}` (random|hillclimb|genetic|anneal)"),
-                retry_after_ms: None,
-            })
+            return Err(ErrorResponse::new(
+                ErrorKind::BadRequest,
+                format!("unknown strategy `{other}` (random|hillclimb|genetic|anneal)"),
+            ))
         }
     };
     if guard.cancelled.load(Ordering::Relaxed) {
-        return Err(ErrorResponse {
-            kind: ErrorKind::DeadlineExceeded,
-            message: format!(
+        return Err(ErrorResponse::new(
+            ErrorKind::DeadlineExceeded,
+            format!(
                 "search cancelled mid-run after {} of {} evaluations",
                 r.evaluated.iter().filter(|(_, c)| c.is_finite()).count(),
                 req.budget
             ),
-            retry_after_ms: None,
-        });
+        ));
     }
     let stats = cap.finish(engine, queue_ms);
     let evaluations = r.evaluations();
@@ -381,10 +470,9 @@ pub fn run_characterize(
                 stats,
             })
         }
-        Err(e) => Err(ErrorResponse {
-            kind: ErrorKind::BadRequest,
-            message: format!("baseline run failed: {e}"),
-            retry_after_ms: None,
-        }),
+        Err(e) => Err(ErrorResponse::new(
+            ErrorKind::BadRequest,
+            format!("baseline run failed: {e}"),
+        )),
     }
 }

@@ -34,15 +34,21 @@
 //! in-process — warm caches change how many raw simulations run, never
 //! what the search observes.
 
+//! Observability: every engine carries a per-pass profiler and cache
+//! stats that roll up — with the daemon's admission counters and
+//! latency histograms — into one [`ic_obs::Snapshot`], served by
+//! `Admin(Metrics)` and periodically persisted to the kb store
+//! (`ServeConfig::metrics_interval_ms`).
+
 pub mod client;
 pub mod engine;
 pub mod proto;
 pub mod server;
 
 pub use client::{Client, ClientError};
-pub use engine::{machine_by_name, Engine, EnginePool};
+pub use engine::{machine_by_name, Engine, EngineConfig, EngineConfigBuilder, EnginePool};
 pub use proto::{
     AdminRequest, CompileRequest, ErrorKind, JobContext, Request, RequestStats, Response,
     SearchRequest, StatsResponse, PROTOCOL_VERSION,
 };
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{ServeConfig, ServeConfigBuilder, Server, ServerHandle};

@@ -104,6 +104,11 @@ pub struct CharacterizeRequest {
 pub enum AdminRequest {
     /// Aggregated server statistics.
     Stats,
+    /// The unified observability snapshot ([`ic_obs::Snapshot`]):
+    /// per-engine cache stats, per-pass profiling rows, and daemon
+    /// request accounting, in the exact schema `icc --metrics-json`
+    /// prints.
+    Metrics,
     /// Persist every engine's evaluation-cache snapshot to the
     /// knowledge-base store now.
     Flush,
@@ -123,6 +128,9 @@ pub enum Response {
     Search(SearchResponse),
     Characterize(CharacterizeResponse),
     Stats(StatsResponse),
+    /// The unified observability snapshot (`Admin(Metrics)`) — the same
+    /// [`ic_obs::Snapshot`] schema as `icc --metrics-json`.
+    Metrics(ic_obs::Snapshot),
     /// Acknowledgement for `Admin(Flush)` / `Admin(Shutdown)`.
     Admin(AdminResponse),
     Error(ErrorResponse),
@@ -133,33 +141,11 @@ pub enum Response {
 /// attributable to this request (approximate only when concurrent
 /// requests hammer the same context — the totals in `Admin(Stats)` are
 /// exact).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
-pub struct RequestStats {
-    /// Milliseconds spent queued before a worker picked the job up.
-    pub queue_ms: f64,
-    /// Milliseconds of service time (compile + simulate + search).
-    pub service_ms: f64,
-    /// Evaluation-cache hits attributable to this request.
-    pub eval_hits: u64,
-    /// Evaluation-cache misses (= raw simulations run) for this request.
-    pub eval_misses: u64,
-    /// Pass-prefix compile-cache hits for this request.
-    pub compile_hits: u64,
-    /// Pass-prefix compile-cache misses for this request.
-    pub compile_misses: u64,
-}
-
-impl RequestStats {
-    /// Fraction of evaluation lookups served without simulating.
-    pub fn eval_hit_rate(&self) -> f64 {
-        let total = self.eval_hits + self.eval_misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.eval_hits as f64 / total as f64
-        }
-    }
-}
+///
+/// Since the `ic-obs` unification this is the workspace-wide
+/// [`ic_obs::RequestStats`], re-exported under its historical path; the
+/// wire format is unchanged.
+pub use ic_obs::RequestStats;
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompileResponse {
@@ -257,9 +243,30 @@ pub enum ErrorKind {
     Internal,
 }
 
+impl ErrorKind {
+    /// The stable machine-readable code for this kind — the same
+    /// strings [`ic_obs::Error::code`] uses, so daemon errors and local
+    /// errors are greppable by one vocabulary.
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorKind::Busy => "busy",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorResponse {
     pub kind: ErrorKind,
+    /// Stable machine-readable code ([`ErrorKind::code`]). Redundant
+    /// with `kind` for this protocol version, but survives enum-tag
+    /// renames and matches [`ic_obs::Error::code`] — scripts should
+    /// match on this. Absent in pre-obs responses, hence the default.
+    #[serde(default)]
+    pub code: String,
     pub message: String,
     /// For [`ErrorKind::Busy`]: a backoff hint in milliseconds.
     #[serde(default)]
@@ -267,12 +274,47 @@ pub struct ErrorResponse {
 }
 
 impl ErrorResponse {
-    pub fn bad_request(message: impl Into<String>) -> Response {
-        Response::Error(ErrorResponse {
-            kind: ErrorKind::BadRequest,
+    /// An error of `kind` with its stable code filled in.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> Self {
+        ErrorResponse {
+            kind,
+            code: kind.code().to_string(),
             message: message.into(),
             retry_after_ms: None,
-        })
+        }
+    }
+
+    /// Attach a backoff hint (for [`ErrorKind::Busy`]).
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    pub fn bad_request(message: impl Into<String>) -> Response {
+        Response::Error(ErrorResponse::new(ErrorKind::BadRequest, message))
+    }
+}
+
+/// Map a workspace error onto a wire error. The `code` strings line up
+/// one-to-one where the vocabularies overlap.
+impl From<ic_obs::Error> for ErrorResponse {
+    fn from(e: ic_obs::Error) -> Self {
+        let kind = match &e {
+            ic_obs::Error::Busy { .. } => ErrorKind::Busy,
+            ic_obs::Error::DeadlineExceeded(_) => ErrorKind::DeadlineExceeded,
+            ic_obs::Error::BadRequest(_)
+            | ic_obs::Error::Frontend(_)
+            | ic_obs::Error::Config(_) => ErrorKind::BadRequest,
+            ic_obs::Error::ShuttingDown => ErrorKind::ShuttingDown,
+            _ => ErrorKind::Internal,
+        };
+        let retry = match &e {
+            ic_obs::Error::Busy { retry_after_ms } => Some(*retry_after_ms),
+            _ => None,
+        };
+        let mut resp = ErrorResponse::new(kind, e.to_string());
+        resp.retry_after_ms = retry;
+        resp
     }
 }
 

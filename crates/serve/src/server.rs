@@ -26,12 +26,13 @@
 //!   stops accepting, drains in-flight jobs, persists every engine's
 //!   eval-cache snapshot to the knowledge-base store, and exits 0.
 
-use crate::engine::{run_characterize, run_compile, run_search, EnginePool};
+use crate::engine::{run_characterize, run_compile, run_search, EngineConfig, EnginePool};
 use crate::proto::{
     write_message, AdminRequest, AdminResponse, ErrorKind, ErrorResponse, FrameError, JobContext,
     Request, Response, StatsResponse, PROTOCOL_VERSION,
 };
-use ic_kb::KnowledgeBase;
+use ic_kb::{KnowledgeBase, MetricsRecord};
+use ic_obs::{Registry, ServiceStats, Snapshot};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 // The queue needs a condvar; the vendored parking_lot has none, so the
@@ -45,7 +46,9 @@ use std::sync::{mpsc, Arc};
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
-/// Daemon configuration.
+/// Daemon configuration. Prefer [`ServeConfig::builder`], which
+/// validates; the struct stays constructible by literal (with
+/// `..Default::default()`) for existing call sites.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Unix socket path to listen on.
@@ -61,20 +64,120 @@ pub struct ServeConfig {
     /// Knowledge-base JSON store to warm engines from and persist
     /// snapshots to on flush/shutdown.
     pub kb_path: Option<PathBuf>,
+    /// Record per-pass profiling inside every engine (observation-only;
+    /// see [`EngineConfig::profile_passes`]).
+    pub profile_passes: bool,
+    /// Persist observability snapshots to the kb store every this many
+    /// milliseconds (0 = only on flush/shutdown).
+    pub metrics_interval_ms: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig {
-            socket: std::env::temp_dir().join("ic-serve.sock"),
-            tcp: None,
-            workers: std::thread::available_parallelism()
-                .map(|p| p.get().min(4))
-                .unwrap_or(2),
-            queue_capacity: 64,
-            default_deadline_ms: 0,
-            kb_path: None,
+        ServeConfig::builder().build().expect("defaults validate")
+    }
+}
+
+impl ServeConfig {
+    /// Start building a validated config.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig {
+                socket: std::env::temp_dir().join("ic-serve.sock"),
+                tcp: None,
+                workers: std::thread::available_parallelism()
+                    .map(|p| p.get().min(4))
+                    .unwrap_or(2),
+                queue_capacity: 64,
+                default_deadline_ms: 0,
+                kb_path: None,
+                profile_passes: true,
+                metrics_interval_ms: 0,
+            },
         }
+    }
+
+    /// Check the same invariants [`ServeConfigBuilder::build`] enforces
+    /// — for configs whose fields were mutated after construction (the
+    /// CLI flag parser does this).
+    pub fn validate(&self) -> Result<(), ic_obs::Error> {
+        if self.workers == 0 {
+            return Err(ic_obs::Error::Config("workers must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ic_obs::Error::Config("queue_capacity must be >= 1".into()));
+        }
+        if self.socket.as_os_str().is_empty() {
+            return Err(ic_obs::Error::Config("socket path is empty".into()));
+        }
+        if self.metrics_interval_ms != 0 && self.metrics_interval_ms < 100 {
+            return Err(ic_obs::Error::Config(format!(
+                "metrics_interval_ms {} is below the 100ms floor (0 disables)",
+                self.metrics_interval_ms
+            )));
+        }
+        Ok(())
+    }
+
+    /// The engine-level slice of this config.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::builder()
+            .profile_passes(self.profile_passes)
+            .build()
+            .expect("engine defaults validate")
+    }
+}
+
+/// Builder for [`ServeConfig`]; `build` validates the combination.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    pub fn socket(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.socket = path.into();
+        self
+    }
+
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.config.tcp = Some(addr.into());
+        self
+    }
+
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    pub fn default_deadline_ms(mut self, ms: u64) -> Self {
+        self.config.default_deadline_ms = ms;
+        self
+    }
+
+    pub fn kb_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.kb_path = Some(path.into());
+        self
+    }
+
+    pub fn profile_passes(mut self, on: bool) -> Self {
+        self.config.profile_passes = on;
+        self
+    }
+
+    pub fn metrics_interval_ms(mut self, ms: u64) -> Self {
+        self.config.metrics_interval_ms = ms;
+        self
+    }
+
+    pub fn build(self) -> Result<ServeConfig, ic_obs::Error> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -141,13 +244,19 @@ impl JobQueue {
     }
 }
 
-/// Monotonic aggregate counters for `Admin(Stats)`.
+/// Monotonic aggregate counters for `Admin(Stats)` / `Admin(Metrics)`.
 #[derive(Default)]
 struct Agg {
     compile_requests: AtomicU64,
     search_requests: AtomicU64,
     characterize_requests: AtomicU64,
     busy_rejections: AtomicU64,
+    /// Requests refused because the server was draining for shutdown.
+    /// Counted separately from `busy_rejections` (the legacy stats
+    /// surface documents that field as queue-full only); the unified
+    /// snapshot reports the sum as `requests_rejected` — before ic-obs,
+    /// drain rejections were invisible in every stats surface.
+    drain_rejections: AtomicU64,
     deadline_cancellations: AtomicU64,
     bad_requests: AtomicU64,
     /// EWMA of service time in microseconds (backoff hint input).
@@ -176,6 +285,9 @@ pub struct ServerState {
     engines: EnginePool,
     queue: JobQueue,
     agg: Agg,
+    /// Daemon-level instruments (queue/service latency histograms,
+    /// admission counters); engines carry their own slices.
+    obs: Registry,
     kb: Mutex<KnowledgeBase>,
     /// True once shutdown begins: listeners stop accepting, the queue
     /// rejects new jobs, workers exit when drained.
@@ -195,12 +307,14 @@ impl ServerState {
         self.draining.load(Ordering::SeqCst)
     }
 
-    /// Persist every engine's eval-cache snapshot into the knowledge
-    /// base and save it to the configured store. Returns entries
-    /// persisted (0 with no store configured — snapshots still merge
-    /// into the in-memory KB so a later flush with a store catches up).
+    /// Persist every engine's eval-cache snapshot and the current
+    /// observability snapshots into the knowledge base and save it to
+    /// the configured store. Returns entries persisted (0 with no store
+    /// configured — snapshots still merge into the in-memory KB so a
+    /// later flush with a store catches up).
     pub fn flush(&self) -> u64 {
         let total = self.engines.flush_to_kb(&self.kb);
+        self.persist_metrics();
         if let Some(path) = &self.config.kb_path {
             if let Err(e) = self.kb.lock().save(path) {
                 eprintln!("ic-serve: persisting {}: {e}", path.display());
@@ -208,6 +322,58 @@ impl ServerState {
             }
         }
         total
+    }
+
+    /// Upsert the daemon-wide and per-engine observability snapshots
+    /// into the in-memory knowledge base (written out by
+    /// [`Self::flush`] and the periodic metrics thread).
+    fn persist_metrics(&self) {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let aggregate = self.metrics_snapshot();
+        let mut kb = self.kb.lock();
+        for e in self.engines.engines() {
+            kb.upsert_metrics(MetricsRecord {
+                context: e.fingerprint.clone(),
+                unix_ms,
+                snapshot: e.metrics_snapshot(),
+            });
+        }
+        kb.upsert_metrics(MetricsRecord {
+            context: aggregate.context.clone(),
+            unix_ms,
+            snapshot: aggregate,
+        });
+    }
+
+    /// The unified observability snapshot: daemon request accounting,
+    /// every engine's cache stats and per-pass profiling rows, and the
+    /// registry's instruments — the exact [`Snapshot`] schema that
+    /// `icc --metrics-json` prints.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::for_context("ic-serve");
+        self.obs.snapshot_into(&mut snap);
+        snap.service = ServiceStats {
+            compile_requests: self.agg.compile_requests.load(Ordering::Relaxed),
+            search_requests: self.agg.search_requests.load(Ordering::Relaxed),
+            characterize_requests: self.agg.characterize_requests.load(Ordering::Relaxed),
+            requests_rejected: self
+                .agg
+                .busy_rejections
+                .load(Ordering::Relaxed)
+                .saturating_add(self.agg.drain_rejections.load(Ordering::Relaxed)),
+            requests_cancelled: self.agg.deadline_cancellations.load(Ordering::Relaxed),
+            bad_requests: self.agg.bad_requests.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            engines: self.engines.len() as u64,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+        };
+        for e in self.engines.engines() {
+            snap.merge(&e.metrics_snapshot());
+        }
+        snap
     }
 
     fn stats(&self) -> StatsResponse {
@@ -248,17 +414,19 @@ impl ServerState {
     /// Execute one data-plane job (already popped by a worker).
     fn execute(&self, job: Job) {
         let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+        self.obs
+            .histogram("serve.queue_us")
+            .record(job.enqueued.elapsed().as_micros() as u64);
         // Cancelled while queued?
         if let Some(d) = job.deadline {
             if Instant::now() > d {
                 self.agg
                     .deadline_cancellations
                     .fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Response::Error(ErrorResponse {
-                    kind: ErrorKind::DeadlineExceeded,
-                    message: format!("deadline elapsed after {queue_ms:.0}ms in queue"),
-                    retry_after_ms: None,
-                }));
+                let _ = job.reply.send(Response::Error(ErrorResponse::new(
+                    ErrorKind::DeadlineExceeded,
+                    format!("deadline elapsed after {queue_ms:.0}ms in queue"),
+                )));
                 return;
             }
         }
@@ -303,6 +471,9 @@ impl ServerState {
             Request::Admin(_) => ErrorResponse::bad_request("admin requests are not queueable"),
         };
         self.agg.observe_service(t0.elapsed());
+        self.obs
+            .histogram("serve.service_us")
+            .record(t0.elapsed().as_micros() as u64);
         // A disconnected client is not an error — the work (and the
         // warm cache it produced) is still valuable.
         let _ = job.reply.send(response);
@@ -327,6 +498,7 @@ impl ServerState {
     fn admin(&self, req: &AdminRequest) -> Response {
         match req {
             AdminRequest::Stats => Response::Stats(self.stats()),
+            AdminRequest::Metrics => Response::Metrics(self.metrics_snapshot()),
             AdminRequest::Flush => Response::Admin(AdminResponse {
                 action: "flush".into(),
                 persisted_entries: self.flush(),
@@ -365,31 +537,40 @@ impl ServerState {
         match self.queue.push(job, self.is_draining()) {
             Ok(()) => match rx.recv() {
                 Ok(resp) => resp,
-                Err(_) => Response::Error(ErrorResponse {
-                    kind: ErrorKind::ShuttingDown,
-                    message: "server shut down before the job ran".into(),
-                    retry_after_ms: None,
-                }),
+                Err(_) => {
+                    self.agg.drain_rejections.fetch_add(1, Ordering::Relaxed);
+                    Response::Error(ErrorResponse::new(
+                        ErrorKind::ShuttingDown,
+                        "server shut down before the job ran",
+                    ))
+                }
             },
             Err(PushError::Full) => {
                 self.agg.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                Response::Error(ErrorResponse {
-                    kind: ErrorKind::Busy,
-                    message: format!(
-                        "submission queue full ({} jobs)",
-                        self.config.queue_capacity
-                    ),
-                    retry_after_ms: Some(
+                Response::Error(
+                    ErrorResponse::new(
+                        ErrorKind::Busy,
+                        format!(
+                            "submission queue full ({} jobs)",
+                            self.config.queue_capacity
+                        ),
+                    )
+                    .with_retry_after(
                         self.agg
                             .retry_after_ms(self.queue.len(), self.config.workers),
                     ),
-                })
+                )
             }
-            Err(PushError::ShuttingDown) => Response::Error(ErrorResponse {
-                kind: ErrorKind::ShuttingDown,
-                message: "server is draining for shutdown".into(),
-                retry_after_ms: None,
-            }),
+            Err(PushError::ShuttingDown) => {
+                // First-class rejection metric: before ic-obs, requests
+                // bounced during a drain vanished from every stats
+                // surface.
+                self.agg.drain_rejections.fetch_add(1, Ordering::Relaxed);
+                Response::Error(ErrorResponse::new(
+                    ErrorKind::ShuttingDown,
+                    "server is draining for shutdown",
+                ))
+            }
         }
     }
 }
@@ -521,6 +702,7 @@ impl Server {
         let tcp_addr = tcp.as_ref().and_then(|l| l.local_addr().ok());
 
         let workers = config.workers.max(1);
+        let engines = EnginePool::with_config(config.engine_config());
         let state = Arc::new(ServerState {
             queue: JobQueue {
                 jobs: StdMutex::new(VecDeque::new()),
@@ -528,8 +710,9 @@ impl Server {
                 capacity: config.queue_capacity.max(1),
             },
             config,
-            engines: EnginePool::new(),
+            engines,
             agg: Agg::default(),
+            obs: Registry::new(),
             kb: Mutex::new(kb),
             draining: AtomicBool::new(false),
             started: Instant::now(),
@@ -564,6 +747,24 @@ impl Server {
             threads.push(std::thread::spawn(move || {
                 while let Some(job) = state.queue.pop(&state.draining) {
                     state.execute(job);
+                }
+            }));
+        }
+        // Periodic observability persistence: every interval, write the
+        // current per-engine + aggregate snapshots through to the kb
+        // store, so the last-known metrics of a crashed daemon survive.
+        if state.config.metrics_interval_ms != 0 {
+            let state = state.clone();
+            threads.push(std::thread::spawn(move || {
+                let interval = Duration::from_millis(state.config.metrics_interval_ms);
+                let mut last = Instant::now();
+                while !state.is_draining() {
+                    // Sleep in short slices so shutdown is prompt.
+                    std::thread::sleep(Duration::from_millis(25).min(interval));
+                    if last.elapsed() >= interval {
+                        state.flush();
+                        last = Instant::now();
+                    }
                 }
             }));
         }

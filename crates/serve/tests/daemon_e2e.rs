@@ -188,11 +188,19 @@ fn full_queue_rejects_with_structured_retry_after() {
     match c.compile(ctx(), vec![], false).expect("round trip") {
         Response::Error(e) => {
             assert_eq!(e.kind, ErrorKind::Busy);
+            assert_eq!(e.code, "busy", "stable code on wire errors");
             let hint = e.retry_after_ms.expect("busy carries retry_after_ms");
             assert!(hint >= 50, "hint {hint}ms below the floor");
         }
         other => panic!("expected Busy, got {other:?}"),
     }
+
+    // The rejection is a first-class metric in the unified snapshot.
+    let snap = c.metrics().expect("metrics round trip");
+    assert!(
+        snap.service.requests_rejected >= 1,
+        "queue-full rejection missing from requests_rejected"
+    );
 
     jam.join().unwrap();
     filler.join().unwrap();
@@ -216,9 +224,18 @@ fn deadline_exceeded_mid_search_is_structured_and_counted() {
         }))
         .expect("round trip");
     match resp {
-        Response::Error(e) => assert_eq!(e.kind, ErrorKind::DeadlineExceeded),
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::DeadlineExceeded);
+            assert_eq!(e.code, "deadline_exceeded");
+        }
         other => panic!("expected DeadlineExceeded, got {other:?}"),
     }
+    // The cancellation is a first-class metric in the unified snapshot.
+    let snap = c.metrics().expect("metrics round trip");
+    assert!(
+        snap.service.requests_cancelled >= 1,
+        "deadline cancellation missing from requests_cancelled"
+    );
     handle.shutdown();
     let stats = handle.join();
     assert!(stats.deadline_cancellations >= 1);
@@ -288,11 +305,21 @@ fn shutdown_drains_persists_and_next_server_warms_from_the_store() {
         }
         other => panic!("expected Admin ack, got {other:?}"),
     }
-    // New work after the drain began is refused, in a structured way.
+    // New work after the drain began is refused, in a structured way —
+    // and the refusal is counted (pre-obs, drain rejections vanished
+    // from every stats surface).
     match client.compile(ctx(), vec![], false).expect("round trip") {
-        Response::Error(e) => assert_eq!(e.kind, ErrorKind::ShuttingDown),
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::ShuttingDown);
+            assert_eq!(e.code, "shutting_down");
+        }
         other => panic!("expected ShuttingDown, got {other:?}"),
     }
+    let snap = client.metrics().expect("admin plane serves while draining");
+    assert!(
+        snap.service.requests_rejected >= 1,
+        "drain rejection missing from requests_rejected"
+    );
     handle.join();
 
     // The store on disk holds the snapshot.
@@ -314,5 +341,72 @@ fn shutdown_drains_persists_and_next_server_warms_from_the_store() {
     assert_eq!(warm.best_so_far, cold.best_so_far);
     handle.shutdown();
     handle.join();
+    let _ = std::fs::remove_file(&kb_path);
+}
+
+#[test]
+fn admin_metrics_is_the_unified_snapshot_with_full_pass_coverage() {
+    let kb_path = scratch("metrics.kb.json");
+    let _ = std::fs::remove_file(&kb_path);
+    let handle = start("metrics", |c| c.kb_path = Some(kb_path.clone()));
+    let mut c = connect(&handle);
+    search_ok(&mut c);
+
+    // `Admin(Metrics)` returns the one workspace-wide snapshot type —
+    // the same `ic_obs::Snapshot` that `icc --metrics-json` prints —
+    // and it survives a JSON round trip through that shared schema.
+    let snap = c.metrics().expect("metrics round trip");
+    assert_eq!(snap.context, "ic-serve");
+    assert_eq!(snap.schema_version, ic_obs::SNAPSHOT_SCHEMA_VERSION);
+    let reparsed = ic_obs::Snapshot::from_json(&snap.to_json()).expect("schema round trip");
+    assert_eq!(reparsed, snap);
+
+    // Request accounting and engine cache activity are all present.
+    assert!(snap.service.search_requests >= 1);
+    assert_eq!(snap.service.engines, 1);
+    assert!(snap.eval_cache.misses > 0, "search must have simulated");
+    assert!(
+        snap.compile_cache.passes_run > 0,
+        "search must have run passes"
+    );
+    assert!(
+        snap.histograms.iter().any(|h| h.name == "serve.service_us"),
+        "daemon latency histogram missing: {:?}",
+        snap.histograms
+    );
+
+    // Profile rows cover every registered pass: a pass that never ran
+    // still has a (zeroed) row.
+    for opt in ic_passes::Opt::ALL {
+        assert!(
+            snap.passes.iter().any(|p| p.pass == opt.name()),
+            "no profile row for pass {}",
+            opt.name()
+        );
+    }
+    assert!(
+        snap.passes.iter().any(|p| p.calls > 0 && p.wall_ns > 0),
+        "no pass recorded any work"
+    );
+
+    // Flush writes MetricsRecords through to the kb store: the
+    // last-known snapshots survive the daemon.
+    match c.flush().expect("flush round trip") {
+        Response::Admin(a) => assert_eq!(a.action, "flush"),
+        other => panic!("expected Admin ack, got {other:?}"),
+    }
+    handle.shutdown();
+    handle.join();
+    let kb = KnowledgeBase::load(&kb_path).expect("store parses");
+    let rec = kb
+        .metrics_for("ic-serve")
+        .expect("aggregate metrics record persisted");
+    assert!(rec.snapshot.service.search_requests >= 1);
+    assert!(rec.unix_ms > 0);
+    assert!(
+        kb.metrics.len() >= 2,
+        "expected per-engine + aggregate records, got {}",
+        kb.metrics.len()
+    );
     let _ = std::fs::remove_file(&kb_path);
 }

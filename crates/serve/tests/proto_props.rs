@@ -77,6 +77,7 @@ proptest! {
             }),
             Request::Characterize(CharacterizeRequest { ctx }),
             Request::Admin(AdminRequest::Stats),
+            Request::Admin(AdminRequest::Metrics),
             Request::Admin(AdminRequest::Flush),
             Request::Admin(AdminRequest::Shutdown),
         ];
@@ -161,12 +162,20 @@ proptest! {
         ]),
         counts in prop::collection::vec(0u64..u64::MAX / 2, 6..7),
     ) {
-        let err = Response::Error(ErrorResponse {
-            kind,
-            message: "queue full".into(),
-            retry_after_ms: with_retry.then_some(retry),
-        });
+        let mut resp = ErrorResponse::new(kind, "queue full");
+        resp.retry_after_ms = with_retry.then_some(retry);
+        prop_assert_eq!(resp.code.as_str(), kind.code(), "stable code filled in");
+        let err = Response::Error(resp);
         prop_assert_eq!(&round_trip(&err), &err);
+
+        // The unified metrics snapshot rides the wire unchanged too.
+        let mut snap = ic_obs::Snapshot::for_context("ic-serve");
+        snap.service.requests_rejected = counts[0];
+        snap.service.requests_cancelled = counts[1];
+        snap.counters = vec![("search.evaluations".into(), counts[2])];
+        snap.canonicalize();
+        let metrics = Response::Metrics(snap);
+        prop_assert_eq!(&round_trip(&metrics), &metrics);
 
         let stats = Response::Stats(StatsResponse {
             protocol_version: 1,

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Validate an ic-obs metrics snapshot against schemas/snapshot.schema.json.
+
+Dependency-free (no jsonschema package on the CI runners): implements
+exactly the JSON Schema subset the checked-in schema uses — `type`,
+`properties`, `required`, `items` (both the uniform and the draft-07
+positional-tuple form), and `minimum`.
+
+Usage: validate_snapshot.py <schema.json> <snapshot.json | ->
+Exits non-zero with a path-qualified message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    raise SystemExit(f"snapshot schema violation at {path or '$'}: {msg}")
+
+
+def check_type(value, expected, path):
+    if expected == "object":
+        ok = isinstance(value, dict)
+    elif expected == "array":
+        ok = isinstance(value, list)
+    elif expected == "string":
+        ok = isinstance(value, str)
+    elif expected == "integer":
+        ok = isinstance(value, int) and not isinstance(value, bool)
+    elif expected == "number":
+        ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+    else:
+        fail(path, f"schema uses unsupported type `{expected}`")
+    if not ok:
+        fail(path, f"expected {expected}, got {type(value).__name__}: {value!r}")
+
+
+def validate(value, schema, path=""):
+    expected = schema.get("type")
+    if expected is not None:
+        check_type(value, expected, path)
+    if "minimum" in schema and value < schema["minimum"]:
+        fail(path, f"{value} < minimum {schema['minimum']}")
+    for key in schema.get("required", []):
+        if key not in value:
+            fail(path, f"missing required key `{key}`")
+    for key, sub in schema.get("properties", {}).items():
+        if key in value:
+            validate(value[key], sub, f"{path}.{key}")
+    items = schema.get("items")
+    if items is not None and isinstance(value, list):
+        if isinstance(items, list):  # positional tuple form
+            if len(value) != len(items):
+                fail(path, f"expected {len(items)} elements, got {len(value)}")
+            for i, (v, sub) in enumerate(zip(value, items)):
+                validate(v, sub, f"{path}[{i}]")
+        else:
+            for i, v in enumerate(value):
+                validate(v, items, f"{path}[{i}]")
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    if sys.argv[2] == "-":
+        snapshot = json.load(sys.stdin)
+    else:
+        with open(sys.argv[2]) as f:
+            snapshot = json.load(f)
+    validate(snapshot, schema)
+    print(
+        f"ok: snapshot from `{snapshot.get('context', '?')}` "
+        f"(schema v{snapshot.get('schema_version', '?')}) validates"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,23 +14,40 @@
 //! icc program.mc --emit-ir               # print the optimized IR
 //! icc program.mc --search 50 --seed 7    # 50-evaluation random search
 //! icc program.mc --kb kb.json --intelligent   # model-predicted sequence
+//! icc program.mc -O2 --profile           # per-pass wall-time/IR table
+//! icc program.mc --search 50 --metrics-json   # one ic-obs snapshot on stdout
 //!
 //! icc serve --socket /tmp/ic.sock --kb kb.json    # start the daemon
 //! icc program.mc --remote /tmp/ic.sock --search 50  # search on the daemon
-//! icc --remote /tmp/ic.sock --admin stats --json    # daemon statistics
+//! icc --remote /tmp/ic.sock --admin metrics --json  # daemon metrics snapshot
 //! ```
 
 use intelligent_compilers::core::controller::WorkloadEvaluator;
-use intelligent_compilers::core::IntelligentCompiler;
+use intelligent_compilers::core::{Error, IntelligentCompiler};
 use intelligent_compilers::kb::KnowledgeBase;
 use intelligent_compilers::machine::{simulate_default, Counter, MachineConfig};
-use intelligent_compilers::passes::{apply_sequence, ofast_sequence, Opt};
+use intelligent_compilers::obs::{PassProfiler, PassStats, Snapshot};
+use intelligent_compilers::passes::{
+    apply_sequence, apply_sequence_profiled, ofast_sequence, profiler, Opt, PrefixCacheConfig,
+};
 use intelligent_compilers::search::{random, CachedEvaluator, SequenceSpace};
-use intelligent_compilers::serve::proto::{AdminRequest, Request, Response};
+use intelligent_compilers::serve::proto::{
+    AdminRequest, ErrorKind, ErrorResponse, Request, Response,
+};
 use intelligent_compilers::serve::{Client, JobContext, ServeConfig, Server};
 use intelligent_compilers::workloads::{Kind, Workload};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A user-facing argument/usage error.
+fn bad(msg: impl Into<String>) -> Error {
+    Error::BadRequest(msg.into())
+}
+
+/// A transport or environment failure that is not the user's fault.
+fn internal(msg: impl Into<String>) -> Error {
+    Error::Internal(msg.into())
+}
 
 struct Options {
     input: Option<String>,
@@ -46,6 +63,8 @@ struct Options {
     intelligent: bool,
     stats: bool,
     json: bool,
+    profile: bool,
+    metrics_json: bool,
     remote: Option<String>,
     admin: Option<String>,
     deadline_ms: u64,
@@ -66,13 +85,19 @@ usage: icc <file.mc> [options]
   --stats              print compile-cache / eval-cache statistics after
                        --search or --intelligent
   --json               machine-readable JSON for --stats / --admin output
+  --profile            record per-pass wall time and IR-size deltas, print
+                       the table on stderr (observation-only: the compiled
+                       IR is bit-identical with or without it)
+  --metrics-json       print one unified ic-obs metrics snapshot as JSON on
+                       stdout (implies per-pass profiling; same schema the
+                       daemon serves for `--admin metrics`)
   --seed N             RNG seed (default 42)
   --fuel N             instruction budget (default 100M)
   --remote SOCK        route compile/search through a running `icc serve`
                        daemon at this Unix socket (bit-identical results,
                        warm shared caches)
   --deadline-ms N      per-request deadline for --remote requests (0 = server default)
-  --admin CMD          with --remote: stats | flush | shutdown
+  --admin CMD          with --remote: stats | metrics | flush | shutdown
   --list-opts          print the optimization registry and exit
   --build-kb FILE [N]  build a knowledge base from the built-in suite and exit
 
@@ -85,10 +110,13 @@ serve options (after `icc serve`):
   --deadline-ms N      default per-request deadline (0 = none)
   --kb FILE            knowledge-base store: engines warm from it at first
                        sight and snapshots persist on flush/shutdown
+  --metrics-interval-ms N  also persist metrics snapshots to the kb every
+                       N ms (0 = only on flush/shutdown; minimum 100)
+  --no-profile         disable per-pass profiling in the daemon's engines
   SIGTERM/SIGINT, or a client `--admin shutdown`, drain in-flight
   requests, persist cache snapshots, and exit 0.";
 
-fn parse_args() -> Result<Options, String> {
+fn parse_args() -> Result<Options, Error> {
     let mut o = Options {
         input: None,
         machine: "vliw".into(),
@@ -103,6 +131,8 @@ fn parse_args() -> Result<Options, String> {
         intelligent: false,
         stats: false,
         json: false,
+        profile: false,
+        metrics_json: false,
         remote: None,
         admin: None,
         deadline_ms: 0,
@@ -114,49 +144,57 @@ fn parse_args() -> Result<Options, String> {
             "-O1" => o.olevel = 1,
             "-O2" | "-Ofast" => o.olevel = 2,
             "--seq" => {
-                let spec = it.next().ok_or("--seq needs a value")?;
-                let seq: Result<Vec<Opt>, String> = spec
+                let spec = it.next().ok_or_else(|| bad("--seq needs a value"))?;
+                let seq: Result<Vec<Opt>, Error> = spec
                     .split(',')
                     .map(|s| {
-                        Opt::from_name(s.trim())
-                            .ok_or_else(|| format!("unknown optimization `{s}` (try --list-opts)"))
+                        Opt::from_name(s.trim()).ok_or_else(|| {
+                            bad(format!("unknown optimization `{s}` (try --list-opts)"))
+                        })
                     })
                     .collect();
                 o.seq = Some(seq?);
             }
-            "--machine" => o.machine = it.next().ok_or("--machine needs a value")?,
+            "--machine" => o.machine = it.next().ok_or_else(|| bad("--machine needs a value"))?,
             "--counters" => o.counters = true,
             "--emit-ir" => o.emit_ir = true,
             "--search" => {
                 o.search = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
-                        .ok_or("--search needs a number")?,
+                        .ok_or_else(|| bad("--search needs a number"))?,
                 )
             }
             "--intelligent" => o.intelligent = true,
             "--stats" => o.stats = true,
             "--json" => o.json = true,
-            "--remote" => o.remote = Some(it.next().ok_or("--remote needs a socket path")?),
-            "--admin" => o.admin = Some(it.next().ok_or("--admin needs a command")?),
+            "--profile" => o.profile = true,
+            "--metrics-json" => o.metrics_json = true,
+            "--remote" => {
+                o.remote = Some(
+                    it.next()
+                        .ok_or_else(|| bad("--remote needs a socket path"))?,
+                )
+            }
+            "--admin" => o.admin = Some(it.next().ok_or_else(|| bad("--admin needs a command"))?),
             "--deadline-ms" => {
                 o.deadline_ms = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--deadline-ms needs a number")?
+                    .ok_or_else(|| bad("--deadline-ms needs a number"))?
             }
-            "--kb" => o.kb = Some(it.next().ok_or("--kb needs a file")?),
+            "--kb" => o.kb = Some(it.next().ok_or_else(|| bad("--kb needs a file"))?),
             "--seed" => {
                 o.seed = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--seed needs a number")?
+                    .ok_or_else(|| bad("--seed needs a number"))?
             }
             "--fuel" => {
                 o.fuel = it
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--fuel needs a number")?
+                    .ok_or_else(|| bad("--fuel needs a number"))?
             }
             "--list-opts" => {
                 for opt in Opt::ALL {
@@ -177,8 +215,18 @@ fn parse_args() -> Result<Options, String> {
                 std::process::exit(0);
             }
             other if !other.starts_with('-') => o.input = Some(other.to_string()),
-            other => return Err(format!("unknown flag `{other}`")),
+            other => return Err(bad(format!("unknown flag `{other}`"))),
         }
+    }
+    if o.metrics_json && o.emit_ir {
+        return Err(bad(
+            "--metrics-json and --emit-ir both claim stdout; drop one (--profile prints to stderr)",
+        ));
+    }
+    if o.remote.is_some() && (o.profile || o.metrics_json) && o.admin.is_none() {
+        return Err(bad(
+            "--profile/--metrics-json profile the local pipeline; with --remote use `--admin metrics`",
+        ));
     }
     Ok(o)
 }
@@ -207,13 +255,119 @@ fn build_kb(path: &str, trials: usize) {
     );
 }
 
-fn machine_for(name: &str) -> Result<MachineConfig, String> {
+fn machine_for(name: &str) -> Result<MachineConfig, Error> {
     Ok(match name {
         "vliw" => MachineConfig::vliw_c6713_like(),
         "amd" => MachineConfig::superscalar_amd_like(),
         "tiny" => MachineConfig::test_tiny(),
-        other => return Err(format!("unknown machine `{other}` (vliw|amd|tiny)")),
+        other => return Err(bad(format!("unknown machine `{other}` (vliw|amd|tiny)"))),
     })
+}
+
+// -------------------------------------------------------------------
+// Observability output
+// -------------------------------------------------------------------
+
+/// Render the per-pass profile rows as an aligned table. Every
+/// registered pass appears, ran or not — full-registry coverage is the
+/// point of the profile.
+fn pass_table(rows: &[PassStats]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<14} {:>7} {:>8} {:>10} {:>10}  insts in→out",
+        "pass", "calls", "changed", "total ms", "mean µs"
+    );
+    for r in rows {
+        let mean_us = if r.calls > 0 {
+            r.wall_ns as f64 / r.calls as f64 / 1e3
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "  {:<14} {:>7} {:>8} {:>10.3} {:>10.1}  {}→{}",
+            r.pass,
+            r.calls,
+            r.changed,
+            r.wall_ns as f64 / 1e6,
+            mean_us,
+            r.insts_in,
+            r.insts_out
+        );
+    }
+    out
+}
+
+/// `--profile`: the per-pass table, on stderr so it composes with
+/// `--emit-ir` / `--metrics-json` (whose stdout must stay clean).
+fn print_pass_profile(prof: &PassProfiler) {
+    let rows = prof.rows();
+    eprint!(
+        "icc: per-pass profile ({} registered passes):\n{}",
+        rows.len(),
+        pass_table(&rows)
+    );
+}
+
+/// Human rendering of a unified metrics snapshot (`--admin metrics`
+/// without `--json`).
+fn print_snapshot_human(s: &Snapshot) {
+    println!(
+        "context `{}` (schema v{}), up {:.0}s",
+        s.context,
+        s.schema_version,
+        s.service.uptime_ms as f64 / 1e3
+    );
+    println!(
+        "requests: {} compile, {} search, {} characterize; {} rejected, {} cancelled, {} bad",
+        s.service.compile_requests,
+        s.service.search_requests,
+        s.service.characterize_requests,
+        s.service.requests_rejected,
+        s.service.requests_cancelled,
+        s.service.bad_requests,
+    );
+    println!(
+        "queue depth {}, {} warm engines",
+        s.service.queue_depth, s.service.engines
+    );
+    println!(
+        "eval cache: {} hits / {} misses ({:.1}% hit rate), {} entries",
+        s.eval_cache.hits,
+        s.eval_cache.misses,
+        s.eval_cache.hit_rate() * 100.0,
+        s.eval_cache.entries,
+    );
+    println!(
+        "compile cache: {} hits / {} misses, {} passes run / {} elided ({:.2}x fewer pass applications)",
+        s.compile_cache.hits,
+        s.compile_cache.misses,
+        s.compile_cache.passes_run,
+        s.compile_cache.passes_elided,
+        s.compile_cache.elision_factor(),
+    );
+    for (name, v) in &s.counters {
+        println!("counter {name} = {v}");
+    }
+    for h in &s.histograms {
+        let mean = if h.count > 0 {
+            h.total as f64 / h.count as f64
+        } else {
+            0.0
+        };
+        println!(
+            "histogram {}: {} samples, mean {:.1}, {} log2 buckets",
+            h.name,
+            h.count,
+            mean,
+            h.buckets.len()
+        );
+    }
+    if !s.passes.is_empty() {
+        print!("per-pass profile:\n{}", pass_table(&s.passes));
+    }
 }
 
 // -------------------------------------------------------------------
@@ -246,42 +400,59 @@ fn install_signal_handlers() {
     }
 }
 
-fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> Result<(), String> {
+fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> Result<(), Error> {
     let mut cfg = ServeConfig::default();
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--socket" => cfg.socket = args.next().ok_or("--socket needs a path")?.into(),
-            "--tcp" => cfg.tcp = Some(args.next().ok_or("--tcp needs an address")?),
+            "--socket" => {
+                cfg.socket = args
+                    .next()
+                    .ok_or_else(|| bad("--socket needs a path"))?
+                    .into()
+            }
+            "--tcp" => cfg.tcp = Some(args.next().ok_or_else(|| bad("--tcp needs an address"))?),
             "--workers" => {
                 cfg.workers = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--workers needs a number")?
+                    .ok_or_else(|| bad("--workers needs a number"))?
             }
             "--queue" => {
                 cfg.queue_capacity = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--queue needs a number")?
+                    .ok_or_else(|| bad("--queue needs a number"))?
             }
             "--deadline-ms" => {
                 cfg.default_deadline_ms = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .ok_or("--deadline-ms needs a number")?
+                    .ok_or_else(|| bad("--deadline-ms needs a number"))?
             }
-            "--kb" => cfg.kb_path = Some(args.next().ok_or("--kb needs a file")?.into()),
+            "--metrics-interval-ms" => {
+                cfg.metrics_interval_ms = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("--metrics-interval-ms needs a number"))?
+            }
+            "--no-profile" => cfg.profile_passes = false,
+            "--kb" => {
+                cfg.kb_path = Some(args.next().ok_or_else(|| bad("--kb needs a file"))?.into())
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return Ok(());
             }
-            other => return Err(format!("unknown serve flag `{other}`")),
+            other => return Err(bad(format!("unknown serve flag `{other}`"))),
         }
     }
+    // Round-trip the mutated fields through the builder so hand-edited
+    // values get the same validation as programmatic configs.
+    cfg.validate()?;
     #[cfg(unix)]
     install_signal_handlers();
     let handle = Server::spawn(cfg.clone(), Some(&SHUTDOWN_SIGNAL))
-        .map_err(|e| format!("starting server: {e}"))?;
+        .map_err(|e| internal(format!("starting server: {e}")))?;
     eprintln!(
         "icc: serving on {}{} ({} workers, queue capacity {}, kb {})",
         handle.socket().display(),
@@ -325,28 +496,34 @@ fn print_request_stats(stats: &intelligent_compilers::serve::RequestStats, json:
     }
 }
 
-fn remote_error(e: &intelligent_compilers::serve::proto::ErrorResponse) -> String {
-    match e.retry_after_ms {
-        Some(ms) => format!("server: {:?}: {} (retry after {ms}ms)", e.kind, e.message),
-        None => format!("server: {:?}: {}", e.kind, e.message),
+/// Lift a structured server error back into the unified error type,
+/// inverting the daemon's `ErrorResponse::from(Error)` mapping.
+fn remote_error(e: &ErrorResponse) -> Error {
+    match e.kind {
+        ErrorKind::Busy => Error::Busy {
+            retry_after_ms: e.retry_after_ms.unwrap_or(0),
+        },
+        ErrorKind::DeadlineExceeded => Error::DeadlineExceeded(e.message.clone()),
+        ErrorKind::BadRequest => Error::BadRequest(e.message.clone()),
+        ErrorKind::ShuttingDown => Error::ShuttingDown,
+        ErrorKind::Internal => Error::Internal(format!("server: {}", e.message)),
     }
 }
 
-fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
-    let mut client = Client::connect_unix(sock).map_err(|e| format!("{sock}: {e}"))?;
+fn run_remote(o: &Options, sock: &str) -> Result<(), Error> {
+    let mut client = Client::connect_unix(sock).map_err(|e| internal(format!("{sock}: {e}")))?;
+    let transport = |e: intelligent_compilers::serve::ClientError| internal(e.to_string());
 
     // Admin commands need no input file.
     if let Some(cmd) = &o.admin {
         let req = match cmd.as_str() {
             "stats" => AdminRequest::Stats,
+            "metrics" => AdminRequest::Metrics,
             "flush" => AdminRequest::Flush,
             "shutdown" => AdminRequest::Shutdown,
-            other => return Err(format!("unknown admin command `{other}`")),
+            other => return Err(bad(format!("unknown admin command `{other}`"))),
         };
-        match client
-            .request(&Request::Admin(req))
-            .map_err(|e| e.to_string())?
-        {
+        match client.request(&Request::Admin(req)).map_err(transport)? {
             Response::Stats(s) => {
                 if o.json {
                     println!("{}", serde_json::to_string(&s).expect("stats serialize"));
@@ -374,6 +551,13 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
                     );
                 }
             }
+            Response::Metrics(s) => {
+                if o.json {
+                    println!("{}", s.to_json());
+                } else {
+                    print_snapshot_human(&s);
+                }
+            }
             Response::Admin(a) => {
                 eprintln!(
                     "icc: server acknowledged {} ({} cache entries persisted)",
@@ -381,15 +565,15 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
                 );
             }
             Response::Error(e) => return Err(remote_error(&e)),
-            other => return Err(format!("unexpected response: {other:?}")),
+            other => return Err(internal(format!("unexpected response: {other:?}"))),
         }
         return Ok(());
     }
 
     let Some(path) = o.input.clone() else {
-        return Err(format!("no input file\n{USAGE}"));
+        return Err(bad(format!("no input file\n{USAGE}")));
     };
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let source = std::fs::read_to_string(&path).map_err(|e| bad(format!("{path}: {e}")))?;
     let name = std::path::Path::new(&path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -407,7 +591,7 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
     let sequence: Vec<String> = if let Some(budget) = o.search {
         let resp = client
             .search(ctx.clone(), "random", budget, o.seed)
-            .map_err(|e| e.to_string())?;
+            .map_err(transport)?;
         match resp {
             Response::Search(s) => {
                 eprintln!(
@@ -420,7 +604,7 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
                 s.best_sequence
             }
             Response::Error(e) => return Err(remote_error(&e)),
-            other => return Err(format!("unexpected response: {other:?}")),
+            other => return Err(internal(format!("unexpected response: {other:?}"))),
         }
     } else if let Some(seq) = &o.seq {
         seq.iter().map(|s| s.name().to_string()).collect()
@@ -443,7 +627,7 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
     // Compile + run on the daemon.
     let resp = client
         .compile(ctx, sequence.clone(), o.emit_ir)
-        .map_err(|e| e.to_string())?;
+        .map_err(transport)?;
     match resp {
         Response::Compile(c) => {
             if let Some(ir) = &c.ir {
@@ -488,7 +672,7 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), String> {
             Ok(())
         }
         Response::Error(e) => Err(remote_error(&e)),
-        other => Err(format!("unexpected response: {other:?}")),
+        other => Err(internal(format!("unexpected response: {other:?}"))),
     }
 }
 
@@ -524,8 +708,7 @@ fn print_local_stats(
     json: bool,
 ) {
     if json {
-        // Hand-rolled object: the stats types live below the serde
-        // boundary, and the schema here is the documented one.
+        // Hand-rolled object: the schema here is the documented one.
         println!(
             "{{\"eval_lookups\":{},\"eval_hits\":{},\"eval_misses\":{},\"eval_hit_rate\":{:.4},\"evals_per_second\":{:.1},\"compile_hits\":{},\"compile_misses\":{},\"compile_hit_rate\":{:.4},\"passes_run\":{},\"passes_elided\":{},\"elision_factor\":{:.3}}}",
             stats.lookups(),
@@ -561,7 +744,7 @@ fn print_local_stats(
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Error> {
     let o = parse_args()?;
 
     // Client mode: route everything through the daemon.
@@ -569,13 +752,13 @@ fn run() -> Result<(), String> {
         return run_remote(&o, &sock);
     }
     if o.admin.is_some() {
-        return Err("--admin needs --remote SOCK".into());
+        return Err(bad("--admin needs --remote SOCK"));
     }
 
     let Some(path) = o.input.clone() else {
-        return Err(format!("no input file\n{USAGE}"));
+        return Err(bad(format!("no input file\n{USAGE}")));
     };
-    let source = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let source = std::fs::read_to_string(&path).map_err(|e| bad(format!("{path}: {e}")))?;
     let name = std::path::Path::new(&path)
         .file_stem()
         .and_then(|s| s.to_str())
@@ -583,13 +766,20 @@ fn run() -> Result<(), String> {
         .to_string();
 
     let config = machine_for(&o.machine)?;
-    let module =
-        intelligent_compilers::lang::compile(&name, &source).map_err(|e| format!("{path}:{e}"))?;
+    let module = intelligent_compilers::lang::compile(&name, &source)
+        .map_err(|e| Error::Frontend(format!("{path}:{e}")))?;
     eprintln!(
         "icc: compiled `{name}`: {} functions, {} instructions (-O0)",
         module.funcs.len(),
         module.num_insts()
     );
+
+    // One shared per-pass profiler covers both the search's trial
+    // compilations and the final build; `--metrics-json` implies it.
+    let prof: Option<PassProfiler> = (o.profile || o.metrics_json).then(profiler);
+    // The unified snapshot `--metrics-json` prints — the same schema the
+    // daemon serves for `Admin(Metrics)`.
+    let mut snap = Snapshot::for_context("icc");
 
     // Decide the sequence.
     let seq: Vec<Opt> = if let Some(seq) = o.seq.clone() {
@@ -602,14 +792,22 @@ fn run() -> Result<(), String> {
             fuel: o.fuel,
         };
         let space = SequenceSpace::paper();
-        let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&w, &config));
+        let eval = CachedEvaluator::new(
+            space.clone(),
+            WorkloadEvaluator::with_profiler(
+                &w,
+                &config,
+                PrefixCacheConfig::default(),
+                prof.clone(),
+            ),
+        );
         // With --kb, warm the memo table from prior runs of the same
         // workload/machine context and persist the new costs afterwards.
         let ctx = intelligent_compilers::core::context_fingerprint(&w, &config);
         let mut kb = match &o.kb {
             Some(f) if std::path::Path::new(f).exists() => {
                 let kb = KnowledgeBase::load(std::path::Path::new(f))
-                    .map_err(|e| format!("{f}: {e}"))?;
+                    .map_err(|e| internal(format!("{f}: {e}")))?;
                 let warmed = intelligent_compilers::core::evalcache::warm_from_kb(&eval, &kb, &ctx);
                 eprintln!("icc: warmed {warmed} cached evaluations from {f}");
                 kb
@@ -628,17 +826,23 @@ fn run() -> Result<(), String> {
         if let Some(f) = &o.kb {
             intelligent_compilers::core::evalcache::flush_to_kb(&eval, &mut kb, &ctx);
             kb.save(std::path::Path::new(f))
-                .map_err(|e| format!("{f}: {e}"))?;
+                .map_err(|e| internal(format!("{f}: {e}")))?;
             eprintln!("icc: persisted evaluation cache to {f}");
         }
         if o.stats {
             print_local_stats(&stats, &eval.inner().compile_stats(), o.json);
         }
+        snap.eval_cache = stats;
+        snap.compile_cache = eval.inner().compile_stats();
+        snap.counters
+            .push(("icc.search_evaluations".into(), r.evaluations() as u64));
         r.best_seq
     } else if o.intelligent {
-        let kb_path = o.kb.clone().ok_or("--intelligent needs --kb FILE")?;
+        let kb_path =
+            o.kb.clone()
+                .ok_or_else(|| bad("--intelligent needs --kb FILE"))?;
         let kb = KnowledgeBase::load(std::path::Path::new(&kb_path))
-            .map_err(|e| format!("{kb_path}: {e}"))?;
+            .map_err(|e| internal(format!("{kb_path}: {e}")))?;
         let mut ic = IntelligentCompiler::new(config.clone());
         ic.kb = kb;
         let w = Workload {
@@ -675,7 +879,13 @@ fn run() -> Result<(), String> {
     };
 
     let mut optimized = module.clone();
-    let changed = apply_sequence(&mut optimized, &seq);
+    // Profiled and unprofiled application produce bit-identical IR
+    // (pinned by tests/profile_determinism.rs); the profiled path only
+    // adds wall-time/IR-size recording.
+    let changed = match &prof {
+        Some(p) => apply_sequence_profiled(&mut optimized, &seq, p),
+        None => apply_sequence(&mut optimized, &seq),
+    };
     if !seq.is_empty() {
         eprintln!(
             "icc: applied [{}] ({changed} passes changed something): {} instructions",
@@ -689,15 +899,18 @@ fn run() -> Result<(), String> {
             "{}",
             intelligent_compilers::ir::print::module_to_string(&optimized)
         );
+        if let Some(p) = &prof {
+            print_pass_profile(p);
+        }
         return Ok(());
     }
 
     let r = simulate_default(&optimized, &config, o.fuel)
-        .map_err(|e| format!("execution failed: {e}"))?;
-    // With --stats --json, stdout carries exactly one JSON object (the
-    // stats, printed above); the human-readable lines move to stderr.
+        .map_err(|e| internal(format!("execution failed: {e}")))?;
+    // When stdout is reserved for a single JSON object (--stats --json,
+    // or --metrics-json), the human-readable lines move to stderr.
     let human = |line: String| {
-        if o.json && o.stats {
+        if (o.json && o.stats) || o.metrics_json {
             eprintln!("{line}");
         } else {
             println!("{line}");
@@ -714,6 +927,16 @@ fn run() -> Result<(), String> {
         for c in Counter::ALL {
             human(format!("  {:10} = {}", c.name(), r.counters.get(c)));
         }
+    }
+    if let Some(p) = &prof {
+        if o.profile {
+            print_pass_profile(p);
+        }
+        snap.passes = p.rows();
+    }
+    if o.metrics_json {
+        snap.canonicalize();
+        println!("{}", snap.to_json());
     }
     Ok(())
 }

@@ -10,6 +10,7 @@ pub use ic_kb as kb;
 pub use ic_lang as lang;
 pub use ic_machine as machine;
 pub use ic_ml as ml;
+pub use ic_obs as obs;
 pub use ic_passes as passes;
 pub use ic_search as search;
 pub use ic_serve as serve;

@@ -1,0 +1,110 @@
+//! Profiling is observation-only: turning `--profile` / a pass
+//! profiler on must never perturb what the compiler produces.
+//!
+//! Two invariants, pinned bit-for-bit:
+//!
+//! 1. `apply_sequence_profiled` yields the same printed IR and the same
+//!    changed-pass count as `apply_sequence`, for every pass in the
+//!    registry and for realistic multi-pass pipelines;
+//! 2. a `WorkloadEvaluator` built with a profiler observes the same
+//!    costs as one built without, so searches (and their trajectories)
+//!    are unaffected by metrics collection.
+
+use intelligent_compilers::ir::print::module_to_string;
+use intelligent_compilers::machine::MachineConfig;
+use intelligent_compilers::obs::Snapshot;
+use intelligent_compilers::passes::{
+    apply_sequence, apply_sequence_profiled, ofast_sequence, profiler, Opt, PrefixCacheConfig,
+};
+use intelligent_compilers::search::{random, CachedEvaluator, Evaluator, SequenceSpace};
+use intelligent_compilers::{core::controller::WorkloadEvaluator, workloads};
+
+#[test]
+fn profiled_apply_produces_bit_identical_ir() {
+    let base = workloads::adpcm_scaled(128, 5).compile();
+    // Every single-pass sequence, plus the aggressive pipeline and a
+    // deliberately repetitive one (profiling sums across repeats).
+    let mut sequences: Vec<Vec<Opt>> = Opt::ALL.iter().map(|&o| vec![o]).collect();
+    sequences.push(ofast_sequence());
+    sequences.push(vec![Opt::Unroll4, Opt::Unroll4, Opt::Dce, Opt::Dce]);
+
+    for seq in &sequences {
+        let mut plain = base.clone();
+        let changed_plain = apply_sequence(&mut plain, seq);
+
+        let prof = profiler();
+        let mut profiled = base.clone();
+        let changed_profiled = apply_sequence_profiled(&mut profiled, seq, &prof);
+
+        assert_eq!(changed_plain, changed_profiled, "changed count for {seq:?}");
+        assert_eq!(
+            module_to_string(&plain),
+            module_to_string(&profiled),
+            "printed IR diverged under profiling for {seq:?}"
+        );
+    }
+}
+
+#[test]
+fn profiled_evaluator_observes_identical_costs() {
+    let w = workloads::adpcm_scaled(64, 9);
+    let config = MachineConfig::test_tiny();
+    let space = SequenceSpace::new(&Opt::PAPER_13, 4);
+
+    let plain = WorkloadEvaluator::new(&w, &config);
+    let profiled = WorkloadEvaluator::with_profiler(
+        &w,
+        &config,
+        PrefixCacheConfig::default(),
+        Some(profiler()),
+    );
+
+    // Spot-check raw costs on a deterministic sample of the space...
+    for i in (0..space.count()).step_by((space.count() / 40).max(1) as usize) {
+        let seq = space.decode(i);
+        assert_eq!(
+            plain.evaluate(&seq).to_bits(),
+            profiled.evaluate(&seq).to_bits(),
+            "cost diverged under profiling for {seq:?}"
+        );
+    }
+
+    // ... and whole search trajectories through the cached stack.
+    let a = random::run(&space, &CachedEvaluator::new(space.clone(), plain), 50, 7);
+    let b = random::run(
+        &space,
+        &CachedEvaluator::new(space.clone(), profiled),
+        50,
+        7,
+    );
+    assert_eq!(a.best_seq, b.best_seq);
+    assert_eq!(a.best_cost.to_bits(), b.best_cost.to_bits());
+    assert_eq!(a.best_so_far, b.best_so_far);
+}
+
+#[test]
+fn profiler_rows_cover_the_whole_registry_and_survive_the_snapshot() {
+    let base = workloads::adpcm_scaled(64, 2).compile();
+    let prof = profiler();
+    let mut m = base.clone();
+    apply_sequence_profiled(&mut m, &ofast_sequence(), &prof);
+
+    let mut snap = Snapshot::for_context("test");
+    snap.passes = prof.rows();
+    snap.canonicalize();
+
+    // Full-registry coverage: every registered pass has a row, ran or
+    // not, and the rows survive a JSON round trip unchanged.
+    assert_eq!(snap.passes.len(), Opt::ALL.len());
+    for opt in Opt::ALL {
+        let row = snap
+            .passes
+            .iter()
+            .find(|p| p.pass == opt.name())
+            .unwrap_or_else(|| panic!("no profile row for {}", opt.name()));
+        let ran = ofast_sequence().contains(&opt);
+        assert_eq!(row.calls > 0, ran, "row {} calls={}", row.pass, row.calls);
+    }
+    let back = Snapshot::from_json(&snap.to_json()).expect("round trip");
+    assert_eq!(back, snap);
+}

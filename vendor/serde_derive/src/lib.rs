@@ -5,8 +5,9 @@
 //! offline build has no `syn`/`quote`). Supports the shapes this
 //! workspace derives on:
 //!
-//! * structs with named fields (`#[serde(default)]` and
-//!   `#[serde(default = "path")]` honoured),
+//! * structs with named fields (`#[serde(default)]`,
+//!   `#[serde(default = "path")]`, and `#[serde(alias = "name")]`
+//!   honoured, comma-separable in one attribute),
 //! * tuple structs (newtype structs serialize transparently),
 //! * unit structs,
 //! * enums with unit, tuple, and struct variants (externally tagged,
@@ -28,6 +29,7 @@ enum DefaultAttr {
 struct Field {
     name: String,
     default: DefaultAttr,
+    aliases: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -93,9 +95,10 @@ fn count_fields(ts: TokenStream) -> usize {
     }
 }
 
-/// Extract a `DefaultAttr` from one `#[...]` attribute body, if it is a
-/// `serde` attribute.
-fn parse_attr(group_stream: TokenStream, out: &mut DefaultAttr) {
+/// Extract field attributes from one `#[...]` attribute body, if it is a
+/// `serde` attribute. Handles comma-separated meta items, e.g.
+/// `#[serde(default, alias = "old_name")]`.
+fn parse_attr(group_stream: TokenStream, default: &mut DefaultAttr, aliases: &mut Vec<String>) {
     let toks: Vec<TokenTree> = group_stream.into_iter().collect();
     if toks.is_empty() || !is_ident(&toks[0], "serde") {
         return;
@@ -104,21 +107,39 @@ fn parse_attr(group_stream: TokenStream, out: &mut DefaultAttr) {
         panic!("malformed #[serde] attribute");
     };
     let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
-    if inner.is_empty() {
-        return;
-    }
-    if is_ident(&inner[0], "default") {
-        if inner.len() >= 3 && is_punct(&inner[1], '=') {
-            let lit = inner[2].to_string();
-            *out = DefaultAttr::Path(lit.trim_matches('"').to_string());
+    let mut j = 0usize;
+    while j < inner.len() {
+        if is_ident(&inner[j], "default") {
+            if j + 2 < inner.len() && is_punct(&inner[j + 1], '=') {
+                let lit = inner[j + 2].to_string();
+                *default = DefaultAttr::Path(lit.trim_matches('"').to_string());
+                j += 3;
+            } else {
+                *default = DefaultAttr::Std;
+                j += 1;
+            }
+        } else if is_ident(&inner[j], "alias") {
+            assert!(
+                j + 2 < inner.len() + 1 && is_punct(&inner[j + 1], '='),
+                "expected #[serde(alias = \"name\")]"
+            );
+            let lit = inner[j + 2].to_string();
+            aliases.push(lit.trim_matches('"').to_string());
+            j += 3;
         } else {
-            *out = DefaultAttr::Std;
+            panic!(
+                "vendored serde_derive only supports #[serde(default)] / #[serde(default = \"path\")] / #[serde(alias = \"name\")], got #[serde({})]",
+                inner[j]
+            );
         }
-    } else {
-        panic!(
-            "vendored serde_derive only supports #[serde(default)] / #[serde(default = \"path\")], got #[serde({})]",
-            inner[0]
-        );
+        if j < inner.len() {
+            assert!(
+                is_punct(&inner[j], ','),
+                "expected `,` between serde meta items, got {}",
+                inner[j]
+            );
+            j += 1;
+        }
     }
 }
 
@@ -130,11 +151,12 @@ fn parse_named(ts: TokenStream) -> Vec<Field> {
     let mut j = 0usize;
     while j < toks.len() {
         let mut default = DefaultAttr::None;
+        let mut aliases = Vec::new();
         while j < toks.len() && is_punct(&toks[j], '#') {
             let TokenTree::Group(g) = &toks[j + 1] else {
                 panic!("malformed attribute");
             };
-            parse_attr(g.stream(), &mut default);
+            parse_attr(g.stream(), &mut default, &mut aliases);
             j += 2;
         }
         if j < toks.len() && is_ident(&toks[j], "pub") {
@@ -164,7 +186,11 @@ fn parse_named(ts: TokenStream) -> Vec<Field> {
             }
             j += 1;
         }
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            aliases,
+        });
     }
     fields
 }
@@ -363,12 +389,20 @@ fn named_field_expr(type_name: &str, f: &Field) -> String {
         DefaultAttr::Std => "::std::default::Default::default()".to_string(),
         DefaultAttr::Path(p) => format!("{p}()"),
     };
+    // The primary name plus any `#[serde(alias = "...")]` names match;
+    // the primary name wins when both appear in one object.
+    let mut pred = format!("__k == \"{}\"", f.name);
+    for a in &f.aliases {
+        pred.push_str(&format!(
+            " || (__k == \"{a}\" && __obj.iter().all(|(__pk, _)| __pk != \"{}\"))",
+            f.name
+        ));
+    }
     format!(
-        "match __obj.iter().find(|(__k, _)| __k == \"{0}\") {{\n\
+        "match __obj.iter().find(|(__k, _)| {pred}) {{\n\
              ::std::option::Option::Some((_, __fv)) => ::serde::Deserialize::from_value(__fv)?,\n\
              ::std::option::Option::None => {missing},\n\
-         }}",
-        f.name
+         }}"
     )
 }
 
