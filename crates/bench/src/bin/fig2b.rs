@@ -144,6 +144,22 @@ fn main() {
         cstats.passes_elided,
         cstats.elision_factor()
     );
+    let sim = eval.inner().sim_stats();
+    println!(
+        "decode cache       : {} hits / {} misses ({:.1}% hit rate), \
+         {} programs / {} bytes resident",
+        sim.decode.hits,
+        sim.decode.misses,
+        sim.decode.hit_rate() * 100.0,
+        sim.decode.programs,
+        sim.decode.bytes
+    );
+    println!(
+        "decoded simulator  : {} insts in {:.1} ms ({:.2}M simulated insts/s)",
+        sim.insts_simulated,
+        sim.sim_nanos as f64 / 1e6,
+        sim.insts_per_second() / 1e6
+    );
     if let Some(f) = cache_file {
         let total = ic_core::evalcache::flush_to_kb(&eval, &mut cache_kb, &ctx);
         cache_kb.save(Path::new(&f)).expect("cache file writes");

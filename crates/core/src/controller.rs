@@ -8,8 +8,11 @@
 
 use ic_features::{combined_feature_names, combined_features, static_features};
 use ic_kb::{ArchRecord, ExperimentRecord, KnowledgeBase, ProgramRecord};
-use ic_machine::{microbench, simulate_default, MachineConfig, PerfCounters, RunResult, SimError};
-use ic_obs::Registry;
+use ic_machine::{
+    microbench, simulate_decoded, simulate_default, simulate_legacy, DecodeCache,
+    DecodeCacheConfig, MachineConfig, Memory, PerfCounters, RunResult, SimError,
+};
+use ic_obs::{Histogram, Registry, SimStats};
 use ic_passes::{apply_sequence, CompileCacheStats, Opt, PrefixCache, PrefixCacheConfig};
 use ic_search::focused::{ModelKind, SequenceModel};
 use ic_search::{
@@ -17,7 +20,9 @@ use ic_search::{
 };
 use ic_workloads::Workload;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The intelligent compiler for one target machine.
 pub struct IntelligentCompiler {
@@ -49,8 +54,21 @@ pub struct IntelligentCompiler {
 /// across connections.
 pub struct WorkloadEvaluator {
     cache: PrefixCache,
+    /// Memoized module → [`ic_machine::DecodedProgram`] lowering, shared
+    /// across every evaluation this evaluator runs. Sequences whose
+    /// pipelines converge on structurally identical IR (very common in a
+    /// small pass space) decode once and simulate many times.
+    decode: DecodeCache,
     config: MachineConfig,
     fuel: u64,
+    /// Total wall nanoseconds spent inside the simulator (decode + run).
+    sim_nanos: AtomicU64,
+    /// Total instructions retired across every successful simulation.
+    insts_simulated: AtomicU64,
+    /// Per-evaluation sim-time distribution. A private histogram by
+    /// default; [`Self::attach_obs`] swaps in the registry's `sim.nanos`
+    /// handle so the numbers land in the unified [`ic_obs::Snapshot`].
+    sim_hist: Histogram,
 }
 
 impl WorkloadEvaluator {
@@ -80,9 +98,20 @@ impl WorkloadEvaluator {
     ) -> Self {
         WorkloadEvaluator {
             cache: PrefixCache::with_profiler(workload.compile(), cache_config, profiler),
+            decode: DecodeCache::new(DecodeCacheConfig::default()),
             config: config.clone(),
             fuel: workload.fuel,
+            sim_nanos: AtomicU64::new(0),
+            insts_simulated: AtomicU64::new(0),
+            sim_hist: Histogram::new(),
         }
+    }
+
+    /// Record per-evaluation simulation time into `registry`'s
+    /// `sim.nanos` histogram (in addition to the evaluator's own totals).
+    /// Call before sharing the evaluator; observation-only.
+    pub fn attach_obs(&mut self, registry: &Registry) {
+        self.sim_hist = registry.histogram("sim.nanos");
     }
 
     /// The per-pass profiler attached to the compile cache, if any.
@@ -92,7 +121,7 @@ impl WorkloadEvaluator {
 
     /// Cycles of the unoptimized build.
     pub fn baseline_cycles(&self) -> u64 {
-        simulate_default(self.cache.base(), &self.config, self.fuel)
+        self.run_module(self.cache.base())
             .expect("baseline run")
             .cycles()
     }
@@ -101,7 +130,40 @@ impl WorkloadEvaluator {
     /// full result.
     pub fn run(&self, seq: &[Opt]) -> Result<RunResult, SimError> {
         let (m, _changed) = self.cache.apply_cached(seq);
-        simulate_default(&m, &self.config, self.fuel)
+        self.run_module(&m)
+    }
+
+    /// Simulate one compiled module on the decoded engine through the
+    /// shared [`DecodeCache`], timing the evaluation. `IC_SIM_LEGACY=1`
+    /// routes through the tree-walking oracle instead (still timed).
+    fn run_module(&self, m: &ic_ir::Module) -> Result<RunResult, SimError> {
+        let t0 = Instant::now();
+        let result = if ic_machine::legacy_forced() {
+            simulate_legacy(m, &self.config, Memory::for_module(m), self.fuel)
+        } else {
+            let prog = self.decode.get_or_decode(m, &self.config);
+            simulate_decoded(&prog, &self.config, Memory::for_module(m), self.fuel)
+        };
+        let ns = t0.elapsed().as_nanos() as u64;
+        self.sim_nanos.fetch_add(ns, Ordering::Relaxed);
+        self.sim_hist.record(ns);
+        if let Ok(r) = &result {
+            self.insts_simulated.fetch_add(
+                r.counters.get(ic_machine::Counter::TOT_INS),
+                Ordering::Relaxed,
+            );
+        }
+        result
+    }
+
+    /// Simulator-side statistics: decode-cache counters plus total sim
+    /// wall time and instructions retired (for insts/sec).
+    pub fn sim_stats(&self) -> SimStats {
+        SimStats {
+            decode: self.decode.stats(),
+            sim_nanos: self.sim_nanos.load(Ordering::Relaxed),
+            insts_simulated: self.insts_simulated.load(Ordering::Relaxed),
+        }
     }
 
     /// Compile with `seq` (through the prefix cache) without running:
@@ -177,7 +239,7 @@ impl IntelligentCompiler {
         use rand::rngs::SmallRng;
         use rand::SeedableRng;
         let _span = self.obs.span("controller.populate_kb");
-        let eval = WorkloadEvaluator::new(workload, &self.config);
+        let eval = self.evaluator(workload);
         let base = eval.baseline_cycles() as f64;
         let mut rng = SmallRng::seed_from_u64(seed);
         let seqs: Vec<Vec<Opt>> = (0..trials).map(|_| self.space.sample(&mut rng)).collect();
@@ -248,10 +310,7 @@ impl IntelligentCompiler {
     pub fn populate_kb_search(&mut self, workload: &Workload, budget: usize, seed: u64) {
         let _span = self.obs.span("controller.populate_kb_search");
         let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
-        let eval = CachedEvaluator::new(
-            self.space.clone(),
-            WorkloadEvaluator::new(workload, &self.config),
-        );
+        let eval = CachedEvaluator::new(self.space.clone(), self.evaluator(workload));
         crate::evalcache::warm_from_kb(&eval, &self.kb, &ctx);
         let base = eval.inner().baseline_cycles() as f64;
         let r = ic_search::genetic::run(
@@ -343,10 +402,7 @@ impl IntelligentCompiler {
     /// warm from / persist to the knowledge base.
     pub fn compile_iterative(&self, workload: &Workload, budget: usize, seed: u64) -> SearchResult {
         let _span = self.obs.span("controller.compile_iterative");
-        let eval = CachedEvaluator::new(
-            self.space.clone(),
-            WorkloadEvaluator::new(workload, &self.config),
-        );
+        let eval = CachedEvaluator::new(self.space.clone(), self.evaluator(workload));
         self.run_focused_or_random(workload, &eval, budget, seed)
     }
 
@@ -366,14 +422,19 @@ impl IntelligentCompiler {
     ) -> (SearchResult, CacheStats) {
         let _span = self.obs.span("controller.compile_iterative_cached");
         let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
-        let eval = CachedEvaluator::new(
-            self.space.clone(),
-            WorkloadEvaluator::new(workload, &self.config),
-        );
+        let eval = CachedEvaluator::new(self.space.clone(), self.evaluator(workload));
         crate::evalcache::warm_from_kb(&eval, &self.kb, &ctx);
         let r = self.run_focused_or_random(workload, &eval, budget, seed);
         crate::evalcache::flush_to_kb(&eval, &mut self.kb, &ctx);
         (r, eval.stats())
+    }
+
+    /// A [`WorkloadEvaluator`] wired to this compiler's obs registry
+    /// (its per-evaluation sim times land in the `sim.nanos` histogram).
+    fn evaluator(&self, workload: &Workload) -> WorkloadEvaluator {
+        let mut eval = WorkloadEvaluator::new(workload, &self.config);
+        eval.attach_obs(&self.obs);
+        eval
     }
 
     fn run_focused_or_random(

@@ -1,0 +1,95 @@
+//! A tiny global string interner for identifiers that cross hot paths.
+//!
+//! The simulator's error values and decoded programs refer to function
+//! names millions of times but only ever *create* a handful of distinct
+//! strings (one per function in a module). Interning turns each name into
+//! a copyable [`Symbol`] — a `u32` ticket into a process-wide table — so
+//! hot loops can carry "which function" without cloning a `String`, and
+//! resolve back to text only when a human-facing message is rendered.
+//!
+//! Interned strings are leaked deliberately: the set is bounded by the
+//! number of distinct function names seen by the process, which is tiny
+//! and reusable across compilations of the same workload.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// A process-wide interned string. Copy, compare and hash like an integer;
+/// resolve with [`Symbol::as_str`] only at display time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// Intern `name`, returning its stable [`Symbol`]. Idempotent: the same
+/// string always yields the same symbol for the life of the process.
+pub fn intern(name: &str) -> Symbol {
+    let mut i = interner().lock().expect("interner poisoned");
+    if let Some(&id) = i.map.get(name) {
+        return Symbol(id);
+    }
+    let id = i.names.len() as u32;
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    i.names.push(leaked);
+    i.map.insert(leaked, id);
+    Symbol(id)
+}
+
+impl Symbol {
+    /// The interned text. Never allocates.
+    pub fn as_str(self) -> &'static str {
+        interner().lock().expect("interner poisoned").names[self.0 as usize]
+    }
+
+    /// The raw ticket, for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Symbol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_round_trips() {
+        let a = intern("main");
+        let b = intern("main");
+        let c = intern("helper");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "main");
+        assert_eq!(c.as_str(), "helper");
+        assert_eq!(format!("{a}"), "main");
+    }
+
+    #[test]
+    fn symbols_are_stable_across_threads() {
+        let first = intern("threaded");
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| intern("threaded")))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), first);
+        }
+    }
+}

@@ -27,6 +27,7 @@
 pub mod builder;
 pub mod cfg;
 pub mod dom;
+pub mod intern;
 pub mod liveness;
 pub mod loops;
 pub mod parse;

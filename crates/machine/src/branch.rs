@@ -30,16 +30,20 @@ impl BranchPredictor {
 
     /// Record an executed branch at `site` with outcome `taken`; returns
     /// true if the predictor had it right.
+    #[inline]
     pub fn predict_and_update(&mut self, site: u64, taken: bool) -> bool {
         let i = self.slot(site);
-        let ctr = self.table[i];
+        // `slot` masks with `len - 1` (len a power of two, fixed at
+        // construction), so the index is always in bounds.
+        debug_assert!(i < self.table.len());
+        let ctr = unsafe { *self.table.get_unchecked(i) };
         let predicted_taken = ctr >= 2;
         let correct = predicted_taken == taken;
         self.predictions += 1;
         if !correct {
             self.mispredictions += 1;
         }
-        self.table[i] = match (ctr, taken) {
+        *unsafe { self.table.get_unchecked_mut(i) } = match (ctr, taken) {
             (3, true) => 3,
             (0, false) => 0,
             (c, true) => c + 1,

@@ -60,6 +60,7 @@ impl Cache {
 
     /// Access the byte at `addr`; `is_write` marks stores. Returns whether
     /// it hit, and on a miss whether a dirty victim was written back.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> Access {
         self.accesses += 1;
         self.tick += 1;
@@ -68,15 +69,15 @@ impl Cache {
         let tag = line / self.sets;
         let base = set * self.ways;
 
-        // Hit path.
-        for w in 0..self.ways {
-            if self.tags[base + w] == tag {
-                self.stamps[base + w] = self.tick;
-                if is_write {
-                    self.dirty[base + w] = true;
-                }
-                return Access::Hit;
+        // Hit path: scan the set as a slice so the way loop compiles to
+        // branchless compares instead of per-way bounds checks.
+        let set_tags = &self.tags[base..base + self.ways];
+        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
+            self.stamps[base + w] = self.tick;
+            if is_write {
+                self.dirty[base + w] = true;
             }
+            return Access::Hit;
         }
 
         // Miss: choose LRU victim (prefer empty ways).

@@ -18,13 +18,18 @@ use crate::config::MachineConfig;
 use crate::counters::{Counter, PerfCounters};
 use crate::mem::Memory;
 use crate::tlb::Tlb;
+use ic_ir::intern::{intern, Symbol};
 use ic_ir::{BinOp, BlockId, Inst, Module, Operand, Reg, Terminator, UnOp};
 
 /// Runtime failures.
+///
+/// `SimError` is `Copy`-cheap by design: `DivByZero` carries an interned
+/// [`Symbol`], not a cloned `String`, so constructing one in the hot loop
+/// never allocates; the name is resolved only at `Display` time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
-    /// Integer division or remainder by zero.
-    DivByZero { func: String },
+    /// Integer division or remainder by zero, in the named function.
+    DivByZero { func: Symbol },
     /// Instruction budget exhausted before the program finished.
     OutOfFuel,
     /// Call stack exceeded the depth limit (runaway recursion).
@@ -88,13 +93,15 @@ struct Frame {
     ret_dst: Option<Reg>,
 }
 
-const MAX_CALL_DEPTH: usize = 4096;
+pub(crate) const MAX_CALL_DEPTH: usize = 4096;
 
 /// The simulator state machine. Create with [`Sim::new`], drive with
 /// [`Sim::step`] (the L2 cache is passed in so several cores can share
 /// one), and extract results with [`Sim::into_result`].
 pub struct Sim<'m> {
     module: &'m Module,
+    /// Interned per-function names, so error paths never allocate.
+    syms: Vec<Symbol>,
     cfg: &'m MachineConfig,
     mem: Memory,
     frames: Vec<Frame>,
@@ -121,6 +128,7 @@ impl<'m> Sim<'m> {
             ret_dst: None,
         };
         Sim {
+            syms: module.funcs.iter().map(|f| intern(&f.name)).collect(),
             module,
             cfg,
             mem,
@@ -295,8 +303,8 @@ impl<'m> Sim<'m> {
                         } else if matches!(op, BinOp::Mul | BinOp::Div | BinOp::Rem) {
                             self.counters.bump(Counter::MULDIV_INS);
                         }
-                        let val = eval_bin(*op, va, vb).ok_or_else(|| SimError::DivByZero {
-                            func: module.funcs[fi].name.clone(),
+                        let val = eval_bin(*op, va, vb).ok_or(SimError::DivByZero {
+                            func: self.syms[fi],
                         })?;
                         let at = self.issue(ra.max(rb));
                         let fr = self.frames.last_mut().unwrap();
@@ -508,7 +516,8 @@ impl<'m> Sim<'m> {
 }
 
 /// Evaluate a binary op on raw words; `None` signals division by zero.
-fn eval_bin(op: BinOp, a: u64, b: u64) -> Option<u64> {
+/// Shared with the decoded simulator so the two paths cannot diverge.
+pub(crate) fn eval_bin(op: BinOp, a: u64, b: u64) -> Option<u64> {
     use BinOp::*;
     let ia = a as i64;
     let ib = b as i64;
@@ -556,7 +565,8 @@ fn eval_bin(op: BinOp, a: u64, b: u64) -> Option<u64> {
 }
 
 /// Evaluate a unary op on a raw word.
-fn eval_un(op: UnOp, a: u64) -> u64 {
+/// Shared with the decoded simulator so the two paths cannot diverge.
+pub(crate) fn eval_un(op: UnOp, a: u64) -> u64 {
     match op {
         UnOp::Neg => (a as i64).wrapping_neg() as u64,
         UnOp::Not => ((a as i64 == 0) as i64) as u64,

@@ -58,7 +58,14 @@ impl Memory {
     #[inline]
     pub fn wrap_index(&self, arr: ArrId, idx: i64) -> usize {
         let len = self.data[arr.index()].len() as i64;
-        idx.rem_euclid(len) as usize
+        // In-bounds non-negative indices (the common case) skip the
+        // `rem_euclid` hardware divide; negative ones reinterpret as huge
+        // unsigned values and fall through.
+        if (idx as u64) < len as u64 {
+            idx as usize
+        } else {
+            idx.rem_euclid(len) as usize
+        }
     }
 
     /// Byte address of element `idx` of `arr` (already wrapped).

@@ -11,9 +11,11 @@
 use crate::cache::Cache;
 use crate::config::MachineConfig;
 use crate::counters::{Counter, PerfCounters};
-use crate::interp::{Sim, SimError, StepOutcome};
+use crate::decode::{DecodedProgram, DecodedSim};
+use crate::interp::{SimError, StepOutcome};
 use crate::mem::Memory;
 use ic_ir::Module;
+use std::sync::Arc;
 
 /// Result of a parallel run.
 #[derive(Debug, Clone)]
@@ -49,9 +51,11 @@ pub fn run_parallel(
     assert!(!mems.is_empty(), "need at least one core");
     let ncores = mems.len();
     let mut l2 = Cache::new(&config.l2);
-    let mut sims: Vec<Sim> = mems
+    // One decode shared by every core — the program is immutable.
+    let prog = Arc::new(DecodedProgram::decode(module, config));
+    let mut sims: Vec<DecodedSim> = mems
         .into_iter()
-        .map(|m| Sim::new(module, config, m))
+        .map(|m| DecodedSim::new(Arc::clone(&prog), config, m))
         .collect();
     let mut rets: Vec<Option<Option<u64>>> = vec![None; ncores];
     let mut used: Vec<u64> = vec![0; ncores];

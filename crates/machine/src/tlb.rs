@@ -7,6 +7,9 @@ pub struct Tlb {
     stamps: Vec<u64>,
     page_shift: u32,
     tick: u64,
+    /// Slot of the most recent hit: a one-entry MRU filter so streams of
+    /// touches to the same page skip the associative scan entirely.
+    mru: usize,
     pub accesses: u64,
     pub misses: u64,
 }
@@ -22,21 +25,30 @@ impl Tlb {
             stamps: vec![0; entries.max(1)],
             page_shift: page_size.trailing_zeros(),
             tick: 0,
+            mru: 0,
             accesses: 0,
             misses: 0,
         }
     }
 
     /// Translate the page containing `addr`; returns true on a TLB hit.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         self.accesses += 1;
         self.tick += 1;
         let page = addr >> self.page_shift;
-        for i in 0..self.pages.len() {
-            if self.pages[i] == page {
-                self.stamps[i] = self.tick;
-                return true;
-            }
+        // Fast path: consecutive touches to one page (the overwhelmingly
+        // common pattern for streaming loads) cost one compare, not a
+        // full scan. Stamps still update, so LRU order is unchanged.
+        let mru = self.mru;
+        if self.pages[mru] == page {
+            self.stamps[mru] = self.tick;
+            return true;
+        }
+        if let Some(i) = self.pages.iter().position(|&p| p == page) {
+            self.stamps[i] = self.tick;
+            self.mru = i;
+            return true;
         }
         self.misses += 1;
         // LRU replace.
@@ -54,6 +66,7 @@ impl Tlb {
         }
         self.pages[victim] = page;
         self.stamps[victim] = self.tick;
+        self.mru = victim;
         false
     }
 
@@ -62,6 +75,7 @@ impl Tlb {
         self.pages.fill(EMPTY);
         self.stamps.fill(0);
         self.tick = 0;
+        self.mru = 0;
         self.accesses = 0;
         self.misses = 0;
     }

@@ -152,6 +152,87 @@ impl CompileCacheStats {
     }
 }
 
+/// A point-in-time view of decode-cache activity (the decoded-program
+/// memo in `ic-machine`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DecodeCacheStats {
+    /// Lookups that reused an already-decoded program.
+    #[serde(default)]
+    pub hits: u64,
+    /// Lookups that had to decode (= distinct post-prefix modules seen).
+    #[serde(default)]
+    pub misses: u64,
+    /// Decoded programs currently resident.
+    #[serde(default)]
+    pub programs: u64,
+    /// Estimated bytes of resident decoded programs.
+    #[serde(default)]
+    pub bytes: u64,
+    /// Programs dropped by the LRU to stay under the byte budget.
+    #[serde(default)]
+    pub evictions: u64,
+}
+
+impl DecodeCacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that reused a decoded program.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// Fold `other`'s counts in (see the module docs for the rules).
+    pub fn merge(&mut self, other: &DecodeCacheStats) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.programs = self.programs.saturating_add(other.programs);
+        self.bytes = self.bytes.saturating_add(other.bytes);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+    }
+}
+
+/// Simulation activity of the pre-decoded threaded-code engine: how much
+/// simulator time was spent, how many instructions it retired, and how
+/// well the decode cache amortized the lowering.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Decoded-program memo activity.
+    #[serde(default)]
+    pub decode: DecodeCacheStats,
+    /// Total nanoseconds inside the simulator, summed over all threads.
+    #[serde(default)]
+    pub sim_nanos: u64,
+    /// Simulated instructions retired across all evaluations.
+    #[serde(default)]
+    pub insts_simulated: u64,
+}
+
+impl SimStats {
+    /// Simulated-instruction throughput, per second of *aggregate*
+    /// simulator time (CPU-seconds across threads, not wall clock).
+    pub fn insts_per_second(&self) -> f64 {
+        if self.sim_nanos == 0 {
+            0.0
+        } else {
+            self.insts_simulated as f64 / (self.sim_nanos as f64 / 1e9)
+        }
+    }
+
+    /// Fold `other`'s counts in (see the module docs for the rules).
+    pub fn merge(&mut self, other: &SimStats) {
+        self.decode.merge(&other.decode);
+        self.sim_nanos = self.sim_nanos.saturating_add(other.sim_nanos);
+        self.insts_simulated = self.insts_simulated.saturating_add(other.insts_simulated);
+    }
+}
+
 /// Cache and timing deltas attributable to a single daemon request.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct RequestStats {
@@ -333,6 +414,9 @@ pub struct Snapshot {
     /// Pass-prefix compile-cache activity.
     #[serde(default)]
     pub compile_cache: CompileCacheStats,
+    /// Simulator activity: decode-cache stats and instruction throughput.
+    #[serde(default)]
+    pub sim: SimStats,
     /// Daemon request accounting (zeroed for local `icc` runs).
     #[serde(default)]
     pub service: ServiceStats,
@@ -360,6 +444,7 @@ impl Default for Snapshot {
             context: String::new(),
             eval_cache: EvalCacheStats::default(),
             compile_cache: CompileCacheStats::default(),
+            sim: SimStats::default(),
             service: ServiceStats::default(),
             counters: Vec::new(),
             gauges: Vec::new(),
@@ -464,6 +549,7 @@ impl Snapshot {
         self.schema_version = self.schema_version.max(other.schema_version);
         self.eval_cache.merge(&other.eval_cache);
         self.compile_cache.merge(&other.compile_cache);
+        self.sim.merge(&other.sim);
         self.service.merge(&other.service);
         merge_sorted_by_key(&mut self.counters, &other.counters, |c| &c.0, combine_count);
         merge_sorted_by_key(&mut self.gauges, &other.gauges, |g| &g.0, combine_gauge);
@@ -580,6 +666,37 @@ mod tests {
         );
         assert_eq!(a.service.search_requests, 3);
         assert_eq!(a.service.uptime_ms, 100, "uptime merges by max");
+    }
+
+    #[test]
+    fn sim_stats_merge_and_rates() {
+        let mut a = SimStats {
+            decode: DecodeCacheStats {
+                hits: 9,
+                misses: 1,
+                programs: 1,
+                bytes: 1024,
+                evictions: 0,
+            },
+            sim_nanos: 500_000_000,
+            insts_simulated: 1_000_000,
+        };
+        assert!((a.decode.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((a.insts_per_second() - 2_000_000.0).abs() < 1.0);
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.decode.lookups(), 20);
+        assert_eq!(a.insts_simulated, 2_000_000);
+        // Rates survive the round trip through the additive schema.
+        let snap = Snapshot {
+            sim: a,
+            ..Snapshot::default()
+        };
+        let back = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back.sim, a);
+        // Old snapshots without a `sim` block still parse.
+        let old = Snapshot::from_json("{}").expect("parses");
+        assert_eq!(old.sim, SimStats::default());
     }
 
     #[test]

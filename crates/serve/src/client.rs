@@ -137,7 +137,7 @@ impl Client {
     /// prints locally.
     pub fn metrics(&mut self) -> Result<ic_obs::Snapshot, ClientError> {
         match self.request(&Request::Admin(AdminRequest::Metrics))? {
-            Response::Metrics(s) => Ok(s),
+            Response::Metrics(s) => Ok(*s),
             other => Err(ClientError::Frame(FrameError::BadPayload(format!(
                 "expected Metrics, got {other:?}"
             )))),

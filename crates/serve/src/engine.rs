@@ -153,12 +153,14 @@ impl Engine {
     }
 
     /// This engine's slice of the unified observability snapshot:
-    /// eval-cache and compile-cache activity plus per-pass profiling
-    /// rows, labelled with the context fingerprint.
+    /// eval-cache, compile-cache, and simulator (decode-cache +
+    /// throughput) activity plus per-pass profiling rows, labelled with
+    /// the context fingerprint.
     pub fn metrics_snapshot(&self) -> ic_obs::Snapshot {
         let mut snap = ic_obs::Snapshot::for_context(self.fingerprint.clone());
         snap.eval_cache = self.eval.stats();
         snap.compile_cache = self.eval.inner().compile_stats();
+        snap.sim = self.eval.inner().sim_stats();
         if let Some(prof) = self.eval.inner().profiler() {
             snap.passes = prof.rows();
         }

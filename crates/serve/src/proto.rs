@@ -129,8 +129,9 @@ pub enum Response {
     Characterize(CharacterizeResponse),
     Stats(StatsResponse),
     /// The unified observability snapshot (`Admin(Metrics)`) — the same
-    /// [`ic_obs::Snapshot`] schema as `icc --metrics-json`.
-    Metrics(ic_obs::Snapshot),
+    /// [`ic_obs::Snapshot`] schema as `icc --metrics-json` (boxed: the
+    /// snapshot dwarfs every other response; wire format unchanged).
+    Metrics(Box<ic_obs::Snapshot>),
     /// Acknowledgement for `Admin(Flush)` / `Admin(Shutdown)`.
     Admin(AdminResponse),
     Error(ErrorResponse),

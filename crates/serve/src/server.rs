@@ -498,7 +498,7 @@ impl ServerState {
     fn admin(&self, req: &AdminRequest) -> Response {
         match req {
             AdminRequest::Stats => Response::Stats(self.stats()),
-            AdminRequest::Metrics => Response::Metrics(self.metrics_snapshot()),
+            AdminRequest::Metrics => Response::Metrics(Box::new(self.metrics_snapshot())),
             AdminRequest::Flush => Response::Admin(AdminResponse {
                 action: "flush".into(),
                 persisted_entries: self.flush(),

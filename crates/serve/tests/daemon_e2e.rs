@@ -369,6 +369,18 @@ fn admin_metrics_is_the_unified_snapshot_with_full_pass_coverage() {
         snap.compile_cache.passes_run > 0,
         "search must have run passes"
     );
+    // The warm engine simulated through the shared decode cache: a
+    // search re-decodes structurally identical modules via cache hits.
+    assert!(
+        snap.sim.decode.hits > 0,
+        "warm engine must hit the decode cache: {:?}",
+        snap.sim.decode
+    );
+    assert!(
+        snap.sim.insts_simulated > 0 && snap.sim.sim_nanos > 0,
+        "simulator throughput stats missing: {:?}",
+        snap.sim
+    );
     assert!(
         snap.histograms.iter().any(|h| h.name == "serve.service_us"),
         "daemon latency histogram missing: {:?}",

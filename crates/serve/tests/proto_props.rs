@@ -174,7 +174,7 @@ proptest! {
         snap.service.requests_cancelled = counts[1];
         snap.counters = vec![("search.evaluations".into(), counts[2])];
         snap.canonicalize();
-        let metrics = Response::Metrics(snap);
+        let metrics = Response::Metrics(Box::new(snap));
         prop_assert_eq!(&round_trip(&metrics), &metrics);
 
         let stats = Response::Stats(StatsResponse {

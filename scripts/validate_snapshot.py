@@ -74,6 +74,16 @@ def main():
         f"ok: snapshot from `{snapshot.get('context', '?')}` "
         f"(schema v{snapshot.get('schema_version', '?')}) validates"
     )
+    sim = snapshot.get("sim")
+    if sim and (sim.get("insts_simulated") or sim["decode"].get("misses")):
+        d = sim["decode"]
+        secs = sim["sim_nanos"] / 1e9
+        ips = sim["insts_simulated"] / secs / 1e6 if secs > 0 else 0.0
+        print(
+            f"ok: sim block: {sim['insts_simulated']} insts in {secs:.3f}s "
+            f"({ips:.2f}M insts/s), decode cache {d['hits']} hits / "
+            f"{d['misses']} misses"
+        )
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ use intelligent_compilers::core::controller::WorkloadEvaluator;
 use intelligent_compilers::core::{Error, IntelligentCompiler};
 use intelligent_compilers::kb::KnowledgeBase;
 use intelligent_compilers::machine::{simulate_default, Counter, MachineConfig};
-use intelligent_compilers::obs::{PassProfiler, PassStats, Snapshot};
+use intelligent_compilers::obs::{PassProfiler, PassStats, SimStats, Snapshot};
 use intelligent_compilers::passes::{
     apply_sequence, apply_sequence_profiled, ofast_sequence, profiler, Opt, PrefixCacheConfig,
 };
@@ -347,6 +347,20 @@ fn print_snapshot_human(s: &Snapshot) {
         s.compile_cache.passes_run,
         s.compile_cache.passes_elided,
         s.compile_cache.elision_factor(),
+    );
+    println!(
+        "decode cache: {} hits / {} misses ({:.1}% hit rate), {} programs / {} bytes resident",
+        s.sim.decode.hits,
+        s.sim.decode.misses,
+        s.sim.decode.hit_rate() * 100.0,
+        s.sim.decode.programs,
+        s.sim.decode.bytes,
+    );
+    println!(
+        "simulator: {} insts in {:.1} ms ({:.2}M simulated insts/s)",
+        s.sim.insts_simulated,
+        s.sim.sim_nanos as f64 / 1e6,
+        s.sim.insts_per_second() / 1e6,
     );
     for (name, v) in &s.counters {
         println!("counter {name} = {v}");
@@ -705,12 +719,14 @@ fn main() -> ExitCode {
 fn print_local_stats(
     stats: &intelligent_compilers::search::CacheStats,
     cstats: &intelligent_compilers::passes::CompileCacheStats,
+    sim: &SimStats,
     json: bool,
 ) {
     if json {
         // Hand-rolled object: the schema here is the documented one.
+        // Keys are only ever added, never renamed (harnesses parse it).
         println!(
-            "{{\"eval_lookups\":{},\"eval_hits\":{},\"eval_misses\":{},\"eval_hit_rate\":{:.4},\"evals_per_second\":{:.1},\"compile_hits\":{},\"compile_misses\":{},\"compile_hit_rate\":{:.4},\"passes_run\":{},\"passes_elided\":{},\"elision_factor\":{:.3}}}",
+            "{{\"eval_lookups\":{},\"eval_hits\":{},\"eval_misses\":{},\"eval_hit_rate\":{:.4},\"evals_per_second\":{:.1},\"compile_hits\":{},\"compile_misses\":{},\"compile_hit_rate\":{:.4},\"passes_run\":{},\"passes_elided\":{},\"elision_factor\":{:.3},\"decode_hits\":{},\"decode_misses\":{},\"decode_hit_rate\":{:.4},\"sim_nanos\":{},\"insts_simulated\":{},\"sim_insts_per_second\":{:.0}}}",
             stats.lookups(),
             stats.hits,
             stats.misses,
@@ -721,7 +737,13 @@ fn print_local_stats(
             cstats.hit_rate(),
             cstats.passes_run,
             cstats.passes_elided,
-            cstats.elision_factor()
+            cstats.elision_factor(),
+            sim.decode.hits,
+            sim.decode.misses,
+            sim.decode.hit_rate(),
+            sim.sim_nanos,
+            sim.insts_simulated,
+            sim.insts_per_second()
         );
     } else {
         eprintln!(
@@ -740,6 +762,20 @@ fn print_local_stats(
             cstats.passes_run,
             cstats.passes_elided,
             cstats.elision_factor()
+        );
+        eprintln!(
+            "icc: decode cache  : {} hits / {} misses ({:.1}% hit rate), {} programs / {} bytes resident",
+            sim.decode.hits,
+            sim.decode.misses,
+            sim.decode.hit_rate() * 100.0,
+            sim.decode.programs,
+            sim.decode.bytes
+        );
+        eprintln!(
+            "icc: simulator     : {} insts in {:.1} ms ({:.2}M simulated insts/s)",
+            sim.insts_simulated,
+            sim.sim_nanos as f64 / 1e6,
+            sim.insts_per_second() / 1e6
         );
     }
 }
@@ -830,10 +866,16 @@ fn run() -> Result<(), Error> {
             eprintln!("icc: persisted evaluation cache to {f}");
         }
         if o.stats {
-            print_local_stats(&stats, &eval.inner().compile_stats(), o.json);
+            print_local_stats(
+                &stats,
+                &eval.inner().compile_stats(),
+                &eval.inner().sim_stats(),
+                o.json,
+            );
         }
         snap.eval_cache = stats;
         snap.compile_cache = eval.inner().compile_stats();
+        snap.sim = eval.inner().sim_stats();
         snap.counters
             .push(("icc.search_evaluations".into(), r.evaluations() as u64));
         r.best_seq
