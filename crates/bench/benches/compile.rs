@@ -272,6 +272,7 @@ fn emit_report(_c: &mut Criterion) {
         sim_nanos: (sim.decoded.seconds * 1e9) as u64,
         insts_simulated: sim.insts_per_run * sim.runs,
     };
+    metrics.corpus = ic_workloads::corpus_stats(ic_workloads::SuiteScale::Small);
 
     let report = Report {
         bench: "compile".into(),

@@ -89,6 +89,11 @@ fn main() {
     // focused model leaving adpcm out, and measure how its samples
     // concentrate on the good region.
     println!();
+    let corpus = ic_bench::corpus_stats(args.scale);
+    println!(
+        "training corpus: {} programs ({} hand-written + {} generated across {} families, {} generated insts)",
+        corpus.programs, corpus.hand_written, corpus.generated, corpus.families, corpus.generated_insts
+    );
     println!("building knowledge base from the other suite programs ...");
     let mut ic = IntelligentCompiler::new(config.clone());
     for w in bench_suite(args.scale) {
@@ -100,8 +105,12 @@ fn main() {
         // of real searches, as in Agakov et al.
         ic.populate_kb_search(&w, 60, args.seed);
     }
+    // With the 65-program corpus the 3 feature-nearest programs can all
+    // be tiny generated kernels whose best sequences don't transfer to
+    // adpcm; widening the neighbour pool keeps real transfer donors in
+    // the training set.
     let model = ic
-        .focused_model(&workload, 3, 8, ModelKind::Markov)
+        .focused_model(&workload, 8, 8, ModelKind::Markov)
         .expect("kb has neighbours");
 
     use rand::rngs::SmallRng;

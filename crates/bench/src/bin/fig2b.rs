@@ -47,6 +47,11 @@ fn main() {
         _ => ModelKind::Markov,
     };
 
+    let corpus = ic_bench::corpus_stats(args.scale);
+    println!(
+        "training corpus: {} programs ({} hand-written + {} generated across {} families, {} generated insts)",
+        corpus.programs, corpus.hand_written, corpus.generated, corpus.families, corpus.generated_insts
+    );
     println!("training the predictive model on the other suite programs ...");
     let mut ic = IntelligentCompiler::new(config.clone());
     for w in bench_suite(args.scale) {
@@ -58,8 +63,10 @@ fn main() {
         // of real searches, as in Agakov et al.
         ic.populate_kb_search(&w, 60, args.seed);
     }
+    // Wider neighbour pool for the 65-program corpus: the few nearest
+    // programs alone may all be tiny generated kernels (see fig2a).
     let model = ic
-        .focused_model(&workload, 3, 8, kind)
+        .focused_model(&workload, 8, 8, kind)
         .expect("kb has neighbours");
 
     println!(

@@ -14,6 +14,7 @@ fn main() {
         kind: ic_workloads::Kind::PointerChasing,
         source: ic_workloads::sources::spmv(8192, 16, 2),
         fuel: 80_000_000,
+        meta: None,
     });
     for w in &ws {
         let row = measure_program(w, &cfg);

@@ -115,76 +115,31 @@ impl Table {
     }
 }
 
-/// The bench-scale workload suite: the full 16-kernel suite, scaled so a
-/// single -O0 run is tens of milliseconds in release mode.
+/// The bench-scale workload suite — the full 65-program registry
+/// (20 hand-written kernels + 45 generated programs). `Small` uses the
+/// registry's small scale: hand-written kernels shrunk so a single -O0
+/// run is tens of milliseconds in release mode (mcf keeps its
+/// cache-straddling default size: Fig. 3/4 depend on that regime) and
+/// generated programs at their tiny fuzzing size.
 pub fn bench_suite(scale: Scale) -> Vec<ic_workloads::Workload> {
-    match scale {
-        Scale::Full => ic_workloads::suite(),
-        Scale::Small => {
-            use ic_workloads::{sources, Kind, Workload};
-            let mk = |name: &str, kind: Kind, source: String, fuel: u64| Workload {
-                name: name.into(),
-                kind,
-                source,
-                fuel,
-            };
-            vec![
-                ic_workloads::adpcm_scaled(512, 12345),
-                // mcf keeps its cache-straddling default size even at
-                // small scale: Fig. 3/4 depend on that regime.
-                ic_workloads::mcf_like(),
-                mk("matmul", Kind::FloatHeavy, sources::matmul(16), 10_000_000),
-                mk("fir", Kind::FloatHeavy, sources::fir(512, 8), 10_000_000),
-                mk("crc32", Kind::AluBound, sources::crc32(512), 10_000_000),
-                mk("dijkstra", Kind::Branchy, sources::dijkstra(32), 10_000_000),
-                mk("qsort", Kind::CallHeavy, sources::qsort(512), 10_000_000),
-                mk(
-                    "stencil",
-                    Kind::MemoryStreaming,
-                    sources::stencil(24, 3),
-                    10_000_000,
-                ),
-                mk("susan", Kind::Branchy, sources::susan(24), 10_000_000),
-                mk(
-                    "butterfly",
-                    Kind::FloatHeavy,
-                    sources::butterfly(256, 4),
-                    10_000_000,
-                ),
-                mk(
-                    "histogram",
-                    Kind::MemoryStreaming,
-                    sources::histogram(2048),
-                    10_000_000,
-                ),
-                mk(
-                    "strsearch",
-                    Kind::Branchy,
-                    sources::strsearch(1024),
-                    10_000_000,
-                ),
-                mk(
-                    "bitcount",
-                    Kind::AluBound,
-                    sources::bitcount(1024),
-                    10_000_000,
-                ),
-                mk("nbody", Kind::FloatHeavy, sources::nbody(12, 4), 10_000_000),
-                mk(
-                    "spmv",
-                    Kind::PointerChasing,
-                    sources::spmv(8192, 16, 2),
-                    80_000_000,
-                ),
-                mk(
-                    "feistel",
-                    Kind::AluBound,
-                    sources::feistel(512, 6),
-                    10_000_000,
-                ),
-            ]
-        }
-    }
+    let s = match scale {
+        Scale::Full => ic_workloads::SuiteScale::Full,
+        Scale::Small => ic_workloads::SuiteScale::Small,
+    };
+    ic_workloads::registry_scaled(s)
+        .into_iter()
+        .map(|e| e.workload)
+        .collect()
+}
+
+/// Corpus composition for the bench scale, ready to drop into an
+/// [`ic_obs::Snapshot`].
+pub fn corpus_stats(scale: Scale) -> ic_obs::CorpusStats {
+    let s = match scale {
+        Scale::Full => ic_workloads::SuiteScale::Full,
+        Scale::Small => ic_workloads::SuiteScale::Small,
+    };
+    ic_workloads::corpus_stats(s)
 }
 
 #[cfg(test)]

@@ -228,6 +228,12 @@ impl IntelligentCompiler {
             program: workload.name.clone(),
             feature_names: combined_feature_names(),
             features: combined_features(&module, &r.counters),
+            suite: workload.meta.as_ref().map(|m| ic_kb::SuiteMetaRecord {
+                family: m.family.clone(),
+                seed: m.seed,
+                size_class: m.size_class.clone(),
+                generated: m.generated,
+            }),
         });
         r.counters
     }

@@ -281,6 +281,7 @@ pub fn phased_workload(n: usize) -> Workload {
         kind: ic_workloads::Kind::PointerChasing,
         source,
         fuel: 60_000_000 + n as u64 * 4_000,
+        meta: None,
     }
 }
 

@@ -206,12 +206,14 @@ mod tests {
                 kind: ic_workloads::Kind::AluBound,
                 source: ic_workloads::sources::crc32(192),
                 fuel: 4_000_000,
+                meta: None,
             },
             ic_workloads::Workload {
                 name: "feistel".into(),
                 kind: ic_workloads::Kind::AluBound,
                 source: ic_workloads::sources::feistel(192, 4),
                 fuel: 4_000_000,
+                meta: None,
             },
         ]
     }

@@ -145,12 +145,14 @@ mod tests {
                 kind: ic_workloads::Kind::AluBound,
                 source: ic_workloads::sources::crc32(256),
                 fuel: 5_000_000,
+                meta: None,
             },
             ic_workloads::Workload {
                 name: "spmv".into(),
                 kind: ic_workloads::Kind::PointerChasing,
                 source: ic_workloads::sources::spmv(256, 4, 3),
                 fuel: 5_000_000,
+                meta: None,
             },
         ]
     }

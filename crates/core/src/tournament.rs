@@ -282,18 +282,21 @@ mod tests {
                 kind: ic_workloads::Kind::AluBound,
                 source: ic_workloads::sources::crc32(160),
                 fuel: 4_000_000,
+                meta: None,
             },
             ic_workloads::Workload {
                 name: "feistel".into(),
                 kind: ic_workloads::Kind::AluBound,
                 source: ic_workloads::sources::feistel(160, 4),
                 fuel: 4_000_000,
+                meta: None,
             },
             ic_workloads::Workload {
                 name: "strsearch".into(),
                 kind: ic_workloads::Kind::Branchy,
                 source: ic_workloads::sources::strsearch(320),
                 fuel: 4_000_000,
+                meta: None,
             },
         ]
     }

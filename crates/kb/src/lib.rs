@@ -27,12 +27,27 @@ use std::sync::Arc;
 /// Version of the on-disk JSON schema. Bump on breaking changes.
 pub const SCHEMA_VERSION: u32 = 1;
 
+/// Suite provenance of a characterized program: generator family (or
+/// kernel name), seed, and size class. Lets clustering/meta-learning
+/// consumers stratify records by corpus structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteMetaRecord {
+    pub family: String,
+    pub seed: u64,
+    pub size_class: String,
+    pub generated: bool,
+}
+
 /// Static characterization of one program.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ProgramRecord {
     pub program: String,
     pub feature_names: Vec<String>,
     pub features: Vec<f64>,
+    /// Suite provenance, when the program came from the registry
+    /// (absent for ad-hoc sources; old records parse without it).
+    #[serde(default)]
+    pub suite: Option<SuiteMetaRecord>,
 }
 
 /// Measured characterization of one architecture (from microbenchmarks).
@@ -346,11 +361,13 @@ mod tests {
             program: "p".into(),
             feature_names: vec!["f".into()],
             features: vec![1.0],
+            suite: None,
         });
         kb.upsert_program(ProgramRecord {
             program: "p".into(),
             feature_names: vec!["f".into()],
             features: vec![2.0],
+            suite: None,
         });
         assert_eq!(kb.programs.len(), 1);
         assert_eq!(kb.programs[0].features[0], 2.0);
@@ -380,6 +397,7 @@ mod tests {
                 program: name.into(),
                 feature_names: vec!["f".into()],
                 features: vec![f],
+                suite: None,
             });
         }
         let near = kb.nearest_programs(&[0.9], "self");

@@ -309,6 +309,128 @@ fn div_by_zero_is_identical_and_names_the_function() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Generated-corpus slice: the suite generator's self-checking programs,
+// compiled by the real frontend, run through both engines.
+// ---------------------------------------------------------------------
+
+use ic_workloads::gen::{generate, Family, GenSpec, SizeClass};
+
+/// Run one generated spec through both engines on every machine config
+/// and assert bit-identity plus the generator's mirrored return value.
+fn check_generated(spec: &GenSpec) {
+    let g = generate(spec);
+    let m = ic_lang::compile(&spec.name(), &g.source)
+        .unwrap_or_else(|e| panic!("{spec:?}: {e}\n{}", g.source));
+    for pick in 0u8..3 {
+        let cfg = config(pick);
+        let legacy = run_legacy(&m, &cfg, g.fuel, u64::MAX);
+        let decoded = run_decoded(&m, &cfg, g.fuel, 977.min(g.fuel));
+        assert_eq!(legacy, decoded, "{spec:?} diverged on config {pick}");
+        assert_eq!(
+            decoded.outcome,
+            Ok(Some(g.expected as u64)),
+            "{spec:?} config {pick}: decoded engine disagrees with the generator's mirror"
+        );
+    }
+}
+
+/// Seed-pinned CI slice: one tiny program per family through both
+/// engines on all three machine configs.
+#[test]
+fn decoded_matches_legacy_on_generated_corpus_sample() {
+    for (family, seed) in Family::ALL.into_iter().zip([11u64, 23, 37, 58, 91]) {
+        check_generated(&GenSpec {
+            family,
+            seed,
+            size: SizeClass::Tiny,
+        });
+    }
+}
+
+/// The larger sweep behind `--ignored` (nightly CI): every family ×
+/// twenty seeds × tiny and small sizes.
+#[test]
+#[ignore = "nightly: run with --ignored"]
+fn decoded_matches_legacy_on_generated_corpus_full() {
+    for family in Family::ALL {
+        for seed in 0u64..20 {
+            for size in [SizeClass::Tiny, SizeClass::Small] {
+                check_generated(&GenSpec { family, seed, size });
+            }
+        }
+    }
+}
+
+/// Decode-cache eviction coverage: a byte budget small enough for only a
+/// couple of resident programs forces the LRU to evict while a round of
+/// generated programs cycles through twice. Every re-decoded program
+/// must still observe bit-identical results, and the stats must show the
+/// evictions actually happened.
+#[test]
+fn decode_cache_eviction_preserves_results() {
+    use ic_machine::{simulate_decoded, DecodeCache, DecodeCacheConfig};
+
+    let cfg = MachineConfig::test_tiny();
+    let specs: Vec<GenSpec> = Family::ALL
+        .into_iter()
+        .map(|family| GenSpec {
+            family,
+            seed: 5,
+            size: SizeClass::Tiny,
+        })
+        .collect();
+    let programs: Vec<(GenSpec, Module, i64, u64)> = specs
+        .iter()
+        .map(|s| {
+            let g = generate(s);
+            let m = ic_lang::compile(&s.name(), &g.source).unwrap();
+            (*s, m, g.expected, g.fuel)
+        })
+        .collect();
+
+    // Budget for roughly one decoded program: every switch evicts.
+    let one = DecodedProgram::decode(&programs[0].1, &cfg);
+    let tiny_cache = DecodeCache::new(DecodeCacheConfig {
+        byte_budget: one.approx_bytes() + one.approx_bytes() / 2,
+    });
+    let roomy_cache = DecodeCache::new(DecodeCacheConfig::default());
+
+    let run = |cache: &DecodeCache, m: &Module, fuel: u64| {
+        let prog = cache.get_or_decode(m, &cfg);
+        simulate_decoded(&prog, &cfg, Memory::for_module(m), fuel)
+    };
+    for round in 0..2 {
+        for (spec, m, expected, fuel) in &programs {
+            let thrashed = run(&tiny_cache, m, *fuel).unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            let roomy = run(&roomy_cache, m, *fuel).unwrap();
+            assert_eq!(
+                thrashed.ret_i64(),
+                Some(*expected),
+                "{spec:?} round {round}: eviction changed the result"
+            );
+            assert_eq!(thrashed.ret_i64(), roomy.ret_i64(), "{spec:?}");
+            assert_eq!(thrashed.cycles(), roomy.cycles(), "{spec:?}");
+            assert_eq!(thrashed.mem.checksum(), roomy.mem.checksum(), "{spec:?}");
+        }
+    }
+
+    let thrashed_stats = tiny_cache.stats();
+    let roomy_stats = roomy_cache.stats();
+    assert!(
+        thrashed_stats.evictions > 0,
+        "tiny budget must evict: {thrashed_stats:?}"
+    );
+    assert_eq!(
+        roomy_stats.evictions, 0,
+        "default budget must hold the whole round: {roomy_stats:?}"
+    );
+    assert!(
+        roomy_stats.hits >= programs.len() as u64,
+        "second round must hit the roomy cache: {roomy_stats:?}"
+    );
+}
+
 /// The decoded engine honours the same step-slicing contract as the
 /// legacy one: any quantum schedule is bit-identical to one-shot.
 #[test]

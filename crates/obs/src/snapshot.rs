@@ -325,6 +325,44 @@ impl ServiceStats {
     }
 }
 
+/// The benchmark corpus a run executed against: suite composition (an
+/// instantaneous description, merged by max) plus cumulative fuzzing
+/// work (merged by addition).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Programs in the suite registry.
+    #[serde(default)]
+    pub programs: u64,
+    /// Hand-written kernels among them.
+    #[serde(default)]
+    pub hand_written: u64,
+    /// Generator-produced programs among them.
+    #[serde(default)]
+    pub generated: u64,
+    /// Distinct families/kernels represented.
+    #[serde(default)]
+    pub families: u64,
+    /// Static -O0 instructions across the generated programs.
+    #[serde(default)]
+    pub generated_insts: u64,
+    /// Differential fuzz iterations executed (cumulative).
+    #[serde(default)]
+    pub fuzz_iterations: u64,
+}
+
+impl CorpusStats {
+    /// Fold `other` in: composition fields describe a corpus (max wins
+    /// when snapshots disagree), fuzz iterations accumulate.
+    pub fn merge(&mut self, other: &CorpusStats) {
+        self.programs = self.programs.max(other.programs);
+        self.hand_written = self.hand_written.max(other.hand_written);
+        self.generated = self.generated.max(other.generated);
+        self.families = self.families.max(other.families);
+        self.generated_insts = self.generated_insts.max(other.generated_insts);
+        self.fuzz_iterations = self.fuzz_iterations.saturating_add(other.fuzz_iterations);
+    }
+}
+
 /// Aggregated scoped-timer observations for one named span.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SpanStats {
@@ -420,6 +458,10 @@ pub struct Snapshot {
     /// Daemon request accounting (zeroed for local `icc` runs).
     #[serde(default)]
     pub service: ServiceStats,
+    /// The benchmark corpus the run executed against (zeroed when no
+    /// suite was involved).
+    #[serde(default)]
+    pub corpus: CorpusStats,
     /// Named monotonic counters, sorted by name.
     #[serde(default)]
     pub counters: Vec<(String, u64)>,
@@ -446,6 +488,7 @@ impl Default for Snapshot {
             compile_cache: CompileCacheStats::default(),
             sim: SimStats::default(),
             service: ServiceStats::default(),
+            corpus: CorpusStats::default(),
             counters: Vec::new(),
             gauges: Vec::new(),
             spans: Vec::new(),
@@ -551,6 +594,7 @@ impl Snapshot {
         self.compile_cache.merge(&other.compile_cache);
         self.sim.merge(&other.sim);
         self.service.merge(&other.service);
+        self.corpus.merge(&other.corpus);
         merge_sorted_by_key(&mut self.counters, &other.counters, |c| &c.0, combine_count);
         merge_sorted_by_key(&mut self.gauges, &other.gauges, |g| &g.0, combine_gauge);
         merge_sorted_by_key(&mut self.spans, &other.spans, |s| &s.name, combine_span);
@@ -697,6 +741,32 @@ mod tests {
         // Old snapshots without a `sim` block still parse.
         let old = Snapshot::from_json("{}").expect("parses");
         assert_eq!(old.sim, SimStats::default());
+    }
+
+    #[test]
+    fn corpus_stats_merge_semantics() {
+        let mut a = CorpusStats {
+            programs: 65,
+            hand_written: 20,
+            generated: 45,
+            families: 25,
+            generated_insts: 9000,
+            fuzz_iterations: 10,
+        };
+        let b = CorpusStats {
+            programs: 16,
+            hand_written: 16,
+            generated: 0,
+            families: 16,
+            generated_insts: 0,
+            fuzz_iterations: 5,
+        };
+        a.merge(&b);
+        assert_eq!(a.programs, 65, "composition merges by max");
+        assert_eq!(a.fuzz_iterations, 15, "fuzz work accumulates");
+        // Old snapshots without a corpus block still parse.
+        let old = Snapshot::from_json("{}").expect("parses");
+        assert_eq!(old.corpus, CorpusStats::default());
     }
 
     #[test]

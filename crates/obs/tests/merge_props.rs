@@ -9,7 +9,8 @@
 //! anywhere) before landing in a field.
 
 use ic_obs::{
-    CompileCacheStats, EvalCacheStats, HistogramStats, PassStats, ServiceStats, Snapshot, SpanStats,
+    CompileCacheStats, CorpusStats, EvalCacheStats, HistogramStats, PassStats, ServiceStats,
+    Snapshot, SpanStats,
 };
 use proptest::prelude::*;
 
@@ -28,7 +29,7 @@ fn classify(raw: u64) -> u64 {
 }
 
 /// Words consumed per snapshot by [`build_snapshot`].
-const WORDS: usize = 48;
+const WORDS: usize = 54;
 
 /// Deterministically assemble a canonicalized snapshot from raw words.
 fn build_snapshot(raw: &[u64]) -> Snapshot {
@@ -95,6 +96,16 @@ fn build_snapshot(raw: &[u64]) -> Snapshot {
             insts_out: w(47 + 2 * k),
         })
         .collect();
+    // Corpus: composition merges by max, fuzz iterations saturate-add —
+    // both commutative and associative, so the same laws must hold.
+    s.corpus = CorpusStats {
+        programs: w(48),
+        hand_written: w(49),
+        generated: w(50),
+        families: w(51),
+        generated_insts: w(52),
+        fuzz_iterations: w(53),
+    };
     s.canonicalize();
     s
 }
@@ -176,6 +187,11 @@ proptest! {
                 >= a.service.requests_rejected.max(b.service.requests_rejected)
         );
         prop_assert!(merged.service.uptime_ms >= a.service.uptime_ms.max(b.service.uptime_ms));
+        prop_assert!(merged.corpus.programs >= a.corpus.programs.max(b.corpus.programs));
+        prop_assert!(
+            merged.corpus.fuzz_iterations
+                >= a.corpus.fuzz_iterations.max(b.corpus.fuzz_iterations)
+        );
         for (cname, v) in &a.counters {
             let found = merged.counters.iter().find(|(n, _)| n == cname);
             prop_assert!(found.is_some_and(|(_, m)| m >= v), "counter {} shrank", cname);

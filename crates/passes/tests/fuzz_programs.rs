@@ -1,197 +1,18 @@
-//! Differential fuzzing with *generated* programs: a seeded generator
-//! emits random (but always valid and terminating) MinC programs; every
-//! optimization sequence must preserve their behaviour exactly.
+//! Differential fuzzing of the pass pipeline over the *suite generator's*
+//! corpus: `ic_workloads::gen` emits seeded, self-checking MinC programs
+//! (five kernel families, any seed, tiny size), and every optimization
+//! sequence must preserve their behaviour exactly — both the full
+//! `(return value, memory checksum)` bit-identity against the -O0 build,
+//! and the generator's independently computed expected return value.
 //!
 //! This complements `differential.rs` (hand-picked kernels) with breadth:
-//! thousands of odd expression/control-flow shapes no human would write.
+//! the same families the 65-program registry is built from, at arbitrary
+//! seeds the registry never pinned.
 
 use ic_machine::{simulate_default, MachineConfig};
 use ic_passes::{apply_sequence, Opt};
+use ic_workloads::gen::{generate, Family, GenSpec, SizeClass};
 use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
-/// Generate a random, always-terminating MinC program.
-///
-/// Guarantees by construction:
-/// * loops are bounded `for` loops with literal bounds;
-/// * division/remainder only by non-zero literals;
-/// * every variable is initialized at declaration;
-/// * array indices are arbitrary ints (the IR wraps them safely).
-struct Gen {
-    rng: SmallRng,
-    vars: Vec<String>,
-    /// Names of live loop induction variables — never assignment targets,
-    /// or loops could be reset into non-termination.
-    loop_vars: Vec<String>,
-    next_var: usize,
-    depth: usize,
-}
-
-impl Gen {
-    fn new(seed: u64) -> Self {
-        Gen {
-            rng: SmallRng::seed_from_u64(seed),
-            vars: Vec::new(),
-            loop_vars: Vec::new(),
-            next_var: 0,
-            depth: 0,
-        }
-    }
-
-    fn expr(&mut self, depth: usize) -> String {
-        if depth == 0 || self.rng.gen_bool(0.3) {
-            // Leaf.
-            match self.rng.gen_range(0..3) {
-                0 if !self.vars.is_empty() => {
-                    let i = self.rng.gen_range(0..self.vars.len());
-                    self.vars[i].clone()
-                }
-                1 => format!("ga[{}]", self.small_expr()),
-                _ => format!("{}", self.rng.gen_range(-50i64..50)),
-            }
-        } else {
-            let a = self.expr(depth - 1);
-            let b = self.expr(depth - 1);
-            match self.rng.gen_range(0..10) {
-                0 => format!("({a} + {b})"),
-                1 => format!("({a} - {b})"),
-                2 => format!("({a} * {b})"),
-                3 => format!("({a} / {})", self.rng.gen_range(1..9)),
-                4 => format!("({a} % {})", self.rng.gen_range(1..17)),
-                5 => format!("({a} & {b})"),
-                6 => format!("({a} ^ {b})"),
-                7 => format!("({a} << {})", self.rng.gen_range(0..6)),
-                8 => format!("({a} < {b})"),
-                _ => format!("({a} | {b})"),
-            }
-        }
-    }
-
-    fn small_expr(&mut self) -> String {
-        if !self.vars.is_empty() && self.rng.gen_bool(0.5) {
-            let i = self.rng.gen_range(0..self.vars.len());
-            self.vars[i].clone()
-        } else {
-            format!("{}", self.rng.gen_range(0..32))
-        }
-    }
-
-    fn fresh(&mut self) -> String {
-        let v = format!("v{}", self.next_var);
-        self.next_var += 1;
-        v
-    }
-
-    fn stmt(&mut self, out: &mut String, indent: usize) {
-        let pad = "    ".repeat(indent);
-        let choice = self.rng.gen_range(0..10);
-        match choice {
-            0 | 1 => {
-                // declaration
-                let e = self.expr(2);
-                let v = self.fresh();
-                out.push_str(&format!("{pad}int {v} = {e};\n"));
-                self.vars.push(v);
-            }
-            2 | 3 => {
-                let targets: Vec<&String> = self
-                    .vars
-                    .iter()
-                    .filter(|v| !self.loop_vars.contains(v))
-                    .collect();
-                if targets.is_empty() {
-                    let e = self.expr(2);
-                    let v = self.fresh();
-                    out.push_str(&format!("{pad}int {v} = {e};\n"));
-                    self.vars.push(v);
-                } else {
-                    let v = targets[self.rng.gen_range(0..targets.len())].clone();
-                    let e = self.expr(2);
-                    out.push_str(&format!("{pad}{v} = {e};\n"));
-                }
-            }
-            4 => {
-                let idx = self.small_expr();
-                let e = self.expr(2);
-                out.push_str(&format!("{pad}ga[{idx}] = {e};\n"));
-            }
-            5 | 6 if self.depth < 2 => {
-                // bounded for loop
-                let v = self.fresh();
-                let bound = self.rng.gen_range(2..16);
-                let step = self.rng.gen_range(1..4);
-                out.push_str(&format!(
-                    "{pad}for (int {v} = 0; {v} < {bound}; {v} = {v} + {step}) {{\n"
-                ));
-                let saved = self.vars.len();
-                self.vars.push(v.clone());
-                self.loop_vars.push(v);
-                self.depth += 1;
-                let n = self.rng.gen_range(1..3);
-                for _ in 0..n {
-                    self.stmt(out, indent + 1);
-                }
-                self.depth -= 1;
-                self.loop_vars.pop();
-                // The loop variable and any body-scoped declarations go
-                // out of scope at the closing brace.
-                self.vars.truncate(saved);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            7 | 8 => {
-                // if / else
-                let c = self.expr(1);
-                out.push_str(&format!("{pad}if (({c}) & 1) {{\n"));
-                let saved = self.vars.len();
-                self.stmt(out, indent + 1);
-                self.vars.truncate(saved);
-                out.push_str(&format!("{pad}}} else {{\n"));
-                self.stmt(out, indent + 1);
-                self.vars.truncate(saved);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            _ => {
-                // call the helper
-                let a = self.small_expr();
-                let b = self.small_expr();
-                let v = self.fresh();
-                out.push_str(&format!("{pad}int {v} = mix({a}, {b});\n"));
-                self.vars.push(v);
-            }
-        }
-    }
-
-    fn program(&mut self) -> String {
-        let mut body = String::new();
-        let n = self.rng.gen_range(4..10);
-        for _ in 0..n {
-            self.stmt(&mut body, 1);
-        }
-        // Checksum everything observable.
-        let sum_vars = if self.vars.is_empty() {
-            "0".to_string()
-        } else {
-            self.vars.join(" + ")
-        };
-        format!(
-            "int ga[32];
-int mix(int x, int y) {{
-    int r = x * 31 + y;
-    if (r < 0) r = -r;
-    return r % 65536;
-}}
-int main() {{
-{body}
-    int check = {sum_vars};
-    for (int gi = 0; gi < 32; gi = gi + 1) {{
-        check = (check * 31 + ga[gi]) % 1000000007;
-    }}
-    return check;
-}}"
-        )
-    }
-}
 
 fn behaviour(m: &ic_ir::Module) -> (Option<i64>, u64) {
     let r = simulate_default(m, &MachineConfig::test_tiny(), 20_000_000).expect("terminates");
@@ -199,47 +20,91 @@ fn behaviour(m: &ic_ir::Module) -> (Option<i64>, u64) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
 
     #[test]
     fn generated_programs_survive_random_sequences(
-        prog_seed in 0u64..1_000_000,
+        family in prop::sample::select(Family::ALL.to_vec()),
+        seed in 0u64..1_000_000,
         seq in prop::collection::vec(prop::sample::select(Opt::ALL.to_vec()), 1..=6),
     ) {
-        let src = Gen::new(prog_seed).program();
-        let m0 = ic_lang::compile("fuzz", &src)
-            .unwrap_or_else(|e| panic!("generator produced invalid MinC (seed {prog_seed}): {e}\n{src}"));
+        let spec = GenSpec { family, seed, size: SizeClass::Tiny };
+        let g = generate(&spec);
+        let m0 = ic_lang::compile(&spec.name(), &g.source)
+            .unwrap_or_else(|e| panic!("generator produced invalid MinC ({spec:?}): {e}\n{}", g.source));
         let base = behaviour(&m0);
+        // The -O0 run must already agree with the generator's Rust
+        // mirror — otherwise the divergence is in the frontend or
+        // simulator, not the passes.
+        prop_assert_eq!(
+            base.0, Some(g.expected),
+            "-O0 disagrees with the mirror for {:?}", spec
+        );
 
         let mut m1 = m0.clone();
         apply_sequence(&mut m1, &seq);
         ic_ir::verify::verify_module(&m1).expect("valid after passes");
         prop_assert_eq!(
             base, behaviour(&m1),
-            "seed {} diverged under {:?}\n{}", prog_seed, seq, src
+            "{:?} diverged under {:?}\n{}", spec, seq, g.source
         );
     }
 }
 
 #[test]
-fn generator_is_deterministic_and_diverse() {
-    let a = Gen::new(7).program();
-    let b = Gen::new(7).program();
-    let c = Gen::new(8).program();
-    assert_eq!(a, b);
-    assert_ne!(a, c);
-}
-
-#[test]
 fn ofast_on_a_generated_corpus() {
-    // A quick fixed corpus sweep with the full pipeline (heavier than the
-    // proptest cases, so fewer of them).
-    for seed in [1u64, 17, 99, 4242, 31337] {
-        let src = Gen::new(seed).program();
-        let m0 = ic_lang::compile("fuzz", &src).unwrap();
+    // A fixed corpus sweep with the full -Ofast pipeline (heavier than
+    // the proptest cases, so fewer of them): one seed per family.
+    for (family, seed) in Family::ALL.into_iter().zip([1u64, 17, 99, 4242, 31337]) {
+        let spec = GenSpec {
+            family,
+            seed,
+            size: SizeClass::Tiny,
+        };
+        let g = generate(&spec);
+        let m0 = ic_lang::compile(&spec.name(), &g.source).unwrap();
         let base = behaviour(&m0);
+        assert_eq!(base.0, Some(g.expected), "{spec:?}");
         let mut m1 = m0.clone();
         apply_sequence(&mut m1, &ic_passes::ofast_sequence());
-        assert_eq!(base, behaviour(&m1), "seed {seed}\n{src}");
+        assert_eq!(base, behaviour(&m1), "{spec:?}\n{}", g.source);
     }
+}
+
+/// Regression promoted from `fuzz_programs.proptest-regressions`: the
+/// previous ad-hoc generator's seed 637050 shrank to a `[ConstProp]`
+/// divergence (constant-folding a negative shift amount). The program is
+/// embedded verbatim so the case survives the generator's retirement.
+#[test]
+fn regression_constprop_on_seed_637050_program() {
+    const SRC: &str = "int ga[32];
+int mix(int x, int y) {
+    int r = x * 31 + y;
+    if (r < 0) r = -r;
+    return r % 65536;
+}
+int main() {
+    int v0 = ga[21];
+    if ((-13) & 1) {
+        v0 = ((v0 | 48) % 9);
+    } else {
+        for (int v1 = 0; v1 < 11; v1 = v1 + 2) {
+            v0 = ((ga[26] | -37) << 1);
+        }
+    }
+    int v2 = (ga[6] << 1);
+    int v3 = ga[v0];
+
+    int check = v0 + v2 + v3;
+    for (int gi = 0; gi < 32; gi = gi + 1) {
+        check = (check * 31 + ga[gi]) % 1000000007;
+    }
+    return check;
+}";
+    let m0 = ic_lang::compile("regression_637050", SRC).unwrap();
+    let base = behaviour(&m0);
+    let mut m1 = m0.clone();
+    apply_sequence(&mut m1, &[Opt::ConstProp]);
+    ic_ir::verify::verify_module(&m1).expect("valid after passes");
+    assert_eq!(base, behaviour(&m1), "ConstProp diverged");
 }

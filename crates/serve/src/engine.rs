@@ -136,6 +136,7 @@ impl Engine {
             kind: Kind::AluBound,
             source: ctx.source.clone(),
             fuel: ctx.fuel,
+            meta: None,
         };
         let space = Arc::new(SequenceSpace::paper());
         let profiler = cfg.profile_passes.then(ic_passes::profiler);
@@ -213,6 +214,7 @@ impl EnginePool {
                 kind: Kind::AluBound,
                 source: ctx.source.clone(),
                 fuel: ctx.fuel,
+                meta: None,
             };
             context_fingerprint(&probe, &config)
         };

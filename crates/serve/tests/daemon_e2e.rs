@@ -82,6 +82,7 @@ fn local_reference() -> (Vec<String>, f64, Vec<f64>) {
         kind: Kind::AluBound,
         source: SOURCE.into(),
         fuel: FUEL,
+        meta: None,
     };
     let config = ic_machine::MachineConfig::vliw_c6713_like();
     let space = SequenceSpace::paper();

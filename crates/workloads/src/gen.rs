@@ -1,0 +1,708 @@
+//! # Seeded MinC workload generator
+//!
+//! Five parameterized kernel families — stencils, hash joins, sorts,
+//! sparse pointer-chasing traversals, and reductions — each emitted as a
+//! complete, self-initializing MinC program whose **return value is
+//! computed twice**: once by the compiled program on the simulator, and
+//! once by a pure-Rust mirror in this module that never touches the
+//! compiler under test. The mirror's value is the [`Generated::expected`]
+//! self-check: any optimization sequence, simulator rewrite, or cache
+//! layer that changes the program's result is a detected miscompile, with
+//! no hand-curated golden file required.
+//!
+//! ## Seeding discipline
+//!
+//! Everything is a pure function of a [`GenSpec`] `(family, seed, size)`:
+//!
+//! * **shape parameters** (stencil radius and tap weights, hash
+//!   multiplier, sort algorithm variant, traversal length, reduction op
+//!   chain) come from a private splitmix64 stream seeded from the spec —
+//!   no `rand` dependency, so the byte stream can never drift under a
+//!   crate upgrade;
+//! * **program inputs** come from the same embedded 31-bit LCG every
+//!   hand-written kernel uses (`sources::lcg`), seeded from `spec.seed`,
+//!   so inputs are regenerated inside the program at run time;
+//! * the Rust mirror replays both streams with identical arithmetic
+//!   (MinC `int` is a wrapping `i64`; `/`, `%`, and `>>` follow Rust
+//!   `i64` semantics, which the mirror uses directly).
+//!
+//! Regenerating a spec is therefore byte-identical across runs, machines,
+//! and — because nothing external is consulted — compiler versions; the
+//! suite registry test pins a digest over the whole corpus to keep it
+//! that way.
+
+use crate::Kind;
+
+/// The checksum modulus every generated program folds its result into.
+const MOD: i64 = 1_000_000_007;
+
+/// A generated-kernel family. Families are behavioural axes, mirroring
+/// the hand-written suite's [`Kind`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Weighted 1-D neighbourhood sweeps over an int grid (memory
+    /// streaming, unroll/schedule-friendly inner loops).
+    Stencil,
+    /// Open-addressed hash build + probe join (data-dependent branches,
+    /// short probe loops).
+    HashJoin,
+    /// Quadratic sorts — insertion, selection, or odd-even transposition
+    /// chosen per seed (compare/swap heavy, branchy).
+    Sort,
+    /// Pointer chasing along a seeded random permutation held in `ptr`
+    /// arrays (serialized loads, `ptr-compress` fodder).
+    Sparse,
+    /// Map-reduce with a random chain of masked ALU ops per element
+    /// (pure integer ALU, CSE/strength-reduction fodder).
+    Reduction,
+}
+
+impl Family {
+    /// Every family, in registry order.
+    pub const ALL: [Family; 5] = [
+        Family::Stencil,
+        Family::HashJoin,
+        Family::Sort,
+        Family::Sparse,
+        Family::Reduction,
+    ];
+
+    /// Stable lowercase name (used in program names and kb metadata).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Stencil => "stencil",
+            Family::HashJoin => "hashjoin",
+            Family::Sort => "sort",
+            Family::Sparse => "sparse",
+            Family::Reduction => "reduction",
+        }
+    }
+
+    /// The behavioural class generated programs of this family report.
+    pub fn kind(&self) -> Kind {
+        match self {
+            Family::Stencil => Kind::MemoryStreaming,
+            Family::HashJoin => Kind::Branchy,
+            Family::Sort => Kind::Branchy,
+            Family::Sparse => Kind::PointerChasing,
+            Family::Reduction => Kind::AluBound,
+        }
+    }
+}
+
+/// How big a generated program's working set and trip counts are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Fuzzing scale: a run is tens of thousands of simulated
+    /// instructions, cheap enough for thousands of differential cases.
+    Tiny,
+    /// Suite scale for fast experiments.
+    Small,
+    /// Suite scale with cache-visible footprints.
+    Medium,
+}
+
+impl SizeClass {
+    /// Every size class, smallest first.
+    pub const ALL: [SizeClass; 3] = [SizeClass::Tiny, SizeClass::Small, SizeClass::Medium];
+
+    /// Stable lowercase name (used in kb metadata).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SizeClass::Tiny => "tiny",
+            SizeClass::Small => "small",
+            SizeClass::Medium => "medium",
+        }
+    }
+}
+
+/// The full identity of one generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GenSpec {
+    pub family: Family,
+    pub seed: u64,
+    pub size: SizeClass,
+}
+
+impl GenSpec {
+    /// Stable program name, e.g. `gen_stencil_m03`.
+    pub fn name(&self) -> String {
+        let s = match self.size {
+            SizeClass::Tiny => 't',
+            SizeClass::Small => 's',
+            SizeClass::Medium => 'm',
+        };
+        format!("gen_{}_{}{:02}", self.family.name(), s, self.seed)
+    }
+}
+
+/// One generated program: MinC source, an instruction budget generous
+/// enough for its -O0 build, and the independently computed self-check.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    pub spec: GenSpec,
+    pub source: String,
+    pub fuel: u64,
+    /// The return value the program must produce, computed by the Rust
+    /// mirror — never by the compiler or simulator under test.
+    pub expected: i64,
+}
+
+/// Splitmix64: the shape-parameter stream. Self-contained so generated
+/// sources can never drift under a dependency upgrade.
+struct Shape(u64);
+
+impl Shape {
+    fn new(spec: &GenSpec) -> Shape {
+        let tag = (spec.family as u64) << 8 | spec.size as u64;
+        Shape(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag ^ 0x5851_F42D_4C95_7F2D)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `lo..=hi`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// The embedded program LCG, mirrored exactly: 31-bit state,
+/// `x = (x * 1103515245 + 12345) % 2147483648`, values in `[0, 2^31)`.
+struct Lcg(i64);
+
+impl Lcg {
+    fn new(seed: u64) -> Lcg {
+        Lcg((seed % 2147483647) as i64)
+    }
+
+    fn next(&mut self) -> i64 {
+        self.0 = (self.0 * 1103515245 + 12345) % 2147483648;
+        self.0
+    }
+}
+
+/// Fold `v` into the running checksum the way every generated program
+/// does: `sum = (sum * 31 + v) % MOD` (all values kept non-negative).
+fn fold(sum: i64, v: i64) -> i64 {
+    (sum.wrapping_mul(31).wrapping_add(v)).rem_euclid(MOD)
+}
+
+/// Map a zero checksum to 1, as every program does (a zero return reads
+/// as a degenerate run in the suite tests).
+fn nonzero(sum: i64) -> i64 {
+    if sum == 0 {
+        1
+    } else {
+        sum
+    }
+}
+
+/// Generate the program for `spec`: MinC source, fuel, and the mirrored
+/// expected return value.
+pub fn generate(spec: &GenSpec) -> Generated {
+    let mut shape = Shape::new(spec);
+    let (source, expected, units) = match spec.family {
+        Family::Stencil => gen_stencil(spec, &mut shape),
+        Family::HashJoin => gen_hashjoin(spec, &mut shape),
+        Family::Sort => gen_sort(spec, &mut shape),
+        Family::Sparse => gen_sparse(spec, &mut shape),
+        Family::Reduction => gen_reduction(spec, &mut shape),
+    };
+    Generated {
+        spec: *spec,
+        source,
+        // ~40 simulated instructions per abstract work unit is far above
+        // what any family's -O0 build needs; the registry test holds every
+        // program to its budget.
+        fuel: 500_000 + units * 40,
+        expected,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Family: Stencil
+// ---------------------------------------------------------------------
+
+fn gen_stencil(spec: &GenSpec, shape: &mut Shape) -> (String, i64, u64) {
+    let n: usize = match spec.size {
+        SizeClass::Tiny => 96,
+        SizeClass::Small => 512,
+        SizeClass::Medium => 1536,
+    };
+    let r = shape.range(1, 3) as i64;
+    let iters = shape.range(2, 4) as i64;
+    let weights: Vec<i64> = (0..2 * r + 1).map(|_| shape.range(1, 9) as i64).collect();
+
+    // Tap expressions, e.g. `a[i - 1] * 4`.
+    let taps: String = weights
+        .iter()
+        .enumerate()
+        .map(|(k, w)| {
+            let d = k as i64 - r;
+            let idx = match d.cmp(&0) {
+                std::cmp::Ordering::Less => format!("i - {}", -d),
+                std::cmp::Ordering::Equal => "i".to_string(),
+                std::cmp::Ordering::Greater => format!("i + {d}"),
+            };
+            format!("                acc = acc + a[{idx}] * {w};\n")
+        })
+        .collect();
+
+    let source = format!(
+        "{lcg}
+        int a[{n}];
+        int b[{n}];
+
+        int main() {{
+            rng_state[0] = {seed};
+            for (int i = 0; i < {n}; i = i + 1) a[i] = next_rand() % 1024;
+            for (int t = 0; t < {iters}; t = t + 1) {{
+                for (int i = {r}; i < {n} - {r}; i = i + 1) {{
+                    int acc = 0;
+{taps}                    b[i] = acc % 65536;
+                }}
+                for (int i = {r}; i < {n} - {r}; i = i + 1) a[i] = b[i];
+            }}
+            int sum = 0;
+            for (int i = 0; i < {n}; i = i + 1) sum = (sum * 31 + a[i]) % {MOD};
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = crate::sources::lcg(),
+        seed = spec.seed % 2147483647,
+    );
+
+    // Mirror.
+    let mut lcg = Lcg::new(spec.seed);
+    let mut a: Vec<i64> = (0..n).map(|_| lcg.next() % 1024).collect();
+    let mut b = vec![0i64; n];
+    let r = r as usize;
+    for _ in 0..iters {
+        for i in r..n - r {
+            let mut acc = 0i64;
+            for (k, w) in weights.iter().enumerate() {
+                acc += a[i + k - r] * w;
+            }
+            b[i] = acc % 65536;
+        }
+        a[r..n - r].copy_from_slice(&b[r..n - r]);
+    }
+    let expected = nonzero(a.iter().fold(0i64, |s, &v| fold(s, v)));
+    let units = (n as u64) * (iters as u64) * (2 * r as u64 + 4) + n as u64 * 2;
+    (source, expected, units)
+}
+
+// ---------------------------------------------------------------------
+// Family: HashJoin
+// ---------------------------------------------------------------------
+
+fn gen_hashjoin(spec: &GenSpec, shape: &mut Shape) -> (String, i64, u64) {
+    let t: i64 = match spec.size {
+        SizeClass::Tiny => 128,
+        SizeClass::Small => 512,
+        SizeClass::Medium => 2048,
+    };
+    let nkeys = t / 2;
+    let nprobes = t * 2;
+    let mult = (shape.range(1, 1 << 20) * 2 + 1) as i64;
+
+    let source = format!(
+        "{lcg}
+        int keys[{t}];
+        int vals[{t}];
+
+        int main() {{
+            rng_state[0] = {seed};
+            for (int k = 0; k < {nkeys}; k = k + 1) {{
+                int key = next_rand() % 999983 + 1;
+                int h = (key * {mult}) % {t};
+                for (int p = 0; p < {t}; p = p + 1) {{
+                    int idx = (h + p) % {t};
+                    if (keys[idx] == 0) {{
+                        keys[idx] = key;
+                        vals[idx] = (key * 7 + k) % 9973;
+                        break;
+                    }}
+                    if (keys[idx] == key) break;
+                }}
+            }}
+            int acc = 0;
+            int misses = 0;
+            for (int q = 0; q < {nprobes}; q = q + 1) {{
+                int key = next_rand() % 999983 + 1;
+                int h = (key * {mult}) % {t};
+                for (int p = 0; p < {t}; p = p + 1) {{
+                    int idx = (h + p) % {t};
+                    if (keys[idx] == 0) {{
+                        misses = misses + 1;
+                        break;
+                    }}
+                    if (keys[idx] == key) {{
+                        acc = (acc + vals[idx]) % {MOD};
+                        break;
+                    }}
+                }}
+            }}
+            int sum = (acc + misses * 2654435) % {MOD};
+            for (int i = 0; i < {t}; i = i + 1) sum = (sum * 31 + keys[i]) % {MOD};
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = crate::sources::lcg(),
+        seed = spec.seed % 2147483647,
+    );
+
+    // Mirror.
+    let tu = t as usize;
+    let mut lcg = Lcg::new(spec.seed);
+    let mut keys = vec![0i64; tu];
+    let mut vals = vec![0i64; tu];
+    for k in 0..nkeys {
+        let key = lcg.next() % 999983 + 1;
+        let h = (key * mult) % t;
+        for p in 0..t {
+            let idx = ((h + p) % t) as usize;
+            if keys[idx] == 0 {
+                keys[idx] = key;
+                vals[idx] = (key * 7 + k) % 9973;
+                break;
+            }
+            if keys[idx] == key {
+                break;
+            }
+        }
+    }
+    let mut acc = 0i64;
+    let mut misses = 0i64;
+    for _ in 0..nprobes {
+        let key = lcg.next() % 999983 + 1;
+        let h = (key * mult) % t;
+        for p in 0..t {
+            let idx = ((h + p) % t) as usize;
+            if keys[idx] == 0 {
+                misses += 1;
+                break;
+            }
+            if keys[idx] == key {
+                acc = (acc + vals[idx]) % MOD;
+                break;
+            }
+        }
+    }
+    let mut sum = (acc + misses * 2654435) % MOD;
+    for &k in &keys {
+        sum = fold(sum, k);
+    }
+    let expected = nonzero(sum);
+    // Probes are short at load factor 0.5 but budget for long clusters.
+    let units = (nkeys + nprobes) as u64 * 24 + t as u64 * 2;
+    (source, expected, units)
+}
+
+// ---------------------------------------------------------------------
+// Family: Sort
+// ---------------------------------------------------------------------
+
+fn gen_sort(spec: &GenSpec, shape: &mut Shape) -> (String, i64, u64) {
+    let n: i64 = match spec.size {
+        SizeClass::Tiny => 48,
+        SizeClass::Small => 160,
+        SizeClass::Medium => 384,
+    };
+    let variant = shape.range(0, 2);
+
+    let sort_body = match variant {
+        0 => format!(
+            "for (int i = 1; i < {n}; i = i + 1) {{
+                int v = arr[i];
+                int j = i - 1;
+                while (j >= 0 && arr[j] > v) {{
+                    arr[j + 1] = arr[j];
+                    j = j - 1;
+                }}
+                arr[j + 1] = v;
+            }}"
+        ),
+        1 => format!(
+            "for (int i = 0; i < {n} - 1; i = i + 1) {{
+                int m = i;
+                for (int j = i + 1; j < {n}; j = j + 1) {{
+                    if (arr[j] < arr[m]) m = j;
+                }}
+                int t = arr[i];
+                arr[i] = arr[m];
+                arr[m] = t;
+            }}"
+        ),
+        _ => format!(
+            "for (int pass = 0; pass < {n}; pass = pass + 1) {{
+                for (int i = pass % 2; i + 1 < {n}; i = i + 2) {{
+                    if (arr[i] > arr[i + 1]) {{
+                        int t = arr[i];
+                        arr[i] = arr[i + 1];
+                        arr[i + 1] = t;
+                    }}
+                }}
+            }}"
+        ),
+    };
+
+    let source = format!(
+        "{lcg}
+        int arr[{n}];
+
+        int main() {{
+            rng_state[0] = {seed};
+            for (int i = 0; i < {n}; i = i + 1) arr[i] = next_rand() % 100000;
+            {sort_body}
+            int bad = 0;
+            for (int i = 1; i < {n}; i = i + 1) {{
+                if (arr[i - 1] > arr[i]) bad = bad + 1;
+            }}
+            if (bad > 0) return -bad;
+            int sum = 0;
+            for (int i = 0; i < {n}; i = i + 1) sum = (sum + arr[i] * (i % 9 + 1)) % {MOD};
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = crate::sources::lcg(),
+        seed = spec.seed % 2147483647,
+    );
+
+    // Mirror: the sorted order is algorithm-independent, so sort the same
+    // multiset and fold the same weighted checksum.
+    let mut lcg = Lcg::new(spec.seed);
+    let mut arr: Vec<i64> = (0..n).map(|_| lcg.next() % 100000).collect();
+    arr.sort_unstable();
+    let mut sum = 0i64;
+    for (i, &v) in arr.iter().enumerate() {
+        sum = (sum + v * (i as i64 % 9 + 1)) % MOD;
+    }
+    let expected = nonzero(sum);
+    let units = (n as u64) * (n as u64) / 2 * 6 + n as u64 * 4;
+    (source, expected, units)
+}
+
+// ---------------------------------------------------------------------
+// Family: Sparse (pointer-chasing traversal)
+// ---------------------------------------------------------------------
+
+fn gen_sparse(spec: &GenSpec, shape: &mut Shape) -> (String, i64, u64) {
+    let n: i64 = match spec.size {
+        SizeClass::Tiny => 128,
+        SizeClass::Small => 768,
+        SizeClass::Medium => 3072,
+    };
+    let steps = n * shape.range(2, 4) as i64;
+
+    let source = format!(
+        "{lcg}
+        ptr nxt[{n}];
+        int data[{n}];
+
+        int main() {{
+            rng_state[0] = {seed};
+            for (int i = 0; i < {n}; i = i + 1) {{
+                nxt[i] = i;
+                data[i] = next_rand() % 65536;
+            }}
+            for (int i = {n} - 1; i > 0; i = i - 1) {{
+                int j = next_rand() % (i + 1);
+                int t = nxt[i];
+                nxt[i] = nxt[j];
+                nxt[j] = t;
+            }}
+            int cur = 0;
+            int acc = 0;
+            for (int s = 0; s < {steps}; s = s + 1) {{
+                acc = (acc * 3 + data[cur] + (cur & 7)) % {MOD};
+                cur = nxt[cur];
+            }}
+            if (acc == 0) acc = 1;
+            return acc;
+        }}",
+        lcg = crate::sources::lcg(),
+        seed = spec.seed % 2147483647,
+    );
+
+    // Mirror.
+    let nu = n as usize;
+    let mut lcg = Lcg::new(spec.seed);
+    let mut nxt: Vec<i64> = (0..n).collect();
+    let data: Vec<i64> = (0..n).map(|_| lcg.next() % 65536).collect();
+    for i in (1..nu).rev() {
+        let j = (lcg.next() % (i as i64 + 1)) as usize;
+        nxt.swap(i, j);
+    }
+    let mut cur = 0i64;
+    let mut acc = 0i64;
+    for _ in 0..steps {
+        acc = (acc * 3 + data[cur as usize] + (cur & 7)) % MOD;
+        cur = nxt[cur as usize];
+    }
+    let expected = nonzero(acc);
+    let units = steps as u64 * 8 + n as u64 * 8;
+    (source, expected, units)
+}
+
+// ---------------------------------------------------------------------
+// Family: Reduction
+// ---------------------------------------------------------------------
+
+fn gen_reduction(spec: &GenSpec, shape: &mut Shape) -> (String, i64, u64) {
+    let n: i64 = match spec.size {
+        SizeClass::Tiny => 384,
+        SizeClass::Small => 2048,
+        SizeClass::Medium => 6144,
+    };
+    let chain_len = shape.range(3, 6);
+
+    // Each op keeps `v` in [0, 2^32), so every intermediate product stays
+    // far inside i64 and the mirror needs no wrapping.
+    #[derive(Clone, Copy)]
+    enum Op {
+        XorShr(i64),
+        MulMask(i64),
+        AddShlMask(i64),
+        ShrPlusAnd(i64, i64),
+    }
+    let ops: Vec<Op> = (0..chain_len)
+        .map(|_| match shape.range(0, 3) {
+            0 => Op::XorShr(shape.range(1, 16) as i64),
+            1 => Op::MulMask((shape.range(1, 32) * 2 + 1) as i64),
+            2 => Op::AddShlMask(shape.range(1, 4) as i64),
+            _ => Op::ShrPlusAnd(
+                shape.range(1, 8) as i64,
+                ((1 << shape.range(4, 12)) - 1) as i64,
+            ),
+        })
+        .collect();
+
+    let chain: String = ops
+        .iter()
+        .map(|op| match op {
+            Op::XorShr(k) => format!("                v = v ^ (v >> {k});\n"),
+            Op::MulMask(c) => format!("                v = (v * {c}) & 4294967295;\n"),
+            Op::AddShlMask(k) => format!("                v = (v + (v << {k})) & 4294967295;\n"),
+            Op::ShrPlusAnd(k, m) => format!("                v = (v >> {k}) + (v & {m});\n"),
+        })
+        .collect();
+
+    let source = format!(
+        "{lcg}
+        int data[{n}];
+
+        int main() {{
+            rng_state[0] = {seed};
+            for (int i = 0; i < {n}; i = i + 1) data[i] = next_rand();
+            int acc = 0;
+            for (int i = 0; i < {n}; i = i + 1) {{
+                int v = data[i];
+{chain}                if (v & 1) acc = (acc + v) % {MOD};
+                else acc = acc ^ (v % 262144);
+            }}
+            acc = acc % {MOD};
+            if (acc == 0) acc = 1;
+            return acc;
+        }}",
+        lcg = crate::sources::lcg(),
+        seed = spec.seed % 2147483647,
+    );
+
+    // Mirror.
+    let mut lcg = Lcg::new(spec.seed);
+    let data: Vec<i64> = (0..n).map(|_| lcg.next()).collect();
+    let mut acc = 0i64;
+    for &d in &data {
+        let mut v = d;
+        for op in &ops {
+            v = match *op {
+                Op::XorShr(k) => v ^ (v >> k),
+                Op::MulMask(c) => (v * c) & 4294967295,
+                Op::AddShlMask(k) => (v + (v << k)) & 4294967295,
+                Op::ShrPlusAnd(k, m) => (v >> k) + (v & m),
+            };
+        }
+        if v & 1 == 1 {
+            acc = (acc + v) % MOD;
+        } else {
+            acc ^= v % 262144;
+        }
+    }
+    acc %= MOD;
+    let expected = nonzero(acc);
+    let units = n as u64 * (chain_len + 6) + n as u64 * 2;
+    (source, expected, units)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        for family in Family::ALL {
+            let spec = GenSpec {
+                family,
+                seed: 7,
+                size: SizeClass::Tiny,
+            };
+            let a = generate(&spec);
+            let b = generate(&spec);
+            assert_eq!(a.source, b.source, "{family:?} not deterministic");
+            assert_eq!(a.expected, b.expected);
+            let c = generate(&GenSpec { seed: 8, ..spec });
+            assert_ne!(a.source, c.source, "{family:?} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn sizes_scale_the_program() {
+        let tiny = generate(&GenSpec {
+            family: Family::Stencil,
+            seed: 1,
+            size: SizeClass::Tiny,
+        });
+        let medium = generate(&GenSpec {
+            family: Family::Stencil,
+            seed: 1,
+            size: SizeClass::Medium,
+        });
+        assert!(medium.source.contains("[1536]"));
+        assert!(tiny.source.contains("[96]"));
+        assert!(medium.fuel > tiny.fuel);
+    }
+
+    #[test]
+    fn every_family_compiles_at_every_size() {
+        for family in Family::ALL {
+            for size in SizeClass::ALL {
+                let spec = GenSpec {
+                    family,
+                    seed: 3,
+                    size,
+                };
+                let g = generate(&spec);
+                ic_lang::compile(&spec.name(), &g.source)
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{}", spec.name(), g.source));
+                assert!(g.expected != 0, "{}: degenerate expected", spec.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let spec = GenSpec {
+            family: Family::HashJoin,
+            seed: 12,
+            size: SizeClass::Medium,
+        };
+        assert_eq!(spec.name(), "gen_hashjoin_m12");
+    }
+}

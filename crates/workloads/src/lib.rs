@@ -3,16 +3,24 @@
 //! The paper's experiments use MiBench's `adpcm` (Fig. 2), SPEC's
 //! `181.mcf` (Fig. 3/4) and a large mixed population (SPECFP, SPECINT,
 //! MiBench, Polyhedron) as the normalization baseline. This crate is the
-//! substitute suite: sixteen kernels covering the same behavioural axes —
-//! ALU-bound, memory-streaming, pointer-chasing, branchy, floating-point,
-//! call-heavy — every one a self-contained MinC program compiled by
-//! `ic-lang` and executed on the `ic-machine` simulator.
+//! substitute suite: twenty hand-written kernels covering the same
+//! behavioural axes — ALU-bound, memory-streaming, pointer-chasing,
+//! branchy, floating-point, call-heavy — plus forty-five seeded programs
+//! from the [`gen`] generator (five families × nine seeds), every one a
+//! self-contained MinC program compiled by `ic-lang` and executed on the
+//! `ic-machine` simulator.
 //!
 //! Every program initializes its own input deterministically (an embedded
 //! LCG seeded from the workload's `seed` parameter), so a [`Workload`]
 //! fully determines behaviour: same source, same result, on every machine
-//! config — which the test-suite checks.
+//! config — which the test-suite checks. Generated programs additionally
+//! carry an `expected` return value computed by a pure-Rust mirror in
+//! [`gen`], making every suite run a miscompile check.
+//!
+//! The canonical list is [`registry`] / [`registry_scaled`]; [`suite`] is
+//! the workload-only view the experiment drivers consume.
 
+pub mod gen;
 pub mod sources;
 
 use ic_ir::Module;
@@ -29,6 +37,23 @@ pub enum Kind {
     CallHeavy,
 }
 
+/// Suite provenance carried by every registered workload: which family
+/// the program belongs to, the seed and size class it was built from,
+/// and whether it came from the [`gen`] generator or is hand-written.
+/// Flows into kb `ProgramRecord`s so clustering/meta-learning work can
+/// stratify by it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuiteMeta {
+    /// Generator family name (`stencil`, `hashjoin`, ...) for generated
+    /// programs; the kernel name for hand-written ones.
+    pub family: String,
+    pub seed: u64,
+    /// `tiny` / `small` / `medium` for generated programs; the registry
+    /// scale (`small` / `full`) for hand-written ones.
+    pub size_class: String,
+    pub generated: bool,
+}
+
 /// One benchmark: a name, MinC source, and an instruction budget
 /// generous enough for its -O0 build.
 #[derive(Debug, Clone)]
@@ -37,6 +62,9 @@ pub struct Workload {
     pub kind: Kind,
     pub source: String,
     pub fuel: u64,
+    /// Suite provenance; `None` for ad-hoc workloads built outside the
+    /// registry.
+    pub meta: Option<SuiteMeta>,
 }
 
 impl Workload {
@@ -46,6 +74,24 @@ impl Workload {
         ic_lang::compile(&self.name, &self.source)
             .unwrap_or_else(|e| panic!("workload {} failed to compile: {e}", self.name))
     }
+}
+
+/// One registry row: the workload plus, for generated programs, the
+/// self-check value its -O0 run must return (computed by the generator's
+/// Rust mirror, independent of the compiler under test).
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    pub workload: Workload,
+    pub expected: Option<i64>,
+}
+
+/// Registry scale: `Full` is the experiment-default sizes, `Small`
+/// shrinks everything so a -O0 run is milliseconds (the bench harness's
+/// `--scale small` and the fuzz harness both use it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteScale {
+    Full,
+    Small,
 }
 
 /// The `adpcm` stand-in (MiBench): IMA-ADPCM encode + decode over an LCG
@@ -61,6 +107,7 @@ pub fn adpcm_scaled(samples: usize, seed: u64) -> Workload {
         kind: Kind::Branchy,
         source: sources::adpcm(samples, seed),
         fuel: 3_000_000 + samples as u64 * 3_000,
+        meta: None,
     }
 }
 
@@ -82,76 +129,313 @@ pub fn mcf_scaled(nodes: usize, arcs: usize, iters: usize, seed: u64) -> Workloa
         kind: Kind::PointerChasing,
         source: sources::mcf(nodes, arcs, iters, seed),
         fuel: 10_000_000 + (arcs * iters) as u64 * 200 + nodes as u64 * 100,
+        meta: None,
     }
 }
 
-/// The full mixed suite (adpcm + mcf + fourteen more kernels), default
-/// sizes. The Fig. 3 normalization population.
-pub fn suite() -> Vec<Workload> {
-    let mk = |name: &str, kind: Kind, source: String, fuel: u64| Workload {
-        name: name.into(),
-        kind,
-        source,
-        fuel,
+/// Seeds the generated half of the registry is built from. Stable:
+/// changing this list (or anything the generator emits) changes
+/// [`corpus_digest`] and trips the determinism test.
+pub const GENERATED_SEEDS: [u64; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 9];
+
+/// The hand-written rows of the registry at the given scale.
+fn hand_written(scale: SuiteScale) -> Vec<SuiteEntry> {
+    let sc = match scale {
+        SuiteScale::Full => "full",
+        SuiteScale::Small => "small",
     };
-    vec![
-        adpcm(),
-        mcf_like(),
-        mk("matmul", Kind::FloatHeavy, sources::matmul(40), 40_000_000),
-        mk("fir", Kind::FloatHeavy, sources::fir(2048, 16), 20_000_000),
-        mk("crc32", Kind::AluBound, sources::crc32(4096), 30_000_000),
-        mk("dijkstra", Kind::Branchy, sources::dijkstra(96), 30_000_000),
-        mk("qsort", Kind::CallHeavy, sources::qsort(2048), 30_000_000),
-        mk(
-            "stencil",
-            Kind::MemoryStreaming,
-            sources::stencil(48, 6),
-            30_000_000,
-        ),
-        mk("susan", Kind::Branchy, sources::susan(64), 30_000_000),
-        mk(
-            "butterfly",
-            Kind::FloatHeavy,
-            sources::butterfly(1024, 6),
-            20_000_000,
-        ),
-        mk(
-            "histogram",
-            Kind::MemoryStreaming,
-            sources::histogram(8192),
-            20_000_000,
-        ),
-        mk(
-            "strsearch",
-            Kind::Branchy,
-            sources::strsearch(4096),
-            20_000_000,
-        ),
-        mk(
-            "bitcount",
-            Kind::AluBound,
-            sources::bitcount(4096),
-            20_000_000,
-        ),
-        mk("nbody", Kind::FloatHeavy, sources::nbody(24, 8), 20_000_000),
-        mk(
-            "spmv",
-            Kind::PointerChasing,
-            sources::spmv(8192, 16, 2),
-            80_000_000,
-        ),
-        mk(
-            "feistel",
-            Kind::AluBound,
-            sources::feistel(2048, 8),
-            20_000_000,
-        ),
-    ]
+    let mk = |name: &str, kind: Kind, source: String, fuel: u64| SuiteEntry {
+        workload: Workload {
+            name: name.into(),
+            kind,
+            source,
+            fuel,
+            meta: Some(SuiteMeta {
+                family: name.into(),
+                seed: 0,
+                size_class: sc.into(),
+                generated: false,
+            }),
+        },
+        expected: None,
+    };
+    let with_meta = |mut w: Workload, seed: u64| {
+        w.meta = Some(SuiteMeta {
+            family: w.name.clone(),
+            seed,
+            size_class: sc.into(),
+            generated: false,
+        });
+        SuiteEntry {
+            workload: w,
+            expected: None,
+        }
+    };
+    match scale {
+        SuiteScale::Full => vec![
+            with_meta(adpcm(), 12345),
+            with_meta(mcf_like(), 9177),
+            mk("matmul", Kind::FloatHeavy, sources::matmul(40), 40_000_000),
+            mk("fir", Kind::FloatHeavy, sources::fir(2048, 16), 20_000_000),
+            mk("crc32", Kind::AluBound, sources::crc32(4096), 30_000_000),
+            mk("dijkstra", Kind::Branchy, sources::dijkstra(96), 30_000_000),
+            mk("qsort", Kind::CallHeavy, sources::qsort(2048), 30_000_000),
+            mk(
+                "stencil",
+                Kind::MemoryStreaming,
+                sources::stencil(48, 6),
+                30_000_000,
+            ),
+            mk("susan", Kind::Branchy, sources::susan(64), 30_000_000),
+            mk(
+                "butterfly",
+                Kind::FloatHeavy,
+                sources::butterfly(1024, 6),
+                20_000_000,
+            ),
+            mk(
+                "histogram",
+                Kind::MemoryStreaming,
+                sources::histogram(8192),
+                20_000_000,
+            ),
+            mk(
+                "strsearch",
+                Kind::Branchy,
+                sources::strsearch(4096),
+                20_000_000,
+            ),
+            mk(
+                "bitcount",
+                Kind::AluBound,
+                sources::bitcount(4096),
+                20_000_000,
+            ),
+            mk("nbody", Kind::FloatHeavy, sources::nbody(24, 8), 20_000_000),
+            mk(
+                "spmv",
+                Kind::PointerChasing,
+                sources::spmv(8192, 16, 2),
+                80_000_000,
+            ),
+            mk(
+                "feistel",
+                Kind::AluBound,
+                sources::feistel(2048, 8),
+                20_000_000,
+            ),
+            mk(
+                "kmeans",
+                Kind::MemoryStreaming,
+                sources::kmeans(2048, 8, 4),
+                20_000_000,
+            ),
+            mk("queens", Kind::CallHeavy, sources::queens(8), 20_000_000),
+            mk("rle", Kind::Branchy, sources::rle(4096), 20_000_000),
+            mk(
+                "bfs",
+                Kind::PointerChasing,
+                sources::bfs(2048, 8),
+                20_000_000,
+            ),
+        ],
+        SuiteScale::Small => vec![
+            with_meta(adpcm_scaled(512, 12345), 12345),
+            // mcf keeps its cache-straddling default size even at small
+            // scale: Fig. 3/4 depend on that regime.
+            with_meta(mcf_like(), 9177),
+            mk("matmul", Kind::FloatHeavy, sources::matmul(16), 10_000_000),
+            mk("fir", Kind::FloatHeavy, sources::fir(512, 8), 10_000_000),
+            mk("crc32", Kind::AluBound, sources::crc32(512), 10_000_000),
+            mk("dijkstra", Kind::Branchy, sources::dijkstra(32), 10_000_000),
+            mk("qsort", Kind::CallHeavy, sources::qsort(512), 10_000_000),
+            mk(
+                "stencil",
+                Kind::MemoryStreaming,
+                sources::stencil(24, 3),
+                10_000_000,
+            ),
+            mk("susan", Kind::Branchy, sources::susan(24), 10_000_000),
+            mk(
+                "butterfly",
+                Kind::FloatHeavy,
+                sources::butterfly(256, 4),
+                10_000_000,
+            ),
+            mk(
+                "histogram",
+                Kind::MemoryStreaming,
+                sources::histogram(2048),
+                10_000_000,
+            ),
+            mk(
+                "strsearch",
+                Kind::Branchy,
+                sources::strsearch(1024),
+                10_000_000,
+            ),
+            mk(
+                "bitcount",
+                Kind::AluBound,
+                sources::bitcount(1024),
+                10_000_000,
+            ),
+            mk("nbody", Kind::FloatHeavy, sources::nbody(12, 4), 10_000_000),
+            mk(
+                "spmv",
+                Kind::PointerChasing,
+                sources::spmv(8192, 16, 2),
+                80_000_000,
+            ),
+            mk(
+                "feistel",
+                Kind::AluBound,
+                sources::feistel(512, 6),
+                10_000_000,
+            ),
+            mk(
+                "kmeans",
+                Kind::MemoryStreaming,
+                sources::kmeans(256, 4, 3),
+                10_000_000,
+            ),
+            mk("queens", Kind::CallHeavy, sources::queens(6), 10_000_000),
+            mk("rle", Kind::Branchy, sources::rle(512), 10_000_000),
+            mk(
+                "bfs",
+                Kind::PointerChasing,
+                sources::bfs(256, 4),
+                10_000_000,
+            ),
+        ],
+    }
+}
+
+/// The size class a generated seed uses at a given registry scale:
+/// `Small` scale keeps everything `Tiny` (fuzzing / bench `--scale
+/// small`); `Full` alternates `Small`/`Medium` by seed parity so both
+/// footprints are represented.
+fn generated_size(scale: SuiteScale, seed: u64) -> gen::SizeClass {
+    match scale {
+        SuiteScale::Small => gen::SizeClass::Tiny,
+        SuiteScale::Full => {
+            if seed % 2 == 1 {
+                gen::SizeClass::Small
+            } else {
+                gen::SizeClass::Medium
+            }
+        }
+    }
+}
+
+/// The generated rows of the registry at the given scale: five families
+/// × [`GENERATED_SEEDS`].
+fn generated(scale: SuiteScale) -> Vec<SuiteEntry> {
+    let mut out = Vec::new();
+    for seed in GENERATED_SEEDS {
+        for family in gen::Family::ALL {
+            let spec = gen::GenSpec {
+                family,
+                seed,
+                size: generated_size(scale, seed),
+            };
+            let g = gen::generate(&spec);
+            out.push(SuiteEntry {
+                workload: Workload {
+                    name: spec.name(),
+                    kind: family.kind(),
+                    source: g.source,
+                    fuel: g.fuel,
+                    meta: Some(SuiteMeta {
+                        family: family.name().into(),
+                        seed,
+                        size_class: spec.size.name().into(),
+                        generated: true,
+                    }),
+                },
+                expected: Some(g.expected),
+            });
+        }
+    }
+    out
+}
+
+/// The canonical suite registry at a given scale: twenty hand-written
+/// kernels followed by forty-five generated programs (65 total).
+pub fn registry_scaled(scale: SuiteScale) -> Vec<SuiteEntry> {
+    let mut rows = hand_written(scale);
+    rows.extend(generated(scale));
+    rows
+}
+
+/// The full-scale registry (the Fig. 3 normalization population).
+pub fn registry() -> Vec<SuiteEntry> {
+    registry_scaled(SuiteScale::Full)
+}
+
+/// The full mixed suite at default sizes — the workload-only view of
+/// [`registry`].
+pub fn suite() -> Vec<Workload> {
+    registry().into_iter().map(|e| e.workload).collect()
 }
 
 /// Look up a suite workload by name.
 pub fn by_name(name: &str) -> Option<Workload> {
     suite().into_iter().find(|w| w.name == name)
+}
+
+/// FNV-1a over every generated program's name, source, and expected
+/// value at the given scale. Pinned in the registry determinism test:
+/// regenerating the corpus from the checked-in seeds must be
+/// byte-identical, on every machine, forever — if the generator (or its
+/// parameter stream) changes, the pinned digest must be bumped
+/// deliberately.
+pub fn corpus_digest(scale: SuiteScale) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for e in generated(scale) {
+        eat(e.workload.name.as_bytes());
+        eat(e.workload.source.as_bytes());
+        eat(&e.expected.unwrap_or(0).to_le_bytes());
+    }
+    h
+}
+
+/// Corpus composition stats for the observability snapshot: how many
+/// programs the registry holds, how they split hand-written/generated,
+/// how many families, and the static instruction count of the generated
+/// half (compiled at -O0).
+pub fn corpus_stats(scale: SuiteScale) -> ic_obs::CorpusStats {
+    use std::collections::HashSet;
+    let rows = registry_scaled(scale);
+    let mut families: HashSet<String> = HashSet::new();
+    let mut hand = 0u64;
+    let mut generated = 0u64;
+    let mut generated_insts = 0u64;
+    for e in &rows {
+        if let Some(meta) = &e.workload.meta {
+            families.insert(meta.family.clone());
+            if meta.generated {
+                generated += 1;
+                generated_insts += e.workload.compile().num_insts() as u64;
+            } else {
+                hand += 1;
+            }
+        }
+    }
+    ic_obs::CorpusStats {
+        programs: rows.len() as u64,
+        hand_written: hand,
+        generated,
+        families: families.len() as u64,
+        generated_insts,
+        fuzz_iterations: 0,
+    }
 }
 
 #[cfg(test)]
@@ -185,7 +469,10 @@ mod tests {
     #[test]
     fn results_identical_across_machine_configs() {
         // Functional semantics must not depend on the timing model.
-        for w in suite() {
+        // The generated half is covered at tiny scale by the registry
+        // integration test; here the hand-written kernels run full-size.
+        for e in hand_written(SuiteScale::Full) {
+            let w = e.workload;
             let m = w.compile();
             let a = simulate_default(&m, &MachineConfig::test_tiny(), w.fuel).unwrap();
             let b = simulate_default(&m, &MachineConfig::vliw_c6713_like(), w.fuel).unwrap();
@@ -231,6 +518,41 @@ mod tests {
     fn by_name_round_trip() {
         assert!(by_name("adpcm").is_some());
         assert!(by_name("mcf").is_some());
+        assert!(by_name("gen_stencil_s01").is_some());
         assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn registry_is_at_least_fifty_programs_with_unique_names() {
+        use std::collections::HashSet;
+        for scale in [SuiteScale::Full, SuiteScale::Small] {
+            let rows = registry_scaled(scale);
+            assert!(rows.len() >= 50, "registry has {} rows", rows.len());
+            let names: HashSet<_> = rows.iter().map(|e| e.workload.name.clone()).collect();
+            assert_eq!(names.len(), rows.len(), "duplicate workload names");
+        }
+    }
+
+    #[test]
+    fn registry_metadata_is_complete() {
+        for e in registry() {
+            let meta = e
+                .workload
+                .meta
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} has no suite metadata", e.workload.name));
+            assert!(!meta.family.is_empty());
+            assert_eq!(meta.generated, e.expected.is_some(), "{}", e.workload.name);
+        }
+    }
+
+    #[test]
+    fn corpus_stats_match_registry_shape() {
+        let s = corpus_stats(SuiteScale::Small);
+        assert_eq!(s.programs, s.hand_written + s.generated);
+        assert!(s.generated >= 40, "generated programs: {}", s.generated);
+        assert!(s.families >= 20, "families: {}", s.families);
+        assert!(s.generated_insts > 0);
+        assert_eq!(s.fuzz_iterations, 0);
     }
 }

@@ -5,7 +5,7 @@
 //! function of the embedded seed.
 
 /// The shared LCG helper (31-bit state, values in `[0, 2^31)`).
-fn lcg() -> &'static str {
+pub(crate) fn lcg() -> &'static str {
     "int rng_state[1];
      int next_rand() {
          int x = rng_state[0];
@@ -682,6 +682,207 @@ pub fn feistel(n: usize, rounds: usize) -> String {
     )
 }
 
+/// 1-D k-means over LCG points: assign to nearest centroid, recompute
+/// means, repeat. Streams the point array every iteration.
+pub fn kmeans(points: usize, k: usize, iters: usize) -> String {
+    format!(
+        "{lcg}
+        int pts[{points}];
+        int cent[{k}];
+        int csum[{k}];
+        int ccnt[{k}];
+
+        int main() {{
+            rng_state[0] = 8086;
+            for (int i = 0; i < {points}; i = i + 1) pts[i] = next_rand() % 100000;
+            for (int c = 0; c < {k}; c = c + 1) cent[c] = pts[c * ({points} / {k})];
+            for (int t = 0; t < {iters}; t = t + 1) {{
+                for (int c = 0; c < {k}; c = c + 1) {{
+                    csum[c] = 0;
+                    ccnt[c] = 0;
+                }}
+                for (int i = 0; i < {points}; i = i + 1) {{
+                    int best = 0;
+                    int bestd = pts[i] - cent[0];
+                    if (bestd < 0) bestd = -bestd;
+                    for (int c = 1; c < {k}; c = c + 1) {{
+                        int d = pts[i] - cent[c];
+                        if (d < 0) d = -d;
+                        if (d < bestd) {{
+                            bestd = d;
+                            best = c;
+                        }}
+                    }}
+                    csum[best] = csum[best] + pts[i];
+                    ccnt[best] = ccnt[best] + 1;
+                }}
+                for (int c = 0; c < {k}; c = c + 1) {{
+                    if (ccnt[c] > 0) cent[c] = csum[c] / ccnt[c];
+                }}
+            }}
+            int sum = 0;
+            for (int c = 0; c < {k}; c = c + 1) sum = (sum * 31 + cent[c]) % 1000000007;
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        points = points,
+        k = k,
+        iters = iters,
+    )
+}
+
+/// Recursive N-queens solution counting: deep call tree, tiny frames.
+pub fn queens(n: usize) -> String {
+    format!(
+        "int cols[{n}];
+        int count[1];
+
+        int safe(int row, int col) {{
+            for (int r = 0; r < row; r = r + 1) {{
+                int c = cols[r];
+                if (c == col) return 0;
+                int d = row - r;
+                if (c == col - d) return 0;
+                if (c == col + d) return 0;
+            }}
+            return 1;
+        }}
+
+        void place(int row) {{
+            if (row == {n}) {{
+                count[0] = count[0] + 1;
+                return;
+            }}
+            for (int col = 0; col < {n}; col = col + 1) {{
+                if (safe(row, col)) {{
+                    cols[row] = col;
+                    place(row + 1);
+                }}
+            }}
+        }}
+
+        int main() {{
+            count[0] = 0;
+            place(0);
+            if (count[0] == 0) return -1;
+            return count[0];
+        }}",
+        n = n,
+    )
+}
+
+/// Run-length encode an LCG byte stream, decode it back, and verify the
+/// round trip: returns -1 on any mismatch, else a checksum over the
+/// encoded stream.
+pub fn rle(n: usize) -> String {
+    // Runs are seeded short (values in 0..4 with a bias loop), so the
+    // encoded stream genuinely compresses and the branches stay hot.
+    format!(
+        "{lcg}
+        int raw[{n}];
+        int encv[{n}];
+        int encc[{n}];
+        int dec[{n}];
+
+        int main() {{
+            rng_state[0] = 2207;
+            int i = 0;
+            while (i < {n}) {{
+                int v = next_rand() % 4;
+                int run = next_rand() % 7 + 1;
+                for (int r = 0; r < run && i < {n}; r = r + 1) {{
+                    raw[i] = v;
+                    i = i + 1;
+                }}
+            }}
+            int ne = 0;
+            int j = 0;
+            while (j < {n}) {{
+                int v = raw[j];
+                int c = 0;
+                while (j < {n} && raw[j] == v) {{
+                    c = c + 1;
+                    j = j + 1;
+                }}
+                encv[ne] = v;
+                encc[ne] = c;
+                ne = ne + 1;
+            }}
+            int k = 0;
+            for (int e = 0; e < ne; e = e + 1) {{
+                for (int c = 0; c < encc[e]; c = c + 1) {{
+                    dec[k] = encv[e];
+                    k = k + 1;
+                }}
+            }}
+            if (k != {n}) return -1;
+            for (int p = 0; p < {n}; p = p + 1) {{
+                if (dec[p] != raw[p]) return -1;
+            }}
+            int sum = ne;
+            for (int e = 0; e < ne; e = e + 1) {{
+                sum = (sum * 31 + encv[e] * 8 + encc[e]) % 1000000007;
+            }}
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+    )
+}
+
+/// Breadth-first search over a random graph in compressed-adjacency form
+/// (`ptr` arrays for row starts and edge targets), with an explicit
+/// queue. Irregular, data-dependent loads — ptr-compress fodder.
+pub fn bfs(n: usize, deg: usize) -> String {
+    let edges = n * deg;
+    format!(
+        "{lcg}
+        ptr rowstart[{n1}];
+        ptr edge[{edges}];
+        int depth[{n}];
+        ptr queue[{n}];
+
+        int main() {{
+            rng_state[0] = 6502;
+            for (int v = 0; v < {n1}; v = v + 1) rowstart[v] = v * {deg};
+            for (int e = 0; e < {edges}; e = e + 1) edge[e] = next_rand() % {n};
+            for (int v = 0; v < {n}; v = v + 1) depth[v] = -1;
+            depth[0] = 0;
+            queue[0] = 0;
+            int head = 0;
+            int tail = 1;
+            while (head < tail) {{
+                int v = queue[head];
+                head = head + 1;
+                for (int e = rowstart[v]; e < rowstart[v + 1]; e = e + 1) {{
+                    int w = edge[e];
+                    if (depth[w] < 0) {{
+                        depth[w] = depth[v] + 1;
+                        if (tail < {n}) {{
+                            queue[tail] = w;
+                            tail = tail + 1;
+                        }}
+                    }}
+                }}
+            }}
+            if (tail > {n}) return -1;
+            int sum = tail;
+            for (int v = 0; v < {n}; v = v + 1) {{
+                sum = (sum * 31 + depth[v] + 2) % 1000000007;
+            }}
+            if (sum == 0) sum = 1;
+            return sum;
+        }}",
+        lcg = lcg(),
+        n = n,
+        n1 = n + 1,
+        deg = deg,
+        edges = edges,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -724,6 +925,10 @@ mod tests {
             ("nbody", nbody(6, 2)),
             ("spmv", spmv(32, 4, 2)),
             ("feistel", feistel(64, 4)),
+            ("kmeans", kmeans(64, 4, 2)),
+            ("queens", queens(5)),
+            ("rle", rle(128)),
+            ("bfs", bfs(32, 3)),
         ];
         for (name, src) in cases {
             ic_lang::compile(name, &src).unwrap_or_else(|e| panic!("{name}: {e}"));

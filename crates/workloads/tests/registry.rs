@@ -1,0 +1,72 @@
+//! Table-driven acceptance test for the suite registry: every registered
+//! workload — hand-written and generated — compiles at -O0, terminates
+//! within its instruction budget, and (for generated programs) returns
+//! exactly the self-check value the generator's Rust mirror computed.
+//! Plus the corpus determinism pin: regenerating from the checked-in
+//! seeds must be byte-identical.
+
+use ic_machine::{simulate_default, MachineConfig};
+use ic_workloads::{corpus_digest, registry_scaled, SuiteScale};
+
+/// Every registry row at both scales: compile at -O0, run to completion
+/// inside the fuel budget, and match the mirror's expected value when
+/// there is one. A mismatch here is a miscompile (or a generator-mirror
+/// divergence) — the registry is the suite's ground truth.
+#[test]
+fn every_registered_workload_compiles_terminates_and_self_checks() {
+    let cfg = MachineConfig::test_tiny();
+    for scale in [SuiteScale::Small, SuiteScale::Full] {
+        for e in registry_scaled(scale) {
+            let w = &e.workload;
+            let m = w.compile();
+            ic_ir::verify::verify_module(&m).unwrap_or_else(|err| panic!("{}: {err}", w.name));
+            let r = simulate_default(&m, &cfg, w.fuel)
+                .unwrap_or_else(|err| panic!("{} ({scale:?}): {err}", w.name));
+            let ret = r.ret_i64().unwrap_or(0);
+            assert!(ret != 0, "{} ({scale:?}) returned zero", w.name);
+            if let Some(expected) = e.expected {
+                // Generated programs keep their checksums non-negative
+                // and return a negative count when an internal
+                // consistency check (e.g. sortedness) fails.
+                assert!(
+                    ret > 0,
+                    "{} ({scale:?}) failed its internal consistency check: {ret}",
+                    w.name
+                );
+                assert_eq!(
+                    ret, expected,
+                    "{} ({scale:?}): -O0 run disagrees with the generator's Rust mirror",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+/// The corpus regenerates byte-identically from the checked-in seeds.
+/// If this fails, the generator's output changed: either revert the
+/// change, or — if the change is deliberate — update the pinned digests
+/// here AND treat it as a corpus version bump (old kb records keyed by
+/// program name no longer describe the same programs). Regenerate with
+/// `ic_workloads::registry_scaled(scale)`; the printed value is the new
+/// pin.
+#[test]
+fn corpus_regeneration_is_byte_identical() {
+    let full = corpus_digest(SuiteScale::Full);
+    let small = corpus_digest(SuiteScale::Small);
+    // Digests are stable across runs and processes...
+    assert_eq!(full, corpus_digest(SuiteScale::Full));
+    assert_eq!(small, corpus_digest(SuiteScale::Small));
+    // ...and pinned: these constants are the corpus version.
+    assert_eq!(
+        full, PINNED_FULL_DIGEST,
+        "full-scale corpus changed; new digest is {full:#018x}"
+    );
+    assert_eq!(
+        small, PINNED_SMALL_DIGEST,
+        "small-scale corpus changed; new digest is {small:#018x}"
+    );
+}
+
+const PINNED_FULL_DIGEST: u64 = 0xed45_abbc_8e49_bbd3;
+const PINNED_SMALL_DIGEST: u64 = 0x573a_d65e_3922_6e35;

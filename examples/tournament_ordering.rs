@@ -21,24 +21,28 @@ fn main() {
             kind: Kind::AluBound,
             source: sources::crc32(512),
             fuel: 8_000_000,
+            meta: None,
         },
         Workload {
             name: "dijkstra".into(),
             kind: Kind::Branchy,
             source: sources::dijkstra(24),
             fuel: 8_000_000,
+            meta: None,
         },
         Workload {
             name: "feistel".into(),
             kind: Kind::AluBound,
             source: sources::feistel(512, 6),
             fuel: 8_000_000,
+            meta: None,
         },
         Workload {
             name: "strsearch".into(),
             kind: Kind::Branchy,
             source: sources::strsearch(1024),
             fuel: 8_000_000,
+            meta: None,
         },
     ];
     let pool = vec![

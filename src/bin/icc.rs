@@ -826,6 +826,7 @@ fn run() -> Result<(), Error> {
             kind: Kind::AluBound,
             source: source.clone(),
             fuel: o.fuel,
+            meta: None,
         };
         let space = SequenceSpace::paper();
         let eval = CachedEvaluator::new(
@@ -892,6 +893,7 @@ fn run() -> Result<(), Error> {
             kind: Kind::AluBound,
             source: source.clone(),
             fuel: o.fuel,
+            meta: None,
         };
         let (_m, seq) = ic.compile_one_shot(&w);
         eprintln!(

@@ -13,6 +13,7 @@ fn small(name: &str, source: String, fuel: u64) -> workloads::Workload {
         kind: workloads::Kind::AluBound,
         source,
         fuel,
+        meta: None,
     }
 }
 

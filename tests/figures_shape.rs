@@ -13,6 +13,7 @@ fn mk(name: &str, source: String, fuel: u64) -> Workload {
         kind: workloads::Kind::AluBound,
         source,
         fuel,
+        meta: None,
     }
 }
 
@@ -168,6 +169,106 @@ fn fig2b_shape_focused_beats_random_at_ten_evals() {
     assert!(
         foc_at_10 <= rnd_at_10,
         "FOCUSSED@10 ({foc_at_10}) must be at least as good as RANDOM@10 ({rnd_at_10})"
+    );
+}
+
+/// Section II methodology at corpus scale: leave-one-benchmark-out CV
+/// over the *entire* 65-program registry (hand-written + generated, small
+/// scale). Every registered program contributes a CV group, so the fold
+/// count itself proves the corpus is wired through `ic-ml`.
+#[test]
+fn loocv_over_the_full_corpus() {
+    use intelligent_compilers::core::methodology::{
+        evaluate_learners, generate_instances, instance_feature_names, LearningProblem,
+    };
+    use intelligent_compilers::search::SequenceSpace;
+    use intelligent_compilers::workloads::SuiteScale;
+
+    let ws: Vec<Workload> = workloads::registry_scaled(SuiteScale::Small)
+        .into_iter()
+        .map(|e| e.workload)
+        .collect();
+    assert!(ws.len() >= 50, "registry shrank: {}", ws.len());
+
+    let problem = LearningProblem::new(intelligent_compilers::passes::Opt::Dce);
+    let data = generate_instances(
+        &problem,
+        &ws,
+        &MachineConfig::test_tiny(),
+        &SequenceSpace::paper(),
+        1,
+        0x10C5,
+    );
+    assert!(
+        data.group_ids().len() >= 50,
+        "LOOCV must see one group per corpus program: {}",
+        data.group_ids().len()
+    );
+    assert_eq!(data.dim(), instance_feature_names().len());
+
+    let (rows, baseline) = evaluate_learners(&data);
+    assert_eq!(rows.len(), 5, "every learner reports a row");
+    assert!((0.0..=1.0).contains(&baseline));
+    for r in &rows {
+        assert!(
+            (0.0..=1.0).contains(&r.mean_accuracy),
+            "{} accuracy out of range: {}",
+            r.learner,
+            r.mean_accuracy
+        );
+        assert_eq!(
+            r.fold_accuracy.len(),
+            data.group_ids().len(),
+            "{} must run one fold per benchmark",
+            r.learner
+        );
+    }
+}
+
+/// Fig. 2(b) protocol at corpus scale: a knowledge base populated from
+/// every *other* registry program (leave-adpcm-out) yields a focused
+/// model whose 10-evaluation search is at least as good as random search
+/// on the held-out program, on the real evaluator.
+#[test]
+fn fig2b_corpus_trained_focused_model_leave_one_out() {
+    use intelligent_compilers::core::controller::{IntelligentCompiler, WorkloadEvaluator};
+    use intelligent_compilers::search::focused::ModelKind;
+    use intelligent_compilers::search::{focused, random};
+    use intelligent_compilers::workloads::SuiteScale;
+
+    let cfg = MachineConfig::test_tiny();
+    let rows = workloads::registry_scaled(SuiteScale::Small);
+    let target = rows
+        .iter()
+        .find(|e| e.workload.name == "adpcm")
+        .expect("adpcm registered")
+        .workload
+        .clone();
+
+    let mut ic = IntelligentCompiler::new(cfg.clone());
+    for (i, e) in rows.iter().enumerate() {
+        if e.workload.name == target.name {
+            continue;
+        }
+        ic.characterize_program(&e.workload);
+        ic.populate_kb(&e.workload, 4, 0xF2B ^ i as u64);
+    }
+    let model = ic
+        .focused_model(&target, 5, 3, ModelKind::Markov)
+        .expect("a corpus-wide KB must yield a focused model for adpcm");
+
+    let eval = WorkloadEvaluator::new(&target, &cfg);
+    let space = &*ic.space;
+    let trials = 4u64;
+    let mut rnd = 0.0;
+    let mut foc = 0.0;
+    for seed in 0..trials {
+        rnd += random::run(space, &eval, 10, seed).best_cost;
+        foc += focused::run(space, &eval, 10, &model, seed).best_cost;
+    }
+    assert!(
+        foc <= rnd * 1.02,
+        "corpus-trained FOCUSSED@10 ({foc}) must match or beat RANDOM@10 ({rnd})"
     );
 }
 

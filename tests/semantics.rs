@@ -12,6 +12,7 @@ fn small_suite() -> Vec<Workload> {
         kind: workloads::Kind::AluBound,
         source,
         fuel,
+        meta: None,
     };
     vec![
         workloads::adpcm_scaled(160, 3),

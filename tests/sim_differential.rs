@@ -22,6 +22,7 @@ fn small_suite() -> Vec<Workload> {
         kind,
         source,
         fuel,
+        meta: None,
     };
     vec![
         workloads::adpcm_scaled(192, 3),
