@@ -12,8 +12,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use ic_machine::{
-    simulate_decoded, simulate_legacy, Counter, DecodeCache, DecodeCacheConfig, MachineConfig,
-    Memory,
+    simulate_decoded, simulate_fused, simulate_legacy, Counter, DecodeCache, DecodeCacheConfig,
+    MachineConfig, Memory,
 };
 use ic_passes::{apply_sequence, Opt, PrefixCache, PrefixCacheConfig};
 use ic_search::{exhaustive, SequenceSpace};
@@ -90,28 +90,36 @@ struct SimThroughput {
     insts_per_sec: f64,
 }
 
-/// Simulator-engine comparison on the same compiled module: the legacy
-/// tree-walking interpreter vs the pre-decoded threaded-code engine
-/// (decode amortized through a [`DecodeCache`], as in production).
+/// Simulator-tier comparison on the same compiled module: the legacy
+/// tree-walking interpreter vs the pre-decoded threaded-code engine vs
+/// the fused block-compiled tier (decode and block compilation amortized
+/// through a [`DecodeCache`], as in production).
 #[derive(Serialize)]
 struct SimReport {
     workload: String,
-    /// Instructions retired per run (identical on both engines).
+    /// Instructions retired per run (identical on all tiers).
     insts_per_run: u64,
-    /// Runs per timed batch; throughput comes from each engine's best
+    /// Runs per timed batch; throughput comes from each tier's best
     /// interleaved batch, so ambient load cancels out.
     runs: u64,
     legacy: SimThroughput,
     decoded: SimThroughput,
-    /// decoded insts/s over legacy insts/s. Target >= 2x; CI gates
-    /// >= 1.5x hard and warns below 2x.
-    speedup: f64,
+    fused: SimThroughput,
+    /// decoded insts/s over legacy insts/s. CI gates >= 1.5x hard.
+    decoded_speedup: f64,
+    /// fused insts/s over legacy insts/s — the headline number. CI
+    /// gates >= 1.5x hard plus fused >= 0.9x decoded; see
+    /// EXPERIMENTS.md "Simulator tier throughput" for why the timing
+    /// model's serial dependency chain, shared by every tier, caps this
+    /// ratio near the decoded tier's.
+    fused_speedup: f64,
     decode_cache: ic_obs::DecodeCacheStats,
+    fused_tier: ic_obs::FusedTierStats,
 }
 
-/// Decoded-vs-legacy simulated-instruction throughput over ~`runs`
-/// evaluations of `m` per engine (first decode memoized, as in
-/// production search), timed as interleaved best-of batches.
+/// Per-tier simulated-instruction throughput over ~`runs` evaluations of
+/// `m` per tier (first decode/compile memoized, as in production
+/// search), timed as interleaved best-of batches.
 fn measure_sim(m: &ic_ir::Module, cfg: &MachineConfig, fuel: u64, runs: u64) -> SimReport {
     let run_legacy = || simulate_legacy(m, cfg, Memory::for_module(m), fuel).expect("legacy run");
     let cache = DecodeCache::new(DecodeCacheConfig::default());
@@ -119,22 +127,35 @@ fn measure_sim(m: &ic_ir::Module, cfg: &MachineConfig, fuel: u64, runs: u64) -> 
         let prog = cache.get_or_decode(m, cfg);
         simulate_decoded(&prog, cfg, Memory::for_module(m), fuel).expect("decoded run")
     };
-    // Engines must agree bit-for-bit before a throughput claim means
+    let run_fused = || {
+        let prog = cache.get_or_fuse(m, cfg);
+        simulate_fused(&prog, cfg, Memory::for_module(m), fuel).expect("fused run")
+    };
+    // Tiers must agree bit-for-bit before a throughput claim means
     // anything (the differential tests pin this; re-checked here).
     let l = run_legacy();
     let d = run_decoded();
-    assert_eq!(l.ret, d.ret, "engines disagree on return value");
-    assert_eq!(l.counters, d.counters, "engines disagree on counters");
+    let f = run_fused();
+    assert_eq!(l.ret, d.ret, "decoded disagrees on return value");
+    assert_eq!(l.counters, d.counters, "decoded disagrees on counters");
+    assert_eq!(l.ret, f.ret, "fused disagrees on return value");
+    assert_eq!(l.counters, f.counters, "fused disagrees on counters");
     let insts_per_run = l.counters.get(Counter::TOT_INS);
 
     // Interleaved best-of: CI machines are noisy neighbours, so a plain
     // mean of N runs swings wildly with ambient load. Alternate small
-    // batches of the two engines and keep each engine's *fastest* batch
-    // — load spikes hit both engines alike and the minima converge to
-    // the machines' true throughput.
-    let (batches, per_batch) = (runs.div_ceil(4).max(8), 4u64);
+    // batches of the tiers and keep each tier's *fastest* batch — load
+    // spikes hit every tier alike and the minima converge to the
+    // machines' true throughput.
+    // Plenty of batches: host frequency steps last long enough that a
+    // handful of rounds can strand one tier entirely inside a slow
+    // window, skewing the ratios. Batches are ~2 ms each, so 32 rounds
+    // keep the whole measurement under a second while giving every tier
+    // many shots at a quiet window.
+    let (batches, per_batch) = (runs.div_ceil(4).max(32), 4u64);
     let mut legacy_s = f64::INFINITY;
     let mut decoded_s = f64::INFINITY;
+    let mut fused_s = f64::INFINITY;
     for _ in 0..batches {
         let start = Instant::now();
         for _ in 0..per_batch {
@@ -146,11 +167,17 @@ fn measure_sim(m: &ic_ir::Module, cfg: &MachineConfig, fuel: u64, runs: u64) -> 
             std::hint::black_box(run_decoded());
         }
         decoded_s = decoded_s.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for _ in 0..per_batch {
+            std::hint::black_box(run_fused());
+        }
+        fused_s = fused_s.min(start.elapsed().as_secs_f64());
     }
 
     let batch_insts = (insts_per_run * per_batch) as f64;
     let legacy_ips = batch_insts / legacy_s;
     let decoded_ips = batch_insts / decoded_s;
+    let fused_ips = batch_insts / fused_s;
     SimReport {
         workload: "adpcm_scaled(256)".into(),
         insts_per_run,
@@ -163,8 +190,14 @@ fn measure_sim(m: &ic_ir::Module, cfg: &MachineConfig, fuel: u64, runs: u64) -> 
             seconds: decoded_s,
             insts_per_sec: decoded_ips,
         },
-        speedup: decoded_ips / legacy_ips,
+        fused: SimThroughput {
+            seconds: fused_s,
+            insts_per_sec: fused_ips,
+        },
+        decoded_speedup: decoded_ips / legacy_ips,
+        fused_speedup: fused_ips / legacy_ips,
         decode_cache: cache.stats(),
+        fused_tier: cache.fused_stats(),
     }
 }
 
@@ -185,7 +218,8 @@ struct Report {
     /// unprofiled cached run (min-of-reps on both sides; CI gates <5%).
     profiling_overhead_pct: f64,
     /// Simulated-instruction throughput: legacy interpreter vs the
-    /// pre-decoded threaded-code engine (CI gates the speedup).
+    /// pre-decoded threaded-code engine vs the fused block-compiled
+    /// tier (CI gates both speedups).
     sim: SimReport,
     /// The unified observability snapshot for the profiled run — the
     /// same schema `icc --metrics-json` and the daemon's
@@ -269,7 +303,8 @@ fn emit_report(_c: &mut Criterion) {
     let sim = measure_sim(&opt, &cfg, fuel, 25);
     metrics.sim = ic_obs::SimStats {
         decode: sim.decode_cache,
-        sim_nanos: (sim.decoded.seconds * 1e9) as u64,
+        fused: sim.fused_tier,
+        sim_nanos: (sim.fused.seconds * 1e9) as u64,
         insts_simulated: sim.insts_per_run * sim.runs,
     };
     metrics.corpus = ic_workloads::corpus_stats(ic_workloads::SuiteScale::Small);
@@ -310,10 +345,12 @@ fn emit_report(_c: &mut Criterion) {
         report.profiling_overhead_pct
     );
     println!(
-        "sim: legacy {:.2}M insts/s -> decoded {:.2}M insts/s ({:.2}x, target >= 2x)",
+        "sim: legacy {:.2}M insts/s -> decoded {:.2}M insts/s ({:.2}x) -> fused {:.2}M insts/s ({:.2}x)",
         report.sim.legacy.insts_per_sec / 1e6,
         report.sim.decoded.insts_per_sec / 1e6,
-        report.sim.speedup
+        report.sim.decoded_speedup,
+        report.sim.fused.insts_per_sec / 1e6,
+        report.sim.fused_speedup
     );
 }
 

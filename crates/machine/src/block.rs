@@ -1,0 +1,100 @@
+//! Basic-block discovery over a decoded micro-op program.
+//!
+//! A decoded program is one flat op array; the block tier re-partitions
+//! it into straight-line spans so `fuse` can compile each span into
+//! superinstructions and `jit` can execute whole spans per dispatch.
+//!
+//! A span ends at any control transfer: `Jump`, `Branch`, `Ret` — *and*
+//! `Call`, because a call suspends the frame and the op after it must be
+//! resumable as a block leader when the callee returns. Two invariants of
+//! the decoder make the partition exact with no fall-through analysis:
+//!
+//! 1. every IR block lowers to `insts + 1` contiguous ops ending in its
+//!    terminator, so a span never runs off the end of a function;
+//! 2. every branch/jump target is the first op of an IR block, which is
+//!    always the start of a span (function entry, op after a terminator,
+//!    or op after a call).
+//!
+//! Consequently the set of span starts is exactly the set of possible
+//! block-entry `ip` values during execution — the `jit` tier's leader
+//! map is total over reachable control flow.
+
+use crate::decode::{DecodedProgram, MicroOp};
+
+/// One straight-line span: body ops `[start, term)` followed by the
+/// terminating op at `term` (`Jump`/`Branch`/`Ret`/`Call`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockSpan {
+    pub(crate) start: u32,
+    pub(crate) term: u32,
+}
+
+impl BlockSpan {
+    /// Micro-ops covered, terminator included.
+    pub(crate) fn n_insts(&self) -> u32 {
+        self.term - self.start + 1
+    }
+}
+
+/// Partition every function of `prog` into spans, in op order.
+pub(crate) fn partition(prog: &DecodedProgram) -> Vec<BlockSpan> {
+    let nops = prog.ops.len() as u32;
+    let mut spans = Vec::new();
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        let end = prog.funcs.get(fi + 1).map_or(nops, |next| next.entry_op);
+        let mut start = f.entry_op;
+        for ip in f.entry_op..end {
+            if matches!(
+                prog.ops[ip as usize],
+                MicroOp::Jump { .. }
+                    | MicroOp::Branch { .. }
+                    | MicroOp::Ret { .. }
+                    | MicroOp::Call { .. }
+            ) {
+                spans.push(BlockSpan { start, term: ip });
+                start = ip + 1;
+            }
+        }
+        debug_assert_eq!(
+            start, end,
+            "function body must end at a control transfer (decoder invariant)"
+        );
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+    use ic_ir::builder::FunctionBuilder;
+    use ic_ir::{BinOp, Module, Ty};
+
+    #[test]
+    fn partition_splits_at_calls_and_terminators() {
+        let mut m = Module::new("t");
+        let mut leaf = FunctionBuilder::new("leaf", &[Ty::I64], Some(Ty::I64));
+        let p = leaf.params()[0];
+        let x = leaf.bin(BinOp::Add, p, 1i64);
+        leaf.ret(Some(x.into()));
+        let leaf = m.add_func(leaf.finish());
+
+        let mut main = FunctionBuilder::new("main", &[], Some(Ty::I64));
+        let a = main.bin(BinOp::Add, 1i64, 2i64);
+        let b = main.call(Ty::I64, leaf, vec![a.into()]);
+        let c = main.bin(BinOp::Mul, b, 2i64);
+        main.ret(Some(c.into()));
+        m.entry = m.add_func(main.finish());
+
+        let prog = DecodedProgram::decode(&m, &MachineConfig::test_tiny());
+        let spans = partition(&prog);
+        // leaf: [add, ret] -> one span; main: [add, call | mul, ret] -> two.
+        assert_eq!(spans.len(), 3);
+        let total: u32 = spans.iter().map(|s| s.n_insts()).sum();
+        assert_eq!(total as usize, prog.num_ops());
+        // Spans tile the op array without gaps or overlap.
+        for w in spans.windows(2) {
+            assert!(w[1].start == w[0].term + 1 || w[1].start > w[0].term);
+        }
+    }
+}

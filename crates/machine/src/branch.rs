@@ -36,19 +36,16 @@ impl BranchPredictor {
         // `slot` masks with `len - 1` (len a power of two, fixed at
         // construction), so the index is always in bounds.
         debug_assert!(i < self.table.len());
-        let ctr = unsafe { *self.table.get_unchecked(i) };
+        let ctr = unsafe { *self.table.get_unchecked(i) } as i32;
         let predicted_taken = ctr >= 2;
         let correct = predicted_taken == taken;
         self.predictions += 1;
-        if !correct {
-            self.mispredictions += 1;
-        }
-        *unsafe { self.table.get_unchecked_mut(i) } = match (ctr, taken) {
-            (3, true) => 3,
-            (0, false) => 0,
-            (c, true) => c + 1,
-            (c, false) => c - 1,
-        };
+        // Branchless bookkeeping: `taken` tracks the *simulated* branch,
+        // which is exactly the data-dependent pattern the host predictor
+        // would keep missing on if these updates were if-chains.
+        self.mispredictions += !correct as u64;
+        let next = (ctr + (taken as i32) * 2 - 1).clamp(0, 3);
+        *unsafe { self.table.get_unchecked_mut(i) } = next as u8;
         correct
     }
 

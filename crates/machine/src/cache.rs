@@ -16,7 +16,11 @@ pub enum Access {
 /// One cache level. Tags only — data contents live in [`crate::Memory`].
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: u64,
+    /// `sets - 1`: sets is a power of two (asserted in [`Cache::new`]), so
+    /// set selection is a mask and tag extraction a shift — the hardware
+    /// divide a `line % sets` would cost sits on every simulated access.
+    set_mask: u64,
+    set_shift: u32,
     ways: usize,
     line_shift: u32,
     /// `tags[set * ways + way]`: tag or `EMPTY`.
@@ -45,7 +49,8 @@ impl Cache {
         );
         let n = sets as usize * ways;
         Cache {
-            sets,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
             ways,
             line_shift: cfg.line_size.trailing_zeros(),
             tags: vec![EMPTY; n],
@@ -65,18 +70,24 @@ impl Cache {
         self.accesses += 1;
         self.tick += 1;
         let line = addr >> self.line_shift;
-        let set = (line % self.sets) as usize;
-        let tag = line / self.sets;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
         let base = set * self.ways;
 
-        // Hit path: scan the set as a slice so the way loop compiles to
-        // branchless compares instead of per-way bounds checks.
+        // Hit path: a tag is resident in at most one way, so a
+        // conditional-select sweep over the set is branchless (no
+        // data-dependent early exit to mispredict on hot alternating
+        // access patterns), and the dirty update is an unconditional OR.
         let set_tags = &self.tags[base..base + self.ways];
-        if let Some(w) = set_tags.iter().position(|&t| t == tag) {
-            self.stamps[base + w] = self.tick;
-            if is_write {
-                self.dirty[base + w] = true;
+        let mut w = usize::MAX;
+        for (i, &t) in set_tags.iter().enumerate() {
+            if t == tag {
+                w = i;
             }
+        }
+        if w != usize::MAX {
+            self.stamps[base + w] = self.tick;
+            self.dirty[base + w] |= is_write;
             return Access::Hit;
         }
 
@@ -122,7 +133,7 @@ impl Cache {
 
     /// Capacity in bytes.
     pub fn capacity(&self) -> u64 {
-        self.sets * self.ways as u64 * (1u64 << self.line_shift)
+        (self.set_mask + 1) * self.ways as u64 * (1u64 << self.line_shift)
     }
 }
 

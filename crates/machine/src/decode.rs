@@ -63,7 +63,7 @@ const NO_REG: u32 = u32::MAX;
 /// Keeping operands at 4 bytes is what holds a [`MicroOp`] to 24 bytes —
 /// more than two ops per cache line in the hot dispatch loop.
 #[derive(Debug, Clone, Copy)]
-pub struct POp(u32);
+pub struct POp(pub(crate) u32);
 
 impl POp {
     /// SAFETY contract of both accessors: `DecodedProgram::validate`
@@ -72,13 +72,13 @@ impl POp {
     /// `num_regs + imms_len` slots, so the unchecked reads below cannot
     /// go out of bounds.
     #[inline(always)]
-    fn val(self, regs: &[u64]) -> u64 {
+    pub(crate) fn val(self, regs: &[u64]) -> u64 {
         debug_assert!((self.0 as usize) < regs.len());
         unsafe { *regs.get_unchecked(self.0 as usize) }
     }
 
     #[inline(always)]
-    fn ready(self, ready: &[u64]) -> u64 {
+    pub(crate) fn ready(self, ready: &[u64]) -> u64 {
         debug_assert!((self.0 as usize) < ready.len());
         unsafe { *ready.get_unchecked(self.0 as usize) }
     }
@@ -128,7 +128,7 @@ impl ImmPool {
 /// One fixed-size decoded operation (24 bytes, pinned by a test).
 /// Terminators are ops too: control flow is just an `ip` assignment.
 #[derive(Debug, Clone, Copy)]
-enum MicroOp {
+pub(crate) enum MicroOp {
     /// `dst = a op b`; `lat` baked from the machine's latency table,
     /// `cls` is the counter class (0 none, 1 FP_INS, 2 MULDIV_INS).
     Bin {
@@ -262,26 +262,26 @@ enum MicroOp {
 
 /// Per-function decode metadata.
 #[derive(Debug, Clone, Copy)]
-struct DecodedFunc {
+pub(crate) struct DecodedFunc {
     /// Op offset of the function's entry block.
-    entry_op: u32,
-    num_regs: u32,
+    pub(crate) entry_op: u32,
+    pub(crate) num_regs: u32,
     /// This function's immediate words in the shared imm pool; they are
     /// copied into frame slots `[num_regs, num_regs + imms_len)` at
     /// frame creation.
-    imms_off: u32,
-    imms_len: u32,
+    pub(crate) imms_off: u32,
+    pub(crate) imms_len: u32,
     /// Parameter register indices in the shared param pool.
-    params_off: u32,
-    params_len: u16,
+    pub(crate) params_off: u32,
+    pub(crate) params_len: u16,
     /// Interned function name, for allocation-free error reporting.
-    sym: Symbol,
+    pub(crate) sym: Symbol,
 }
 
 impl DecodedFunc {
     /// This function's slice of the program's immediate pool.
     #[inline]
-    fn imms<'a>(&self, pool: &'a [u64]) -> &'a [u64] {
+    pub(crate) fn imms<'a>(&self, pool: &'a [u64]) -> &'a [u64] {
         &pool[self.imms_off as usize..(self.imms_off + self.imms_len) as usize]
     }
 }
@@ -291,14 +291,18 @@ impl DecodedFunc {
 /// Immutable and internally index-based, so one decoded program is safely
 /// shared (via `Arc`) across simulations, cores and daemon engines.
 pub struct DecodedProgram {
-    ops: Vec<MicroOp>,
+    pub(crate) ops: Vec<MicroOp>,
     /// Per-function immediate words (see [`DecodedFunc::imms_off`]),
     /// preloaded into the tail of each frame's register file.
-    imms: Vec<u64>,
-    args: Vec<POp>,
-    params: Vec<u32>,
-    funcs: Vec<DecodedFunc>,
-    entry: u32,
+    pub(crate) imms: Vec<u64>,
+    pub(crate) args: Vec<POp>,
+    pub(crate) params: Vec<u32>,
+    pub(crate) funcs: Vec<DecodedFunc>,
+    pub(crate) entry: u32,
+    /// `cfg.lat.alu` / `cfg.lat.mov`, baked at decode time so the fuse
+    /// pass can stamp per-op latencies without re-threading the config.
+    pub(crate) alu_lat: u32,
+    pub(crate) mov_lat: u32,
 }
 
 impl DecodedProgram {
@@ -466,6 +470,8 @@ impl DecodedProgram {
             params,
             funcs,
             entry: module.entry.0,
+            alu_lat: u32::try_from(l.alu).expect("alu latency fits in 32 bits"),
+            mov_lat: u32::try_from(l.mov).expect("mov latency fits in 32 bits"),
         };
         prog.validate();
         prog
@@ -585,39 +591,39 @@ impl DecodedProgram {
 
 /// Call frame of the decoded simulator. `ip` is an absolute offset into
 /// the shared op array; `ret_dst == NO_REG` means a void call.
-struct DFrame {
-    func: u32,
-    ip: u32,
-    regs: Vec<u64>,
-    ready: Vec<u64>,
-    ret_dst: u32,
+pub(crate) struct DFrame {
+    pub(crate) func: u32,
+    pub(crate) ip: u32,
+    pub(crate) regs: Vec<u64>,
+    pub(crate) ready: Vec<u64>,
+    pub(crate) ret_dst: u32,
 }
 
 /// The threaded-code simulator: same observable behaviour and the same
 /// resumable [`step`](DecodedSim::step) contract as [`crate::interp::Sim`],
 /// an order of magnitude less interpretive overhead.
 pub struct DecodedSim {
-    prog: Arc<DecodedProgram>,
-    cfg: MachineConfig,
-    mem: Memory,
+    pub(crate) prog: Arc<DecodedProgram>,
+    pub(crate) cfg: MachineConfig,
+    pub(crate) mem: Memory,
     /// Caller frames; the running frame lives in a local inside `step`.
-    frames: Vec<DFrame>,
+    pub(crate) frames: Vec<DFrame>,
     /// Recycled register files, so calls allocate only at peak depth.
-    pool: Vec<(Vec<u64>, Vec<u64>)>,
-    cycle: u64,
-    slots_used: u32,
-    stall: u64,
-    l1: Cache,
-    tlb: Tlb,
-    bp: BranchPredictor,
-    counters: PerfCounters,
-    finished: Option<Option<u64>>,
+    pub(crate) pool: Vec<(Vec<u64>, Vec<u64>)>,
+    pub(crate) cycle: u64,
+    pub(crate) slots_used: u32,
+    pub(crate) stall: u64,
+    pub(crate) l1: Cache,
+    pub(crate) tlb: Tlb,
+    pub(crate) bp: BranchPredictor,
+    pub(crate) counters: PerfCounters,
+    pub(crate) finished: Option<Option<u64>>,
 }
 
 /// Claim an issue slot no earlier than `ops_ready`; returns issue time.
 /// Operates on hoisted locals — the legacy `Sim::issue`, verbatim.
 #[inline(always)]
-fn issue(
+pub(crate) fn issue(
     cycle: &mut u64,
     slots_used: &mut u32,
     stall: &mut u64,
@@ -625,16 +631,21 @@ fn issue(
     ops_ready: u64,
 ) -> u64 {
     // Branchless, arithmetically identical to the legacy `Sim::issue`
-    // (see there for the equivalence argument).
+    // (see there for the equivalence argument). The formulation keeps
+    // the loop-carried dependency through `cycle` as short as possible:
+    // `c + wait` with `wait = ready.saturating_sub(c)` is exactly
+    // `max(c, ready)`, one cmp+cmov instead of the saturating-sub chain
+    // — `cycle` is the serial bottleneck of every simulation tier, so
+    // two fewer dependent ops here is worth more than anywhere else.
     let roll = (*slots_used >= issue_width) as u64;
-    *cycle += roll;
-    *slots_used *= (roll == 0) as u32;
-    let wait = ops_ready.saturating_sub(*cycle);
-    *stall += wait;
-    *cycle += wait;
-    *slots_used *= (wait == 0) as u32;
-    *slots_used += 1;
-    *cycle
+    let c1 = *cycle + roll;
+    let c2 = c1.max(ops_ready);
+    *stall += c2 - c1;
+    // Slot count survives only if the row neither rolled nor waited.
+    let keep = ((roll == 0) & (c2 == c1)) as u32;
+    *slots_used = *slots_used * keep + 1;
+    *cycle = c2;
+    c2
 }
 
 impl DecodedSim {
@@ -703,7 +714,13 @@ impl DecodedSim {
     /// walk, returning the latency added on top of the hit cost. The
     /// all-hit fast path lives inline in the step loop; totals match the
     /// legacy interpreter's `mem_access` exactly.
-    fn l1_miss(&mut self, addr: u64, is_write: bool, writeback: bool, l2: &mut Cache) -> u64 {
+    pub(crate) fn l1_miss(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        writeback: bool,
+        l2: &mut Cache,
+    ) -> u64 {
         let c = &mut self.counters;
         c.bump(Counter::L1_TCM);
         if is_write {
@@ -973,9 +990,7 @@ impl DecodedSim {
                 MicroOp::Load { dst, arr, idx } => {
                     let ri = idx.ready(&cur.ready);
                     let vi = idx.val(&cur.regs) as i64;
-                    let widx = self.mem.wrap_index(arr, vi);
-                    let addr = self.mem.address(arr, widx);
-                    let val = self.mem.read(arr, widx);
+                    let (val, addr) = self.mem.load(arr, vi);
                     let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ri);
                     l1_tca += 1;
                     ld_ins += 1;
@@ -993,9 +1008,7 @@ impl DecodedSim {
                     let ready = idx.ready(&cur.ready).max(val.ready(&cur.ready));
                     let vi = idx.val(&cur.regs) as i64;
                     let vv = val.val(&cur.regs);
-                    let widx = self.mem.wrap_index(arr, vi);
-                    let addr = self.mem.address(arr, widx);
-                    self.mem.write(arr, widx, vv);
+                    let addr = self.mem.store(arr, vi, vv);
                     let _at = issue(&mut cycle, &mut slots_used, &mut stall, width, ready);
                     // Stores retire through a store buffer: counters and
                     // cache state update, the pipeline does not wait.
@@ -1292,25 +1305,69 @@ impl Default for DecodeCacheConfig {
 
 struct CacheEntry {
     prog: Arc<DecodedProgram>,
+    /// The block-compiled form, attached lazily on the first
+    /// [`DecodeCache::get_or_fuse`] for this key. Shares the entry's LRU
+    /// slot: evicting the entry drops both tiers together.
+    fused: Option<Arc<crate::jit::FusedProgram>>,
+    /// Decoded-program bytes (fused bytes tracked separately).
     bytes: usize,
+    fused_bytes: usize,
     last_touch: u64,
 }
 
 struct DecodeCacheInner {
     map: HashMap<u128, CacheEntry>,
+    /// Total retained bytes, decoded + fused — one budget for both tiers.
     bytes: usize,
+    fused_bytes: usize,
+    fused_programs: u64,
     tick: u64,
+}
+
+impl DecodeCacheInner {
+    /// LRU-evict whole entries (decoded + attached fused form) until the
+    /// byte budget holds again.
+    fn evict_to(&mut self, budget: usize, evictions: &AtomicU64) {
+        while self.bytes > budget && self.map.len() > 1 {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_touch)
+                .map(|(k, _)| *k)
+                .expect("non-empty map");
+            if let Some(e) = self.map.remove(&victim) {
+                self.bytes -= e.bytes + e.fused_bytes;
+                self.fused_bytes -= e.fused_bytes;
+                self.fused_programs -= e.fused.is_some() as u64;
+                evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 /// Thread-safe, byte-budgeted memo of decoded programs, keyed by
 /// post-prefix module identity + timing table. Shared across evaluations
 /// and warm daemon engines; LRU-evicted like the pass-prefix cache.
+///
+/// The same store also memoizes the block-compiled (fused) form of each
+/// program: [`DecodeCache::get_or_fuse`] attaches an
+/// [`crate::jit::FusedProgram`] to the decoded entry, counted against the
+/// same byte budget and evicted with it.
 pub struct DecodeCache {
     inner: Mutex<DecodeCacheInner>,
     budget: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    fused_hits: AtomicU64,
+    fused_misses: AtomicU64,
+    /// Cumulative fusion-pass output over every block compile this cache
+    /// performed (monotonic, never decremented on eviction — they
+    /// describe compile work done, not retention).
+    blocks_compiled: AtomicU64,
+    superinstructions_fused: AtomicU64,
+    micro_ops_lowered: AtomicU64,
+    micro_ops_fused: AtomicU64,
 }
 
 impl Default for DecodeCache {
@@ -1326,12 +1383,20 @@ impl DecodeCache {
             inner: Mutex::new(DecodeCacheInner {
                 map: HashMap::new(),
                 bytes: 0,
+                fused_bytes: 0,
+                fused_programs: 0,
                 tick: 0,
             }),
             budget: config.byte_budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            fused_hits: AtomicU64::new(0),
+            fused_misses: AtomicU64::new(0),
+            blocks_compiled: AtomicU64::new(0),
+            superinstructions_fused: AtomicU64::new(0),
+            micro_ops_lowered: AtomicU64::new(0),
+            micro_ops_fused: AtomicU64::new(0),
         }
     }
 
@@ -1367,24 +1432,72 @@ impl DecodeCache {
             key,
             CacheEntry {
                 prog: Arc::clone(&prog),
+                fused: None,
                 bytes,
+                fused_bytes: 0,
                 last_touch: tick,
             },
         );
         inner.bytes += bytes;
-        while inner.bytes > self.budget && inner.map.len() > 1 {
-            let victim = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_touch)
-                .map(|(k, _)| *k)
-                .expect("non-empty map");
-            if let Some(e) = inner.map.remove(&victim) {
-                inner.bytes -= e.bytes;
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        inner.evict_to(self.budget, &self.evictions);
+        prog
+    }
+
+    /// Return the block-compiled (fused) program for `(module, cfg)`,
+    /// decoding and/or fusing on miss. Fused programs attach to the
+    /// decoded entry, share its byte budget and evict with it; the fuse
+    /// pass never runs under the lock.
+    pub fn get_or_fuse(
+        &self,
+        module: &Module,
+        cfg: &MachineConfig,
+    ) -> Arc<crate::jit::FusedProgram> {
+        let key = module_fingerprint(module, cfg);
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(e) = inner.map.get_mut(&key) {
+                e.last_touch = tick;
+                if let Some(f) = &e.fused {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.fused_hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(f);
+                }
             }
         }
-        prog
+        // Fused-side miss: obtain the decoded program (counting its own
+        // hit/miss as usual), compile blocks outside the lock, attach.
+        let prog = self.get_or_decode(module, cfg);
+        self.fused_misses.fetch_add(1, Ordering::Relaxed);
+        let fused = Arc::new(crate::jit::FusedProgram::compile(&prog));
+        let s = fused.summary();
+        self.blocks_compiled.fetch_add(s.blocks, Ordering::Relaxed);
+        self.superinstructions_fused
+            .fetch_add(s.superinstructions_fused, Ordering::Relaxed);
+        self.micro_ops_lowered
+            .fetch_add(s.micro_ops_lowered, Ordering::Relaxed);
+        self.micro_ops_fused
+            .fetch_add(s.micro_ops_fused, Ordering::Relaxed);
+        let fbytes = fused.approx_bytes();
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.map.get_mut(&key) {
+            if let Some(f) = &e.fused {
+                // Raced with another fuse: keep the incumbent.
+                e.last_touch = tick;
+                return Arc::clone(f);
+            }
+            e.fused = Some(Arc::clone(&fused));
+            e.fused_bytes = fbytes;
+            e.last_touch = tick;
+            inner.bytes += fbytes;
+            inner.fused_bytes += fbytes;
+            inner.fused_programs += 1;
+            inner.evict_to(self.budget, &self.evictions);
+        }
+        fused
     }
 
     /// Cache activity, in the unified observability shape.
@@ -1396,6 +1509,22 @@ impl DecodeCache {
             evictions: self.evictions.load(Ordering::Relaxed),
             programs: inner.map.len() as u64,
             bytes: inner.bytes as u64,
+        }
+    }
+
+    /// Fused-tier activity: block-cache traffic plus cumulative fusion
+    /// pass output, in the unified observability shape.
+    pub fn fused_stats(&self) -> ic_obs::FusedTierStats {
+        let inner = self.inner.lock();
+        ic_obs::FusedTierStats {
+            hits: self.fused_hits.load(Ordering::Relaxed),
+            misses: self.fused_misses.load(Ordering::Relaxed),
+            programs: inner.fused_programs,
+            bytes: inner.fused_bytes as u64,
+            blocks_compiled: self.blocks_compiled.load(Ordering::Relaxed),
+            superinstructions_fused: self.superinstructions_fused.load(Ordering::Relaxed),
+            micro_ops_lowered: self.micro_ops_lowered.load(Ordering::Relaxed),
+            micro_ops_fused: self.micro_ops_fused.load(Ordering::Relaxed),
         }
     }
 }

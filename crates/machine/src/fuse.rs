@@ -1,0 +1,460 @@
+//! Superinstruction fusion: compile one straight-line block span of
+//! micro-ops into [`SuperOp`]s plus one [`BlockEnd`] terminator.
+//!
+//! The decoded tier pays one dispatch per micro-op. This pass lowers
+//! every simple register-to-register op — the thirteen single-cycle ALU
+//! kinds plus `Mov` and the integer unaries — into one uniform
+//! [`AluSpec`] currency, then collapses *maximal runs* of adjacent specs
+//! into a single [`SuperOp::AluRun`]: the `jit` tier executes a run as
+//! one tight loop over a contiguous spec slice (one perfectly-predicted
+//! branch per sub-op, no dispatch), and the compare feeding the block's
+//! branch fuses into the terminator. Memops stay single superops — their
+//! cost is the memory-model walk, not dispatch.
+//!
+//! Fusion is *semantics-free*: a fused handler executes the exact same
+//! per-op arithmetic, in the same order, against the same ready-time
+//! model as the decoded loop, so any adjacent ops may legally fuse — the
+//! pass groups them purely for dispatch economy. Division and FP stay
+//! unfused singles ([`SuperOp::Bin`] / [`SuperOp::Un`]) so the
+//! div-by-zero error path exists in exactly one handler.
+
+use crate::block::BlockSpan;
+use crate::decode::{DecodedProgram, MicroOp, POp};
+use ic_ir::{ArrId, BinOp, UnOp};
+
+/// Specialized ALU-like kinds — the fusable currency of this pass. The
+/// first thirteen are the single-cycle integer binaries; `Neg`/`NotZ`
+/// are the integer unaries and `MovA` is a register/immediate copy, all
+/// executed via the same two-operand table select (unaries and moves
+/// carry their operand in both slots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AluK {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `dst = -a` (wrapping; mirrors `eval_un(UnOp::Neg)`).
+    Neg,
+    /// `dst = (a == 0)` (mirrors `eval_un(UnOp::Not)`).
+    NotZ,
+    /// `dst = a` (a `Mov`, latency `lat.mov` instead of `lat.alu`).
+    MovA,
+}
+
+/// Evaluate `k` exactly as the decoded loop's per-op closures do
+/// (wrapping i64 arithmetic, arithmetic shifts, signed compares).
+#[inline(always)]
+pub(crate) fn alu_eval(k: AluK, x: i64, y: i64) -> u64 {
+    match k {
+        AluK::Add => x.wrapping_add(y) as u64,
+        AluK::Sub => x.wrapping_sub(y) as u64,
+        AluK::And => (x & y) as u64,
+        AluK::Or => (x | y) as u64,
+        AluK::Xor => (x ^ y) as u64,
+        AluK::Shl => x.wrapping_shl(y as u32 & 63) as u64,
+        AluK::Shr => x.wrapping_shr(y as u32 & 63) as u64,
+        AluK::Eq => (x == y) as u64,
+        AluK::Ne => (x != y) as u64,
+        AluK::Lt => (x < y) as u64,
+        AluK::Le => (x <= y) as u64,
+        AluK::Gt => (x > y) as u64,
+        AluK::Ge => (x >= y) as u64,
+        AluK::Neg => x.wrapping_neg() as u64,
+        AluK::NotZ => (x == 0) as u64,
+        AluK::MovA => x as u64,
+    }
+}
+
+/// One specialized ALU-like micro-op with materialized operands and its
+/// baked writeback latency (`lat.alu`, or `lat.mov` for [`AluK::MovA`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AluSpec {
+    pub(crate) k: AluK,
+    /// Static forwarding flags, set only inside runs: bit 0 / bit 1 mean
+    /// operand `a` / `b` is exactly the previous spec's `dst`, so the
+    /// run loop reads the value and ready time out of registers instead
+    /// of round-tripping through the frame arrays (the write-through to
+    /// `regs`/`ready` still happens — only the *read* is forwarded, so
+    /// the dependent-chain cost of a store-to-load forward disappears
+    /// while every observable stays bit-identical).
+    pub(crate) fwd: u8,
+    pub(crate) lat: u32,
+    pub(crate) dst: u32,
+    pub(crate) a: POp,
+    pub(crate) b: POp,
+}
+
+/// Bit in [`AluSpec::fwd`]: operand `a` forwards from the previous spec.
+pub(crate) const FWD_A: u8 = 1;
+/// Bit in [`AluSpec::fwd`]: operand `b` forwards from the previous spec.
+pub(crate) const FWD_B: u8 = 2;
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LoadSpec {
+    pub(crate) dst: u32,
+    pub(crate) arr: ArrId,
+    pub(crate) idx: POp,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StoreSpec {
+    pub(crate) arr: ArrId,
+    pub(crate) idx: POp,
+    pub(crate) val: POp,
+}
+
+/// A block-body superinstruction: one micro-op, or a maximal run of
+/// adjacent ALU-like micro-ops executed by a single dispatch.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum SuperOp {
+    /// An isolated ALU-like op (run of one).
+    Alu(AluSpec),
+    /// `len >= 2` adjacent ALU-like ops, stored contiguously in the
+    /// program's spec pool: dependence-order execution, each sub-op
+    /// issued and retired exactly as if dispatched alone.
+    AluRun {
+        off: u32,
+        len: u32,
+    },
+    Load(LoadSpec),
+    Store(StoreSpec),
+    /// Generic binary op (mul/div/rem and all FP): keeps its latency and
+    /// counter class, and owns the only div-by-zero error path.
+    Bin {
+        op: BinOp,
+        cls: u8,
+        dst: u32,
+        a: POp,
+        b: POp,
+        lat: u32,
+    },
+    /// FP-class unaries only — integer `Neg`/`Not` lower to ALU specs.
+    Un {
+        op: UnOp,
+        fp: bool,
+        dst: u32,
+        a: POp,
+    },
+    Select {
+        dst: u32,
+        cond: POp,
+        t: POp,
+        f: POp,
+    },
+}
+
+/// How a fused block transfers control, executed once per block visit.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BlockEnd {
+    Jump {
+        target: u32,
+    },
+    Branch {
+        cond: POp,
+        then_t: u32,
+        else_t: u32,
+        site: u64,
+    },
+    /// The final body ALU op fused with the branch consuming its result
+    /// (the decoded tier's compare→branch peek, made static): writes
+    /// `dst` back, then branches on the value. Counts as two micro-ops.
+    CmpBranch {
+        alu: AluSpec,
+        then_t: u32,
+        else_t: u32,
+        site: u64,
+    },
+    Ret {
+        val: POp,
+        has_val: bool,
+    },
+    /// Calls end a block; `resume_ip` (the op after the call) is the
+    /// leader the caller's frame resumes at.
+    Call {
+        dst: u32,
+        callee: u32,
+        args_off: u32,
+        args_len: u16,
+        resume_ip: u32,
+    },
+}
+
+impl BlockEnd {
+    /// Micro-ops this terminator retires (2 for the fused compare+branch).
+    pub(crate) fn n_insts(&self) -> u32 {
+        match self {
+            BlockEnd::CmpBranch { .. } => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// Statically-known counter contributions of a superop slice — the
+/// per-block constants the jit tier adds in one shot, and the amounts
+/// the cold div-by-zero path subtracts back for the unexecuted suffix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StaticCounts {
+    pub(crate) insts: u32,
+    pub(crate) fp: u32,
+    pub(crate) muldiv: u32,
+    pub(crate) ld: u32,
+    pub(crate) sr: u32,
+}
+
+impl SuperOp {
+    /// Micro-ops this superinstruction retires.
+    pub(crate) fn width(&self) -> u32 {
+        match self {
+            SuperOp::AluRun { len, .. } => *len,
+            _ => 1,
+        }
+    }
+}
+
+/// Sum the static counter contributions of `sops`. (ALU runs carry only
+/// instruction count — every ALU-like kind is counter-class none.)
+pub(crate) fn static_counts(sops: &[SuperOp]) -> StaticCounts {
+    let mut c = StaticCounts::default();
+    for s in sops {
+        c.insts += s.width();
+        match s {
+            SuperOp::Load(..) => c.ld += 1,
+            SuperOp::Store(..) => c.sr += 1,
+            SuperOp::Bin { cls, .. } => match cls {
+                1 => c.fp += 1,
+                2 => c.muldiv += 1,
+                _ => {}
+            },
+            SuperOp::Un { fp, .. } => c.fp += *fp as u32,
+            _ => {}
+        }
+    }
+    c
+}
+
+/// A block compiled by [`fuse_span`]. `AluRun` offsets index `pool`
+/// (block-local; rebased into the program pool by the caller).
+pub(crate) struct FusedBlockIr {
+    pub(crate) sops: Vec<SuperOp>,
+    pub(crate) pool: Vec<AluSpec>,
+    pub(crate) end: BlockEnd,
+    /// Micro-ops covered by multi-op superinstructions (CmpBranch
+    /// included) — the fusion-ratio numerator.
+    pub(crate) micro_ops_fused: u32,
+    /// Multi-op superinstructions emitted.
+    pub(crate) superinstructions: u32,
+}
+
+/// Intermediate classification for the run builder below.
+enum Cls {
+    A(AluSpec),
+    Other(SuperOp),
+}
+
+fn classify(op: MicroOp, alu_lat: u32, mov_lat: u32) -> Cls {
+    let a_ = |k, dst, a, b| {
+        Cls::A(AluSpec {
+            k,
+            fwd: 0,
+            lat: alu_lat,
+            dst,
+            a,
+            b,
+        })
+    };
+    match op {
+        MicroOp::Add { dst, a, b } => a_(AluK::Add, dst, a, b),
+        MicroOp::Sub { dst, a, b } => a_(AluK::Sub, dst, a, b),
+        MicroOp::And { dst, a, b } => a_(AluK::And, dst, a, b),
+        MicroOp::Or { dst, a, b } => a_(AluK::Or, dst, a, b),
+        MicroOp::Xor { dst, a, b } => a_(AluK::Xor, dst, a, b),
+        MicroOp::Shl { dst, a, b } => a_(AluK::Shl, dst, a, b),
+        MicroOp::Shr { dst, a, b } => a_(AluK::Shr, dst, a, b),
+        MicroOp::CmpEq { dst, a, b } => a_(AluK::Eq, dst, a, b),
+        MicroOp::CmpNe { dst, a, b } => a_(AluK::Ne, dst, a, b),
+        MicroOp::CmpLt { dst, a, b } => a_(AluK::Lt, dst, a, b),
+        MicroOp::CmpLe { dst, a, b } => a_(AluK::Le, dst, a, b),
+        MicroOp::CmpGt { dst, a, b } => a_(AluK::Gt, dst, a, b),
+        MicroOp::CmpGe { dst, a, b } => a_(AluK::Ge, dst, a, b),
+        MicroOp::Un {
+            op: UnOp::Neg,
+            fp: false,
+            dst,
+            a,
+        } => a_(AluK::Neg, dst, a, a),
+        MicroOp::Un {
+            op: UnOp::Not,
+            fp: false,
+            dst,
+            a,
+        } => a_(AluK::NotZ, dst, a, a),
+        MicroOp::Mov { dst, src } => Cls::A(AluSpec {
+            k: AluK::MovA,
+            fwd: 0,
+            lat: mov_lat,
+            dst,
+            a: src,
+            b: src,
+        }),
+        MicroOp::Load { dst, arr, idx } => Cls::Other(SuperOp::Load(LoadSpec { dst, arr, idx })),
+        MicroOp::Store { arr, idx, val } => Cls::Other(SuperOp::Store(StoreSpec { arr, idx, val })),
+        MicroOp::Bin {
+            op,
+            cls,
+            dst,
+            a,
+            b,
+            lat,
+        } => Cls::Other(SuperOp::Bin {
+            op,
+            cls,
+            dst,
+            a,
+            b,
+            lat,
+        }),
+        MicroOp::Un { op, fp, dst, a } => Cls::Other(SuperOp::Un { op, fp, dst, a }),
+        MicroOp::Select { dst, cond, t, f } => Cls::Other(SuperOp::Select { dst, cond, t, f }),
+        MicroOp::Jump { .. }
+        | MicroOp::Branch { .. }
+        | MicroOp::Ret { .. }
+        | MicroOp::Call { .. } => {
+            unreachable!("terminators are not block-body ops")
+        }
+    }
+}
+
+/// Compile one span into superops + terminator: lower ALU-like ops to
+/// specs, emit maximal adjacent runs (`len >= 2`) as [`SuperOp::AluRun`],
+/// and fuse the block-final ALU op into the branch that consumes it.
+pub(crate) fn fuse_span(prog: &DecodedProgram, span: BlockSpan) -> FusedBlockIr {
+    let body = &prog.ops[span.start as usize..span.term as usize];
+    let term = prog.ops[span.term as usize];
+
+    let mut cls: Vec<Cls> = body
+        .iter()
+        .map(|op| classify(*op, prog.alu_lat, prog.mov_lat))
+        .collect();
+
+    let mut superinstructions = 0u32;
+    let mut micro_fused = 0u32;
+    let mut end = match term {
+        MicroOp::Jump { target } => BlockEnd::Jump { target },
+        MicroOp::Branch {
+            cond,
+            then_t,
+            else_t,
+            site,
+        } => BlockEnd::Branch {
+            cond,
+            then_t,
+            else_t,
+            site,
+        },
+        MicroOp::Ret { val, has_val } => BlockEnd::Ret { val, has_val },
+        MicroOp::Call {
+            dst,
+            callee,
+            args_off,
+            args_len,
+        } => BlockEnd::Call {
+            dst,
+            callee,
+            args_off,
+            args_len,
+            resume_ip: span.term + 1,
+        },
+        _ => unreachable!("span must end at a control transfer"),
+    };
+    // Fuse the block-final ALU op into a branch terminator when the
+    // branch consumes exactly that op's destination register.
+    if let BlockEnd::Branch {
+        cond,
+        then_t,
+        else_t,
+        site,
+    } = end
+    {
+        if let Some(Cls::A(alu)) = cls.last() {
+            if alu.dst == cond.0 {
+                end = BlockEnd::CmpBranch {
+                    alu: *alu,
+                    then_t,
+                    else_t,
+                    site,
+                };
+                cls.pop();
+                superinstructions += 1;
+                micro_fused += 2;
+            }
+        }
+    }
+
+    let mut sops = Vec::with_capacity(cls.len());
+    let mut pool = Vec::new();
+    let mut i = 0;
+    while i < cls.len() {
+        match &cls[i] {
+            Cls::A(first) => {
+                let mut j = i + 1;
+                while j < cls.len() && matches!(cls[j], Cls::A(..)) {
+                    j += 1;
+                }
+                let len = (j - i) as u32;
+                if len >= 2 {
+                    let off = pool.len() as u32;
+                    for c in &cls[i..j] {
+                        match c {
+                            Cls::A(a) => pool.push(*a),
+                            Cls::Other(_) => unreachable!(),
+                        }
+                    }
+                    // Mark operands that consume the immediately
+                    // preceding spec's result: the run loop forwards
+                    // those from registers (see [`AluSpec::fwd`]).
+                    // Immediate slots can never match — `dst` is always
+                    // a real register index, immediates sit past them.
+                    for p in off as usize + 1..pool.len() {
+                        let prev_dst = pool[p - 1].dst;
+                        let s = &mut pool[p];
+                        s.fwd = (FWD_A * (s.a.0 == prev_dst) as u8)
+                            | (FWD_B * (s.b.0 == prev_dst) as u8);
+                    }
+                    sops.push(SuperOp::AluRun { off, len });
+                    superinstructions += 1;
+                    micro_fused += len;
+                } else {
+                    sops.push(SuperOp::Alu(*first));
+                }
+                i = j;
+            }
+            Cls::Other(o) => {
+                sops.push(*o);
+                i += 1;
+            }
+        }
+    }
+
+    debug_assert_eq!(
+        static_counts(&sops).insts + end.n_insts(),
+        span.n_insts(),
+        "fusion must preserve micro-op count"
+    );
+
+    FusedBlockIr {
+        sops,
+        pool,
+        end,
+        micro_ops_fused: micro_fused,
+        superinstructions,
+    }
+}

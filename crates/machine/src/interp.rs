@@ -345,9 +345,7 @@ impl<'m> Sim<'m> {
                                 Self::operand_val(fr, idx) as i64,
                             )
                         };
-                        let widx = self.mem.wrap_index(*arr, vi);
-                        let addr = self.mem.address(*arr, widx);
-                        let val = self.mem.read(*arr, widx);
+                        let (val, addr) = self.mem.load(*arr, vi);
                         let at = self.issue(ri);
                         let lat = self.mem_access(addr, false, l2);
                         let fr = self.frames.last_mut().unwrap();
@@ -363,9 +361,7 @@ impl<'m> Sim<'m> {
                                 Self::operand_val(fr, val),
                             )
                         };
-                        let widx = self.mem.wrap_index(*arr, vi);
-                        let addr = self.mem.address(*arr, widx);
-                        self.mem.write(*arr, widx, vv);
+                        let addr = self.mem.store(*arr, vi, vv);
                         let _at = self.issue(ready);
                         // Stores retire through a store buffer: the access
                         // updates cache state and counters, and L2 store

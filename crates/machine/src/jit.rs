@@ -1,0 +1,769 @@
+//! The block-compiled ("template JIT") execution tier.
+//!
+//! Tier three of the simulator: [`crate::block`] partitions a decoded
+//! program into straight-line spans, [`crate::fuse`] compiles each span
+//! into superinstructions, and this module executes whole blocks per
+//! dispatch with the timing model *folded into the block*:
+//!
+//! * the instruction budget is debited once per block (`n_insts` is a
+//!   compile-time constant of the block);
+//! * statically-known counter contributions (`FP_INS`, `MULDIV_INS`,
+//!   `LD_INS`, `SR_INS`, `L1_TCA`) are added as per-block constants
+//!   instead of per-op increments;
+//! * dynamic events (cycle/stall arithmetic through `issue`, TLB and
+//!   cache misses, branch prediction, `BR_INS`/`BR_MSP`/`CALLS`) are
+//!   accounted in the fused handlers, arithmetically identical to the
+//!   decoded loop.
+//!
+//! **Bit-identity contract**: [`FusedSim`] must match the legacy
+//! interpreter *and* [`DecodedSim`] exactly — same return word, same
+//! final memory, same cycle count, same every-counter vector, under any
+//! step quantum. Where a slice boundary lands mid-block (the previous
+//! quantum ran out inside a span), [`FusedSim::step`] falls back to the
+//! per-op decoded engine until the next block leader, and when the
+//! remaining budget is smaller than the next block it finishes the slice
+//! per-op — so slicing composes exactly as in the other tiers. The cold
+//! error paths (div-by-zero, call-depth) subtract the unexecuted suffix
+//! of the block's static constants back out, preserving the
+//! "bump-then-execute" counter semantics of the legacy loop.
+
+use crate::cache::{Access, Cache};
+use crate::config::MachineConfig;
+use crate::counters::{Counter, PerfCounters};
+use crate::decode::{issue, DFrame, DecodedProgram, DecodedSim, POp};
+use crate::fuse::{alu_eval, fuse_span, static_counts, AluSpec, BlockEnd, SuperOp, FWD_A, FWD_B};
+use crate::interp::{eval_bin, eval_un, RunResult, SimError, StepOutcome, MAX_CALL_DEPTH};
+use crate::mem::Memory;
+use std::sync::Arc;
+
+/// `block_of` sentinel: this op offset does not start a block.
+const NOT_LEADER: u32 = u32::MAX;
+
+/// Sentinel register index meaning "no register" (mirrors decode.rs).
+const NO_REG: u32 = u32::MAX;
+
+/// One compiled block: a slice of the program's superop pool plus the
+/// folded timing constants. Exactly 32 bytes — the terminator lives in
+/// the parallel [`FusedProgram::ends`] array so the header load and the
+/// terminator load are two independent half-line fetches off the block
+/// index rather than one serialized 80-byte read.
+pub(crate) struct FusedBlock {
+    sops_off: u32,
+    sops_len: u32,
+    /// Op offset of the block's first micro-op (the leader ip).
+    start_ip: u32,
+    /// Micro-ops retired by one full execution, terminator included.
+    n_insts: u32,
+    /// Per-block static counter constants over the body superops.
+    fp_ins: u32,
+    muldiv_ins: u32,
+    ld_ins: u32,
+    sr_ins: u32,
+}
+
+/// A block terminator with its control-flow targets resolved to *block
+/// indices* at compile time ("threaded blocks"): every branch/jump
+/// target and call resume point is a span leader (see [`crate::block`]),
+/// so the successor block is static and the hot loop chains directly
+/// from terminator to next block — no per-block `block_of[ip]` lookup,
+/// no leader check on the critical load chain. Target *ips* are
+/// recoverable as `blocks[b].start_ip`; the loop only materializes
+/// `cur.ip` on the cold pause/call/error edges.
+#[derive(Clone, Copy)]
+enum LinkedEnd {
+    Jump {
+        target_b: u32,
+    },
+    Branch {
+        cond: POp,
+        then_b: u32,
+        else_b: u32,
+        site: u64,
+    },
+    CmpBranch {
+        alu: AluSpec,
+        then_b: u32,
+        else_b: u32,
+        site: u64,
+    },
+    Ret {
+        val: POp,
+        has_val: bool,
+    },
+    Call {
+        dst: u32,
+        callee: u32,
+        args_off: u32,
+        args_len: u16,
+        resume_b: u32,
+    },
+}
+
+/// Cumulative fusion-pass output for one compiled program.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuseSummary {
+    /// Basic blocks compiled.
+    pub blocks: u64,
+    /// Multi-op superinstructions emitted (compare+branch included).
+    pub superinstructions_fused: u64,
+    /// Total micro-ops lowered into blocks.
+    pub micro_ops_lowered: u64,
+    /// Micro-ops covered by multi-op superinstructions.
+    pub micro_ops_fused: u64,
+}
+
+impl FuseSummary {
+    /// Fraction of micro-ops covered by fused superinstructions.
+    pub fn fusion_ratio(&self) -> f64 {
+        if self.micro_ops_lowered == 0 {
+            0.0
+        } else {
+            self.micro_ops_fused as f64 / self.micro_ops_lowered as f64
+        }
+    }
+}
+
+/// A decoded program block-compiled for the fused tier. Immutable and
+/// `Arc`-shared exactly like [`DecodedProgram`] (which it embeds — the
+/// per-op fallback paths execute from the same op array).
+pub struct FusedProgram {
+    pub(crate) decoded: Arc<DecodedProgram>,
+    sops: Vec<SuperOp>,
+    /// Contiguous [`AluSpec`] storage for every [`SuperOp::AluRun`]
+    /// (offsets are program-global; rebased from block-local at compile).
+    alu_pool: Vec<crate::fuse::AluSpec>,
+    blocks: Vec<FusedBlock>,
+    /// Block terminators, parallel to `blocks`, with successor block
+    /// indices pre-resolved (see [`LinkedEnd`]).
+    ends: Vec<LinkedEnd>,
+    /// Per-function entry block index, parallel to `decoded.funcs`.
+    entry_block: Vec<u32>,
+    /// Per-op-offset leader map: block index if this ip starts a block,
+    /// else [`NOT_LEADER`]. Total over reachable control flow (every
+    /// branch/jump target, call resume point and function entry is a
+    /// leader — see `crate::block`). The hot loop only consults it at
+    /// slice entry and on return from a call; terminators chain to their
+    /// successors directly.
+    block_of: Vec<u32>,
+    summary: FuseSummary,
+}
+
+impl FusedProgram {
+    /// Block-compile `decoded`. Linear in program size.
+    pub fn compile(decoded: &Arc<DecodedProgram>) -> FusedProgram {
+        let spans = crate::block::partition(decoded);
+        let mut sops = Vec::new();
+        let mut alu_pool = Vec::new();
+        let mut blocks = Vec::with_capacity(spans.len());
+        let mut block_of = vec![NOT_LEADER; decoded.ops.len()];
+        let mut summary = FuseSummary {
+            blocks: spans.len() as u64,
+            ..FuseSummary::default()
+        };
+        let mut raw_ends = Vec::with_capacity(blocks.capacity());
+        for span in spans {
+            let ir = fuse_span(decoded, span);
+            let counts = static_counts(&ir.sops);
+            let off = sops.len() as u32;
+            // Rebase the block-local run offsets into the shared pool.
+            let pool_base = alu_pool.len() as u32;
+            alu_pool.extend_from_slice(&ir.pool);
+            sops.extend(ir.sops.iter().map(|s| match *s {
+                SuperOp::AluRun { off, len } => SuperOp::AluRun {
+                    off: pool_base + off,
+                    len,
+                },
+                other => other,
+            }));
+            block_of[span.start as usize] = blocks.len() as u32;
+            blocks.push(FusedBlock {
+                sops_off: off,
+                sops_len: ir.sops.len() as u32,
+                start_ip: span.start,
+                n_insts: span.n_insts(),
+                fp_ins: counts.fp,
+                muldiv_ins: counts.muldiv,
+                ld_ins: counts.ld,
+                sr_ins: counts.sr,
+            });
+            raw_ends.push(ir.end);
+            summary.superinstructions_fused += ir.superinstructions as u64;
+            summary.micro_ops_fused += ir.micro_ops_fused as u64;
+            summary.micro_ops_lowered += span.n_insts() as u64;
+        }
+        // Link pass: with `block_of` total, resolve every terminator
+        // target ip to its block index. All targets are span leaders by
+        // the decoder invariants (`crate::block`), so the lookups cannot
+        // miss.
+        let link = |ip: u32| -> u32 {
+            let b = block_of[ip as usize];
+            debug_assert_ne!(b, NOT_LEADER, "terminator target must be a leader");
+            b
+        };
+        let ends = raw_ends
+            .iter()
+            .map(|e| match *e {
+                BlockEnd::Jump { target } => LinkedEnd::Jump {
+                    target_b: link(target),
+                },
+                BlockEnd::Branch {
+                    cond,
+                    then_t,
+                    else_t,
+                    site,
+                } => LinkedEnd::Branch {
+                    cond,
+                    then_b: link(then_t),
+                    else_b: link(else_t),
+                    site,
+                },
+                BlockEnd::CmpBranch {
+                    alu,
+                    then_t,
+                    else_t,
+                    site,
+                } => LinkedEnd::CmpBranch {
+                    alu,
+                    then_b: link(then_t),
+                    else_b: link(else_t),
+                    site,
+                },
+                BlockEnd::Ret { val, has_val } => LinkedEnd::Ret { val, has_val },
+                BlockEnd::Call {
+                    dst,
+                    callee,
+                    args_off,
+                    args_len,
+                    resume_ip,
+                } => LinkedEnd::Call {
+                    dst,
+                    callee,
+                    args_off,
+                    args_len,
+                    resume_b: link(resume_ip),
+                },
+            })
+            .collect();
+        let entry_block = decoded.funcs.iter().map(|f| link(f.entry_op)).collect();
+        FusedProgram {
+            decoded: Arc::clone(decoded),
+            sops,
+            alu_pool,
+            blocks,
+            ends,
+            entry_block,
+            block_of,
+            summary,
+        }
+    }
+
+    /// The decoded program this was compiled from.
+    pub fn decoded(&self) -> &Arc<DecodedProgram> {
+        &self.decoded
+    }
+
+    /// Fusion-pass output (blocks, superinstructions, coverage).
+    pub fn summary(&self) -> FuseSummary {
+        self.summary
+    }
+
+    /// Compiled block count.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Approximate heap footprint in bytes, for the cache's byte budget
+    /// (excludes the embedded decoded program, budgeted separately).
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.sops.len() * std::mem::size_of::<SuperOp>()
+            + self.alu_pool.len() * std::mem::size_of::<crate::fuse::AluSpec>()
+            + self.blocks.len() * std::mem::size_of::<FusedBlock>()
+            + self.ends.len() * std::mem::size_of::<LinkedEnd>()
+            + self.entry_block.len() * std::mem::size_of::<u32>()
+            + self.block_of.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// What a `step_blocks` burst ended with.
+pub(crate) enum BlockOutcome {
+    /// Entry function returned.
+    Finished(Option<u64>),
+    /// Budget too small for the next block (or `ip` is mid-block).
+    Paused,
+}
+
+impl DecodedSim {
+    /// Execute whole fused blocks while the remaining budget covers
+    /// them. Returns the number of micro-ops retired plus the outcome;
+    /// errors flush counters exactly like [`DecodedSim::step`].
+    pub(crate) fn step_blocks(
+        &mut self,
+        fprog: &FusedProgram,
+        max_insts: u64,
+        l2: &mut Cache,
+    ) -> Result<(u64, BlockOutcome), SimError> {
+        let dec = Arc::clone(&self.prog);
+        let imms = &dec.imms[..];
+        let sops = &fprog.sops[..];
+        let alu_pool = &fprog.alu_pool[..];
+        let blocks = &fprog.blocks[..];
+        let ends = &fprog.ends[..];
+        let entry_block = &fprog.entry_block[..];
+        let block_of = &fprog.block_of[..];
+
+        let mut cur = self.frames.pop().expect("non-empty call stack");
+        let mut cycle = self.cycle;
+        let mut slots_used = self.slots_used;
+        let mut stall = self.stall;
+        let width = self.cfg.issue_width;
+        let alu = self.cfg.lat.alu;
+        let call_overhead = self.cfg.call_overhead;
+        let taken_branch_cost = self.cfg.taken_branch_cost;
+        let branch_penalty = self.cfg.branch_penalty;
+        let load_base = self.cfg.lat.load_base;
+        let tlb_penalty = self.cfg.tlb_penalty;
+
+        let mut fp_ins: u64 = 0;
+        let mut muldiv_ins: u64 = 0;
+        let mut calls: u64 = 0;
+        let mut br_ins: u64 = 0;
+        let mut br_msp: u64 = 0;
+        let mut ld_ins: u64 = 0;
+        let mut sr_ins: u64 = 0;
+        let mut tlb_dm: u64 = 0;
+        let mut budget = max_insts;
+        macro_rules! flush {
+            () => {
+                self.counters.add(Counter::TOT_INS, max_insts - budget);
+                self.counters.add(Counter::FP_INS, fp_ins);
+                self.counters.add(Counter::MULDIV_INS, muldiv_ins);
+                self.counters.add(Counter::CALLS, calls);
+                self.counters.add(Counter::BR_INS, br_ins);
+                self.counters.add(Counter::BR_MSP, br_msp);
+                self.counters.add(Counter::LD_INS, ld_ins);
+                self.counters.add(Counter::SR_INS, sr_ins);
+                // Every load/store probes L1 exactly once.
+                self.counters.add(Counter::L1_TCA, ld_ins + sr_ins);
+                self.counters.add(Counter::TLB_DM, tlb_dm);
+                self.cycle = cycle;
+                self.slots_used = slots_used;
+                self.stall = stall;
+            };
+        }
+        macro_rules! wb {
+            ($dst:expr, $val:expr, $ready_at:expr) => {{
+                let d = $dst as usize;
+                debug_assert!(d < cur.regs.len());
+                unsafe {
+                    *cur.regs.get_unchecked_mut(d) = $val;
+                    *cur.ready.get_unchecked_mut(d) = $ready_at;
+                }
+            }};
+        }
+        macro_rules! do_branch {
+            ($vc:expr, $rc:expr, $then_b:expr, $else_b:expr, $site:expr) => {{
+                br_ins += 1;
+                let taken = $vc != 0;
+                let _at = issue(&mut cycle, &mut slots_used, &mut stall, width, $rc);
+                let correct = self.bp.predict_and_update($site, taken);
+                let msp = !correct as u64;
+                br_msp += msp;
+                cycle += msp * branch_penalty + taken as u64 * taken_branch_cost;
+                slots_used *= (correct & !taken) as u32;
+                if taken {
+                    $then_b
+                } else {
+                    $else_b
+                }
+            }};
+        }
+        // The three fused-handler bodies. They mirror the decoded loop's
+        // `alu!` / `Load` / `Store` arms except that `LD_INS`/`SR_INS`/
+        // `L1_TCA` and the ALU counter classes come from the per-block
+        // constants instead of per-op bumps.
+        macro_rules! alu_x {
+            ($s:expr) => {{
+                let s = $s;
+                let ra = s.a.ready(&cur.ready);
+                let rb = s.b.ready(&cur.ready);
+                let va = s.a.val(&cur.regs);
+                let vb = s.b.val(&cur.regs);
+                let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ra.max(rb));
+                wb!(
+                    s.dst,
+                    alu_eval(s.k, va as i64, vb as i64),
+                    at + s.lat as u64
+                );
+            }};
+        }
+        macro_rules! load_x {
+            ($l:expr) => {{
+                let l = $l;
+                let ri = l.idx.ready(&cur.ready);
+                let vi = l.idx.val(&cur.regs) as i64;
+                let (val, addr) = self.mem.load(l.arr, vi);
+                let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ri);
+                let mut lat = load_base;
+                if !self.tlb.access(addr) {
+                    tlb_dm += 1;
+                    lat += tlb_penalty;
+                }
+                if let Access::Miss { writeback } = self.l1.access(addr, false) {
+                    lat += self.l1_miss(addr, false, writeback, l2);
+                }
+                wb!(l.dst, val, at + lat);
+            }};
+        }
+        macro_rules! store_x {
+            ($s:expr) => {{
+                let s = $s;
+                let ready = s.idx.ready(&cur.ready).max(s.val.ready(&cur.ready));
+                let vi = s.idx.val(&cur.regs) as i64;
+                let vv = s.val.val(&cur.regs);
+                let addr = self.mem.store(s.arr, vi, vv);
+                let _at = issue(&mut cycle, &mut slots_used, &mut stall, width, ready);
+                if !self.tlb.access(addr) {
+                    tlb_dm += 1;
+                }
+                if let Access::Miss { writeback } = self.l1.access(addr, true) {
+                    let _ = self.l1_miss(addr, true, writeback, l2);
+                }
+            }};
+        }
+
+        // Resolve the entry block once; from here on, terminators chain
+        // block-to-block and `cur.ip` is only written on the edges where
+        // another engine might observe it (pause, call, return, error).
+        debug_assert!((cur.ip as usize) < block_of.len());
+        // SAFETY: `ip` always points at a decoded op (same invariant as
+        // the decoded loop), and `block_of` has one slot per op.
+        let mut bi = unsafe { *block_of.get_unchecked(cur.ip as usize) };
+        let outcome = loop {
+            if bi == NOT_LEADER {
+                // Only reachable straight from entry: a previous slice
+                // paused mid-block, so `cur.ip` is still untouched and
+                // correct.
+                break BlockOutcome::Paused;
+            }
+            let blk = unsafe { blocks.get_unchecked(bi as usize) };
+            if blk.n_insts as u64 > budget {
+                cur.ip = blk.start_ip;
+                break BlockOutcome::Paused;
+            }
+            // Fold the block's timing constants in one shot.
+            budget -= blk.n_insts as u64;
+            fp_ins += blk.fp_ins as u64;
+            muldiv_ins += blk.muldiv_ins as u64;
+            ld_ins += blk.ld_ins as u64;
+            sr_ins += blk.sr_ins as u64;
+
+            debug_assert!((blk.sops_off + blk.sops_len) as usize <= sops.len());
+            // SAFETY: `compile` builds block superop ranges to tile
+            // `sops` exactly; offsets never change after construction.
+            let body = unsafe {
+                sops.get_unchecked(blk.sops_off as usize..(blk.sops_off + blk.sops_len) as usize)
+            };
+            for sop in body.iter() {
+                match *sop {
+                    SuperOp::Alu(a) => alu_x!(a),
+                    SuperOp::AluRun { off, len } => {
+                        // The whole run is one spec slice: no dispatch
+                        // between sub-ops, just the (perfectly predicted,
+                        // `len` is a constant of the superop) loop branch.
+                        // Statically-marked operands forward the previous
+                        // spec's value/ready from registers, cutting the
+                        // store-to-load round trip out of dependent
+                        // chains; writes still go through to the frame
+                        // arrays so every other reader sees exact state.
+                        debug_assert!((off + len) as usize <= alu_pool.len());
+                        let specs =
+                            unsafe { alu_pool.get_unchecked(off as usize..(off + len) as usize) };
+                        let mut last_val = 0u64;
+                        let mut last_rdy = 0u64;
+                        for s in specs {
+                            let fa = s.fwd & FWD_A != 0;
+                            let fb = s.fwd & FWD_B != 0;
+                            let ra = if fa { last_rdy } else { s.a.ready(&cur.ready) };
+                            let rb = if fb { last_rdy } else { s.b.ready(&cur.ready) };
+                            let va = if fa { last_val } else { s.a.val(&cur.regs) };
+                            let vb = if fb { last_val } else { s.b.val(&cur.regs) };
+                            let at =
+                                issue(&mut cycle, &mut slots_used, &mut stall, width, ra.max(rb));
+                            let v = alu_eval(s.k, va as i64, vb as i64);
+                            let rdy = at + s.lat as u64;
+                            wb!(s.dst, v, rdy);
+                            last_val = v;
+                            last_rdy = rdy;
+                        }
+                    }
+                    SuperOp::Load(l) => load_x!(l),
+                    SuperOp::Store(s) => store_x!(s),
+                    SuperOp::Bin {
+                        op, dst, a, b, lat, ..
+                    } => {
+                        let ra = a.ready(&cur.ready);
+                        let rb = b.ready(&cur.ready);
+                        let va = a.val(&cur.regs);
+                        let vb = b.val(&cur.regs);
+                        let val = match eval_bin(op, va, vb) {
+                            Some(v) => v,
+                            None => {
+                                // Cold path: the block's constants were
+                                // added in full, but execution stopped at
+                                // this op. Subtract the unexecuted suffix
+                                // back out; the erroring op stays counted
+                                // (bump-then-execute, as in the other
+                                // tiers). `si` is recovered by pointer
+                                // arithmetic so the hot loop carries no
+                                // index counter.
+                                let si = (sop as *const SuperOp as usize - body.as_ptr() as usize)
+                                    / std::mem::size_of::<SuperOp>();
+                                let done = static_counts(&body[..si]);
+                                let rest = static_counts(&body[si + 1..]);
+                                let consumed = done.insts + 1;
+                                budget += (blk.n_insts - consumed) as u64;
+                                fp_ins -= rest.fp as u64;
+                                muldiv_ins -= rest.muldiv as u64;
+                                ld_ins -= rest.ld as u64;
+                                sr_ins -= rest.sr as u64;
+                                cur.ip = blk.start_ip + consumed;
+                                let func = dec.funcs[cur.func as usize].sym;
+                                flush!();
+                                self.frames.push(cur);
+                                return Err(SimError::DivByZero { func });
+                            }
+                        };
+                        let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ra.max(rb));
+                        wb!(dst, val, at + lat as u64);
+                    }
+                    SuperOp::Un { op, dst, a, .. } => {
+                        let ra = a.ready(&cur.ready);
+                        let va = a.val(&cur.regs);
+                        let val = eval_un(op, va);
+                        let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ra);
+                        wb!(dst, val, at + alu);
+                    }
+                    SuperOp::Select { dst, cond, t, f } => {
+                        let ready = cond
+                            .ready(&cur.ready)
+                            .max(t.ready(&cur.ready))
+                            .max(f.ready(&cur.ready));
+                        let vc = cond.val(&cur.regs);
+                        let vt = t.val(&cur.regs);
+                        let vf = f.val(&cur.regs);
+                        let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ready);
+                        wb!(dst, if vc != 0 { vt } else { vf }, at + alu);
+                    }
+                }
+            }
+
+            // SAFETY: `ends` is parallel to `blocks` by construction.
+            match *unsafe { ends.get_unchecked(bi as usize) } {
+                LinkedEnd::Jump { target_b } => {
+                    let _at = issue(&mut cycle, &mut slots_used, &mut stall, width, 0);
+                    cycle += taken_branch_cost;
+                    slots_used = 0;
+                    bi = target_b;
+                }
+                LinkedEnd::Branch {
+                    cond,
+                    then_b,
+                    else_b,
+                    site,
+                } => {
+                    let rc = cond.ready(&cur.ready);
+                    let vc = cond.val(&cur.regs);
+                    bi = do_branch!(vc, rc, then_b, else_b, site);
+                }
+                LinkedEnd::CmpBranch {
+                    alu: a,
+                    then_b,
+                    else_b,
+                    site,
+                } => {
+                    let ra = a.a.ready(&cur.ready);
+                    let rb = a.b.ready(&cur.ready);
+                    let va = a.a.val(&cur.regs);
+                    let vb = a.b.val(&cur.regs);
+                    let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ra.max(rb));
+                    let v = alu_eval(a.k, va as i64, vb as i64);
+                    let rdy = at + a.lat as u64;
+                    wb!(a.dst, v, rdy);
+                    bi = do_branch!(v, rdy, then_b, else_b, site);
+                }
+                LinkedEnd::Ret { val, has_val } => {
+                    let (v, ready) = if has_val {
+                        (Some(val.val(&cur.regs)), val.ready(&cur.ready))
+                    } else {
+                        (None, 0)
+                    };
+                    let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ready);
+                    cycle = (at + call_overhead).max(cycle);
+                    slots_used = 0;
+                    match self.frames.pop() {
+                        None => {
+                            flush!();
+                            self.finished = Some(v);
+                            return Ok((max_insts - budget, BlockOutcome::Finished(v)));
+                        }
+                        Some(caller) => {
+                            let done = std::mem::replace(&mut cur, caller);
+                            if done.ret_dst != NO_REG {
+                                if let Some(v) = v {
+                                    cur.regs[done.ret_dst as usize] = v;
+                                    cur.ready[done.ret_dst as usize] = cycle;
+                                }
+                            }
+                            self.pool.push((done.regs, done.ready));
+                            // The caller's `ip` was set to its resume
+                            // point at call time, which is a leader.
+                            bi = unsafe { *block_of.get_unchecked(cur.ip as usize) };
+                        }
+                    }
+                }
+                LinkedEnd::Call {
+                    dst,
+                    callee,
+                    args_off,
+                    args_len,
+                    resume_b,
+                } => {
+                    let resume_ip = unsafe { blocks.get_unchecked(resume_b as usize) }.start_ip;
+                    if self.frames.len() + 1 >= MAX_CALL_DEPTH {
+                        // The call op itself stays counted; the caller
+                        // resumes past it, as in the decoded loop.
+                        cur.ip = resume_ip;
+                        flush!();
+                        self.frames.push(cur);
+                        return Err(SimError::CallDepth);
+                    }
+                    calls += 1;
+                    let args = &dec.args[args_off as usize..args_off as usize + args_len as usize];
+                    let mut ops_ready = 0;
+                    for a in args {
+                        ops_ready = ops_ready.max(a.ready(&cur.ready));
+                    }
+                    let at = issue(&mut cycle, &mut slots_used, &mut stall, width, ops_ready);
+                    cycle = (at + call_overhead).max(cycle);
+                    slots_used = 0;
+                    let target = dec.funcs[callee as usize];
+                    let (mut regs, mut ready) = self.pool.pop().unwrap_or_default();
+                    regs.clear();
+                    regs.resize(target.num_regs as usize, 0);
+                    regs.extend_from_slice(target.imms(imms));
+                    ready.clear();
+                    ready.resize(regs.len(), 0);
+                    let params = &dec.params[target.params_off as usize
+                        ..target.params_off as usize + target.params_len as usize];
+                    for (a, p) in args.iter().zip(params) {
+                        regs[*p as usize] = a.val(&cur.regs);
+                        ready[*p as usize] = cycle;
+                    }
+                    let new = DFrame {
+                        func: callee,
+                        ip: target.entry_op,
+                        regs,
+                        ready,
+                        ret_dst: dst,
+                    };
+                    cur.ip = resume_ip;
+                    self.frames.push(std::mem::replace(&mut cur, new));
+                    // SAFETY: `entry_block` is parallel to `funcs`, and
+                    // `callee` indexes `funcs` (decoder invariant).
+                    bi = unsafe { *entry_block.get_unchecked(callee as usize) };
+                }
+            }
+        };
+        flush!();
+        self.frames.push(cur);
+        Ok((max_insts - budget, outcome))
+    }
+}
+
+/// The fused-tier simulator: the same observable behaviour and the same
+/// resumable `step` contract as [`DecodedSim`] and the legacy
+/// interpreter, one dispatch per superinstruction instead of per op.
+pub struct FusedSim {
+    sim: DecodedSim,
+    prog: Arc<FusedProgram>,
+}
+
+impl FusedSim {
+    /// Set up a simulation of `prog` starting at its entry function.
+    pub fn new(prog: Arc<FusedProgram>, cfg: &MachineConfig, mem: Memory) -> Self {
+        FusedSim {
+            sim: DecodedSim::new(Arc::clone(&prog.decoded), cfg, mem),
+            prog,
+        }
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.sim.cycle()
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> &PerfCounters {
+        self.sim.counters()
+    }
+
+    /// Read access to the simulated memory.
+    pub fn mem(&self) -> &Memory {
+        self.sim.mem()
+    }
+
+    /// True once the entry function has returned.
+    pub fn is_finished(&self) -> bool {
+        self.sim.is_finished()
+    }
+
+    /// Finalize: fold derived counters and release memory + counters.
+    pub fn into_result(self, ret: Option<u64>) -> RunResult {
+        self.sim.into_result(ret)
+    }
+
+    /// The compiled program this simulator executes.
+    pub fn program(&self) -> &Arc<FusedProgram> {
+        &self.prog
+    }
+
+    /// True when the current `ip` starts a compiled block (false only
+    /// when a previous slice paused mid-block).
+    fn at_leader(&self) -> bool {
+        match self.sim.frames.last() {
+            Some(f) => self.prog.block_of[f.ip as usize] != NOT_LEADER,
+            None => true,
+        }
+    }
+
+    /// Execute up to `max_insts` micro-ops against the shared `l2`,
+    /// block-wise. Slicing into arbitrary quanta is bit-identical to one
+    /// uninterrupted run, exactly like the other two tiers.
+    pub fn step(&mut self, max_insts: u64, l2: &mut Cache) -> Result<StepOutcome, SimError> {
+        if let Some(ret) = self.sim.finished {
+            return Ok(StepOutcome::Finished(ret));
+        }
+        let mut left = max_insts;
+        // A previous slice paused mid-block: advance per-op on the
+        // decoded engine until the next block leader.
+        while left > 0 && !self.at_leader() {
+            match self.sim.step(1, l2)? {
+                StepOutcome::Finished(v) => return Ok(StepOutcome::Finished(v)),
+                StepOutcome::Running => left -= 1,
+            }
+        }
+        if left == 0 {
+            return Ok(StepOutcome::Running);
+        }
+        let (consumed, out) = self.sim.step_blocks(&self.prog, left, l2)?;
+        left -= consumed;
+        match out {
+            BlockOutcome::Finished(v) => Ok(StepOutcome::Finished(v)),
+            BlockOutcome::Paused if left == 0 => Ok(StepOutcome::Running),
+            // The next block is bigger than what's left of this slice:
+            // finish it per-op (consumes exactly `left` or completes).
+            BlockOutcome::Paused => self.sim.step(left, l2),
+        }
+    }
+}

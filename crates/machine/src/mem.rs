@@ -3,15 +3,34 @@
 //! Values are stored as raw 64-bit words (`i64` or `f64` bit patterns)
 //! regardless of the array's *cache* element size, so `ptr-compress`
 //! changes the address mapping without touching semantics (DESIGN.md §7).
+//!
+//! Layout: all arrays live concatenated in one flat word buffer, with a
+//! small per-array descriptor (word offset, length, byte base, element
+//! size). A simulated load is then one descriptor fetch plus one word
+//! fetch — the `Vec<Vec<u64>>` layout this replaced cost a pointer chase
+//! and a separate bounds check per call on the simulator's hottest path.
 
 use ic_ir::{ArrId, Module};
+
+/// Per-array mapping: where its words live and how its elements map to
+/// byte addresses.
+#[derive(Debug, Clone, Copy)]
+struct ArrDesc {
+    /// First word in [`Memory::words`].
+    off: u32,
+    /// Length in elements (== words).
+    len: u32,
+    /// Byte address of element 0.
+    base: u64,
+    /// Cache-visible element size in bytes.
+    elem_size: u32,
+}
 
 /// All global arrays of a module plus their base addresses.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    data: Vec<Vec<u64>>,
-    bases: Vec<u64>,
-    elem_sizes: Vec<u8>,
+    words: Vec<u64>,
+    descs: Vec<ArrDesc>,
     total_bytes: u64,
 }
 
@@ -20,33 +39,35 @@ impl Memory {
     /// contiguously, each base aligned to 64 bytes, starting at a non-zero
     /// offset so address 0 is never used.
     pub fn for_module(module: &Module) -> Self {
-        let mut bases = Vec::with_capacity(module.arrays.len());
-        let mut data = Vec::with_capacity(module.arrays.len());
-        let mut elem_sizes = Vec::with_capacity(module.arrays.len());
+        let mut descs = Vec::with_capacity(module.arrays.len());
+        let mut words_len: usize = 0;
         let mut cursor: u64 = 64;
         for a in &module.arrays {
-            bases.push(cursor);
-            data.push(vec![0u64; a.len]);
-            elem_sizes.push(a.elem_size);
+            descs.push(ArrDesc {
+                off: u32::try_from(words_len).expect("memory too large"),
+                len: u32::try_from(a.len).expect("array too large"),
+                base: cursor,
+                elem_size: a.elem_size as u32,
+            });
+            words_len += a.len;
             let bytes = a.len as u64 * a.elem_size as u64;
             cursor += (bytes + 63) & !63;
         }
         Memory {
-            data,
-            bases,
-            elem_sizes,
+            words: vec![0u64; words_len],
+            descs,
             total_bytes: cursor,
         }
     }
 
     /// Number of arrays.
     pub fn num_arrays(&self) -> usize {
-        self.data.len()
+        self.descs.len()
     }
 
     /// Length (in elements) of array `arr`.
     pub fn len_of(&self, arr: ArrId) -> usize {
-        self.data[arr.index()].len()
+        self.descs[arr.index()].len as usize
     }
 
     /// Total footprint in bytes (including alignment padding).
@@ -54,36 +75,73 @@ impl Memory {
         self.total_bytes
     }
 
-    /// Wrap an index into bounds (loads/stores never trap; see ic-ir docs).
-    #[inline]
-    pub fn wrap_index(&self, arr: ArrId, idx: i64) -> usize {
-        let len = self.data[arr.index()].len() as i64;
+    #[inline(always)]
+    fn wrap(idx: i64, len: u32) -> usize {
         // In-bounds non-negative indices (the common case) skip the
         // `rem_euclid` hardware divide; negative ones reinterpret as huge
         // unsigned values and fall through.
         if (idx as u64) < len as u64 {
             idx as usize
         } else {
-            idx.rem_euclid(len) as usize
+            idx.rem_euclid(len as i64) as usize
         }
+    }
+
+    /// One simulated load: wrap `idx` into bounds, fetch the word, and
+    /// compute its byte address for the cache model — a single
+    /// descriptor lookup for all three.
+    #[inline(always)]
+    pub fn load(&self, arr: ArrId, idx: i64) -> (u64, u64) {
+        let d = self.descs[arr.index()];
+        let w = Self::wrap(idx, d.len);
+        let addr = d.base + w as u64 * d.elem_size as u64;
+        debug_assert!(d.off as usize + w < self.words.len());
+        // SAFETY: `wrap` returns < d.len, and descriptors tile `words`
+        // exactly (built in `for_module` and never resized).
+        let val = unsafe { *self.words.get_unchecked(d.off as usize + w) };
+        (val, addr)
+    }
+
+    /// One simulated store: wrap `idx`, write the word, return the byte
+    /// address for the cache model.
+    #[inline(always)]
+    pub fn store(&mut self, arr: ArrId, idx: i64, val: u64) -> u64 {
+        let d = self.descs[arr.index()];
+        let w = Self::wrap(idx, d.len);
+        let addr = d.base + w as u64 * d.elem_size as u64;
+        debug_assert!(d.off as usize + w < self.words.len());
+        // SAFETY: as in `load`.
+        unsafe { *self.words.get_unchecked_mut(d.off as usize + w) = val };
+        addr
+    }
+
+    /// Wrap an index into bounds (loads/stores never trap; see ic-ir docs).
+    #[inline]
+    pub fn wrap_index(&self, arr: ArrId, idx: i64) -> usize {
+        Self::wrap(idx, self.descs[arr.index()].len)
     }
 
     /// Byte address of element `idx` of `arr` (already wrapped).
     #[inline]
     pub fn address(&self, arr: ArrId, idx: usize) -> u64 {
-        self.bases[arr.index()] + idx as u64 * self.elem_sizes[arr.index()] as u64
+        let d = self.descs[arr.index()];
+        d.base + idx as u64 * d.elem_size as u64
     }
 
     /// Raw 64-bit read.
     #[inline]
     pub fn read(&self, arr: ArrId, idx: usize) -> u64 {
-        self.data[arr.index()][idx]
+        let d = self.descs[arr.index()];
+        assert!(idx < d.len as usize);
+        self.words[d.off as usize + idx]
     }
 
     /// Raw 64-bit write.
     #[inline]
     pub fn write(&mut self, arr: ArrId, idx: usize, val: u64) {
-        self.data[arr.index()][idx] = val;
+        let d = self.descs[arr.index()];
+        assert!(idx < d.len as usize);
+        self.words[d.off as usize + idx] = val;
     }
 
     // ---- typed convenience accessors for workload setup/inspection ----
@@ -125,7 +183,11 @@ impl Memory {
 
     /// Snapshot an integer array (for result checking in tests).
     pub fn dump_i64(&self, arr: ArrId) -> Vec<i64> {
-        self.data[arr.index()].iter().map(|&w| w as i64).collect()
+        let d = self.descs[arr.index()];
+        self.words[d.off as usize..d.off as usize + d.len as usize]
+            .iter()
+            .map(|&w| w as i64)
+            .collect()
     }
 
     /// Checksum of all memory words — used by pass-correctness tests to
@@ -133,11 +195,9 @@ impl Memory {
     /// final states.
     pub fn checksum(&self) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for arr in &self.data {
-            for &w in arr {
-                h ^= w;
-                h = h.wrapping_mul(0x1000_0000_01b3);
-            }
+        for &w in &self.words {
+            h ^= w;
+            h = h.wrapping_mul(0x1000_0000_01b3);
         }
         h
     }
@@ -147,12 +207,9 @@ impl Memory {
 /// (`ptr-compress`): keeps contents, recomputes bases/strides.
 pub fn remap_for(module: &Module, old: &Memory) -> Memory {
     let mut fresh = Memory::for_module(module);
-    for (i, arr) in old.data.iter().enumerate() {
-        fresh.data[i].clone_from(arr);
-    }
+    fresh.words.clone_from(&old.words);
     fresh
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +261,20 @@ mod tests {
         assert_eq!(mem.wrap_index(ArrId(0), 12), 2);
         assert_eq!(mem.wrap_index(ArrId(0), -1), 9);
         assert_eq!(mem.wrap_index(ArrId(0), 0), 0);
+    }
+
+    #[test]
+    fn load_store_match_split_accessors() {
+        let m = two_array_module(8);
+        let mut mem = Memory::for_module(&m);
+        for idx in [-3i64, 0, 7, 12] {
+            let w = mem.wrap_index(ArrId(1), idx);
+            let addr = mem.store(ArrId(1), idx, (40 + idx) as u64);
+            assert_eq!(addr, mem.address(ArrId(1), w));
+            let (val, laddr) = mem.load(ArrId(1), idx);
+            assert_eq!((val, laddr), ((40 + idx) as u64, addr));
+            assert_eq!(mem.read(ArrId(1), w), val);
+        }
     }
 
     #[test]

@@ -45,9 +45,20 @@ impl Tlb {
             self.stamps[mru] = self.tick;
             return true;
         }
-        if let Some(i) = self.pages.iter().position(|&p| p == page) {
-            self.stamps[i] = self.tick;
-            self.mru = i;
+        // Full scan, branchless: a page is resident at most once, so a
+        // conditional-select sweep finds it without the data-dependent
+        // early exit a `position` scan would mispredict on (workloads
+        // alternating between a handful of arrays ping-pong the MRU
+        // filter, making this the hot path).
+        let mut idx = usize::MAX;
+        for (i, &p) in self.pages.iter().enumerate() {
+            if p == page {
+                idx = i;
+            }
+        }
+        if idx != usize::MAX {
+            self.stamps[idx] = self.tick;
+            self.mru = idx;
             return true;
         }
         self.misses += 1;

@@ -34,8 +34,9 @@ pub use error::Error;
 pub use metrics::{Counter, Gauge, Histogram, Registry, Span, SpanTimer};
 pub use profile::PassProfiler;
 pub use snapshot::{
-    CompileCacheStats, CorpusStats, DecodeCacheStats, EvalCacheStats, HistogramStats, PassStats,
-    RequestStats, ServiceStats, SimStats, Snapshot, SpanStats, SNAPSHOT_SCHEMA_VERSION,
+    CompileCacheStats, CorpusStats, DecodeCacheStats, EvalCacheStats, FusedTierStats,
+    HistogramStats, PassStats, RequestStats, ServiceStats, SimStats, Snapshot, SpanStats,
+    SNAPSHOT_SCHEMA_VERSION,
 };
 
 /// Workspace-standard result type over [`Error`].

@@ -61,6 +61,31 @@ impl PassProfiler {
         let Some(&i) = self.inner.index.get(pass) else {
             return;
         };
+        self.bump_row(i, changed, wall_ns, insts_in, insts_out);
+    }
+
+    /// [`PassProfiler::record`] with the row index pre-resolved by the
+    /// caller (e.g. a pass's position in the registry this profiler was
+    /// built from). `pass` is still checked against the row name — a
+    /// direct memcmp instead of a hash lookup — so a profiler built over
+    /// a different registry ordering degrades to the by-name path rather
+    /// than corrupting a row.
+    pub fn record_at(
+        &self,
+        idx: usize,
+        pass: &str,
+        changed: bool,
+        wall_ns: u64,
+        insts_in: u64,
+        insts_out: u64,
+    ) {
+        match self.inner.names.get(idx) {
+            Some(name) if name == pass => self.bump_row(idx, changed, wall_ns, insts_in, insts_out),
+            _ => self.record(pass, changed, wall_ns, insts_in, insts_out),
+        }
+    }
+
+    fn bump_row(&self, i: usize, changed: bool, wall_ns: u64, insts_in: u64, insts_out: u64) {
         let row = &self.inner.rows[i];
         row.calls.fetch_add(1, Ordering::Relaxed);
         if changed {

@@ -164,12 +164,22 @@ impl Opt {
         let started = std::time::Instant::now();
         let changed = self.apply(module);
         let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        profiler.record(
+        // An unchanged module has unchanged size — skip the second walk.
+        let insts_out = if changed {
+            module_insts(module)
+        } else {
+            insts_in
+        };
+        // `self as usize` is this pass's row in a registry-ordered
+        // profiler ([`profiler`] registers names in `Opt::ALL` order,
+        // which matches the discriminants); `record_at` verifies.
+        profiler.record_at(
+            self as usize,
             self.name(),
             changed,
             wall_ns,
             insts_in,
-            module_insts(module),
+            insts_out,
         );
         changed
     }
