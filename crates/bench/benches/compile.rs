@@ -11,12 +11,15 @@
 //! unified `ic_obs::Snapshot` metrics block.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ic_core::controller::WorkloadEvaluator;
+use ic_core::IntelligentCompiler;
 use ic_machine::{
     simulate_decoded, simulate_fused, simulate_legacy, Counter, DecodeCache, DecodeCacheConfig,
     MachineConfig, Memory,
 };
 use ic_passes::{apply_sequence, Opt, PrefixCache, PrefixCacheConfig};
-use ic_search::{exhaustive, SequenceSpace};
+use ic_predict::{select_and_train, PredictThenVerify, TrainingSet};
+use ic_search::{exhaustive, random, CachedEvaluator, SequenceSpace};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -201,6 +204,96 @@ fn measure_sim(m: &ic_ir::Module, cfg: &MachineConfig, fuel: u64, runs: u64) -> 
     }
 }
 
+/// Predict-then-verify vs a plain cached search, identical budget and
+/// seed on cold caches. The cycles model trains on *other* suite
+/// programs — adpcm stays out of the corpus, so this measures transfer.
+#[derive(Serialize)]
+struct PredictReport {
+    workload: String,
+    budget: u64,
+    verify_fraction: f64,
+    /// Winning model family from leave-one-program-out selection.
+    model: String,
+    training_rows: u64,
+    /// Mean held-out Spearman from model selection.
+    spearman: f64,
+    /// Raw simulations the plain cached search issued (cold cache).
+    baseline_simulations: u64,
+    /// Raw simulations the predict-then-verify search issued.
+    verified: u64,
+    /// Candidates answered from the model instead of the simulator.
+    predicted: u64,
+    candidates: u64,
+    /// `(verified + predicted) / verified` — CI gates >= 3.0.
+    savings_factor: f64,
+    baseline_best_cycles: f64,
+    predicted_best_cycles: f64,
+    /// predicted best over baseline best — CI gates <= 1.05 (the
+    /// predicted search must land within noise of simulate-everything).
+    best_cost_ratio: f64,
+}
+
+/// Train a cycles model on a handful of non-adpcm suite programs, then
+/// race predict-then-verify against the plain cached evaluator on
+/// adpcm with the same seed and budget.
+fn measure_predict(seed: u64) -> (PredictReport, ic_obs::PredictStats) {
+    let cfg = MachineConfig::vliw_c6713_like();
+    let space = SequenceSpace::paper();
+    let verify_fraction = 0.25;
+    let budget = 80usize;
+
+    let mut ic = IntelligentCompiler::new(cfg.clone());
+    for w in ic_bench::bench_suite(ic_bench::Scale::Small)
+        .into_iter()
+        .filter(|w| w.name != "adpcm")
+        .take(6)
+    {
+        ic.characterize_program(&w);
+        ic.populate_kb_search(&w, 40, seed);
+    }
+    let ts = TrainingSet::assemble_for_machine(&ic.kb, &space, &cfg.name);
+    let tm = select_and_train(&ts, seed).expect("bench corpus trains a model");
+    let (model_name, training_rows, spearman) = (tm.model.name(), tm.rows, tm.spearman);
+
+    let workload = ic_workloads::adpcm_scaled(256, 3);
+    ic.characterize_program(&workload);
+    let feats = ic
+        .kb
+        .programs
+        .iter()
+        .find(|p| p.program == workload.name)
+        .map(|p| p.features.clone())
+        .unwrap_or_default();
+
+    let baseline_eval =
+        CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&workload, &cfg));
+    let baseline = random::run(&space, &baseline_eval, budget, seed);
+    let baseline_simulations = baseline_eval.stats().misses;
+
+    let eval = CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&workload, &cfg));
+    let ptv = PredictThenVerify::new(&eval, feats, Some(tm), verify_fraction);
+    let predicted = ic_predict::run_random(&space, &ptv, budget, seed);
+    let ps = ptv.stats();
+
+    let report = PredictReport {
+        workload: workload.name.clone(),
+        budget: budget as u64,
+        verify_fraction,
+        model: model_name.into(),
+        training_rows,
+        spearman,
+        baseline_simulations,
+        verified: ps.verified,
+        predicted: ps.predicted,
+        candidates: ps.candidates,
+        savings_factor: ps.savings_factor(),
+        baseline_best_cycles: baseline.best_cost,
+        predicted_best_cycles: predicted.best_cost,
+        best_cost_ratio: predicted.best_cost / baseline.best_cost,
+    };
+    (report, ps)
+}
+
 #[derive(Serialize)]
 struct Report {
     bench: String,
@@ -221,6 +314,9 @@ struct Report {
     /// pre-decoded threaded-code engine vs the fused block-compiled
     /// tier (CI gates both speedups).
     sim: SimReport,
+    /// Predict-then-verify search vs plain cached search (CI gates
+    /// savings_factor >= 3.0 and best_cost_ratio <= 1.05).
+    predict: PredictReport,
     /// The unified observability snapshot for the profiled run — the
     /// same schema `icc --metrics-json` and the daemon's
     /// `Admin(Metrics)` emit.
@@ -309,6 +405,9 @@ fn emit_report(_c: &mut Criterion) {
     };
     metrics.corpus = ic_workloads::corpus_stats(ic_workloads::SuiteScale::Small);
 
+    let (predict, pstats) = measure_predict(0xf162b);
+    metrics.predict = pstats;
+
     let report = Report {
         bench: "compile".into(),
         workload: "adpcm_scaled(256)".into(),
@@ -331,6 +430,7 @@ fn emit_report(_c: &mut Criterion) {
         },
         profiling_overhead_pct,
         sim,
+        predict,
         metrics,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
@@ -351,6 +451,19 @@ fn emit_report(_c: &mut Criterion) {
         report.sim.decoded_speedup,
         report.sim.fused.insts_per_sec / 1e6,
         report.sim.fused_speedup
+    );
+    println!(
+        "predict: {} model ({} rows, spearman {:.3}): {} verified + {} predicted \
+         ({:.1}x fewer simulations), best {:.0} vs baseline {:.0} cycles ({:.3}x)",
+        report.predict.model,
+        report.predict.training_rows,
+        report.predict.spearman,
+        report.predict.verified,
+        report.predict.predicted,
+        report.predict.savings_factor,
+        report.predict.predicted_best_cycles,
+        report.predict.baseline_best_cycles,
+        report.predict.best_cost_ratio
     );
 }
 

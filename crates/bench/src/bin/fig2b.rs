@@ -12,6 +12,7 @@ use ic_core::controller::WorkloadEvaluator;
 use ic_core::IntelligentCompiler;
 use ic_kb::KnowledgeBase;
 use ic_machine::MachineConfig;
+use ic_predict::{select_and_train, PredictThenVerify, TrainingSet};
 use ic_search::focused::ModelKind;
 use ic_search::{focused, random, CachedEvaluator, SequenceSpace};
 use std::path::Path;
@@ -46,6 +47,11 @@ fn main() {
         Some("iid") => ModelKind::Iid,
         _ => ModelKind::Markov,
     };
+    let predict_on = args.extra.iter().any(|a| a == "--predict");
+    let verify_fraction: f64 = args
+        .flag("verify-fraction")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
 
     let corpus = ic_bench::corpus_stats(args.scale);
     println!(
@@ -90,26 +96,97 @@ fn main() {
         *v /= trials as f64;
     }
 
+    // FOCUSSED with predicted pre-ranking (`--predict`): train a cycles
+    // model on the other programs' accumulated search data — adpcm is
+    // held out, so this doubles as a transfer test — then re-run the
+    // same 20 trials through predict-then-verify on a cold cache, so
+    // simulations saved are counted honestly rather than absorbed by
+    // the memo the plain runs just filled.
+    let predicted = if predict_on {
+        let ts = TrainingSet::assemble_for_machine(&ic.kb, &space, &config.name);
+        match select_and_train(&ts, args.seed) {
+            None => {
+                println!(
+                    "predict: training set too small ({} joined rows) — skipping predicted run",
+                    ts.len()
+                );
+                None
+            }
+            Some(tm) => {
+                println!(
+                    "predict: {} model on {} rows (held-out spearman {:.3}), \
+                     verify_fraction {verify_fraction}",
+                    tm.model.name(),
+                    tm.rows,
+                    tm.spearman
+                );
+                ic.characterize_program(&workload);
+                let feats = ic
+                    .kb
+                    .programs
+                    .iter()
+                    .find(|p| p.program == workload.name)
+                    .map(|p| p.features.clone())
+                    .unwrap_or_default();
+                let peval =
+                    CachedEvaluator::new(space.clone(), WorkloadEvaluator::new(&workload, &config));
+                let ptv = PredictThenVerify::new(&peval, feats, Some(tm), verify_fraction);
+                let mut traj = vec![0.0; budget];
+                for t in 0..trials {
+                    let r = ic_predict::run_focused(
+                        &ptv,
+                        budget,
+                        &model,
+                        args.seed.wrapping_add(1000 + t as u64 * 7919),
+                    );
+                    for (a, b) in traj.iter_mut().zip(&r.best_so_far) {
+                        *a += b;
+                    }
+                }
+                for v in &mut traj {
+                    *v /= trials as f64;
+                }
+                Some((traj, ptv.stats()))
+            }
+        }
+    } else {
+        None
+    };
+
     // "100%" = best cost either search ever saw (the achievable optimum
     // proxy; full exhaustive ground truth is fig2a --scale full).
     let best = rnd
         .iter()
         .chain(foc.iter())
+        .chain(predicted.iter().flat_map(|(p, _)| p.iter()))
         .cloned()
         .fold(f64::INFINITY, f64::min);
     let improvement = |cost: f64| ((o0 - cost) / (o0 - best)).clamp(0.0, 1.0) * 100.0;
 
-    let t = Table::new(&[8, 14, 14]);
+    let widths: &[usize] = if predicted.is_some() {
+        &[8, 14, 14, 14]
+    } else {
+        &[8, 14, 14]
+    };
+    let t = Table::new(widths);
     t.sep();
-    t.row(&["evals".into(), "RANDOM %".into(), "FOCUSSED %".into()]);
+    let mut header = vec!["evals".into(), "RANDOM %".into(), "FOCUSSED %".into()];
+    if predicted.is_some() {
+        header.push("PREDICT %".into());
+    }
+    t.row(&header);
     t.sep();
     let marks = [1, 2, 5, 10, 20, 50, 80, 100];
     for &m in &marks {
-        t.row(&[
+        let mut row = vec![
             format!("{m}"),
             format!("{:.1}", improvement(rnd[m - 1])),
             format!("{:.1}", improvement(foc[m - 1])),
-        ]);
+        ];
+        if let Some((p, _)) = &predicted {
+            row.push(format!("{:.1}", improvement(p[m - 1])));
+        }
+        t.row(&row);
     }
     t.sep();
 
@@ -126,6 +203,21 @@ fn main() {
     println!("FOCUSSED @10 evals : {f10:.1}% of available improvement (paper: ~86%)");
     println!("RANDOM needs {crossover} evaluations to match FOCUSSED@10 (paper: >80)");
     println!("model family: {:?}", kind);
+    if let Some((p, ps)) = &predicted {
+        println!(
+            "PREDICT  @10 evals : {:.1}% (FOCUSSED + predicted pre-ranking, verify {verify_fraction})",
+            improvement(p[9])
+        );
+        println!(
+            "prediction savings : {} verified + {} predicted of {} candidates \
+             ({:.1}x fewer simulations); final Δ vs FOCUSSED {:+.1} pts",
+            ps.verified,
+            ps.predicted,
+            ps.candidates,
+            ps.savings_factor(),
+            improvement(p[budget - 1]) - improvement(foc[budget - 1])
+        );
+    }
 
     let stats = eval.stats();
     println!();

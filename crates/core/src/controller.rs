@@ -441,6 +441,81 @@ impl IntelligentCompiler {
         (r, eval.stats())
     }
 
+    /// Train a cycles predictor from everything the knowledge base has
+    /// accumulated for this machine: every persisted eval-cache record
+    /// joined against its program's characterization features
+    /// (`ic_predict::TrainingSet::assemble_for_machine`), model
+    /// selection by leave-one-program-out Spearman. Returns `None`
+    /// when the joined set is smaller than
+    /// [`ic_predict::MIN_TRAINING_ROWS`].
+    pub fn train_cost_model(&self, seed: u64) -> Option<ic_predict::TrainedModel> {
+        let _span = self.obs.span("controller.train_cost_model");
+        let ts =
+            ic_predict::TrainingSet::assemble_for_machine(&self.kb, &self.space, &self.config.name);
+        ic_predict::select_and_train(&ts, seed)
+    }
+
+    /// Train and persist the model under `context`, bumping the stored
+    /// version so stale engines can detect the refresh.
+    pub fn train_and_store_model(
+        &mut self,
+        context: &str,
+        unix_ms: u64,
+        seed: u64,
+    ) -> Option<ic_predict::TrainedModel> {
+        let mut tm = self.train_cost_model(seed)?;
+        tm.version = self.kb.model_for(context).map_or(1, |r| r.version + 1);
+        self.kb.upsert_model(tm.to_record(context, unix_ms));
+        Some(tm)
+    }
+
+    /// Iterative compilation in **predict-then-verify** mode: same
+    /// candidate draws as [`Self::compile_iterative_cached`] (identical
+    /// seed ⇒ identical sequences), but only the model's top
+    /// `verify_fraction` of unknown candidates is simulated — the rest
+    /// answer with clamped predictions. Uses the model persisted for
+    /// this context when one exists, otherwise trains on the spot;
+    /// with no trainable data the wrapper bypasses and the run is
+    /// bit-identical to the plain cached search.
+    pub fn compile_iterative_predicted(
+        &mut self,
+        workload: &Workload,
+        budget: usize,
+        seed: u64,
+        verify_fraction: f64,
+    ) -> (SearchResult, CacheStats, ic_obs::PredictStats) {
+        let _span = self.obs.span("controller.compile_iterative_predicted");
+        let ctx = crate::evalcache::context_fingerprint(workload, &self.config);
+        let eval = CachedEvaluator::new(self.space.clone(), self.evaluator(workload));
+        crate::evalcache::warm_from_kb(&eval, &self.kb, &ctx);
+        // At full verification the model is never consulted — don't
+        // spend a training pass on it.
+        let model = if verify_fraction < 1.0 {
+            self.kb
+                .model_for(&ctx)
+                .and_then(ic_predict::TrainedModel::from_record)
+                .or_else(|| self.train_cost_model(seed))
+        } else {
+            None
+        };
+        let feats = self
+            .kb
+            .programs
+            .iter()
+            .find(|p| p.program == workload.name)
+            .map(|p| p.features.clone())
+            .unwrap_or_default();
+        let ptv = ic_predict::PredictThenVerify::new(&eval, feats, model, verify_fraction);
+        let r = match self.focused_model(workload, 3, 5, ModelKind::Markov) {
+            Some(m) => ic_predict::run_focused(&ptv, budget, &m, seed),
+            None => ic_predict::run_random(&self.space, &ptv, budget, seed),
+        };
+        let pstats = ptv.stats();
+        drop(ptv);
+        crate::evalcache::flush_to_kb(&eval, &mut self.kb, &ctx);
+        (r, eval.stats(), pstats)
+    }
+
     /// A [`WorkloadEvaluator`] wired to this compiler's obs registry
     /// (its per-evaluation sim times land in the `sim.nanos` histogram).
     fn evaluator(&self, workload: &Workload) -> WorkloadEvaluator {
@@ -571,6 +646,58 @@ mod tests {
         // A later search over the same context starts warm.
         let (_, stats) = ic.compile_iterative_cached(&w, 8, 42);
         assert!(stats.hits > 0 || stats.misses < 8);
+    }
+
+    #[test]
+    fn train_cost_model_needs_data_then_learns() {
+        let mut ic = compiler();
+        let w = tiny_workload();
+        assert!(ic.train_cost_model(1).is_none(), "empty kb trains nothing");
+        ic.characterize_program(&w);
+        ic.populate_kb(&w, 40, 5);
+        let tm = ic.train_cost_model(1).expect("enough joined rows");
+        assert!(tm.rows >= 30);
+        // Persisting bumps versions monotonically per context.
+        let ctx = crate::evalcache::context_fingerprint(&w, &ic.config);
+        let v1 = ic.train_and_store_model(&ctx, 100, 1).unwrap().version;
+        let v2 = ic.train_and_store_model(&ctx, 200, 1).unwrap().version;
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(ic.kb.model_for(&ctx).unwrap().version, 2);
+    }
+
+    #[test]
+    fn predicted_full_verification_matches_cached_search() {
+        let w = tiny_workload();
+        let mut a = compiler();
+        let mut b = compiler();
+        a.characterize_program(&w);
+        b.characterize_program(&w);
+        a.populate_kb(&w, 20, 9);
+        b.populate_kb(&w, 20, 9);
+        let (plain, _) = a.compile_iterative_cached(&w, 10, 77);
+        let (pred, _, pstats) = b.compile_iterative_predicted(&w, 10, 77, 1.0);
+        assert_eq!(plain.best_so_far, pred.best_so_far, "bit-identical at 1.0");
+        assert_eq!(plain.evaluated, pred.evaluated);
+        assert_eq!(pstats.bypassed, pstats.batches, "every batch bypassed");
+    }
+
+    #[test]
+    fn predicted_partial_verification_saves_simulations() {
+        let w = tiny_workload();
+        let mut ic = compiler();
+        ic.characterize_program(&w);
+        ic.populate_kb(&w, 60, 5);
+        let (_, stats, pstats) = ic.compile_iterative_predicted(&w, 24, 123, 0.25);
+        assert!(pstats.predicted > 0, "model answered some candidates");
+        assert!(
+            pstats.verified < pstats.verified + pstats.predicted,
+            "strictly fewer simulations than candidates"
+        );
+        assert!(
+            stats.misses <= pstats.verified,
+            "misses bounded by verified"
+        );
+        assert!(pstats.savings_factor() > 1.0);
     }
 
     #[test]

@@ -108,6 +108,44 @@ pub struct MetricsRecord {
     pub snapshot: ic_obs::Snapshot,
 }
 
+/// A persisted learned cost model for one evaluation context. The model
+/// itself is an opaque JSON payload (the kb stays independent of the
+/// learner crates); `version` increments on every retrain so consumers
+/// can cheaply detect refreshes, and the quality metadata lets operators
+/// judge a model from the store alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Context fingerprint the model predicts for (same keying as
+    /// [`EvalCacheRecord`]): costs — and hence models — are only valid
+    /// within a single workload + machine context.
+    pub context: String,
+    /// Monotonically increasing per-context version (starts at 1).
+    pub version: u64,
+    /// Milliseconds since the Unix epoch when the model was trained.
+    pub unix_ms: u64,
+    /// Model family name (e.g. `"ridge"`, `"knn"`, `"forest"`).
+    pub kind: String,
+    /// Held-out Spearman rank correlation from model selection, the
+    /// quality number that matters for predict-then-verify ranking.
+    pub spearman: f64,
+    /// Number of training rows the model was fitted on.
+    pub rows: u64,
+    /// The serialized model (JSON, produced and parsed by `ic-predict`).
+    pub model_json: String,
+}
+
+/// What a [`KnowledgeBase::compact`] pass removed, for operator logs and
+/// admin responses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompactReport {
+    /// Eval-cache entries dropped (kept entries are the lowest-cost ones).
+    pub eval_entries_dropped: u64,
+    /// Whole eval-cache records dropped because they ended up empty.
+    pub eval_records_dropped: u64,
+    /// Stale model records dropped (older versions for a context).
+    pub models_dropped: u64,
+}
+
 /// The whole knowledge base.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct KnowledgeBase {
@@ -124,6 +162,10 @@ pub struct KnowledgeBase {
     /// older knowledge bases, hence the default.
     #[serde(default)]
     pub metrics: Vec<MetricsRecord>,
+    /// Learned cost models, one per context (latest version). Absent in
+    /// older knowledge bases, hence the default.
+    #[serde(default)]
+    pub models: Vec<ModelRecord>,
 }
 
 fn default_schema() -> u32 {
@@ -266,6 +308,72 @@ impl KnowledgeBase {
     /// The last-known metrics snapshot for `context`, if any.
     pub fn metrics_for(&self, context: &str) -> Option<&MetricsRecord> {
         self.metrics.iter().find(|m| m.context == context)
+    }
+
+    /// Insert or replace the cost model for `rec.context`. The kb keeps
+    /// one model per context; a replacement whose `version` does not
+    /// exceed the stored one is ignored (stale writer lost a race).
+    /// Returns `true` when the record was stored.
+    pub fn upsert_model(&mut self, rec: ModelRecord) -> bool {
+        match self.models.iter_mut().find(|m| m.context == rec.context) {
+            Some(m) => {
+                if rec.version <= m.version {
+                    return false;
+                }
+                *m = rec;
+            }
+            None => self.models.push(rec),
+        }
+        true
+    }
+
+    /// The latest cost model for `context`, if any.
+    pub fn model_for(&self, context: &str) -> Option<&ModelRecord> {
+        self.models.iter().find(|m| m.context == context)
+    }
+
+    /// Compact the write-through stores, which otherwise grow without
+    /// bound: every eval-cache record is truncated to its
+    /// `max_entries_per_context` *lowest-cost* entries (the ones warm
+    /// restarts and model training want most; non-finite costs — failed
+    /// compilations — are dropped first, ties broken by index so the
+    /// result is deterministic), records left empty are removed, and
+    /// duplicate model records for a context are reduced to the highest
+    /// version. Sequence indices stay sorted, so a compacted store warms
+    /// a `CachedEvaluator` exactly like an uncompacted one.
+    pub fn compact(&mut self, max_entries_per_context: usize) -> CompactReport {
+        let mut report = CompactReport::default();
+        for rec in &mut self.eval_caches {
+            if rec.entries.len() <= max_entries_per_context {
+                continue;
+            }
+            let mut by_cost: Vec<(u64, f64)> = rec.entries.clone();
+            // Finite-cost entries first (cheapest first), then the
+            // non-finite tail; index breaks ties deterministically.
+            by_cost.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            by_cost.truncate(max_entries_per_context);
+            report.eval_entries_dropped += (rec.entries.len() - by_cost.len()) as u64;
+            by_cost.sort_by_key(|&(i, _)| i);
+            rec.entries = by_cost;
+        }
+        let before = self.eval_caches.len();
+        self.eval_caches.retain(|r| !r.entries.is_empty());
+        report.eval_records_dropped = (before - self.eval_caches.len()) as u64;
+
+        // One model per context, highest version wins. `upsert_model`
+        // maintains this invariant for in-process writers; compaction
+        // repairs stores merged from several sources.
+        let mut newest: HashMap<String, u64> = HashMap::new();
+        for m in &self.models {
+            let v = newest.entry(m.context.clone()).or_insert(m.version);
+            *v = (*v).max(m.version);
+        }
+        let before = self.models.len();
+        let mut seen = std::collections::HashSet::new();
+        self.models
+            .retain(|m| m.version == newest[&m.context] && seen.insert(m.context.clone()));
+        report.models_dropped = (before - self.models.len()) as u64;
+        report
     }
 
     /// Serialize to pretty JSON (the documented interchange format).
@@ -564,11 +672,100 @@ mod tests {
         // Older stores without the field still load.
         let json = kb.to_json();
         let start = json.find(",\n  \"metrics\":").unwrap();
-        let end = json.rfind('}').unwrap() - 1; // metrics is the last field
+        let end = json.rfind('}').unwrap() - 1; // cuts metrics + models (the trailing fields)
         let old = format!("{}{}", &json[..start], &json[end..]);
         assert!(!old.contains("\"metrics\""), "field removed: {old}");
         let back = KnowledgeBase::from_json(&old).unwrap();
         assert!(back.metrics.is_empty());
+    }
+
+    fn model(ctx: &str, version: u64) -> ModelRecord {
+        ModelRecord {
+            context: ctx.into(),
+            version,
+            unix_ms: 1_000 + version,
+            kind: "ridge".into(),
+            spearman: 0.8,
+            rows: 100,
+            model_json: format!("{{\"v\":{version}}}"),
+        }
+    }
+
+    #[test]
+    fn model_upsert_keeps_latest_version_per_context() {
+        let mut kb = KnowledgeBase::new();
+        assert!(kb.model_for("c").is_none());
+        assert!(kb.upsert_model(model("c", 1)));
+        assert!(kb.upsert_model(model("c", 2)));
+        // Stale writer (same or older version) loses.
+        assert!(!kb.upsert_model(model("c", 2)));
+        assert!(!kb.upsert_model(model("c", 1)));
+        assert_eq!(kb.models.len(), 1);
+        assert_eq!(kb.model_for("c").unwrap().version, 2);
+        // Contexts are independent.
+        assert!(kb.upsert_model(model("d", 1)));
+        assert_eq!(kb.models.len(), 2);
+
+        // Round trip, and old stores without the field still load.
+        let back = KnowledgeBase::from_json(&kb.to_json()).unwrap();
+        assert_eq!(back.models, kb.models);
+        let json = kb.to_json();
+        let start = json.find(",\n  \"models\":").unwrap();
+        let end = json.rfind('}').unwrap() - 1; // models is the last field
+        let old = format!("{}{}", &json[..start], &json[end..]);
+        assert!(!old.contains("\"models\""), "field removed: {old}");
+        let back = KnowledgeBase::from_json(&old).unwrap();
+        assert!(back.models.is_empty());
+    }
+
+    #[test]
+    fn compact_keeps_lowest_cost_entries_sorted_by_index() {
+        let mut kb = KnowledgeBase::new();
+        kb.merge_eval_cache(
+            "c",
+            [
+                (0, 50.0),
+                (1, f64::INFINITY),
+                (2, 10.0),
+                (3, 30.0),
+                (4, 20.0),
+            ],
+        );
+        kb.merge_eval_cache("tiny", [(9, 1.0)]);
+        let report = kb.compact(3);
+        assert_eq!(report.eval_entries_dropped, 2);
+        assert_eq!(report.eval_records_dropped, 0);
+        // The three cheapest survive (INFINITY dropped first), still
+        // sorted by index, so warm_from_kb semantics are unchanged.
+        assert_eq!(
+            kb.eval_cache("c").unwrap(),
+            &[(2, 10.0), (3, 30.0), (4, 20.0)]
+        );
+        assert_eq!(kb.eval_cache("tiny").unwrap(), &[(9, 1.0)]);
+        // Idempotent.
+        assert_eq!(kb.compact(3), CompactReport::default());
+    }
+
+    #[test]
+    fn compact_drops_empty_records_and_stale_models() {
+        let mut kb = KnowledgeBase::new();
+        kb.eval_caches.push(EvalCacheRecord {
+            context: "empty".into(),
+            entries: vec![],
+        });
+        // Simulate a store merged from two sources with duplicate model
+        // records (bypassing upsert_model's invariant).
+        kb.models.push(model("c", 1));
+        kb.models.push(model("c", 3));
+        kb.models.push(model("c", 2));
+        kb.models.push(model("d", 1));
+        let report = kb.compact(1000);
+        assert_eq!(report.eval_records_dropped, 1);
+        assert_eq!(report.models_dropped, 2);
+        assert!(kb.eval_caches.is_empty());
+        assert_eq!(kb.models.len(), 2);
+        assert_eq!(kb.model_for("c").unwrap().version, 3);
+        assert_eq!(kb.model_for("d").unwrap().version, 1);
     }
 
     #[test]

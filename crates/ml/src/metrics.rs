@@ -47,6 +47,74 @@ pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
     1.0 - ss_res / ss_tot
 }
 
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    mse(truth, pred).sqrt()
+}
+
+/// Average-tie fractional ranks (1-based): ties share the mean of the
+/// positions they occupy, the standard convention for Spearman.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut r = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share rank mean(i+1 ..= j+1).
+        let shared = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &order[i..=j] {
+            r[k] = shared;
+        }
+        i = j + 1;
+    }
+    r
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank vectors
+/// (average ranks for ties). Returns 0.0 when either input is degenerate
+/// (fewer than two points, or all values tied) — the honest answer for
+/// "does this model rank candidates at all".
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let (ra, rb) = (ranks(a), ranks(b));
+    let n = a.len() as f64;
+    let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va < 1e-12 || vb < 1e-12 {
+        return 0.0;
+    }
+    cov / (va * vb).sqrt()
+}
+
 /// Majority-class baseline accuracy — the number a learned model must
 /// beat for the paper's "low classification error" claim to mean anything.
 pub fn majority_baseline(truth: &[usize], n_classes: usize) -> f64 {
@@ -90,5 +158,56 @@ mod tests {
     #[test]
     fn majority_baseline_counts() {
         assert_eq!(majority_baseline(&[0, 0, 0, 1], 2), 0.75);
+    }
+
+    #[test]
+    fn mae_rmse_hand_computed() {
+        // Residuals: +1, -2, 0 → MAE = (1+2+0)/3 = 1, MSE = 5/3,
+        // RMSE = sqrt(5/3).
+        let t = [3.0, 5.0, 7.0];
+        let p = [2.0, 7.0, 7.0];
+        assert!((mae(&t, &p) - 1.0).abs() < 1e-12);
+        assert!((rmse(&t, &p) - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mae(&[], &[]), 0.0);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn spearman_hand_computed() {
+        // Perfect monotone agreement (nonlinear is fine): rho = 1.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 8.0, 27.0, 64.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        // Perfect inversion: rho = -1.
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &c) + 1.0).abs() < 1e-12);
+        // Textbook fixture: ranks of a = (1,2,3,4,5), ranks of
+        // b = (2,1,4,3,5); d^2 sums to 4, rho = 1 - 6*4/(5*24) = 0.8.
+        let a = [10.0, 20.0, 30.0, 40.0, 50.0];
+        let b = [1.2, 0.9, 3.5, 3.1, 9.0];
+        assert!((spearman(&a, &b) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_ties_use_average_ranks() {
+        // a = (1, 2, 2, 4): the tied pair shares rank 2.5. Against a
+        // strictly increasing b the correlation is Pearson of
+        // (1, 2.5, 2.5, 4) vs (1, 2, 3, 4) = 4.5/sqrt(4.5*5) ~ 0.9487.
+        let a = [1.0, 2.0, 2.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let expect = 4.5 / (4.5f64 * 5.0).sqrt();
+        assert!(
+            (spearman(&a, &b) - expect).abs() < 1e-12,
+            "{}",
+            spearman(&a, &b)
+        );
+    }
+
+    #[test]
+    fn spearman_degenerate_inputs_are_zero() {
+        assert_eq!(spearman(&[], &[]), 0.0);
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+        // All-tied input has zero rank variance.
+        assert_eq!(spearman(&[5.0, 5.0, 5.0], &[1.0, 2.0, 3.0]), 0.0);
     }
 }

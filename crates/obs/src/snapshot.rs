@@ -439,6 +439,74 @@ impl CorpusStats {
     }
 }
 
+/// Predict-then-verify activity of the learned cost model (`ic-predict`):
+/// how many candidate evaluations the model screened, how many were
+/// verified by real simulation, and how many simulations the prediction
+/// saved outright.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictStats {
+    /// Candidate batches ranked by the model.
+    #[serde(default)]
+    pub batches: u64,
+    /// Candidate batches passed through unranked (no model loaded, or
+    /// `verify_fraction >= 1`, or too few unknown candidates to rank).
+    #[serde(default)]
+    pub bypassed: u64,
+    /// Unique uncached candidates the ranker scored.
+    #[serde(default)]
+    pub candidates: u64,
+    /// Ranked candidates verified by real simulation.
+    #[serde(default)]
+    pub verified: u64,
+    /// Ranked candidates answered with the model estimate alone — the
+    /// simulations the predictor saved.
+    #[serde(default)]
+    pub predicted: u64,
+    /// Times a model was (re)trained for this context.
+    #[serde(default)]
+    pub retrains: u64,
+    /// Version of the model currently loaded (instantaneous; 0 = none).
+    #[serde(default)]
+    pub model_version: u64,
+    /// Rows in the currently loaded model's training set (instantaneous).
+    #[serde(default)]
+    pub training_rows: u64,
+}
+
+impl PredictStats {
+    /// Fraction of ranked candidates that were actually simulated.
+    pub fn verify_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.verified as f64 / self.candidates as f64
+        }
+    }
+
+    /// How many times fewer simulations ran than a simulate-everything
+    /// batch would have issued: `(verified + predicted) / verified`.
+    pub fn savings_factor(&self) -> f64 {
+        if self.verified == 0 {
+            1.0
+        } else {
+            (self.verified + self.predicted) as f64 / self.verified as f64
+        }
+    }
+
+    /// Fold `other` in: counts add, model version/rows describe the
+    /// loaded model (instantaneous — max wins).
+    pub fn merge(&mut self, other: &PredictStats) {
+        self.batches = self.batches.saturating_add(other.batches);
+        self.bypassed = self.bypassed.saturating_add(other.bypassed);
+        self.candidates = self.candidates.saturating_add(other.candidates);
+        self.verified = self.verified.saturating_add(other.verified);
+        self.predicted = self.predicted.saturating_add(other.predicted);
+        self.retrains = self.retrains.saturating_add(other.retrains);
+        self.model_version = self.model_version.max(other.model_version);
+        self.training_rows = self.training_rows.max(other.training_rows);
+    }
+}
+
 /// Aggregated scoped-timer observations for one named span.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SpanStats {
@@ -538,6 +606,10 @@ pub struct Snapshot {
     /// suite was involved).
     #[serde(default)]
     pub corpus: CorpusStats,
+    /// Predict-then-verify cost-model activity (zeroed when prediction
+    /// was never enabled).
+    #[serde(default)]
+    pub predict: PredictStats,
     /// Named monotonic counters, sorted by name.
     #[serde(default)]
     pub counters: Vec<(String, u64)>,
@@ -565,6 +637,7 @@ impl Default for Snapshot {
             sim: SimStats::default(),
             service: ServiceStats::default(),
             corpus: CorpusStats::default(),
+            predict: PredictStats::default(),
             counters: Vec::new(),
             gauges: Vec::new(),
             spans: Vec::new(),
@@ -671,6 +744,7 @@ impl Snapshot {
         self.sim.merge(&other.sim);
         self.service.merge(&other.service);
         self.corpus.merge(&other.corpus);
+        self.predict.merge(&other.predict);
         merge_sorted_by_key(&mut self.counters, &other.counters, |c| &c.0, combine_count);
         merge_sorted_by_key(&mut self.gauges, &other.gauges, |g| &g.0, combine_gauge);
         merge_sorted_by_key(&mut self.spans, &other.spans, |s| &s.name, combine_span);
@@ -856,6 +930,47 @@ mod tests {
         // Old snapshots without a corpus block still parse.
         let old = Snapshot::from_json("{}").expect("parses");
         assert_eq!(old.corpus, CorpusStats::default());
+    }
+
+    #[test]
+    fn predict_stats_merge_semantics_and_rates() {
+        let mut a = PredictStats {
+            batches: 4,
+            bypassed: 1,
+            candidates: 100,
+            verified: 25,
+            predicted: 75,
+            retrains: 1,
+            model_version: 2,
+            training_rows: 300,
+        };
+        assert!((a.verify_rate() - 0.25).abs() < 1e-12);
+        assert!((a.savings_factor() - 4.0).abs() < 1e-12);
+        let b = PredictStats {
+            batches: 1,
+            bypassed: 0,
+            candidates: 20,
+            verified: 5,
+            predicted: 15,
+            retrains: 2,
+            model_version: 3,
+            training_rows: 120,
+        };
+        a.merge(&b);
+        assert_eq!(a.batches, 5);
+        assert_eq!(a.candidates, 120);
+        assert_eq!(a.verified, 30);
+        assert_eq!(a.predicted, 90);
+        assert_eq!(a.retrains, 3);
+        assert_eq!(a.model_version, 3, "model version merges by max");
+        assert_eq!(a.training_rows, 300, "training rows merge by max");
+        // No model, no activity: the degenerate rates are defined.
+        let zero = PredictStats::default();
+        assert_eq!(zero.verify_rate(), 0.0);
+        assert_eq!(zero.savings_factor(), 1.0);
+        // Old snapshots without a predict block still parse.
+        let old = Snapshot::from_json("{}").expect("parses");
+        assert_eq!(old.predict, PredictStats::default());
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Feature encoding for cycles prediction.
+//!
+//! A training/prediction row is the concatenation of the program's
+//! characterization features (static + dynamic, as stored in the
+//! knowledge base's `ProgramRecord`) with a per-position one-hot
+//! encoding of the optimization sequence: for the paper space (5
+//! positions over a 13-letter alphabet) the sequence block is 65
+//! columns. The one-hot block is what lets a single regressor rank
+//! *sequences* for a fixed program — the program block is constant
+//! within a batch, the sequence block varies.
+
+use ic_passes::Opt;
+use ic_search::SequenceSpace;
+
+/// Names for the sequence block, `seq{position}_{opt}` in
+/// position-major order — matching [`seq_features`] exactly.
+pub fn seq_feature_names(space: &SequenceSpace) -> Vec<String> {
+    let alphabet = space.alphabet();
+    let mut names = Vec::with_capacity(space.len() * alphabet.len());
+    for pos in 0..space.len() {
+        for o in &alphabet {
+            names.push(format!("seq{pos}_{o:?}"));
+        }
+    }
+    names
+}
+
+/// One-hot encode `seq` over `space`'s alphabet, position-major.
+/// Sequences shorter than the space length (e.g. the empty -O0
+/// baseline) leave their trailing positions all-zero; letters outside
+/// the alphabet leave their position's column block all-zero. Both
+/// degenerate encodings are still valid rows — the model sees "no pass
+/// here", which is the honest description.
+pub fn seq_features(space: &SequenceSpace, seq: &[Opt]) -> Vec<f64> {
+    let alphabet = space.alphabet();
+    let mut v = vec![0.0; space.len() * alphabet.len()];
+    for (pos, o) in seq.iter().take(space.len()).enumerate() {
+        if let Some(col) = alphabet.iter().position(|a| a == o) {
+            v[pos * alphabet.len() + col] = 1.0;
+        }
+    }
+    v
+}
+
+/// Width of the sequence block for `space`.
+pub fn seq_dim(space: &SequenceSpace) -> usize {
+    space.len() * space.alphabet().len()
+}
+
+/// A full row: program features, then the sequence block.
+pub fn row(program_features: &[f64], space: &SequenceSpace, seq: &[Opt]) -> Vec<f64> {
+    let mut v = Vec::with_capacity(program_features.len() + seq_dim(space));
+    v.extend_from_slice(program_features);
+    v.extend(seq_features(space, seq));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> SequenceSpace {
+        SequenceSpace::new(&Opt::PAPER_13, 5)
+    }
+
+    #[test]
+    fn one_hot_shape_and_placement() {
+        let s = space();
+        let alphabet = s.alphabet();
+        assert_eq!(seq_dim(&s), 5 * alphabet.len());
+        assert_eq!(seq_feature_names(&s).len(), seq_dim(&s));
+
+        let seq = s.decode(0);
+        let v = seq_features(&s, &seq);
+        assert_eq!(v.len(), seq_dim(&s));
+        // Exactly one hot column per position.
+        for pos in 0..5 {
+            let block = &v[pos * alphabet.len()..(pos + 1) * alphabet.len()];
+            assert_eq!(block.iter().sum::<f64>(), 1.0, "position {pos}");
+            let col = block.iter().position(|&x| x == 1.0).unwrap();
+            assert_eq!(alphabet[col], seq[pos]);
+        }
+    }
+
+    #[test]
+    fn distinct_sequences_encode_distinctly() {
+        let s = space();
+        let a = seq_features(&s, &s.decode(0));
+        let b = seq_features(&s, &s.decode(12_345));
+        assert_ne!(a, b);
+        // Same sequence encodes identically (pure function).
+        assert_eq!(a, seq_features(&s, &s.decode(0)));
+    }
+
+    #[test]
+    fn short_sequences_zero_trailing_positions() {
+        let s = space();
+        let v = seq_features(&s, &[]);
+        assert!(v.iter().all(|&x| x == 0.0), "-O0 row is all-zero");
+        let one = seq_features(&s, &[Opt::Dce]);
+        let alphabet = s.alphabet();
+        assert_eq!(one[..alphabet.len()].iter().sum::<f64>(), 1.0);
+        assert!(one[alphabet.len()..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn row_concatenates_program_block_first() {
+        let s = space();
+        let feats = [3.0, 1.0, 4.0];
+        let r = row(&feats, &s, &s.decode(7));
+        assert_eq!(r.len(), 3 + seq_dim(&s));
+        assert_eq!(&r[..3], &feats);
+        assert_eq!(&r[3..], seq_features(&s, &s.decode(7)).as_slice());
+    }
+}

@@ -1,0 +1,41 @@
+//! # ic-predict — learned cycles prediction for search
+//!
+//! The paper's central economics problem is that every point the
+//! search visits costs a compile + simulate. The knowledge base
+//! already amortizes *repeated* visits (the eval cache); this crate
+//! attacks the *first* visit: a regression model, trained on the
+//! knowledge base's own accumulated evaluations, predicts the cycles
+//! of unseen sequences so the search only simulates the candidates
+//! worth verifying.
+//!
+//! Three layers:
+//!
+//! * [`encoding`] — rows are `[program features ‖ per-position one-hot
+//!   sequence]`, so one model serves every program it trained on and
+//!   transfers (imperfectly, measurably) to new ones;
+//! * [`train`] — [`train::TrainingSet::assemble`] joins
+//!   `EvalCacheRecord`s with `ProgramRecord` features;
+//!   [`train::select_and_train`] picks among ridge / k-NN / forest
+//!   ([`regress::CostModel`]) by leave-one-program-out Spearman and
+//!   refits the winner; [`train::TrainedModel`] round-trips through
+//!   `ic_kb::ModelRecord` for versioned persistence;
+//! * [`verify`] — [`verify::PredictThenVerify`] wraps the exact
+//!   `CachedEvaluator`: probe the memo, rank unknowns with the model,
+//!   simulate only the top `verify_fraction`, answer the rest with
+//!   clamped predictions. `verify_fraction = 1.0` is bit-identical to
+//!   the bare cached evaluator (property-tested in
+//!   `tests/predict_transparency.rs` at the workspace root).
+//!
+//! The crate deliberately knows nothing about workloads or machines —
+//! contexts arrive as opaque fingerprint strings, program features as
+//! plain vectors — so it sits beside `ic-search` in the dependency
+//! graph, not above `ic-core`.
+
+pub mod encoding;
+pub mod regress;
+pub mod train;
+pub mod verify;
+
+pub use regress::{CostModel, ForestRegressor, KnnRegressor};
+pub use train::{select_and_train, TrainedModel, TrainingSet, MIN_TRAINING_ROWS};
+pub use verify::{run_focused, run_random, PredictThenVerify};

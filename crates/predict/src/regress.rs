@@ -1,0 +1,409 @@
+//! Cost regressors behind the predict-then-verify mode.
+//!
+//! Three learners, mirroring the classifier variety of `ic-ml` on the
+//! regression side:
+//!
+//! * [`CostModel::Ridge`] — `ic_ml::ridge::RidgeRegression` as-is;
+//! * [`CostModel::Knn`] — distance-weighted k-nearest-neighbor
+//!   regression over standardized rows;
+//! * [`CostModel::Forest`] — bagged variance-reduction regression trees
+//!   with per-node feature subsampling, seeded (deterministic fits).
+//!
+//! All three serialize with serde so a trained model persists to the
+//! knowledge base as an opaque JSON blob (`ic_kb::ModelRecord`), and
+//! all predict in *log2-cycles* space — the training targets are
+//! `log2(cycles)`, which tames the heavy right tail of simulated costs
+//! (a failed sequence can be orders of magnitude worse than a good
+//! one) and makes ranking, the thing predict-then-verify actually
+//! needs, much easier than absolute regression.
+
+use ic_ml::data::Standardizer;
+use ic_ml::ridge::RidgeRegression;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Distance-weighted k-NN regression. Stores the (standardized)
+/// training rows; prediction is the `1/(d+ε)`-weighted mean target of
+/// the `k` nearest.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnRegressor {
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    standardizer: Option<Standardizer>,
+}
+
+impl KnnRegressor {
+    pub fn new(k: usize) -> Self {
+        KnnRegressor {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+            standardizer: None,
+        }
+    }
+
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        let st = Standardizer::fit(x);
+        self.x = st.apply_all(x);
+        self.standardizer = Some(st);
+        self.y = y.to_vec();
+    }
+
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        if self.x.is_empty() {
+            return 0.0;
+        }
+        let q = match &self.standardizer {
+            Some(s) => s.apply(row),
+            None => row.to_vec(),
+        };
+        let mut dist: Vec<(f64, f64)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(r, &t)| {
+                let d2: f64 = r.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2.sqrt(), t)
+            })
+            .collect();
+        let k = self.k.min(dist.len());
+        dist.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let (mut num, mut den) = (0.0, 0.0);
+        for &(d, t) in &dist[..k] {
+            let w = 1.0 / (d + 1e-9);
+            num += w * t;
+            den += w;
+        }
+        num / den
+    }
+}
+
+/// One node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct RegTree {
+    nodes: Vec<Node>,
+}
+
+impl RegTree {
+    fn predict(&self, row: &[f64]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row.get(*feature).copied().unwrap_or(0.0) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Bagged regression forest: each tree fits a bootstrap sample, each
+/// split considers a random subset of features, splits minimize the
+/// weighted sum of child variances. Fully seeded — identical data and
+/// seed give identical trees.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForestRegressor {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    pub seed: u64,
+    trees: Vec<RegTree>,
+}
+
+impl ForestRegressor {
+    pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        ForestRegressor {
+            n_trees: n_trees.max(1),
+            max_depth,
+            min_leaf: 3,
+            seed,
+            trees: Vec::new(),
+        }
+    }
+
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len());
+        self.trees.clear();
+        if x.is_empty() {
+            return;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let d = x[0].len();
+        // Regression convention: about a third of the features per split.
+        let n_feats = (d / 3).max(1).min(d.max(1));
+        for _ in 0..self.n_trees {
+            let idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+            let mut tree = RegTree::default();
+            build(
+                &mut tree,
+                x,
+                y,
+                idx,
+                self.max_depth,
+                self.min_leaf,
+                n_feats,
+                &mut rng,
+            );
+            self.trees.push(tree);
+        }
+    }
+
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.predict(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+/// Grow one node (recursively) into `tree.nodes`; returns its index.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    tree: &mut RegTree,
+    x: &[Vec<f64>],
+    y: &[f64],
+    idx: Vec<usize>,
+    depth_left: usize,
+    min_leaf: usize,
+    n_feats: usize,
+    rng: &mut SmallRng,
+) -> usize {
+    let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+    let sse = |rows: &[usize]| -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let m = rows.iter().map(|&i| y[i]).sum::<f64>() / rows.len() as f64;
+        rows.iter().map(|&i| (y[i] - m) * (y[i] - m)).sum()
+    };
+    let total = sse(&idx);
+    if depth_left == 0 || idx.len() < 2 * min_leaf || total < 1e-12 {
+        tree.nodes.push(Node::Leaf { value: mean });
+        return tree.nodes.len() - 1;
+    }
+
+    let d = x[0].len();
+    // Sample candidate features without replacement (partial Fisher-Yates).
+    let mut feats: Vec<usize> = (0..d).collect();
+    for i in 0..n_feats.min(d) {
+        let j = rng.gen_range(i..d);
+        feats.swap(i, j);
+    }
+    let mut best: Option<(f64, usize, f64)> = None; // (score, feature, threshold)
+    for &f in &feats[..n_feats.min(d)] {
+        // Scan sorted values; candidate thresholds are midpoints between
+        // distinct consecutive values. Incremental sums keep it O(n).
+        let mut order = idx.clone();
+        order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+        let total_sum: f64 = order.iter().map(|&i| y[i]).sum();
+        let total_sq: f64 = order.iter().map(|&i| y[i] * y[i]).sum();
+        let n = order.len() as f64;
+        let (mut lsum, mut lsq) = (0.0, 0.0);
+        for (pos, win) in order.windows(2).enumerate() {
+            let yi = y[win[0]];
+            lsum += yi;
+            lsq += yi * yi;
+            let nl = (pos + 1) as f64;
+            if x[win[0]][f] == x[win[1]][f] {
+                continue; // no boundary between equal values
+            }
+            if (pos + 1) < min_leaf || (order.len() - pos - 1) < min_leaf {
+                continue;
+            }
+            let nr = n - nl;
+            let score = (lsq - lsum * lsum / nl)
+                + ((total_sq - lsq) - (total_sum - lsum) * (total_sum - lsum) / nr);
+            if best.is_none_or(|(s, _, _)| score < s) {
+                best = Some((score, f, (x[win[0]][f] + x[win[1]][f]) / 2.0));
+            }
+        }
+    }
+
+    match best {
+        Some((score, feature, threshold)) if score < total - 1e-12 => {
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| x[i][feature] <= threshold);
+            let at = tree.nodes.len();
+            tree.nodes.push(Node::Leaf { value: mean }); // placeholder
+            let left = build(tree, x, y, li, depth_left - 1, min_leaf, n_feats, rng);
+            let right = build(tree, x, y, ri, depth_left - 1, min_leaf, n_feats, rng);
+            tree.nodes[at] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
+            at
+        }
+        _ => {
+            tree.nodes.push(Node::Leaf { value: mean });
+            tree.nodes.len() - 1
+        }
+    }
+}
+
+/// The trainable cost model: one of the three regressors, tagged so the
+/// serialized form is self-describing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "regressor")]
+pub enum CostModel {
+    Ridge(RidgeRegression),
+    Knn(KnnRegressor),
+    Forest(ForestRegressor),
+}
+
+impl CostModel {
+    /// Fit on rows `x` with (log2-cycles) targets `y`.
+    pub fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        match self {
+            CostModel::Ridge(m) => m.fit(x, y),
+            CostModel::Knn(m) => m.fit(x, y),
+            CostModel::Forest(m) => m.fit(x, y),
+        }
+    }
+
+    /// Predicted target (log2-cycles) for one row.
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        match self {
+            CostModel::Ridge(m) => m.predict(row),
+            CostModel::Knn(m) => m.predict(row),
+            CostModel::Forest(m) => m.predict(row),
+        }
+    }
+
+    /// Predicted cycles (the inverse of the log2 target transform).
+    pub fn predict_cycles(&self, row: &[f64]) -> f64 {
+        self.predict(row).exp2()
+    }
+
+    /// Short display name, stored in `ic_kb::ModelRecord::kind`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostModel::Ridge(_) => "ridge",
+            CostModel::Knn(_) => "knn",
+            CostModel::Forest(_) => "forest",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 2 x0 - x1 + noiseless constant, 60 rows.
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..6 {
+                let (a, b) = (i as f64, j as f64);
+                x.push(vec![a, b]);
+                y.push(2.0 * a - b + 3.0);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn knn_interpolates_locally() {
+        let (x, y) = linear_data();
+        let mut m = KnnRegressor::new(3);
+        m.fit(&x, &y);
+        // A training point predicts (almost) its own target.
+        assert!((m.predict(&[4.0, 2.0]) - 9.0).abs() < 1e-6);
+        assert_eq!(KnnRegressor::new(3).predict(&[0.0, 0.0]), 0.0, "unfitted");
+    }
+
+    #[test]
+    fn forest_fits_and_is_deterministic() {
+        let (x, y) = linear_data();
+        let mut a = ForestRegressor::new(15, 6, 42);
+        let mut b = ForestRegressor::new(15, 6, 42);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        // Same seed, same trees → identical predictions.
+        for row in &x {
+            assert_eq!(a.predict(row), b.predict(row));
+        }
+        // Rough fit: within 2.0 of truth on training points (bagging noise).
+        let err: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(r, &t)| (a.predict(r) - t).abs())
+            .sum::<f64>()
+            / x.len() as f64;
+        assert!(err < 2.0, "mean abs error {err}");
+        assert_eq!(
+            ForestRegressor::new(5, 3, 0).predict(&[1.0]),
+            0.0,
+            "unfitted"
+        );
+    }
+
+    #[test]
+    fn forest_ranks_a_monotone_target() {
+        // Ranking is what predict-then-verify needs: check Spearman on
+        // held-out points of a monotone function.
+        let x: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 3.0).collect();
+        let mut m = ForestRegressor::new(20, 8, 7);
+        m.fit(&x, &y);
+        let probe: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 2.0 + 0.5, 1.0]).collect();
+        let pred: Vec<f64> = probe.iter().map(|r| m.predict(r)).collect();
+        let truth: Vec<f64> = probe.iter().map(|r| r[0] * 3.0).collect();
+        assert!(ic_ml::metrics::spearman(&truth, &pred) > 0.95);
+    }
+
+    #[test]
+    fn cost_model_round_trips_through_json() {
+        let (x, y) = linear_data();
+        for mut m in [
+            CostModel::Ridge(RidgeRegression::default()),
+            CostModel::Knn(KnnRegressor::new(5)),
+            CostModel::Forest(ForestRegressor::new(8, 5, 1)),
+        ] {
+            m.fit(&x, &y);
+            let json = serde_json::to_string(&m).unwrap();
+            let back: CostModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.name(), m.name());
+            for row in x.iter().take(5) {
+                assert_eq!(back.predict(row), m.predict(row), "{}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_cycles_inverts_log2() {
+        let mut m = CostModel::Ridge(RidgeRegression::default());
+        // Constant target log2(1024) = 10 → 1024 cycles.
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        m.fit(&x, &[10.0, 10.0, 10.0]);
+        assert!((m.predict_cycles(&[1.5]) - 1024.0).abs() < 32.0);
+    }
+}

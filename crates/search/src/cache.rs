@@ -131,6 +131,22 @@ impl<E: Evaluator> CachedEvaluator<E> {
         &self.shards[(idx as usize) % SHARDS]
     }
 
+    /// Probe the memo table without evaluating. A found cost counts as a
+    /// hit (the caller is about to use the value); an absent entry counts
+    /// as nothing — the caller decides whether to simulate (a miss, via
+    /// [`Evaluator::evaluate`]) or answer by other means (e.g. a learned
+    /// cost model in `ic-predict`'s predict-then-verify mode).
+    pub fn lookup(&self, seq: &[Opt]) -> Option<f64> {
+        let found = match self.space.encode(seq) {
+            Some(idx) => self.shard(idx).lock().get(&idx).copied(),
+            None => self.misc.lock().get(seq).copied(),
+        };
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
     fn evaluate_raw(&self, seq: &[Opt]) -> f64 {
         let t0 = Instant::now();
         let cost = self.inner.evaluate(seq);
@@ -250,6 +266,31 @@ mod tests {
         assert_eq!(stats.hits, 4);
         // Out-of-range indices are rejected.
         assert_eq!(warmed.warm([(u64::MAX, 1.0)]), 0);
+    }
+
+    #[test]
+    fn lookup_probes_without_evaluating() {
+        let cache = CachedEvaluator::new(
+            space(),
+            Counting {
+                calls: AtomicUsize::new(0),
+            },
+        );
+        let s = space();
+        let seq = s.decode(42);
+        // A probe miss neither evaluates nor counts.
+        assert_eq!(cache.lookup(&seq), None);
+        assert_eq!(cache.inner().calls.load(Ordering::SeqCst), 0);
+        assert_eq!(cache.stats().lookups(), 0);
+        // After a real evaluation the probe finds it and counts a hit.
+        let cost = cache.evaluate(&seq);
+        assert_eq!(cache.lookup(&seq), Some(cost));
+        assert_eq!(cache.inner().calls.load(Ordering::SeqCst), 1);
+        assert_eq!(cache.stats().hits, 1);
+        // Out-of-space sequences probe through the misc table.
+        assert_eq!(cache.lookup(&[]), None);
+        cache.evaluate(&[]);
+        assert_eq!(cache.lookup(&[]), Some(synthetic_cost(&[])));
     }
 
     #[test]

@@ -94,7 +94,11 @@ impl SearchResult {
         self.evaluated.push((seq.to_vec(), cost));
     }
 
-    pub(crate) fn new() -> Self {
+    /// An empty result (no evaluations yet, `best_cost` = +∞). Public so
+    /// external engines (e.g. `ic-predict`'s predict-then-verify search
+    /// drivers) can build results through the same observation logic the
+    /// in-crate strategies use.
+    pub fn new() -> Self {
         SearchResult {
             best_seq: Vec::new(),
             best_cost: f64::INFINITY,
@@ -108,14 +112,31 @@ impl SearchResult {
         self.best_so_far.len()
     }
 
+    /// Fold a pre-evaluated batch into the result, in input order. This
+    /// is the single observation path of every batched strategy —
+    /// external batch engines that compute costs by other means (e.g. a
+    /// learned cost model that only verifies the top-ranked candidates)
+    /// call it directly, so their trajectories fold exactly like a
+    /// simulate-everything run's.
+    pub fn observe_batch_costs(&mut self, seqs: &[Vec<Opt>], costs: &[f64]) {
+        debug_assert_eq!(seqs.len(), costs.len());
+        for (seq, &cost) in seqs.iter().zip(costs) {
+            self.observe(seq, cost);
+        }
+    }
+
     /// Batch-evaluate `seqs` (parallel, order-stable) and fold each
     /// outcome into the result in input order. The shared path of the
     /// batched strategies.
     pub(crate) fn observe_batch(&mut self, eval: &dyn Evaluator, seqs: &[Vec<Opt>]) {
         let costs = eval.evaluate_batch(seqs);
-        for (seq, cost) in seqs.iter().zip(costs) {
-            self.observe(seq, cost);
-        }
+        self.observe_batch_costs(seqs, &costs);
+    }
+}
+
+impl Default for SearchResult {
+    fn default() -> Self {
+        SearchResult::new()
     }
 }
 

@@ -149,6 +149,14 @@ impl Client {
         self.request(&Request::Admin(AdminRequest::Flush))
     }
 
+    /// Ask the daemon to flush, then compact its knowledge base down to
+    /// `max_entries_per_context` lowest-cost entries per context.
+    pub fn compact(&mut self, max_entries_per_context: usize) -> Result<Response, ClientError> {
+        self.request(&Request::Admin(AdminRequest::Compact {
+            max_entries_per_context,
+        }))
+    }
+
     /// Ask the daemon to shut down gracefully.
     pub fn shutdown(&mut self) -> Result<Response, ClientError> {
         self.request(&Request::Admin(AdminRequest::Shutdown))

@@ -23,12 +23,14 @@ use ic_core::evalcache::context_fingerprint;
 use ic_core::WorkloadEvaluator;
 use ic_kb::KnowledgeBase;
 use ic_machine::{Counter, MachineConfig};
+use ic_obs::PredictStats;
 use ic_passes::{Opt, PrefixCacheConfig};
+use ic_predict::{select_and_train, PredictThenVerify, TrainedModel, TrainingSet};
 use ic_search::{anneal, genetic, hillclimb, random, CachedEvaluator, Evaluator, SequenceSpace};
 use ic_workloads::{Kind, Workload};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,6 +54,19 @@ pub struct EngineConfig {
     pub profile_passes: bool,
     /// Pass-prefix compile-cache tuning.
     pub prefix_cache: PrefixCacheConfig,
+    /// Attach a predict-then-verify cost model to every engine: `random`
+    /// searches rank candidates with a learned model and simulate only
+    /// the top [`EngineConfig::verify_fraction`]. Off by default — a
+    /// predicting engine's search costs are estimates, opted into.
+    pub predict: bool,
+    /// Fraction of unknown candidates a predicting search verifies by
+    /// real simulation, in `(0, 1]`. `1.0` is bit-identical to no
+    /// prediction. Ignored unless `predict` is set.
+    pub verify_fraction: f64,
+    /// Retrain the cost model once this many new memo entries accumulate
+    /// since the last (re)train. `0` disables online refresh. Ignored
+    /// unless `predict` is set.
+    pub retrain_rows: u64,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +80,9 @@ impl EngineConfig {
         EngineConfigBuilder {
             profile_passes: true,
             compile_cache_bytes: PrefixCacheConfig::default().byte_budget,
+            predict: false,
+            verify_fraction: 0.25,
+            retrain_rows: 64,
         }
     }
 }
@@ -74,6 +92,9 @@ impl EngineConfig {
 pub struct EngineConfigBuilder {
     profile_passes: bool,
     compile_cache_bytes: usize,
+    predict: bool,
+    verify_fraction: f64,
+    retrain_rows: u64,
 }
 
 impl EngineConfigBuilder {
@@ -90,6 +111,26 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enable predict-then-verify search (default: off).
+    pub fn predict(mut self, on: bool) -> Self {
+        self.predict = on;
+        self
+    }
+
+    /// Verified fraction of unknown candidates, in `(0, 1]` (default
+    /// 0.25).
+    pub fn verify_fraction(mut self, f: f64) -> Self {
+        self.verify_fraction = f;
+        self
+    }
+
+    /// New memo entries between model refreshes; 0 disables (default
+    /// 64).
+    pub fn retrain_rows(mut self, n: u64) -> Self {
+        self.retrain_rows = n;
+        self
+    }
+
     pub fn build(self) -> Result<EngineConfig, ic_obs::Error> {
         // A budget below one workload-sized module would make every
         // insertion evict itself — a config bug, not a tuning choice.
@@ -99,12 +140,69 @@ impl EngineConfigBuilder {
                 self.compile_cache_bytes
             )));
         }
+        if self.predict && !(self.verify_fraction > 0.0 && self.verify_fraction <= 1.0) {
+            return Err(ic_obs::Error::Config(format!(
+                "verify_fraction {} is outside (0, 1]",
+                self.verify_fraction
+            )));
+        }
         Ok(EngineConfig {
             profile_passes: self.profile_passes,
             prefix_cache: PrefixCacheConfig {
                 byte_budget: self.compile_cache_bytes,
             },
+            predict: self.predict,
+            verify_fraction: self.verify_fraction,
+            retrain_rows: self.retrain_rows,
         })
+    }
+}
+
+/// The per-engine slice of predict-then-verify state: the program's
+/// characterization features (the constant block of every prediction
+/// row), the currently installed cost model, and accumulated
+/// [`PredictStats`]. Present only when the engine was built with
+/// [`EngineConfig::predict`].
+pub struct PredictLayer {
+    /// Verified fraction of unknown candidates per batch, `(0, 1]`.
+    pub verify_fraction: f64,
+    /// New memo entries between model refreshes; 0 disables refresh.
+    pub retrain_rows: u64,
+    /// `ic_features::combined_features` of the -O0 compile+run —
+    /// identical to what `ic-core` stores in `ProgramRecord`s, so
+    /// daemon rows join the same training sets.
+    pub features: Vec<f64>,
+    /// Installed model, swapped whole on refresh. Transient search
+    /// wrappers clone it, so a retrain never stalls a running search.
+    model: Mutex<Option<TrainedModel>>,
+    /// Memo-table size at the last (re)train — the refresh trigger
+    /// compares against it.
+    trained_at: AtomicU64,
+    /// Counters accumulated across every predicting search on this
+    /// engine (per-search wrappers are transient).
+    stats: Mutex<PredictStats>,
+}
+
+impl PredictLayer {
+    /// Accumulated counters plus the instantaneous model
+    /// version/training-rows of the currently installed model.
+    pub fn stats(&self) -> PredictStats {
+        let mut s = *self.stats.lock();
+        if let Some(m) = self.model.lock().as_ref() {
+            s.model_version = m.version;
+            s.training_rows = m.rows;
+        }
+        s
+    }
+
+    /// Version of the installed model, 0 when none.
+    pub fn model_version(&self) -> u64 {
+        self.model.lock().as_ref().map_or(0, |m| m.version)
+    }
+
+    /// Fold one search wrapper's counters into the accumulator.
+    fn absorb(&self, s: &PredictStats) {
+        self.stats.lock().merge(s);
     }
 }
 
@@ -117,6 +215,8 @@ pub struct Engine {
     pub config: MachineConfig,
     pub space: Arc<SequenceSpace>,
     pub eval: CachedEvaluator<WorkloadEvaluator>,
+    /// Predict-then-verify state; `None` when prediction is off.
+    pub predict: Option<PredictLayer>,
 }
 
 impl Engine {
@@ -144,13 +244,68 @@ impl Engine {
             space.clone(),
             WorkloadEvaluator::with_profiler(&workload, &config, cfg.prefix_cache, profiler),
         );
+        let predict = cfg.predict.then(|| {
+            // Characterize at -O0 exactly like `ic-core` does, so the
+            // program block of every prediction row matches the rows the
+            // knowledge base's training sets are assembled from.
+            let (module, _) = eval.inner().compile(&[]);
+            let features = match eval.inner().run(&[]) {
+                Ok(r) => ic_features::combined_features(&module, &r.counters),
+                // A workload that can't finish -O0 under its fuel still
+                // serves; its engine just predicts on sequence features
+                // alone.
+                Err(_) => Vec::new(),
+            };
+            PredictLayer {
+                verify_fraction: cfg.verify_fraction,
+                retrain_rows: cfg.retrain_rows,
+                features,
+                model: Mutex::new(None),
+                trained_at: AtomicU64::new(0),
+                stats: Mutex::new(PredictStats::default()),
+            }
+        });
         Ok(Engine {
             fingerprint: context_fingerprint(&workload, &config),
             workload,
             config,
             space,
             eval,
+            predict,
         })
+    }
+
+    /// Retrain this engine's cost model from the knowledge base when
+    /// enough new evaluations have accumulated since the last train:
+    /// assemble the machine-restricted training set, run model
+    /// selection, bump the per-context version, persist the record, and
+    /// install the new model. Returns `true` when a model was installed.
+    ///
+    /// Call *after* write-through ([`EnginePool::flush_to_kb`]) so the
+    /// training set includes this engine's latest evaluations.
+    pub fn maybe_retrain(&self, kb: &mut KnowledgeBase, unix_ms: u64) -> bool {
+        let Some(layer) = &self.predict else {
+            return false;
+        };
+        if layer.retrain_rows == 0 {
+            return false;
+        }
+        let have = self.eval.len() as u64;
+        let seen = layer.trained_at.load(Ordering::Relaxed);
+        let first = layer.model.lock().is_none();
+        if !first && have.saturating_sub(seen) < layer.retrain_rows {
+            return false;
+        }
+        let ts = TrainingSet::assemble_for_machine(kb, &self.space, &self.config.name);
+        let Some(mut tm) = select_and_train(&ts, 0x1c) else {
+            return false;
+        };
+        tm.version = kb.model_for(&self.fingerprint).map_or(1, |m| m.version + 1);
+        kb.upsert_model(tm.to_record(&self.fingerprint, unix_ms));
+        layer.trained_at.store(have, Ordering::Relaxed);
+        *layer.model.lock() = Some(tm);
+        layer.stats.lock().retrains += 1;
+        true
     }
 
     /// This engine's slice of the unified observability snapshot:
@@ -164,6 +319,9 @@ impl Engine {
         snap.sim = self.eval.inner().sim_stats();
         if let Some(prof) = self.eval.inner().profiler() {
             snap.passes = prof.rows();
+        }
+        if let Some(layer) = &self.predict {
+            snap.predict = layer.stats();
         }
         snap
     }
@@ -223,12 +381,39 @@ impl EnginePool {
         }
         let engine = Arc::new(Engine::build(ctx, &self.config)?);
         {
-            let warmed = ic_core::evalcache::warm_from_kb(&engine.eval, &kb.lock(), &fingerprint);
+            let mut kb = kb.lock();
+            let warmed = ic_core::evalcache::warm_from_kb(&engine.eval, &kb, &fingerprint);
             if warmed > 0 {
                 eprintln!(
                     "ic-serve: warmed {warmed} cached evaluations for {}",
                     engine.fingerprint
                 );
+            }
+            if let Some(layer) = &engine.predict {
+                // Register the program so this engine's evaluations join
+                // future training sets, and load the persisted model (if
+                // any) so a restarted daemon predicts from request one.
+                let known = kb
+                    .programs
+                    .iter()
+                    .any(|p| p.program == engine.workload.name);
+                if !layer.features.is_empty() && !known {
+                    kb.upsert_program(ic_kb::ProgramRecord {
+                        program: engine.workload.name.clone(),
+                        feature_names: ic_features::combined_feature_names(),
+                        features: layer.features.clone(),
+                        suite: None,
+                    });
+                }
+                if let Some(tm) = kb
+                    .model_for(&fingerprint)
+                    .and_then(TrainedModel::from_record)
+                {
+                    layer
+                        .trained_at
+                        .store(engine.eval.len() as u64, Ordering::Relaxed);
+                    *layer.model.lock() = Some(tm);
+                }
             }
         }
         let mut map = self.engines.lock();
@@ -405,6 +590,39 @@ pub fn run_search(
     queue_ms: f64,
 ) -> Result<SearchResponse, ErrorResponse> {
     let cap = StatsCapture::begin(engine);
+    // Predict-then-verify path: batched strategies route through a
+    // transient wrapper over this engine's exact cache. The wrapper
+    // needs the concrete `CachedEvaluator` (predictions must probe and
+    // write through the real memo), so the deadline guard cannot sit in
+    // between — a predicting search honors its deadline at batch entry
+    // only. The trade is sound: prediction exists to make the batch
+    // cheap.
+    if let Some(layer) = engine.predict.as_ref().filter(|_| req.strategy == "random") {
+        if deadline.is_some_and(|d| Instant::now() > d) {
+            return Err(ErrorResponse::new(
+                ErrorKind::DeadlineExceeded,
+                "deadline elapsed before the search started",
+            ));
+        }
+        let model = layer.model.lock().clone();
+        let ptv = PredictThenVerify::new(
+            &engine.eval,
+            layer.features.clone(),
+            model,
+            layer.verify_fraction,
+        );
+        let r = ic_predict::run_random(&engine.space, &ptv, req.budget, req.seed);
+        layer.absorb(&ptv.stats());
+        let stats = cap.finish(engine, queue_ms);
+        let evaluations = r.evaluations();
+        return Ok(SearchResponse {
+            best_sequence: r.best_seq.iter().map(|o| o.name().to_string()).collect(),
+            best_cost: r.best_cost,
+            best_so_far: r.best_so_far,
+            evaluations,
+            stats,
+        });
+    }
     let guard = DeadlineGuard {
         inner: &engine.eval,
         deadline,

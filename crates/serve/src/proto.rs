@@ -112,6 +112,14 @@ pub enum AdminRequest {
     /// Persist every engine's evaluation-cache snapshot to the
     /// knowledge-base store now.
     Flush,
+    /// Flush, then compact the knowledge base: each eval-cache record
+    /// keeps only its `max_entries_per_context` lowest-cost entries and
+    /// stale model versions are dropped. Wire-additive: servers predate
+    /// this variant reject it as a bad request, nothing worse.
+    Compact {
+        /// Per-context entry ceiling after compaction.
+        max_entries_per_context: usize,
+    },
     /// Graceful shutdown: stop accepting, drain in-flight requests,
     /// persist snapshots, exit 0.
     Shutdown,
@@ -220,11 +228,15 @@ pub struct StatsResponse {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdminResponse {
-    /// What was acknowledged: `"flush"` or `"shutdown"`.
+    /// What was acknowledged: `"flush"`, `"compact"`, or `"shutdown"`.
     pub action: String,
     /// Evaluation-cache entries persisted to the knowledge base by this
     /// action (0 when no store is configured).
     pub persisted_entries: u64,
+    /// Eval-cache entries dropped by `Admin(Compact)` (0 for every
+    /// other action; absent on old servers, defaulting to 0).
+    #[serde(default)]
+    pub dropped_entries: u64,
 }
 
 /// Machine-readable error kinds — the structured part of graceful

@@ -70,6 +70,15 @@ pub struct ServeConfig {
     /// Persist observability snapshots to the kb store every this many
     /// milliseconds (0 = only on flush/shutdown).
     pub metrics_interval_ms: u64,
+    /// Attach a predict-then-verify cost model to every engine (see
+    /// [`EngineConfig::predict`]). Off by default.
+    pub predict: bool,
+    /// Verified fraction of unknown candidates in predicting searches,
+    /// `(0, 1]`.
+    pub verify_fraction: f64,
+    /// New memo entries between cost-model refreshes (checked on every
+    /// flush); 0 disables online refresh.
+    pub retrain_rows: u64,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +102,9 @@ impl ServeConfig {
                 kb_path: None,
                 profile_passes: true,
                 metrics_interval_ms: 0,
+                predict: false,
+                verify_fraction: 0.25,
+                retrain_rows: 64,
             },
         }
     }
@@ -116,6 +128,12 @@ impl ServeConfig {
                 self.metrics_interval_ms
             )));
         }
+        if self.predict && !(self.verify_fraction > 0.0 && self.verify_fraction <= 1.0) {
+            return Err(ic_obs::Error::Config(format!(
+                "verify_fraction {} is outside (0, 1]",
+                self.verify_fraction
+            )));
+        }
         Ok(())
     }
 
@@ -123,6 +141,9 @@ impl ServeConfig {
     pub fn engine_config(&self) -> EngineConfig {
         EngineConfig::builder()
             .profile_passes(self.profile_passes)
+            .predict(self.predict)
+            .verify_fraction(self.verify_fraction)
+            .retrain_rows(self.retrain_rows)
             .build()
             .expect("engine defaults validate")
     }
@@ -172,6 +193,21 @@ impl ServeConfigBuilder {
 
     pub fn metrics_interval_ms(mut self, ms: u64) -> Self {
         self.config.metrics_interval_ms = ms;
+        self
+    }
+
+    pub fn predict(mut self, on: bool) -> Self {
+        self.config.predict = on;
+        self
+    }
+
+    pub fn verify_fraction(mut self, f: f64) -> Self {
+        self.config.verify_fraction = f;
+        self
+    }
+
+    pub fn retrain_rows(mut self, n: u64) -> Self {
+        self.config.retrain_rows = n;
         self
     }
 
@@ -314,6 +350,7 @@ impl ServerState {
     /// later flush with a store catches up).
     pub fn flush(&self) -> u64 {
         let total = self.engines.flush_to_kb(&self.kb);
+        self.maybe_retrain();
         self.persist_metrics();
         if let Some(path) = &self.config.kb_path {
             if let Err(e) = self.kb.lock().save(path) {
@@ -322,6 +359,31 @@ impl ServerState {
             }
         }
         total
+    }
+
+    /// Online model refresh: after write-through, give every predicting
+    /// engine a chance to retrain on the knowledge base it just fed.
+    /// Installed models are persisted as versioned `ModelRecord`s, so
+    /// the daemon's predictor survives (and keeps improving across)
+    /// restarts.
+    fn maybe_retrain(&self) {
+        if !self.config.predict {
+            return;
+        }
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut kb = self.kb.lock();
+        for e in self.engines.engines() {
+            if e.maybe_retrain(&mut kb, unix_ms) {
+                eprintln!(
+                    "ic-serve: retrained cost model v{} for {}",
+                    e.predict.as_ref().map_or(0, |p| p.model_version()),
+                    e.fingerprint
+                );
+            }
+        }
     }
 
     /// Upsert the daemon-wide and per-engine observability snapshots
@@ -502,13 +564,40 @@ impl ServerState {
             AdminRequest::Flush => Response::Admin(AdminResponse {
                 action: "flush".into(),
                 persisted_entries: self.flush(),
+                dropped_entries: 0,
             }),
+            AdminRequest::Compact {
+                max_entries_per_context,
+            } => {
+                if *max_entries_per_context == 0 {
+                    return self.error_response(ErrorResponse::new(
+                        ErrorKind::BadRequest,
+                        "max_entries_per_context must be >= 1",
+                    ));
+                }
+                // Write through first so compaction ranks the freshest
+                // entries, then trim and persist the trimmed store.
+                let persisted = self.engines.flush_to_kb(&self.kb);
+                let report = self.kb.lock().compact(*max_entries_per_context);
+                self.persist_metrics();
+                if let Some(path) = &self.config.kb_path {
+                    if let Err(e) = self.kb.lock().save(path) {
+                        eprintln!("ic-serve: persisting {}: {e}", path.display());
+                    }
+                }
+                Response::Admin(AdminResponse {
+                    action: "compact".into(),
+                    persisted_entries: persisted,
+                    dropped_entries: report.eval_entries_dropped,
+                })
+            }
             AdminRequest::Shutdown => {
                 let persisted = self.flush();
                 self.begin_shutdown();
                 Response::Admin(AdminResponse {
                     action: "shutdown".into(),
                     persisted_entries: persisted,
+                    dropped_entries: 0,
                 })
             }
         }

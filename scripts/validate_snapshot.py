@@ -74,6 +74,19 @@ def main():
         f"ok: snapshot from `{snapshot.get('context', '?')}` "
         f"(schema v{snapshot.get('schema_version', '?')}) validates"
     )
+    predict = snapshot.get("predict")
+    if predict and (predict.get("candidates") or predict.get("retrains")):
+        verified = predict["verified"]
+        saved = (
+            (verified + predict["predicted"]) / verified if verified else 1.0
+        )
+        print(
+            f"ok: predict block: model v{predict['model_version']} "
+            f"({predict['training_rows']} training rows), "
+            f"{verified} verified + {predict['predicted']} predicted "
+            f"of {predict['candidates']} candidates ({saved:.1f}x fewer "
+            f"simulations), {predict['retrains']} retrains"
+        )
     sim = snapshot.get("sim")
     if sim and (sim.get("insts_simulated") or sim["decode"].get("misses")):
         d = sim["decode"]

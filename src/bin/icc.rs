@@ -30,6 +30,9 @@ use intelligent_compilers::obs::{PassProfiler, PassStats, SimStats, Snapshot};
 use intelligent_compilers::passes::{
     apply_sequence, apply_sequence_profiled, ofast_sequence, profiler, Opt, PrefixCacheConfig,
 };
+use intelligent_compilers::predict::{
+    select_and_train, PredictThenVerify, TrainedModel, TrainingSet, MIN_TRAINING_ROWS,
+};
 use intelligent_compilers::search::{random, CachedEvaluator, SequenceSpace};
 use intelligent_compilers::serve::proto::{
     AdminRequest, ErrorKind, ErrorResponse, Request, Response,
@@ -68,6 +71,10 @@ struct Options {
     remote: Option<String>,
     admin: Option<String>,
     deadline_ms: u64,
+    predict: bool,
+    verify_fraction: f64,
+    train_model: bool,
+    keep: usize,
 }
 
 const USAGE: &str = "\
@@ -80,6 +87,14 @@ usage: icc <file.mc> [options]
   --emit-ir            print the optimized IR instead of running
   --search N           random-search N sequences, use the best (with --kb:
                        warm from / persist the evaluation cache)
+  --predict            with --search and --kb: rank candidates with the
+                       kb's learned cycles model and simulate only the
+                       top --verify-fraction of them (predict-then-verify)
+  --verify-fraction F  verified fraction of unknown candidates, (0, 1]
+                       (default 0.25; 1.0 = bit-identical to no --predict)
+  --train-model        train a cycles model from the kb's evaluation
+                       records (leave-one-program-out selection over
+                       ridge/kNN/forest), store it versioned, and exit
   --intelligent        predict the sequence from the knowledge base (needs --kb)
   --kb FILE            knowledge-base JSON to read/extend
   --stats              print compile-cache / eval-cache statistics after
@@ -97,7 +112,9 @@ usage: icc <file.mc> [options]
                        daemon at this Unix socket (bit-identical results,
                        warm shared caches)
   --deadline-ms N      per-request deadline for --remote requests (0 = server default)
-  --admin CMD          with --remote: stats | metrics | flush | shutdown
+  --admin CMD          with --remote: stats | metrics | flush | compact | shutdown
+  --keep N             entry ceiling per context for `--admin compact`
+                       (default 4096)
   --list-opts          print the optimization registry and exit
   --build-kb FILE [N]  build a knowledge base from the built-in suite and exit
 
@@ -113,6 +130,12 @@ serve options (after `icc serve`):
   --metrics-interval-ms N  also persist metrics snapshots to the kb every
                        N ms (0 = only on flush/shutdown; minimum 100)
   --no-profile         disable per-pass profiling in the daemon's engines
+  --predict            predict-then-verify `random` searches: each engine
+                       loads/trains a cycles model from the kb and
+                       simulates only the top --verify-fraction
+  --verify-fraction F  verified fraction for daemon searches, (0, 1]
+  --retrain-rows N     retrain an engine's model after N new evaluations
+                       land in its memo (checked at every flush; 0 never)
   SIGTERM/SIGINT, or a client `--admin shutdown`, drain in-flight
   requests, persist cache snapshots, and exit 0.";
 
@@ -136,6 +159,10 @@ fn parse_args() -> Result<Options, Error> {
         remote: None,
         admin: None,
         deadline_ms: 0,
+        predict: false,
+        verify_fraction: 0.25,
+        train_model: false,
+        keep: 4096,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -166,6 +193,27 @@ fn parse_args() -> Result<Options, Error> {
                 )
             }
             "--intelligent" => o.intelligent = true,
+            "--predict" => o.predict = true,
+            "--verify-fraction" => {
+                o.verify_fraction = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("--verify-fraction needs a number"))?;
+                if !(o.verify_fraction > 0.0 && o.verify_fraction <= 1.0) {
+                    return Err(bad(format!(
+                        "--verify-fraction {} is outside (0, 1]",
+                        o.verify_fraction
+                    )));
+                }
+            }
+            "--train-model" => o.train_model = true,
+            "--keep" => {
+                o.keep = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| bad("--keep needs a number >= 1"))?
+            }
             "--stats" => o.stats = true,
             "--json" => o.json = true,
             "--profile" => o.profile = true,
@@ -462,6 +510,19 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> Result<(), Error> {
                     .ok_or_else(|| bad("--metrics-interval-ms needs a number"))?
             }
             "--no-profile" => cfg.profile_passes = false,
+            "--predict" => cfg.predict = true,
+            "--verify-fraction" => {
+                cfg.verify_fraction = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("--verify-fraction needs a number"))?
+            }
+            "--retrain-rows" => {
+                cfg.retrain_rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("--retrain-rows needs a number"))?
+            }
             "--kb" => {
                 cfg.kb_path = Some(args.next().ok_or_else(|| bad("--kb needs a file"))?.into())
             }
@@ -546,6 +607,9 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), Error> {
             "stats" => AdminRequest::Stats,
             "metrics" => AdminRequest::Metrics,
             "flush" => AdminRequest::Flush,
+            "compact" => AdminRequest::Compact {
+                max_entries_per_context: o.keep,
+            },
             "shutdown" => AdminRequest::Shutdown,
             other => return Err(bad(format!("unknown admin command `{other}`"))),
         };
@@ -585,10 +649,17 @@ fn run_remote(o: &Options, sock: &str) -> Result<(), Error> {
                 }
             }
             Response::Admin(a) => {
-                eprintln!(
-                    "icc: server acknowledged {} ({} cache entries persisted)",
-                    a.action, a.persisted_entries
-                );
+                if a.action == "compact" {
+                    eprintln!(
+                        "icc: server acknowledged compact ({} cache entries persisted, {} dropped)",
+                        a.persisted_entries, a.dropped_entries
+                    );
+                } else {
+                    eprintln!(
+                        "icc: server acknowledged {} ({} cache entries persisted)",
+                        a.action, a.persisted_entries
+                    );
+                }
             }
             Response::Error(e) => return Err(remote_error(&e)),
             other => return Err(internal(format!("unexpected response: {other:?}"))),
@@ -837,6 +908,48 @@ fn run() -> Result<(), Error> {
         module.num_insts()
     );
 
+    // `--train-model`: train a cycles predictor from the kb's
+    // accumulated evaluations, persist it versioned, exit.
+    if o.train_model {
+        let kb_path =
+            o.kb.clone()
+                .ok_or_else(|| bad("--train-model needs --kb FILE"))?;
+        let mut kb = KnowledgeBase::load(std::path::Path::new(&kb_path))
+            .map_err(|e| internal(format!("{kb_path}: {e}")))?;
+        let w = Workload {
+            name: name.clone(),
+            kind: Kind::AluBound,
+            source: source.clone(),
+            fuel: o.fuel,
+            meta: None,
+        };
+        let ctx = intelligent_compilers::core::context_fingerprint(&w, &config);
+        let space = SequenceSpace::paper();
+        let ts = TrainingSet::assemble_for_machine(&kb, &space, &config.name);
+        let Some(mut tm) = select_and_train(&ts, o.seed) else {
+            return Err(bad(format!(
+                "training set too small: {} joined rows in {kb_path} (need {MIN_TRAINING_ROWS}+; run --search with --kb first)",
+                ts.len()
+            )));
+        };
+        tm.version = kb.model_for(&ctx).map_or(1, |m| m.version + 1);
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        kb.upsert_model(tm.to_record(&ctx, unix_ms));
+        kb.save(std::path::Path::new(&kb_path))
+            .map_err(|e| internal(format!("{kb_path}: {e}")))?;
+        eprintln!(
+            "icc: trained {} model v{} on {} rows (held-out spearman {:.3}); stored for {ctx} in {kb_path}",
+            tm.model.name(),
+            tm.version,
+            tm.rows,
+            tm.spearman,
+        );
+        return Ok(());
+    }
+
     // One shared per-pass profiler covers both the search's trial
     // compilations and the final build; `--metrics-json` implies it.
     let prof: Option<PassProfiler> = (o.profile || o.metrics_json).then(profiler);
@@ -878,7 +991,56 @@ fn run() -> Result<(), Error> {
             }
             _ => KnowledgeBase::new(),
         };
-        let r = random::run(&space, &eval, budget, o.seed);
+        // Register the program's -O0 characterization so this run's
+        // eval records join future model-training sets (the join key is
+        // the context's program name); doubles as the program block of
+        // every prediction row below.
+        let feats = match simulate_default(&module, &config, o.fuel) {
+            Ok(r0) => intelligent_compilers::features::combined_features(&module, &r0.counters),
+            Err(_) => Vec::new(),
+        };
+        if !feats.is_empty() && !kb.programs.iter().any(|p| p.program == name) {
+            kb.upsert_program(intelligent_compilers::kb::ProgramRecord {
+                program: name.clone(),
+                feature_names: intelligent_compilers::features::combined_feature_names(),
+                features: feats.clone(),
+                suite: None,
+            });
+        }
+        let r = if o.predict && o.verify_fraction < 1.0 {
+            // Predict-then-verify: rank the batch with the kb's cycles
+            // model (trained on the spot from the kb corpus when no
+            // versioned record exists yet), simulate only the top
+            // fraction, answer the rest with clamped predictions.
+            let model = kb
+                .model_for(&ctx)
+                .and_then(TrainedModel::from_record)
+                .or_else(|| {
+                    let ts = TrainingSet::assemble_for_machine(&kb, &space, &config.name);
+                    select_and_train(&ts, o.seed)
+                });
+            if model.is_none() {
+                eprintln!(
+                    "icc: no cycles model and too little kb training data (need {MIN_TRAINING_ROWS}+ rows); searching without prediction"
+                );
+            }
+            let ptv = PredictThenVerify::new(&eval, feats.clone(), model, o.verify_fraction);
+            let r = intelligent_compilers::predict::run_random(&space, &ptv, budget, o.seed);
+            let ps = ptv.stats();
+            eprintln!(
+                "icc: predict       : model v{} ({} training rows): {} verified + {} predicted of {} candidates ({:.1}x fewer simulations)",
+                ps.model_version,
+                ps.training_rows,
+                ps.verified,
+                ps.predicted,
+                ps.candidates,
+                ps.savings_factor()
+            );
+            snap.predict = ps;
+            r
+        } else {
+            random::run(&space, &eval, budget, o.seed)
+        };
         let stats = eval.stats();
         eprintln!(
             "icc: search best {:.0} cycles after {} evaluations ({} raw simulations, {} cache hits)",

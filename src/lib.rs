@@ -12,6 +12,7 @@ pub use ic_machine as machine;
 pub use ic_ml as ml;
 pub use ic_obs as obs;
 pub use ic_passes as passes;
+pub use ic_predict as predict;
 pub use ic_search as search;
 pub use ic_serve as serve;
 pub use ic_workloads as workloads;

@@ -1,0 +1,136 @@
+//! Training-corpus acceptance for the cycles predictor (`ic-predict`).
+//!
+//! The fast test runs in tier 1 on every push: a handful of suite
+//! programs' search data must join into a trainable set, model
+//! selection must pick something with positive held-out rank
+//! correlation, and the winner must survive the knowledge-base
+//! round-trip bit-for-bit.
+//!
+//! The `--ignored` sweep is the nightly CI job: populate the knowledge
+//! base from the whole 65-program registry, then leave-one-program-out
+//! — train on 64, predict the held-out program's rows — and print the
+//! per-program held-out Spearman table.
+
+use intelligent_compilers::core::IntelligentCompiler;
+use intelligent_compilers::machine::MachineConfig;
+use intelligent_compilers::ml::metrics::spearman;
+use intelligent_compilers::predict::{
+    select_and_train, TrainedModel, TrainingSet, MIN_TRAINING_ROWS,
+};
+use intelligent_compilers::search::SequenceSpace;
+use intelligent_compilers::workloads::{registry_scaled, SuiteScale};
+
+fn populated_compiler(programs: usize, budget: usize) -> (IntelligentCompiler, MachineConfig) {
+    let cfg = MachineConfig::vliw_c6713_like();
+    let mut ic = IntelligentCompiler::new(cfg.clone());
+    for e in registry_scaled(SuiteScale::Small)
+        .into_iter()
+        .take(programs)
+    {
+        ic.characterize_program(&e.workload);
+        ic.populate_kb_search(&e.workload, budget, 0xC0FFEE);
+    }
+    (ic, cfg)
+}
+
+#[test]
+fn suite_subset_trains_a_useful_model() {
+    let (ic, cfg) = populated_compiler(4, 20);
+    let space = SequenceSpace::paper();
+    let ts = TrainingSet::assemble_for_machine(&ic.kb, &space, &cfg.name);
+    assert!(
+        ts.len() >= MIN_TRAINING_ROWS,
+        "4 searched programs joined only {} rows",
+        ts.len()
+    );
+    assert!(
+        ts.distinct_groups().len() >= 4,
+        "per-program groups survive the join"
+    );
+
+    let tm = select_and_train(&ts, 7).expect("subset is trainable");
+    assert!(tm.spearman.is_finite());
+    assert!(
+        tm.spearman > 0.2,
+        "held-out rank correlation too weak: {:.3} ({})",
+        tm.spearman,
+        tm.model.name()
+    );
+
+    // Knowledge-base round-trip: persisted model answers identically.
+    let rec = tm.to_record("ctx", 123);
+    let back = TrainedModel::from_record(&rec).expect("record parses back");
+    for row in ts.rows.iter().take(16) {
+        assert_eq!(
+            tm.model.predict(row).to_bits(),
+            back.model.predict(row).to_bits(),
+            "round-tripped model diverged"
+        );
+    }
+}
+
+/// Nightly sweep: leave-one-program-out over the full registry. The
+/// model family is selected once on the full set, then refit per fold
+/// on the 64 kept programs and scored on the held-out one.
+#[test]
+#[ignore = "full-corpus sweep; run nightly via `--ignored`"]
+fn full_corpus_leave_one_out_sweep() {
+    let (ic, cfg) = populated_compiler(usize::MAX, 40);
+    let space = SequenceSpace::paper();
+    let ts = TrainingSet::assemble_for_machine(&ic.kb, &space, &cfg.name);
+    println!(
+        "corpus training set: {} rows, {} programs, {} features",
+        ts.len(),
+        ts.distinct_groups().len(),
+        ts.feature_names.len()
+    );
+    let winner = select_and_train(&ts, 7).expect("full corpus trains");
+    println!(
+        "selected family: {} (selection-time held-out spearman {:.3})",
+        winner.model.name(),
+        winner.spearman
+    );
+
+    let groups: Vec<String> = ts.distinct_groups().iter().map(|g| g.to_string()).collect();
+    let mut scored = Vec::new();
+    for held in &groups {
+        let mut train_rows = Vec::new();
+        let mut train_y = Vec::new();
+        let mut test_rows = Vec::new();
+        let mut test_y = Vec::new();
+        for ((row, y), g) in ts.rows.iter().zip(&ts.y).zip(&ts.groups) {
+            if g == held {
+                test_rows.push(row.clone());
+                test_y.push(*y);
+            } else {
+                train_rows.push(row.clone());
+                train_y.push(*y);
+            }
+        }
+        // A fold needs enough held-out spread for a rank correlation.
+        if test_y.len() < 3 {
+            continue;
+        }
+        let mut model = winner.model.clone();
+        model.fit(&train_rows, &train_y);
+        let pred: Vec<f64> = test_rows.iter().map(|r| model.predict(r)).collect();
+        let rho = spearman(&test_y, &pred);
+        if rho.is_finite() {
+            scored.push((held.clone(), rho, test_y.len()));
+        }
+    }
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+    println!("held-out program                          rows   spearman");
+    for (name, rho, rows) in &scored {
+        println!("{name:<42}{rows:>4}   {rho:>8.3}");
+    }
+    let mean = scored.iter().map(|s| s.1).sum::<f64>() / scored.len() as f64;
+    println!(
+        "mean held-out spearman over {} folds: {mean:.3}",
+        scored.len()
+    );
+    assert!(
+        mean >= 0.4,
+        "corpus-wide transfer degraded: mean held-out spearman {mean:.3}"
+    );
+}
