@@ -1,0 +1,41 @@
+# Build and run the ic-serve daemon.
+#
+#   docker build -t ic-serve .
+#   docker run --rm -p 7411:7411 -p 8080:8080 ic-serve
+#
+# The daemon listens on tcp://0.0.0.0:7411 (length-prefixed framed
+# protocol) and http://0.0.0.0:8080 (JSON gateway: POST /v1/compile,
+# /v1/search, /v1/characterize, /v1/admin; GET /v1/metrics, /v1/healthz).
+# Point a client at either:
+#
+#   icc prog.mc -O2 --remote tcp://localhost:7411
+#   curl -s localhost:8080/v1/healthz
+#
+# All dependencies are vendored in-tree (vendor/), so the build needs no
+# network access beyond pulling the base images.
+
+FROM rust:1-slim AS build
+WORKDIR /src
+COPY . .
+RUN cargo build --release --bin icc
+
+FROM debian:stable-slim
+# curl is used by the container healthcheck (and is handy for poking
+# the gateway from inside the container).
+RUN apt-get update \
+    && apt-get install -y --no-install-recommends curl \
+    && rm -rf /var/lib/apt/lists/*
+COPY --from=build /src/target/release/icc /usr/local/bin/icc
+
+# The knowledge base persists learned (workload, machine) -> best-sequence
+# results across restarts; mount a volume here to keep it.
+VOLUME /data
+ENV IC_KB=/data/kb.json
+
+EXPOSE 7411 8080
+HEALTHCHECK --interval=10s --timeout=3s --start-period=5s \
+    CMD curl -fsS http://localhost:8080/v1/healthz || exit 1
+
+# The unix socket stays container-internal; tcp + http are the
+# published surfaces.
+CMD ["sh", "-c", "exec icc serve --socket /tmp/ic-serve.sock --tcp 0.0.0.0:7411 --http 0.0.0.0:8080 --kb ${IC_KB}"]

@@ -28,6 +28,8 @@ pub enum Error {
     DeadlineExceeded(String),
     /// The server is draining and accepts no new work.
     ShuttingDown,
+    /// The peer spoke an unsupported wire-protocol version.
+    ProtocolMismatch { found: u32, supported: u32 },
     /// An invalid configuration value (builder validation).
     Config(String),
     /// An internal invariant failed.
@@ -49,6 +51,7 @@ impl Error {
             Error::Busy { .. } => "busy",
             Error::DeadlineExceeded(_) => "deadline_exceeded",
             Error::ShuttingDown => "shutting_down",
+            Error::ProtocolMismatch { .. } => "protocol_mismatch",
             Error::Config(_) => "config",
             Error::Internal(_) => "internal",
         }
@@ -70,6 +73,9 @@ impl std::fmt::Display for Error {
             }
             Error::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
             Error::ShuttingDown => write!(f, "shutting down"),
+            Error::ProtocolMismatch { found, supported } => {
+                write!(f, "protocol version {found}, newest supported {supported}")
+            }
             Error::Config(m) => write!(f, "config: {m}"),
             Error::Internal(m) => write!(f, "internal: {m}"),
         }
@@ -115,6 +121,10 @@ mod tests {
             Error::Busy { retry_after_ms: 50 },
             Error::DeadlineExceeded("m".into()),
             Error::ShuttingDown,
+            Error::ProtocolMismatch {
+                found: 9,
+                supported: 2,
+            },
             Error::Config("m".into()),
             Error::Internal("m".into()),
         ];

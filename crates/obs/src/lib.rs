@@ -35,8 +35,8 @@ pub use metrics::{Counter, Gauge, Histogram, Registry, Span, SpanTimer};
 pub use profile::PassProfiler;
 pub use snapshot::{
     CompileCacheStats, CorpusStats, DecodeCacheStats, EvalCacheStats, FusedTierStats,
-    HistogramStats, PassStats, PredictStats, RequestStats, ServiceStats, SimStats, Snapshot,
-    SpanStats, SNAPSHOT_SCHEMA_VERSION,
+    HistogramStats, PassStats, PredictStats, RequestStats, ServiceStats, ShardStats, SimStats,
+    Snapshot, SpanStats, SNAPSHOT_SCHEMA_VERSION,
 };
 
 /// Workspace-standard result type over [`Error`].

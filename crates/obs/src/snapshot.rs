@@ -401,6 +401,41 @@ impl ServiceStats {
     }
 }
 
+/// Request accounting for one worker shard of the sharded daemon.
+///
+/// Requests are routed to shards by workload+machine fingerprint, so
+/// each block describes a disjoint slice of the traffic; the daemon
+/// aggregate in [`ServiceStats`] is their sum plus router-level
+/// rejections.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (dense, `0..shard_count`).
+    #[serde(default)]
+    pub shard: u64,
+    /// Jobs queued on this shard at snapshot time (instantaneous).
+    #[serde(default)]
+    pub queue_depth: u64,
+    /// Bounded queue capacity (admission control threshold).
+    #[serde(default)]
+    pub queue_capacity: u64,
+    /// Engines resident in this shard's pool.
+    #[serde(default)]
+    pub engines: u64,
+    /// Data-plane requests this shard completed (any outcome).
+    #[serde(default)]
+    pub executed: u64,
+    /// Requests refused at this shard's queue (Busy).
+    #[serde(default)]
+    pub rejected: u64,
+    /// Requests cancelled by their deadline on this shard.
+    #[serde(default)]
+    pub cancelled: u64,
+    /// Requests answered from the shard's response memo without
+    /// touching the queue.
+    #[serde(default)]
+    pub fast_path_hits: u64,
+}
+
 /// The benchmark corpus a run executed against: suite composition (an
 /// instantaneous description, merged by max) plus cumulative fuzzing
 /// work (merged by addition).
@@ -602,6 +637,10 @@ pub struct Snapshot {
     /// Daemon request accounting (zeroed for local `icc` runs).
     #[serde(default)]
     pub service: ServiceStats,
+    /// Per-shard request accounting for the sharded daemon (empty for
+    /// local runs and pre-shard snapshots).
+    #[serde(default)]
+    pub shards: Vec<ShardStats>,
     /// The benchmark corpus the run executed against (zeroed when no
     /// suite was involved).
     #[serde(default)]
@@ -636,6 +675,7 @@ impl Default for Snapshot {
             compile_cache: CompileCacheStats::default(),
             sim: SimStats::default(),
             service: ServiceStats::default(),
+            shards: Vec::new(),
             corpus: CorpusStats::default(),
             predict: PredictStats::default(),
             counters: Vec::new(),
@@ -643,6 +683,27 @@ impl Default for Snapshot {
             spans: Vec::new(),
             histograms: Vec::new(),
             passes: Vec::new(),
+        }
+    }
+}
+
+/// Union-merge shard blocks by shard index: counts add, instantaneous
+/// values (depth, capacity, engines) take the max — the same rules as
+/// [`ServiceStats::merge`].
+fn merge_shards(into: &mut Vec<ShardStats>, extra: &[ShardStats]) {
+    for item in extra {
+        match into.binary_search_by(|probe| probe.shard.cmp(&item.shard)) {
+            Ok(i) => {
+                let s = &mut into[i];
+                s.queue_depth = s.queue_depth.max(item.queue_depth);
+                s.queue_capacity = s.queue_capacity.max(item.queue_capacity);
+                s.engines = s.engines.max(item.engines);
+                s.executed = s.executed.saturating_add(item.executed);
+                s.rejected = s.rejected.saturating_add(item.rejected);
+                s.cancelled = s.cancelled.saturating_add(item.cancelled);
+                s.fast_path_hits = s.fast_path_hits.saturating_add(item.fast_path_hits);
+            }
+            Err(i) => into.insert(i, item.clone()),
         }
     }
 }
@@ -743,6 +804,7 @@ impl Snapshot {
         self.compile_cache.merge(&other.compile_cache);
         self.sim.merge(&other.sim);
         self.service.merge(&other.service);
+        merge_shards(&mut self.shards, &other.shards);
         self.corpus.merge(&other.corpus);
         self.predict.merge(&other.predict);
         merge_sorted_by_key(&mut self.counters, &other.counters, |c| &c.0, combine_count);

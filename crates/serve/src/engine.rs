@@ -17,7 +17,7 @@
 
 use crate::proto::{
     CharacterizeResponse, CompileRequest, CompileResponse, ErrorKind, ErrorResponse, JobContext,
-    RequestStats, SearchRequest, SearchResponse,
+    Request, RequestStats, Response, SearchRequest, SearchResponse,
 };
 use ic_core::evalcache::context_fingerprint;
 use ic_core::WorkloadEvaluator;
@@ -206,6 +206,126 @@ impl PredictLayer {
     }
 }
 
+/// Key of one memoizable request shape on an engine. Every field that
+/// influences the response participates; the context itself does not
+/// (the memo lives *on* the engine, which is keyed by context).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MemoKey {
+    Compile {
+        sequence: String,
+        emit_ir: bool,
+    },
+    Search {
+        strategy: String,
+        budget: usize,
+        seed: u64,
+    },
+    Characterize,
+}
+
+impl MemoKey {
+    /// The memo key for a data-plane request, or `None` when the
+    /// request's response is not replayable:
+    ///
+    /// - Admin requests observe mutable server state.
+    /// - Searches on a *predicting* engine depend on the currently
+    ///   installed cost model, which online retraining replaces.
+    ///
+    /// Everything else is deterministic — compiles and characterizes
+    /// re-simulate a fixed program, and non-predict searches are
+    /// bit-identical warm or cold by the daemon's core contract — so a
+    /// cached response equals a recomputed one.
+    pub fn for_request(req: &Request, predicting: bool) -> Option<MemoKey> {
+        match req {
+            Request::Compile(c) => Some(MemoKey::Compile {
+                sequence: c.sequence.join(" "),
+                emit_ir: c.emit_ir,
+            }),
+            Request::Search(s) if !predicting => Some(MemoKey::Search {
+                strategy: s.strategy.clone(),
+                budget: s.budget,
+                seed: s.seed,
+            }),
+            Request::Search(_) => None,
+            Request::Characterize(_) => Some(MemoKey::Characterize),
+            Request::Admin(_) => None,
+        }
+    }
+}
+
+/// A bounded memo of fully-rendered responses for repeated identical
+/// requests — the serving layer's answer to "the same 8 sequences get
+/// compiled by every client": a warm hit skips the queue, the engine,
+/// and the simulator entirely.
+///
+/// Stored responses carry *synthesized* request stats (zero times,
+/// cache counters as an all-hit run would report them), which also
+/// makes warm responses byte-deterministic across transports — the
+/// property the HTTP-vs-framed differential e2e pins.
+#[derive(Default)]
+pub struct ResponseMemo {
+    map: Mutex<HashMap<MemoKey, Response>>,
+    hits: AtomicU64,
+}
+
+/// Entry cap per engine; at typical response sizes (~1 KiB) this bounds
+/// the memo around 4 MiB. Eviction is wholesale — repeated identical
+/// requests re-warm in one round trip each.
+const RESPONSE_MEMO_MAX: usize = 4096;
+
+impl ResponseMemo {
+    pub fn get(&self, key: &MemoKey) -> Option<Response> {
+        let found = self.map.lock().get(key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    pub fn put(&self, key: MemoKey, response: Response) {
+        let mut map = self.map.lock();
+        if map.len() >= RESPONSE_MEMO_MAX {
+            map.clear();
+        }
+        map.insert(key, response);
+    }
+
+    /// Served-from-memo count (the shard's `fast_path_hits` gauge).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Replace a successful response's measured stats with the
+/// deterministic form the memo stores: zero times (a memo hit costs no
+/// queueing and sub-microsecond service) and the cache counters an
+/// all-hit replay would produce. Error responses are never memoized.
+pub fn memoized_form(response: &Response) -> Response {
+    let mut resp = response.clone();
+    match &mut resp {
+        Response::Compile(c) => {
+            c.stats = RequestStats {
+                eval_hits: 1,
+                ..RequestStats::default()
+            };
+        }
+        Response::Search(s) => {
+            s.stats = RequestStats {
+                eval_hits: s.evaluations as u64,
+                ..RequestStats::default()
+            };
+        }
+        Response::Characterize(c) => {
+            c.stats = RequestStats {
+                eval_hits: 1,
+                ..RequestStats::default()
+            };
+        }
+        _ => {}
+    }
+    resp
+}
+
 /// One warm evaluation stack for a single workload+machine context.
 pub struct Engine {
     /// Context fingerprint (`ic_core::evalcache::context_fingerprint`) —
@@ -217,6 +337,8 @@ pub struct Engine {
     pub eval: CachedEvaluator<WorkloadEvaluator>,
     /// Predict-then-verify state; `None` when prediction is off.
     pub predict: Option<PredictLayer>,
+    /// Fully-rendered responses for repeated identical requests.
+    pub memo: ResponseMemo,
 }
 
 impl Engine {
@@ -272,6 +394,7 @@ impl Engine {
             space,
             eval,
             predict,
+            memo: ResponseMemo::default(),
         })
     }
 
@@ -327,6 +450,28 @@ impl Engine {
     }
 }
 
+/// The context fingerprint a request would route and cache under,
+/// without building an engine — the router uses this to pick a shard
+/// before any heavy work happens. Fails the same way engine
+/// construction would on an unknown machine, so bad requests are
+/// rejected at the door.
+pub fn fingerprint_for(ctx: &JobContext) -> Result<String, ErrorResponse> {
+    let config = machine_by_name(&ctx.machine).ok_or_else(|| {
+        ErrorResponse::new(
+            ErrorKind::BadRequest,
+            format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
+        )
+    })?;
+    let probe = Workload {
+        name: ctx.name.clone(),
+        kind: Kind::AluBound,
+        source: ctx.source.clone(),
+        fuel: ctx.fuel,
+        meta: None,
+    };
+    Ok(context_fingerprint(&probe, &config))
+}
+
 /// The pool of warm engines, keyed by context fingerprint.
 #[derive(Default)]
 pub struct EnginePool {
@@ -360,22 +505,7 @@ impl EnginePool {
         // (machine, name, fuel, source) only after a full build once.
         // Build outside the map lock — engine construction compiles the
         // workload, which can take milliseconds.
-        let fingerprint = {
-            let config = machine_by_name(&ctx.machine).ok_or_else(|| {
-                ErrorResponse::new(
-                    ErrorKind::BadRequest,
-                    format!("unknown machine `{}` (vliw|amd|tiny)", ctx.machine),
-                )
-            })?;
-            let probe = Workload {
-                name: ctx.name.clone(),
-                kind: Kind::AluBound,
-                source: ctx.source.clone(),
-                fuel: ctx.fuel,
-                meta: None,
-            };
-            context_fingerprint(&probe, &config)
-        };
+        let fingerprint = fingerprint_for(ctx)?;
         if let Some(e) = self.engines.lock().get(&fingerprint) {
             return Ok(e.clone());
         }
@@ -440,6 +570,12 @@ impl EnginePool {
     /// All resident engines (for stats aggregation).
     pub fn engines(&self) -> Vec<Arc<Engine>> {
         self.engines.lock().values().cloned().collect()
+    }
+
+    /// The already-built engine for `fingerprint`, if resident — the
+    /// router's fast-path probe (never builds).
+    pub fn get(&self, fingerprint: &str) -> Option<Arc<Engine>> {
+        self.engines.lock().get(fingerprint).cloned()
     }
 
     pub fn len(&self) -> usize {

@@ -1,0 +1,312 @@
+//! The HTTP/JSON gateway: curl-able access to the same router the
+//! framed transport uses.
+//!
+//! A deliberately small HTTP/1.1 server — request line, headers,
+//! `Content-Length` bodies, keep-alive — not a general web server.
+//! Endpoints:
+//!
+//! | Method | Path               | Body (request)           | Body (response)            |
+//! |--------|--------------------|--------------------------|----------------------------|
+//! | POST   | `/v1/compile`      | [`CompileRequest`] JSON  | envelope (`{"v":2,...}`)   |
+//! | POST   | `/v1/search`       | [`SearchRequest`] JSON   | envelope                   |
+//! | POST   | `/v1/characterize` | [`CharacterizeRequest`]  | envelope                   |
+//! | POST   | `/v1/admin`        | [`AdminRequest`] JSON    | envelope                   |
+//! | GET    | `/v1/metrics`      | —                        | [`ic_obs::Snapshot`] JSON  |
+//! | GET    | `/v1/healthz`      | —                        | `{"status":"ok"}`          |
+//!
+//! POST response bodies are the protocol-2 envelope of the exact
+//! [`Response`] the framed transport would produce — **byte-identical**
+//! to an enveloped frame payload, which is how the differential e2e
+//! test proves the transports equivalent.
+//!
+//! Status mapping: 200 success, 400 `bad_request`, 429 `busy` (with a
+//! `Retry-After` header), 503 `shutting_down`, 504 `deadline_exceeded`,
+//! 500 `internal`.
+
+use crate::proto::{
+    AdminRequest, CharacterizeRequest, CompileRequest, ErrorKind, ErrorResponse, Request, Response,
+    SearchRequest,
+};
+use crate::router::Router;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Cap on header block + body, to keep a hostile Content-Length from
+/// provoking a huge allocation.
+const MAX_HTTP_BYTES: usize = 64 * 1024 * 1024;
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+    keep_alive: bool,
+}
+
+/// Read one HTTP/1.1 request. `Ok(None)` on clean EOF before any byte.
+async fn read_request<S: AsyncRead + Send + Unpin>(
+    stream: &mut S,
+    buf: &mut Vec<u8>,
+) -> Result<Option<HttpRequest>, ()> {
+    // Fill until the header terminator.
+    let header_end = loop {
+        if let Some(pos) = find_subslice(buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_HTTP_BYTES {
+            return Err(());
+        }
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk).await.map_err(|_| ())?;
+        if n == 0 {
+            return if buf.is_empty() { Ok(None) } else { Err(()) };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let header = std::str::from_utf8(&buf[..header_end]).map_err(|_| ())?;
+    let mut lines = header.split("\r\n");
+    let request_line = lines.next().ok_or(())?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(())?.to_string();
+    let path = parts.next().ok_or(())?.to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; 1.0 to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value.parse().map_err(|_| ())?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            keep_alive = !value.eq_ignore_ascii_case("close");
+        }
+    }
+    if content_length > MAX_HTTP_BYTES {
+        return Err(());
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        let mut chunk = [0u8; 8192];
+        let n = stream.read(&mut chunk).await.map_err(|_| ())?;
+        if n == 0 {
+            return Err(());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+    buf.drain(..body_start + content_length);
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+fn status_line(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        405 => "405 Method Not Allowed",
+        429 => "429 Too Many Requests",
+        500 => "500 Internal Server Error",
+        503 => "503 Service Unavailable",
+        504 => "504 Gateway Timeout",
+        _ => "500 Internal Server Error",
+    }
+}
+
+/// The status code a routed [`Response`] maps to.
+fn status_for(response: &Response) -> u16 {
+    match response {
+        Response::Error(e) => match e.kind {
+            ErrorKind::BadRequest => 400,
+            ErrorKind::Busy => 429,
+            ErrorKind::ShuttingDown => 503,
+            ErrorKind::DeadlineExceeded => 504,
+            ErrorKind::Internal => 500,
+        },
+        _ => 200,
+    }
+}
+
+fn write_response_head(out: &mut Vec<u8>, code: u16, body_len: usize, extra: &str) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(status_line(code).as_bytes());
+    out.extend_from_slice(b"\r\nContent-Type: application/json\r\nContent-Length: ");
+    out.extend_from_slice(body_len.to_string().as_bytes());
+    out.extend_from_slice(extra.as_bytes());
+    out.extend_from_slice(b"\r\n\r\n");
+}
+
+/// Decode the inner request JSON for a POST endpoint.
+fn decode_body(path: &str, body: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+    match path {
+        "/v1/compile" => serde_json::from_str::<CompileRequest>(text)
+            .map(Request::Compile)
+            .map_err(|e| e.to_string()),
+        "/v1/search" => serde_json::from_str::<SearchRequest>(text)
+            .map(Request::Search)
+            .map_err(|e| e.to_string()),
+        "/v1/characterize" => serde_json::from_str::<CharacterizeRequest>(text)
+            .map(Request::Characterize)
+            .map_err(|e| e.to_string()),
+        "/v1/admin" => serde_json::from_str::<AdminRequest>(text)
+            .map(Request::Admin)
+            .map_err(|e| e.to_string()),
+        _ => unreachable!("decode_body called for unknown path"),
+    }
+}
+
+/// Serve one HTTP connection (keep-alive) until close or parse error.
+pub(crate) async fn serve_http<S>(router: Arc<Router>, mut stream: S)
+where
+    S: AsyncRead + AsyncWrite + Send + Unpin,
+{
+    let mut buf: Vec<u8> = Vec::with_capacity(8192);
+    loop {
+        let req = match read_request(&mut stream, &mut buf).await {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF between requests
+            Err(()) => return,  // torn or malformed head: close
+        };
+        let mut out = Vec::with_capacity(1024);
+        match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/v1/compile" | "/v1/search" | "/v1/characterize" | "/v1/admin") => {
+                match decode_body(&req.path, &req.body) {
+                    Ok(request) => {
+                        let response = router.route(request).await;
+                        let body = crate::proto::envelope_json(&response);
+                        let retry = match &response {
+                            Response::Error(e) if e.kind == ErrorKind::Busy => e
+                                .retry_after_ms
+                                .map(|ms| format!("\r\nRetry-After: {}", ms.div_ceil(1000).max(1)))
+                                .unwrap_or_default(),
+                            _ => String::new(),
+                        };
+                        write_response_head(&mut out, status_for(&response), body.len(), &retry);
+                        out.extend_from_slice(body.as_bytes());
+                    }
+                    Err(msg) => {
+                        router.agg.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        let response = Response::Error(ErrorResponse::new(
+                            ErrorKind::BadRequest,
+                            format!("malformed request body: {msg}"),
+                        ));
+                        let body = crate::proto::envelope_json(&response);
+                        write_response_head(&mut out, 400, body.len(), "");
+                        out.extend_from_slice(body.as_bytes());
+                    }
+                }
+            }
+            ("GET", "/v1/metrics") => {
+                let body = router.metrics_snapshot().to_json();
+                write_response_head(&mut out, 200, body.len(), "");
+                out.extend_from_slice(body.as_bytes());
+            }
+            ("GET", "/v1/healthz") => {
+                let (code, body) = if router.is_draining() {
+                    (503, "{\"status\":\"draining\"}")
+                } else {
+                    (200, "{\"status\":\"ok\"}")
+                };
+                write_response_head(&mut out, code, body.len(), "");
+                out.extend_from_slice(body.as_bytes());
+            }
+            ("POST", _) | ("GET", _) => {
+                let body = "{\"error\":\"unknown endpoint\"}";
+                write_response_head(&mut out, 404, body.len(), "");
+                out.extend_from_slice(body.as_bytes());
+            }
+            _ => {
+                let body = "{\"error\":\"method not allowed\"}";
+                write_response_head(&mut out, 405, body.len(), "");
+                out.extend_from_slice(body.as_bytes());
+            }
+        }
+        if stream.write_all(&out).await.is_err() || stream.flush().await.is_err() {
+            return;
+        }
+        if !req.keep_alive {
+            let _ = stream.shutdown().await;
+            return;
+        }
+    }
+}
+
+/// The gateway path a [`Request`] maps to (used by the HTTP client
+/// transport; kept beside the server dispatch so they cannot drift).
+pub fn path_for(request: &Request) -> &'static str {
+    match request {
+        Request::Compile(_) => "/v1/compile",
+        Request::Search(_) => "/v1/search",
+        Request::Characterize(_) => "/v1/characterize",
+        Request::Admin(_) => "/v1/admin",
+    }
+}
+
+/// The inner-JSON body for a [`Request`] (the POST body format).
+pub fn body_for(request: &Request) -> String {
+    match request {
+        Request::Compile(r) => serde_json::to_string(r),
+        Request::Search(r) => serde_json::to_string(r),
+        Request::Characterize(r) => serde_json::to_string(r),
+        Request::Admin(r) => serde_json::to_string(r),
+    }
+    .expect("request serializes infallibly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::JobContext;
+
+    #[test]
+    fn paths_and_bodies_round_trip() {
+        let req = Request::Characterize(CharacterizeRequest {
+            ctx: JobContext {
+                name: "p".into(),
+                source: "int main() { return 0; }".into(),
+                machine: "tiny".into(),
+                fuel: 1000,
+                deadline_ms: 0,
+            },
+        });
+        assert_eq!(path_for(&req), "/v1/characterize");
+        let body = body_for(&req);
+        let back: CharacterizeRequest = serde_json::from_str(&body).unwrap();
+        assert_eq!(Request::Characterize(back), req);
+    }
+
+    #[test]
+    fn status_mapping_is_stable() {
+        use crate::proto::SearchResponse;
+        let ok = Response::Search(SearchResponse {
+            best_sequence: vec![],
+            best_cost: 0.0,
+            best_so_far: vec![],
+            evaluations: 0,
+            stats: Default::default(),
+        });
+        assert_eq!(status_for(&ok), 200);
+        for (kind, code) in [
+            (ErrorKind::BadRequest, 400),
+            (ErrorKind::Busy, 429),
+            (ErrorKind::ShuttingDown, 503),
+            (ErrorKind::DeadlineExceeded, 504),
+            (ErrorKind::Internal, 500),
+        ] {
+            let resp = Response::Error(ErrorResponse::new(kind, "x"));
+            assert_eq!(status_for(&resp), code, "{kind:?}");
+        }
+    }
+}

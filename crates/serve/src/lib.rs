@@ -3,52 +3,72 @@
 //! The ROADMAP's north star is a long-lived system serving heavy
 //! traffic, and the paper's Fig. 1 centers on a persistent intelligent
 //! optimization controller backed by a knowledge base — not a one-shot
-//! CLI. Until now every `icc` invocation started cold and died with its
-//! caches. This crate is the missing long-lived half: a daemon that
-//! keeps the whole two-level evaluation engine (PR 1's whole-sequence
-//! eval cache, PR 2's pass-prefix compilation cache) **warm and shared
-//! across every client**, in the spirit of MLComp's and MCompiler's
-//! persistent ML-guided frameworks.
+//! CLI. This crate is that long-lived half: a daemon that keeps the
+//! whole two-level evaluation engine (PR 1's whole-sequence eval cache,
+//! PR 2's pass-prefix compilation cache, PR 8's predict layer) **warm
+//! and shared across every client**, in the spirit of MLComp's and
+//! MCompiler's persistent ML-guided frameworks.
 //!
-//! * [`proto`] — the length-prefixed newline-delimited JSON wire
-//!   protocol: `compile` / `search` / `characterize` / `admin`
-//!   requests, structured per-request stats in every response, and
-//!   structured errors (busy-with-retry-after, deadline-exceeded) so
-//!   overload degrades gracefully instead of hanging;
+//! The daemon is layered transport → router → shard:
+//!
+//! * [`proto`] — the versioned wire protocol: `compile` / `search` /
+//!   `characterize` / `admin` requests, structured per-request stats,
+//!   structured errors (busy-with-retry-after, deadline-exceeded), and
+//!   the protocol-2 envelope (`{"v":2,"body":...}`) with its compat
+//!   rule: unknown envelope fields are ignored, a bare frame is
+//!   protocol 1, an out-of-range version is a stable
+//!   `protocol_mismatch` error;
+//! * [`transport`] — async framed connections (one task each) that
+//!   batch pipelined frames into O(1) syscalls per burst;
+//! * [`http`] — the HTTP/JSON gateway (`POST /v1/compile|search|
+//!   characterize|admin`, `GET /v1/metrics`, `GET /v1/healthz`)
+//!   answering byte-identically to the framed envelope form;
+//! * [`router`] — decode → fingerprint → shard dispatch, the memoized
+//!   fast path for warm repeats, admission control, the admin plane,
+//!   and the unified [`ic_obs::Snapshot`];
+//! * [`shard`] — N workload-affine shards, each owning its warm
+//!   [`engine`] pool and a bounded job queue drained by dedicated OS
+//!   worker threads; [`shard::shard_for`] keys a workload+machine
+//!   fingerprint to its shard deterministically across restarts;
 //! * [`engine`] — the warm core: one
 //!   `CachedEvaluator<WorkloadEvaluator>` stack per workload+machine
-//!   context fingerprint, shared by all connections, warmed from and
-//!   persisted to the `ic-kb` store;
-//! * [`server`] — listeners (Unix socket, optional TCP), a bounded
-//!   submission queue in front of a worker pool (individual jobs still
-//!   fan out over rayon inside the search strategies), per-request
-//!   deadlines with mid-run cancellation, and graceful shutdown
-//!   (SIGTERM / `admin shutdown` → stop accepting, drain in-flight,
-//!   persist snapshots, exit 0);
-//! * [`client`] — a blocking client; `icc --remote <sock>` routes the
-//!   ordinary CLI surface through it, bit-identically to running
-//!   locally.
+//!   context fingerprint, warmed from and persisted to `ic-kb`;
+//! * [`server`] — the assembly: listeners (Unix socket, optional TCP,
+//!   optional HTTP) on an async accept/dispatch runtime, per-request
+//!   deadlines with mid-run cancellation, graceful shutdown (SIGTERM /
+//!   `admin shutdown` → stop accepting, drain, persist, exit 0);
+//! * [`client`] — a blocking [`client::Transport`]-based client;
+//!   `icc --remote unix://…|tcp://…|http://…` routes the ordinary CLI
+//!   surface through it, bit-identically to running locally.
 //!
 //! Determinism contract: for a fixed seed, a remote `search` returns
 //! the same best sequence, cost, and trajectory as the same search
 //! in-process — warm caches change how many raw simulations run, never
-//! what the search observes.
-
+//! what the search observes. The same holds across transports: the
+//! framed and HTTP forms of a response are byte-identical envelopes.
+//!
 //! Observability: every engine carries a per-pass profiler and cache
-//! stats that roll up — with the daemon's admission counters and
-//! latency histograms — into one [`ic_obs::Snapshot`], served by
-//! `Admin(Metrics)` and periodically persisted to the kb store
+//! stats that roll up — with the router's admission counters, latency
+//! histograms, and per-shard queue/execution gauges — into one
+//! [`ic_obs::Snapshot`], served by `Admin(Metrics)` / `GET /v1/metrics`
+//! and periodically persisted to the kb store
 //! (`ServeConfig::metrics_interval_ms`).
 
 pub mod client;
 pub mod engine;
+pub mod http;
 pub mod proto;
+pub mod router;
 pub mod server;
+pub mod shard;
+pub(crate) mod transport;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Transport};
 pub use engine::{machine_by_name, Engine, EngineConfig, EngineConfigBuilder, EnginePool};
 pub use proto::{
     AdminRequest, CompileRequest, ErrorKind, JobContext, Request, RequestStats, Response,
     SearchRequest, StatsResponse, PROTOCOL_VERSION,
 };
+pub use router::Router;
 pub use server::{ServeConfig, ServeConfigBuilder, Server, ServerHandle};
+pub use shard::shard_for;

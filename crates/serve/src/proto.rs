@@ -11,11 +11,33 @@
 //! ```
 //!
 //! One request frame yields exactly one response frame, in order, so a
-//! client may pipeline. All payloads are externally-tagged enums with a
-//! versioned envelope field check ([`PROTOCOL_VERSION`]) performed by
-//! the server on `Hello`-less streams implicitly: an unknown tag or a
-//! malformed frame produces an [`ErrorResponse`] with kind
-//! [`ErrorKind::BadRequest`] rather than a dropped connection.
+//! client may pipeline. All payloads are externally-tagged enums.
+//!
+//! # Versioning
+//!
+//! Since protocol 2, payloads travel inside an explicit **versioned
+//! envelope**: `{"v":2,"body":{"Compile":{...}}}`. The compatibility
+//! rule, in order:
+//!
+//! 1. A frame whose top-level object has a `"body"` key is an envelope;
+//!    `"v"` is its protocol version (absent ⇒ 1). Any *other* envelope
+//!    key is metadata a future version may add — readers ignore keys
+//!    they do not recognize. (`"body"` cannot collide with a bare
+//!    payload: those are externally-tagged enums whose single key is a
+//!    variant name.)
+//! 2. A frame without `"body"` is a bare PR-3-era (protocol 1) payload.
+//!    Readers accept it unchanged, and the server answers a bare
+//!    request with a bare response, so protocol-1 clients keep working
+//!    against new servers.
+//! 3. Unknown fields *inside* the body are ignored (struct fields
+//!    deserialize by name), so additive changes need no version bump.
+//! 4. A version newer than [`PROTOCOL_VERSION`] (or older than
+//!    [`MIN_PROTOCOL_VERSION`]) is refused with the stable
+//!    [`ic_obs::Error::ProtocolMismatch`] code (`protocol_mismatch`)
+//!    in an [`ErrorResponse`] — never a dropped connection.
+//!
+//! An unknown tag or a malformed frame likewise produces an
+//! [`ErrorResponse`] with kind [`ErrorKind::BadRequest`].
 //!
 //! Costs are `f64` cycles. Non-finite costs (a sequence whose
 //! compilation exceeded its fuel budget evaluates to `+∞`) serialize as
@@ -23,11 +45,16 @@
 //! non-finite value of the protocol, matching the knowledge-base
 //! convention in `ic-kb`.
 
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use std::io::{BufRead, Write};
 
 /// Version of the wire protocol. Bump on breaking changes.
-pub const PROTOCOL_VERSION: u32 = 1;
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Oldest protocol version this build still understands. Protocol-1
+/// frames are the bare (envelope-less) PR-3 form.
+pub const MIN_PROTOCOL_VERSION: u32 = 1;
 
 /// Upper bound on a single frame's payload, to keep a garbage or
 /// malicious length prefix from provoking a huge allocation.
@@ -317,7 +344,8 @@ impl From<ic_obs::Error> for ErrorResponse {
             ic_obs::Error::DeadlineExceeded(_) => ErrorKind::DeadlineExceeded,
             ic_obs::Error::BadRequest(_)
             | ic_obs::Error::Frontend(_)
-            | ic_obs::Error::Config(_) => ErrorKind::BadRequest,
+            | ic_obs::Error::Config(_)
+            | ic_obs::Error::ProtocolMismatch { .. } => ErrorKind::BadRequest,
             ic_obs::Error::ShuttingDown => ErrorKind::ShuttingDown,
             _ => ErrorKind::Internal,
         };
@@ -326,6 +354,12 @@ impl From<ic_obs::Error> for ErrorResponse {
             _ => None,
         };
         let mut resp = ErrorResponse::new(kind, e.to_string());
+        if let ic_obs::Error::ProtocolMismatch { .. } = &e {
+            // Keep the more specific stable code: clients dispatch on
+            // `code`, and `protocol_mismatch` tells them to downgrade
+            // rather than fix the request.
+            resp.code = e.code().to_string();
+        }
         resp.retry_after_ms = retry;
         resp
     }
@@ -344,8 +378,28 @@ pub enum FrameError {
     BadLength(String),
     /// The payload was not valid JSON for the expected type.
     BadPayload(String),
+    /// The envelope carried a protocol version outside
+    /// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`].
+    Version {
+        found: u32,
+        supported: u32,
+    },
     /// The stream ended mid-frame.
     Truncated,
+}
+
+impl FrameError {
+    /// Lift a framing error into the workspace error vocabulary (the
+    /// server uses this to answer with a stable `code`).
+    pub fn to_error(&self) -> ic_obs::Error {
+        match self {
+            FrameError::Version { found, supported } => ic_obs::Error::ProtocolMismatch {
+                found: *found,
+                supported: *supported,
+            },
+            other => ic_obs::Error::BadRequest(other.to_string()),
+        }
+    }
 }
 
 impl std::fmt::Display for FrameError {
@@ -354,6 +408,9 @@ impl std::fmt::Display for FrameError {
             FrameError::Io(e) => write!(f, "io: {e}"),
             FrameError::BadLength(s) => write!(f, "bad frame length: {s}"),
             FrameError::BadPayload(s) => write!(f, "bad frame payload: {s}"),
+            FrameError::Version { found, supported } => {
+                write!(f, "protocol version {found}, newest supported {supported}")
+            }
             FrameError::Truncated => write!(f, "stream ended mid-frame"),
         }
     }
@@ -411,18 +468,103 @@ pub fn read_frame(r: &mut impl BufRead) -> Result<Option<String>, FrameError> {
         .map_err(|e| FrameError::BadPayload(e.to_string()))
 }
 
-/// Serialize + frame a value in one step.
+/// Serialize + frame a value in one step, as a bare protocol-1 payload.
+/// New code should prefer [`write_message_versioned`]; this stays for
+/// talking to protocol-1 peers (and as the reply form they expect).
 pub fn write_message<T: Serialize>(w: &mut impl Write, msg: &T) -> Result<(), FrameError> {
     let json = serde_json::to_string(msg).map_err(|e| FrameError::BadPayload(e.to_string()))?;
     write_frame(w, &json)
 }
 
-/// Read + deserialize a value in one step. `Ok(None)` on clean EOF.
+/// Read + deserialize a bare value in one step. `Ok(None)` on clean
+/// EOF. Rejects enveloped frames; readers that must accept both forms
+/// use [`read_message_versioned`].
 pub fn read_message<T: Deserialize>(r: &mut impl BufRead) -> Result<Option<T>, FrameError> {
     match read_frame(r)? {
         Some(json) => serde_json::from_str(&json)
             .map(Some)
             .map_err(|e| FrameError::BadPayload(e.to_string())),
+        None => Ok(None),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Versioned envelope (protocol 2)
+// ---------------------------------------------------------------------
+
+/// A decoded frame plus how it arrived on the wire, so a responder can
+/// mirror the sender's form (rule 2 of the module-level versioning
+/// contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VersionedMessage<T> {
+    pub msg: T,
+    /// Protocol version the peer declared (1 for bare frames).
+    pub version: u32,
+    /// Whether the frame arrived inside a `{"v":..,"body":..}` envelope.
+    pub enveloped: bool,
+}
+
+/// Serialize `msg` into the protocol-2 envelope JSON
+/// (`{"v":2,"body":...}`). Deterministic: the same message always
+/// yields the same bytes, which is what lets the HTTP gateway and the
+/// length-prefixed transport be compared byte-for-byte.
+pub fn envelope_json<T: Serialize>(msg: &T) -> String {
+    let env = Value::Object(vec![
+        ("v".to_string(), Value::U64(PROTOCOL_VERSION as u64)),
+        ("body".to_string(), msg.to_value()),
+    ]);
+    serde_json::to_string(&env).expect("envelope serializes infallibly")
+}
+
+/// Decode a payload that may be either a bare protocol-1 frame or a
+/// versioned envelope, applying the full compatibility rule.
+pub fn decode_versioned<T: Deserialize>(json: &str) -> Result<VersionedMessage<T>, FrameError> {
+    let value =
+        serde_json::value_from_str(json).map_err(|e| FrameError::BadPayload(e.to_string()))?;
+    let Some(body) = value.get("body") else {
+        // Bare PR-3-era frame: the whole object is the payload.
+        let msg = T::from_value(&value).map_err(|e| FrameError::BadPayload(e.to_string()))?;
+        return Ok(VersionedMessage {
+            msg,
+            version: 1,
+            enveloped: false,
+        });
+    };
+    let version = match value.get("v") {
+        Some(v) => v
+            .as_u64()
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or_else(|| FrameError::BadPayload("non-integer protocol version".into()))?,
+        None => 1,
+    };
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
+        return Err(FrameError::Version {
+            found: version,
+            supported: PROTOCOL_VERSION,
+        });
+    }
+    let msg = T::from_value(body).map_err(|e| FrameError::BadPayload(e.to_string()))?;
+    Ok(VersionedMessage {
+        msg,
+        version,
+        enveloped: true,
+    })
+}
+
+/// Write one enveloped frame (protocol 2 form).
+pub fn write_message_versioned<T: Serialize>(
+    w: &mut impl Write,
+    msg: &T,
+) -> Result<(), FrameError> {
+    write_frame(w, &envelope_json(msg))
+}
+
+/// Read one frame in either wire form. `Ok(None)` on clean EOF.
+pub fn read_message_versioned<T: Deserialize>(
+    r: &mut impl BufRead,
+) -> Result<Option<VersionedMessage<T>>, FrameError> {
+    match read_frame(r)? {
+        Some(json) => decode_versioned(&json).map(Some),
         None => Ok(None),
     }
 }

@@ -1,49 +1,39 @@
-//! The `ic-serve` daemon: listeners, the bounded submission queue, the
-//! worker pool, and graceful shutdown.
+//! The `ic-serve` daemon: listeners, shards, and graceful shutdown.
 //!
-//! ## Threading model
+//! ## Architecture (transport → router → shard)
 //!
-//! * one accept thread per listener (Unix socket always, TCP
-//!   optionally) — accepts connections and spawns a connection thread;
-//! * one connection thread per client — decodes frames, answers admin
-//!   requests inline (the admin plane must work even when the data
-//!   plane is jammed), and submits compile/search/characterize jobs to
-//!   the bounded queue, blocking on the job's reply so responses stay
-//!   in request order (clients may pipeline);
-//! * `workers` worker threads — pop jobs, execute them on the shared
-//!   [`EnginePool`], reply.
+//! * a small tokio runtime accepts connections (Unix socket always,
+//!   TCP and HTTP optionally) and runs one lightweight task per
+//!   connection — [`crate::transport`] speaks the length-prefixed
+//!   framed protocol, [`crate::http`] the HTTP/JSON gateway;
+//! * every decoded request goes through one [`Router`]
+//!   ([`crate::router`]): admin answered inline, data-plane requests
+//!   hashed by context fingerprint onto a shard — with a memo fast
+//!   path that answers warm repeats without queueing;
+//! * each of `shards` shards ([`crate::shard`]) owns a warm engine
+//!   pool, a bounded queue with admission control, and `workers`
+//!   dedicated OS worker threads (jobs are CPU-bound and fan out over
+//!   rayon internally — they never run on the reactor).
 //!
 //! ## Graceful degradation
 //!
-//! * queue full → the job is rejected *immediately* with a structured
-//!   [`ErrorKind::Busy`] response carrying a `retry_after_ms` hint
-//!   (scaled by recent service times), never a hang;
+//! * a full shard queue rejects *immediately* with a structured
+//!   [`ErrorKind::Busy`](crate::proto::ErrorKind) response carrying a
+//!   `retry_after_ms` hint, never a hang;
 //! * a job still queued past its deadline is cancelled without running;
 //!   a search past its deadline stops evaluating (see
-//!   `engine::DeadlineGuard`) and reports
-//!   [`ErrorKind::DeadlineExceeded`];
+//!   `engine::DeadlineGuard`);
 //! * shutdown (SIGTERM via an external flag, or `Admin(Shutdown)`)
-//!   stops accepting, drains in-flight jobs, persists every engine's
+//!   stops accepting, drains queued jobs, persists every engine's
 //!   eval-cache snapshot to the knowledge-base store, and exits 0.
 
-use crate::engine::{run_characterize, run_compile, run_search, EngineConfig, EnginePool};
-use crate::proto::{
-    write_message, AdminRequest, AdminResponse, ErrorKind, ErrorResponse, FrameError, JobContext,
-    Request, Response, StatsResponse, PROTOCOL_VERSION,
-};
-use ic_kb::{KnowledgeBase, MetricsRecord};
-use ic_obs::{Registry, ServiceStats, Snapshot};
-use parking_lot::Mutex;
-use std::collections::VecDeque;
-// The queue needs a condvar; the vendored parking_lot has none, so the
-// queue alone runs on std primitives (guards recover from poisoning —
-// a panicking worker must not wedge the whole daemon).
-use std::io::{BufReader, BufWriter};
-use std::os::unix::net::{UnixListener, UnixStream};
+use crate::engine::EngineConfig;
+use crate::proto::StatsResponse;
+use crate::router::Router;
+use ic_kb::KnowledgeBase;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
-use std::sync::{Condvar as StdCondvar, Mutex as StdMutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Daemon configuration. Prefer [`ServeConfig::builder`], which
@@ -53,11 +43,18 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Unix socket path to listen on.
     pub socket: PathBuf,
-    /// Optional TCP address (`host:port`) to also listen on.
+    /// Optional TCP address (`host:port`) to also listen on (framed
+    /// protocol).
     pub tcp: Option<String>,
-    /// Worker threads executing jobs.
+    /// Optional HTTP gateway address (`host:port`).
+    pub http: Option<String>,
+    /// Worker shards; each owns its own engines and bounded queue.
+    /// Requests route to `shard_for(fingerprint) % shards`.
+    pub shards: usize,
+    /// Worker threads **per shard** executing jobs.
     pub workers: usize,
-    /// Submission-queue capacity; a full queue rejects with `Busy`.
+    /// Per-shard submission-queue capacity; a full queue rejects with
+    /// `Busy`.
     pub queue_capacity: usize,
     /// Default per-request deadline in ms (0 = none).
     pub default_deadline_ms: u64,
@@ -94,6 +91,8 @@ impl ServeConfig {
             config: ServeConfig {
                 socket: std::env::temp_dir().join("ic-serve.sock"),
                 tcp: None,
+                http: None,
+                shards: 4,
                 workers: std::thread::available_parallelism()
                     .map(|p| p.get().min(4))
                     .unwrap_or(2),
@@ -113,6 +112,15 @@ impl ServeConfig {
     /// — for configs whose fields were mutated after construction (the
     /// CLI flag parser does this).
     pub fn validate(&self) -> Result<(), ic_obs::Error> {
+        if self.shards == 0 {
+            return Err(ic_obs::Error::Config("shards must be >= 1".into()));
+        }
+        if self.shards > 256 {
+            return Err(ic_obs::Error::Config(format!(
+                "shards {} exceeds the 256 ceiling",
+                self.shards
+            )));
+        }
         if self.workers == 0 {
             return Err(ic_obs::Error::Config("workers must be >= 1".into()));
         }
@@ -163,6 +171,16 @@ impl ServeConfigBuilder {
 
     pub fn tcp(mut self, addr: impl Into<String>) -> Self {
         self.config.tcp = Some(addr.into());
+        self
+    }
+
+    pub fn http(mut self, addr: impl Into<String>) -> Self {
+        self.config.http = Some(addr.into());
+        self
+    }
+
+    pub fn shards(mut self, n: usize) -> Self {
+        self.config.shards = n;
         self
     }
 
@@ -217,540 +235,81 @@ impl ServeConfigBuilder {
     }
 }
 
-/// One queued data-plane job.
-struct Job {
-    request: Request,
-    enqueued: Instant,
-    deadline: Option<Instant>,
-    reply: mpsc::Sender<Response>,
-}
+/// RAII connection counter: accepted connections increment, finished
+/// tasks decrement — the drain grace period waits on this.
+struct ConnGuard(Arc<Router>);
 
-/// Bounded MPMC queue with condvar wakeups.
-struct JobQueue {
-    jobs: StdMutex<VecDeque<Job>>,
-    ready: StdCondvar,
-    capacity: usize,
-}
-
-enum PushError {
-    Full,
-    ShuttingDown,
-}
-
-impl JobQueue {
-    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
-        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    fn push(&self, job: Job, draining: bool) -> Result<(), PushError> {
-        if draining {
-            return Err(PushError::ShuttingDown);
-        }
-        let mut q = self.lock();
-        if q.len() >= self.capacity {
-            return Err(PushError::Full);
-        }
-        q.push_back(job);
-        drop(q);
-        self.ready.notify_one();
-        Ok(())
-    }
-
-    /// Pop a job, blocking. Returns `None` once `draining` is set and
-    /// the queue is empty (the drain contract: queued work finishes).
-    fn pop(&self, draining: &AtomicBool) -> Option<Job> {
-        let mut q = self.lock();
-        loop {
-            if let Some(job) = q.pop_front() {
-                return Some(job);
-            }
-            if draining.load(Ordering::SeqCst) {
-                return None;
-            }
-            let (guard, _) = self
-                .ready
-                .wait_timeout(q, Duration::from_millis(50))
-                .unwrap_or_else(|e| e.into_inner());
-            q = guard;
-        }
-    }
-
-    fn len(&self) -> usize {
-        self.lock().len()
+impl ConnGuard {
+    fn new(router: &Arc<Router>) -> ConnGuard {
+        router.connections.fetch_add(1, Ordering::SeqCst);
+        ConnGuard(router.clone())
     }
 }
 
-/// Monotonic aggregate counters for `Admin(Stats)` / `Admin(Metrics)`.
-#[derive(Default)]
-struct Agg {
-    compile_requests: AtomicU64,
-    search_requests: AtomicU64,
-    characterize_requests: AtomicU64,
-    busy_rejections: AtomicU64,
-    /// Requests refused because the server was draining for shutdown.
-    /// Counted separately from `busy_rejections` (the legacy stats
-    /// surface documents that field as queue-full only); the unified
-    /// snapshot reports the sum as `requests_rejected` — before ic-obs,
-    /// drain rejections were invisible in every stats surface.
-    drain_rejections: AtomicU64,
-    deadline_cancellations: AtomicU64,
-    bad_requests: AtomicU64,
-    /// EWMA of service time in microseconds (backoff hint input).
-    service_ewma_us: AtomicU64,
-}
-
-impl Agg {
-    fn observe_service(&self, elapsed: Duration) {
-        let us = elapsed.as_micros() as u64;
-        let old = self.service_ewma_us.load(Ordering::Relaxed);
-        let new = if old == 0 { us } else { (old * 7 + us) / 8 };
-        self.service_ewma_us.store(new, Ordering::Relaxed);
-    }
-
-    /// Backoff hint for `Busy` rejections: roughly the time for the
-    /// current queue to drain at recent service rates, floored at 50ms.
-    fn retry_after_ms(&self, queue_depth: usize, workers: usize) -> u64 {
-        let per_job_ms = self.service_ewma_us.load(Ordering::Relaxed) / 1000;
-        (per_job_ms * queue_depth as u64 / workers.max(1) as u64).max(50)
-    }
-}
-
-/// Shared state of a running server.
-pub struct ServerState {
-    config: ServeConfig,
-    engines: EnginePool,
-    queue: JobQueue,
-    agg: Agg,
-    /// Daemon-level instruments (queue/service latency histograms,
-    /// admission counters); engines carry their own slices.
-    obs: Registry,
-    kb: Mutex<KnowledgeBase>,
-    /// True once shutdown begins: listeners stop accepting, the queue
-    /// rejects new jobs, workers exit when drained.
-    draining: AtomicBool,
-    started: Instant,
-}
-
-impl ServerState {
-    /// Begin graceful shutdown (idempotent).
-    pub fn begin_shutdown(&self) {
-        self.draining.store(true, Ordering::SeqCst);
-        self.queue.ready.notify_all();
-    }
-
-    /// True once shutdown has begun.
-    pub fn is_draining(&self) -> bool {
-        self.draining.load(Ordering::SeqCst)
-    }
-
-    /// Persist every engine's eval-cache snapshot and the current
-    /// observability snapshots into the knowledge base and save it to
-    /// the configured store. Returns entries persisted (0 with no store
-    /// configured — snapshots still merge into the in-memory KB so a
-    /// later flush with a store catches up).
-    pub fn flush(&self) -> u64 {
-        let total = self.engines.flush_to_kb(&self.kb);
-        self.maybe_retrain();
-        self.persist_metrics();
-        if let Some(path) = &self.config.kb_path {
-            if let Err(e) = self.kb.lock().save(path) {
-                eprintln!("ic-serve: persisting {}: {e}", path.display());
-                return 0;
-            }
-        }
-        total
-    }
-
-    /// Online model refresh: after write-through, give every predicting
-    /// engine a chance to retrain on the knowledge base it just fed.
-    /// Installed models are persisted as versioned `ModelRecord`s, so
-    /// the daemon's predictor survives (and keeps improving across)
-    /// restarts.
-    fn maybe_retrain(&self) {
-        if !self.config.predict {
-            return;
-        }
-        let unix_ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
-        let mut kb = self.kb.lock();
-        for e in self.engines.engines() {
-            if e.maybe_retrain(&mut kb, unix_ms) {
-                eprintln!(
-                    "ic-serve: retrained cost model v{} for {}",
-                    e.predict.as_ref().map_or(0, |p| p.model_version()),
-                    e.fingerprint
-                );
-            }
-        }
-    }
-
-    /// Upsert the daemon-wide and per-engine observability snapshots
-    /// into the in-memory knowledge base (written out by
-    /// [`Self::flush`] and the periodic metrics thread).
-    fn persist_metrics(&self) {
-        let unix_ms = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .map(|d| d.as_millis() as u64)
-            .unwrap_or(0);
-        let aggregate = self.metrics_snapshot();
-        let mut kb = self.kb.lock();
-        for e in self.engines.engines() {
-            kb.upsert_metrics(MetricsRecord {
-                context: e.fingerprint.clone(),
-                unix_ms,
-                snapshot: e.metrics_snapshot(),
-            });
-        }
-        kb.upsert_metrics(MetricsRecord {
-            context: aggregate.context.clone(),
-            unix_ms,
-            snapshot: aggregate,
-        });
-    }
-
-    /// The unified observability snapshot: daemon request accounting,
-    /// every engine's cache stats and per-pass profiling rows, and the
-    /// registry's instruments — the exact [`Snapshot`] schema that
-    /// `icc --metrics-json` prints.
-    pub fn metrics_snapshot(&self) -> Snapshot {
-        let mut snap = Snapshot::for_context("ic-serve");
-        self.obs.snapshot_into(&mut snap);
-        snap.service = ServiceStats {
-            compile_requests: self.agg.compile_requests.load(Ordering::Relaxed),
-            search_requests: self.agg.search_requests.load(Ordering::Relaxed),
-            characterize_requests: self.agg.characterize_requests.load(Ordering::Relaxed),
-            requests_rejected: self
-                .agg
-                .busy_rejections
-                .load(Ordering::Relaxed)
-                .saturating_add(self.agg.drain_rejections.load(Ordering::Relaxed)),
-            requests_cancelled: self.agg.deadline_cancellations.load(Ordering::Relaxed),
-            bad_requests: self.agg.bad_requests.load(Ordering::Relaxed),
-            queue_depth: self.queue.len() as u64,
-            engines: self.engines.len() as u64,
-            uptime_ms: self.started.elapsed().as_millis() as u64,
-        };
-        for e in self.engines.engines() {
-            snap.merge(&e.metrics_snapshot());
-        }
-        snap
-    }
-
-    fn stats(&self) -> StatsResponse {
-        let mut s = StatsResponse {
-            protocol_version: PROTOCOL_VERSION,
-            compile_requests: self.agg.compile_requests.load(Ordering::Relaxed),
-            search_requests: self.agg.search_requests.load(Ordering::Relaxed),
-            characterize_requests: self.agg.characterize_requests.load(Ordering::Relaxed),
-            busy_rejections: self.agg.busy_rejections.load(Ordering::Relaxed),
-            deadline_cancellations: self.agg.deadline_cancellations.load(Ordering::Relaxed),
-            bad_requests: self.agg.bad_requests.load(Ordering::Relaxed),
-            queue_depth: self.queue.len(),
-            engines: self.engines.len(),
-            uptime_ms: self.started.elapsed().as_secs_f64() * 1e3,
-            ..Default::default()
-        };
-        for e in self.engines.engines() {
-            let ev = e.eval.stats();
-            let cv = e.eval.inner().compile_stats();
-            s.eval_hits += ev.hits;
-            s.eval_misses += ev.misses;
-            s.eval_entries += ev.entries as u64;
-            s.compile_hits += cv.hits;
-            s.compile_misses += cv.misses;
-        }
-        s
-    }
-
-    fn effective_deadline(&self, ctx: &JobContext, now: Instant) -> Option<Instant> {
-        let ms = if ctx.deadline_ms != 0 {
-            ctx.deadline_ms
-        } else {
-            self.config.default_deadline_ms
-        };
-        (ms != 0).then(|| now + Duration::from_millis(ms))
-    }
-
-    /// Execute one data-plane job (already popped by a worker).
-    fn execute(&self, job: Job) {
-        let queue_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-        self.obs
-            .histogram("serve.queue_us")
-            .record(job.enqueued.elapsed().as_micros() as u64);
-        // Cancelled while queued?
-        if let Some(d) = job.deadline {
-            if Instant::now() > d {
-                self.agg
-                    .deadline_cancellations
-                    .fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Response::Error(ErrorResponse::new(
-                    ErrorKind::DeadlineExceeded,
-                    format!("deadline elapsed after {queue_ms:.0}ms in queue"),
-                )));
-                return;
-            }
-        }
-        let t0 = Instant::now();
-        let response = match &job.request {
-            Request::Compile(req) => match self.engines.get_or_create(&req.ctx, &self.kb) {
-                Ok(engine) => match run_compile(&engine, req, queue_ms) {
-                    Ok(r) => {
-                        self.agg.compile_requests.fetch_add(1, Ordering::Relaxed);
-                        Response::Compile(r)
-                    }
-                    Err(e) => self.error_response(e),
-                },
-                Err(e) => self.error_response(e),
-            },
-            Request::Search(req) => match self.engines.get_or_create(&req.ctx, &self.kb) {
-                Ok(engine) => {
-                    let deadline = job.deadline;
-                    match run_search(&engine, req, deadline, queue_ms) {
-                        Ok(r) => {
-                            self.agg.search_requests.fetch_add(1, Ordering::Relaxed);
-                            Response::Search(r)
-                        }
-                        Err(e) => self.error_response(e),
-                    }
-                }
-                Err(e) => self.error_response(e),
-            },
-            Request::Characterize(req) => match self.engines.get_or_create(&req.ctx, &self.kb) {
-                Ok(engine) => match run_characterize(&engine, queue_ms) {
-                    Ok(r) => {
-                        self.agg
-                            .characterize_requests
-                            .fetch_add(1, Ordering::Relaxed);
-                        Response::Characterize(r)
-                    }
-                    Err(e) => self.error_response(e),
-                },
-                Err(e) => self.error_response(e),
-            },
-            // Admin requests never enter the queue.
-            Request::Admin(_) => ErrorResponse::bad_request("admin requests are not queueable"),
-        };
-        self.agg.observe_service(t0.elapsed());
-        self.obs
-            .histogram("serve.service_us")
-            .record(t0.elapsed().as_micros() as u64);
-        // A disconnected client is not an error — the work (and the
-        // warm cache it produced) is still valuable.
-        let _ = job.reply.send(response);
-    }
-
-    fn error_response(&self, e: ErrorResponse) -> Response {
-        match e.kind {
-            ErrorKind::DeadlineExceeded => {
-                self.agg
-                    .deadline_cancellations
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            ErrorKind::BadRequest => {
-                self.agg.bad_requests.fetch_add(1, Ordering::Relaxed);
-            }
-            _ => {}
-        }
-        Response::Error(e)
-    }
-
-    /// Answer an admin request inline.
-    fn admin(&self, req: &AdminRequest) -> Response {
-        match req {
-            AdminRequest::Stats => Response::Stats(self.stats()),
-            AdminRequest::Metrics => Response::Metrics(Box::new(self.metrics_snapshot())),
-            AdminRequest::Flush => Response::Admin(AdminResponse {
-                action: "flush".into(),
-                persisted_entries: self.flush(),
-                dropped_entries: 0,
-            }),
-            AdminRequest::Compact {
-                max_entries_per_context,
-            } => {
-                if *max_entries_per_context == 0 {
-                    return self.error_response(ErrorResponse::new(
-                        ErrorKind::BadRequest,
-                        "max_entries_per_context must be >= 1",
-                    ));
-                }
-                // Write through first so compaction ranks the freshest
-                // entries, then trim and persist the trimmed store.
-                let persisted = self.engines.flush_to_kb(&self.kb);
-                let report = self.kb.lock().compact(*max_entries_per_context);
-                self.persist_metrics();
-                if let Some(path) = &self.config.kb_path {
-                    if let Err(e) = self.kb.lock().save(path) {
-                        eprintln!("ic-serve: persisting {}: {e}", path.display());
-                    }
-                }
-                Response::Admin(AdminResponse {
-                    action: "compact".into(),
-                    persisted_entries: persisted,
-                    dropped_entries: report.eval_entries_dropped,
-                })
-            }
-            AdminRequest::Shutdown => {
-                let persisted = self.flush();
-                self.begin_shutdown();
-                Response::Admin(AdminResponse {
-                    action: "shutdown".into(),
-                    persisted_entries: persisted,
-                    dropped_entries: 0,
-                })
-            }
-        }
-    }
-
-    /// Route one decoded request from a connection thread.
-    fn serve_request(&self, request: Request) -> Response {
-        if let Request::Admin(req) = &request {
-            return self.admin(req);
-        }
-        let now = Instant::now();
-        let ctx = match &request {
-            Request::Compile(r) => &r.ctx,
-            Request::Search(r) => &r.ctx,
-            Request::Characterize(r) => &r.ctx,
-            Request::Admin(_) => unreachable!(),
-        };
-        let deadline = self.effective_deadline(ctx, now);
-        let (tx, rx) = mpsc::channel();
-        let job = Job {
-            request: request.clone(),
-            enqueued: now,
-            deadline,
-            reply: tx,
-        };
-        match self.queue.push(job, self.is_draining()) {
-            Ok(()) => match rx.recv() {
-                Ok(resp) => resp,
-                Err(_) => {
-                    self.agg.drain_rejections.fetch_add(1, Ordering::Relaxed);
-                    Response::Error(ErrorResponse::new(
-                        ErrorKind::ShuttingDown,
-                        "server shut down before the job ran",
-                    ))
-                }
-            },
-            Err(PushError::Full) => {
-                self.agg.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                Response::Error(
-                    ErrorResponse::new(
-                        ErrorKind::Busy,
-                        format!(
-                            "submission queue full ({} jobs)",
-                            self.config.queue_capacity
-                        ),
-                    )
-                    .with_retry_after(
-                        self.agg
-                            .retry_after_ms(self.queue.len(), self.config.workers),
-                    ),
-                )
-            }
-            Err(PushError::ShuttingDown) => {
-                // First-class rejection metric: before ic-obs, requests
-                // bounced during a drain vanished from every stats
-                // surface.
-                self.agg.drain_rejections.fetch_add(1, Ordering::Relaxed);
-                Response::Error(ErrorResponse::new(
-                    ErrorKind::ShuttingDown,
-                    "server is draining for shutdown",
-                ))
-            }
-        }
-    }
-}
-
-/// Serve one client connection until EOF or a fatal frame error. Frame
-/// errors that are recoverable in principle (bad JSON) get an error
-/// response; a torn stream just closes.
-fn serve_connection<S>(state: &Arc<ServerState>, stream: S)
-where
-    S: std::io::Read + std::io::Write + TryCloneStream,
-{
-    let reader_half = match stream.try_clone_stream() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(reader_half);
-    let mut writer = BufWriter::new(stream);
-    loop {
-        match crate::proto::read_message::<Request>(&mut reader) {
-            Ok(Some(request)) => {
-                let response = state.serve_request(request);
-                if write_message(&mut writer, &response).is_err() {
-                    return; // client went away
-                }
-            }
-            Ok(None) => return, // clean EOF
-            Err(FrameError::BadPayload(msg)) => {
-                state.agg.bad_requests.fetch_add(1, Ordering::Relaxed);
-                let resp = ErrorResponse::bad_request(format!("malformed request: {msg}"));
-                if write_message(&mut writer, &resp).is_err() {
-                    return;
-                }
-            }
-            Err(_) => return, // torn frame or IO error: drop the stream
-        }
-    }
-}
-
-/// `try_clone` over both stream types, so one connection loop serves
-/// Unix and TCP.
-trait TryCloneStream: Sized {
-    fn try_clone_stream(&self) -> std::io::Result<Self>;
-}
-
-impl TryCloneStream for UnixStream {
-    fn try_clone_stream(&self) -> std::io::Result<Self> {
-        self.try_clone()
-    }
-}
-
-impl TryCloneStream for std::net::TcpStream {
-    fn try_clone_stream(&self) -> std::io::Result<Self> {
-        self.try_clone()
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
 /// A running daemon.
 pub struct ServerHandle {
-    state: Arc<ServerState>,
-    threads: Vec<std::thread::JoinHandle<()>>,
+    router: Arc<Router>,
+    /// Shard worker OS threads, joined on drain.
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// The async runtime driving listeners and connection tasks; kept
+    /// alive until the drain completes, then dropped last.
+    runtime: Option<tokio::runtime::Runtime>,
     /// Bound TCP address, when TCP was requested (useful with port 0).
     pub tcp_addr: Option<std::net::SocketAddr>,
+    /// Bound HTTP gateway address, when requested.
+    pub http_addr: Option<std::net::SocketAddr>,
 }
 
 impl ServerHandle {
-    /// Shared state (for tests and embedding).
-    pub fn state(&self) -> &Arc<ServerState> {
-        &self.state
+    /// Shared router state (for tests and embedding).
+    pub fn state(&self) -> &Arc<Router> {
+        &self.router
     }
 
     /// The Unix socket path the server listens on.
     pub fn socket(&self) -> &std::path::Path {
-        &self.state.config.socket
+        &self.router.config.socket
     }
 
     /// Trigger graceful shutdown without waiting.
     pub fn shutdown(&self) {
-        self.state.begin_shutdown();
+        self.router.begin_shutdown();
     }
 
     /// Block until the server has fully drained, then persist caches a
     /// final time. Returns the aggregate stats at exit.
-    pub fn join(self) -> StatsResponse {
-        for t in self.threads {
+    pub fn join(mut self) -> StatsResponse {
+        // Wait for shutdown to begin (SIGTERM flag, Admin(Shutdown), or
+        // an explicit `shutdown()` call).
+        while !self.router.is_draining() {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Queued jobs finish (the drain contract), then workers exit.
+        for t in self.workers.drain(..) {
             let _ = t.join();
+        }
+        // Grace period: let connection tasks write their final
+        // responses before the runtime goes away. Connections held open
+        // by idle clients don't block shutdown.
+        let t0 = Instant::now();
+        while self.router.connections.load(Ordering::SeqCst) > 0
+            && t0.elapsed() < Duration::from_millis(200)
+        {
+            std::thread::sleep(Duration::from_millis(5));
         }
         // Final write-through: catches evaluations that landed between
         // an admin-triggered flush and the last worker exiting.
-        self.state.flush();
-        let _ = std::fs::remove_file(&self.state.config.socket);
-        self.state.stats()
+        self.router.flush();
+        let _ = std::fs::remove_file(&self.router.config.socket);
+        let stats = self.router.stats();
+        drop(self.runtime.take());
+        stats
     }
 }
 
@@ -758,10 +317,10 @@ impl ServerHandle {
 pub struct Server;
 
 impl Server {
-    /// Start a daemon: bind listeners, spawn workers, return a handle.
+    /// Start a daemon: bind listeners, spawn shards, return a handle.
     ///
     /// `external_shutdown` is an optional flag (e.g. set from a SIGTERM
-    /// handler) polled by the accept loop; setting it begins the same
+    /// handler) polled by the runtime; setting it begins the same
     /// graceful drain as `Admin(Shutdown)`.
     pub fn spawn(
         config: ServeConfig,
@@ -776,9 +335,11 @@ impl Server {
                 "ic-serve: knowledge-base store was corrupt ({e}); quarantined to .bad, starting fresh"
             );
         }
-        // Remove a stale socket from a previous unclean exit.
+        // Bind synchronously so address errors surface before anything
+        // spawns (and port 0 resolves to a concrete address). Remove a
+        // stale socket from a previous unclean exit first.
         let _ = std::fs::remove_file(&config.socket);
-        let unix = UnixListener::bind(&config.socket)?;
+        let unix = std::os::unix::net::UnixListener::bind(&config.socket)?;
         unix.set_nonblocking(true)?;
         let tcp = match &config.tcp {
             Some(addr) => {
@@ -789,104 +350,113 @@ impl Server {
             None => None,
         };
         let tcp_addr = tcp.as_ref().and_then(|l| l.local_addr().ok());
+        let http = match &config.http {
+            Some(addr) => {
+                let l = std::net::TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let http_addr = http.as_ref().and_then(|l| l.local_addr().ok());
 
-        let workers = config.workers.max(1);
-        let engines = EnginePool::with_config(config.engine_config());
-        let state = Arc::new(ServerState {
-            queue: JobQueue {
-                jobs: StdMutex::new(VecDeque::new()),
-                ready: StdCondvar::new(),
-                capacity: config.queue_capacity.max(1),
-            },
-            config,
-            engines,
-            agg: Agg::default(),
-            obs: Registry::new(),
-            kb: Mutex::new(kb),
-            draining: AtomicBool::new(false),
-            started: Instant::now(),
-        });
+        let router = Router::new(config, kb);
+        let workers = router.spawn_workers();
 
-        let mut threads = Vec::new();
-        // Accept loop(s): poll-accept so shutdown is observed promptly.
-        threads.push(spawn_accept_loop(
-            state.clone(),
-            external_shutdown,
-            move |s| {
-                unix.accept().map(|(c, _)| {
-                    let state = s.clone();
-                    std::thread::spawn(move || serve_connection(&state, c))
-                })
-            },
-        ));
+        // A small runtime: connection tasks are IO-bound (all CPU work
+        // happens on the shard workers), so two reactor-driving threads
+        // are plenty at any shard count.
+        let runtime = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(2)
+            .enable_all()
+            .thread_name("ic-serve-io")
+            .build()?;
+
+        let unix = tokio::net::UnixListener::from_std(unix)?;
+        runtime.spawn(accept_framed_unix(router.clone(), unix));
         if let Some(tcp) = tcp {
-            threads.push(spawn_accept_loop(
-                state.clone(),
-                external_shutdown,
-                move |s| {
-                    tcp.accept().map(|(c, _)| {
-                        let state = s.clone();
-                        std::thread::spawn(move || serve_connection(&state, c))
-                    })
-                },
-            ));
+            let tcp = tokio::net::TcpListener::from_std(tcp)?;
+            runtime.spawn(accept_framed_tcp(router.clone(), tcp));
         }
-        for _ in 0..workers {
-            let state = state.clone();
-            threads.push(std::thread::spawn(move || {
-                while let Some(job) = state.queue.pop(&state.draining) {
-                    state.execute(job);
+        if let Some(http) = http {
+            let http = tokio::net::TcpListener::from_std(http)?;
+            runtime.spawn(accept_http(router.clone(), http));
+        }
+        if let Some(flag) = external_shutdown {
+            let router = router.clone();
+            runtime.spawn(async move {
+                while !router.is_draining() {
+                    if flag.load(Ordering::SeqCst) {
+                        router.begin_shutdown();
+                        return;
+                    }
+                    tokio::time::sleep(Duration::from_millis(25)).await;
                 }
-            }));
+            });
         }
         // Periodic observability persistence: every interval, write the
         // current per-engine + aggregate snapshots through to the kb
         // store, so the last-known metrics of a crashed daemon survive.
-        if state.config.metrics_interval_ms != 0 {
-            let state = state.clone();
-            threads.push(std::thread::spawn(move || {
-                let interval = Duration::from_millis(state.config.metrics_interval_ms);
-                let mut last = Instant::now();
-                while !state.is_draining() {
-                    // Sleep in short slices so shutdown is prompt.
-                    std::thread::sleep(Duration::from_millis(25).min(interval));
-                    if last.elapsed() >= interval {
-                        state.flush();
-                        last = Instant::now();
+        if router.config.metrics_interval_ms != 0 {
+            let router = router.clone();
+            runtime.spawn(async move {
+                let interval = Duration::from_millis(router.config.metrics_interval_ms);
+                while !router.is_draining() {
+                    tokio::time::sleep(interval).await;
+                    if !router.is_draining() {
+                        router.flush();
                     }
                 }
-            }));
+            });
         }
+
         Ok(ServerHandle {
-            state,
-            threads,
+            router,
+            workers,
+            runtime: Some(runtime),
             tcp_addr,
+            http_addr,
         })
     }
 }
 
-fn spawn_accept_loop(
-    state: Arc<ServerState>,
-    external_shutdown: Option<&'static AtomicBool>,
-    mut accept: impl FnMut(&Arc<ServerState>) -> std::io::Result<std::thread::JoinHandle<()>>
-        + Send
-        + 'static,
-) -> std::thread::JoinHandle<()> {
-    std::thread::spawn(move || loop {
-        if let Some(flag) = external_shutdown {
-            if flag.load(Ordering::SeqCst) {
-                state.begin_shutdown();
+/// Accept loop body: `accept` raced against a short timeout so the
+/// drain flag is observed promptly even with no incoming connections.
+macro_rules! accept_loop {
+    ($router:ident, $listener:ident, $stream:ident => $serve:expr) => {
+        loop {
+            if $router.is_draining() {
+                return;
+            }
+            match tokio::time::timeout(Duration::from_millis(50), $listener.accept()).await {
+                Ok(Ok(($stream, _))) => {
+                    let $router = $router.clone();
+                    tokio::spawn(async move {
+                        let _guard = ConnGuard::new(&$router);
+                        $serve.await;
+                    });
+                }
+                Ok(Err(_)) => tokio::time::sleep(Duration::from_millis(10)).await,
+                Err(_) => {} // timeout tick: re-check the drain flag
             }
         }
-        if state.is_draining() {
-            return;
-        }
-        match accept(&state) {
-            Ok(_) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    })
+    };
+}
+
+async fn accept_framed_unix(router: Arc<Router>, listener: tokio::net::UnixListener) {
+    accept_loop!(router, listener, stream => crate::transport::serve_framed(router.clone(), stream));
+}
+
+async fn accept_framed_tcp(router: Arc<Router>, listener: tokio::net::TcpListener) {
+    accept_loop!(router, listener, stream => {
+        let _ = stream.set_nodelay(true);
+        crate::transport::serve_framed(router.clone(), stream)
+    });
+}
+
+async fn accept_http(router: Arc<Router>, listener: tokio::net::TcpListener) {
+    accept_loop!(router, listener, stream => {
+        let _ = stream.set_nodelay(true);
+        crate::http::serve_http(router.clone(), stream)
+    });
 }

@@ -1,0 +1,209 @@
+//! Worker shards: the unit of state ownership inside the daemon.
+//!
+//! Every workload+machine context fingerprint maps — by a stable hash,
+//! [`shard_for`] — to exactly one shard. A shard owns its warm
+//! [`EnginePool`], a bounded submission queue, and dedicated OS worker
+//! threads, so two requests for *different* contexts never contend on
+//! the same queue lock or engine map. Routing is pure: the same
+//! fingerprint lands on the same shard across connections, restarts,
+//! and transports, which is what keeps caches warm and results
+//! deterministic under resharding-free operation.
+//!
+//! The shard layer is deliberately dumb: it knows how to queue, pop,
+//! and count. What a job *does* lives in [`crate::router`], which owns
+//! the shared knowledge base and aggregate accounting.
+
+use crate::engine::EnginePool;
+use crate::proto::{Request, Response};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// The shard index for a context fingerprint: FNV-1a 64 over the
+/// fingerprint bytes, modulo the shard count. Pure and dependency-free
+/// — the mapping survives restarts, so a redeployed daemon re-warms the
+/// same engines on the same shards (and tests can predict placement).
+pub fn shard_for(fingerprint: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in fingerprint.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
+/// One queued data-plane job. The reply side is a tokio oneshot so the
+/// async connection task can await it without pinning a thread.
+pub(crate) struct Job {
+    pub request: Request,
+    pub enqueued: Instant,
+    pub deadline: Option<Instant>,
+    pub reply: tokio::sync::oneshot::Sender<Response>,
+}
+
+/// Why a push was refused.
+pub(crate) enum PushError {
+    Full,
+    ShuttingDown,
+}
+
+/// Bounded MPMC queue with condvar wakeups. The vendored `parking_lot`
+/// has no condvar, so the queue runs on std primitives (guards recover
+/// from poisoning — a panicking worker must not wedge the daemon).
+struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// One shard: a warm engine pool plus the bounded queue feeding its
+/// workers. Counters are monotonic and exported per shard in the
+/// unified snapshot ([`ic_obs::ShardStats`]).
+pub(crate) struct Shard {
+    /// Position in the router's shard table (stable for a config).
+    pub index: usize,
+    /// This shard's engines — never touched by any other shard.
+    pub engines: EnginePool,
+    queue: JobQueue,
+    /// Jobs fully executed by this shard's workers.
+    pub executed: AtomicU64,
+    /// Jobs refused at admission (queue full).
+    pub rejected: AtomicU64,
+    /// Jobs cancelled by their deadline (queued or mid-run).
+    pub cancelled: AtomicU64,
+    /// Requests answered from the response memo without queueing.
+    pub fast_path_hits: AtomicU64,
+}
+
+impl Shard {
+    pub fn new(index: usize, engines: EnginePool, queue_capacity: usize) -> Self {
+        Shard {
+            index,
+            engines,
+            queue: JobQueue {
+                jobs: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                capacity: queue_capacity.max(1),
+            },
+            executed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            fast_path_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Admission control: accept the job or refuse it *immediately* —
+    /// a full shard must never make a caller wait.
+    pub fn push(&self, job: Job, draining: bool) -> Result<(), PushError> {
+        if draining {
+            return Err(PushError::ShuttingDown);
+        }
+        let mut q = self.queue.lock();
+        if q.len() >= self.queue.capacity {
+            drop(q);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(PushError::Full);
+        }
+        q.push_back(job);
+        drop(q);
+        self.queue.ready.notify_one();
+        Ok(())
+    }
+
+    /// Pop a job, blocking. Returns `None` once `draining` is set and
+    /// the queue is empty (the drain contract: queued work finishes).
+    pub fn pop(&self, draining: &AtomicBool) -> Option<Job> {
+        let mut q = self.queue.lock();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if draining.load(Ordering::SeqCst) {
+                return None;
+            }
+            let (guard, _) = self
+                .queue
+                .ready
+                .wait_timeout(q, std::time::Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+        }
+    }
+
+    /// Wake every worker (used when shutdown begins).
+    pub fn notify_all(&self) {
+        self.queue.ready.notify_all();
+    }
+
+    pub fn depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.queue.capacity
+    }
+
+    /// This shard's block of the unified snapshot.
+    pub fn stats(&self) -> ic_obs::ShardStats {
+        ic_obs::ShardStats {
+            shard: self.index as u64,
+            queue_depth: self.depth() as u64,
+            queue_capacity: self.queue.capacity as u64,
+            engines: self.engines.len() as u64,
+            executed: self.executed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            fast_path_hits: self.fast_path_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_for_is_stable_across_processes() {
+        // Frozen expectations: the hash is part of the operational
+        // contract (same fingerprint → same shard after a restart), so
+        // a change here is a breaking change, not a refactor.
+        assert_eq!(shard_for("", 4), shard_for("", 4));
+        let placements: Vec<usize> = ["wl:a|m:vliw", "wl:b|m:amd", "wl:c|m:tiny", "wl:d|m:vliw"]
+            .iter()
+            .map(|fp| shard_for(fp, 4))
+            .collect();
+        let again: Vec<usize> = ["wl:a|m:vliw", "wl:b|m:amd", "wl:c|m:tiny", "wl:d|m:vliw"]
+            .iter()
+            .map(|fp| shard_for(fp, 4))
+            .collect();
+        assert_eq!(placements, again);
+        for &p in &placements {
+            assert!(p < 4);
+        }
+    }
+
+    #[test]
+    fn shard_for_spreads_distinct_fingerprints() {
+        // 64 distinct fingerprints over 4 shards: every shard gets
+        // some — the FNV mix must not collapse the keyspace.
+        let mut hit = [false; 4];
+        for i in 0..64 {
+            hit[shard_for(&format!("wl:prog{i}|m:vliw"), 4)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never selected: {hit:?}");
+    }
+
+    #[test]
+    fn one_shard_never_changes_the_mapping() {
+        for i in 0..16 {
+            assert_eq!(shard_for(&format!("fp{i}"), 1), 0);
+        }
+    }
+}

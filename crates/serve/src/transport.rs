@@ -1,0 +1,281 @@
+//! Async transport for the length-prefixed framed protocol.
+//!
+//! One task per connection. Reads are buffered: a single syscall can
+//! pull many pipelined frames, and responses are written back through a
+//! batch buffer that is only flushed once the input buffer holds no
+//! further complete frame — so a client pipelining N requests costs
+//! O(1) syscalls per batch instead of per request.
+//!
+//! Response framing mirrors the request (the versioning contract in
+//! [`crate::proto`]): an enveloped request gets an enveloped response,
+//! a bare protocol-1 request gets a bare response.
+
+use crate::proto::{
+    decode_versioned, envelope_json, ErrorResponse, FrameError, Request, Response, MAX_FRAME_BYTES,
+};
+use crate::router::Router;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Buffered frame codec over an async byte stream.
+pub(crate) struct FrameConn<S> {
+    stream: S,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+}
+
+impl<S: AsyncRead + AsyncWrite + Send + Unpin> FrameConn<S> {
+    pub fn new(stream: S) -> Self {
+        FrameConn {
+            stream,
+            rbuf: Vec::with_capacity(16 * 1024),
+            rpos: 0,
+            wbuf: Vec::with_capacity(16 * 1024),
+        }
+    }
+
+    /// Read more bytes from the stream into the buffer. Returns the
+    /// number read (0 = EOF).
+    pub async fn fill(&mut self) -> std::io::Result<usize> {
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+            self.rpos = 0;
+        } else if self.rpos > 8 * 1024 {
+            self.rbuf.drain(..self.rpos);
+            self.rpos = 0;
+        }
+        // A wide read window: one syscall can pull hundreds of
+        // pipelined frames, and the whole batch flushes in one write.
+        let mut chunk = [0u8; 64 * 1024];
+        let n = self.stream.read(&mut chunk).await?;
+        self.rbuf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    /// Parse one complete frame out of the buffer without any IO.
+    /// `Ok(None)` means "need more bytes".
+    pub fn try_parse(&mut self) -> Result<Option<String>, FrameError> {
+        let buf = &self.rbuf[self.rpos..];
+        let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+            if buf.len() > 32 {
+                return Err(FrameError::BadLength(
+                    "length prefix longer than 32 bytes".into(),
+                ));
+            }
+            return Ok(None);
+        };
+        let header =
+            std::str::from_utf8(&buf[..nl]).map_err(|e| FrameError::BadLength(e.to_string()))?;
+        let len: usize = header
+            .trim()
+            .parse()
+            .map_err(|_| FrameError::BadLength(header.trim().to_string()))?;
+        if len > MAX_FRAME_BYTES {
+            return Err(FrameError::BadLength(format!(
+                "{len} bytes exceeds the {MAX_FRAME_BYTES}-byte frame cap"
+            )));
+        }
+        let total = nl + 1 + len + 1;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        if buf[total - 1] != b'\n' {
+            return Err(FrameError::BadPayload("missing frame terminator".into()));
+        }
+        let payload = String::from_utf8(buf[nl + 1..nl + 1 + len].to_vec())
+            .map_err(|e| FrameError::BadPayload(e.to_string()))?;
+        self.rpos += total;
+        Ok(Some(payload))
+    }
+
+    /// Queue one frame into the write buffer (no IO).
+    pub fn queue_frame(&mut self, json: &str) {
+        self.wbuf
+            .extend_from_slice(json.len().to_string().as_bytes());
+        self.wbuf.push(b'\n');
+        self.wbuf.extend_from_slice(json.as_bytes());
+        self.wbuf.push(b'\n');
+    }
+
+    /// Write the batched responses out.
+    pub async fn flush(&mut self) -> std::io::Result<()> {
+        if self.wbuf.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.wbuf).await?;
+        self.wbuf.clear();
+        self.stream.flush().await
+    }
+}
+
+/// Serve one framed-protocol connection until EOF or a fatal frame
+/// error. Recoverable errors (bad JSON, unsupported protocol version)
+/// get a structured error response; a torn stream just closes.
+pub(crate) async fn serve_framed<S>(router: Arc<Router>, stream: S)
+where
+    S: AsyncRead + AsyncWrite + Send + Unpin,
+{
+    let mut conn = FrameConn::new(stream);
+    loop {
+        // Drain every complete frame already buffered, then flush the
+        // response batch in one write.
+        loop {
+            let json = match conn.try_parse() {
+                Ok(Some(json)) => json,
+                Ok(None) => break,
+                // Framing is byte-position dependent: once a length
+                // prefix or terminator is wrong there is no safe way to
+                // resynchronize, so the stream closes.
+                Err(_) => {
+                    let _ = conn.flush().await;
+                    return;
+                }
+            };
+            match decode_versioned::<Request>(&json) {
+                Ok(vm) => {
+                    let enveloped = vm.enveloped;
+                    let response = router.route(vm.msg).await;
+                    conn.queue_frame(&render_response(&response, enveloped));
+                }
+                Err(e) => {
+                    // The frame itself was sound — answer structurally
+                    // and keep the connection. A version error proves
+                    // the peer speaks envelopes; plain bad JSON gets
+                    // the bare form any peer understands.
+                    router.agg.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let enveloped = matches!(e, FrameError::Version { .. });
+                    let response = Response::Error(ErrorResponse::from(e.to_error()));
+                    conn.queue_frame(&render_response(&response, enveloped));
+                }
+            }
+        }
+        if conn.flush().await.is_err() {
+            return; // client went away
+        }
+        match conn.fill().await {
+            Ok(0) => return, // EOF (torn mid-frame or clean — either way, done)
+            Ok(_) => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Serialize a response in the form the request arrived in.
+pub(crate) fn render_response(response: &Response, enveloped: bool) -> String {
+    if enveloped {
+        envelope_json(response)
+    } else {
+        serde_json::to_string(response).expect("response serializes infallibly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An in-memory async stream for codec tests.
+    struct MemStream {
+        input: std::io::Cursor<Vec<u8>>,
+        output: Vec<u8>,
+    }
+
+    impl AsyncRead for MemStream {
+        fn poll_read(
+            &mut self,
+            _cx: &mut std::task::Context<'_>,
+            buf: &mut [u8],
+        ) -> std::task::Poll<std::io::Result<usize>> {
+            std::task::Poll::Ready(std::io::Read::read(&mut self.input, buf))
+        }
+    }
+
+    impl AsyncWrite for MemStream {
+        fn poll_write(
+            &mut self,
+            _cx: &mut std::task::Context<'_>,
+            buf: &[u8],
+        ) -> std::task::Poll<std::io::Result<usize>> {
+            self.output.extend_from_slice(buf);
+            std::task::Poll::Ready(Ok(buf.len()))
+        }
+        fn poll_flush(
+            &mut self,
+            _cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<std::io::Result<()>> {
+            std::task::Poll::Ready(Ok(()))
+        }
+        fn poll_shutdown(
+            &mut self,
+            _cx: &mut std::task::Context<'_>,
+        ) -> std::task::Poll<std::io::Result<()>> {
+            std::task::Poll::Ready(Ok(()))
+        }
+    }
+
+    #[test]
+    fn pipelined_frames_parse_from_one_buffer() {
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+            .unwrap();
+        rt.block_on(async {
+            let mut wire = Vec::new();
+            for i in 0..5 {
+                let json = format!("{{\"n\":{i}}}");
+                wire.extend_from_slice(json.len().to_string().as_bytes());
+                wire.push(b'\n');
+                wire.extend_from_slice(json.as_bytes());
+                wire.push(b'\n');
+            }
+            let mut conn = FrameConn::new(MemStream {
+                input: std::io::Cursor::new(wire),
+                output: Vec::new(),
+            });
+            assert!(conn.fill().await.unwrap() > 0);
+            for i in 0..5 {
+                let f = conn.try_parse().unwrap().expect("frame buffered");
+                assert_eq!(f, format!("{{\"n\":{i}}}"));
+            }
+            assert!(conn.try_parse().unwrap().is_none(), "buffer drained");
+        });
+    }
+
+    #[test]
+    fn split_frame_waits_for_more_bytes() {
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+            .unwrap();
+        rt.block_on(async {
+            // Deliver a frame split across two reads.
+            let json = "{\"x\":42}";
+            let mut wire = Vec::new();
+            wire.extend_from_slice(json.len().to_string().as_bytes());
+            wire.push(b'\n');
+            wire.extend_from_slice(json.as_bytes());
+            wire.push(b'\n');
+            let (a, b) = wire.split_at(5);
+            let mut conn = FrameConn::new(MemStream {
+                input: std::io::Cursor::new(a.to_vec()),
+                output: Vec::new(),
+            });
+            conn.fill().await.unwrap();
+            assert!(conn.try_parse().unwrap().is_none(), "incomplete frame");
+            conn.stream.input = std::io::Cursor::new(b.to_vec());
+            conn.fill().await.unwrap();
+            assert_eq!(conn.try_parse().unwrap().unwrap(), json);
+        });
+    }
+
+    #[test]
+    fn garbage_length_prefix_is_fatal() {
+        let mut conn = FrameConn::new(MemStream {
+            input: std::io::Cursor::new(Vec::new()),
+            output: Vec::new(),
+        });
+        conn.rbuf.extend_from_slice(b"banana\n");
+        assert!(matches!(conn.try_parse(), Err(FrameError::BadLength(_))));
+    }
+}

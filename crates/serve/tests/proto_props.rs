@@ -7,9 +7,10 @@
 //! the vendored serde writes them as `null`).
 
 use ic_serve::proto::{
-    read_message, write_message, AdminRequest, CharacterizeRequest, CompileRequest,
-    CompileResponse, ErrorKind, ErrorResponse, JobContext, Request, RequestStats, Response,
-    SearchRequest, SearchResponse, StatsResponse,
+    decode_versioned, envelope_json, read_message, read_message_versioned, write_message,
+    write_message_versioned, AdminRequest, CharacterizeRequest, CompileRequest, CompileResponse,
+    ErrorKind, ErrorResponse, FrameError, JobContext, Request, RequestStats, Response,
+    SearchRequest, SearchResponse, StatsResponse, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 use std::io::BufReader;
@@ -195,5 +196,127 @@ proptest! {
             uptime_ms: 1234.5,
         });
         prop_assert_eq!(&round_trip(&stats), &stats);
+    }
+}
+
+/// Build the arbitrary request the versioning properties exercise.
+/// The parameters mirror the proptest generators one-to-one.
+#[allow(clippy::too_many_arguments)]
+fn versioned_probe_request(
+    name_bytes: Vec<u8>,
+    src_bytes: Vec<u8>,
+    machine: &str,
+    fuel: u64,
+    deadline_ms: u64,
+    budget: usize,
+    seed: u64,
+    which: u8,
+) -> Request {
+    let ctx = JobContext {
+        name: String::from_utf8(name_bytes).unwrap(),
+        source: String::from_utf8(src_bytes).unwrap(),
+        machine: machine.to_string(),
+        fuel,
+        deadline_ms,
+    };
+    match which % 4 {
+        0 => Request::Compile(CompileRequest {
+            ctx,
+            sequence: vec!["dce".into()],
+            emit_ir: false,
+        }),
+        1 => Request::Search(SearchRequest {
+            ctx,
+            strategy: "random".into(),
+            budget,
+            seed,
+        }),
+        2 => Request::Characterize(CharacterizeRequest { ctx }),
+        _ => Request::Admin(AdminRequest::Stats),
+    }
+}
+
+proptest! {
+    /// The versioning contract, property-checked over arbitrary
+    /// requests:
+    ///  1. the protocol-2 envelope round-trips, and decodes as
+    ///     `version == PROTOCOL_VERSION, enveloped == true`;
+    ///  2. a PR-3-era bare frame — written by the *old* writer — is
+    ///     accepted and decodes as `version == 1, enveloped == false`;
+    ///  3. unknown envelope fields are ignored;
+    ///  4. any out-of-range version is refused with the stable
+    ///     `FrameError::Version` (→ `ic_obs::Error::ProtocolMismatch`,
+    ///     wire code `protocol_mismatch`), never misparsed as data.
+    #[test]
+    fn versioning_contract_holds_for_arbitrary_requests(
+        name_bytes in prop::collection::vec(97u8..123, 1..16),
+        src_bytes in prop::collection::vec(32u8..127, 0..200),
+        machine in prop::sample::select(vec!["vliw", "amd", "tiny"]),
+        fuel in 1u64..1_000_000_000_000,
+        deadline_ms in 0u64..60_000,
+        budget in 1usize..10_000,
+        seed in 0u64..u64::MAX,
+        which in 0u8..4,
+        extra_key in prop::collection::vec(97u8..123, 1..12),
+        bad_version in prop::sample::select(vec![0u64, 3, 4, 99, u32::MAX as u64]),
+    ) {
+        let req = versioned_probe_request(
+            name_bytes, src_bytes, machine, fuel, deadline_ms, budget, seed, which,
+        );
+
+        // 1. Envelope round trip, through both the string codec and the
+        // framed writer/reader pair.
+        let enveloped = envelope_json(&req);
+        let vm = decode_versioned::<Request>(&enveloped).expect("envelope decodes");
+        prop_assert_eq!(&vm.msg, &req);
+        prop_assert_eq!(vm.version, PROTOCOL_VERSION);
+        prop_assert!(vm.enveloped);
+        let mut buf = Vec::new();
+        write_message_versioned(&mut buf, &req).expect("write");
+        let vm = read_message_versioned::<Request>(&mut BufReader::new(&buf[..]))
+            .expect("read")
+            .expect("not EOF");
+        prop_assert_eq!(&vm.msg, &req);
+        prop_assert!(vm.enveloped);
+
+        // 2. A PR-3-era frame: written by the protocol-1 writer, read
+        // by today's reader. Accepted, attributed to version 1.
+        let mut old = Vec::new();
+        write_message(&mut old, &req).expect("old writer");
+        let vm = read_message_versioned::<Request>(&mut BufReader::new(&old[..]))
+            .expect("new reader accepts old frames")
+            .expect("not EOF");
+        prop_assert_eq!(&vm.msg, &req);
+        prop_assert_eq!(vm.version, 1);
+        prop_assert!(!vm.enveloped);
+
+        // 3. Unknown envelope fields are ignored (forward compat).
+        let extra = String::from_utf8(extra_key).unwrap();
+        let inner = serde_json::to_string(&req).expect("inner json");
+        let padded = format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"{extra}\":\"ignored\",\"body\":{inner}}}"
+        );
+        let vm = decode_versioned::<Request>(&padded).expect("unknown fields ignored");
+        prop_assert_eq!(&vm.msg, &req);
+        prop_assert!(vm.enveloped);
+
+        // 4. Out-of-range versions are a stable, typed refusal.
+        let future = format!("{{\"v\":{bad_version},\"body\":{inner}}}");
+        match decode_versioned::<Request>(&future) {
+            Err(FrameError::Version { found, supported }) => {
+                prop_assert_eq!(found as u64, bad_version);
+                prop_assert_eq!(supported, PROTOCOL_VERSION);
+                let err = ErrorResponse::from(
+                    FrameError::Version { found, supported }.to_error(),
+                );
+                prop_assert_eq!(err.kind, ErrorKind::BadRequest);
+                prop_assert_eq!(err.code.as_str(), "protocol_mismatch");
+            }
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "version {bad_version} must be refused, got {other:?}"
+                )))
+            }
+        }
     }
 }

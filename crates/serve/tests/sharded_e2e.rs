@@ -1,0 +1,489 @@
+//! End-to-end tests for the sharded async daemon: deterministic
+//! shard routing across restarts, per-shard admission control, the
+//! HTTP/JSON gateway (proven byte-identical to the framed transport),
+//! the protocol-version compat rule on a live socket, and the client's
+//! uniform per-request timeout.
+
+use ic_serve::engine::fingerprint_for;
+use ic_serve::proto::{
+    decode_versioned, envelope_json, CompileRequest, ErrorKind, Request, Response,
+};
+use ic_serve::{shard_for, Client, JobContext, ServeConfig, Server, ServerHandle};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+const SOURCE: &str = "\
+int a[64];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 64; i = i + 1) a[i] = i * 3 + 1;
+    for (int i = 0; i < 64; i = i + 1) s = s + a[i] * a[i];
+    return s;
+}
+";
+
+fn ctx_named(name: &str) -> JobContext {
+    JobContext {
+        name: name.into(),
+        source: SOURCE.into(),
+        machine: "vliw".into(),
+        fuel: 100_000_000,
+        deadline_ms: 0,
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ic-shard-test-{}-{tag}", std::process::id()))
+}
+
+fn start(tag: &str, mutate: impl FnOnce(&mut ServeConfig)) -> ServerHandle {
+    let mut cfg = ServeConfig {
+        socket: scratch(&format!("{tag}.sock")),
+        workers: 2,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    };
+    mutate(&mut cfg);
+    Server::spawn(cfg, None).expect("server spawns")
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    for _ in 0..50 {
+        if let Ok(c) = Client::connect(&format!("unix://{}", handle.socket().display())) {
+            return c;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("could not connect to {}", handle.socket().display());
+}
+
+/// Which shard a context routes to, computed the way the router does.
+fn shard_of(ctx: &JobContext, shards: usize) -> usize {
+    shard_for(&fingerprint_for(ctx).expect("fingerprint"), shards)
+}
+
+/// Find a context name routing to each of `shards` shards.
+fn name_per_shard(shards: usize) -> Vec<String> {
+    let mut names: Vec<Option<String>> = vec![None; shards];
+    for i in 0..1024 {
+        let name = format!("w{i}");
+        let s = shard_of(&ctx_named(&name), shards);
+        if names[s].is_none() {
+            names[s] = Some(name);
+        }
+        if names.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    names
+        .into_iter()
+        .map(|n| n.expect("1024 probes cover every shard"))
+        .collect()
+}
+
+#[test]
+fn shard_routing_is_deterministic_across_restarts() {
+    let shards = 4usize;
+    let names: Vec<String> = (0..8).map(|i| format!("prog{i}")).collect();
+
+    // The routing function itself is pure and restart-stable; predict
+    // the per-shard execution histogram from it.
+    let mut predicted = vec![0u64; shards];
+    for name in &names {
+        predicted[shard_of(&ctx_named(name), shards)] += 1;
+    }
+    assert!(
+        predicted.iter().filter(|&&n| n > 0).count() >= 2,
+        "8 contexts should spread over at least 2 of 4 shards: {predicted:?}"
+    );
+
+    let observe = |tag: &str| -> Vec<u64> {
+        let handle = start(tag, |c| c.shards = shards);
+        let mut client = connect(&handle);
+        for name in &names {
+            match client
+                .compile(ctx_named(name), vec!["dce".into()], false)
+                .expect("compile")
+            {
+                Response::Compile(r) => assert!(r.cycles.is_finite()),
+                other => panic!("expected Compile, got {other:?}"),
+            }
+        }
+        let snap = client.metrics().expect("metrics");
+        assert_eq!(snap.shards.len(), shards, "one stats block per shard");
+        let executed: Vec<u64> = snap.shards.iter().map(|s| s.executed).collect();
+        for (i, s) in snap.shards.iter().enumerate() {
+            assert_eq!(s.shard, i as u64, "shard blocks are dense and ordered");
+        }
+        handle.shutdown();
+        handle.join();
+        executed
+    };
+
+    // Two independent daemon instances (fresh pools, fresh sockets)
+    // must route the same contexts to the same shards — and both must
+    // match the pure function's prediction.
+    let first = observe("route1");
+    assert_eq!(first, predicted, "observed routing diverged from shard_for");
+    let second = observe("route2");
+    assert_eq!(first, second, "routing changed across restart");
+}
+
+#[test]
+fn a_saturated_shard_rejects_while_other_shards_keep_serving() {
+    let shards = 2usize;
+    let names = name_per_shard(shards);
+    let (hot, cold) = (names[0].clone(), names[1].clone());
+    let hot_shard = shard_of(&ctx_named(&hot), shards);
+    let cold_shard = shard_of(&ctx_named(&cold), shards);
+    assert_ne!(hot_shard, cold_shard);
+
+    // One worker and one queue slot *per shard*.
+    let handle = start("saturate", |c| {
+        c.shards = shards;
+        c.workers = 1;
+        c.queue_capacity = 1;
+    });
+
+    // Jam the hot shard's only worker (self-bounded by deadline).
+    let socket = handle.socket().to_path_buf();
+    let jam = std::thread::spawn({
+        let (sock, hot) = (socket.clone(), hot.clone());
+        move || {
+            let mut c = Client::connect(&format!("unix://{}", sock.display())).expect("connect");
+            let mut jam_ctx = ctx_named(&hot);
+            jam_ctx.deadline_ms = 3_000;
+            let _ = c.search(jam_ctx, "random", 2_000_000, 1);
+        }
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Fill the hot shard's single queue slot.
+    let filler = std::thread::spawn({
+        let (sock, hot) = (socket.clone(), hot.clone());
+        move || {
+            let mut c = Client::connect(&format!("unix://{}", sock.display())).expect("connect");
+            let _ = c.compile(ctx_named(&hot), vec!["dce".into()], false);
+        }
+    });
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The hot shard is saturated: immediate structured rejection.
+    let mut probe = connect(&handle);
+    match probe
+        .compile(ctx_named(&hot), vec![], false)
+        .expect("round trip")
+    {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::Busy);
+            assert!(e.retry_after_ms.is_some());
+            assert!(
+                e.message.contains(&format!("shard {hot_shard}")),
+                "busy message should name the shard: {}",
+                e.message
+            );
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+
+    // The *other* shard is idle and serves normally — saturation is
+    // per-shard, not global.
+    match probe
+        .compile(ctx_named(&cold), vec![], false)
+        .expect("round trip")
+    {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile on the cold shard, got {other:?}"),
+    }
+
+    // Per-shard accounting says exactly which shard bounced.
+    let snap = probe.metrics().expect("metrics");
+    assert!(snap.shards[hot_shard].rejected >= 1, "{:?}", snap.shards);
+    assert_eq!(snap.shards[cold_shard].rejected, 0, "{:?}", snap.shards);
+    assert!(snap.shards[cold_shard].executed >= 1, "{:?}", snap.shards);
+
+    jam.join().unwrap();
+    filler.join().unwrap();
+    handle.shutdown();
+    handle.join();
+}
+
+/// One framed round trip over a raw Unix stream, returning the exact
+/// response payload bytes (as text).
+fn raw_framed_roundtrip(sock: &Path, payload: &str) -> String {
+    let stream = UnixStream::connect(sock).expect("connect");
+    let mut w = stream.try_clone().expect("clone");
+    write!(w, "{}\n{payload}\n", payload.len()).expect("write frame");
+    w.flush().expect("flush");
+    let mut r = BufReader::new(stream);
+    let mut header = String::new();
+    r.read_line(&mut header).expect("length prefix");
+    let len: usize = header.trim().parse().expect("numeric length");
+    let mut body = vec![0u8; len + 1]; // payload + trailing newline
+    r.read_exact(&mut body).expect("payload");
+    String::from_utf8(body[..len].to_vec()).expect("utf8 payload")
+}
+
+/// One HTTP/1.1 round trip over a raw TCP stream: returns (status,
+/// headers, exact body text).
+fn raw_http_roundtrip(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> (u16, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write http request");
+    stream.flush().expect("flush");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read http response");
+    let raw = String::from_utf8(raw).expect("utf8 response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, head.to_string(), body.to_string())
+}
+
+#[test]
+fn http_and_framed_transports_answer_byte_identically() {
+    let handle = start("difftl", |c| c.http = Some("127.0.0.1:0".into()));
+    let http_addr = handle.http_addr.expect("http listener bound");
+    let sock = handle.socket().to_path_buf();
+
+    let request = Request::Compile(CompileRequest {
+        ctx: ctx_named("diff"),
+        sequence: vec!["licm".into(), "dce".into()],
+        emit_ir: false,
+    });
+    let frame_payload = envelope_json(&request);
+    let http_body = ic_serve::http::body_for(&request);
+    let http_path = ic_serve::http::path_for(&request);
+
+    // Warm the memo so repeats are deterministic, then probe each
+    // transport with the *same* request.
+    let _ = raw_framed_roundtrip(&sock, &frame_payload);
+    let framed = raw_framed_roundtrip(&sock, &frame_payload);
+    let (status, _, http) = raw_http_roundtrip(http_addr, "POST", http_path, Some(&http_body));
+    assert_eq!(status, 200);
+    assert_eq!(
+        framed, http,
+        "transports must produce byte-identical response payloads"
+    );
+    // And the shared payload is a real, successful compile response.
+    let decoded = decode_versioned::<Response>(&framed).expect("decodes");
+    assert!(decoded.enveloped);
+    match decoded.msg {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    // Characterize too — a second endpoint, same identity.
+    let request = Request::Characterize(ic_serve::proto::CharacterizeRequest {
+        ctx: ctx_named("diff"),
+    });
+    let frame_payload = envelope_json(&request);
+    let _ = raw_framed_roundtrip(&sock, &frame_payload);
+    let framed = raw_framed_roundtrip(&sock, &frame_payload);
+    let (status, _, http) = raw_http_roundtrip(
+        http_addr,
+        "POST",
+        ic_serve::http::path_for(&request),
+        Some(&ic_serve::http::body_for(&request)),
+    );
+    assert_eq!(status, 200);
+    assert_eq!(framed, http);
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn http_gateway_serves_health_metrics_and_errors() {
+    let handle = start("gateway", |c| c.http = Some("127.0.0.1:0".into()));
+    let http_addr = handle.http_addr.expect("http listener bound");
+
+    // healthz on a live daemon.
+    let (status, _, body) = raw_http_roundtrip(http_addr, "GET", "/v1/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(body, "{\"status\":\"ok\"}");
+
+    // A compile through the gateway end to end.
+    let request = Request::Compile(CompileRequest {
+        ctx: ctx_named("gw"),
+        sequence: vec![],
+        emit_ir: false,
+    });
+    let (status, _, body) = raw_http_roundtrip(
+        http_addr,
+        "POST",
+        "/v1/compile",
+        Some(&ic_serve::http::body_for(&request)),
+    );
+    assert_eq!(status, 200);
+    match decode_versioned::<Response>(&body).expect("envelope").msg {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    // The metrics endpoint returns the unified snapshot schema.
+    let (status, _, body) = raw_http_roundtrip(http_addr, "GET", "/v1/metrics", None);
+    assert_eq!(status, 200);
+    let snap = ic_obs::Snapshot::from_json(&body).expect("snapshot parses");
+    assert_eq!(snap.context, "ic-serve");
+    assert!(snap.service.compile_requests >= 1);
+
+    // Bad body → 400 with a structured error, connection-level sanity.
+    let (status, _, body) = raw_http_roundtrip(http_addr, "POST", "/v1/compile", Some("{nope"));
+    assert_eq!(status, 400);
+    match decode_versioned::<Response>(&body).expect("envelope").msg {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::BadRequest),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    // Unknown endpoint and unknown method.
+    let (status, _, _) = raw_http_roundtrip(http_addr, "GET", "/v2/nope", None);
+    assert_eq!(status, 404);
+    let (status, _, _) = raw_http_roundtrip(http_addr, "PUT", "/v1/compile", Some("{}"));
+    assert_eq!(status, 405);
+
+    // Draining flips healthz to 503 on an already-open connection.
+    let mut keep = TcpStream::connect(http_addr).expect("connect");
+    write!(keep, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    let mut r = BufReader::new(keep.try_clone().unwrap());
+    let mut line = String::new();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("200"), "pre-drain healthz: {line}");
+    // Drain the headers + body of the first response.
+    let mut drained = String::new();
+    while drained != "\r\n" {
+        drained.clear();
+        r.read_line(&mut drained).unwrap();
+    }
+    let mut body = vec![0u8; "{\"status\":\"ok\"}".len()];
+    r.read_exact(&mut body).unwrap();
+
+    connect(&handle).shutdown().expect("admin shutdown");
+    write!(keep, "GET /v1/healthz HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+    line.clear();
+    r.read_line(&mut line).unwrap();
+    assert!(line.contains("503"), "post-drain healthz: {line}");
+
+    handle.join();
+}
+
+#[test]
+fn protocol_version_rule_holds_on_a_live_socket() {
+    let handle = start("version", |_| {});
+    let sock = handle.socket().to_path_buf();
+    let request = Request::Compile(CompileRequest {
+        ctx: ctx_named("ver"),
+        sequence: vec![],
+        emit_ir: false,
+    });
+
+    // A bare PR-3-era frame (no envelope) is protocol 1: the server
+    // answers, and mirrors the bare form.
+    let bare = serde_json::to_string(&request).unwrap();
+    let reply = raw_framed_roundtrip(&sock, &bare);
+    let vm = decode_versioned::<Response>(&reply).expect("decodes");
+    assert!(!vm.enveloped, "bare request must get a bare response");
+    assert_eq!(vm.version, 1);
+    match vm.msg {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    // A future-version envelope gets the stable mismatch error — the
+    // connection survives it.
+    let inner = serde_json::to_string(&request).unwrap();
+    let future = format!("{{\"v\":99,\"body\":{inner}}}");
+    let reply = raw_framed_roundtrip(&sock, &future);
+    let vm = decode_versioned::<Response>(&reply).expect("decodes");
+    assert!(vm.enveloped, "version errors answer in envelope form");
+    match vm.msg {
+        Response::Error(e) => {
+            assert_eq!(e.kind, ErrorKind::BadRequest);
+            assert_eq!(e.code, "protocol_mismatch");
+        }
+        other => panic!("expected protocol_mismatch, got {other:?}"),
+    }
+
+    // Unknown envelope fields are ignored (forward compat).
+    let padded = format!("{{\"v\":2,\"trace_id\":\"abc\",\"body\":{inner}}}");
+    let reply = raw_framed_roundtrip(&sock, &padded);
+    let vm = decode_versioned::<Response>(&reply).expect("decodes");
+    assert!(vm.enveloped);
+    match vm.msg {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn client_timeout_is_uniform_and_cancellations_are_counted() {
+    let handle = start("timeout", |_| {});
+    let mut c = connect(&handle);
+
+    // Warm the engine for this context first, so the measured path is
+    // the search itself and not one-time engine construction (which
+    // can dominate on a loaded machine).
+    match c.compile(ctx_named("slow"), vec![], false).expect("warm") {
+        Response::Compile(r) => assert!(r.cycles.is_finite()),
+        other => panic!("expected Compile, got {other:?}"),
+    }
+
+    // With a client-side timeout installed, a request with no explicit
+    // deadline inherits it: the server cancels the overdue search and
+    // the cancellation lands in requests_cancelled. Before the redesign
+    // the sync client simply hung here. The budget must exceed what
+    // 100ms of real evaluations can cover, but not by so much that the
+    // post-cancellation drain (expired evaluations short-circuit but
+    // the strategy still iterates) outlives the socket backstop.
+    c.set_timeout(Some(Duration::from_millis(100)))
+        .expect("set");
+    assert_eq!(c.timeout(), Some(Duration::from_millis(100)));
+    match c
+        .search(ctx_named("slow"), "random", 50_000, 3)
+        .expect("round trip within the socket backstop")
+    {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The accounting is uniform across transports/endpoints: the
+    // snapshot counts the cancellation.
+    c.set_timeout(None).expect("clear");
+    let snap = c.metrics().expect("metrics");
+    assert!(
+        snap.service.requests_cancelled >= 1,
+        "client-injected deadline missing from requests_cancelled"
+    );
+
+    // An explicit per-request deadline wins over the injected one.
+    c.set_timeout(Some(Duration::from_secs(30))).expect("set");
+    let mut explicit = ctx_named("slow2");
+    explicit.deadline_ms = 5;
+    match c.search(explicit, "random", 50_000, 4).expect("round trip") {
+        Response::Error(e) => assert_eq!(e.kind, ErrorKind::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    handle.shutdown();
+    handle.join();
+}

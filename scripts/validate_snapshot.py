@@ -87,6 +87,19 @@ def main():
             f"of {predict['candidates']} candidates ({saved:.1f}x fewer "
             f"simulations), {predict['retrains']} retrains"
         )
+    shards = snapshot.get("shards")
+    if shards:
+        for i, s in enumerate(shards):
+            if s["shard"] != i:
+                fail(f".shards[{i}].shard", f"expected dense index {i}, got {s['shard']}")
+        executed = sum(s["executed"] for s in shards)
+        fast = sum(s["fast_path_hits"] for s in shards)
+        rejected = sum(s["rejected"] for s in shards)
+        cancelled = sum(s["cancelled"] for s in shards)
+        print(
+            f"ok: shards block: {len(shards)} shards, {executed} executed + "
+            f"{fast} fast-path, {rejected} rejected, {cancelled} cancelled"
+        )
     sim = snapshot.get("sim")
     if sim and (sim.get("insts_simulated") or sim["decode"].get("misses")):
         d = sim["decode"]

@@ -18,8 +18,9 @@
 //! icc program.mc --search 50 --metrics-json   # one ic-obs snapshot on stdout
 //!
 //! icc serve --socket /tmp/ic.sock --kb kb.json    # start the daemon
-//! icc program.mc --remote /tmp/ic.sock --search 50  # search on the daemon
-//! icc --remote /tmp/ic.sock --admin metrics --json  # daemon metrics snapshot
+//! icc serve --http 127.0.0.1:8080                 # + curl-able gateway
+//! icc program.mc --remote unix:///tmp/ic.sock --search 50  # search on the daemon
+//! icc --remote http://127.0.0.1:8080 --admin metrics --json  # daemon metrics
 //! ```
 
 use intelligent_compilers::core::controller::WorkloadEvaluator;
@@ -108,9 +109,10 @@ usage: icc <file.mc> [options]
                        daemon serves for `--admin metrics`)
   --seed N             RNG seed (default 42)
   --fuel N             instruction budget (default 100M)
-  --remote SOCK        route compile/search through a running `icc serve`
-                       daemon at this Unix socket (bit-identical results,
-                       warm shared caches)
+  --remote URI         route compile/search through a running `icc serve`
+                       daemon (bit-identical results, warm shared caches).
+                       URI schemes: unix://PATH, tcp://HOST:PORT,
+                       http://HOST:PORT; a bare path means unix://
   --deadline-ms N      per-request deadline for --remote requests (0 = server default)
   --admin CMD          with --remote: stats | metrics | flush | compact | shutdown
   --keep N             entry ceiling per context for `--admin compact`
@@ -121,8 +123,13 @@ usage: icc <file.mc> [options]
 serve options (after `icc serve`):
   --socket PATH        Unix socket to listen on (default: $TMPDIR/ic-serve.sock)
   --tcp ADDR           also listen on a TCP address (host:port)
-  --workers N          worker threads (default: min(cores, 4))
-  --queue N            submission-queue capacity; full queue rejects with
+  --http ADDR          also serve the HTTP/JSON gateway on host:port
+                       (POST /v1/compile|search|characterize|admin,
+                       GET /v1/metrics, GET /v1/healthz)
+  --shards N           worker shards; requests route to shards by
+                       workload+machine fingerprint (default 4)
+  --workers N          worker threads per shard (default: min(cores, 4))
+  --queue N            per-shard queue capacity; a full shard rejects with
                        a structured retry-after error (default 64)
   --deadline-ms N      default per-request deadline (0 = none)
   --kb FILE            knowledge-base store: engines warm from it at first
@@ -219,10 +226,9 @@ fn parse_args() -> Result<Options, Error> {
             "--profile" => o.profile = true,
             "--metrics-json" => o.metrics_json = true,
             "--remote" => {
-                o.remote = Some(
-                    it.next()
-                        .ok_or_else(|| bad("--remote needs a socket path"))?,
-                )
+                o.remote = Some(it.next().ok_or_else(|| {
+                    bad("--remote needs a URI (unix://, tcp://, http://) or socket path")
+                })?)
             }
             "--admin" => o.admin = Some(it.next().ok_or_else(|| bad("--admin needs a command"))?),
             "--deadline-ms" => {
@@ -485,6 +491,13 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> Result<(), Error> {
                     .into()
             }
             "--tcp" => cfg.tcp = Some(args.next().ok_or_else(|| bad("--tcp needs an address"))?),
+            "--http" => cfg.http = Some(args.next().ok_or_else(|| bad("--http needs an address"))?),
+            "--shards" => {
+                cfg.shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| bad("--shards needs a number"))?
+            }
             "--workers" => {
                 cfg.workers = args
                     .next()
@@ -541,12 +554,17 @@ fn serve_main(mut args: std::iter::Skip<std::env::Args>) -> Result<(), Error> {
     let handle = Server::spawn(cfg.clone(), Some(&SHUTDOWN_SIGNAL))
         .map_err(|e| internal(format!("starting server: {e}")))?;
     eprintln!(
-        "icc: serving on {}{} ({} workers, queue capacity {}, kb {})",
+        "icc: serving on {}{}{} ({} shards x {} workers, queue capacity {}, kb {})",
         handle.socket().display(),
         handle
             .tcp_addr
             .map(|a| format!(" and tcp {a}"))
             .unwrap_or_default(),
+        handle
+            .http_addr
+            .map(|a| format!(" and http {a}"))
+            .unwrap_or_default(),
+        cfg.shards,
         cfg.workers,
         cfg.queue_capacity,
         cfg.kb_path
@@ -597,8 +615,8 @@ fn remote_error(e: &ErrorResponse) -> Error {
     }
 }
 
-fn run_remote(o: &Options, sock: &str) -> Result<(), Error> {
-    let mut client = Client::connect_unix(sock).map_err(|e| internal(format!("{sock}: {e}")))?;
+fn run_remote(o: &Options, uri: &str) -> Result<(), Error> {
+    let mut client = Client::connect(uri).map_err(|e| internal(format!("{uri}: {e}")))?;
     let transport = |e: intelligent_compilers::serve::ClientError| internal(e.to_string());
 
     // Admin commands need no input file.
@@ -886,7 +904,7 @@ fn run() -> Result<(), Error> {
         return run_remote(&o, &sock);
     }
     if o.admin.is_some() {
-        return Err(bad("--admin needs --remote SOCK"));
+        return Err(bad("--admin needs --remote URI"));
     }
 
     let Some(path) = o.input.clone() else {

@@ -58,6 +58,20 @@ macro_rules! ser_de_unsigned {
 ser_de_signed!(i8, i16, i32, i64, isize);
 ser_de_unsigned!(u8, u16, u32, u64, usize);
 
+// A `Value` serializes as itself, so code can splice pre-built trees
+// (e.g. a versioned wire envelope) into the normal Serialize path —
+// mirrors upstream serde_json's `impl Serialize for Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::F64(*self)

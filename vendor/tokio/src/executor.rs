@@ -1,0 +1,147 @@
+//! A small shared-queue multi-thread executor. Tasks are reference-
+//! counted cells whose waker re-enqueues them; worker threads park on a
+//! condvar when the queue is empty.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+pub struct Shared {
+    queue: Mutex<VecDeque<Arc<TaskCell>>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+pub struct TaskCell {
+    future: Mutex<Option<BoxFuture>>,
+    shared: std::sync::Weak<Shared>,
+    queued: AtomicBool,
+}
+
+impl Shared {
+    pub fn new() -> Arc<Shared> {
+        Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    pub fn spawn_boxed(self: &Arc<Shared>, future: BoxFuture) {
+        let cell = Arc::new(TaskCell {
+            future: Mutex::new(Some(future)),
+            shared: Arc::downgrade(self),
+            queued: AtomicBool::new(true),
+        });
+        self.push(cell);
+    }
+
+    fn push(&self, cell: Arc<TaskCell>) {
+        let mut q = self.queue.lock().unwrap();
+        q.push_back(cell);
+        drop(q);
+        self.available.notify_one();
+    }
+
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Move the queued tasks out and drop them after the lock is
+        // released: task destructors run arbitrary future drops (IO
+        // deregistration, timer cancellation, reply-channel closes)
+        // that must not execute under the queue lock.
+        let drained = {
+            let mut q = self.queue.lock().unwrap();
+            std::mem::take(&mut *q)
+        };
+        self.available.notify_all();
+        drop(drained);
+    }
+
+    /// Worker-thread main loop: pop, poll, repeat until shutdown.
+    pub fn run_worker(self: &Arc<Shared>) {
+        crate::runtime::enter(self.clone());
+        loop {
+            let cell = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Some(cell) = q.pop_front() {
+                        break cell;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            cell.poll();
+        }
+    }
+}
+
+impl TaskCell {
+    fn poll(self: Arc<Self>) {
+        // Un-queue before polling so a wake that lands mid-poll
+        // re-enqueues the task instead of being lost.
+        self.queued.store(false, Ordering::SeqCst);
+        let mut slot = self.future.lock().unwrap();
+        let Some(future) = slot.as_mut() else {
+            return;
+        };
+        let waker = self.clone().into_waker();
+        let mut cx = Context::from_waker(&waker);
+        let polled = std::panic::catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx)));
+        match polled {
+            Ok(Poll::Pending) => {}
+            // Completed or panicked: drop the future. Panic surfacing
+            // is the JoinHandle's job (its completion slot sees the
+            // sender dropped without a value).
+            Ok(Poll::Ready(())) | Err(_) => {
+                *slot = None;
+            }
+        }
+    }
+
+    fn wake_cell(self: &Arc<Self>) {
+        if self.queued.swap(true, Ordering::SeqCst) {
+            return; // already queued
+        }
+        if let Some(shared) = self.shared.upgrade() {
+            if !shared.shutdown.load(Ordering::SeqCst) {
+                shared.push(self.clone());
+            }
+        }
+    }
+
+    fn into_waker(self: Arc<Self>) -> Waker {
+        unsafe { Waker::from_raw(raw_waker(self)) }
+    }
+}
+
+fn raw_waker(cell: Arc<TaskCell>) -> RawWaker {
+    unsafe fn clone(data: *const ()) -> RawWaker {
+        let cell = unsafe { Arc::from_raw(data as *const TaskCell) };
+        let cloned = cell.clone();
+        std::mem::forget(cell);
+        raw_waker(cloned)
+    }
+    unsafe fn wake(data: *const ()) {
+        let cell = unsafe { Arc::from_raw(data as *const TaskCell) };
+        cell.wake_cell();
+    }
+    unsafe fn wake_by_ref(data: *const ()) {
+        let cell = unsafe { Arc::from_raw(data as *const TaskCell) };
+        cell.wake_cell();
+        std::mem::forget(cell);
+    }
+    unsafe fn drop_waker(data: *const ()) {
+        drop(unsafe { Arc::from_raw(data as *const TaskCell) });
+    }
+    static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+    RawWaker::new(Arc::into_raw(cell) as *const (), &VTABLE)
+}

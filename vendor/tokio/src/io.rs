@@ -1,0 +1,98 @@
+//! Async IO traits. Simplified relative to real tokio (`&mut [u8]`
+//! instead of `ReadBuf`, no `Pin` on the receiver — every stream here
+//! is `Unpin`), but the extension-method surface user code touches
+//! (`read`, `read_exact`, `write_all`, `flush`, `shutdown`) matches.
+
+use std::future::{poll_fn, Future};
+use std::io;
+use std::task::{Context, Poll};
+
+pub trait AsyncRead {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>>;
+}
+
+pub trait AsyncWrite {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>>;
+    fn poll_flush(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+    fn poll_shutdown(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+pub trait AsyncReadExt: AsyncRead {
+    /// Read some bytes, resolving to 0 at EOF.
+    fn read<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<usize>> + Send + 'a
+    where
+        Self: Send + Sized,
+    {
+        poll_fn(move |cx| self.poll_read(cx, buf))
+    }
+
+    /// Fill `buf` entirely or fail with `UnexpectedEof`.
+    fn read_exact<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<()>> + Send + 'a
+    where
+        Self: Send + Sized,
+    {
+        async move {
+            let mut done = 0;
+            while done < buf.len() {
+                let n = poll_fn(|cx| self.poll_read(cx, &mut buf[done..])).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "stream closed before the buffer was filled",
+                    ));
+                }
+                done += n;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl<T: AsyncRead + ?Sized> AsyncReadExt for T {}
+
+pub trait AsyncWriteExt: AsyncWrite {
+    fn write_all<'a>(
+        &'a mut self,
+        buf: &'a [u8],
+    ) -> impl Future<Output = io::Result<()>> + Send + 'a
+    where
+        Self: Send + Sized,
+    {
+        async move {
+            let mut done = 0;
+            while done < buf.len() {
+                let n = poll_fn(|cx| self.poll_write(cx, &buf[done..])).await?;
+                if n == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream refused to accept more bytes",
+                    ));
+                }
+                done += n;
+            }
+            Ok(())
+        }
+    }
+
+    fn flush(&mut self) -> impl Future<Output = io::Result<()>> + Send + '_
+    where
+        Self: Send + Sized,
+    {
+        poll_fn(|cx| self.poll_flush(cx))
+    }
+
+    fn shutdown(&mut self) -> impl Future<Output = io::Result<()>> + Send + '_
+    where
+        Self: Send + Sized,
+    {
+        poll_fn(|cx| self.poll_shutdown(cx))
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWriteExt for T {}

@@ -1,0 +1,29 @@
+//! Vendored minimal stand-in for tokio so the workspace builds fully
+//! offline (same policy as the other `vendor/` crates).
+//!
+//! What it is: a level-triggered `poll(2)` reactor on a background
+//! thread, a small work-queue multi-thread executor, and the slice of
+//! tokio's public API that `ic-serve` uses — `runtime::Builder`,
+//! `task::spawn`/`JoinHandle`, async `net` wrappers over the std
+//! non-blocking sockets, `sync::oneshot`, and `time::{sleep, timeout}`.
+//!
+//! What it is not: work stealing, io_uring/epoll, cooperative budgets,
+//! or the full trait ecosystem. The API surface is shaped so that
+//! swapping in real tokio is a `Cargo.toml` change, not a rewrite.
+//!
+//! Unix-only: the reactor talks to `poll(2)` through raw `extern "C"`
+//! declarations (the same pattern `icc` already uses for `signal(2)`),
+//! so no libc crate is needed.
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+mod executor;
+mod reactor;
+mod sys;
+
+pub use task::spawn;

@@ -1,0 +1,179 @@
+//! Async TCP/Unix sockets: std non-blocking sockets registered with the
+//! poll(2) reactor. `connect`/`bind` perform the (fast, local) blocking
+//! syscall directly; readiness-driven suspension covers accept/read/
+//! write, which is where a server actually waits.
+
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+use std::task::{Context, Poll};
+
+use crate::io::{AsyncRead, AsyncWrite};
+use crate::reactor::Registration;
+
+macro_rules! impl_async_stream {
+    ($stream:ident, $std:ty) => {
+        pub struct $stream {
+            inner: $std,
+            reg: Registration,
+        }
+
+        impl $stream {
+            fn from_std_nonblocking(inner: $std) -> io::Result<$stream> {
+                inner.set_nonblocking(true)?;
+                let reg = Registration::new(inner.as_raw_fd());
+                Ok($stream { inner, reg })
+            }
+        }
+
+        impl AsyncRead for $stream {
+            fn poll_read(
+                &mut self,
+                cx: &mut Context<'_>,
+                buf: &mut [u8],
+            ) -> Poll<io::Result<usize>> {
+                loop {
+                    match (&self.inner).read(buf) {
+                        Ok(n) => return Poll::Ready(Ok(n)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            self.reg.wake_on_readable(cx.waker());
+                            return Poll::Pending;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Poll::Ready(Err(e)),
+                    }
+                }
+            }
+        }
+
+        impl AsyncWrite for $stream {
+            fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+                loop {
+                    match (&self.inner).write(buf) {
+                        Ok(n) => return Poll::Ready(Ok(n)),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            self.reg.wake_on_writable(cx.waker());
+                            return Poll::Pending;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                        Err(e) => return Poll::Ready(Err(e)),
+                    }
+                }
+            }
+
+            fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+                // Sockets have no userspace buffer to flush.
+                Poll::Ready(Ok(()))
+            }
+
+            fn poll_shutdown(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+                Poll::Ready(self.inner.shutdown(std::net::Shutdown::Write))
+            }
+        }
+    };
+}
+
+impl_async_stream!(TcpStream, std::net::TcpStream);
+impl_async_stream!(UnixStream, std::os::unix::net::UnixStream);
+
+impl TcpStream {
+    pub async fn connect(addr: &str) -> io::Result<TcpStream> {
+        let inner = std::net::TcpStream::connect(addr)?;
+        Self::from_std_nonblocking(inner)
+    }
+
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+        self.inner.set_nodelay(nodelay)
+    }
+}
+
+impl UnixStream {
+    pub async fn connect(path: impl AsRef<Path>) -> io::Result<UnixStream> {
+        let inner = std::os::unix::net::UnixStream::connect(path)?;
+        Self::from_std_nonblocking(inner)
+    }
+}
+
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+    reg: Registration,
+}
+
+impl TcpListener {
+    pub async fn bind(addr: &str) -> io::Result<TcpListener> {
+        Self::from_std(std::net::TcpListener::bind(addr)?)
+    }
+
+    /// Adopt an already-bound std listener (lets sync setup code keep
+    /// owning bind errors before the runtime exists).
+    pub fn from_std(inner: std::net::TcpListener) -> io::Result<TcpListener> {
+        inner.set_nonblocking(true)?;
+        let reg = Registration::new(inner.as_raw_fd());
+        Ok(TcpListener { inner, reg })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|cx| loop {
+            match self.inner.accept() {
+                Ok((stream, addr)) => {
+                    return Poll::Ready(TcpStream::from_std_nonblocking(stream).map(|s| (s, addr)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reg.wake_on_readable(cx.waker());
+                    return Poll::Pending;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        })
+        .await
+    }
+}
+
+pub struct UnixListener {
+    inner: std::os::unix::net::UnixListener,
+    reg: Registration,
+}
+
+impl UnixListener {
+    pub fn bind(path: impl AsRef<Path>) -> io::Result<UnixListener> {
+        Self::from_std(std::os::unix::net::UnixListener::bind(path)?)
+    }
+
+    pub fn from_std(inner: std::os::unix::net::UnixListener) -> io::Result<UnixListener> {
+        inner.set_nonblocking(true)?;
+        let reg = Registration::new(inner.as_raw_fd());
+        Ok(UnixListener { inner, reg })
+    }
+
+    pub async fn accept(&self) -> io::Result<(UnixStream, std::os::unix::net::SocketAddr)> {
+        poll_fn(|cx| loop {
+            match self.inner.accept() {
+                Ok((stream, addr)) => {
+                    return Poll::Ready(UnixStream::from_std_nonblocking(stream).map(|s| (s, addr)))
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.reg.wake_on_readable(cx.waker());
+                    return Poll::Pending;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Poll::Ready(Err(e)),
+            }
+        })
+        .await
+    }
+}

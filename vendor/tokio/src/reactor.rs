@@ -1,0 +1,238 @@
+//! The global IO + timer reactor: one background thread blocked in
+//! `poll(2)` over every registered descriptor plus a self-pipe, waking
+//! task wakers when readiness (level-triggered) or a timer deadline
+//! arrives.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::Waker;
+use std::time::Instant;
+
+use crate::sys::{self, PollFd, WakePipe, POLLERR, POLLHUP, POLLIN, POLLOUT};
+
+/// Per-descriptor readiness interest. Wakers are one-shot: the reactor
+/// takes and fires them, and the IO object re-registers on the next
+/// `WouldBlock`.
+pub struct FdState {
+    read_waker: Mutex<Option<Waker>>,
+    write_waker: Mutex<Option<Waker>>,
+    read_interest: AtomicBool,
+    write_interest: AtomicBool,
+}
+
+impl FdState {
+    fn new() -> FdState {
+        FdState {
+            read_waker: Mutex::new(None),
+            write_waker: Mutex::new(None),
+            read_interest: AtomicBool::new(false),
+            write_interest: AtomicBool::new(false),
+        }
+    }
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    waker: Waker,
+}
+
+struct Reactor {
+    fds: Mutex<HashMap<i32, Arc<FdState>>>,
+    timers: Mutex<HashMap<u64, TimerEntry>>,
+    pipe: WakePipe,
+    next_timer_id: AtomicU64,
+}
+
+fn reactor() -> &'static Reactor {
+    static REACTOR: OnceLock<&'static Reactor> = OnceLock::new();
+    REACTOR.get_or_init(|| {
+        let r: &'static Reactor = Box::leak(Box::new(Reactor {
+            fds: Mutex::new(HashMap::new()),
+            timers: Mutex::new(HashMap::new()),
+            pipe: WakePipe::new(),
+            next_timer_id: AtomicU64::new(1),
+        }));
+        std::thread::Builder::new()
+            .name("tokio-reactor".into())
+            .spawn(move || reactor_loop(r))
+            .expect("failed to spawn the reactor thread");
+        r
+    })
+}
+
+fn reactor_loop(r: &'static Reactor) {
+    loop {
+        let mut fds: Vec<PollFd> = vec![PollFd {
+            fd: r.pipe.read_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        {
+            let map = r.fds.lock().unwrap();
+            for (&fd, state) in map.iter() {
+                let mut events = 0i16;
+                if state.read_interest.load(Ordering::Acquire) {
+                    events |= POLLIN;
+                }
+                if state.write_interest.load(Ordering::Acquire) {
+                    events |= POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                }
+            }
+        }
+
+        // Sleep until the next timer deadline, capped so new
+        // registrations racing the snapshot above are picked up soon
+        // even if the wake byte is lost.
+        let now = Instant::now();
+        let mut timeout_ms: i32 = 1000;
+        {
+            let timers = r.timers.lock().unwrap();
+            if let Some(earliest) = timers.values().map(|t| t.deadline).min() {
+                let until = earliest.saturating_duration_since(now).as_millis() as i64;
+                timeout_ms = timeout_ms.min(until.clamp(0, i32::MAX as i64) as i32);
+            }
+        }
+
+        sys::poll_fds(&mut fds, timeout_ms);
+
+        if fds[0].revents != 0 {
+            r.pipe.drain();
+        }
+
+        // Fire IO wakers. Error/hangup wakes both directions so the
+        // owning task observes the failure from the actual syscall.
+        //
+        // Wakes run *after* the `fds` guard is released: `wake()` can
+        // drop the last reference to a task (or, via the weak-upgrade
+        // in the executor, a whole shutting-down runtime), and those
+        // destructors drop IO objects whose `Registration::drop` takes
+        // this same lock — waking under the guard deadlocks the
+        // reactor against itself.
+        let mut ready_wakers: Vec<Waker> = Vec::new();
+        {
+            let map = r.fds.lock().unwrap();
+            for pfd in &fds[1..] {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let Some(state) = map.get(&pfd.fd) else {
+                    continue;
+                };
+                let err = pfd.revents & (POLLERR | POLLHUP) != 0;
+                if err || pfd.revents & POLLIN != 0 {
+                    state.read_interest.store(false, Ordering::Release);
+                    if let Some(w) = state.read_waker.lock().unwrap().take() {
+                        ready_wakers.push(w);
+                    }
+                }
+                if err || pfd.revents & POLLOUT != 0 {
+                    state.write_interest.store(false, Ordering::Release);
+                    if let Some(w) = state.write_waker.lock().unwrap().take() {
+                        ready_wakers.push(w);
+                    }
+                }
+            }
+        }
+        for w in ready_wakers {
+            w.wake();
+        }
+
+        // Fire expired timers.
+        let now = Instant::now();
+        let expired: Vec<Waker> = {
+            let mut timers = r.timers.lock().unwrap();
+            let ids: Vec<u64> = timers
+                .iter()
+                .filter(|(_, t)| t.deadline <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| timers.remove(&id).map(|t| t.waker))
+                .collect()
+        };
+        for w in expired {
+            w.wake();
+        }
+    }
+}
+
+/// RAII registration of a descriptor with the reactor.
+pub struct Registration {
+    fd: i32,
+    state: Arc<FdState>,
+}
+
+impl Registration {
+    pub fn new(fd: i32) -> Registration {
+        let state = Arc::new(FdState::new());
+        // Bind the displaced entry (possible on fd reuse) so its waker
+        // drops after the guard: waker destructors can cascade into
+        // `Registration::drop`, which takes this lock.
+        let displaced = reactor().fds.lock().unwrap().insert(fd, state.clone());
+        drop(displaced);
+        Registration { fd, state }
+    }
+
+    /// Record read interest after a `WouldBlock`; the reactor wakes
+    /// `waker` when the descriptor becomes readable.
+    pub fn wake_on_readable(&self, waker: &Waker) {
+        let old = self.state.read_waker.lock().unwrap().replace(waker.clone());
+        drop(old);
+        self.state.read_interest.store(true, Ordering::Release);
+        reactor().pipe.wake();
+    }
+
+    pub fn wake_on_writable(&self, waker: &Waker) {
+        let old = self
+            .state
+            .write_waker
+            .lock()
+            .unwrap()
+            .replace(waker.clone());
+        drop(old);
+        self.state.write_interest.store(true, Ordering::Release);
+        reactor().pipe.wake();
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        // Bind-then-drop: the removed `FdState` holds wakers whose
+        // destructors may re-enter this lock (see `Registration::new`).
+        let removed = reactor().fds.lock().unwrap().remove(&self.fd);
+        drop(removed);
+    }
+}
+
+/// Arm (or re-arm) a timer. Returns the timer id for deregistration.
+pub fn register_timer(id: Option<u64>, deadline: Instant, waker: &Waker) -> u64 {
+    let r = reactor();
+    let id = id.unwrap_or_else(|| r.next_timer_id.fetch_add(1, Ordering::Relaxed));
+    // Bind the replaced entry so its waker drops after the guard: a
+    // waker destructor can cascade into `cancel_timer` on this lock.
+    let replaced = r.timers.lock().unwrap().insert(
+        id,
+        TimerEntry {
+            deadline,
+            waker: waker.clone(),
+        },
+    );
+    drop(replaced);
+    r.pipe.wake();
+    id
+}
+
+pub fn cancel_timer(id: u64) {
+    // Bind-then-drop: a bare `remove` expression would drop the entry
+    // (and its waker) before the temporary guard, under the lock.
+    let removed = reactor().timers.lock().unwrap().remove(&id);
+    drop(removed);
+}

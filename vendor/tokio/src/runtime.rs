@@ -1,0 +1,176 @@
+//! `runtime::Builder` / `Runtime`: owns the executor worker threads and
+//! provides `block_on` + `spawn` with a thread-local runtime context so
+//! `tokio::spawn` works from inside any task.
+
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
+
+use crate::executor::Shared;
+use crate::task::JoinHandle;
+
+thread_local! {
+    static CONTEXT: RefCell<Option<Arc<Shared>>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn enter(shared: Arc<Shared>) {
+    CONTEXT.with(|c| *c.borrow_mut() = Some(shared));
+}
+
+pub(crate) fn current() -> Option<Arc<Shared>> {
+    CONTEXT.with(|c| c.borrow().clone())
+}
+
+pub struct Builder {
+    worker_threads: usize,
+}
+
+impl Builder {
+    pub fn new_multi_thread() -> Builder {
+        let default = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Builder {
+            worker_threads: default,
+        }
+    }
+
+    pub fn new_current_thread() -> Builder {
+        Builder { worker_threads: 1 }
+    }
+
+    pub fn worker_threads(mut self, n: usize) -> Builder {
+        self.worker_threads = n.max(1);
+        self
+    }
+
+    /// IO and timers are always enabled here; kept for API parity.
+    pub fn enable_all(self) -> Builder {
+        self
+    }
+
+    pub fn thread_name(self, _name: impl Into<String>) -> Builder {
+        self
+    }
+
+    pub fn build(self) -> std::io::Result<Runtime> {
+        let shared = Shared::new();
+        let mut workers = Vec::with_capacity(self.worker_threads);
+        for i in 0..self.worker_threads {
+            let shared = shared.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tokio-worker-{i}"))
+                    .spawn(move || shared.run_worker())?,
+            );
+        }
+        Ok(Runtime {
+            shared,
+            workers: Mutex::new(workers),
+        })
+    }
+}
+
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Runtime {
+    pub fn new() -> std::io::Result<Runtime> {
+        Builder::new_multi_thread().build()
+    }
+
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        crate::task::spawn_on(&self.shared, future)
+    }
+
+    /// Drive `future` to completion on the calling thread, parking it
+    /// between polls. Worker tasks progress on the runtime threads.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        let previous = current();
+        enter(self.shared.clone());
+        let result = block_on_inner(future);
+        CONTEXT.with(|c| *c.borrow_mut() = previous);
+        result
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+        for worker in self.workers.lock().unwrap().drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+struct Park {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+fn block_on_inner<F: Future>(future: F) -> F::Output {
+    let park = Arc::new(Park {
+        ready: Mutex::new(false),
+        cv: Condvar::new(),
+    });
+    let waker = park_waker(park.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut future = Box::pin(future);
+    loop {
+        if let Poll::Ready(v) = future.as_mut().poll(&mut cx) {
+            return v;
+        }
+        let mut ready = park.ready.lock().unwrap();
+        while !*ready {
+            ready = park.cv.wait(ready).unwrap();
+        }
+        *ready = false;
+    }
+}
+
+fn park_waker(park: Arc<Park>) -> Waker {
+    fn raw(park: Arc<Park>) -> RawWaker {
+        unsafe fn clone(data: *const ()) -> RawWaker {
+            let park = unsafe { Arc::from_raw(data as *const Park) };
+            let cloned = park.clone();
+            std::mem::forget(park);
+            raw(cloned)
+        }
+        unsafe fn wake(data: *const ()) {
+            let park = unsafe { Arc::from_raw(data as *const Park) };
+            notify(&park);
+        }
+        unsafe fn wake_by_ref(data: *const ()) {
+            let park = unsafe { Arc::from_raw(data as *const Park) };
+            notify(&park);
+            std::mem::forget(park);
+        }
+        unsafe fn drop_waker(data: *const ()) {
+            drop(unsafe { Arc::from_raw(data as *const Park) });
+        }
+        fn notify(park: &Park) {
+            let mut ready = park.ready.lock().unwrap();
+            *ready = true;
+            park.cv.notify_one();
+        }
+        static VTABLE: RawWakerVTable = RawWakerVTable::new(clone, wake, wake_by_ref, drop_waker);
+        RawWaker::new(Arc::into_raw(park) as *const (), &VTABLE)
+    }
+    unsafe { Waker::from_raw(raw(park)) }
+}
+
+/// Shared helper for spawning onto the executor's run queue.
+pub(crate) fn spawn_boxed_on(
+    shared: &Arc<Shared>,
+    future: Pin<Box<dyn Future<Output = ()> + Send + 'static>>,
+) {
+    shared.spawn_boxed(future);
+}

@@ -1,0 +1,93 @@
+//! `sync::oneshot` — the reply channel between blocking shard workers
+//! (sender side, plain threads) and async connection tasks (receiver).
+
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    struct Slot<T> {
+        value: Option<T>,
+        waker: Option<Waker>,
+        closed: bool,
+    }
+
+    pub struct Sender<T> {
+        slot: Arc<Mutex<Slot<T>>>,
+    }
+
+    pub struct Receiver<T> {
+        slot: Arc<Mutex<Slot<T>>>,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "oneshot sender dropped without sending")
+        }
+    }
+    impl std::error::Error for RecvError {}
+
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let slot = Arc::new(Mutex::new(Slot {
+            value: None,
+            waker: None,
+            closed: false,
+        }));
+        (Sender { slot: slot.clone() }, Receiver { slot })
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver the value; returns it back if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut slot = self.slot.lock().unwrap();
+            if slot.closed {
+                return Err(value);
+            }
+            slot.value = Some(value);
+            if let Some(w) = slot.waker.take() {
+                drop(slot);
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut slot = self.slot.lock().unwrap();
+            slot.closed = true;
+            if let Some(w) = slot.waker.take() {
+                drop(slot);
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.slot.lock().unwrap().closed = true;
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut slot = self.slot.lock().unwrap();
+            if let Some(v) = slot.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if slot.closed {
+                return Poll::Ready(Err(RecvError));
+            }
+            let old = slot.waker.replace(cx.waker().clone());
+            drop(slot);
+            drop(old);
+            Poll::Pending
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Raw syscall surface for the reactor. Linux/Unix only; declared by
+//! hand (no libc crate) following the `signal(2)` precedent in `icc`.
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct PollFd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
+
+unsafe extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    fn pipe(fds: *mut i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn close(fd: i32) -> i32;
+}
+
+/// Block in `poll(2)` for up to `timeout_ms` (-1 = forever). Returns the
+/// number of ready descriptors, 0 on timeout; EINTR reads as 0.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> usize {
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc < 0 {
+        0 // EINTR or transient error: caller re-evaluates and re-polls.
+    } else {
+        rc as usize
+    }
+}
+
+/// A non-blocking self-pipe used to wake the reactor out of `poll(2)`.
+pub struct WakePipe {
+    read_fd: i32,
+    write_fd: i32,
+}
+
+impl WakePipe {
+    pub fn new() -> WakePipe {
+        let mut fds = [0i32; 2];
+        let rc = unsafe { pipe(fds.as_mut_ptr()) };
+        assert_eq!(rc, 0, "pipe(2) failed for the reactor wake channel");
+        for fd in fds {
+            unsafe {
+                let flags = fcntl(fd, F_GETFL, 0);
+                fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+            }
+        }
+        WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        }
+    }
+
+    pub fn read_fd(&self) -> i32 {
+        self.read_fd
+    }
+
+    /// Nudge the reactor. A full pipe already guarantees a pending wake.
+    pub fn wake(&self) {
+        let byte = [1u8];
+        unsafe {
+            let _ = write(self.write_fd, byte.as_ptr(), 1);
+        }
+    }
+
+    /// Drain pending wake bytes after `poll` reports the pipe readable.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            close(self.write_fd);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! `task::spawn` + `JoinHandle`, mirroring tokio's semantics: the
+//! spawned future runs to completion even if the handle is dropped;
+//! awaiting the handle yields `Result<T, JoinError>` (Err if the task
+//! panicked or the runtime shut down first).
+
+use std::fmt;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+use crate::executor::Shared;
+
+struct JoinSlot<T> {
+    value: Option<Result<T, JoinError>>,
+    waker: Option<Waker>,
+    done: bool,
+}
+
+pub struct JoinHandle<T> {
+    slot: Arc<Mutex<JoinSlot<T>>>,
+}
+
+#[derive(Debug)]
+pub struct JoinError {
+    cancelled: bool,
+}
+
+impl JoinError {
+    pub fn is_panic(&self) -> bool {
+        !self.cancelled
+    }
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled
+    }
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cancelled {
+            write!(f, "task was cancelled")
+        } else {
+            write!(f, "task panicked")
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut slot = self.slot.lock().unwrap();
+        if let Some(v) = slot.value.take() {
+            return Poll::Ready(v);
+        }
+        if slot.done {
+            // Value already taken or task dropped without completing.
+            return Poll::Ready(Err(JoinError { cancelled: true }));
+        }
+        let old = slot.waker.replace(cx.waker().clone());
+        drop(slot);
+        drop(old);
+        Poll::Pending
+    }
+}
+
+/// Completion guard: fills the join slot when the wrapper future is
+/// dropped, whether it finished, panicked, or was cancelled at runtime
+/// shutdown.
+struct Complete<T> {
+    slot: Arc<Mutex<JoinSlot<T>>>,
+    value: Option<T>,
+}
+
+impl<T> Drop for Complete<T> {
+    fn drop(&mut self) {
+        let mut slot = self.slot.lock().unwrap();
+        slot.done = true;
+        slot.value = Some(match self.value.take() {
+            Some(v) => Ok(v),
+            None => Err(JoinError { cancelled: false }),
+        });
+        // Wake outside the lock: the wake can cascade into task drops
+        // that take other join slots (or the run queue) — never run it
+        // while holding this one.
+        let waker = slot.waker.take();
+        drop(slot);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+}
+
+pub(crate) fn spawn_on<F>(shared: &Arc<Shared>, future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let slot = Arc::new(Mutex::new(JoinSlot {
+        value: None,
+        waker: None,
+        done: false,
+    }));
+    let handle = JoinHandle { slot: slot.clone() };
+    let wrapped = async move {
+        let mut complete = Complete { slot, value: None };
+        complete.value = Some(future.await);
+        drop(complete);
+    };
+    crate::runtime::spawn_boxed_on(shared, Box::pin(wrapped));
+    handle
+}
+
+/// Spawn onto the current runtime. Panics when called from outside a
+/// runtime context (same contract as tokio).
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let shared =
+        crate::runtime::current().expect("tokio::spawn called from outside a runtime context");
+    spawn_on(&shared, future)
+}
+
+/// Yield back to the executor once.
+pub async fn yield_now() {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false).await
+}

@@ -1,0 +1,86 @@
+//! `time::{sleep, timeout}` backed by the reactor's timer table.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+use std::time::{Duration, Instant};
+
+use crate::reactor;
+
+pub struct Sleep {
+    deadline: Instant,
+    timer_id: Option<u64>,
+}
+
+pub fn sleep(duration: Duration) -> Sleep {
+    Sleep {
+        deadline: Instant::now() + duration,
+        timer_id: None,
+    }
+}
+
+pub fn sleep_until(deadline: Instant) -> Sleep {
+    Sleep {
+        deadline,
+        timer_id: None,
+    }
+}
+
+impl Sleep {
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            if let Some(id) = self.timer_id.take() {
+                reactor::cancel_timer(id);
+            }
+            return Poll::Ready(());
+        }
+        self.timer_id = Some(reactor::register_timer(
+            self.timer_id,
+            self.deadline,
+            cx.waker(),
+        ));
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(id) = self.timer_id {
+            reactor::cancel_timer(id);
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed;
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline has elapsed")
+    }
+}
+impl std::error::Error for Elapsed {}
+
+/// Await `future` for at most `duration`; `Err(Elapsed)` on timeout.
+pub async fn timeout<F: Future>(duration: Duration, future: F) -> Result<F::Output, Elapsed> {
+    let mut future = Box::pin(future);
+    let mut sleep = sleep(duration);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(v) = future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Pin::new(&mut sleep).poll(cx).is_ready() {
+            return Poll::Ready(Err(Elapsed));
+        }
+        Poll::Pending
+    })
+    .await
+}

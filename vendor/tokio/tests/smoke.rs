@@ -1,0 +1,67 @@
+//! Runtime smoke tests: executor, reactor-driven sockets, timers,
+//! oneshot wiring — the exact primitives ic-serve leans on.
+
+use std::time::{Duration, Instant};
+
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::oneshot;
+
+#[test]
+fn spawn_join_and_oneshot_roundtrip() {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+    let got = rt.block_on(async {
+        let (tx, rx) = oneshot::channel::<u32>();
+        let worker = tokio::spawn(async move {
+            tx.send(41).unwrap();
+            1u32
+        });
+        rx.await.unwrap() + worker.await.unwrap()
+    });
+    assert_eq!(got, 42);
+}
+
+#[test]
+fn tcp_echo_over_the_reactor() {
+    let rt = tokio::runtime::Runtime::new().unwrap();
+    rt.block_on(async {
+        let listener = TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = tokio::spawn(async move {
+            let (mut sock, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 5];
+            sock.read_exact(&mut buf).await.unwrap();
+            sock.write_all(&buf).await.unwrap();
+        });
+        let mut client = TcpStream::connect(&addr.to_string()).await.unwrap();
+        client.write_all(b"hello").await.unwrap();
+        let mut echo = [0u8; 5];
+        client.read_exact(&mut echo).await.unwrap();
+        assert_eq!(&echo, b"hello");
+        server.await.unwrap();
+    });
+}
+
+#[test]
+fn sleep_and_timeout_fire() {
+    let rt = tokio::runtime::Runtime::new().unwrap();
+    rt.block_on(async {
+        let start = Instant::now();
+        tokio::time::sleep(Duration::from_millis(30)).await;
+        assert!(start.elapsed() >= Duration::from_millis(25));
+
+        let fast = tokio::time::timeout(Duration::from_secs(5), async { 7u8 }).await;
+        assert_eq!(fast, Ok(7));
+
+        let slow = tokio::time::timeout(
+            Duration::from_millis(20),
+            tokio::time::sleep(Duration::from_secs(60)),
+        )
+        .await;
+        assert!(slow.is_err());
+    });
+}
